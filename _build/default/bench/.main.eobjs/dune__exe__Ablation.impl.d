@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Common List Option Printf Sof Sof_cost Sof_graph Sof_topology Sof_util Sof_workload

@@ -1,0 +1,1 @@
+bench/common.ml: List Option Printf Sof Sof_baselines Sof_topology Sof_util Sof_workload

@@ -1,0 +1,1 @@
+bench/distributed_bench.ml: Common List Printf Sof Sof_sdn Sof_topology Sof_util Sof_workload

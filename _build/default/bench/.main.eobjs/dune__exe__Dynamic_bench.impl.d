@@ -1,0 +1,1 @@
+bench/dynamic_bench.ml: Common Fun List Printf Sof Sof_topology Sof_util Sof_workload Unix

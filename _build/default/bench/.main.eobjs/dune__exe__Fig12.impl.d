@@ -1,0 +1,1 @@
+bench/fig12.ml: Array Common List Printf Sof_topology Sof_util Sof_workload

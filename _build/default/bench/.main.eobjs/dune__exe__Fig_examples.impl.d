@@ -1,0 +1,1 @@
+bench/fig_examples.ml: Common List Printf Sof Sof_cost Sof_graph Sof_util

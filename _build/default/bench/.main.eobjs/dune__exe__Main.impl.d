@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Distributed_bench Dynamic_bench Fig11 Fig12 Fig_examples List Microbench Printf Sweeps Tab1 Tab2 Unix

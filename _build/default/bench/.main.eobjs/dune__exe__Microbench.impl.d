@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Bechamel Benchmark Common Hashtbl Instance List Measure Printf Sof Sof_baselines Sof_graph Sof_steiner Sof_topology Sof_util Sof_workload Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/sweeps.ml: Common List Printf Sof Sof_baselines Sof_lp Sof_topology Sof_util Sof_workload

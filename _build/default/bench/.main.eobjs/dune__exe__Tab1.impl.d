@@ -1,0 +1,1 @@
+bench/tab1.ml: Common List Printf Sof Sof_topology Sof_util Sof_workload

@@ -1,0 +1,1 @@
+bench/tab2.ml: Common List Printf Sof_simnet Sof_topology Sof_util Sof_workload

@@ -1,0 +1,65 @@
+(* Shared plumbing for the benchmark harness: algorithm registry, instance
+   averaging, table helpers. *)
+
+module Tbl = Sof_util.Tbl
+module Rng = Sof_util.Rng
+module Instance = Sof_workload.Instance
+module Topology = Sof_topology.Topology
+
+type algo = {
+  label : string;
+  solve : Sof.Problem.t -> Sof.Forest.t option;
+}
+
+let sofda =
+  {
+    label = "SOFDA";
+    solve =
+      (fun p -> Option.map (fun r -> r.Sof.Sofda.forest) (Sof.Sofda.solve p));
+  }
+
+let enemp = { label = "eNEMP"; solve = Sof_baselines.Baselines.enemp }
+let est = { label = "eST"; solve = Sof_baselines.Baselines.est }
+let st = { label = "ST"; solve = Sof_baselines.Baselines.st }
+
+let standard_algos = [ sofda; enemp; est; st ]
+
+(* Mean cost of an algorithm over [seeds] instances drawn from [topo] with
+   [params]; instances where the algorithm fails are skipped (and counted). *)
+let mean_cost ~seeds ~topo ~params algo =
+  let total = ref 0.0 and n = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rng = Rng.create (0xBE5C + (seed * 7919)) in
+    let p = Instance.draw ~rng topo params in
+    match algo.solve p with
+    | Some f ->
+        assert (Sof.Validate.is_valid f);
+        total := !total +. Sof.Forest.total_cost f;
+        incr n
+    | None -> ()
+  done;
+  if !n = 0 then nan else !total /. float_of_int !n
+
+let sweep_table ~caption ~column ~values ~seeds ~topo ~base_params ~with_value
+    ~algos ~fmt =
+  let t =
+    Tbl.create ~caption (column :: List.map (fun a -> a.label) algos)
+  in
+  List.iter
+    (fun v ->
+      let row =
+        List.map
+          (fun a ->
+            mean_cost ~seeds ~topo ~params:(with_value base_params v) a)
+          algos
+      in
+      Tbl.add_float_row ~fmt t (string_of_int v) row)
+    values;
+  t
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt

@@ -1,0 +1,75 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VIII).  Run all with [dune exec bench/main.exe]; see
+   [-- --help] for selection flags.  EXPERIMENTS.md records paper-vs-
+   measured values for each experiment. *)
+
+type experiment = {
+  name : string;
+  descr : string;
+  run : quick:bool -> seeds:int -> unit;
+}
+
+let experiments =
+  [
+    { name = "fig1"; descr = "service tree vs service forest anatomy";
+      run = Fig_examples.run };
+    { name = "fig7"; descr = "convex load cost function";
+      run = Fig_examples.fig7 };
+    { name = "fig8"; descr = "one-time deployment, SoftLayer (+ OPT yardstick)";
+      run = Sweeps.fig8 };
+    { name = "fig9"; descr = "one-time deployment, Cogent"; run = Sweeps.fig9 };
+    { name = "fig10"; descr = "one-time deployment, Inet synthetic";
+      run = Sweeps.fig10 };
+    { name = "fig11"; descr = "setup-cost multiple vs cost and used VMs";
+      run = Fig11.run };
+    { name = "tab1"; descr = "SOFDA running time scaling"; run = Tab1.run };
+    { name = "fig12"; descr = "online deployment, accumulated cost";
+      run = Fig12.run };
+    { name = "tab2"; descr = "testbed video QoE (startup / re-buffering)";
+      run = Tab2.run };
+    { name = "dist"; descr = "multi-controller SOFDA message accounting";
+      run = Distributed_bench.run };
+    { name = "ablate"; descr = "SOFDA construction ablation";
+      run = Ablation.run };
+    { name = "dyn"; descr = "dynamic operations vs full re-runs (Sec. VII-C)";
+      run = Dynamic_bench.run };
+    { name = "micro"; descr = "Bechamel per-call latency"; run = Microbench.run };
+  ]
+
+let () =
+  let only = ref [] in
+  let quick = ref false in
+  let seeds = ref 10 in
+  let list_only = ref false in
+  let spec =
+    [
+      ("--only", Arg.String (fun s -> only := s :: !only),
+       "NAME run a single experiment (repeatable)");
+      ("--quick", Arg.Set quick, " smaller sweeps for a fast smoke run");
+      ("--seeds", Arg.Set_int seeds, "N random instances per data point (default 10)");
+      ("--list", Arg.Set list_only, " list experiments and exit");
+    ]
+  in
+  Arg.parse spec
+    (fun s -> only := s :: !only)
+    "bench/main.exe -- [--quick] [--seeds N] [--only EXPERIMENT]";
+  if !list_only then
+    List.iter (fun e -> Printf.printf "%-7s %s\n" e.name e.descr) experiments
+  else begin
+    let selected =
+      match !only with
+      | [] -> experiments
+      | names ->
+          List.iter
+            (fun n ->
+              if not (List.exists (fun e -> e.name = n) experiments) then begin
+                Printf.eprintf "unknown experiment %S (try --list)\n" n;
+                exit 1
+              end)
+            names;
+          List.filter (fun e -> List.mem e.name names) experiments
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun e -> e.run ~quick:!quick ~seeds:!seeds) selected;
+    Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)
+  end

@@ -1,0 +1,62 @@
+(* Bechamel micro-benchmarks: per-algorithm embedding latency on the
+   default SoftLayer instance, plus the core substrate operations.  These
+   back Table I's runtime story with statistically sound per-call costs. *)
+
+open Bechamel
+open Toolkit
+
+let default_instance () =
+  let rng = Sof_util.Rng.create 0xB3C4 in
+  Sof_workload.Instance.draw ~rng
+    (Sof_topology.Topology.softlayer ())
+    Sof_workload.Instance.default_params
+
+let tests () =
+  let p = default_instance () in
+  let make name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"sof" ~fmt:"%s %s"
+    [
+      make "sofda" (fun () -> ignore (Sof.Sofda.solve p));
+      make "sofda-ss" (fun () ->
+          ignore
+            (Sof.Sofda_ss.solve p ~source:(List.hd p.Sof.Problem.sources)));
+      make "est" (fun () -> ignore (Sof_baselines.Baselines.est p));
+      make "enemp" (fun () -> ignore (Sof_baselines.Baselines.enemp p));
+      make "st" (fun () -> ignore (Sof_baselines.Baselines.st p));
+      make "steiner-kmb" (fun () ->
+          ignore
+            (Sof_steiner.Steiner.approx p.Sof.Problem.graph
+               (List.hd p.Sof.Problem.sources :: p.Sof.Problem.dests)));
+      make "dijkstra" (fun () ->
+          ignore (Sof_graph.Dijkstra.run p.Sof.Problem.graph 0));
+    ]
+
+let run ~quick ~seeds:_ =
+  Common.section "micro — per-call latency (Bechamel)";
+  let quota = if quick then 0.25 else 1.0 in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t = Sof_util.Tbl.create [ "benchmark"; "time per call" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          let pretty =
+            if est >= 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+            else Printf.sprintf "%.1f us" (est /. 1e3)
+          in
+          rows := (name, pretty) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, pretty) -> Sof_util.Tbl.add_row t [ name; pretty ])
+    (List.sort compare !rows);
+  Sof_util.Tbl.print t

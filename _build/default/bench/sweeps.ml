@@ -1,0 +1,140 @@
+(* Figs. 8, 9, 10: one-time deployment cost sweeps on SoftLayer, Cogent and
+   the Inet-style synthetic network.  Four panels each: #sources,
+   #destinations, #available VMs, service chain length; defaults 14/6/25/3
+   (Section VIII-A). *)
+
+module Instance = Sof_workload.Instance
+
+let sources_values = [ 2; 8; 14; 20; 26 ]
+let dests_values = [ 2; 4; 6; 8; 10 ]
+let vms_values = [ 5; 15; 25; 35; 45 ]
+let chain_values = [ 3; 4; 5; 6; 7 ]
+
+let panel ~topo ~seeds ~fmt ~algos (caption, column, values, with_value) =
+  let t =
+    Common.sweep_table ~caption ~column ~values ~seeds ~topo
+      ~base_params:Instance.default_params ~with_value ~algos ~fmt
+  in
+  Sof_util.Tbl.print t;
+  print_newline ()
+
+let four_panels ~topo ~seeds ~fmt ~algos tag =
+  List.iter
+    (panel ~topo ~seeds ~fmt ~algos)
+    [
+      ( Printf.sprintf "(%s-a) cost vs #sources" tag,
+        "#src",
+        sources_values,
+        fun p v -> { p with Instance.n_sources = v } );
+      ( Printf.sprintf "(%s-b) cost vs #destinations" tag,
+        "#dst",
+        dests_values,
+        fun p v -> { p with Instance.n_dests = v } );
+      ( Printf.sprintf "(%s-c) cost vs #available VMs" tag,
+        "#vm",
+        vms_values,
+        fun p v -> { p with Instance.n_vms = v } );
+      ( Printf.sprintf "(%s-d) cost vs service chain length" tag,
+        "|C|",
+        chain_values,
+        fun p v -> { p with Instance.chain_length = v } );
+    ]
+
+(* The OPT yardstick (the paper's CPLEX column).  The dense-tableau B&B is
+   cubic-ish in the LP size, so the yardstick runs at testbed scale
+   (14 nodes / 20 links) where optimality is PROVEN in seconds; at
+   SoftLayer scale a single LP relaxation already takes minutes. *)
+let opt_panel ~seeds ~quick =
+  Common.section
+    "fig8-opt — optimality yardstick via the IP (CPLEX substitute; reduced \
+     size)";
+  let topo = Sof_topology.Topology.testbed () in
+  let reduced =
+    {
+      Instance.n_vms = 5;
+      n_sources = 2;
+      n_dests = 3;
+      chain_length = 2;
+      setup_multiplier = 1.0;
+    }
+  in
+  let t =
+    Sof_util.Tbl.create
+      ~caption:
+        "testbed network, reduced instance (5 VMs, 2 sources, 3 dests, |C|=2)"
+      [ "seed"; "SOFDA"; "eST"; "IP incumbent"; "IP lower bound"; "status" ]
+  in
+  let n = if quick then min seeds 2 else min seeds 5 in
+  for seed = 0 to n - 1 do
+    let rng = Sof_util.Rng.create (0xC0DE + seed) in
+    let p = Instance.draw ~rng topo reduced in
+    let sofda_cost =
+      match Sof.Sofda.solve p with
+      | Some r -> Sof.Forest.total_cost r.Sof.Sofda.forest
+      | None -> nan
+    in
+    let est_cost =
+      match Sof_baselines.Baselines.est p with
+      | Some f -> Sof.Forest.total_cost f
+      | None -> nan
+    in
+    let budget = if quick then 5.0 else 30.0 in
+    let r =
+      Sof.Ip_model.solve ~node_limit:60 ~time_budget:budget
+        ~initial_incumbent:(sofda_cost +. 1e-6) p
+    in
+    let incumbent =
+      match r.Sof_lp.Ilp.best with
+      | Some (_, obj) -> Printf.sprintf "%.2f" obj
+      | None -> Printf.sprintf "(seeded %.2f)" sofda_cost
+    in
+    let status =
+      match r.Sof_lp.Ilp.status with
+      | Sof_lp.Ilp.Optimal -> "optimal"
+      | Sof_lp.Ilp.Feasible -> "feasible"
+      | Sof_lp.Ilp.Infeasible -> "infeasible"
+      | Sof_lp.Ilp.Budget_exhausted -> "budget"
+    in
+    Sof_util.Tbl.add_row t
+      [
+        string_of_int seed;
+        Printf.sprintf "%.2f" sofda_cost;
+        Printf.sprintf "%.2f" est_cost;
+        incumbent;
+        Printf.sprintf "%.2f" r.Sof_lp.Ilp.bound;
+        status;
+      ]
+  done;
+  Sof_util.Tbl.print t;
+  Common.note
+    "The IP shares an edge per (layer, edge) across destinations, so its\n\
+     optimum lower-bounds every forest cost; SOFDA sits within a few percent."
+
+let fig8 ~quick ~seeds =
+  Common.section "fig8 — one-time deployment on SoftLayer (Fig. 8)";
+  let seeds = if quick then max 2 (seeds / 2) else seeds in
+  four_panels
+    ~topo:(Sof_topology.Topology.softlayer ())
+    ~seeds
+    ~fmt:(Printf.sprintf "%.2f")
+    ~algos:Common.standard_algos "8";
+  opt_panel ~seeds ~quick
+
+let fig9 ~quick ~seeds =
+  Common.section "fig9 — one-time deployment on Cogent (Fig. 9)";
+  let seeds = if quick then max 2 (seeds / 2) else seeds in
+  four_panels
+    ~topo:(Sof_topology.Topology.cogent ())
+    ~seeds
+    ~fmt:(Printf.sprintf "%.2f")
+    ~algos:Common.standard_algos "9"
+
+let fig10 ~quick ~seeds =
+  Common.section "fig10 — one-time deployment on the Inet synthetic (Fig. 10)";
+  let nodes, links, dcs = if quick then (1000, 2000, 400) else (5000, 10000, 2000) in
+  let rng = Sof_util.Rng.create 0x17E7 in
+  let topo = Sof_topology.Topology.inet ~rng ~nodes ~links ~dcs in
+  Common.note "synthetic topology: %s" (Sof_topology.Topology.stats topo);
+  let seeds = if quick then 2 else min seeds 5 in
+  four_panels ~topo ~seeds ~fmt:(Printf.sprintf "%.2f")
+    ~algos:Common.standard_algos "10"

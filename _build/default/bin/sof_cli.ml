@@ -1,0 +1,239 @@
+(* Command-line front end: draw or load an SOF instance, embed it with a
+   chosen algorithm, and print the forest, its cost breakdown, and
+   optionally the compiled flow rules or a QoE simulation.
+
+     sof solve --topology softlayer --algo sofda --sources 14 --dests 6
+     sof solve --topology cogent --algo est --chain 5 --seed 3
+     sof qoe --seed 1
+     sof topologies *)
+
+open Cmdliner
+
+let topology_of_name ~seed name =
+  match name with
+  | "softlayer" -> Sof_topology.Topology.softlayer ()
+  | "cogent" -> Sof_topology.Topology.cogent ()
+  | "testbed" -> Sof_topology.Topology.testbed ()
+  | "inet1000" ->
+      Sof_topology.Topology.inet
+        ~rng:(Sof_util.Rng.create (seed + 1))
+        ~nodes:1000 ~links:2000 ~dcs:200
+  | "inet5000" ->
+      Sof_topology.Topology.inet
+        ~rng:(Sof_util.Rng.create (seed + 1))
+        ~nodes:5000 ~links:10000 ~dcs:2000
+  | other -> failwith (Printf.sprintf "unknown topology %S" other)
+
+let algo_of_name = function
+  | "sofda" ->
+      fun p -> Option.map (fun r -> r.Sof.Sofda.forest) (Sof.Sofda.solve p)
+  | "sofda-ss" ->
+      fun p ->
+        Sof.Sofda_ss.solve_forest p ~source:(List.hd p.Sof.Problem.sources)
+  | "est" -> Sof_baselines.Baselines.est
+  | "enemp" -> Sof_baselines.Baselines.enemp
+  | "st" -> Sof_baselines.Baselines.st
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
+(* --- flags ---------------------------------------------------------- *)
+
+let topology_arg =
+  let doc =
+    "Topology: softlayer, cogent, testbed, inet1000 or inet5000."
+  in
+  Arg.(value & opt string "softlayer" & info [ "topology"; "t" ] ~doc)
+
+let algo_arg =
+  let doc = "Algorithm: sofda, sofda-ss, est, enemp or st." in
+  Arg.(value & opt string "sofda" & info [ "algo"; "a" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
+
+let sources_arg =
+  Arg.(value & opt int 14 & info [ "sources" ] ~doc:"Candidate sources.")
+
+let dests_arg =
+  Arg.(value & opt int 6 & info [ "dests" ] ~doc:"Destinations.")
+
+let vms_arg =
+  Arg.(value & opt int 25 & info [ "vms" ] ~doc:"Available VMs.")
+
+let chain_arg =
+  Arg.(value & opt int 3 & info [ "chain" ] ~doc:"Service chain length.")
+
+let setup_arg =
+  Arg.(value & opt float 1.0 & info [ "setup-mult" ] ~doc:"Setup-cost multiplier.")
+
+let rules_arg =
+  Arg.(value & flag & info [ "rules" ] ~doc:"Also print compiled flow rules.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Write a Graphviz rendition of the forest to $(docv).")
+
+let draw ~topology ~seed ~sources ~dests ~vms ~chain ~setup =
+  let topo = topology_of_name ~seed topology in
+  let rng = Sof_util.Rng.create seed in
+  let params =
+    {
+      Sof_workload.Instance.n_vms = vms;
+      n_sources = sources;
+      n_dests = dests;
+      chain_length = chain;
+      setup_multiplier = setup;
+    }
+  in
+  (topo, Sof_workload.Instance.draw ~rng topo params)
+
+(* --- solve ---------------------------------------------------------- *)
+
+let solve_cmd =
+  let run topology algo seed sources dests vms chain setup rules dot =
+    let _, problem = draw ~topology ~seed ~sources ~dests ~vms ~chain ~setup in
+    Format.printf "%a@." Sof.Problem.pp problem;
+    match (algo_of_name algo) problem with
+    | None ->
+        prerr_endline "no feasible embedding";
+        exit 1
+    | Some forest ->
+        Sof.Validate.check_exn forest;
+        Format.printf "%a@." Sof.Forest.pp forest;
+        let setup_c, conn = Sof.Forest.cost_breakdown forest in
+        Format.printf "setup=%.3f connection=%.3f total=%.3f@." setup_c conn
+          (setup_c +. conn);
+        (match dot with
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Sof.Forest.to_dot forest);
+            close_out oc;
+            Format.printf "wrote %s@." file
+        | None -> ());
+        if rules then begin
+          let compiled = Sof_sdn.Flow_table.compile forest in
+          Format.printf "%d flow rules (max %d on one switch)@."
+            (List.length compiled)
+            (Sof_sdn.Flow_table.max_rules compiled);
+          List.iter
+            (fun (r : Sof_sdn.Flow_table.rule) ->
+              let m =
+                match r.Sof_sdn.Flow_table.matcher with
+                | Sof_sdn.Flow_table.Final -> "final"
+                | Sof_sdn.Flow_table.Stream { source; stage } ->
+                    Printf.sprintf "src=%d stage=%d" source stage
+              in
+              Format.printf "  switch %d [%s] -> %s@."
+                r.Sof_sdn.Flow_table.node m
+                (String.concat ","
+                   (List.map string_of_int r.Sof_sdn.Flow_table.next_hops)))
+            compiled
+        end
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ algo_arg $ seed_arg $ sources_arg $ dests_arg
+      $ vms_arg $ chain_arg $ setup_arg $ rules_arg $ dot_arg)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Embed a service overlay forest on a topology.")
+    term
+
+(* --- compare -------------------------------------------------------- *)
+
+let compare_cmd =
+  let run topology seed sources dests vms chain setup =
+    let _, problem = draw ~topology ~seed ~sources ~dests ~vms ~chain ~setup in
+    let t = Sof_util.Tbl.create [ "algorithm"; "total"; "#trees"; "#VMs" ] in
+    List.iter
+      (fun name ->
+        match (algo_of_name name) problem with
+        | None -> Sof_util.Tbl.add_row t [ name; "infeasible"; "-"; "-" ]
+        | Some f ->
+            Sof_util.Tbl.add_row t
+              [
+                name;
+                Printf.sprintf "%.3f" (Sof.Forest.total_cost f);
+                string_of_int (List.length f.Sof.Forest.walks);
+                string_of_int (List.length (Sof.Forest.enabled_vms f));
+              ])
+      [ "sofda"; "enemp"; "est"; "st" ];
+    Sof_util.Tbl.print t
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ seed_arg $ sources_arg $ dests_arg $ vms_arg
+      $ chain_arg $ setup_arg)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every algorithm on one instance.")
+    term
+
+(* --- qoe ------------------------------------------------------------ *)
+
+let qoe_cmd =
+  let run algo seed =
+    let topo = Sof_topology.Topology.testbed () in
+    let rng = Sof_util.Rng.create seed in
+    let params =
+      {
+        Sof_workload.Instance.n_vms = 8;
+        n_sources = 2;
+        n_dests = 4;
+        chain_length = 2;
+        setup_multiplier = 1.0;
+      }
+    in
+    let problem = Sof_workload.Instance.draw ~rng topo params in
+    match (algo_of_name algo) problem with
+    | None ->
+        prerr_endline "no feasible embedding";
+        exit 1
+    | Some forest ->
+        let sim_rng = Sof_util.Rng.create (seed + 1) in
+        let ms =
+          Sof_simnet.Sim.run ~rng:sim_rng Sof_simnet.Sim.default_config forest
+        in
+        let t =
+          Sof_util.Tbl.create
+            [ "destination"; "startup (s)"; "re-buffering (s)"; "stalls" ]
+        in
+        List.iter
+          (fun (m : Sof_simnet.Sim.metrics) ->
+            Sof_util.Tbl.add_row t
+              [
+                string_of_int m.Sof_simnet.Sim.dest;
+                Printf.sprintf "%.2f" m.Sof_simnet.Sim.startup;
+                Printf.sprintf "%.2f" m.Sof_simnet.Sim.rebuffer;
+                string_of_int m.Sof_simnet.Sim.stalls;
+              ])
+          ms;
+        Sof_util.Tbl.print t
+  in
+  Cmd.v
+    (Cmd.info "qoe"
+       ~doc:"Simulate video QoE on the 14-node testbed for one embedding.")
+    Term.(const run $ algo_arg $ seed_arg)
+
+(* --- topologies ----------------------------------------------------- *)
+
+let topologies_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        print_endline
+          (Sof_topology.Topology.stats (topology_of_name ~seed:0 name)))
+      [ "softlayer"; "cogent"; "testbed"; "inet1000" ]
+  in
+  Cmd.v
+    (Cmd.info "topologies" ~doc:"List the built-in topologies.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "sof" ~version:"1.0.0"
+      ~doc:"Service Overlay Forest embedding for software-defined cloud networks."
+  in
+  exit (Cmd.eval (Cmd.group info [ solve_cmd; compare_cmd; qoe_cmd; topologies_cmd ]))

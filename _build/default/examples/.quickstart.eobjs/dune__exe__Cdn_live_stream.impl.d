@@ -1,0 +1,1 @@
+examples/cdn_live_stream.ml: List Option Printf Sof Sof_baselines Sof_simnet Sof_topology Sof_util Sof_workload String

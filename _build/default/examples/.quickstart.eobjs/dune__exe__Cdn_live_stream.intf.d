@@ -1,0 +1,1 @@
+examples/cdn_live_stream.mli:

@@ -1,0 +1,1 @@
+examples/distributed_controllers.ml: Array List Printf Sof Sof_graph Sof_sdn Sof_topology Sof_util Sof_workload

@@ -1,0 +1,1 @@
+examples/dynamic_membership.ml: Fun List Printf Sof Sof_topology Sof_util Sof_workload

@@ -1,0 +1,1 @@
+examples/online_adaptive.ml: Option Printf Sof Sof_topology Sof_util Sof_workload

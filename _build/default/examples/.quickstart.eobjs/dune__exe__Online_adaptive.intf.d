@@ -1,0 +1,1 @@
+examples/online_adaptive.mli:

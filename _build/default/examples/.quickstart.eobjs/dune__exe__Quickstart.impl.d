@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Sof Sof_graph Sof_sdn

@@ -1,0 +1,1 @@
+examples/vr_edge_multicast.ml: List Option Printf Sof Sof_baselines Sof_sdn Sof_topology Sof_util Sof_workload

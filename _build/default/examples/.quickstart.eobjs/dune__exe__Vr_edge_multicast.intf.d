@@ -1,0 +1,1 @@
+examples/vr_edge_multicast.mli:

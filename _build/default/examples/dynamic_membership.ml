@@ -1,0 +1,79 @@
+(* Dynamic operations on a live forest (Section VII-C): destinations join
+   and leave, VNFs are inserted and deleted, and a congested link is
+   re-routed — all without re-running SOFDA from scratch.
+
+   Run with:  dune exec examples/dynamic_membership.exe *)
+
+let show label (forest : Sof.Forest.t) =
+  Sof.Validate.check_exn forest;
+  Printf.printf "%-28s cost=%7.2f  dests=%-2d  VMs=%d  chain=%d\n" label
+    (Sof.Forest.total_cost forest)
+    (List.length forest.Sof.Forest.problem.Sof.Problem.dests)
+    (List.length (Sof.Forest.enabled_vms forest))
+    forest.Sof.Forest.problem.Sof.Problem.chain_length
+
+let () =
+  let topo = Sof_topology.Topology.softlayer () in
+  let rng = Sof_util.Rng.create 7 in
+  let params =
+    {
+      Sof_workload.Instance.n_vms = 15;
+      n_sources = 4;
+      n_dests = 5;
+      chain_length = 2;
+      setup_multiplier = 1.0;
+    }
+  in
+  let problem = Sof_workload.Instance.draw ~rng topo params in
+  match Sof.Sofda.solve problem with
+  | None -> print_endline "initial embedding infeasible"
+  | Some r ->
+      let forest = r.Sof.Sofda.forest in
+      show "initial SOFDA embedding" forest;
+
+      (* A new subscriber joins. *)
+      let newcomer =
+        List.find
+          (fun v -> not (Sof.Problem.is_dest problem v))
+          (List.init 27 Fun.id)
+      in
+      (match Sof.Dynamic.destination_join forest newcomer with
+      | None -> print_endline "join infeasible"
+      | Some joined ->
+          show
+            (Printf.sprintf "after node %d joins" newcomer)
+            joined.Sof.Dynamic.forest;
+
+          (* An original subscriber leaves again. *)
+          let leaver = List.hd problem.Sof.Problem.dests in
+          let left =
+            Sof.Dynamic.destination_leave joined.Sof.Dynamic.forest leaver
+          in
+          show
+            (Printf.sprintf "after node %d leaves" leaver)
+            left.Sof.Dynamic.forest;
+
+          (* The operator adds a DPI function in front of the chain... *)
+          (match Sof.Dynamic.vnf_insert left.Sof.Dynamic.forest ~at:1 with
+          | None -> print_endline "insert infeasible"
+          | Some dpi ->
+              show "after inserting f1 (DPI)" dpi.Sof.Dynamic.forest;
+
+              (* ... and later drops it again. *)
+              let dropped =
+                Sof.Dynamic.vnf_delete dpi.Sof.Dynamic.forest ~vnf:1
+              in
+              show "after deleting the DPI" dropped.Sof.Dynamic.forest;
+
+              (* A link on the forest congests; re-route around it. *)
+              (match Sof.Forest.paid_edges dropped.Sof.Dynamic.forest with
+              | (u, v) :: _ -> (
+                  match
+                    Sof.Dynamic.reroute_link dropped.Sof.Dynamic.forest ~u ~v
+                  with
+                  | Some rerouted ->
+                      show
+                        (Printf.sprintf "after re-routing link (%d,%d)" u v)
+                        rerouted.Sof.Dynamic.forest
+                  | None -> print_endline "no alternative route")
+              | [] -> ())))

@@ -1,0 +1,50 @@
+(* Quickstart: build a tiny network by hand, embed a 2-VNF service chain
+   for two destinations, and inspect the resulting service overlay forest.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Graph = Sof_graph.Graph
+
+let () =
+  (* A 6-node network: one video source (0), two candidate VMs (1, 2) with
+     setup cost 1, a transit switch (3) and two subscribers (4, 5). *)
+  let graph =
+    Graph.create ~n:6
+      ~edges:
+        [
+          (0, 1, 1.0); (1, 2, 1.0); (2, 3, 0.5); (3, 4, 1.0); (3, 5, 1.0);
+          (0, 3, 4.0);
+        ]
+  in
+  let problem =
+    Sof.Problem.make ~graph
+      ~node_cost:[| 0.0; 1.0; 1.0; 0.0; 0.0; 0.0 |]
+      ~vms:[ 1; 2 ] ~sources:[ 0 ] ~dests:[ 4; 5 ] ~chain_length:2
+  in
+  Format.printf "%a@." Sof.Problem.pp problem;
+
+  (* Embed with SOFDA (the paper's 3-rho_ST approximation). *)
+  match Sof.Sofda.solve problem with
+  | None -> print_endline "no feasible embedding"
+  | Some report ->
+      let forest = report.Sof.Sofda.forest in
+      Sof.Validate.check_exn forest;
+      Format.printf "%a@." Sof.Forest.pp forest;
+      let setup, connection = Sof.Forest.cost_breakdown forest in
+      Format.printf "setup = %.2f, connection = %.2f, total = %.2f@." setup
+        connection
+        (Sof.Forest.total_cost forest);
+
+      (* The same instance through the single-source algorithm. *)
+      (match Sof.Sofda_ss.solve problem ~source:0 with
+      | Some ss ->
+          Format.printf "SOFDA-SS picks last VM %d at total cost %.2f@."
+            ss.Sof.Sofda_ss.last_vm
+            (Sof.Forest.total_cost ss.Sof.Sofda_ss.forest)
+      | None -> ());
+
+      (* Compile the forest into per-switch forwarding rules. *)
+      let rules = Sof_sdn.Flow_table.compile forest in
+      Format.printf "flow rules: %d total, busiest switch installs %d@."
+        (List.length rules)
+        (Sof_sdn.Flow_table.max_rules rules)

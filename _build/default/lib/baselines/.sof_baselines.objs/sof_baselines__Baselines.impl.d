@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Array Hashtbl List Option Sof Sof_graph Sof_steiner

@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Sof

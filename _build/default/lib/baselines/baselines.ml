@@ -1,0 +1,265 @@
+module Graph = Sof_graph.Graph
+module Steiner = Sof_steiner.Steiner
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Transform = Sof.Transform
+
+type mode = Free_vm | Tree_vm
+
+(* One service tree: a chain from [source] to [last_vm], a connector from
+   the last VM into the Steiner tree, and the tree itself. *)
+type tsol = {
+  source : int;
+  chain : Transform.result;
+  last_vm : int;
+  connector : int list; (* hops from last_vm into the tree; [] if on tree *)
+  connect_cost : float;
+  tree : Steiner.tree;
+  dests : int list;
+}
+
+let tree_nodes_tbl tree =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace tbl v ()) (Steiner.tree_nodes tree);
+  tbl
+
+(* Cheapest hook-up of [u] to the tree: 0 when [u] is spanned, else the
+   shortest path to the nearest tree node. *)
+let connect t u tree =
+  let nodes = tree_nodes_tbl tree in
+  if Hashtbl.mem nodes u then Some (0.0, [])
+  else begin
+    let best = ref None in
+    Hashtbl.iter
+      (fun x () ->
+        let d = Transform.distance t u x in
+        match !best with
+        | Some (bd, _) when bd <= d -> ()
+        | _ -> if d < infinity then best := Some (d, x))
+      nodes;
+    match !best with
+    | None -> None
+    | Some (d, x) -> Some (d, Transform.shortest_path t u x)
+  end
+
+let to_walk tsol =
+  let marks =
+    List.mapi
+      (fun i (pos, _vm) -> { Forest.pos; vnf = i + 1 })
+      tsol.chain.Transform.vm_marks
+  in
+  let hops =
+    match tsol.connector with
+    | [] -> tsol.chain.Transform.hops
+    | _ :: tail -> Array.append tsol.chain.Transform.hops (Array.of_list tail)
+  in
+  { Forest.source = tsol.source; hops; marks }
+
+let build_forest problem tsols =
+  let walks = List.map to_walk tsols in
+  let delivery =
+    List.concat_map
+      (fun s -> List.map (fun (a, b, _) -> (a, b)) s.tree.Steiner.edges)
+      tsols
+  in
+  Forest.make problem ~walks ~delivery
+
+(* Best chain + connector for a fixed tree, over the allowed last VMs. *)
+let graft t problem mode ~source ~tree ~exclude =
+  let nodes = tree_nodes_tbl tree in
+  let all =
+    List.filter (fun v -> not (exclude v)) problem.Problem.vms
+  in
+  let candidates =
+    match mode with
+    | Free_vm -> all
+    | Tree_vm ->
+        (* NEMP hosts the VNFs on the tree itself: a VM qualifies when it
+           is spanned or hangs directly off a spanned node (VMs attach to
+           data centers by an access link). *)
+        let touches_tree v =
+          Hashtbl.mem nodes v
+          || Sof_graph.Graph.fold_neighbors problem.Problem.graph v
+               (fun acc u _ -> acc || Hashtbl.mem nodes u)
+               false
+        in
+        let on_tree = List.filter touches_tree all in
+        if on_tree <> [] then on_tree else all
+  in
+  (* The paper's construction is chain-first: take the shortest service
+     chain (ties broken towards the tree), then hook it up at minimum
+     cost — it does NOT optimize chain + hook-up jointly, which is exactly
+     the blind spot SOFDA exploits. *)
+  let consider best u =
+    match
+      Transform.chain_walk ~exclude t ~src:source ~last_vm:u
+        ~num_vnfs:problem.Problem.chain_length
+    with
+    | None -> best
+    | Some chain -> (
+        match connect t u tree with
+        | None -> best
+        | Some (cx, path) -> (
+            let key = (chain.Transform.cost, cx) in
+            match best with
+            | Some (bkey, _, _, _, _) when bkey <= key -> best
+            | _ -> Some (key, u, chain, cx, path)))
+  in
+  Option.map
+    (fun (_, u, chain, cx, path) -> (u, chain, cx, path))
+    (List.fold_left consider None candidates)
+
+let make_tsol t problem mode ~source ~dests ~exclude =
+  match
+    Steiner.approx_in problem.Problem.graph (Transform.closure t)
+      (source :: dests)
+  with
+  | exception Invalid_argument _ -> None
+  | tree -> (
+      match graft t problem mode ~source ~tree ~exclude with
+      | None -> None
+      | Some (u, chain, connect_cost, connector) ->
+          Some { source; chain; last_vm = u; connector; connect_cost; tree; dests })
+
+let standalone_cost s =
+  s.tree.Steiner.weight +. s.chain.Transform.cost +. s.connect_cost
+
+(* Reassign every destination to its closest tree (by distance from the
+   tree's last VM) and rebuild each tree over its assigned destinations;
+   trees left without destinations are dropped. *)
+let reassign t problem tsols =
+  let assigned = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      let best = ref None in
+      List.iteri
+        (fun i s ->
+          let dist = Transform.distance t s.last_vm d in
+          match !best with
+          | Some (bd, _) when bd <= dist -> ()
+          | _ -> best := Some (dist, i))
+        tsols;
+      match !best with
+      | Some (_, i) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt assigned i) in
+          Hashtbl.replace assigned i (d :: prev)
+      | None -> ())
+    problem.Problem.dests;
+  let rebuilt =
+    List.mapi
+      (fun i s ->
+        match Hashtbl.find_opt assigned i with
+        | None | Some [] -> None
+        | Some ds ->
+            if List.sort compare ds = List.sort compare s.dests then
+              Some (Some s)
+            else
+              (* keep the committed chain; rebuild tree + connector *)
+              (match
+                 Steiner.approx_in problem.Problem.graph (Transform.closure t)
+                   (s.source :: ds)
+               with
+              | exception Invalid_argument _ -> Some None
+              | tree -> (
+                  match connect t s.last_vm tree with
+                  | None -> Some None
+                  | Some (cx, connector) ->
+                      Some
+                        (Some
+                           {
+                             s with
+                             tree;
+                             connector;
+                             connect_cost = cx;
+                             dests = ds;
+                           }))))
+      tsols
+  in
+  if List.exists (fun x -> x = Some None) rebuilt then None
+  else Some (List.filter_map (fun x -> Option.join x) rebuilt)
+
+let solve_multi mode problem =
+  let t = Transform.create problem in
+  let enabled = Hashtbl.create 16 in
+  let exclude v = Hashtbl.mem enabled v in
+  let mark_enabled s =
+    List.iter
+      (fun (_, vm) -> Hashtbl.replace enabled vm ())
+      s.chain.Transform.vm_marks
+  in
+  let rec iterate committed unused current_cost =
+    let candidates =
+      List.filter_map
+        (fun s ->
+          Option.map
+            (fun c -> (s, c))
+            (make_tsol t problem mode ~source:s ~dests:problem.Problem.dests
+               ~exclude))
+        unused
+    in
+    let elected =
+      List.fold_left
+        (fun best (s, c) ->
+          match best with
+          | Some (_, bc) when standalone_cost bc <= standalone_cost c -> best
+          | _ -> Some (s, c))
+        None candidates
+    in
+    match elected with
+    | None -> committed
+    | Some (src, cand) -> (
+        let tentative = committed @ [ cand ] in
+        match reassign t problem tentative with
+        | None -> committed
+        | Some rebuilt -> (
+            match build_forest problem rebuilt with
+            | forest ->
+                let cost = Forest.total_cost forest in
+                if cost < current_cost -. 1e-9 then begin
+                  mark_enabled cand;
+                  iterate rebuilt
+                    (List.filter (fun s -> s <> src) unused)
+                    cost
+                end
+                else committed
+            | exception Invalid_argument _ -> committed))
+  in
+  match iterate [] problem.Problem.sources infinity with
+  | [] -> None
+  | tsols ->
+      let forest = build_forest problem tsols in
+      if Sof.Validate.is_valid forest then Some forest else None
+
+let st problem =
+  let t = Transform.create problem in
+  let exclude _ = false in
+  (* The paper's ST first fixes the cheapest Steiner tree over all candidate
+     sources — by tree weight alone — and only then grafts a chain on. *)
+  let best_source =
+    List.fold_left
+      (fun best s ->
+        match
+          Steiner.approx_in problem.Problem.graph (Transform.closure t)
+            (s :: problem.Problem.dests)
+        with
+        | exception Invalid_argument _ -> best
+        | tree -> (
+            match best with
+            | Some (w, _) when w <= tree.Steiner.weight -> best
+            | _ -> Some (tree.Steiner.weight, s)))
+      None problem.Problem.sources
+  in
+  match best_source with
+  | None -> None
+  | Some (_, s) -> (
+      match
+        make_tsol t problem Free_vm ~source:s ~dests:problem.Problem.dests
+          ~exclude
+      with
+      | None -> None
+      | Some c ->
+          let forest = build_forest problem [ c ] in
+          if Sof.Validate.is_valid forest then Some forest else None)
+
+let est problem = solve_multi Free_vm problem
+let enemp problem = solve_multi Tree_vm problem

@@ -1,0 +1,28 @@
+(** The comparison algorithms of Section VIII-A.
+
+    All three build a {e tree-first} embedding: a Steiner tree spanning a
+    source and the destinations, with the service chain grafted on
+    afterwards — precisely the structure whose blind spots SOFDA exploits.
+
+    - [st] — the single-tree special case: cheapest Steiner tree over all
+      candidate sources, plus the cheapest chain from that source to a last
+      VM, connected to the tree at minimum cost.
+    - [est] — "enhanced Steiner Tree": [st] extended to multiple sources by
+      the paper's iterative tree-addition rule (keep adding the cheapest
+      candidate tree rooted at an unused source while the total cost of the
+      forest — each destination served by its closest tree — decreases).
+    - [enemp] — "enhanced NEMP": like [est] but the chain's last VM must be
+      a VM already spanned by the tree (the NEMP constraint), falling back
+      to the VM nearest to the tree when the tree spans none.
+
+    Outputs are ordinary {!Sof.Forest.t} values validated by
+    {!Sof.Validate}; costs are therefore directly comparable with SOFDA's. *)
+
+val st : Sof.Problem.t -> Sof.Forest.t option
+(** Single service tree (one source, one chain).  [None] when infeasible. *)
+
+val est : Sof.Problem.t -> Sof.Forest.t option
+(** Multi-source enhanced Steiner tree. *)
+
+val enemp : Sof.Problem.t -> Sof.Forest.t option
+(** Multi-source enhanced NEMP. *)

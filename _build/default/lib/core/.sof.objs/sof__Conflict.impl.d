@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array Forest Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/conflict.mli: Forest Problem

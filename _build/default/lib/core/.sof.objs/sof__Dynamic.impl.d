@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Conflict Forest Hashtbl List Option Problem Sof_graph Transform

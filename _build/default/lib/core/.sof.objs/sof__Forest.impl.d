@@ -1,0 +1,1 @@
+lib/core/forest.ml: Array Buffer Format Hashtbl List Printf Problem Sof_graph

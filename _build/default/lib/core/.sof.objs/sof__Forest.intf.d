@@ -1,0 +1,1 @@
+lib/core/forest.mli: Format Problem

@@ -1,0 +1,1 @@
+lib/core/ip_model.ml: Array Forest Fun Hashtbl List Option Printf Problem Sof_graph Sof_lp

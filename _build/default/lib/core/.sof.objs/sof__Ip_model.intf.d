@@ -1,0 +1,1 @@
+lib/core/ip_model.mli: Forest Problem Sof_lp

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Float Format List Printf Sof_graph

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Format Sof_graph

@@ -1,0 +1,1 @@
+lib/core/sofda.ml: Array Conflict Forest Hashtbl List Option Problem Sof_graph Sof_steiner Sofda_ss Transform

@@ -1,0 +1,1 @@
+lib/core/sofda.mli: Forest Problem Transform

@@ -1,0 +1,1 @@
+lib/core/sofda_ss.ml: Forest List Option Problem Sof_steiner Transform

@@ -1,0 +1,1 @@
+lib/core/sofda_ss.mli: Forest Problem Transform

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Hashtbl List Printf Problem Sof_graph Sof_kstroll

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Problem Sof_graph

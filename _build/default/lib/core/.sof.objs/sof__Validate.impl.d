@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Forest Hashtbl List Printf Problem Sof_graph String

@@ -1,0 +1,241 @@
+type walk = Forest.walk
+
+let mark_vm (w : walk) (m : Forest.mark) = w.Forest.hops.(m.Forest.pos)
+
+(* All (vm, vnf) assignments of a walk. *)
+let assignments (w : walk) =
+  List.map (fun m -> (mark_vm w m, m.Forest.vnf)) w.Forest.marks
+
+let has_conflict walks =
+  let enabled = Hashtbl.create 16 in
+  List.exists
+    (fun w ->
+      List.exists
+        (fun (vm, vnf) ->
+          match Hashtbl.find_opt enabled vm with
+          | Some f when f <> vnf -> true
+          | Some _ -> false
+          | None ->
+              Hashtbl.replace enabled vm vnf;
+              false)
+        (assignments w))
+    walks
+
+(* [prefix w pos] = hops[0..pos] with the marks at positions <= pos.
+   [suffix w pos ~keep_above] = hops[pos..] (re-indexed) with the marks at
+   positions > pos whose vnf exceeds [keep_above]. *)
+let prefix (w : walk) pos =
+  ( Array.sub w.Forest.hops 0 (pos + 1),
+    List.filter (fun (m : Forest.mark) -> m.Forest.pos <= pos) w.Forest.marks )
+
+let suffix (w : walk) pos ~keep_above =
+  let hops =
+    Array.sub w.Forest.hops pos (Array.length w.Forest.hops - pos)
+  in
+  let marks =
+    List.filter_map
+      (fun (m : Forest.mark) ->
+        if m.Forest.pos > pos && m.Forest.vnf > keep_above then
+          Some { Forest.pos = m.Forest.pos - pos; vnf = m.Forest.vnf }
+        else None)
+      w.Forest.marks
+  in
+  (hops, marks)
+
+(* Middle segment hops[a..b] of a walk, marks dropped (pass-through). *)
+let segment (w : walk) a b = Array.sub w.Forest.hops a (b - a + 1)
+
+(* Concatenate hop arrays that agree on their junction nodes. *)
+let join_hops pieces =
+  match pieces with
+  | [] -> [||]
+  | first :: rest ->
+      let buf = ref (Array.to_list first) in
+      List.iter
+        (fun piece ->
+          match Array.to_list piece with
+          | [] -> ()
+          | j :: tail ->
+              assert (List.nth !buf (List.length !buf - 1) = j);
+              buf := !buf @ tail)
+        rest;
+      Array.of_list !buf
+
+let rebuild source pieces marks_pieces =
+  let hops = join_hops pieces in
+  (* marks_pieces carry (offset, marks) where offset is the hop index at
+     which the piece starts in the concatenation. *)
+  let marks =
+    List.concat_map
+      (fun (offset, marks) ->
+        List.map
+          (fun (m : Forest.mark) ->
+            { Forest.pos = m.Forest.pos + offset; vnf = m.Forest.vnf })
+          marks)
+      marks_pieces
+  in
+  let marks = List.sort (fun a b -> compare a.Forest.pos b.Forest.pos) marks in
+  { Forest.source; hops; marks }
+
+let remove_loops (w : walk) =
+  let has_mark_between marks a b =
+    List.exists
+      (fun (m : Forest.mark) -> m.Forest.pos > a && m.Forest.pos <= b)
+      marks
+  in
+  let rec shrink (w : walk) =
+    let n = Array.length w.Forest.hops in
+    let last_seen = Hashtbl.create n in
+    let cut = ref None in
+    (try
+       for i = 0 to n - 1 do
+         let v = w.Forest.hops.(i) in
+         (match Hashtbl.find_opt last_seen v with
+         | Some j when not (has_mark_between w.Forest.marks j i) ->
+             cut := Some (j, i);
+             raise Exit
+         | _ -> ());
+         Hashtbl.replace last_seen v i
+       done
+     with Exit -> ());
+    match !cut with
+    | None -> w
+    | Some (j, i) ->
+        let hops =
+          Array.append
+            (Array.sub w.Forest.hops 0 (j + 1))
+            (Array.sub w.Forest.hops (i + 1) (n - i - 1))
+        in
+        let shiftd = i - j in
+        let marks =
+          List.map
+            (fun (m : Forest.mark) ->
+              if m.Forest.pos > i then
+                { Forest.pos = m.Forest.pos - shiftd; vnf = m.Forest.vnf }
+              else m)
+            w.Forest.marks
+        in
+        shrink { w with Forest.hops = hops; Forest.marks = marks }
+  in
+  shrink w
+
+(* First conflict of walk [w] against the enabled map, scanning marks from
+   the last VNF backwards (the paper's "backtracking W"). *)
+let first_conflict enabled (w : walk) =
+  let rec scan = function
+    | [] -> None
+    | (m : Forest.mark) :: rest -> (
+        let vm = mark_vm w m in
+        match Hashtbl.find_opt enabled vm with
+        | Some (other_vnf, owner) when other_vnf <> m.Forest.vnf ->
+            Some (m, vm, other_vnf, owner)
+        | _ -> scan rest)
+  in
+  scan (List.rev w.Forest.marks)
+
+(* Position of the mark of [w] sitting on [vm]. *)
+let mark_of_vm (w : walk) vm =
+  List.find_opt (fun (m : Forest.mark) -> mark_vm w m = vm) w.Forest.marks
+
+(* Resolve the conflict between [w] (later) and [w1] (earlier) at VM [u]
+   where [w] wants vnf [j] and [w1] runs vnf [i].  Returns replacement
+   walks (w1', w'). *)
+let resolve_pair (w1 : walk) (w : walk) ~u ~j ~i =
+  let m1 =
+    match mark_of_vm w1 u with Some m -> m | None -> assert false
+  in
+  let mw = match mark_of_vm w u with Some m -> m | None -> assert false in
+  if j <= i then begin
+    (* Case 1: ride w1's prefix through u; w provides f_{i+1}.. after u. *)
+    let ph, pm = prefix w1 m1.Forest.pos in
+    let sh, sm = suffix w mw.Forest.pos ~keep_above:i in
+    let offset = Array.length ph - 1 in
+    let w' =
+      rebuild w1.Forest.source [ ph; sh ] [ (0, pm); (offset, sm) ]
+    in
+    (w1, w')
+  end
+  else begin
+    (* Case 2: some shared VM w carries index h >= j on w1. *)
+    let shared =
+      List.filter_map
+        (fun (mh : Forest.mark) ->
+          let vm = mark_vm w1 mh in
+          match mark_of_vm w vm with
+          | Some mw_shared
+            when mh.Forest.vnf >= j && mh.Forest.vnf <> mw_shared.Forest.vnf ->
+              Some (mh, mw_shared)
+          | _ -> None)
+        w1.Forest.marks
+    in
+    match shared with
+    | (mh, mw_shared) :: _ ->
+        let h = mh.Forest.vnf in
+        let ph, pm = prefix w1 mh.Forest.pos in
+        (* detour: w's hops from the shared VM to u, then w's suffix. *)
+        let detour = segment w (min mw_shared.Forest.pos mw.Forest.pos)
+            (max mw_shared.Forest.pos mw.Forest.pos) in
+        let detour =
+          if mw_shared.Forest.pos <= mw.Forest.pos then detour
+          else begin
+            let d = Array.copy detour in
+            let n = Array.length d in
+            Array.iteri (fun k _ -> d.(k) <- detour.(n - 1 - k)) detour;
+            d
+          end
+        in
+        let sh, sm = suffix w mw.Forest.pos ~keep_above:h in
+        let off_detour = Array.length ph - 1 in
+        let off_suffix = off_detour + Array.length detour - 1 in
+        let w' =
+          rebuild w1.Forest.source
+            [ ph; detour; sh ]
+            [ (0, pm); (off_suffix, sm) ]
+        in
+        (w1, w')
+    | [] ->
+        (* Case 3: re-root w1 onto w's prefix through u. *)
+        let ph, pm = prefix w mw.Forest.pos in
+        let sh, sm = suffix w1 m1.Forest.pos ~keep_above:j in
+        let offset = Array.length ph - 1 in
+        let w1' =
+          rebuild w.Forest.source [ ph; sh ] [ (0, pm); (offset, sm) ]
+        in
+        (w1', w)
+  end
+
+let resolve problem walks =
+  ignore problem;
+  let arr = Array.of_list walks in
+  let bound = 100 + (Array.length arr * Array.length arr * 64) in
+  let steps = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    incr steps;
+    if !steps > bound then failwith "Conflict.resolve: fixpoint not reached";
+    (* Enabled map: vm -> (vnf, owner index), owners in walk order. *)
+    let enabled = Hashtbl.create 16 in
+    (try
+       for idx = 0 to Array.length arr - 1 do
+         let w = arr.(idx) in
+         match first_conflict enabled w with
+         | Some (m, vm, other_vnf, owner) ->
+             let w1 = arr.(owner) in
+             let w1', w' =
+               resolve_pair w1 w ~u:vm ~j:m.Forest.vnf ~i:other_vnf
+             in
+             arr.(owner) <- remove_loops w1';
+             arr.(idx) <- remove_loops w';
+             progress := true;
+             raise Exit
+         | None ->
+             List.iter
+               (fun (vm, vnf) ->
+                 if not (Hashtbl.mem enabled vm) then
+                   Hashtbl.replace enabled vm (vnf, idx))
+               (assignments w)
+       done
+     with Exit -> ())
+  done;
+  Array.to_list arr

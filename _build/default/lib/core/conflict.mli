@@ -1,0 +1,29 @@
+(** VNF-conflict elimination between service-chain walks (Procedure 4).
+
+    When the Steiner tree of SOFDA's auxiliary graph selects several
+    candidate service chains, their walks may demand {e different} VNFs on
+    the same VM — infeasible, since a VM runs one VNF.  The paper resolves a
+    conflict between a walk [W] (at its first conflicting VM [u], scanning
+    from the last VM backwards) and an earlier walk [W1] by one of three
+    attachments, none of which adds links or enables new VMs:
+
+    + if [W]'s VNF index [j] at [u] is at most [W1]'s index [i], re-root
+      [W] onto [W1]'s prefix through [u];
+    + else if some other shared VM [w] carries index [h >= j] on [W1],
+      re-root [W] onto [W1]'s prefix through [w], keep [W]'s detour
+      [w .. u .. end] as pass-through;
+    + else re-root [W1] onto [W]'s prefix through [u].
+
+    [resolve] iterates these rules to a fixpoint over a whole walk set. *)
+
+val has_conflict : Forest.walk list -> bool
+(** Two walks assign different VNFs to one VM. *)
+
+val resolve : Problem.t -> Forest.walk list -> Forest.walk list
+(** Conflict-free rewriting of the walks (order preserved).  Also removes
+    VNF-free loops from each walk (clones that serve no purpose after
+    re-rooting).  @raise Failure if the fixpoint does not settle within a
+    generous bound — indicates a bug, never expected. *)
+
+val remove_loops : Forest.walk -> Forest.walk
+(** Cut [x .. x] hop cycles that contain no VNF mark. *)

@@ -1,0 +1,506 @@
+module Graph = Sof_graph.Graph
+
+type update = { problem : Problem.t; forest : Forest.t }
+
+let remake (p : Problem.t) ?dests ?chain_length () =
+  Problem.make ~graph:p.Problem.graph ~node_cost:p.Problem.node_cost
+    ~vms:p.Problem.vms ~sources:p.Problem.sources
+    ~dests:(Option.value ~default:p.Problem.dests dests)
+    ~chain_length:(Option.value ~default:p.Problem.chain_length chain_length)
+
+(* Number of VNFs applied when leaving hop [i]. *)
+let stage_at (w : Forest.walk) i =
+  List.fold_left
+    (fun acc (m : Forest.mark) -> if m.Forest.pos <= i then m.Forest.vnf else acc)
+    0 w.Forest.marks
+
+let walk_nodes (w : Forest.walk) = Array.to_list w.Forest.hops
+
+let forest_nodes (f : Forest.t) =
+  List.sort_uniq compare
+    (List.concat_map walk_nodes f.Forest.walks
+    @ List.concat_map (fun (a, b) -> [ a; b ]) f.Forest.delivery)
+
+let enabled_map (f : Forest.t) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (vm, vnf) -> Hashtbl.replace tbl vm vnf) (Forest.enabled_vms f);
+  tbl
+
+let path_edges path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go ((a, b) :: acc) rest
+    | _ -> acc
+  in
+  go [] path
+
+(* ------------------------------------------------------------------ *)
+
+let destination_leave (f : Forest.t) v =
+  let p = f.Forest.problem in
+  if not (Problem.is_dest p v) then
+    invalid_arg "Dynamic.destination_leave: not a destination";
+  let dests = List.filter (fun d -> d <> v) p.Problem.dests in
+  if dests = [] then
+    invalid_arg "Dynamic.destination_leave: cannot remove the last destination";
+  let problem = remake p ~dests () in
+  (* Protect remaining destinations and every walk hop; prune the rest of
+     the dangling delivery branch. *)
+  let protected_tbl = Hashtbl.create 32 in
+  List.iter (fun d -> Hashtbl.replace protected_tbl d ()) dests;
+  List.iter
+    (fun w -> List.iter (fun x -> Hashtbl.replace protected_tbl x ()) (walk_nodes w))
+    f.Forest.walks;
+  let weighted =
+    List.map (fun (a, b) -> (a, b, 1.0)) f.Forest.delivery
+  in
+  let pruned =
+    Sof_graph.Traversal.prune_steiner_leaves weighted
+      ~keep:(Hashtbl.mem protected_tbl)
+  in
+  let delivery = List.map (fun (a, b, _) -> (a, b)) pruned in
+  let forest = Forest.make problem ~walks:f.Forest.walks ~delivery in
+  { problem; forest }
+
+(* ------------------------------------------------------------------ *)
+
+let destination_join (f : Forest.t) v =
+  let p = f.Forest.problem in
+  let l = p.Problem.chain_length in
+  if Problem.is_dest p v then invalid_arg "Dynamic.destination_join: already a destination";
+  let enabled = enabled_map f in
+  let exclude vm = Hashtbl.mem enabled vm in
+  let extra = forest_nodes f in
+  let t = Transform.create ~extra p in
+  (* Candidate attachment points: every walk hop with its stage; delivery
+     nodes carry the complete stream (stage = |C|). *)
+  let candidates = ref [] in
+  List.iteri
+    (fun wi w ->
+      Array.iteri
+        (fun i u -> candidates := (`Walk (wi, i), u, stage_at w i) :: !candidates)
+        w.Forest.hops)
+    f.Forest.walks;
+  List.iter
+    (fun (a, b) ->
+      candidates := (`Delivery, a, l) :: (`Delivery, b, l) :: !candidates)
+    f.Forest.delivery;
+  let best = ref None in
+  List.iter
+    (fun (kind, u, s) ->
+      let attempt =
+        if s >= l then
+          (* pure delivery graft: shortest path, no new VNFs *)
+          Transform.relay_walk t ~src:u ~dst:v ~num_vnfs:0
+        else Transform.relay_walk ~exclude t ~src:u ~dst:v ~num_vnfs:(l - s)
+      in
+      match attempt with
+      | None -> ()
+      | Some r -> (
+          match !best with
+          | Some (c, _, _, _, _) when c <= r.Transform.cost -> ()
+          | _ -> best := Some (r.Transform.cost, kind, u, s, r)))
+    !candidates;
+  match !best with
+  | None -> None
+  | Some (_, kind, _u, s, relay) ->
+      let problem = remake p ~dests:(v :: p.Problem.dests) () in
+      let forest =
+        match kind with
+        | `Delivery ->
+            let delivery =
+              f.Forest.delivery
+              @ path_edges (Array.to_list relay.Transform.hops)
+            in
+            Forest.make problem ~walks:f.Forest.walks ~delivery
+        | `Walk (wi, i) when s >= l ->
+            ignore wi;
+            ignore i;
+            let delivery =
+              f.Forest.delivery
+              @ path_edges (Array.to_list relay.Transform.hops)
+            in
+            Forest.make problem ~walks:f.Forest.walks ~delivery
+        | `Walk (wi, i) ->
+            let w = List.nth f.Forest.walks wi in
+            let prefix = Array.sub w.Forest.hops 0 (i + 1) in
+            let hops =
+              Array.append prefix
+                (Array.sub relay.Transform.hops 1
+                   (Array.length relay.Transform.hops - 1))
+            in
+            let prefix_marks =
+              List.filter (fun (m : Forest.mark) -> m.Forest.pos <= i) w.Forest.marks
+            in
+            let relay_marks =
+              List.mapi
+                (fun k (pos, _vm) -> { Forest.pos = pos + i; vnf = s + k + 1 })
+                relay.Transform.vm_marks
+            in
+            let nw =
+              {
+                Forest.source = w.Forest.source;
+                hops;
+                marks = prefix_marks @ relay_marks;
+              }
+            in
+            Forest.make problem ~walks:(f.Forest.walks @ [ nw ])
+              ~delivery:f.Forest.delivery
+      in
+      Some { problem; forest }
+
+(* ------------------------------------------------------------------ *)
+
+let vnf_delete (f : Forest.t) ~vnf =
+  let p = f.Forest.problem in
+  let l = p.Problem.chain_length in
+  if vnf < 1 || vnf > l then invalid_arg "Dynamic.vnf_delete: bad index";
+  if l = 1 then invalid_arg "Dynamic.vnf_delete: chain would become empty";
+  let problem = remake p ~chain_length:(l - 1) () in
+  let walks =
+    List.map
+      (fun (w : Forest.walk) ->
+        let marks =
+          List.filter_map
+            (fun (m : Forest.mark) ->
+              if m.Forest.vnf = vnf then None
+              else if m.Forest.vnf > vnf then
+                Some { m with Forest.vnf = m.Forest.vnf - 1 }
+              else Some m)
+            w.Forest.marks
+        in
+        Conflict.remove_loops { w with Forest.marks = marks })
+      f.Forest.walks
+  in
+  let forest = Forest.make problem ~walks ~delivery:f.Forest.delivery in
+  { problem; forest }
+
+(* ------------------------------------------------------------------ *)
+
+(* Replace the hop interval (from_pos .. to_pos) of [w] by
+   path1 @ [via] @ path2 where path1 runs from hops.(from_pos) to [via] and
+   path2 from [via] to hops.(to_pos); [vnf] is marked on [via].  Marks
+   inside the replaced interval are dropped (callers arrange that none are
+   needed); later marks shift. *)
+let splice (w : Forest.walk) ~from_pos ~to_pos ~path1 ~path2 ~via ~vnf =
+  let before = Array.sub w.Forest.hops 0 (from_pos + 1) in
+  let p1 = Array.of_list (List.tl path1) in
+  let p2 = Array.of_list (List.tl path2) in
+  let after =
+    Array.sub w.Forest.hops (to_pos + 1)
+      (Array.length w.Forest.hops - to_pos - 1)
+  in
+  let hops = Array.concat [ before; p1; p2; after ] in
+  let via_pos = from_pos + Array.length p1 in
+  assert (hops.(via_pos) = via);
+  let shift = Array.length p1 + Array.length p2 - (to_pos - from_pos) in
+  let marks =
+    List.filter_map
+      (fun (m : Forest.mark) ->
+        if m.Forest.pos <= from_pos then Some m
+        else if m.Forest.pos < to_pos then None
+        else Some { m with Forest.pos = m.Forest.pos + shift })
+      w.Forest.marks
+  in
+  let marks =
+    List.sort
+      (fun (a : Forest.mark) b -> compare a.Forest.pos b.Forest.pos)
+      ({ Forest.pos = via_pos; vnf } :: marks)
+  in
+  { w with Forest.hops = hops; marks }
+
+let vnf_insert (f : Forest.t) ~at =
+  let p = f.Forest.problem in
+  let l = p.Problem.chain_length in
+  if at < 1 || at > l + 1 then invalid_arg "Dynamic.vnf_insert: bad position";
+  let problem = remake p ~chain_length:(l + 1) () in
+  (* Renumber existing marks: old vnf >= at becomes vnf + 1. *)
+  let renumber (w : Forest.walk) =
+    {
+      w with
+      Forest.marks =
+        List.map
+          (fun (m : Forest.mark) ->
+            if m.Forest.vnf >= at then { m with Forest.vnf = m.Forest.vnf + 1 }
+            else m)
+          w.Forest.marks;
+    }
+  in
+  let walks = List.map renumber f.Forest.walks in
+  let extra = forest_nodes f in
+  let t = Transform.create ~extra p in
+  let enabled = Hashtbl.create 16 in
+  List.iter
+    (fun (w : Forest.walk) ->
+      List.iter
+        (fun (m : Forest.mark) ->
+          Hashtbl.replace enabled w.Forest.hops.(m.Forest.pos) m.Forest.vnf)
+        w.Forest.marks)
+    walks;
+  let process (w : Forest.walk) =
+    let prev_pos =
+      List.fold_left
+        (fun acc (m : Forest.mark) ->
+          if m.Forest.vnf = at - 1 then m.Forest.pos else acc)
+        0 w.Forest.marks
+    in
+    let next_pos =
+      match
+        List.find_opt (fun (m : Forest.mark) -> m.Forest.vnf = at + 1) w.Forest.marks
+      with
+      | Some m -> m.Forest.pos
+      | None -> Array.length w.Forest.hops - 1
+    in
+    let prev_node = w.Forest.hops.(prev_pos)
+    and next_node = w.Forest.hops.(next_pos) in
+    let best = ref None in
+    List.iter
+      (fun vm ->
+        let ok =
+          match Hashtbl.find_opt enabled vm with
+          | None -> vm <> prev_node && vm <> next_node
+          | Some j -> j = at && vm <> prev_node && vm <> next_node
+        in
+        if ok then begin
+          let c =
+            Transform.distance t prev_node vm
+            +. Problem.setup_cost p vm
+            +. Transform.distance t vm next_node
+          in
+          match !best with
+          | Some (bc, _) when bc <= c -> ()
+          | _ -> if c < infinity then best := Some (c, vm)
+        end)
+      p.Problem.vms;
+    match !best with
+    | None -> None
+    | Some (_, vm) ->
+        let path1 = Transform.shortest_path t prev_node vm in
+        let path2 = List.rev (Transform.shortest_path t next_node vm) in
+        Hashtbl.replace enabled vm at;
+        Some (splice w ~from_pos:prev_pos ~to_pos:next_pos ~path1 ~path2 ~via:vm ~vnf:at)
+  in
+  let rec map_all acc = function
+    | [] -> Some (List.rev acc)
+    | w :: rest -> (
+        match process w with
+        | None -> None
+        | Some w' -> map_all (w' :: acc) rest)
+  in
+  match map_all [] walks with
+  | None -> None
+  | Some walks ->
+      let forest = Forest.make problem ~walks ~delivery:f.Forest.delivery in
+      Some { problem; forest }
+
+(* ------------------------------------------------------------------ *)
+
+let segment_uses_edge hops a b u v =
+  let rec scan i =
+    if i >= b then false
+    else
+      let x = hops.(i) and y = hops.(i + 1) in
+      ((x = u && y = v) || (x = v && y = u)) || scan (i + 1)
+  in
+  scan a
+
+let reroute_link (f : Forest.t) ~u ~v =
+  let p = f.Forest.problem in
+  let extra = forest_nodes f in
+  let t = Transform.create ~extra p in
+  (* Anchors: hop 0, every mark position, last hop. *)
+  let anchors (w : Forest.walk) =
+    List.sort_uniq compare
+      ((0 :: List.map (fun (m : Forest.mark) -> m.Forest.pos) w.Forest.marks)
+      @ [ Array.length w.Forest.hops - 1 ])
+  in
+  let reroute_walk (w : Forest.walk) =
+    let anchor_list = anchors w in
+    let rec segments = function
+      | a :: (b :: _ as rest) -> (a, b) :: segments rest
+      | _ -> []
+    in
+    let pieces =
+      List.map
+        (fun (a, b) ->
+          if segment_uses_edge w.Forest.hops a b u v then
+            let src = w.Forest.hops.(a) and dst = w.Forest.hops.(b) in
+            if Transform.distance t src dst = infinity then None
+            else Some (a, b, Transform.shortest_path t src dst)
+          else
+            Some
+              ( a,
+                b,
+                Array.to_list (Array.sub w.Forest.hops a (b - a + 1)) ))
+        (segments anchor_list)
+    in
+    if List.exists (fun x -> x = None) pieces then None
+    else begin
+      (* reassemble: concatenate pieces, rebuild mark positions *)
+      let mark_of_pos = Hashtbl.create 8 in
+      List.iter
+        (fun (m : Forest.mark) ->
+          Hashtbl.replace mark_of_pos m.Forest.pos m.Forest.vnf)
+        w.Forest.marks;
+      let hops = ref [ w.Forest.hops.(0) ] in
+      let marks = ref [] in
+      (match Hashtbl.find_opt mark_of_pos 0 with
+      | Some vnf -> marks := { Forest.pos = 0; vnf } :: !marks
+      | None -> ());
+      List.iter
+        (fun piece ->
+          match piece with
+          | None -> ()
+          | Some (_, b, path) ->
+              List.iteri
+                (fun k x ->
+                  if k > 0 then begin
+                    hops := x :: !hops;
+                    let pos = List.length !hops - 1 in
+                    if k = List.length path - 1 then
+                      match Hashtbl.find_opt mark_of_pos b with
+                      | Some vnf -> marks := { Forest.pos = pos; vnf } :: !marks
+                      | None -> ()
+                  end)
+                path)
+        pieces;
+      Some
+        {
+          w with
+          Forest.hops = Array.of_list (List.rev !hops);
+          marks = List.rev !marks;
+        }
+    end
+  in
+  let rec map_all acc = function
+    | [] -> Some (List.rev acc)
+    | w :: rest -> (
+        match reroute_walk w with
+        | None -> None
+        | Some w' -> map_all (w' :: acc) rest)
+  in
+  match map_all [] f.Forest.walks with
+  | None -> None
+  | Some walks ->
+      (* Delivery edge (u,v): replace by the current shortest path. *)
+      let delivery =
+        List.concat_map
+          (fun (a, b) ->
+            if (a = u && b = v) || (a = v && b = u) then
+              path_edges (Transform.shortest_path t a b)
+            else [ (a, b) ])
+          f.Forest.delivery
+      in
+      let forest = Forest.make p ~walks ~delivery in
+      Some { problem = p; forest }
+
+(* ------------------------------------------------------------------ *)
+
+let relocate_vm (f : Forest.t) ~vm =
+  let p = f.Forest.problem in
+  let enabled = enabled_map f in
+  match Hashtbl.find_opt enabled vm with
+  | None -> invalid_arg "Dynamic.relocate_vm: VM runs no VNF"
+  | Some vnf ->
+      let extra = forest_nodes f in
+      let t = Transform.create ~extra p in
+      let affected =
+        List.filter
+          (fun (w : Forest.walk) ->
+            List.exists
+              (fun (m : Forest.mark) ->
+                m.Forest.vnf = vnf && w.Forest.hops.(m.Forest.pos) = vm)
+              w.Forest.marks)
+          f.Forest.walks
+      in
+      (* Anchor pair per affected walk: previous and next anchor around the
+         vm's mark. *)
+      let anchor_pairs =
+        List.map
+          (fun (w : Forest.walk) ->
+            let pos =
+              List.fold_left
+                (fun acc (m : Forest.mark) ->
+                  if m.Forest.vnf = vnf && w.Forest.hops.(m.Forest.pos) = vm
+                  then m.Forest.pos
+                  else acc)
+                0 w.Forest.marks
+            in
+            let prev_pos =
+              List.fold_left
+                (fun acc (m : Forest.mark) ->
+                  if m.Forest.pos < pos then m.Forest.pos else acc)
+                0 w.Forest.marks
+            in
+            let next_pos =
+              match
+                List.find_opt
+                  (fun (m : Forest.mark) -> m.Forest.pos > pos)
+                  w.Forest.marks
+              with
+              | Some m -> m.Forest.pos
+              | None -> Array.length w.Forest.hops - 1
+            in
+            (w, prev_pos, pos, next_pos))
+          affected
+      in
+      let anchor_nodes =
+        List.concat_map
+          (fun (w, prev_pos, _, next_pos) ->
+            [ w.Forest.hops.(prev_pos); w.Forest.hops.(next_pos) ])
+          anchor_pairs
+      in
+      let candidates =
+        List.filter
+          (fun x ->
+            x <> vm
+            && (not (List.mem x anchor_nodes))
+            &&
+            match Hashtbl.find_opt enabled x with
+            | None -> true
+            | Some j -> j = vnf)
+          p.Problem.vms
+      in
+      let score x =
+        Problem.setup_cost p x
+        +. List.fold_left
+             (fun acc (w, prev_pos, _, next_pos) ->
+               acc
+               +. Transform.distance t w.Forest.hops.(prev_pos) x
+               +. Transform.distance t x w.Forest.hops.(next_pos))
+             0.0 anchor_pairs
+      in
+      let best =
+        List.fold_left
+          (fun acc x ->
+            let c = score x in
+            match acc with
+            | Some (bc, _) when bc <= c -> acc
+            | _ -> if c < infinity then Some (c, x) else acc)
+          None candidates
+      in
+      (match best with
+      | None -> None
+      | Some (_, x) ->
+          let walks =
+            List.map
+              (fun (w : Forest.walk) ->
+                match
+                  List.find_opt
+                    (fun (ww, _, _, _) -> ww == w)
+                    anchor_pairs
+                with
+                | None -> w
+                | Some (_, prev_pos, _, next_pos) ->
+                    let path1 =
+                      Transform.shortest_path t w.Forest.hops.(prev_pos) x
+                    in
+                    let path2 =
+                      List.rev
+                        (Transform.shortest_path t w.Forest.hops.(next_pos) x)
+                    in
+                    splice w ~from_pos:prev_pos ~to_pos:next_pos ~path1 ~path2
+                      ~via:x ~vnf)
+              f.Forest.walks
+          in
+          let forest = Forest.make p ~walks ~delivery:f.Forest.delivery in
+          Some { problem = p; forest })

@@ -1,0 +1,50 @@
+(** Dynamic adjustments of a deployed service overlay forest (Section
+    VII-C): destination join/leave, VNF insertion/deletion, and rerouting
+    around congested links or overloaded VMs.
+
+    Every operation returns a fresh {!Problem.t} (membership or chain
+    changes alter the instance) together with a forest that remains valid
+    for it; operations never touch walks that do not need to change, which
+    is the paper's point — no full SOFDA re-run per membership event. *)
+
+type update = {
+  problem : Problem.t;
+  forest : Forest.t;
+}
+
+val destination_leave : Forest.t -> int -> update
+(** Remove a destination.  If it was a delivery-tree leaf, the dangling
+    path up to the nearest branch/injection node is pruned (paper's rule 1).
+    @raise Invalid_argument when the node is not a destination. *)
+
+val destination_join : Forest.t -> int -> update option
+(** Attach a new destination at minimum incremental cost (paper's rule 2):
+    either graft onto the delivery component through a shortest path (the
+    stream there is fully processed), or branch a partial chain off a walk
+    hop where only [f_1 .. f(u)] have been applied, installing the missing
+    VNFs on fresh VMs along a k-stroll walk to the new destination.  [None]
+    when no feasible attachment exists. *)
+
+val vnf_delete : Forest.t -> vnf:int -> update
+(** Remove the [vnf]-th function from the chain (paper's rule 3): its VMs
+    become pass-through hops, later VNFs renumber down, and VNF-free
+    detours are shortcut.  @raise Invalid_argument on a bad index or when
+    the chain has length 1. *)
+
+val vnf_insert : Forest.t -> at:int -> update option
+(** Insert a new VNF so that it becomes the [at]-th function (paper's rule
+    4).  For every walk the cheapest available VM between the [at-1]-th and
+    the old [at]-th VM is spliced in (connection + setup cost minimized);
+    walks may share the spliced VM.  [None] if some walk cannot host the
+    new VNF. *)
+
+val reroute_link : Forest.t -> u:int -> v:int -> update option
+(** Re-route every walk segment and delivery path that crosses link
+    [(u,v)], using current edge costs (paper's rule 5 — call after raising
+    the congested link's cost in the problem's graph).  [None] when some
+    crossing segment admits no alternative route. *)
+
+val relocate_vm : Forest.t -> vm:int -> update option
+(** Move the VNF running on an overloaded VM to the best available
+    substitute and re-connect it to each walk's neighbouring VMs (paper's
+    rule 6).  [None] when no substitute VM exists. *)

@@ -1,0 +1,217 @@
+type mark = { pos : int; vnf : int }
+
+type walk = { source : int; hops : int array; marks : mark list }
+
+type t = {
+  problem : Problem.t;
+  walks : walk list;
+  delivery : (int * int) list;
+}
+
+let norm (u, v) = if u < v then (u, v) else (v, u)
+
+let make problem ~walks ~delivery =
+  { problem; walks; delivery = List.sort_uniq compare (List.map norm delivery) }
+
+let walk_last_vm w =
+  match List.rev w.marks with
+  | [] -> invalid_arg "Forest.walk_last_vm: walk has no marks"
+  | m :: _ -> w.hops.(m.pos)
+
+let walk_vms w = List.map (fun m -> w.hops.(m.pos)) w.marks
+
+let enabled_vms t =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun w -> List.map (fun m -> (w.hops.(m.pos), m.vnf)) w.marks)
+       t.walks)
+
+let setup_cost t =
+  let vms = List.sort_uniq compare (List.map fst (enabled_vms t)) in
+  List.fold_left (fun acc v -> acc +. Problem.setup_cost t.problem v) 0.0 vms
+
+(* Stage of hop index i = number of VNFs already applied when leaving
+   hops.(i), i.e. the count of marks with pos <= i. *)
+let stages w =
+  let n = Array.length w.hops in
+  let stage = Array.make n 0 in
+  List.iter
+    (fun m ->
+      for i = m.pos to n - 1 do
+        stage.(i) <- max stage.(i) m.vnf
+      done)
+    w.marks;
+  stage
+
+let iter_paid_edges t f =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun w ->
+      let stage = stages w in
+      for i = 0 to Array.length w.hops - 2 do
+        let e = norm (w.hops.(i), w.hops.(i + 1)) in
+        let key = (e, w.source, stage.(i)) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          f e
+        end
+      done)
+    t.walks;
+  List.iter (fun e -> f (norm e)) t.delivery
+
+let connection_cost t =
+  let acc = ref 0.0 in
+  iter_paid_edges t (fun (u, v) -> acc := !acc +. Problem.edge_cost t.problem u v);
+  !acc
+
+let paid_edges t =
+  let acc = ref [] in
+  iter_paid_edges t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let total_cost t = setup_cost t +. connection_cost t
+
+let cost_breakdown t = (setup_cost t, connection_cost t)
+
+let walk_edge_cost problem w =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length w.hops - 2 do
+    acc := !acc +. Problem.edge_cost problem w.hops.(i) w.hops.(i + 1)
+  done;
+  !acc
+
+let chain_cost problem w =
+  List.fold_left
+    (fun acc m -> acc +. Problem.setup_cost problem w.hops.(m.pos))
+    (walk_edge_cost problem w) w.marks
+
+(* Replace the hop interval [a..b] of [w] (no marks strictly inside) by
+   [path] (whose endpoints equal hops.(a) and hops.(b)). *)
+let splice_segment (w : walk) a b path =
+  let before = Array.sub w.hops 0 (a + 1) in
+  let middle =
+    match path with [] | [ _ ] -> [||] | _ :: tail -> Array.of_list tail
+  in
+  let after = Array.sub w.hops (b + 1) (Array.length w.hops - b - 1) in
+  let hops = Array.concat [ before; middle; after ] in
+  let shift = Array.length middle - (b - a) in
+  (* No marks lie strictly inside (a, b); the mark at [b] itself (and all
+     later ones) moves with the splice. *)
+  let marks =
+    List.map
+      (fun m -> if m.pos >= b then { m with pos = m.pos + shift } else m)
+      w.marks
+  in
+  { w with hops; marks }
+
+let shorten t =
+  let graph = t.problem.Problem.graph in
+  let current = ref t in
+  let try_segment wi a b =
+    let w = List.nth !current.walks wi in
+    if b > a then begin
+      match
+        Sof_graph.Dijkstra.to_target graph ~src:w.hops.(a) ~dst:w.hops.(b)
+      with
+      | None -> ()
+      | Some (_, path) ->
+          let w' = splice_segment w a b path in
+          let walks' =
+            List.mapi (fun i x -> if i = wi then w' else x) !current.walks
+          in
+          let cand = { !current with walks = walks' } in
+          if total_cost cand < total_cost !current -. 1e-12 then
+            current := cand
+    end
+  in
+  List.iteri
+    (fun wi w ->
+      (* anchors: start, every mark position, end — recomputed against the
+         current version of the walk after each accepted splice *)
+      let rec pass si =
+        let w = List.nth !current.walks wi in
+        let anchors =
+          List.sort_uniq compare
+            ((0 :: List.map (fun m -> m.pos) w.marks)
+            @ [ Array.length w.hops - 1 ])
+        in
+        if si < List.length anchors - 1 then begin
+          let a = List.nth anchors si and b = List.nth anchors (si + 1) in
+          try_segment wi a b;
+          pass (si + 1)
+        end
+      in
+      ignore w;
+      pass 0)
+    t.walks;
+  !current
+
+let pp_walk ppf w =
+  let marked = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace marked m.pos m.vnf) w.marks;
+  Format.fprintf ppf "@[<h>";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf " -> ";
+      match Hashtbl.find_opt marked i with
+      | Some f -> Format.fprintf ppf "%d[f%d]" v f
+      | None -> Format.fprintf ppf "%d" v)
+    w.hops;
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph forest {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+  let enabled = Hashtbl.create 8 in
+  List.iter (fun (vm, vnf) -> Hashtbl.replace enabled vm vnf) (enabled_vms t);
+  let declared = Hashtbl.create 16 in
+  let declare v =
+    if not (Hashtbl.mem declared v) then begin
+      Hashtbl.replace declared v ();
+      if Problem.is_source t.problem v then
+        out "  n%d [shape=box, style=filled, fillcolor=lightblue, label=\"s%d\"];\n" v v
+      else
+        match Hashtbl.find_opt enabled v with
+        | Some vnf ->
+            out
+              "  n%d [shape=doublecircle, style=filled, fillcolor=palegreen, \
+               label=\"%d\\nf%d\"];\n"
+              v v vnf
+        | None ->
+            if Problem.is_dest t.problem v then
+              out "  n%d [shape=diamond, style=filled, fillcolor=gold, label=\"%d\"];\n" v v
+            else out "  n%d [label=\"%d\"];\n" v v
+    end
+  in
+  let colors = [| "red"; "blue"; "darkgreen"; "purple"; "orange"; "brown" |] in
+  List.iteri
+    (fun wi w ->
+      let color = colors.(wi mod Array.length colors) in
+      let stage = stages w in
+      for i = 0 to Array.length w.hops - 2 do
+        declare w.hops.(i);
+        declare w.hops.(i + 1);
+        out "  n%d -> n%d [color=%s, label=\"%d\", fontsize=8];\n" w.hops.(i)
+          w.hops.(i + 1) color stage.(i)
+      done)
+    t.walks;
+  List.iter
+    (fun (u, v) ->
+      declare u;
+      declare v;
+      out "  n%d -> n%d [style=dashed, dir=none];\n" u v)
+    t.delivery;
+  out "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>forest: %d walk(s), %d delivery edge(s), cost %.3f"
+    (List.length t.walks)
+    (List.length t.delivery)
+    (total_cost t);
+  List.iter (fun w -> Format.fprintf ppf "@,  walk %a" pp_walk w) t.walks;
+  List.iter
+    (fun (u, v) -> Format.fprintf ppf "@,  delivery %d -- %d" u v)
+    t.delivery;
+  Format.fprintf ppf "@]"

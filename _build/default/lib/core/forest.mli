@@ -1,0 +1,82 @@
+(** Service overlay forests — the solution object of the SOF problem.
+
+    A forest is a set of {e service-chain walks} plus a set of {e delivery
+    edges}.  Each walk starts at a source, ends at its last VM, and carries
+    the full chain [f_1 … f_|C|] as marks on VM hops; walks may revisit
+    nodes (the paper's clones).  Delivery edges are the residual Steiner
+    edges ([T ∩ G]) that carry the fully-processed stream from last VMs to
+    the destinations.
+
+    Cost accounting follows Section III: every enabled VM is paid once; a
+    walk edge is paid once per {e distinct traffic context} — two walks (or
+    two passes of one walk) share an edge's cost exactly when they carry the
+    same content, i.e. same originating source and same number of already
+    applied VNFs; delivery edges are paid once each. *)
+
+type mark = {
+  pos : int;  (** index into [hops] *)
+  vnf : int;  (** 1-based index into the chain *)
+}
+
+type walk = {
+  source : int;
+  hops : int array;        (** [hops.(0) = source]; consecutive hops are edges of G *)
+  marks : mark list;       (** ascending in [pos] and in [vnf]; [vnf]s are exactly 1..|C| *)
+}
+
+type t = {
+  problem : Problem.t;
+  walks : walk list;
+  delivery : (int * int) list;  (** delivery edges, normalized [u < v] *)
+}
+
+val make : Problem.t -> walks:walk list -> delivery:(int * int) list -> t
+(** Normalizes delivery edges (dedup, [u < v]).  Structural feasibility is
+    checked separately by {!Validate.check}. *)
+
+val walk_last_vm : walk -> int
+(** VM carrying [f_|C|].  @raise Invalid_argument on an unmarked walk. *)
+
+val walk_vms : walk -> int list
+(** VMs of the walk's marks in chain order. *)
+
+val enabled_vms : t -> (int * int) list
+(** [(vm, vnf)] pairs enabled across all walks, deduplicated and sorted.
+    When the forest is valid each VM appears once. *)
+
+val setup_cost : t -> float
+
+val connection_cost : t -> float
+
+val total_cost : t -> float
+
+val cost_breakdown : t -> float * float
+(** [(setup, connection)]. *)
+
+val paid_edges : t -> (int * int) list
+(** Every edge payment of {!connection_cost}, one entry per paid traffic
+    context (so an edge traversed at two stages appears twice).  Used by
+    the online ledger to charge link loads exactly as costs were counted. *)
+
+val walk_edge_cost : Problem.t -> walk -> float
+(** Connection cost of one walk in isolation (each traversal paid). *)
+
+val chain_cost : Problem.t -> walk -> float
+(** [walk_edge_cost] plus the setup costs of the walk's own marks. *)
+
+val shorten : t -> t
+(** The paper's walk-shortening step (end of Example 7): every maximal
+    VNF-free segment of every walk is replaced by a shortest path between
+    its endpoints whenever that lowers {!total_cost} — the global check
+    matters because a rerouted segment may lose sharing with another
+    walk's prefix.  Validity is preserved (only pass-through hops move). *)
+
+val to_dot : t -> string
+(** Graphviz rendition of the forest over its network: box nodes for
+    sources, double circles for enabled VMs (labelled with their VNF),
+    diamonds for destinations; solid colored arrows for walk hops
+    (one color per walk, edge labels give the processing stage), dashed
+    arrows for delivery edges.  Paste into `dot -Tsvg` to inspect an
+    embedding. *)
+
+val pp : Format.formatter -> t -> unit

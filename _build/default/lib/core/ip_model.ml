@@ -1,0 +1,219 @@
+module Graph = Sof_graph.Graph
+module Simplex = Sof_lp.Simplex
+module Ilp = Sof_lp.Ilp
+
+type t = {
+  ilp : Ilp.t;
+  var_count : int;
+  describe : int -> string;
+}
+
+(* Directed arcs: undirected edge index e yields arcs 2e (u->v) and 2e+1
+   (v->u). *)
+type arcs = {
+  count : int;
+  tail : int array;
+  head : int array;
+  cost : float array;
+  out_of : int list array; (* arc ids leaving node *)
+  into : int list array;
+}
+
+let arcs_of graph =
+  let m = Graph.m graph in
+  let n = Graph.n graph in
+  let tail = Array.make (2 * m) 0 in
+  let head = Array.make (2 * m) 0 in
+  let cost = Array.make (2 * m) 0.0 in
+  let out_of = Array.make n [] in
+  let into = Array.make n [] in
+  let i = ref 0 in
+  Graph.iter_edges graph (fun u v w ->
+      let a = 2 * !i and b = (2 * !i) + 1 in
+      tail.(a) <- u;
+      head.(a) <- v;
+      cost.(a) <- w;
+      tail.(b) <- v;
+      head.(b) <- u;
+      cost.(b) <- w;
+      out_of.(u) <- a :: out_of.(u);
+      into.(v) <- a :: into.(v);
+      out_of.(v) <- b :: out_of.(v);
+      into.(u) <- b :: into.(u);
+      incr i);
+  { count = 2 * m; tail; head; cost; out_of; into }
+
+let build (p : Problem.t) =
+  let graph = p.Problem.graph in
+  let arcs = arcs_of graph in
+  let dests = Array.of_list p.Problem.dests in
+  let sources = Array.of_list p.Problem.sources in
+  let vms = Array.of_list p.Problem.vms in
+  let nd = Array.length dests
+  and ns = Array.length sources
+  and nm = Array.length vms in
+  let l = p.Problem.chain_length in
+  let src_idx = Hashtbl.create ns and vm_idx = Hashtbl.create nm in
+  Array.iteri (fun i s -> Hashtbl.replace src_idx s i) sources;
+  Array.iteri (fun i v -> Hashtbl.replace vm_idx v i) vms;
+  (* variable layout *)
+  let gamma0_off = 0 in
+  let gamma0 d si = gamma0_off + (d * ns) + si in
+  let gammaf_off = gamma0_off + (nd * ns) in
+  let gammaf d f mi = gammaf_off + (((d * l) + (f - 1)) * nm) + mi in
+  let sigma_off = gammaf_off + (nd * l * nm) in
+  let sigma f mi = sigma_off + ((f - 1) * nm) + mi in
+  let pi_off = sigma_off + (l * nm) in
+  let pi d f a = pi_off + (((d * (l + 1)) + f) * arcs.count) + a in
+  let tau_off = pi_off + (nd * (l + 1) * arcs.count) in
+  let tau f a = tau_off + (f * arcs.count) + a in
+  let var_count = tau_off + ((l + 1) * arcs.count) in
+  (* gamma coefficient of node u in layer f for destination d, as an
+     optional variable id (constants handled by the caller). *)
+  let gamma_var d f u =
+    if f = 0 then Option.map (gamma0 d) (Hashtbl.find_opt src_idx u)
+    else if f >= 1 && f <= l then
+      Option.map (gammaf d f) (Hashtbl.find_opt vm_idx u)
+    else None
+  in
+  let objective = Array.make var_count 0.0 in
+  for f = 1 to l do
+    Array.iteri
+      (fun mi vm -> objective.(sigma f mi) <- p.Problem.node_cost.(vm))
+      vms
+  done;
+  for f = 0 to l do
+    for a = 0 to arcs.count - 1 do
+      objective.(tau f a) <- arcs.cost.(a)
+    done
+  done;
+  let rows = ref [] and rels = ref [] and rhs = ref [] in
+  let add_row coeffs rel b =
+    rows := coeffs :: !rows;
+    rels := rel :: !rels;
+    rhs := b :: !rhs
+  in
+  (* (1) each destination picks exactly one source *)
+  for d = 0 to nd - 1 do
+    add_row (List.init ns (fun si -> (gamma0 d si, 1.0))) Simplex.Eq 1.0
+  done;
+  (* (2) one enabled VM per VNF per destination *)
+  for d = 0 to nd - 1 do
+    for f = 1 to l do
+      add_row (List.init nm (fun mi -> (gammaf d f mi, 1.0))) Simplex.Eq 1.0
+    done
+  done;
+  (* (5) gamma <= sigma *)
+  for d = 0 to nd - 1 do
+    for f = 1 to l do
+      for mi = 0 to nm - 1 do
+        add_row [ (gammaf d f mi, 1.0); (sigma f mi, -1.0) ] Simplex.Le 0.0
+      done
+    done
+  done;
+  (* (6) at most one VNF per VM *)
+  for mi = 0 to nm - 1 do
+    add_row (List.init l (fun f -> (sigma (f + 1) mi, 1.0))) Simplex.Le 1.0
+  done;
+  (* (7) walk routing per destination and layer *)
+  for d = 0 to nd - 1 do
+    for f = 0 to l do
+      for u = 0 to Graph.n graph - 1 do
+        let coeffs = ref [] in
+        List.iter (fun a -> coeffs := (pi d f a, 1.0) :: !coeffs) arcs.out_of.(u);
+        List.iter (fun a -> coeffs := (pi d f a, -1.0) :: !coeffs) arcs.into.(u);
+        (match gamma_var d f u with
+        | Some v -> coeffs := (v, -1.0) :: !coeffs
+        | None -> ());
+        let const_next = if f = l && u = dests.(d) then 1.0 else 0.0 in
+        (match gamma_var d (f + 1) u with
+        | Some v -> coeffs := (v, 1.0) :: !coeffs
+        | None -> ());
+        (* Sum pi_out - pi_in - gamma_f + gamma_fN >= -const(gamma_fN) *)
+        if !coeffs <> [] then add_row !coeffs Simplex.Ge (-.const_next)
+      done
+    done
+  done;
+  (* (8) pi <= tau *)
+  for d = 0 to nd - 1 do
+    for f = 0 to l do
+      for a = 0 to arcs.count - 1 do
+        add_row [ (pi d f a, 1.0); (tau f a, -1.0) ] Simplex.Le 0.0
+      done
+    done
+  done;
+  let lp =
+    {
+      Simplex.n_vars = var_count;
+      objective;
+      rows = Array.of_list (List.rev !rows);
+      relations = Array.of_list (List.rev !rels);
+      rhs = Array.of_list (List.rev !rhs);
+    }
+  in
+  let describe v =
+    if v < gammaf_off then
+      Printf.sprintf "gamma[d%d][fS][s%d]" (v / ns) (v mod ns)
+    else if v < sigma_off then begin
+      let r = v - gammaf_off in
+      let d = r / (l * nm) in
+      let f = (r mod (l * nm)) / nm in
+      Printf.sprintf "gamma[d%d][f%d][m%d]" d (f + 1) (r mod nm)
+    end
+    else if v < pi_off then begin
+      let r = v - sigma_off in
+      Printf.sprintf "sigma[f%d][m%d]" ((r / nm) + 1) (r mod nm)
+    end
+    else if v < tau_off then begin
+      let r = v - pi_off in
+      let d = r / ((l + 1) * arcs.count) in
+      let rest = r mod ((l + 1) * arcs.count) in
+      Printf.sprintf "pi[d%d][f%d][a%d]" d (rest / arcs.count)
+        (rest mod arcs.count)
+    end
+    else begin
+      let r = v - tau_off in
+      Printf.sprintf "tau[f%d][a%d]" (r / arcs.count) (r mod arcs.count)
+    end
+  in
+  (* Only the tau variables need explicit x <= 1 rows: gamma is capped by
+     its assignment equalities, sigma by constraint (6), and pi by (8)
+     through tau. *)
+  let tau_vars = List.init ((l + 1) * arcs.count) (fun i -> tau_off + i) in
+  {
+    ilp =
+      Ilp.make ~ub_binaries:tau_vars ~binaries:(List.init var_count Fun.id) lp;
+    var_count;
+    describe;
+  }
+
+let solve ?node_limit ?time_budget ?initial_incumbent p =
+  let model = build p in
+  Ilp.solve ?node_limit ?time_budget ?initial_incumbent model.ilp
+
+let objective_of_forest (forest : Forest.t) =
+  let p = forest.Forest.problem in
+  let seen = Hashtbl.create 64 in
+  let cost = ref (Forest.setup_cost forest) in
+  let pay u v layer =
+    let key = ((min u v, max u v), layer) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      cost := !cost +. Problem.edge_cost p u v
+    end
+  in
+  List.iter
+    (fun (w : Forest.walk) ->
+      let stage = ref 0 in
+      let marks = ref w.Forest.marks in
+      for i = 0 to Array.length w.Forest.hops - 2 do
+        (match !marks with
+        | m :: rest when m.Forest.pos <= i ->
+            stage := m.Forest.vnf;
+            marks := rest
+        | _ -> ());
+        pay w.Forest.hops.(i) w.Forest.hops.(i + 1) !stage
+      done)
+    forest.Forest.walks;
+  List.iter (fun (u, v) -> pay u v p.Problem.chain_length) forest.Forest.delivery;
+  !cost

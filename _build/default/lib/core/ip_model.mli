@@ -1,0 +1,43 @@
+(** The Integer Programming formulation of SOF (Section III-A).
+
+    Variables (all binary):
+    - [gamma d f u] — node [u] is the enabled VM of VNF [f] on destination
+      [d]'s chain ([f = 0] is the paper's [f_S] source layer, restricted to
+      sources; [f in 1..|C|] restricted to VMs; the [f_D] layer is fixed by
+      constraints (3)–(4) and substituted out);
+    - [pi d f arc] — directed arc [arc] lies on [d]'s walk between the VM
+      of [f] and the VM of the next VNF;
+    - [sigma f u] — VM [u] is enabled for VNF [f] in the whole forest;
+    - [tau f arc] — arc [arc] lies in the layer-[f] forest.
+
+    The objective prices enabled VMs once and every (edge, layer) pair once
+    — the paper's objective as printed omits the [f_S] layer from the
+    [tau] sum, which would make source-to-first-VM routing free; we treat
+    that as a typo and include it (DESIGN.md).
+
+    Because the IP shares an edge across destinations whenever they use it
+    in the same layer (even from different sources), its optimum is a lower
+    bound on {!Forest.total_cost} of every feasible forest; the benchmarks
+    report it as the OPT yardstick. *)
+
+type t = {
+  ilp : Sof_lp.Ilp.t;
+  var_count : int;
+  describe : int -> string;  (** debug name of a variable *)
+}
+
+val build : Problem.t -> t
+(** Assemble the IP for an instance.  Size grows as
+    [|D| * |C| * |E|]; intended for the small OPT-yardstick instances. *)
+
+val solve :
+  ?node_limit:int ->
+  ?time_budget:float ->
+  ?initial_incumbent:float ->
+  Problem.t ->
+  Sof_lp.Ilp.result
+(** [build] + {!Sof_lp.Ilp.solve}. *)
+
+val objective_of_forest : Forest.t -> float
+(** The forest's cost under the IP's (edge, layer) sharing rule — an upper
+    bound usable as [initial_incumbent]. *)

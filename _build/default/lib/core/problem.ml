@@ -1,0 +1,66 @@
+module Graph = Sof_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  node_cost : float array;
+  is_vm : bool array;
+  vms : int list;
+  sources : int list;
+  dests : int list;
+  chain_length : int;
+}
+
+let make ~graph ~node_cost ~vms ~sources ~dests ~chain_length =
+  let n = Graph.n graph in
+  let check_node what v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Problem.make: %s node %d out of range" what v)
+  in
+  if Array.length node_cost <> n then
+    invalid_arg "Problem.make: node_cost arity mismatch";
+  Array.iteri
+    (fun v c ->
+      if c < 0.0 || Float.is_nan c then
+        invalid_arg (Printf.sprintf "Problem.make: negative cost at node %d" v))
+    node_cost;
+  List.iter (check_node "vm") vms;
+  List.iter (check_node "source") sources;
+  List.iter (check_node "destination") dests;
+  if sources = [] then invalid_arg "Problem.make: no sources";
+  if dests = [] then invalid_arg "Problem.make: no destinations";
+  if chain_length < 1 then invalid_arg "Problem.make: chain_length < 1";
+  let is_vm = Array.make n false in
+  List.iter (fun v -> is_vm.(v) <- true) vms;
+  Array.iteri
+    (fun v c ->
+      if (not is_vm.(v)) && c > 0.0 then
+        invalid_arg
+          (Printf.sprintf "Problem.make: switch %d has nonzero setup cost" v))
+    node_cost;
+  {
+    graph;
+    node_cost;
+    is_vm;
+    vms = List.sort_uniq compare vms;
+    sources = List.sort_uniq compare sources;
+    dests = List.sort_uniq compare dests;
+    chain_length;
+  }
+
+let n t = Graph.n t.graph
+let is_source t v = List.mem v t.sources
+let is_dest t v = List.mem v t.dests
+let is_vm t v = t.is_vm.(v)
+let setup_cost t v = t.node_cost.(v)
+
+let edge_cost t u v =
+  match Graph.edge_weight t.graph u v with
+  | Some w -> w
+  | None ->
+      invalid_arg (Printf.sprintf "Problem.edge_cost: no edge (%d,%d)" u v)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>SOF instance: n=%d m=%d |M|=%d |S|=%d |D|=%d |C|=%d@]"
+    (Graph.n t.graph) (Graph.m t.graph) (List.length t.vms)
+    (List.length t.sources) (List.length t.dests) t.chain_length

@@ -1,0 +1,42 @@
+(** SOF problem instances (Section III of the paper).
+
+    An instance is a network [G = (V = M ∪ U, E)] with nonnegative
+    connection costs on edges and setup costs on VM nodes (switches cost 0),
+    a source set [S], a destination set [D], and the length of the demanded
+    VNF chain [C = (f_1 … f_|C|)].  VNFs are identified by their 1-based
+    index in the chain — the paper's chains are anonymous sequences, so only
+    the index matters.  A VM may run at most one VNF (replicate VM nodes in
+    the input to model multi-VNF hosts). *)
+
+type t = private {
+  graph : Sof_graph.Graph.t;
+  node_cost : float array;  (** setup cost per node; 0 for switches *)
+  is_vm : bool array;
+  vms : int list;           (** M, ascending *)
+  sources : int list;       (** S, ascending *)
+  dests : int list;         (** D, ascending *)
+  chain_length : int;       (** |C| >= 1 *)
+}
+
+val make :
+  graph:Sof_graph.Graph.t ->
+  node_cost:float array ->
+  vms:int list ->
+  sources:int list ->
+  dests:int list ->
+  chain_length:int ->
+  t
+(** Validates: node ids in range; [node_cost] nonnegative with zeroes
+    outside [M]; [S] and [D] nonempty; [chain_length >= 1].  Sources and
+    destinations may coincide with VMs or each other (the paper's model
+    allows it).  @raise Invalid_argument otherwise. *)
+
+val n : t -> int
+val is_source : t -> int -> bool
+val is_dest : t -> int -> bool
+val is_vm : t -> int -> bool
+val setup_cost : t -> int -> float
+val edge_cost : t -> int -> int -> float
+(** @raise Invalid_argument when the edge is absent. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+module Steiner = Sof_steiner.Steiner
+
+type report = {
+  forest : Forest.t;
+  last_vm : int;
+  chain_cost : float;
+  tree_cost : float;
+}
+
+let walk_of_result source (r : Transform.result) =
+  let marks =
+    List.mapi
+      (fun i (pos, _vm) -> { Forest.pos; vnf = i + 1 })
+      r.Transform.vm_marks
+  in
+  { Forest.source; hops = r.Transform.hops; marks }
+
+(* All Steiner terminals (candidate last VM + destinations) are closure
+   terminals of the transform, so the KMB runs reuse its Dijkstra sweeps. *)
+let steiner_for t problem root dests =
+  match
+    Steiner.approx_in problem.Problem.graph (Transform.closure t)
+      (root :: dests)
+  with
+  | tree -> Some tree
+  | exception Invalid_argument _ -> None
+
+let solve ?(source_setup = false) ?transform problem ~source =
+  if not (Problem.is_source problem source) then
+    invalid_arg "Sofda_ss.solve: source not in S";
+  let t =
+    match transform with Some t -> t | None -> Transform.create problem
+  in
+  let consider best u =
+    match
+      Transform.chain_walk ~source_setup t ~src:source ~last_vm:u
+        ~num_vnfs:problem.Problem.chain_length
+    with
+    | None -> best
+    | Some walk_result -> (
+        match steiner_for t problem u problem.Problem.dests with
+        | None -> best
+        | Some tree ->
+            let cost = walk_result.Transform.cost +. tree.Steiner.weight in
+            (match best with
+            | Some (c, _, _, _) when c <= cost -> best
+            | _ -> Some (cost, u, walk_result, tree)))
+  in
+  match List.fold_left consider None problem.Problem.vms with
+  | None -> None
+  | Some (_, u, walk_result, tree) ->
+      let walk = walk_of_result source walk_result in
+      let delivery = List.map (fun (a, b, _) -> (a, b)) tree.Steiner.edges in
+      let forest = Forest.make problem ~walks:[ walk ] ~delivery in
+      Some
+        {
+          forest;
+          last_vm = u;
+          chain_cost = walk_result.Transform.cost;
+          tree_cost = tree.Steiner.weight;
+        }
+
+let solve_forest ?source_setup problem ~source =
+  Option.map (fun r -> r.forest) (solve ?source_setup problem ~source)

@@ -1,0 +1,29 @@
+(** SOFDA-SS — the (2 + rho_ST)-approximation for the single-source SOF
+    problem (Section IV, Algorithm 1).
+
+    For every candidate last VM [u], build the service chain walk from the
+    source to [u] (Procedures 1–2 via {!Transform.chain_walk}), append a
+    Steiner tree from [u] to all destinations, and keep the cheapest
+    combination. *)
+
+type report = {
+  forest : Forest.t;
+  last_vm : int;
+  chain_cost : float;
+  tree_cost : float;
+}
+
+val solve :
+  ?source_setup:bool ->
+  ?transform:Transform.t ->
+  Problem.t ->
+  source:int ->
+  report option
+(** [solve problem ~source] — [None] when no candidate last VM yields a
+    feasible chain + tree (disconnected instance or too few VMs).  A
+    precomputed [transform] (closure) may be supplied to amortize Dijkstra
+    runs across calls. *)
+
+val solve_forest :
+  ?source_setup:bool -> Problem.t -> source:int -> Forest.t option
+(** [solve] projected to the forest. *)

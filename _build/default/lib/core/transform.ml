@@ -1,0 +1,146 @@
+module Metric = Sof_graph.Metric
+module Kstroll = Sof_kstroll.Kstroll
+
+type t = {
+  problem : Problem.t;
+  closure : Metric.t;
+  idx : (int, int) Hashtbl.t; (* node -> terminal index *)
+}
+
+type result = {
+  hops : int array;
+  vm_marks : (int * int) list;
+  cost : float;
+}
+
+let create ?(extra = []) problem =
+  let terminals =
+    List.sort_uniq compare
+      (problem.Problem.sources @ problem.Problem.vms @ problem.Problem.dests
+      @ extra)
+  in
+  let terms = Array.of_list terminals in
+  let closure = Metric.closure problem.Problem.graph terms in
+  let idx = Hashtbl.create (Array.length terms) in
+  Array.iteri (fun i v -> Hashtbl.replace idx v i) terms;
+  { problem; closure; idx }
+
+let problem t = t.problem
+
+let closure t = t.closure
+
+let terminal_idx t v =
+  match Hashtbl.find_opt t.idx v with
+  | Some i -> i
+  | None ->
+      invalid_arg (Printf.sprintf "Transform: node %d is not a terminal" v)
+
+let distance t a b =
+  match (Hashtbl.find_opt t.idx a, Hashtbl.find_opt t.idx b) with
+  | Some i, _ -> (Metric.dist_from_terminal t.closure i).(b)
+  | None, Some j -> (Metric.dist_from_terminal t.closure j).(a)
+  | None, None -> invalid_arg "Transform.distance: neither node is a terminal"
+
+let shortest_path t a b =
+  match (Hashtbl.find_opt t.idx a, Hashtbl.find_opt t.idx b) with
+  | Some i, _ -> Metric.path_to_node t.closure i b
+  | None, Some j -> List.rev (Metric.path_to_node t.closure j a)
+  | None, None ->
+      invalid_arg "Transform.shortest_path: neither node is a terminal"
+
+(* Expand a terminal sequence into a concrete walk, recording the hop
+   position of every terminal. *)
+let expand t seq =
+  match seq with
+  | [] -> invalid_arg "Transform.expand: empty sequence"
+  | first :: _ ->
+      let hops = ref [ first ] in
+      let len = ref 1 in
+      let positions = ref [ (first, 0) ] in
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+            let path = shortest_path t a b in
+            (match path with
+            | _ :: tail ->
+                List.iter
+                  (fun v ->
+                    hops := v :: !hops;
+                    incr len)
+                  tail
+            | [] -> ());
+            positions := (b, !len - 1) :: !positions;
+            go rest
+        | _ -> ()
+      in
+      go seq;
+      (Array.of_list (List.rev !hops), List.rev !positions)
+
+let setup_cost t v = Problem.setup_cost t.problem v
+
+(* Shared edge-cost construction for the k-stroll instance: shortest-path
+   distance plus half the "shareable" node cost of each endpoint, where the
+   two fixed endpoints both carry the last VM's setup (plus the source's own
+   setup in the Appendix-D variant) so that any (src .. last) walk's metric
+   cost equals connection + setup exactly. *)
+let stroll_dist t ~src ~dst ~endpoint_weight a b =
+  let g x = if x = src || x = dst then endpoint_weight else setup_cost t x in
+  distance t a b +. ((g a +. g b) /. 2.0)
+
+let build ?(exclude = fun _ -> false) t ~src ~dst ~k ~endpoint_weight
+    ~vm_filter ~extra_cost =
+  let candidates =
+    List.filter
+      (fun v -> (not (exclude v)) && v <> src && v <> dst)
+      t.problem.Problem.vms
+  in
+  let dist = stroll_dist t ~src ~dst ~endpoint_weight in
+  match Kstroll.cheapest_insertion ~dist ~candidates ~src ~dst ~k with
+  | None -> None
+  | Some w ->
+      let hops, positions = expand t w.Kstroll.nodes in
+      let vms = List.filter (fun (v, _) -> vm_filter v) positions in
+      let vm_marks = List.map (fun (v, pos) -> (pos, v)) vms in
+      let setup =
+        List.fold_left (fun acc (_, v) -> acc +. setup_cost t v) 0.0 vm_marks
+      in
+      let connection =
+        List.fold_left
+          (fun (acc, prev) v ->
+            match prev with
+            | None -> (acc, Some v)
+            | Some p -> (acc +. distance t p v, Some v))
+          (0.0, None) w.Kstroll.nodes
+        |> fst
+      in
+      Some { hops; vm_marks; cost = setup +. connection +. extra_cost }
+
+let chain_walk ?(source_setup = false) ?exclude t ~src ~last_vm ~num_vnfs =
+  if num_vnfs < 1 then invalid_arg "Transform.chain_walk: num_vnfs < 1";
+  if not (Problem.is_vm t.problem last_vm) then
+    invalid_arg "Transform.chain_walk: last_vm is not a VM";
+  ignore (terminal_idx t src);
+  if src = last_vm then None
+  else
+    let extra_cost = if source_setup then setup_cost t src else 0.0 in
+    let endpoint_weight = setup_cost t last_vm +. extra_cost in
+    let vm_filter v = v <> src in
+    build ?exclude t ~src ~dst:last_vm ~k:(num_vnfs + 1) ~endpoint_weight
+      ~vm_filter ~extra_cost
+
+let relay_walk ?exclude t ~src ~dst ~num_vnfs =
+  if num_vnfs < 0 then invalid_arg "Transform.relay_walk: num_vnfs < 0";
+  ignore (terminal_idx t src);
+  if num_vnfs = 0 then begin
+    if src = dst then Some { hops = [| src |]; vm_marks = []; cost = 0.0 }
+    else
+      let d = distance t src dst in
+      if d = infinity then None
+      else
+        let hops = Array.of_list (shortest_path t src dst) in
+        Some { hops; vm_marks = []; cost = d }
+  end
+  else if src = dst then None
+  else
+    let vm_filter v = v <> src && v <> dst in
+    build ?exclude t ~src ~dst ~k:(num_vnfs + 2) ~endpoint_weight:0.0
+      ~vm_filter ~extra_cost:0.0

@@ -1,0 +1,66 @@
+(** Graph transformation and service-chain walks (Procedures 1 and 2).
+
+    [create] precomputes the metric closure of the instance over
+    [S ∪ M ∪ extra].  [chain_walk] then realizes the paper's Procedure 1 + 2
+    pair: it builds the k-stroll metric instance for a (source, last-VM)
+    pair — shortest-path distances plus the node-setup costs split onto
+    incident edges — finds a walk visiting the required number of distinct
+    VMs, and expands it back to a concrete walk in [G].
+
+    The returned cost equals the sum of the walk's shortest-path connection
+    costs and the setup costs of its VMs, exactly the weight SOFDA puts on
+    the corresponding virtual edge. *)
+
+type t
+
+type result = {
+  hops : int array;             (** concrete node sequence in G *)
+  vm_marks : (int * int) list;  (** (position in [hops], vm) for each VNF in chain order *)
+  cost : float;                 (** connection + setup cost of the walk *)
+}
+
+val create : ?extra:int list -> Problem.t -> t
+(** Closure over [S ∪ M ∪ D ∪ extra].  One Dijkstra per terminal. *)
+
+val problem : t -> Problem.t
+
+val closure : t -> Sof_graph.Metric.t
+(** The underlying metric closure (terminals: sources, VMs, destinations
+    and [extra]); lets callers build Steiner trees over subsets without
+    fresh Dijkstra sweeps ({!Sof_steiner.Steiner.approx_in}). *)
+
+val distance : t -> int -> int -> float
+(** Shortest-path distance between a closure terminal and any node. *)
+
+val shortest_path : t -> int -> int -> int list
+(** Shortest path from a terminal to any node.  @raise Invalid_argument on
+    disconnected pairs. *)
+
+val chain_walk :
+  ?source_setup:bool ->
+  ?exclude:(int -> bool) ->
+  t ->
+  src:int ->
+  last_vm:int ->
+  num_vnfs:int ->
+  result option
+(** Walk from [src] to [last_vm] visiting [num_vnfs] distinct VMs (the last
+    of which is [last_vm]) and installing one VNF on each, built with the
+    cheapest-insertion k-stroll ([k = num_vnfs + 1]).  [exclude] removes VM
+    candidates (used by the dynamic operations); [last_vm] itself is never
+    excluded.  [source_setup] prices the Appendix-D variant where enabling
+    the source costs [c(src)].  [None] when infeasible.  @raise
+    Invalid_argument if [src] is not a closure terminal, [last_vm] not a VM,
+    or [num_vnfs < 1]. *)
+
+val relay_walk :
+  ?exclude:(int -> bool) ->
+  t ->
+  src:int ->
+  dst:int ->
+  num_vnfs:int ->
+  result option
+(** Walk from [src] to [dst] that visits [num_vnfs] fresh interior VMs and
+    installs one VNF on each; neither endpoint runs a VNF ([num_vnfs = 0]
+    degenerates to the shortest path).  Used by destination-join and
+    VNF-insertion (Section VII-C). *)

@@ -1,0 +1,120 @@
+module Graph = Sof_graph.Graph
+module Union_find = Sof_graph.Union_find
+
+type error =
+  | Bad_walk of string
+  | Missing_edge of int * int
+  | Mark_not_vm of int
+  | Bad_source of int
+  | Vnf_conflict of int * int * int
+  | Unserved_destination of int
+
+let to_string = function
+  | Bad_walk msg -> "malformed walk: " ^ msg
+  | Missing_edge (u, v) -> Printf.sprintf "edge (%d,%d) not in G" u v
+  | Mark_not_vm v -> Printf.sprintf "VNF placed on non-VM node %d" v
+  | Bad_source v -> Printf.sprintf "walk source %d not in S" v
+  | Vnf_conflict (v, f1, f2) ->
+      Printf.sprintf "VM %d assigned both f%d and f%d" v f1 f2
+  | Unserved_destination d -> Printf.sprintf "destination %d unserved" d
+
+let check_walk problem (w : Forest.walk) errors =
+  let p = problem in
+  if Array.length w.Forest.hops = 0 then
+    errors := Bad_walk "empty hop sequence" :: !errors
+  else begin
+    if w.Forest.hops.(0) <> w.Forest.source then
+      errors := Bad_walk "first hop differs from source" :: !errors;
+    if not (Problem.is_source p w.Forest.source) then
+      errors := Bad_source w.Forest.source :: !errors;
+    for i = 0 to Array.length w.Forest.hops - 2 do
+      let u = w.Forest.hops.(i) and v = w.Forest.hops.(i + 1) in
+      if not (Graph.mem_edge p.Problem.graph u v) then
+        errors := Missing_edge (u, v) :: !errors
+    done;
+    let expected = List.init p.Problem.chain_length (fun i -> i + 1) in
+    let vnfs = List.map (fun m -> m.Forest.vnf) w.Forest.marks in
+    if vnfs <> expected then
+      errors := Bad_walk "marks are not exactly f1..f|C| in order" :: !errors;
+    let last = Array.length w.Forest.hops - 1 in
+    let prev = ref (-1) in
+    List.iter
+      (fun m ->
+        if m.Forest.pos <= !prev || m.Forest.pos > last then
+          errors := Bad_walk "mark positions not ascending / out of range" :: !errors
+        else begin
+          prev := m.Forest.pos;
+          let v = w.Forest.hops.(m.Forest.pos) in
+          if not (Problem.is_vm p v) then errors := Mark_not_vm v :: !errors
+        end)
+      w.Forest.marks
+  end
+
+let check (t : Forest.t) =
+  let p = t.Forest.problem in
+  let errors = ref [] in
+  List.iter (fun w -> check_walk p w errors) t.Forest.walks;
+  (* VNF conflicts across walks. *)
+  let enabled = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (m : Forest.mark) ->
+          if m.Forest.pos < Array.length w.Forest.hops then begin
+            let v = w.Forest.hops.(m.Forest.pos) in
+            match Hashtbl.find_opt enabled v with
+            | Some f when f <> m.Forest.vnf ->
+                errors := Vnf_conflict (v, f, m.Forest.vnf) :: !errors
+            | Some _ -> ()
+            | None -> Hashtbl.replace enabled v m.Forest.vnf
+          end)
+        w.Forest.marks)
+    t.Forest.walks;
+  (* Delivery edges must exist; destinations must share a delivery component
+     with a last VM. *)
+  List.iter
+    (fun (u, v) ->
+      if not (Graph.mem_edge p.Problem.graph u v) then
+        errors := Missing_edge (u, v) :: !errors)
+    t.Forest.delivery;
+  let uf = Union_find.create (Problem.n p) in
+  List.iter
+    (fun (u, v) ->
+      if u >= 0 && v >= 0 && u < Problem.n p && v < Problem.n p then
+        ignore (Union_find.union uf u v))
+    t.Forest.delivery;
+  (* Injection points: every hop at or after a walk's last mark carries the
+     fully processed stream and may feed the delivery component. *)
+  let injection_points =
+    List.concat_map
+      (fun w ->
+        match List.rev w.Forest.marks with
+        | [] -> []
+        | m :: _ when m.Forest.pos < Array.length w.Forest.hops ->
+            let tail = ref [] in
+            for i = m.Forest.pos to Array.length w.Forest.hops - 1 do
+              tail := w.Forest.hops.(i) :: !tail
+            done;
+            !tail
+        | _ -> [])
+      t.Forest.walks
+  in
+  List.iter
+    (fun d ->
+      let served =
+        List.exists
+          (fun v -> v = d || Union_find.same uf v d)
+          injection_points
+      in
+      if not served then errors := Unserved_destination d :: !errors)
+    p.Problem.dests;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let check_exn t =
+  match check t with
+  | Ok () -> ()
+  | Error es ->
+      failwith
+        ("invalid forest: " ^ String.concat "; " (List.map to_string es))
+
+let is_valid t = check t = Ok ()

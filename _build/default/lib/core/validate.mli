@@ -1,0 +1,30 @@
+(** Structural feasibility of a service overlay forest (Definition of SOF,
+    Section III).  Every algorithm's output is pushed through this checker
+    in the tests; the benchmark harness also asserts it before reporting a
+    cost. *)
+
+type error =
+  | Bad_walk of string              (** malformed hop/mark structure *)
+  | Missing_edge of int * int       (** walk or delivery uses a non-edge *)
+  | Mark_not_vm of int              (** a VNF is placed on a switch *)
+  | Bad_source of int               (** walk root is not in S *)
+  | Vnf_conflict of int * int * int (** vm, vnf1, vnf2 *)
+  | Unserved_destination of int     (** no chain output reaches it *)
+
+val to_string : error -> string
+
+val check : Forest.t -> (unit, error list) result
+(** All violated conditions, or [Ok ()].
+
+    Conditions: each walk starts at a source, its consecutive hops are
+    edges of [G], its marks are ascending with VNFs exactly [1..|C|] and
+    sit on VMs; across walks no VM carries two different VNFs; every
+    destination lies in the same delivery-edge component as some walk's
+    fully-processed segment (any hop at or after the walk's last mark,
+    where the stream has traversed the whole chain) or coincides with such
+    a hop; delivery edges exist in [G]. *)
+
+val check_exn : Forest.t -> unit
+(** @raise Failure with a readable message when invalid. *)
+
+val is_valid : Forest.t -> bool

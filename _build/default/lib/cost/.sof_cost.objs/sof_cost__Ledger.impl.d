@@ -1,0 +1,1 @@
+lib/cost/ledger.ml: Array Cost_model Hashtbl Option Sof_graph

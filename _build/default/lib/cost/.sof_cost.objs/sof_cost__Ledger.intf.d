@@ -1,0 +1,1 @@
+lib/cost/ledger.mli: Sof_graph

@@ -1,0 +1,29 @@
+let breakpoints = [ 1.0 /. 3.0; 2.0 /. 3.0; 0.9; 1.0; 1.1 ]
+
+let cost ~load ~capacity =
+  if capacity <= 0.0 then invalid_arg "Cost_model.cost: capacity <= 0";
+  if load < 0.0 then invalid_arg "Cost_model.cost: negative load";
+  let l = load and p = capacity in
+  let u = l /. p in
+  if u <= 1.0 /. 3.0 then l
+  else if u <= 2.0 /. 3.0 then (3.0 *. l) -. (2.0 /. 3.0 *. p)
+  else if u <= 0.9 then (10.0 *. l) -. (16.0 /. 3.0 *. p)
+  else if u <= 1.0 then (70.0 *. l) -. (178.0 /. 3.0 *. p)
+  else if u <= 1.1 then (500.0 *. l) -. (1468.0 /. 3.0 *. p)
+  else
+    (* The paper prints 14318/3 here, which leaves the function
+       discontinuous at u = 1.1; the original Fortz–Thorup intercept is
+       16318/3 (and only that value makes the pieces join up), so we treat
+       the printed constant as a typo. *)
+    (5000.0 *. l) -. (16318.0 /. 3.0 *. p)
+
+let utilization_cost u = cost ~load:u ~capacity:1.0
+
+let slope_at u =
+  if u < 0.0 then invalid_arg "Cost_model.slope_at: negative utilization";
+  if u <= 1.0 /. 3.0 then 1.0
+  else if u <= 2.0 /. 3.0 then 3.0
+  else if u <= 0.9 then 10.0
+  else if u <= 1.0 then 70.0
+  else if u <= 1.1 then 500.0
+  else 5000.0

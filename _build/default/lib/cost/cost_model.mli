@@ -1,0 +1,23 @@
+(** The convex load-dependent cost of Section VII-B (Fig. 7).
+
+    The paper adopts the piecewise-linear increasing convex function of
+    Fortz & Thorup ("Optimizing OSPF/IS-IS weights in a changing world") to
+    price links and VMs by utilization, so that congested resources look
+    expensive to the embedding algorithms.  [cost ~load ~capacity] is exactly
+    the six-piece function printed in the paper. *)
+
+val cost : load:float -> capacity:float -> float
+(** Piecewise cost; linear pieces switch at utilizations
+    1/3, 2/3, 9/10, 1 and 11/10.  The paper prints the last intercept as
+    14318/3, which breaks continuity at 11/10; we use Fortz–Thorup's
+    original 16318/3 (the unique continuous choice).  @raise
+    Invalid_argument when [capacity <= 0] or [load < 0]. *)
+
+val utilization_cost : float -> float
+(** [utilization_cost u] = [cost ~load:u ~capacity:1.0]. *)
+
+val breakpoints : float list
+(** The utilization breakpoints, for tests and the Fig. 7 bench. *)
+
+val slope_at : float -> float
+(** Marginal cost (slope of the active piece) at a given utilization. *)

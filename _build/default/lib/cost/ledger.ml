@@ -1,0 +1,54 @@
+module Graph = Sof_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  link_capacity : float;
+  node_capacity : float array;
+  edge_loads : (int * int, float) Hashtbl.t;
+  node_loads : float array;
+}
+
+let norm u v = if u < v then (u, v) else (v, u)
+
+let create ~graph ~link_capacity ~node_capacity =
+  if link_capacity <= 0.0 then invalid_arg "Ledger.create: bad link capacity";
+  if Array.length node_capacity <> Graph.n graph then
+    invalid_arg "Ledger.create: node_capacity arity";
+  {
+    graph;
+    link_capacity;
+    node_capacity;
+    edge_loads = Hashtbl.create (Graph.m graph * 2);
+    node_loads = Array.make (Graph.n graph) 0.0;
+  }
+
+let graph t = t.graph
+
+let edge_load t u v =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.edge_loads (norm u v))
+
+let node_load t v = t.node_loads.(v)
+
+let add_edge_load t u v demand =
+  if not (Graph.mem_edge t.graph u v) then
+    invalid_arg "Ledger.add_edge_load: no such edge";
+  let key = norm u v in
+  Hashtbl.replace t.edge_loads key (edge_load t u v +. demand)
+
+let add_node_load t v demand = t.node_loads.(v) <- t.node_loads.(v) +. demand
+
+let edge_cost t u v =
+  Cost_model.cost ~load:(edge_load t u v) ~capacity:t.link_capacity
+
+let node_cost t v =
+  let cap = t.node_capacity.(v) in
+  if cap <= 0.0 then (if t.node_loads.(v) > 0.0 then infinity else 0.0)
+  else Cost_model.cost ~load:t.node_loads.(v) ~capacity:cap
+
+let edge_utilization t u v = edge_load t u v /. t.link_capacity
+
+let costed_graph t = Graph.map_weights t.graph (fun u v _ -> edge_cost t u v)
+
+let reset t =
+  Hashtbl.reset t.edge_loads;
+  Array.fill t.node_loads 0 (Array.length t.node_loads) 0.0

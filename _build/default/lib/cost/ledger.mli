@@ -1,0 +1,42 @@
+(** Load ledger for the online deployment scenario (Section VIII-C).
+
+    Tracks the traffic load on every link and the utilization of every VM
+    node; exposes the current Fortz–Thorup cost of each resource so that
+    successive requests are embedded against up-to-date congestion-aware
+    costs, as the paper's online experiments require. *)
+
+type t
+
+val create :
+  graph:Sof_graph.Graph.t ->
+  link_capacity:float ->
+  node_capacity:float array ->
+  t
+(** [create ~graph ~link_capacity ~node_capacity] starts with all loads at
+    zero.  [node_capacity.(v) = 0.] marks a node that can carry no VNF load
+    (switches). *)
+
+val graph : t -> Sof_graph.Graph.t
+
+val edge_load : t -> int -> int -> float
+val node_load : t -> int -> float
+
+val add_edge_load : t -> int -> int -> float -> unit
+(** @raise Invalid_argument if the edge does not exist. *)
+
+val add_node_load : t -> int -> float -> unit
+
+val edge_cost : t -> int -> int -> float
+(** Fortz–Thorup cost of the link at its current load. *)
+
+val node_cost : t -> int -> float
+(** Fortz–Thorup cost of the node at its current load; [infinity] when the
+    node has zero capacity but positive load (never happens if callers only
+    load VMs). Zero-capacity nodes at zero load cost 0. *)
+
+val edge_utilization : t -> int -> int -> float
+
+val costed_graph : t -> Sof_graph.Graph.t
+(** Rebuild the graph with each edge weighted by its current cost. *)
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/graph/dijkstra.ml: Array Binheap Graph List

@@ -1,0 +1,1 @@
+lib/graph/metric.ml: Array Dijkstra Graph Hashtbl

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Binheap Graph List Union_find

@@ -1,0 +1,1 @@
+lib/graph/traversal.ml: Array Graph Hashtbl List Option Queue

@@ -1,0 +1,22 @@
+(** Minimum binary heap with float priorities.
+
+    Used by Dijkstra and Prim.  Deletions are lazy: [decrease_key] is
+    realized by inserting a duplicate and letting stale entries be skipped by
+    the caller (the standard "lazy Dijkstra" idiom), so [pop] may return
+    superseded entries — callers filter with their own settled set. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry. *)
+
+val peek : 'a t -> (float * 'a) option

@@ -1,0 +1,85 @@
+type result = { dist : float array; parent : int array }
+
+let run_from g sources ~stop_at =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Binheap.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Dijkstra: source out of range";
+      dist.(s) <- 0.0;
+      Binheap.push heap 0.0 s)
+    sources;
+  let finished = ref false in
+  while (not !finished) && not (Binheap.is_empty heap) do
+    match Binheap.pop heap with
+    | None -> finished := true
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          if stop_at = Some u then finished := true
+          else
+            Graph.iter_neighbors g u (fun v w ->
+                let nd = d +. w in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  parent.(v) <- u;
+                  Binheap.push heap nd v
+                end)
+        end
+  done;
+  { dist; parent }
+
+let run g s = run_from g [ s ] ~stop_at:None
+
+let multi_source g sources =
+  if sources = [] then invalid_arg "Dijkstra.multi_source: no sources";
+  run_from g sources ~stop_at:None
+
+let path_to r v =
+  if r.dist.(v) = infinity then None
+  else begin
+    let rec build acc u = if u = -1 then acc else build (u :: acc) r.parent.(u) in
+    Some (build [] v)
+  end
+
+let to_target g ~src ~dst =
+  let r = run_from g [ src ] ~stop_at:(Some dst) in
+  if r.dist.(dst) = infinity then None
+  else
+    match path_to r dst with
+    | Some p -> Some (r.dist.(dst), p)
+    | None -> None
+
+let distance_matrix g terminals =
+  let k = Array.length terminals in
+  let d = Array.make_matrix k k infinity in
+  Array.iteri
+    (fun i ti ->
+      let r = run g ti in
+      Array.iteri (fun j tj -> d.(i).(j) <- r.dist.(tj)) terminals)
+    terminals;
+  d
+
+let bellman_ford g s =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  dist.(s) <- 0.0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n do
+    changed := false;
+    incr rounds;
+    Graph.iter_edges g (fun u v w ->
+        if dist.(u) +. w < dist.(v) then begin
+          dist.(v) <- dist.(u) +. w;
+          changed := true
+        end;
+        if dist.(v) +. w < dist.(u) then begin
+          dist.(u) <- dist.(v) +. w;
+          changed := true
+        end)
+  done;
+  dist

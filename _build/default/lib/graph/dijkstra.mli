@@ -1,0 +1,29 @@
+(** Shortest paths on nonnegative edge weights. *)
+
+type result = {
+  dist : float array;  (** [dist.(v)] = shortest distance; [infinity] if unreachable. *)
+  parent : int array;  (** [parent.(v)] = predecessor on a shortest path; [-1] at sources / unreachable nodes. *)
+}
+
+val run : Graph.t -> int -> result
+(** Single-source Dijkstra from [s]. *)
+
+val multi_source : Graph.t -> int list -> result
+(** Shortest distance from the nearest of several sources (virtual
+    super-source of weight 0). *)
+
+val to_target : Graph.t -> src:int -> dst:int -> (float * int list) option
+(** Shortest path [src -> dst] with early termination; returns the distance
+    and the node sequence (inclusive of both endpoints), or [None] when
+    unreachable. *)
+
+val path_to : result -> int -> int list option
+(** Extract the node sequence from the (implicit) source to [v] out of a
+    [result]; [None] if unreachable. *)
+
+val distance_matrix : Graph.t -> int array -> float array array
+(** [distance_matrix g terminals] runs Dijkstra from each terminal; entry
+    [(i, j)] is the distance between [terminals.(i)] and [terminals.(j)]. *)
+
+val bellman_ford : Graph.t -> int -> float array
+(** Reference O(nm) shortest-path implementation, used as a test oracle. *)

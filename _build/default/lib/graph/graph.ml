@@ -1,0 +1,113 @@
+type t = {
+  n : int;
+  adj : (int * float) array array; (* adj.(u) = sorted neighbor array *)
+  m : int;
+}
+
+let validate_edge n (u, v, w) =
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg
+      (Printf.sprintf "Graph.create: endpoint out of range (%d,%d) with n=%d" u
+         v n);
+  if u = v then invalid_arg "Graph.create: self-loop";
+  if w < 0.0 || Float.is_nan w then
+    invalid_arg "Graph.create: negative or NaN weight"
+
+let create ~n ~edges =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  List.iter (validate_edge n) edges;
+  (* Collapse parallel edges keeping the cheapest: deduplicate via a map keyed
+     by the normalized endpoint pair. *)
+  let tbl = Hashtbl.create (List.length edges * 2) in
+  List.iter
+    (fun (u, v, w) ->
+      let key = if u < v then (u, v) else (v, u) in
+      match Hashtbl.find_opt tbl key with
+      | Some w' when w' <= w -> ()
+      | _ -> Hashtbl.replace tbl key w)
+    edges;
+  let deg = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) _ ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    tbl;
+  let adj = Array.init n (fun u -> Array.make deg.(u) (0, 0.0)) in
+  let fill = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      adj.(u).(fill.(u)) <- (v, w);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, w);
+      fill.(v) <- fill.(v) + 1)
+    tbl;
+  Array.iter (fun row -> Array.sort compare row) adj;
+  { n; adj; m = Hashtbl.length tbl }
+
+let n g = g.n
+let m g = g.m
+
+let iter_neighbors g u f =
+  Array.iter (fun (v, w) -> f v w) g.adj.(u)
+
+let fold_neighbors g u f init =
+  Array.fold_left (fun acc (v, w) -> f acc v w) init g.adj.(u)
+
+let neighbors g u = Array.to_list g.adj.(u)
+
+let degree g u = Array.length g.adj.(u)
+
+let edge_weight g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then None
+  else
+    Array.fold_left
+      (fun acc (x, w) -> if x = v then Some w else acc)
+      None g.adj.(u)
+
+let mem_edge g u v = edge_weight g u v <> None
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun (v, w) -> if u < v then f u v w) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v w -> acc := (u, v, w) :: !acc);
+  List.rev !acc
+
+let total_weight g =
+  let acc = ref 0.0 in
+  iter_edges g (fun _ _ w -> acc := !acc +. w);
+  !acc
+
+let map_weights g f =
+  let es = ref [] in
+  iter_edges g (fun u v w -> es := (u, v, f u v w) :: !es);
+  create ~n:g.n ~edges:!es
+
+let filter_edges g keep =
+  let es = ref [] in
+  iter_edges g (fun u v w -> if keep u v w then es := (u, v, w) :: !es);
+  create ~n:g.n ~edges:!es
+
+let add_edges g extra = create ~n:g.n ~edges:(edges g @ extra)
+
+let complete_of_matrix d =
+  let n = Array.length d in
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    if Array.length d.(u) <> n then
+      invalid_arg "Graph.complete_of_matrix: ragged matrix";
+    for v = u + 1 to n - 1 do
+      if d.(u).(v) <> d.(v).(u) then
+        invalid_arg "Graph.complete_of_matrix: asymmetric matrix";
+      if d.(u).(v) < infinity then es := (u, v, d.(u).(v)) :: !es
+    done
+  done;
+  create ~n ~edges:!es
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d" g.n g.m;
+  iter_edges g (fun u v w -> Format.fprintf ppf "@,%d -- %d  %.3f" u v w);
+  Format.fprintf ppf "@]"

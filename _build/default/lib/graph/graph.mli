@@ -1,0 +1,59 @@
+(** Weighted undirected graphs over integer nodes [0 .. n-1].
+
+    The structure is immutable once built.  Parallel edges are collapsed to
+    the cheapest one at construction; self-loops are rejected.  Edge weights
+    must be nonnegative (connection costs in the SOF model). *)
+
+type t
+
+val create : n:int -> edges:(int * int * float) list -> t
+(** [create ~n ~edges] builds a graph with [n] nodes.  Each [(u, v, w)] adds
+    an undirected edge.  @raise Invalid_argument on out-of-range endpoints,
+    self-loops, or negative weights. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+(** [iter_neighbors g u f] calls [f v w] for every edge [(u, v)] of weight
+    [w]. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
+
+val neighbors : t -> int -> (int * float) list
+(** Neighbor list of [u] (fresh list). *)
+
+val degree : t -> int -> int
+
+val edge_weight : t -> int -> int -> float option
+(** Weight of edge [(u, v)] if present. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int * float) list
+(** All edges, each reported once with [u < v]. *)
+
+val iter_edges : t -> (int -> int -> float -> unit) -> unit
+
+val total_weight : t -> float
+(** Sum of all edge weights. *)
+
+val map_weights : t -> (int -> int -> float -> float) -> t
+(** [map_weights g f] rebuilds the graph with edge [(u,v,w)] reweighted to
+    [f u v w] (called once per undirected edge with [u < v]). *)
+
+val filter_edges : t -> (int -> int -> float -> bool) -> t
+(** Keep only edges satisfying the predicate (same node set). *)
+
+val add_edges : t -> (int * int * float) list -> t
+(** Functionally add edges (cheapest weight wins on duplicates). *)
+
+val complete_of_matrix : float array array -> t
+(** [complete_of_matrix d] builds the complete graph on [Array.length d]
+    nodes with weight [d.(u).(v)] on edge [(u,v)].  The matrix must be
+    symmetric; entries that are [infinity] omit the edge. *)
+
+val pp : Format.formatter -> t -> unit

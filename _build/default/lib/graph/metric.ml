@@ -1,0 +1,44 @@
+type t = {
+  terminals : int array;
+  index_of : (int, int) Hashtbl.t;
+  runs : Dijkstra.result array;
+}
+
+let closure g terminals =
+  let index_of = Hashtbl.create (Array.length terminals) in
+  Array.iteri (fun i v -> Hashtbl.replace index_of v i) terminals;
+  let runs = Array.map (fun v -> Dijkstra.run g v) terminals in
+  { terminals; index_of; runs }
+
+let terminals c = c.terminals
+
+let distance c i j = c.runs.(i).Dijkstra.dist.(c.terminals.(j))
+
+let index_of_node c v =
+  match Hashtbl.find_opt c.index_of v with
+  | Some i -> i
+  | None -> raise Not_found
+
+let distance_nodes c u v = distance c (index_of_node c u) (index_of_node c v)
+
+let path_to_node c i v =
+  match Dijkstra.path_to c.runs.(i) v with
+  | Some p -> p
+  | None -> invalid_arg "Metric.path: disconnected terminals"
+
+let path c i j = path_to_node c i c.terminals.(j)
+
+let path_nodes c u v = path c (index_of_node c u) (index_of_node c v)
+
+let dist_from_terminal c i = c.runs.(i).Dijkstra.dist
+
+let complete_graph c =
+  let k = Array.length c.terminals in
+  let es = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let d = distance c i j in
+      if d < infinity then es := (i, j, d) :: !es
+    done
+  done;
+  Graph.create ~n:k ~edges:!es

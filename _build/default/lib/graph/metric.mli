@@ -1,0 +1,39 @@
+(** Metric closure of a graph restricted to a terminal set.
+
+    The closure is the complete graph over the terminals whose edge weights
+    are shortest-path distances in the base graph; it retains enough state to
+    expand any closure edge back into a concrete path. *)
+
+type t
+
+val closure : Graph.t -> int array -> t
+(** [closure g terminals] computes one Dijkstra per terminal. *)
+
+val terminals : t -> int array
+
+val distance : t -> int -> int -> float
+(** [distance c i j] — distance between terminal *indices* [i] and [j]. *)
+
+val distance_nodes : t -> int -> int -> float
+(** [distance_nodes c u v] — distance between terminal *nodes* [u] and [v].
+    @raise Not_found if either node is not a terminal. *)
+
+val path : t -> int -> int -> int list
+(** [path c i j] — a shortest path in the base graph between terminal
+    indices [i] and [j] (inclusive endpoints).  @raise Invalid_argument when
+    the terminals are disconnected. *)
+
+val path_nodes : t -> int -> int -> int list
+(** Same but keyed by terminal nodes. *)
+
+val dist_from_terminal : t -> int -> float array
+(** [dist_from_terminal c i] — full distance array of the Dijkstra run
+    rooted at terminal index [i] (distances to every node of the base
+    graph). *)
+
+val path_to_node : t -> int -> int -> int list
+(** [path_to_node c i v] — shortest path from terminal index [i] to an
+    arbitrary node [v] of the base graph. *)
+
+val complete_graph : t -> Graph.t
+(** The closure as a [Graph.t] over terminal indices. *)

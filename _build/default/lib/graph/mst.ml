@@ -1,0 +1,39 @@
+let kruskal g =
+  let es = Graph.edges g in
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare a b) es in
+  let uf = Union_find.create (Graph.n g) in
+  List.filter (fun (u, v, _) -> Union_find.union uf u v) sorted
+
+let prim g ~root =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Mst.prim: root out of range";
+  let in_tree = Array.make n false in
+  let heap = Binheap.create () in
+  let tree = ref [] in
+  let add u =
+    in_tree.(u) <- true;
+    Graph.iter_neighbors g u (fun v w ->
+        if not in_tree.(v) then Binheap.push heap w (u, v, w))
+  in
+  add root;
+  let rec drain () =
+    match Binheap.pop heap with
+    | None -> ()
+    | Some (_, (u, v, w)) ->
+        if not in_tree.(v) then begin
+          tree := (min u v, max u v, w) :: !tree;
+          add v
+        end;
+        drain ()
+  in
+  drain ();
+  List.rev !tree
+
+let weight tree = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 tree
+
+let spans g tree nodes =
+  let uf = Union_find.create (Graph.n g) in
+  List.iter (fun (u, v, _) -> ignore (Union_find.union uf u v)) tree;
+  match nodes with
+  | [] -> true
+  | first :: rest -> List.for_all (fun v -> Union_find.same uf first v) rest

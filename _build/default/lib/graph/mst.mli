@@ -1,0 +1,15 @@
+(** Minimum spanning trees and forests. *)
+
+val kruskal : Graph.t -> (int * int * float) list
+(** Minimum spanning forest (spanning tree per connected component), as an
+    edge list with [u < v]. *)
+
+val prim : Graph.t -> root:int -> (int * int * float) list
+(** Minimum spanning tree of the connected component containing [root]. *)
+
+val weight : (int * int * float) list -> float
+(** Total weight of an edge list. *)
+
+val spans : Graph.t -> (int * int * float) list -> int list -> bool
+(** [spans g tree nodes] checks that all [nodes] lie in one connected
+    component of the edge-induced subgraph [tree]. *)

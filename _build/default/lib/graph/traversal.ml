@@ -1,0 +1,79 @@
+let bfs_order g s =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  let order = ref [] in
+  seen.(s) <- true;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order := u :: !order;
+    Graph.iter_neighbors g u (fun v _ ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+  done;
+  List.rev !order
+
+let reachable g s =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  List.iter (fun v -> seen.(v) <- true) (bfs_order g s);
+  seen
+
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for s = 0 to n - 1 do
+    if comp.(s) = -1 then begin
+      let id = !next in
+      incr next;
+      List.iter (fun v -> comp.(v) <- id) (bfs_order g s)
+    end
+  done;
+  comp
+
+let component_count g =
+  let comp = components g in
+  Array.fold_left max (-1) comp + 1
+
+let is_connected g = Graph.n g = 0 || component_count g = 1
+
+let is_forest g = Graph.m g = Graph.n g - component_count g
+
+let is_tree_spanning g nodes =
+  match nodes with
+  | [] -> true
+  | first :: _ ->
+      let seen = reachable g first in
+      is_forest g
+      && List.for_all (fun v -> seen.(v)) nodes
+
+let degrees edges =
+  let tbl = Hashtbl.create 64 in
+  let bump u =
+    Hashtbl.replace tbl u (1 + Option.value ~default:0 (Hashtbl.find_opt tbl u))
+  in
+  List.iter
+    (fun (u, v, _) ->
+      bump u;
+      bump v)
+    edges;
+  tbl
+
+let tree_leaves edges =
+  let deg = degrees edges in
+  Hashtbl.fold (fun u d acc -> if d = 1 then u :: acc else acc) deg []
+
+let prune_steiner_leaves edges ~keep =
+  let rec go edges =
+    let deg = degrees edges in
+    let prunable u =
+      Hashtbl.find_opt deg u = Some 1 && not (keep u)
+    in
+    let kept = List.filter (fun (u, v, _) -> not (prunable u || prunable v)) edges in
+    if List.length kept = List.length edges then edges else go kept
+  in
+  go edges

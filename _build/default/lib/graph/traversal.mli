@@ -1,0 +1,28 @@
+(** Breadth/depth-first traversal and structural predicates. *)
+
+val bfs_order : Graph.t -> int -> int list
+(** Nodes reachable from the source, in BFS order. *)
+
+val reachable : Graph.t -> int -> bool array
+(** [reachable g s] marks every node reachable from [s]. *)
+
+val components : Graph.t -> int array
+(** Component id per node (ids are 0-based, assigned in node order). *)
+
+val component_count : Graph.t -> int
+
+val is_connected : Graph.t -> bool
+
+val is_forest : Graph.t -> bool
+(** No cycles (m = n - #components). *)
+
+val is_tree_spanning : Graph.t -> int list -> bool
+(** The graph restricted to its non-isolated nodes is a tree containing all
+    the listed nodes. *)
+
+val tree_leaves : (int * int * float) list -> int list
+(** Degree-1 nodes of an edge list. *)
+
+val prune_steiner_leaves : (int * int * float) list -> keep:(int -> bool) -> (int * int * float) list
+(** Repeatedly remove degree-1 nodes not satisfying [keep] (and their
+    incident edge) — classic Steiner-tree leaf pruning. *)

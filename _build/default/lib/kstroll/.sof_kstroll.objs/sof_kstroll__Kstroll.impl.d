@@ -1,0 +1,1 @@
+lib/kstroll/kstroll.ml: Array List

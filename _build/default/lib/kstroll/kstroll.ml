@@ -1,0 +1,124 @@
+type walk = { nodes : int list; cost : float }
+
+let distinct_count nodes = List.length (List.sort_uniq compare nodes)
+
+let walk_cost ~dist nodes =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (acc +. dist a b) rest
+    | _ -> acc
+  in
+  go 0.0 nodes
+
+let cheapest_insertion ~dist ~candidates ~src ~dst ~k =
+  let pool =
+    List.sort_uniq compare
+      (List.filter (fun v -> v <> src && v <> dst) candidates)
+  in
+  let base = if src = dst then 1 else 2 in
+  if k > base + List.length pool then None
+  else begin
+    (* Path kept as a list; lengths stay tiny (k <= |C| + 1). *)
+    let path = ref [ src; dst ] in
+    let remaining = ref pool in
+    let infeasible = ref false in
+    let count = ref base in
+    while !count < k && not !infeasible do
+      (* Find the (candidate, position) pair with minimum detour cost. *)
+      let best = ref None in
+      List.iter
+        (fun v ->
+          let rec scan prefix = function
+            | a :: (b :: _ as rest) ->
+                let delta = dist a v +. dist v b -. dist a b in
+                (match !best with
+                | Some (d, _, _, _) when d <= delta -> ()
+                | _ -> best := Some (delta, v, List.rev (a :: prefix), rest));
+                scan (a :: prefix) rest
+            | _ -> ()
+          in
+          scan [] !path)
+        !remaining;
+      match !best with
+      | Some (delta, v, before, after) when delta < infinity ->
+          path := before @ (v :: after);
+          remaining := List.filter (fun x -> x <> v) !remaining;
+          incr count
+      | _ -> infeasible := true
+    done;
+    if !infeasible then None
+    else
+      let cost = walk_cost ~dist !path in
+      if cost = infinity then None else Some { nodes = !path; cost }
+  end
+
+let popcount =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0
+
+let exact ~dist ~candidates ~src ~dst ~k =
+  let pool =
+    Array.of_list
+      (List.sort_uniq compare
+         (List.filter (fun v -> v <> src && v <> dst) candidates))
+  in
+  let m = Array.length pool in
+  if m > 20 then invalid_arg "Kstroll.exact: too many candidates";
+  let base = if src = dst then 1 else 2 in
+  let need = max 0 (k - base) in
+  if need > m then None
+  else if need = 0 then begin
+    let cost = dist src dst in
+    if cost = infinity then None
+    else Some { nodes = (if src = dst then [ src ] else [ src; dst ]); cost }
+  end
+  else begin
+    (* dp.(mask).(i): cheapest path from src visiting exactly the candidates
+       in [mask], ending at pool.(i).  parent pointers reconstruct it. *)
+    let full = (1 lsl m) - 1 in
+    let dp = Array.make_matrix (full + 1) m infinity in
+    let parent = Array.make_matrix (full + 1) m (-1) in
+    for i = 0 to m - 1 do
+      dp.(1 lsl i).(i) <- dist src pool.(i)
+    done;
+    for mask = 1 to full do
+      if popcount mask <= need then
+        for i = 0 to m - 1 do
+          if mask land (1 lsl i) <> 0 && dp.(mask).(i) < infinity then
+            for j = 0 to m - 1 do
+              if mask land (1 lsl j) = 0 then begin
+                let nmask = mask lor (1 lsl j) in
+                let nd = dp.(mask).(i) +. dist pool.(i) pool.(j) in
+                if nd < dp.(nmask).(j) then begin
+                  dp.(nmask).(j) <- nd;
+                  parent.(nmask).(j) <- i
+                end
+              end
+            done
+        done
+    done;
+    let best = ref None in
+    for mask = 1 to full do
+      if popcount mask = need then
+        for i = 0 to m - 1 do
+          if mask land (1 lsl i) <> 0 then begin
+            let total = dp.(mask).(i) +. dist pool.(i) dst in
+            match !best with
+            | Some (c, _, _) when c <= total -> ()
+            | _ -> if total < infinity then best := Some (total, mask, i)
+          end
+        done
+    done;
+    match !best with
+    | None -> None
+    | Some (cost, mask, last) ->
+        let rec unwind mask i acc =
+          let p = parent.(mask).(i) in
+          if p = -1 then pool.(i) :: acc
+          else unwind (mask lxor (1 lsl i)) p (pool.(i) :: acc)
+        in
+        let mids = unwind mask last [] in
+        let nodes =
+          if src = dst then (src :: mids) @ [ dst ] else (src :: mids) @ [ dst ]
+        in
+        Some { nodes; cost }
+  end

@@ -1,0 +1,50 @@
+(** The k-stroll problem on metric instances.
+
+    Given a metric distance function, two endpoints [src] and [dst], and a
+    target [k], find a cheap walk from [src] to [dst] that visits at least
+    [k] distinct nodes (endpoints included).  SOFDA uses this as the
+    service-chain backbone (Definition 2 of the paper, with
+    [k = |C| + 1]).
+
+    The paper invokes the 2-approximation of Chaudhuri et al. (FOCS'03);
+    that algorithm is a theoretical construction built on dense LP machinery
+    with no published implementation.  We substitute the classic
+    cheapest-insertion heuristic — on metric instances it produces paths
+    whose cost our exact Held–Karp probes confirm to be near-optimal at the
+    paper's scales (k <= 8); see DESIGN.md.  [exact] is the Held–Karp
+    dynamic program, exponential in the candidate count, used in tests. *)
+
+type walk = {
+  nodes : int list;  (** visited nodes, [src] first, [dst] last *)
+  cost : float;
+}
+
+val cheapest_insertion :
+  dist:(int -> int -> float) ->
+  candidates:int list ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  walk option
+(** [cheapest_insertion ~dist ~candidates ~src ~dst ~k] grows the path
+    [src — dst] by repeatedly inserting the candidate with the smallest
+    detour until it visits [k] distinct nodes.  Candidates may include the
+    endpoints (they are ignored).  Returns [None] when fewer than [k]
+    distinct nodes are available or some needed distance is infinite. *)
+
+val exact :
+  dist:(int -> int -> float) ->
+  candidates:int list ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  walk option
+(** Optimal k-stroll by Held–Karp over subsets of candidates.  Intended for
+    tests: @raise Invalid_argument when more than 20 candidates remain after
+    removing the endpoints. *)
+
+val distinct_count : int list -> int
+(** Number of distinct nodes in a walk. *)
+
+val walk_cost : dist:(int -> int -> float) -> int list -> float
+(** Recompute the cost of a node sequence under [dist]. *)

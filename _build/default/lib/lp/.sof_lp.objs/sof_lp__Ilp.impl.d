@@ -1,0 +1,1 @@
+lib/lp/ilp.ml: Array Float List Option Simplex Unix

@@ -1,0 +1,152 @@
+type t = {
+  lp : Simplex.problem;
+  binaries : int list;
+  ub_binaries : int list;
+}
+
+let make ?ub_binaries ~binaries lp =
+  { lp; binaries; ub_binaries = Option.value ~default:binaries ub_binaries }
+
+type status = Optimal | Feasible | Infeasible | Budget_exhausted
+
+type result = {
+  status : status;
+  best : (float array * float) option;
+  bound : float;
+  nodes_explored : int;
+}
+
+let integral_tol = 1e-6
+
+(* Relaxation of the root problem with the upper bounds x_j <= 1 for every
+   binary, plus the branching fixings [fixed : (var * value) list] realized
+   as equality rows. *)
+let relaxation base ub_binaries fixed =
+  let ub_rows = List.map (fun j -> [ (j, 1.0) ]) ub_binaries in
+  let fix_rows = List.map (fun (j, _) -> [ (j, 1.0) ]) fixed in
+  let rows =
+    Array.concat
+      [ base.Simplex.rows; Array.of_list ub_rows; Array.of_list fix_rows ]
+  in
+  let relations =
+    Array.concat
+      [
+        base.Simplex.relations;
+        Array.make (List.length ub_rows) Simplex.Le;
+        Array.make (List.length fix_rows) Simplex.Eq;
+      ]
+  in
+  let rhs =
+    Array.concat
+      [
+        base.Simplex.rhs;
+        Array.make (List.length ub_rows) 1.0;
+        Array.of_list (List.map snd fixed);
+      ]
+  in
+  { base with Simplex.rows; relations; rhs }
+
+let most_fractional binaries x =
+  let best = ref None in
+  List.iter
+    (fun j ->
+      let v = x.(j) in
+      let frac = abs_float (v -. Float.round v) in
+      if frac > integral_tol then
+        match !best with
+        | Some (bf, _) when bf >= frac -> ()
+        | _ -> best := Some (frac, j))
+    binaries;
+  Option.map snd !best
+
+(* Min-priority queue over LP bounds, reusing the pairing of sorted lists;
+   node volumes stay small (hundreds), so a sorted insertion list is fine. *)
+module Frontier = struct
+  type 'a t = { mutable items : (float * 'a) list }
+
+  let create () = { items = [] }
+  let is_empty q = q.items = []
+
+  let push q prio v =
+    let rec ins = function
+      | [] -> [ (prio, v) ]
+      | (p, _) :: _ as rest when prio <= p -> (prio, v) :: rest
+      | hd :: rest -> hd :: ins rest
+    in
+    q.items <- ins q.items
+
+  let pop q =
+    match q.items with
+    | [] -> None
+    | hd :: rest ->
+        q.items <- rest;
+        Some hd
+
+  let min_bound q = match q.items with [] -> None | (p, _) :: _ -> Some p
+end
+
+let solve ?(node_limit = 2000) ?(time_budget = 60.0) ?initial_incumbent
+    { lp; binaries; ub_binaries } =
+  let t0 = Unix.gettimeofday () in
+  let incumbent = ref None in
+  let incumbent_obj =
+    ref (Option.value ~default:infinity initial_incumbent)
+  in
+  let frontier = Frontier.create () in
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  let best_pruned_bound = ref infinity in
+  let root_infeasible = ref false in
+  let expand fixed =
+    incr nodes;
+    match Simplex.solve (relaxation lp ub_binaries fixed) with
+    | Simplex.Infeasible ->
+        if fixed = [] then root_infeasible := true
+    | Simplex.Unbounded | Simplex.Iteration_limit ->
+        (* treat as unexplorable: keep the bound conservative *)
+        best_pruned_bound := min !best_pruned_bound neg_infinity
+    | Simplex.Optimal { x; objective } ->
+        if objective < !incumbent_obj -. 1e-9 then begin
+          match most_fractional binaries x with
+          | None ->
+              incumbent := Some (x, objective);
+              incumbent_obj := objective
+          | Some j -> Frontier.push frontier objective (fixed, j)
+        end
+  in
+  expand [];
+  let continue () =
+    (not (Frontier.is_empty frontier))
+    && !nodes < node_limit
+    && Unix.gettimeofday () -. t0 < time_budget
+  in
+  while continue () do
+    match Frontier.pop frontier with
+    | None -> ()
+    | Some (bound, (fixed, j)) ->
+        if bound < !incumbent_obj -. 1e-9 then begin
+          expand ((j, 0.0) :: fixed);
+          expand ((j, 1.0) :: fixed)
+        end
+  done;
+  if not (Frontier.is_empty frontier) then exhausted := true;
+  let frontier_bound =
+    Option.value ~default:infinity (Frontier.min_bound frontier)
+  in
+  let bound =
+    if !root_infeasible then infinity
+    else min frontier_bound !incumbent_obj
+  in
+  let status =
+    if !root_infeasible then Infeasible
+    else
+      match (!incumbent, !exhausted) with
+      | Some _, false -> Optimal
+      | Some _, true -> Feasible
+      | None, true -> Budget_exhausted
+      | None, false ->
+          if !incumbent_obj < infinity then (* seeded incumbent proved optimal *)
+            Optimal
+          else Infeasible
+  in
+  { status; best = !incumbent; bound; nodes_explored = !nodes }

@@ -1,0 +1,42 @@
+(** 0/1 integer programming by branch-and-bound over {!Simplex} relaxations
+    — the repository's stand-in for CPLEX (DESIGN.md substitution table).
+
+    Best-first search; branching picks the most fractional binary variable;
+    nodes are pruned against the incumbent.  Every binary variable is
+    implicitly bounded by [x <= 1] (added to the relaxation).  The solver
+    honours node and wall-clock budgets and always reports the best proven
+    lower bound, so callers can print optimality gaps when a budget
+    expires. *)
+
+type t = {
+  lp : Simplex.problem;
+  binaries : int list;     (** variables constrained to {0,1} *)
+  ub_binaries : int list;
+      (** binaries that need an explicit [x <= 1] row in the relaxation;
+          leave out variables whose upper bound is already implied by the
+          constraints (packing/assignment rows) — the relaxation stays a
+          valid lower bound and the tableau stays small *)
+}
+
+val make : ?ub_binaries:int list -> binaries:int list -> Simplex.problem -> t
+(** [ub_binaries] defaults to [binaries]. *)
+
+type status = Optimal | Feasible | Infeasible | Budget_exhausted
+
+type result = {
+  status : status;
+  best : (float array * float) option;  (** incumbent and its objective *)
+  bound : float;                        (** proven lower bound *)
+  nodes_explored : int;
+}
+
+val solve :
+  ?node_limit:int ->
+  ?time_budget:float ->
+  ?initial_incumbent:float ->
+  t ->
+  result
+(** [node_limit] defaults to 2000; [time_budget] (seconds) defaults to 60.
+    [initial_incumbent] lets callers seed pruning with a known feasible
+    objective (e.g. a SOFDA solution) — note the incumbent vector is then
+    [None] unless the search finds something at least as good. *)

@@ -1,0 +1,267 @@
+type relation = Le | Ge | Eq
+
+type problem = {
+  n_vars : int;
+  objective : float array;
+  rows : (int * float) list array;
+  relations : relation array;
+  rhs : float array;
+}
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+let eps = 1e-9
+
+(* Internal tableau:
+   columns: [0, n_vars) structural, then one slack/surplus per inequality,
+   then one artificial per row that needs it; final column is the RHS.
+   [basis.(r)] is the column basic in row r. *)
+type tableau = {
+  a : float array array; (* m rows *)
+  m : int;
+  cols : int;            (* total columns excluding RHS *)
+  rhs_col : int;
+  basis : int array;
+}
+
+let validate p =
+  let m = Array.length p.rows in
+  if Array.length p.relations <> m || Array.length p.rhs <> m then
+    invalid_arg "Simplex.solve: ragged problem";
+  if Array.length p.objective <> p.n_vars then
+    invalid_arg "Simplex.solve: objective arity";
+  Array.iter
+    (List.iter (fun (j, _) ->
+         if j < 0 || j >= p.n_vars then
+           invalid_arg "Simplex.solve: coefficient index out of range"))
+    p.rows
+
+let build p =
+  let m = Array.length p.rows in
+  (* Normalize to nonnegative RHS. *)
+  let rows = Array.map (fun r -> r) p.rows in
+  let rels = Array.copy p.relations in
+  let rhs = Array.copy p.rhs in
+  for i = 0 to m - 1 do
+    if rhs.(i) < 0.0 then begin
+      rows.(i) <- List.map (fun (j, v) -> (j, -.v)) rows.(i);
+      rhs.(i) <- -.rhs.(i);
+      rels.(i) <-
+        (match rels.(i) with Le -> Ge | Ge -> Le | Eq -> Eq)
+    end
+  done;
+  let n_slack = ref 0 and n_art = ref 0 in
+  Array.iter
+    (fun rel ->
+      match rel with
+      | Le -> incr n_slack
+      | Ge ->
+          incr n_slack;
+          incr n_art
+      | Eq -> incr n_art)
+    rels;
+  let cols = p.n_vars + !n_slack + !n_art in
+  let a = Array.make_matrix m (cols + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let slack_base = p.n_vars in
+  let art_base = p.n_vars + !n_slack in
+  let si = ref 0 and ai = ref 0 in
+  for i = 0 to m - 1 do
+    List.iter (fun (j, v) -> a.(i).(j) <- a.(i).(j) +. v) rows.(i);
+    a.(i).(cols) <- rhs.(i);
+    (match rels.(i) with
+    | Le ->
+        a.(i).(slack_base + !si) <- 1.0;
+        basis.(i) <- slack_base + !si;
+        incr si
+    | Ge ->
+        a.(i).(slack_base + !si) <- -1.0;
+        incr si;
+        a.(i).(art_base + !ai) <- 1.0;
+        basis.(i) <- art_base + !ai;
+        incr ai
+    | Eq ->
+        a.(i).(art_base + !ai) <- 1.0;
+        basis.(i) <- art_base + !ai;
+        incr ai)
+  done;
+  ({ a; m; cols; rhs_col = cols; basis }, art_base)
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  let inv = 1.0 /. p in
+  for j = 0 to t.rhs_col do
+    arow.(j) <- arow.(j) *. inv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if abs_float f > eps then begin
+        let target = t.a.(i) in
+        for j = 0 to t.rhs_col do
+          target.(j) <- target.(j) -. (f *. arow.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Run primal simplex on tableau [t] for objective [obj] (array over all
+   columns).  The objective row is maintained explicitly.  Returns
+   [`Optimal], [`Unbounded] or [`Limit]. *)
+let optimize t obj ~max_iters ~allowed =
+  let z = Array.make (t.rhs_col + 1) 0.0 in
+  Array.blit obj 0 z 0 (Array.length obj);
+  (* Make the objective row consistent with the current basis: subtract
+     multiples of basic rows so basic columns have zero reduced cost. *)
+  for i = 0 to t.m - 1 do
+    let b = t.basis.(i) in
+    let f = z.(b) in
+    if abs_float f > eps then
+      for j = 0 to t.rhs_col do
+        z.(j) <- z.(j) -. (f *. t.a.(i).(j))
+      done
+  done;
+  let iters = ref 0 in
+  let bland_after = max_iters / 2 in
+  let rec loop () =
+    if !iters >= max_iters then `Limit
+    else begin
+      incr iters;
+      (* entering column *)
+      let enter = ref (-1) in
+      let best = ref (-.eps) in
+      let use_bland = !iters > bland_after in
+      (try
+         for j = 0 to t.cols - 1 do
+           if allowed j && z.(j) < -.eps then
+             if use_bland then begin
+               enter := j;
+               raise Exit
+             end
+             else if z.(j) < !best then begin
+               best := z.(j);
+               enter := j
+             end
+         done
+       with Exit -> ());
+      if !enter = -1 then `Optimal
+      else begin
+        let col = !enter in
+        (* ratio test; Bland tie-break on basis index *)
+        let row = ref (-1) in
+        let best_ratio = ref infinity in
+        for i = 0 to t.m - 1 do
+          let aij = t.a.(i).(col) in
+          if aij > eps then begin
+            let ratio = t.a.(i).(t.rhs_col) /. aij in
+            if
+              ratio < !best_ratio -. eps
+              || (ratio < !best_ratio +. eps
+                 && !row >= 0
+                 && t.basis.(i) < t.basis.(!row))
+            then begin
+              best_ratio := ratio;
+              row := i
+            end
+          end
+        done;
+        if !row = -1 then `Unbounded
+        else begin
+          pivot t ~row:!row ~col;
+          let f = z.(col) in
+          if abs_float f > eps then begin
+            let arow = t.a.(!row) in
+            for j = 0 to t.rhs_col do
+              z.(j) <- z.(j) -. (f *. arow.(j))
+            done
+          end;
+          loop ()
+        end
+      end
+    end
+  in
+  (loop (), z)
+
+let extract t n_vars =
+  let x = Array.make n_vars 0.0 in
+  for i = 0 to t.m - 1 do
+    let b = t.basis.(i) in
+    if b < n_vars then x.(b) <- t.a.(i).(t.rhs_col)
+  done;
+  x
+
+let solve ?max_iters p =
+  validate p;
+  let m = Array.length p.rows in
+  let max_iters =
+    match max_iters with Some k -> k | None -> 50 * (m + p.n_vars)
+  in
+  let t, art_base = build p in
+  (* Phase 1: minimize the sum of artificials. *)
+  let phase1_obj = Array.make (t.cols + 1) 0.0 in
+  for j = art_base to t.cols - 1 do
+    phase1_obj.(j) <- 1.0
+  done;
+  let status1, _ = optimize t phase1_obj ~max_iters ~allowed:(fun _ -> true) in
+  (match status1 with `Unbounded -> assert false | _ -> ());
+  if status1 = `Limit then Iteration_limit
+  else begin
+    let art_sum =
+      let s = ref 0.0 in
+      for i = 0 to t.m - 1 do
+        if t.basis.(i) >= art_base then s := !s +. t.a.(i).(t.rhs_col)
+      done;
+      !s
+    in
+    if art_sum > 1e-6 then Infeasible
+    else begin
+      (* Drive any degenerate artificial out of the basis if possible. *)
+      for i = 0 to t.m - 1 do
+        if t.basis.(i) >= art_base then begin
+          let found = ref (-1) in
+          for j = 0 to art_base - 1 do
+            if !found = -1 && abs_float t.a.(i).(j) > 1e-7 then found := j
+          done;
+          if !found >= 0 then pivot t ~row:i ~col:!found
+        end
+      done;
+      (* Phase 2: original objective; artificial columns forbidden. *)
+      let phase2_obj = Array.make (t.cols + 1) 0.0 in
+      Array.blit p.objective 0 phase2_obj 0 p.n_vars;
+      let status2, _ =
+        optimize t phase2_obj ~max_iters ~allowed:(fun j -> j < art_base)
+      in
+      match status2 with
+      | `Unbounded -> Unbounded
+      | `Limit -> Iteration_limit
+      | `Optimal ->
+          let x = extract t p.n_vars in
+          let objective =
+            Array.to_seq (Array.mapi (fun j v -> p.objective.(j) *. v) x)
+            |> Seq.fold_left ( +. ) 0.0
+          in
+          Optimal { x; objective }
+    end
+  end
+
+let check_feasible ?(tol = 1e-6) p x =
+  Array.length x = p.n_vars
+  && Array.for_all (fun v -> v >= -.tol) x
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i row ->
+      let lhs = List.fold_left (fun acc (j, v) -> acc +. (v *. x.(j))) 0.0 row in
+      let b = p.rhs.(i) in
+      match p.relations.(i) with
+      | Le -> if lhs > b +. tol then ok := false
+      | Ge -> if lhs < b -. tol then ok := false
+      | Eq -> if abs_float (lhs -. b) > tol then ok := false)
+    p.rows;
+  !ok

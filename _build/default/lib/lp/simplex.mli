@@ -1,0 +1,35 @@
+(** Dense two-phase primal simplex for small linear programs.
+
+    Minimize [c . x] subject to sparse rows [a_i . x  (<= | >= | =)  b_i]
+    and [x >= 0].  This is the LP engine under the branch-and-bound ILP
+    solver that stands in for CPLEX (see DESIGN.md); it is tuned for the
+    few-thousand-variable instances produced by {!Sof.Ip_model}, not for
+    production-scale LPs.
+
+    Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
+    to escape degenerate cycling; iterations are capped. *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  n_vars : int;
+  objective : float array;            (** length [n_vars]; minimized *)
+  rows : (int * float) list array;    (** sparse constraint coefficients *)
+  relations : relation array;
+  rhs : float array;
+}
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+val solve : ?max_iters:int -> problem -> outcome
+(** [max_iters] defaults to [50 * (rows + vars)].  @raise Invalid_argument
+    on ragged input. *)
+
+val check_feasible : ?tol:float -> problem -> float array -> bool
+(** Does [x] satisfy every constraint and nonnegativity (within [tol],
+    default 1e-6)?  Used by tests and by the ILP layer to sanity-check
+    incumbents. *)

@@ -1,0 +1,1 @@
+lib/sdn/controller.ml: Array Domain Hashtbl List Sof_graph

@@ -1,0 +1,1 @@
+lib/sdn/controller.mli: Domain Sof_graph

@@ -1,0 +1,1 @@
+lib/sdn/distributed.ml: Array Controller Domain Fabric Flow_table Hashtbl List Sof Sof_graph

@@ -1,0 +1,1 @@
+lib/sdn/distributed.mli: Domain Fabric Sof Sof_graph

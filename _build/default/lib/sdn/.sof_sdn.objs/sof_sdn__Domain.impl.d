@@ -1,0 +1,1 @@
+lib/sdn/domain.ml: Array List Queue Sof_graph

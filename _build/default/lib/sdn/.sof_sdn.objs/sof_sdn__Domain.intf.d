@@ -1,0 +1,1 @@
+lib/sdn/domain.mli: Sof_graph

@@ -1,0 +1,1 @@
+lib/sdn/fabric.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/sdn/fabric.mli:

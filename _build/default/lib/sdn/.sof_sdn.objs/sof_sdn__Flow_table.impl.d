@@ -1,0 +1,1 @@
+lib/sdn/flow_table.ml: Array Hashtbl List Map Option Queue Sof

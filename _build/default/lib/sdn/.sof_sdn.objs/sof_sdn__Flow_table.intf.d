@@ -1,0 +1,1 @@
+lib/sdn/flow_table.mli: Sof

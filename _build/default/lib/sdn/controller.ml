@@ -1,0 +1,70 @@
+module Graph = Sof_graph.Graph
+module Dijkstra = Sof_graph.Dijkstra
+
+type t = {
+  id : int;
+  global_n : int;
+  members : int list;
+  borders : int list;
+  in_domain : bool array;
+  subgraph : Graph.t; (* same node ids as the global graph; foreign edges removed *)
+  cache : (int, Dijkstra.result) Hashtbl.t;
+}
+
+let create g domains id =
+  let members = domains.Domain.members.(id) in
+  let in_domain = Array.make (Graph.n g) false in
+  List.iter (fun v -> in_domain.(v) <- true) members;
+  let subgraph =
+    Graph.filter_edges g (fun u v _ -> in_domain.(u) && in_domain.(v))
+  in
+  {
+    id;
+    global_n = Graph.n g;
+    members;
+    borders = Domain.border_routers g domains id;
+    in_domain;
+    subgraph;
+    cache = Hashtbl.create 8;
+  }
+
+let id t = t.id
+let members t = t.members
+let borders t = t.borders
+let covers t v = v >= 0 && v < t.global_n && t.in_domain.(v)
+
+let run_from t v =
+  match Hashtbl.find_opt t.cache v with
+  | Some r -> r
+  | None ->
+      let r = Dijkstra.run t.subgraph v in
+      Hashtbl.replace t.cache v r;
+      r
+
+let intra_distance t u v =
+  if not (covers t u && covers t v) then infinity
+  else (run_from t u).Dijkstra.dist.(v)
+
+let intra_path t u v =
+  if not (covers t u && covers t v) then None
+  else Dijkstra.path_to (run_from t u) v
+
+let border_matrix t =
+  List.concat_map
+    (fun b1 ->
+      List.filter_map
+        (fun b2 ->
+          if b1 < b2 then begin
+            let d = intra_distance t b1 b2 in
+            if d < infinity then Some (b1, b2, d) else None
+          end
+          else None)
+        t.borders)
+    t.borders
+
+let node_to_borders t v =
+  List.filter_map
+    (fun b ->
+      let d = intra_distance t v b in
+      if d < infinity then Some (b, d) else None)
+    t.borders

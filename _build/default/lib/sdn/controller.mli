@@ -1,0 +1,32 @@
+(** A single SDN controller: owns one domain, computes intra-domain
+    shortest paths, and abstracts them as a border-router distance matrix
+    for its peers (Section VI). *)
+
+type t
+
+val create : Sof_graph.Graph.t -> Domain.t -> int -> t
+(** [create g domains id] — controller [id] over its domain's induced
+    subgraph of [g]. *)
+
+val id : t -> int
+
+val members : t -> int list
+
+val borders : t -> int list
+
+val covers : t -> int -> bool
+
+val intra_distance : t -> int -> int -> float
+(** Shortest-path distance {e inside the domain's induced subgraph};
+    [infinity] when separated (or when either node is outside the domain).
+    Matches what a real controller can compute from its local topology
+    only. *)
+
+val intra_path : t -> int -> int -> int list option
+
+val border_matrix : t -> (int * int * float) list
+(** Distances between every pair of the domain's border routers, the
+    payload each controller advertises over the east–west interface. *)
+
+val node_to_borders : t -> int -> (int * float) list
+(** Distances from an owned node to each border router of the domain. *)

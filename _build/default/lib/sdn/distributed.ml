@@ -1,0 +1,153 @@
+module Graph = Sof_graph.Graph
+module Dijkstra = Sof_graph.Dijkstra
+
+type net = {
+  graph : Graph.t;
+  domains : Domain.t;
+  controllers : Controller.t array;
+  mutable advertised : (int * int * float) list; (* union of border matrices *)
+  mutable exchanged : bool;
+}
+
+let create graph ~k =
+  let domains = Domain.partition graph ~k in
+  let controllers =
+    Array.init domains.Domain.count (Controller.create graph domains)
+  in
+  { graph; domains; controllers; advertised = []; exchanged = false }
+
+let domains net = net.domains
+
+let controller_of net v = net.domains.Domain.of_node.(v)
+
+let exchange_matrices net fabric =
+  let k = net.domains.Domain.count in
+  let matrices = Array.map Controller.border_matrix net.controllers in
+  for src = 0 to k - 1 do
+    for dst = 0 to k - 1 do
+      if src <> dst then begin
+        Fabric.send fabric ~src ~dst Fabric.Border_matrix;
+        Fabric.send fabric ~src ~dst Fabric.Reachability
+      end
+    done
+  done;
+  net.advertised <- List.concat (Array.to_list matrices);
+  net.exchanged <- true
+
+(* Overlay graph: all border routers, intra-domain matrix edges,
+   inter-domain physical edges, plus the two query endpoints attached by
+   their node-to-border distances (and a direct intra edge when they share
+   a domain). *)
+let overlay_distance net u v =
+  if not net.exchanged then
+    invalid_arg "Distributed.overlay_distance: matrices not exchanged";
+  if u = v then 0.0
+  else begin
+    let cu = net.controllers.(controller_of net u) in
+    let cv = net.controllers.(controller_of net v) in
+    (* compact node ids for the overlay *)
+    let ids = Hashtbl.create 64 in
+    let fresh = ref 0 in
+    let id_of x =
+      match Hashtbl.find_opt ids x with
+      | Some i -> i
+      | None ->
+          let i = !fresh in
+          incr fresh;
+          Hashtbl.replace ids x i;
+          i
+    in
+    let edges = ref [] in
+    let add a b w = if a <> b then edges := (id_of a, id_of b, w) :: !edges in
+    List.iter (fun (a, b, w) -> add a b w) net.advertised;
+    List.iter
+      (fun (a, b, w) -> add a b w)
+      (Domain.inter_domain_edges net.graph net.domains);
+    List.iter (fun (b, d) -> add u b d) (Controller.node_to_borders cu u);
+    List.iter (fun (b, d) -> add v b d) (Controller.node_to_borders cv v);
+    let direct =
+      if Controller.id cu = Controller.id cv then
+        Controller.intra_distance cu u v
+      else infinity
+    in
+    if direct < infinity then add u v direct;
+    let su = id_of u and sv = id_of v in
+    let g = Graph.create ~n:!fresh ~edges:!edges in
+    (Dijkstra.run g su).Dijkstra.dist.(sv)
+  end
+
+type stats = {
+  forest : Sof.Forest.t;
+  leader : int;
+  messages : (string * int) list;
+  rules_installed : int;
+  conflicts : int;
+}
+
+let solve net fabric (problem : Sof.Problem.t) =
+  if not net.exchanged then exchange_matrices net fabric;
+  let leader =
+    match problem.Sof.Problem.sources with
+    | s :: _ -> controller_of net s
+    | [] -> 0
+  in
+  (* Chain pricing: the leader queries the controller owning each source
+     for candidate chains; that controller in turn needs the VM owners'
+     advertised distances (already exchanged), so one query/response pair
+     per (leader, source-owner) and per (source-owner, vm-owner) domain
+     pair suffices. *)
+  let pairs = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let cs = controller_of net s in
+      if cs <> leader then Hashtbl.replace pairs (leader, cs) ();
+      List.iter
+        (fun vm ->
+          let cm = controller_of net vm in
+          if cm <> cs then Hashtbl.replace pairs (cs, cm) ())
+        problem.Sof.Problem.vms)
+    problem.Sof.Problem.sources;
+  Hashtbl.iter
+    (fun (src, dst) () ->
+      Fabric.send fabric ~src ~dst Fabric.Chain_query;
+      Fabric.send fabric ~src:dst ~dst:src Fabric.Chain_query)
+    pairs;
+  match Sof.Sofda.solve problem with
+  | None -> None
+  | Some report ->
+      let forest = report.Sof.Sofda.forest in
+      (* Steiner construction rounds: the leader pushes every accepted tree
+         edge to the controller owning its upstream endpoint. *)
+      List.iter
+        (fun (a, _) ->
+          let owner = controller_of net a in
+          if owner <> leader then
+            Fabric.send fabric ~src:leader ~dst:owner Fabric.Steiner_update)
+        forest.Sof.Forest.delivery;
+      (* Conflict elimination notifications: one exchange per conflicted
+         VM between the leader and a peer controller. *)
+      for _ = 1 to report.Sof.Sofda.conflicts_resolved do
+        Fabric.send fabric ~src:leader
+          ~dst:((leader + 1) mod net.domains.Domain.count)
+          Fabric.Conflict_notice;
+        Fabric.send fabric
+          ~src:((leader + 1) mod net.domains.Domain.count)
+          ~dst:leader Fabric.Conflict_notice
+      done;
+      (* Southbound rule installation by each owning controller. *)
+      let rules = Flow_table.compile forest in
+      List.iter
+        (fun (r : Flow_table.rule) ->
+          let owner = controller_of net r.Flow_table.node in
+          if owner <> leader then
+            Fabric.send fabric ~src:leader ~dst:owner Fabric.Rule_install;
+          Fabric.send fabric ~src:owner ~dst:owner Fabric.Rule_install)
+        rules;
+      Some
+        {
+          forest;
+          leader;
+          messages = Fabric.report fabric;
+          rules_installed = List.length rules;
+          conflicts = report.Sof.Sofda.conflicts_resolved;
+        }

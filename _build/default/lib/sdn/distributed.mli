@@ -1,0 +1,45 @@
+(** Distributed SOFDA over a multi-controller SDN (Section VI).
+
+    Control plane: each controller abstracts its domain as a border-router
+    distance matrix and advertises it east–west; any controller can then
+    price inter-domain shortest paths on the {e overlay graph} (border
+    routers + inter-domain links + advertised matrices), which is provably
+    exact — a property test pins it against global Dijkstra.  The
+    controller receiving the request becomes the leader: it gathers
+    candidate service chains from the source-owning controllers, runs the
+    Steiner phase, coordinates VNF-conflict elimination with the involved
+    controllers, and has every controller install the final rules in its
+    own switches.  All cross-controller traffic flows through a
+    {!Fabric.t}, so the communication cost of every phase is observable. *)
+
+type net
+
+val create : Sof_graph.Graph.t -> k:int -> net
+(** Partition the network into [k] controller domains. *)
+
+val domains : net -> Domain.t
+
+val controller_of : net -> int -> int
+(** Owning controller of a node. *)
+
+val exchange_matrices : net -> Fabric.t -> unit
+(** Broadcast border matrices and reachability between all controller
+    pairs (idempotent; later calls re-advertise and re-count). *)
+
+val overlay_distance : net -> int -> int -> float
+(** Inter-domain shortest-path distance through the overlay — equal to
+    the global shortest-path distance.  Requires [exchange_matrices]. *)
+
+type stats = {
+  forest : Sof.Forest.t;
+  leader : int;
+  messages : (string * int) list;
+  rules_installed : int;
+  conflicts : int;
+}
+
+val solve : net -> Fabric.t -> Sof.Problem.t -> stats option
+(** Run SOFDA distributedly.  The resulting forest is identical in cost to
+    centralized {!Sof.Sofda.solve} (the leader operates on exact overlay
+    distances); what changes is the accounted communication.  [None] when
+    the instance is infeasible. *)

@@ -1,0 +1,93 @@
+module Graph = Sof_graph.Graph
+
+type t = {
+  count : int;
+  of_node : int array;
+  members : int list array;
+}
+
+(* Farthest-first seed selection by hop count: the first seed is node 0,
+   each next seed maximizes its BFS distance to the chosen set — giving
+   geographically spread, reasonably balanced domains. *)
+let spread_seeds g k =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let bfs_from s =
+    let q = Queue.create () in
+    dist.(s) <- 0;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Graph.iter_neighbors g u (fun v _ ->
+          if dist.(v) > dist.(u) + 1 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+    done
+  in
+  let seeds = Array.make k 0 in
+  bfs_from 0;
+  for i = 1 to k - 1 do
+    let best = ref 0 and best_d = ref (-1) in
+    for v = 0 to n - 1 do
+      let d = if dist.(v) = max_int then n else dist.(v) in
+      if d > !best_d then begin
+        best_d := d;
+        best := v
+      end
+    done;
+    seeds.(i) <- !best;
+    bfs_from !best
+  done;
+  seeds
+
+let partition g ~k =
+  let n = Graph.n g in
+  if k < 1 || k > n then invalid_arg "Domain.partition: bad k";
+  let of_node = Array.make n (-1) in
+  let seeds = spread_seeds g k in
+  let queues = Array.map (fun s -> Queue.create () |> fun q -> Queue.add s q; q) seeds in
+  Array.iteri (fun d s -> of_node.(s) <- d) seeds;
+  (* Round-robin BFS growth keeps regions contiguous and balanced. *)
+  let remaining = ref (n - k) in
+  let guard = ref 0 in
+  while !remaining > 0 && !guard < 4 * n * k do
+    incr guard;
+    for d = 0 to k - 1 do
+      if not (Queue.is_empty queues.(d)) then begin
+        let u = Queue.pop queues.(d) in
+        Graph.iter_neighbors g u (fun v _ ->
+            if of_node.(v) = -1 then begin
+              of_node.(v) <- d;
+              decr remaining;
+              Queue.add v queues.(d)
+            end);
+        (* keep expanding this node later if it still has free neighbors *)
+        let has_free = ref false in
+        Graph.iter_neighbors g u (fun v _ ->
+            if of_node.(v) = -1 then has_free := true);
+        if !has_free then Queue.add u queues.(d)
+      end
+    done
+  done;
+  (* disconnected leftovers go to domain 0 *)
+  Array.iteri (fun v d -> if d = -1 then of_node.(v) <- 0) of_node;
+  let members = Array.make k [] in
+  for v = n - 1 downto 0 do
+    members.(of_node.(v)) <- v :: members.(of_node.(v))
+  done;
+  { count = k; of_node; members }
+
+let is_border g t v =
+  Graph.fold_neighbors g v
+    (fun acc u _ -> acc || t.of_node.(u) <> t.of_node.(v))
+    false
+
+let border_routers g t d =
+  List.filter (is_border g t) t.members.(d)
+
+let inter_domain_edges g t =
+  let acc = ref [] in
+  Graph.iter_edges g (fun u v w ->
+      if t.of_node.(u) <> t.of_node.(v) then acc := (u, v, w) :: !acc);
+  List.rev !acc

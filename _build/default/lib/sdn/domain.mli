@@ -1,0 +1,25 @@
+(** Controller domains for multi-controller SDNs (Section VI).
+
+    The network is partitioned into contiguous domains, one per controller;
+    a node is a {e border router} of its domain when it has a link into
+    another domain. *)
+
+type t = {
+  count : int;            (** number of domains *)
+  of_node : int array;    (** domain id per node *)
+  members : int list array; (** nodes per domain *)
+}
+
+val partition : Sof_graph.Graph.t -> k:int -> t
+(** Deterministic partition by multi-seed BFS: [k] seeds chosen
+    farthest-first (by hop distance) grow regions simultaneously, giving
+    contiguous, geographically spread domains.  @raise Invalid_argument
+    when [k < 1] or [k > n]. *)
+
+val border_routers : Sof_graph.Graph.t -> t -> int -> int list
+(** Border routers of one domain. *)
+
+val is_border : Sof_graph.Graph.t -> t -> int -> bool
+
+val inter_domain_edges : Sof_graph.Graph.t -> t -> (int * int * float) list
+(** Edges whose endpoints lie in different domains. *)

@@ -1,0 +1,44 @@
+type kind =
+  | Border_matrix
+  | Reachability
+  | Chain_query
+  | Steiner_update
+  | Conflict_notice
+  | Rule_install
+
+let kind_to_string = function
+  | Border_matrix -> "border-matrix"
+  | Reachability -> "reachability"
+  | Chain_query -> "chain-query"
+  | Steiner_update -> "steiner-update"
+  | Conflict_notice -> "conflict-notice"
+  | Rule_install -> "rule-install"
+
+let all_kinds =
+  [
+    Border_matrix; Reachability; Chain_query; Steiner_update; Conflict_notice;
+    Rule_install;
+  ]
+
+type t = {
+  counters : (kind, int) Hashtbl.t;
+  mutable inter : int;
+  mutable south : int;
+}
+
+let create () = { counters = Hashtbl.create 8; inter = 0; south = 0 }
+
+let send t ~src ~dst kind =
+  Hashtbl.replace t.counters kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters kind));
+  if src = dst then t.south <- t.south + 1 else t.inter <- t.inter + 1
+
+let total t = t.inter
+let southbound t = t.south
+let count t kind = Option.value ~default:0 (Hashtbl.find_opt t.counters kind)
+
+let report t =
+  List.filter_map
+    (fun k ->
+      match count t k with 0 -> None | c -> Some (kind_to_string k, c))
+    all_kinds

@@ -1,0 +1,34 @@
+(** East–west inter-controller message fabric (Section VI).
+
+    A counting message bus standing in for the ODL-SDNi channel: the
+    distributed algorithms below route all cross-controller information
+    through [send], so tests and benchmarks can assert {e what} must be
+    exchanged and {e how much}. *)
+
+type t
+
+type kind =
+  | Border_matrix       (** intra-domain distance matrix broadcast *)
+  | Reachability        (** SDNi NLRI-style reachability advertisement *)
+  | Chain_query         (** candidate service-chain cost request/response *)
+  | Steiner_update      (** distributed Steiner tree construction round *)
+  | Conflict_notice     (** VNF conflict detection / resolution *)
+  | Rule_install        (** southbound flow-rule push, counted per switch *)
+
+val create : unit -> t
+
+val send : t -> src:int -> dst:int -> kind -> unit
+(** [src]/[dst] are controller ids ([dst = src] models southbound traffic
+    inside one domain and is counted separately). *)
+
+val total : t -> int
+(** All inter-controller messages (excludes southbound). *)
+
+val southbound : t -> int
+
+val count : t -> kind -> int
+
+val kind_to_string : kind -> string
+
+val report : t -> (string * int) list
+(** Per-kind counters, for logs and benches. *)

@@ -1,0 +1,102 @@
+type matcher = Stream of { source : int; stage : int } | Final
+
+type rule = { node : int; matcher : matcher; next_hops : int list }
+
+module Key = struct
+  type t = int * matcher
+
+  let compare = compare
+end
+
+module KeyMap = Map.Make (Key)
+
+let stage_sequence (w : Sof.Forest.walk) =
+  let n = Array.length w.Sof.Forest.hops in
+  let stage = Array.make n 0 in
+  List.iter
+    (fun (m : Sof.Forest.mark) ->
+      for i = m.Sof.Forest.pos to n - 1 do
+        stage.(i) <- max stage.(i) m.Sof.Forest.vnf
+      done)
+    w.Sof.Forest.marks;
+  stage
+
+let compile (f : Sof.Forest.t) =
+  let table = ref KeyMap.empty in
+  let add node matcher hop =
+    let key = (node, matcher) in
+    let prev = Option.value ~default:[] (KeyMap.find_opt key !table) in
+    if not (List.mem hop prev) then table := KeyMap.add key (hop :: prev) !table
+  in
+  List.iter
+    (fun (w : Sof.Forest.walk) ->
+      let stage = stage_sequence w in
+      for i = 0 to Array.length w.Sof.Forest.hops - 2 do
+        add
+          w.Sof.Forest.hops.(i)
+          (Stream { source = w.Sof.Forest.source; stage = stage.(i) })
+          w.Sof.Forest.hops.(i + 1)
+      done)
+    f.Sof.Forest.walks;
+  (* Orient delivery edges away from the injection points by multi-source
+     BFS, then emit one Final rule per forwarding node. *)
+  let adj = Hashtbl.create 32 in
+  let link a b =
+    Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a))
+  in
+  List.iter
+    (fun (a, b) ->
+      link a b;
+      link b a)
+    f.Sof.Forest.delivery;
+  let injections =
+    List.concat_map
+      (fun (w : Sof.Forest.walk) ->
+        match List.rev w.Sof.Forest.marks with
+        | [] -> []
+        | m :: _ ->
+            List.init
+              (Array.length w.Sof.Forest.hops - m.Sof.Forest.pos)
+              (fun k -> w.Sof.Forest.hops.(m.Sof.Forest.pos + k)))
+      f.Sof.Forest.walks
+  in
+  let visited = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem adj v && not (Hashtbl.mem visited v) then begin
+        Hashtbl.replace visited v ();
+        Queue.add v queue
+      end)
+    injections;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem visited v) then begin
+          Hashtbl.replace visited v ();
+          add u Final v;
+          Queue.add v queue
+        end)
+      (Option.value ~default:[] (Hashtbl.find_opt adj u))
+  done;
+  KeyMap.fold
+    (fun (node, matcher) hops acc ->
+      { node; matcher; next_hops = List.sort compare hops } :: acc)
+    !table []
+  |> List.rev
+
+let rules_per_node rules =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace counts r.node
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts r.node)))
+    rules;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+
+let max_rules rules =
+  List.fold_left (fun acc (_, c) -> max acc c) 0 (rules_per_node rules)
+
+let tcam_violations rules ~capacity =
+  List.filter (fun (_, c) -> c > capacity) (rules_per_node rules)

@@ -1,0 +1,31 @@
+(** Compilation of a service overlay forest into per-switch forwarding
+    rules — what the paper's OpenDaylight application pushes into the HP
+    switches.
+
+    A rule matches a stream and forwards to one or more next hops
+    (branching rules model OpenFlow group-table replication).  Streams are
+    keyed by originating source and processing stage, mirroring how the
+    forest's cost model distinguishes traffic contexts; the fully-processed
+    stream delivered over the residual tree is keyed [Final]. *)
+
+type matcher =
+  | Stream of { source : int; stage : int }
+  | Final
+
+type rule = {
+  node : int;
+  matcher : matcher;
+  next_hops : int list;  (** sorted, nonempty *)
+}
+
+val compile : Sof.Forest.t -> rule list
+(** One rule per (node, matcher) with merged next-hop sets; destinations
+    and other pure consumers get no rule. *)
+
+val rules_per_node : rule list -> (int * int) list
+(** [(node, rule count)] for nodes with at least one rule, ascending. *)
+
+val max_rules : rule list -> int
+
+val tcam_violations : rule list -> capacity:int -> (int * int) list
+(** Nodes whose rule count exceeds the TCAM [capacity]. *)

@@ -1,0 +1,1 @@
+lib/simnet/sim.ml: Array Hashtbl List Option Queue Session Sof Sof_graph Sof_util

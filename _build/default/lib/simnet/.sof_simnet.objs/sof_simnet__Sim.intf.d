@@ -1,0 +1,1 @@
+lib/simnet/sim.mli: Session Sof Sof_util

@@ -1,0 +1,122 @@
+type config = {
+  bitrate : float;
+  duration : float;
+  startup_threshold : float;
+  resume_threshold : float;
+  pipeline_delay : float;
+}
+
+let default_config =
+  {
+    bitrate = 8e6;
+    duration = 137.0;
+    startup_threshold = 4.0;
+    resume_threshold = 2.0;
+    pipeline_delay = 1.0;
+  }
+
+type state = Initial_buffering | Playing | Stalled | Done
+
+type t = {
+  config : config;
+  num_vnfs : int;
+  path_latency : float;
+  mutable state : state;
+  mutable buffer : float;    (* seconds of video buffered, not yet played *)
+  mutable received : float;  (* seconds of video downloaded *)
+  mutable played_s : float;  (* seconds of video played out *)
+  mutable startup_at : float option;
+  mutable rebuffer : float;
+  mutable stalls : int;
+}
+
+let create config ~num_vnfs ~path_latency =
+  {
+    config;
+    num_vnfs;
+    path_latency;
+    state = Initial_buffering;
+    buffer = 0.0;
+    received = 0.0;
+    played_s = 0.0;
+    startup_at = None;
+    rebuffer = 0.0;
+    stalls = 0;
+  }
+
+let is_done t = t.state = Done
+
+let startup_latency t = t.startup_at
+
+let rebuffer_time t = t.rebuffer
+
+let stall_count t = t.stalls
+
+let played t = t.played_s
+
+(* Download speed in seconds-of-video per wall-clock second; downloads cap
+   at the clip length. *)
+let fill_rate t rate =
+  if t.received >= t.config.duration then 0.0 else rate /. t.config.bitrate
+
+let rec advance t ~now ~rate ~dt =
+  if dt > 1e-12 then
+    match t.state with
+    | Done -> ()
+    | Initial_buffering | Stalled ->
+        let threshold =
+          match t.state with
+          | Initial_buffering -> t.config.startup_threshold
+          | _ -> t.config.resume_threshold
+        in
+        let fr = fill_rate t rate in
+        (* Count stalled wall-clock time; compute when the buffer crosses
+           the play threshold (also reached when the tail of the clip has
+           fully arrived). *)
+        let remaining_dl = t.config.duration -. t.received in
+        let need = threshold -. t.buffer in
+        let t_cross =
+          if need <= 0.0 then 0.0
+          else if fr <= 0.0 then infinity
+          else min (need /. fr) (remaining_dl /. fr)
+        in
+        if t_cross >= dt then begin
+          t.buffer <- t.buffer +. (fr *. dt);
+          t.received <- min t.config.duration (t.received +. (fr *. dt));
+          if t.state = Stalled then t.rebuffer <- t.rebuffer +. dt
+        end
+        else begin
+          t.buffer <- t.buffer +. (fr *. t_cross);
+          t.received <- min t.config.duration (t.received +. (fr *. t_cross));
+          if t.state = Stalled then t.rebuffer <- t.rebuffer +. t_cross
+          else
+            t.startup_at <-
+              Some
+                (now +. t_cross +. t.path_latency
+                +. (float_of_int t.num_vnfs *. t.config.pipeline_delay));
+          t.state <- Playing;
+          advance t ~now:(now +. t_cross) ~rate ~dt:(dt -. t_cross)
+        end
+    | Playing ->
+        let fr = fill_rate t rate in
+        let drain = 1.0 -. fr in
+        (* Next transition: clip played out, or buffer empty. *)
+        let t_finish = t.config.duration -. t.played_s in
+        let t_empty = if drain > 1e-12 then t.buffer /. drain else infinity in
+        let t_next = min t_finish t_empty in
+        if t_next >= dt then begin
+          t.buffer <- max 0.0 (t.buffer -. (drain *. dt));
+          t.received <- min t.config.duration (t.received +. (fr *. dt));
+          t.played_s <- t.played_s +. dt
+        end
+        else begin
+          t.buffer <- max 0.0 (t.buffer -. (drain *. t_next));
+          t.received <- min t.config.duration (t.received +. (fr *. t_next));
+          t.played_s <- t.played_s +. t_next;
+          if t.played_s >= t.config.duration -. 1e-9 then t.state <- Done
+          else begin
+            t.state <- Stalled;
+            t.stalls <- t.stalls + 1
+          end;
+          advance t ~now:(now +. t_next) ~rate ~dt:(dt -. t_next)
+        end

@@ -1,0 +1,48 @@
+(** Client-side video session model: startup buffering, playback, stalls.
+
+    The buffer is measured in seconds of video.  The session starts in
+    [Buffering]; playback begins once [startup_threshold] seconds are
+    buffered (startup latency = wall-clock time to that point plus the VNF
+    pipeline delay).  During playback the buffer drains at 1 s/s and fills
+    at [rate / bitrate] s/s; hitting empty re-enters buffering (a stall)
+    until [resume_threshold] is reached.  The session completes when the
+    whole clip has been played out. *)
+
+type config = {
+  bitrate : float;            (** encoded video rate, bit/s *)
+  duration : float;           (** clip length, seconds of video *)
+  startup_threshold : float;  (** seconds of video buffered before first play *)
+  resume_threshold : float;   (** seconds of video buffered to exit a stall *)
+  pipeline_delay : float;     (** added latency per VNF stage, seconds *)
+}
+
+val default_config : config
+(** The paper's testbed stream: 8 Mbit/s H.264, 137 s clip; client
+    thresholds tuned to the testbed's QoE scale (4 s startup buffer, 2 s
+    resume buffer, 1 s of pipeline latency per VNF stage). *)
+
+type t
+
+val create : config -> num_vnfs:int -> path_latency:float -> t
+(** [path_latency] — fixed one-way delay of the delivery route (per-hop
+    forwarding, rule setup), added to the startup latency on top of the
+    VNF pipeline delay. *)
+
+val advance : t -> now:float -> rate:float -> dt:float -> unit
+(** Advance wall-clock by [dt] seconds with a constant delivery [rate]
+    (bit/s).  Handles any number of internal state transitions (play
+    start, stall, resume, completion) analytically within the interval. *)
+
+val is_done : t -> bool
+
+val startup_latency : t -> float option
+(** Wall-clock seconds from session start to first frame (including the
+    VNF pipeline delay); [None] while still buffering. *)
+
+val rebuffer_time : t -> float
+(** Total stalled wall-clock seconds so far. *)
+
+val stall_count : t -> int
+
+val played : t -> float
+(** Seconds of video played out. *)

@@ -1,0 +1,248 @@
+module Rng = Sof_util.Rng
+module Binheap = Sof_graph.Binheap
+
+type config = {
+  capacity : float;
+  avail_lo : float;
+  avail_hi : float;
+  redraw_mean : float;
+  per_hop_delay : float;
+  session : Session.config;
+  max_time : float;
+}
+
+let default_config =
+  {
+    capacity = 50e6;
+    avail_lo = 4.5e6;
+    avail_hi = 9e6;
+    redraw_mean = 5.0;
+    per_hop_delay = 0.25;
+    session = Session.default_config;
+    max_time = 3600.0;
+  }
+
+type route = {
+  dest : int;
+  links : (int * int) list;
+  contexts : ((int * int) * int) list;
+}
+
+type metrics = {
+  dest : int;
+  startup : float;
+  rebuffer : float;
+  stalls : int;
+  completed : bool;
+}
+
+let norm (a, b) = if a < b then (a, b) else (b, a)
+
+(* Stream-context ids: a shared counter keyed by the exact context tuple so
+   identical contexts across routes map to the same id. *)
+type ctx_alloc = {
+  tbl : (int * int * (int * int), int) Hashtbl.t;
+  mutable next : int;
+}
+
+let ctx_id alloc key =
+  match Hashtbl.find_opt alloc.tbl key with
+  | Some i -> i
+  | None ->
+      let i = alloc.next in
+      alloc.next <- alloc.next + 1;
+      Hashtbl.replace alloc.tbl key i;
+      i
+
+let stage_array (w : Sof.Forest.walk) =
+  let n = Array.length w.Sof.Forest.hops in
+  let stage = Array.make n 0 in
+  List.iter
+    (fun (m : Sof.Forest.mark) ->
+      for i = m.Sof.Forest.pos to n - 1 do
+        stage.(i) <- max stage.(i) m.Sof.Forest.vnf
+      done)
+    w.Sof.Forest.marks;
+  stage
+
+let routes_of_forest (f : Sof.Forest.t) =
+  let p = f.Sof.Forest.problem in
+  let alloc = { tbl = Hashtbl.create 64; next = 0 } in
+  (* Delivery adjacency. *)
+  let adj = Hashtbl.create 32 in
+  let link a b =
+    Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a))
+  in
+  List.iter
+    (fun (a, b) ->
+      link a b;
+      link b a)
+    f.Sof.Forest.delivery;
+  (* Multi-source BFS from every injection point; remember, per reached
+     node, the injection point and its owning walk. *)
+  let owner = Hashtbl.create 32 in (* node -> (walk idx, hop idx of injection) *)
+  let parent = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  List.iteri
+    (fun wi (w : Sof.Forest.walk) ->
+      match List.rev w.Sof.Forest.marks with
+      | [] -> ()
+      | m :: _ ->
+          for i = m.Sof.Forest.pos to Array.length w.Sof.Forest.hops - 1 do
+            let v = w.Sof.Forest.hops.(i) in
+            if not (Hashtbl.mem owner v) then begin
+              Hashtbl.replace owner v (wi, i);
+              Queue.add v queue
+            end
+          done)
+    f.Sof.Forest.walks;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem owner v) then begin
+          Hashtbl.replace owner v (Hashtbl.find owner u);
+          Hashtbl.replace parent v u;
+          Queue.add v queue
+        end)
+      (Option.value ~default:[] (Hashtbl.find_opt adj u))
+  done;
+  let walks = Array.of_list f.Sof.Forest.walks in
+  List.map
+    (fun dest ->
+      match Hashtbl.find_opt owner dest with
+      | None -> failwith "Sim.routes_of_forest: unserved destination"
+      | Some (wi, inj_pos) ->
+          let w = walks.(wi) in
+          let stage = stage_array w in
+          (* walk part: source .. injection hop *)
+          let walk_links = ref [] and contexts = ref [] in
+          for i = 0 to inj_pos - 1 do
+            let e = norm (w.Sof.Forest.hops.(i), w.Sof.Forest.hops.(i + 1)) in
+            walk_links := e :: !walk_links;
+            let id = ctx_id alloc (w.Sof.Forest.source, stage.(i), e) in
+            contexts := (e, id) :: !contexts
+          done;
+          (* delivery part: dest back to the injection node *)
+          let rec climb v acc =
+            match Hashtbl.find_opt parent v with
+            | None -> acc
+            | Some u -> climb u (norm (u, v) :: acc)
+          in
+          let delivery_links = climb dest [] in
+          List.iter
+            (fun e ->
+              (* final content is identical across sources: share fully *)
+              let id = ctx_id alloc (-1, -1, e) in
+              contexts := (e, id) :: !contexts)
+            delivery_links;
+          {
+            dest;
+            links = List.rev !walk_links @ delivery_links;
+            contexts = List.rev !contexts;
+          })
+    p.Sof.Problem.dests
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let run ~rng config (f : Sof.Forest.t) =
+  let routes = routes_of_forest f in
+  let num_vnfs = f.Sof.Forest.problem.Sof.Problem.chain_length in
+  (* Distinct streams per link. *)
+  let link_streams = Hashtbl.create 32 in
+  List.iter
+    (fun (r : route) ->
+      List.iter
+        (fun (e, id) ->
+          let set =
+            match Hashtbl.find_opt link_streams e with
+            | Some s -> s
+            | None ->
+                let s = Hashtbl.create 4 in
+                Hashtbl.replace link_streams e s;
+                s
+          in
+          Hashtbl.replace set id ())
+        r.contexts)
+    routes;
+  let links =
+    Hashtbl.fold (fun e _ acc -> e :: acc) link_streams []
+    |> List.sort compare |> Array.of_list
+  in
+  let index_of = Hashtbl.create 32 in
+  Array.iteri (fun i e -> Hashtbl.replace index_of e i) links;
+  let avail =
+    Array.map (fun _ -> config.avail_lo +. Rng.float rng (config.avail_hi -. config.avail_lo)) links
+  in
+  let streams_on =
+    Array.map (fun e -> Hashtbl.length (Hashtbl.find link_streams e)) links
+  in
+  let bitrate = config.session.Session.bitrate in
+  (* Proportional fair share: background traffic occupies
+     capacity - available; when background + all video streams exceed the
+     capacity, every flow throttles by the same factor. *)
+  let rate_of (route : route) =
+    List.fold_left
+      (fun acc e ->
+        let i = Hashtbl.find index_of e in
+        let background = config.capacity -. avail.(i) in
+        let demand =
+          background +. (bitrate *. float_of_int (max 1 streams_on.(i)))
+        in
+        let factor = min 1.0 (config.capacity /. demand) in
+        min acc (bitrate *. factor))
+      bitrate route.links
+  in
+  let sessions =
+    List.map
+      (fun (r : route) ->
+        let path_latency =
+          config.per_hop_delay *. float_of_int (List.length r.links)
+        in
+        (r, Session.create config.session ~num_vnfs ~path_latency))
+      routes
+  in
+  (* Event queue of per-link background redraws. *)
+  let heap = Binheap.create () in
+  Array.iteri
+    (fun i _ -> Binheap.push heap (Rng.exponential rng (1.0 /. config.redraw_mean)) i)
+    links;
+  let now = ref 0.0 in
+  let all_done () = List.for_all (fun (_, s) -> Session.is_done s) sessions in
+  let continue = ref true in
+  while !continue && (not (all_done ())) && !now < config.max_time do
+    match Binheap.pop heap with
+    | None -> continue := false
+    | Some (te, li) ->
+        let te = min te config.max_time in
+        let dt = te -. !now in
+        if dt > 0.0 then
+          List.iter
+            (fun (r, s) ->
+              if not (Session.is_done s) then
+                Session.advance s ~now:!now ~rate:(rate_of r) ~dt)
+            sessions;
+        now := te;
+        avail.(li) <-
+          config.avail_lo +. Rng.float rng (config.avail_hi -. config.avail_lo);
+        Binheap.push heap
+          (te +. Rng.exponential rng (1.0 /. config.redraw_mean))
+          li
+  done;
+  List.map
+    (fun ((r : route), s) ->
+      {
+        dest = r.dest;
+        startup =
+          Option.value ~default:config.max_time (Session.startup_latency s);
+        rebuffer = Session.rebuffer_time s;
+        stalls = Session.stall_count s;
+        completed = Session.is_done s;
+      })
+    sessions
+
+let mean_startup ms = mean (List.map (fun m -> m.startup) ms)
+let mean_rebuffer ms = mean (List.map (fun m -> m.rebuffer) ms)

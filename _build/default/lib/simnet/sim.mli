@@ -1,0 +1,56 @@
+(** Flow-level discrete-event network simulation of a deployed service
+    overlay forest — the software stand-in for the paper's HP-switch
+    testbed and Emulab runs (Table II).
+
+    The embedding decides each destination's route: the hops of its
+    serving walk followed by a delivery path.  Links have a capacity and a
+    fluctuating residual (available) bandwidth — background traffic is
+    redrawn per link at exponential epochs, uniformly within
+    [avail_lo, avail_hi], emulating the paper's 4.5–9 Mbit/s congestion
+    band.  Flows share by proportional fairness: when background traffic
+    plus the video streams on a link exceed its capacity, every flow
+    throttles by the same factor; multicast branches of one stream count
+    once (the same dedup rule as the forest cost model).  Each destination runs a
+    {!Session}; the simulator advances all sessions between consecutive
+    background-change events, yielding startup latency and re-buffering
+    time per destination. *)
+
+type config = {
+  capacity : float;          (** link capacity, bit/s (paper: 50 Mbit/s) *)
+  avail_lo : float;          (** available bandwidth lower bound, bit/s *)
+  avail_hi : float;          (** upper bound, bit/s *)
+  redraw_mean : float;       (** mean seconds between background changes per link *)
+  per_hop_delay : float;     (** forwarding/rule-setup delay per route hop, seconds *)
+  session : Session.config;
+  max_time : float;          (** simulation horizon, wall-clock seconds *)
+}
+
+val default_config : config
+(** The paper's setting: 4.5–9 Mbit/s available bandwidth, 8 Mbit/s video;
+    background redraw every ~5 s; 1-hour horizon. *)
+
+type route = {
+  dest : int;
+  links : (int * int) list;      (** physical links on the route, in order *)
+  contexts : ((int * int) * int) list;
+      (** (link, stream-context hash) pairs for sharing computation *)
+}
+
+val routes_of_forest : Sof.Forest.t -> route list
+(** One route per destination of the problem: serving-walk hops plus the
+    delivery path (BFS inside the delivery component).  @raise Failure on
+    an invalid forest. *)
+
+type metrics = {
+  dest : int;
+  startup : float;       (** seconds; [max_time] if playback never started *)
+  rebuffer : float;      (** total stalled seconds *)
+  stalls : int;
+  completed : bool;
+}
+
+val run : rng:Sof_util.Rng.t -> config -> Sof.Forest.t -> metrics list
+(** Simulate every destination's session to completion (or [max_time]). *)
+
+val mean_startup : metrics list -> float
+val mean_rebuffer : metrics list -> float

@@ -1,0 +1,1 @@
+lib/steiner/steiner.ml: Array Hashtbl List Sof_graph

@@ -1,0 +1,1 @@
+lib/steiner/steiner.mli: Sof_graph

@@ -1,0 +1,144 @@
+type tree = { edges : (int * int * float) list; weight : float }
+
+let dedup_ints xs = List.sort_uniq compare xs
+
+let tree_nodes t =
+  dedup_ints (List.concat_map (fun (u, v, _) -> [ u; v ]) t.edges)
+
+let contains_node t v = List.exists (fun (a, b, _) -> a = v || b = v) t.edges
+
+let edge_of g u v =
+  match Sof_graph.Graph.edge_weight g u v with
+  | Some w -> (min u v, max u v, w)
+  | None -> invalid_arg "Steiner: path uses a non-existent edge"
+
+let path_edges g path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (edge_of g a b :: acc) rest
+    | _ -> acc
+  in
+  go [] path
+
+(* KMB core, parameterized by how closure-edge distances and paths are
+   obtained: [dist i j] / [path i j] are keyed by positions in [terms]. *)
+let kmb g terms ~dist ~path =
+  let k = Array.length terms in
+  let es = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let d = dist i j in
+      if d < infinity then es := (i, j, d) :: !es
+    done
+  done;
+  let cg = Sof_graph.Graph.create ~n:k ~edges:!es in
+  let mst1 = Sof_graph.Mst.kruskal cg in
+  if List.length mst1 <> k - 1 then
+    invalid_arg "Steiner.approx: terminals are disconnected";
+  (* Expand every closure edge into a concrete shortest path, take the
+     union of the underlying edges, re-span, and prune Steiner leaves. *)
+  let union =
+    List.concat_map (fun (i, j, _) -> path_edges g (path i j)) mst1
+  in
+  let sub = Sof_graph.Graph.create ~n:(Sof_graph.Graph.n g) ~edges:union in
+  let mst2 = Sof_graph.Mst.kruskal sub in
+  let is_terminal = Hashtbl.create k in
+  Array.iter (fun v -> Hashtbl.replace is_terminal v ()) terms;
+  let pruned =
+    Sof_graph.Traversal.prune_steiner_leaves mst2 ~keep:(Hashtbl.mem is_terminal)
+  in
+  { edges = pruned; weight = Sof_graph.Mst.weight pruned }
+
+let approx g terminals =
+  let terminals = dedup_ints terminals in
+  match terminals with
+  | [] -> invalid_arg "Steiner.approx: no terminals"
+  | [ _ ] -> { edges = []; weight = 0.0 }
+  | _ ->
+      let terms = Array.of_list terminals in
+      let closure = Sof_graph.Metric.closure g terms in
+      kmb g terms
+        ~dist:(Sof_graph.Metric.distance closure)
+        ~path:(Sof_graph.Metric.path closure)
+
+let approx_rooted g ~root terminals = approx g (root :: terminals)
+
+let approx_in g closure terminals =
+  let terminals = dedup_ints terminals in
+  match terminals with
+  | [] -> invalid_arg "Steiner.approx_in: no terminals"
+  | [ _ ] -> { edges = []; weight = 0.0 }
+  | _ ->
+      let terms = Array.of_list terminals in
+      (* Map requested terminals to closure indices once. *)
+      let closure_terms = Sof_graph.Metric.terminals closure in
+      let index = Hashtbl.create (Array.length closure_terms) in
+      Array.iteri (fun i v -> Hashtbl.replace index v i) closure_terms;
+      let idx = Array.map (fun v -> Hashtbl.find index v) terms in
+      kmb g terms
+        ~dist:(fun i j -> Sof_graph.Metric.distance closure idx.(i) idx.(j))
+        ~path:(fun i j -> Sof_graph.Metric.path closure idx.(i) idx.(j))
+
+(* Dijkstra relaxation seeded with an arbitrary finite initial labelling:
+   the closure of [init] under edge relaxations. *)
+let relax g init =
+  let n = Sof_graph.Graph.n g in
+  let dist = Array.copy init in
+  let settled = Array.make n false in
+  let heap = Sof_graph.Binheap.create () in
+  Array.iteri (fun v d -> if d < infinity then Sof_graph.Binheap.push heap d v) dist;
+  let rec drain () =
+    match Sof_graph.Binheap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if (not settled.(u)) && d <= dist.(u) then begin
+          settled.(u) <- true;
+          Sof_graph.Graph.iter_neighbors g u (fun v w ->
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                Sof_graph.Binheap.push heap nd v
+              end)
+        end;
+        drain ()
+  in
+  drain ();
+  dist
+
+let exact_weight g terminals =
+  let terminals = dedup_ints terminals in
+  let terms = Array.of_list terminals in
+  let k = Array.length terms in
+  if k = 0 then invalid_arg "Steiner.exact_weight: no terminals";
+  if k > 14 then invalid_arg "Steiner.exact_weight: too many terminals";
+  if k = 1 then 0.0
+  else begin
+    let n = Sof_graph.Graph.n g in
+    let full = (1 lsl k) - 1 in
+    let dp = Array.make (full + 1) [||] in
+    for i = 0 to k - 1 do
+      dp.(1 lsl i) <- (Sof_graph.Dijkstra.run g terms.(i)).Sof_graph.Dijkstra.dist
+    done;
+    for mask = 1 to full do
+      if dp.(mask) = [||] then begin
+        let best = Array.make n infinity in
+        (* Merge step: combine two complementary sub-trees meeting at v. *)
+        let sub = ref ((mask - 1) land mask) in
+        while !sub > 0 do
+          let other = mask lxor !sub in
+          if !sub < other then begin
+            let a = dp.(!sub) and b = dp.(other) in
+            for v = 0 to n - 1 do
+              let s = a.(v) +. b.(v) in
+              if s < best.(v) then best.(v) <- s
+            done
+          end;
+          sub := (!sub - 1) land mask
+        done;
+        dp.(mask) <- relax g best
+      end
+    done;
+    let answer = Array.fold_left min infinity dp.(full) in
+    if answer = infinity then
+      invalid_arg "Steiner.exact_weight: terminals are disconnected";
+    answer
+  end

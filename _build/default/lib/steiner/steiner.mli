@@ -1,0 +1,41 @@
+(** Steiner tree construction.
+
+    [approx] is the Kou–Markowsky–Berman (KMB) algorithm: MST of the metric
+    closure over the terminals, expanded back to shortest paths, re-spanned
+    and pruned.  Its worst-case ratio is [2 (1 - 1/|terminals|)]; the paper
+    treats the Steiner routine as a black box with ratio [rho_ST], so every
+    approximation statement in this repository instantiates [rho_ST = 2]
+    (see DESIGN.md, substitution table).
+
+    [exact] is the Dreyfus–Wagner dynamic program, exponential in the number
+    of terminals — usable for |terminals| up to ~10; it backs the property
+    tests and the optimality probes. *)
+
+type tree = {
+  edges : (int * int * float) list;  (** tree edges of the base graph, [u < v] *)
+  weight : float;
+}
+
+val approx : Sof_graph.Graph.t -> int list -> tree
+(** [approx g terminals] — KMB Steiner tree spanning [terminals].
+    @raise Invalid_argument if the terminals are not connected in [g] or the
+    list is empty. *)
+
+val approx_rooted : Sof_graph.Graph.t -> root:int -> int list -> tree
+(** [approx_rooted g ~root terminals] spans [root :: terminals]. *)
+
+val approx_in : Sof_graph.Graph.t -> Sof_graph.Metric.t -> int list -> tree
+(** [approx_in g closure terminals] — KMB reusing a precomputed metric
+    closure (every terminal must be a closure terminal); avoids the
+    per-call Dijkstra sweep when many Steiner trees are built over subsets
+    of a fixed node set (SOFDA-SS examines every candidate last VM).
+    @raise Not_found if a terminal is not in the closure. *)
+
+val exact_weight : Sof_graph.Graph.t -> int list -> float
+(** Optimal Steiner tree weight by Dreyfus–Wagner.  @raise Invalid_argument
+    on an empty or disconnected terminal set, or more than 14 terminals. *)
+
+val tree_nodes : tree -> int list
+(** Distinct nodes touched by the tree edges. *)
+
+val contains_node : tree -> int -> bool

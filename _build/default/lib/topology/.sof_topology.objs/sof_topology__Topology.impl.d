@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Fun Hashtbl List Printf Sof_graph Sof_util

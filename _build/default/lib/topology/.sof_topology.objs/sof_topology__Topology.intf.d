@@ -1,0 +1,1 @@
+lib/topology/topology.mli: Sof_graph Sof_util

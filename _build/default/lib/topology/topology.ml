@@ -1,0 +1,142 @@
+module Graph = Sof_graph.Graph
+module Rng = Sof_util.Rng
+
+type t = { name : string; graph : Graph.t; dcs : int list }
+
+let weight1 pairs = List.map (fun (u, v) -> (u, v, 1.0)) pairs
+
+(* SoftLayer PoPs, indices:
+   0 Dallas, 1 Houston, 2 Seattle, 3 San Jose, 4 Los Angeles, 5 Denver,
+   6 Chicago, 7 Toronto, 8 Montreal, 9 Washington DC, 10 Atlanta, 11 Miami,
+   12 New York, 13 Mexico City, 14 Sao Paulo, 15 Amsterdam, 16 London,
+   17 Paris, 18 Frankfurt, 19 Milan, 20 Oslo, 21 Singapore, 22 Hong Kong,
+   23 Tokyo, 24 Seoul, 25 Sydney, 26 Melbourne. *)
+let softlayer_links =
+  [
+    (0, 1); (0, 5); (0, 6); (0, 10); (0, 4); (0, 3); (1, 10); (1, 11);
+    (1, 13); (2, 3); (2, 5); (2, 23); (3, 4); (3, 22); (3, 23); (4, 13);
+    (5, 6); (6, 7); (6, 9); (6, 12); (7, 8); (7, 12); (8, 12); (9, 10);
+    (9, 12); (10, 11); (11, 14); (12, 16); (12, 15); (13, 14); (14, 16);
+    (15, 16); (15, 18); (15, 20); (16, 17); (16, 18); (17, 18); (17, 19);
+    (18, 19); (18, 20); (19, 21); (21, 22); (21, 25); (22, 23); (22, 24);
+    (23, 24); (23, 25); (25, 26); (21, 26);
+  ]
+
+let softlayer_dcs =
+  [ 0; 1; 2; 3; 7; 8; 9; 13; 15; 16; 17; 18; 19; 21; 22; 23; 25 ]
+
+let softlayer () =
+  {
+    name = "softlayer";
+    graph = Graph.create ~n:27 ~edges:(weight1 softlayer_links);
+    dcs = softlayer_dcs;
+  }
+
+(* Cogent reconstruction: 40 hub nodes on a backbone ring (the DC cities),
+   150 access nodes hung off the hubs in short regional chains, and 70
+   deterministic pseudo-random chords, for exactly 190 nodes / 260 links. *)
+let cogent () =
+  let hubs = 40 and access = 150 in
+  let n = hubs + access in
+  let ring = List.init hubs (fun i -> (i, (i + 1) mod hubs)) in
+  (* Access node [hubs + j] attaches to its region: chains of up to 3 nodes
+     rooted at hub [j mod hubs]. *)
+  let attach =
+    List.init access (fun j ->
+        let node = hubs + j in
+        let hub = j mod hubs in
+        let pos = j / hubs in
+        let parent = if pos = 0 then hub else node - hubs in
+        (parent, node))
+  in
+  let rng = Rng.create 0xC09E47 in
+  let seen = Hashtbl.create 512 in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace seen (min u v, max u v) ())
+    (ring @ attach);
+  let chords = ref [] in
+  while List.length !chords < 70 do
+    (* Chords prefer the hub backbone: 2/3 hub-hub, 1/3 hub-access. *)
+    let u = Rng.int rng hubs in
+    let v = if Rng.int rng 3 < 2 then Rng.int rng hubs else Rng.int rng n in
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      chords := (u, v) :: !chords
+    end
+  done;
+  let edges = weight1 (ring @ attach @ !chords) in
+  { name = "cogent"; graph = Graph.create ~n ~edges; dcs = List.init hubs Fun.id }
+
+let inet ~rng ~nodes ~links ~dcs =
+  if nodes < 3 then invalid_arg "Topology.inet: need >= 3 nodes";
+  if links < nodes - 1 then invalid_arg "Topology.inet: too few links";
+  if dcs > nodes then invalid_arg "Topology.inet: more DCs than nodes";
+  let seen = Hashtbl.create (links * 2) in
+  let edges = ref [] in
+  let nedges = ref 0 in
+  (* [target_list] holds each node once per unit of degree, so sampling
+     from it realizes degree-proportional (preferential) attachment. *)
+  let target_list = ref [] in
+  let push_target v = target_list := v :: !target_list in
+  let target_arr = ref [||] in
+  let refresh () = target_arr := Array.of_list !target_list in
+  let add_edge u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      edges := (u, v, 1.0) :: !edges;
+      incr nedges;
+      push_target u;
+      push_target v;
+      true
+    end
+    else false
+  in
+  ignore (add_edge 0 1);
+  ignore (add_edge 1 2);
+  ignore (add_edge 0 2);
+  refresh ();
+  (* Base degree 2 per new node; spend the remaining link budget on
+     preferential chords afterwards. *)
+  let per_node = 2 in
+  for v = 3 to nodes - 1 do
+    let attached = ref 0 in
+    let tries = ref 0 in
+    while !attached < min per_node v && !tries < 50 do
+      incr tries;
+      let u = (!target_arr).(Rng.int rng (Array.length !target_arr)) in
+      if add_edge u v then incr attached
+    done;
+    if !attached = 0 then ignore (add_edge (Rng.int rng v) v);
+    refresh ()
+  done;
+  let guard = ref 0 in
+  while !nedges < links && !guard < links * 100 do
+    incr guard;
+    let u = (!target_arr).(Rng.int rng (Array.length !target_arr)) in
+    let v = Rng.int rng nodes in
+    if add_edge u v then refresh ()
+  done;
+  let graph = Graph.create ~n:nodes ~edges:!edges in
+  let dc_ids = Rng.sample_without_replacement rng dcs nodes in
+  { name = Printf.sprintf "inet-%d" nodes; graph; dcs = dc_ids }
+
+(* Fig. 13 testbed: 14 nodes, 20 links, ladder-style mesh. *)
+let testbed_links =
+  [
+    (0, 1); (0, 2); (1, 2); (1, 3); (2, 4); (3, 4); (3, 5); (4, 6); (5, 6);
+    (5, 7); (6, 8); (7, 8); (7, 9); (8, 10); (9, 10); (9, 11); (10, 12);
+    (11, 12); (11, 13); (12, 13);
+  ]
+
+let testbed () =
+  {
+    name = "testbed";
+    graph = Graph.create ~n:14 ~edges:(weight1 testbed_links);
+    dcs = List.init 14 Fun.id;
+  }
+
+let stats t =
+  Printf.sprintf "%s: |V|=%d |E|=%d #DC=%d" t.name (Graph.n t.graph)
+    (Graph.m t.graph) (List.length t.dcs)

@@ -1,0 +1,34 @@
+(** Network topologies used by the paper's evaluation.
+
+    A topology is the physical substrate before any SOF instance is drawn on
+    it: access nodes connected by links, plus the subset of nodes that host
+    data centers (where VMs can be attached).  Edge weights of the base
+    graph are uniform 1.0 placeholders — experiments reweight them from
+    sampled link utilizations via [Sof_cost.Cost_model]. *)
+
+type t = {
+  name : string;
+  graph : Sof_graph.Graph.t;  (** access-node graph *)
+  dcs : int list;             (** data-center node ids *)
+}
+
+val softlayer : unit -> t
+(** IBM SoftLayer inter-data-center network: 27 access nodes, 49 links, 17
+    data centers (hand-encoded from SoftLayer's public PoP map; see
+    DESIGN.md). *)
+
+val cogent : unit -> t
+(** Cogent-scale network: 190 access nodes, 260 links, 40 data centers —
+    deterministic synthetic reconstruction (hub ring + regional access
+    chains + chords) matching the counts the paper reports. *)
+
+val inet : rng:Sof_util.Rng.t -> nodes:int -> links:int -> dcs:int -> t
+(** Inet-style synthetic topology by degree-based preferential attachment;
+    the paper's instance is [nodes = 5000, links = 10000, dcs = 2000].
+    @raise Invalid_argument when [links < nodes - 1] or [dcs > nodes]. *)
+
+val testbed : unit -> t
+(** The 14-node, 20-link experimental SDN of Fig. 13. *)
+
+val stats : t -> string
+(** One-line summary (name, |V|, |E|, #DCs) for logs. *)

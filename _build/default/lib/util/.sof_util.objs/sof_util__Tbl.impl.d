@@ -1,0 +1,1 @@
+lib/util/tbl.ml: Array Buffer List Printf String

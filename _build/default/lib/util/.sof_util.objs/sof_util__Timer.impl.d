@@ -1,0 +1,1 @@
+lib/util/timer.ml: List Stats Unix

@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: one additive step plus two xor-shift-multiply
+   mixing rounds (variant "mix13" from the reference implementation). *)
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = int64 t in
+  { state = s }
+
+(* 62 random bits: fits OCaml's 63-bit native int without touching the
+   sign bit. *)
+let nonneg t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  nonneg t mod bound
+
+let uniform t =
+  (* 53 random bits scaled into [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = uniform t *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let exponential t rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1.0 -. uniform t) /. rate
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let a = Array.init n (fun i -> i) in
+  (* Partial Fisher-Yates: only the first [k] slots need to be finalized. *)
+  for i = 0 to k - 1 do
+    let j = range t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 k)

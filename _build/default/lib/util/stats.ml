@@ -1,0 +1,74 @@
+let sum xs = List.fold_left ( +. ) 0.0 xs
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let mean_array a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = sum (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    ss /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty sample")
+  | xs -> xs
+
+let minimum xs =
+  match require_nonempty "Stats.minimum" xs with
+  | x :: rest -> List.fold_left min x rest
+  | [] -> assert false
+
+let maximum xs =
+  match require_nonempty "Stats.maximum" xs with
+  | x :: rest -> List.fold_left max x rest
+  | [] -> assert false
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  let xs = sorted (require_nonempty "Stats.median" xs) in
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile p xs =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let xs = sorted (require_nonempty "Stats.percentile" xs) in
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  a.(idx)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize xs =
+  let _ = require_nonempty "Stats.summarize" xs in
+  {
+    n = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = minimum xs;
+    max = maximum xs;
+    median = median xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" s.n
+    s.mean s.stddev s.min s.median s.max

@@ -1,0 +1,40 @@
+(** Summary statistics over float samples. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val mean_array : float array -> float
+
+val variance : float list -> float
+(** Unbiased sample variance (n-1 denominator); 0 when fewer than 2 samples. *)
+
+val stddev : float list -> float
+
+val minimum : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val maximum : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [0,100], nearest-rank method.
+    @raise Invalid_argument on the empty list or [p] out of range. *)
+
+val sum : float list -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val pp_summary : Format.formatter -> summary -> unit

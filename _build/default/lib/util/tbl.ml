@@ -1,0 +1,69 @@
+type t = {
+  caption : string option;
+  headers : string list;
+  mutable rows : string list list; (* stored reversed *)
+}
+
+let create ?caption headers = { caption; headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tbl.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let default_fmt x = Printf.sprintf "%.2f" x
+
+let add_float_row ?(fmt = default_fmt) t label xs =
+  add_row t (label :: List.map fmt xs)
+
+let widths t =
+  let ncols = List.length t.headers in
+  let w = Array.make ncols 0 in
+  let feed row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  feed t.headers;
+  List.iter feed t.rows;
+  w
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 256 in
+  (match t.caption with
+  | Some c ->
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let line row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad w.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  let rule = Array.fold_left (fun acc x -> acc + x) 0 w + (2 * (Array.length w - 1)) in
+  Buffer.add_string buf (String.make rule '-');
+  Buffer.add_char buf '\n';
+  List.iter line (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let escape_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv t =
+  let buf = Buffer.create 256 in
+  let line row =
+    Buffer.add_string buf (String.concat "," (List.map escape_csv row));
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  List.iter line (List.rev t.rows);
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Plain-text tables for the benchmark harness.
+
+    The benchmark executable reproduces the paper's tables and figures as
+    aligned ASCII tables; this module does the layout.  Columns are sized to
+    the widest cell, headers are separated by a rule, and an optional caption
+    is printed above the table. *)
+
+type t
+
+val create : ?caption:string -> string list -> t
+(** [create ~caption headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from the
+    header row. *)
+
+val add_float_row : ?fmt:(float -> string) -> t -> string -> float list -> unit
+(** [add_float_row t label xs] appends a row whose first cell is [label] and
+    remaining cells are formatted floats (default [%.2f]). *)
+
+val render : t -> string
+(** Lay the table out as a string (trailing newline included). *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val csv : t -> string
+(** Comma-separated rendition (header row first). *)

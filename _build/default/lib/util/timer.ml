@@ -1,0 +1,18 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)
+
+let time_median ?(repeats = 3) f =
+  let repeats = max 1 repeats in
+  let last = ref None in
+  let samples =
+    List.init repeats (fun _ ->
+        let result, dt = time f in
+        last := Some result;
+        dt)
+  in
+  match !last with
+  | None -> assert false
+  | Some result -> (result, Stats.median samples)

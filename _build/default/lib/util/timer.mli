@@ -1,0 +1,9 @@
+(** Wall-clock timing helpers for the runtime experiments (Table I). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** [time_median ~repeats f] runs [f] [repeats] times (default 3) and
+    returns the last result with the median elapsed seconds. *)

@@ -1,0 +1,1 @@
+lib/workload/instance.ml: Array List Sof Sof_cost Sof_graph Sof_topology Sof_util

@@ -1,0 +1,1 @@
+lib/workload/instance.mli: Sof Sof_topology Sof_util

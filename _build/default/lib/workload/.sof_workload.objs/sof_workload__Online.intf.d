@@ -1,0 +1,1 @@
+lib/workload/online.mli: Sof Sof_topology Sof_util

@@ -1,0 +1,77 @@
+module Graph = Sof_graph.Graph
+module Rng = Sof_util.Rng
+module Topology = Sof_topology.Topology
+module Cost_model = Sof_cost.Cost_model
+
+type params = {
+  n_vms : int;
+  n_sources : int;
+  n_dests : int;
+  chain_length : int;
+  setup_multiplier : float;
+}
+
+let default_params =
+  {
+    n_vms = 25;
+    n_sources = 14;
+    n_dests = 6;
+    chain_length = 3;
+    setup_multiplier = 1.0;
+  }
+
+let draw ~rng (topo : Topology.t) p =
+  let base = topo.Topology.graph in
+  let n_access = Graph.n base in
+  if topo.Topology.dcs = [] then invalid_arg "Instance.draw: topology has no DCs";
+  if p.n_sources > n_access || p.n_dests > n_access then
+    invalid_arg "Instance.draw: not enough access nodes";
+  if p.n_vms < 1 || p.chain_length < 1 then
+    invalid_arg "Instance.draw: bad parameters";
+  (* One split stream per sampling stage (common random numbers): sweeping
+     one parameter leaves every other stage's draws — link utilizations,
+     VM placement, the other node sets — unchanged, which removes
+     cross-cell noise from the benchmark sweeps. *)
+  let rng_links = Rng.split rng in
+  let rng_vms = Rng.split rng in
+  let rng_setup = Rng.split rng in
+  let rng_src = Rng.split rng in
+  let rng_dst = Rng.split rng in
+  (* Price every physical link by the Fortz–Thorup cost of a uniformly
+     sampled utilization (the paper's one-time deployment setup). *)
+  let priced =
+    Graph.map_weights base (fun _ _ _ ->
+        Cost_model.utilization_cost (Rng.uniform rng_links))
+  in
+  (* Attach VM nodes to random DCs; the access link is priced like any
+     other link. *)
+  let dcs = Array.of_list topo.Topology.dcs in
+  let vm_edges =
+    List.init p.n_vms (fun i ->
+        let vm = n_access + i in
+        let dc = Rng.pick rng_vms dcs in
+        (vm, dc, Cost_model.utilization_cost (Rng.uniform rng_vms)))
+  in
+  let n = n_access + p.n_vms in
+  let graph = Graph.create ~n ~edges:(Graph.edges priced @ vm_edges) in
+  let node_cost = Array.make n 0.0 in
+  let vms = List.init p.n_vms (fun i -> n_access + i) in
+  List.iter
+    (fun vm ->
+      node_cost.(vm) <-
+        Cost_model.utilization_cost (Rng.uniform rng_setup)
+        *. p.setup_multiplier)
+    vms;
+  (* Sources and destinations are drawn independently (the paper sweeps up
+     to 26 sources plus 6 destinations on the 27-node SoftLayer network, so
+     the two sets cannot always be disjoint). *)
+  let sources = Rng.sample_without_replacement rng_src p.n_sources n_access in
+  let dests = Rng.sample_without_replacement rng_dst p.n_dests n_access in
+  Sof.Problem.make ~graph ~node_cost ~vms ~sources ~dests
+    ~chain_length:p.chain_length
+
+let vm_hosts problem _topo vm =
+  match Graph.neighbors problem.Sof.Problem.graph vm with
+  | [ (host, _) ] -> host
+  | (host, _) :: _ -> host
+  | [] -> invalid_arg "Instance.vm_hosts: detached VM"

@@ -1,0 +1,32 @@
+(** Drawing SOF instances on a topology — the one-time deployment setup of
+    Section VIII-A.
+
+    Construction, following the paper: link utilizations are sampled
+    uniformly in (0,1) and priced by the Fortz–Thorup function; [n_vms] VM
+    nodes are attached to uniformly chosen data centers by zero-cost access
+    links; every VM's setup cost is the Fortz–Thorup price of its host's
+    sampled utilization, scaled by [setup_multiplier] (Fig. 11's knob);
+    sources and destinations are each sampled uniformly (without
+    replacement, but independently of each other — they may overlap) from
+    the access nodes. *)
+
+type params = {
+  n_vms : int;
+  n_sources : int;
+  n_dests : int;
+  chain_length : int;
+  setup_multiplier : float;
+}
+
+val default_params : params
+(** The paper's defaults: 25 VMs, 14 sources, 6 destinations, chain 3,
+    multiplier 1. *)
+
+val draw : rng:Sof_util.Rng.t -> Sof_topology.Topology.t -> params -> Sof.Problem.t
+(** Build a random instance.  VM nodes are fresh node ids appended after
+    the topology's access nodes.  @raise Invalid_argument when the topology
+    has fewer access nodes than either set or no DCs. *)
+
+val vm_hosts : Sof.Problem.t -> Sof_topology.Topology.t -> int -> int
+(** [vm_hosts problem topo vm] — the access node a VM id attaches to (its
+    single neighbor). *)

@@ -1,0 +1,273 @@
+module Graph = Sof_graph.Graph
+module Rng = Sof_util.Rng
+module Topology = Sof_topology.Topology
+module Cost_model = Sof_cost.Cost_model
+module Ledger = Sof_cost.Ledger
+
+type config = {
+  vms_per_dc : int;
+  demand : float;
+  link_capacity : float;
+  vm_capacity : float;
+  src_range : int * int;
+  dst_range : int * int;
+  chain_length : int;
+}
+
+let softlayer_config =
+  {
+    vms_per_dc = 5;
+    demand = 5.0;
+    link_capacity = 100.0;
+    vm_capacity = 5.0;
+    src_range = (8, 12);
+    dst_range = (13, 17);
+    chain_length = 3;
+  }
+
+let cogent_config =
+  {
+    vms_per_dc = 5;
+    demand = 5.0;
+    link_capacity = 100.0;
+    vm_capacity = 5.0;
+    src_range = (10, 30);
+    dst_range = (20, 60);
+    chain_length = 3;
+  }
+
+type step = { request : int; cost : float; accumulated : float; served : bool }
+
+(* Augment the topology with [vms_per_dc] VM nodes per data center; the
+   access link of a VM is charged like any other link. *)
+let augment topo cfg =
+  let base = topo.Topology.graph in
+  let n_access = Graph.n base in
+  let vm_edges = ref [] in
+  let vms = ref [] in
+  List.iteri
+    (fun i dc ->
+      for j = 0 to cfg.vms_per_dc - 1 do
+        let vm = n_access + (i * cfg.vms_per_dc) + j in
+        vms := vm :: !vms;
+        vm_edges := (vm, dc, 1.0) :: !vm_edges
+      done)
+    topo.Topology.dcs;
+  let n = n_access + (List.length topo.Topology.dcs * cfg.vms_per_dc) in
+  let graph = Graph.create ~n ~edges:(Graph.edges base @ !vm_edges) in
+  (graph, List.rev !vms, n_access)
+
+let marginal_edge_cost ledger cfg u v =
+  let load = Ledger.edge_load ledger u v in
+  Cost_model.cost ~load:(load +. cfg.demand) ~capacity:cfg.link_capacity
+  -. Cost_model.cost ~load ~capacity:cfg.link_capacity
+
+let marginal_node_cost ledger cfg v =
+  let load = Ledger.node_load ledger v in
+  Cost_model.cost ~load:(load +. 1.0) ~capacity:cfg.vm_capacity
+  -. Cost_model.cost ~load ~capacity:cfg.vm_capacity
+
+(* Core loop shared by [run] and [run_adaptive].  [on_commit] sees every
+   embedded forest right after its loads are charged and may transform the
+   ledger state (rerouting). *)
+let run_core ?(pricing = `Marginal) ~rng topo cfg ~n_requests ~algo ~on_commit
+    () =
+  let graph, vms, n_access = augment topo cfg in
+  let node_capacity =
+    Array.init (Graph.n graph) (fun v ->
+        if v >= n_access then cfg.vm_capacity else 0.0)
+  in
+  let ledger =
+    Ledger.create ~graph ~link_capacity:cfg.link_capacity ~node_capacity
+  in
+  let steps = ref [] in
+  let accumulated = ref 0.0 in
+  for request = 1 to n_requests do
+    let lo_s, hi_s = cfg.src_range and lo_d, hi_d = cfg.dst_range in
+    let n_src = Rng.range rng lo_s hi_s in
+    let n_dst = min (Rng.range rng lo_d hi_d) (n_access - n_src) in
+    let picks = Rng.sample_without_replacement rng (n_src + n_dst) n_access in
+    let rec split k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | x :: rest -> split (k - 1) (x :: acc) rest
+      | [] -> (List.rev acc, [])
+    in
+    let sources, dests = split n_src [] picks in
+    (* [`Marginal] prices each resource by the Fortz-Thorup marginal cost
+       of adding this request (the paper's online model); [`Hops] is the
+       congestion-blind strawman used to showcase re-joins. *)
+    let priced =
+      match pricing with
+      | `Marginal ->
+          Graph.map_weights graph (fun u v _ ->
+              marginal_edge_cost ledger cfg u v)
+      | `Hops -> Graph.map_weights graph (fun _ _ _ -> 1.0)
+    in
+    let node_cost = Array.make (Graph.n graph) 0.0 in
+    List.iter
+      (fun vm ->
+        node_cost.(vm) <-
+          (match pricing with
+          | `Marginal -> marginal_node_cost ledger cfg vm
+          | `Hops -> 1.0))
+      vms;
+    let problem =
+      Sof.Problem.make ~graph:priced ~node_cost ~vms ~sources ~dests
+        ~chain_length:cfg.chain_length
+    in
+    let step =
+      match algo problem with
+      | None -> { request; cost = 0.0; accumulated = !accumulated; served = false }
+      | Some forest ->
+          (match Sof.Validate.check forest with
+          | Error es ->
+              failwith
+                ("Online.run: invalid forest: "
+                ^ String.concat "; " (List.map Sof.Validate.to_string es))
+          | Ok () -> ());
+          let cost = Sof.Forest.total_cost forest in
+          (* Commit loads exactly as the cost was counted. *)
+          List.iter
+            (fun (u, v) -> Ledger.add_edge_load ledger u v cfg.demand)
+            (Sof.Forest.paid_edges forest);
+          List.iter
+            (fun (vm, _) -> Ledger.add_node_load ledger vm 1.0)
+            (Sof.Forest.enabled_vms forest);
+          accumulated := !accumulated +. cost;
+          on_commit ~ledger ~graph ~vms forest;
+          { request; cost; accumulated = !accumulated; served = true }
+    in
+    steps := step :: !steps
+  done;
+  List.rev !steps
+
+let run ?pricing ~rng topo cfg ~n_requests ~algo =
+  run_core ?pricing ~rng topo cfg ~n_requests ~algo
+    ~on_commit:(fun ~ledger:_ ~graph:_ ~vms:_ _ -> ())
+    ()
+
+let accumulated_series steps = List.map (fun s -> s.accumulated) steps
+
+type adaptive_report = {
+  steps : step list;
+  reroutes : int;
+  peak_utilization : float;
+}
+let run_adaptive ?pricing ~rng ?(utilization_threshold = 0.9) topo cfg
+    ~n_requests ~algo =
+  (* Committed forests, most recent first, with the loads they charged. *)
+  let committed : (Sof.Forest.t * (int * int) list * int list) list ref =
+    ref []
+  in
+  let reroutes = ref 0 in
+  let peak = ref 0.0 in
+  let rollback ledger (edges, vms) =
+    List.iter
+      (fun (u, v) -> Ledger.add_edge_load ledger u v (-.cfg.demand))
+      edges;
+    List.iter (fun vm -> Ledger.add_node_load ledger vm (-1.0)) vms
+  in
+  let commit ledger forest =
+    let edges = Sof.Forest.paid_edges forest in
+    let vms = List.map fst (Sof.Forest.enabled_vms forest) in
+    List.iter (fun (u, v) -> Ledger.add_edge_load ledger u v cfg.demand) edges;
+    List.iter (fun vm -> Ledger.add_node_load ledger vm 1.0) vms;
+    (edges, vms)
+  in
+  (* Hot resources above the threshold, hottest first: links by utilization,
+     VM hosts by node load over [vm_capacity].  Several are returned because
+     the hottest spot may have no alternative (a pendant city's only links)
+     — the re-join then tries the next one. *)
+  let hot_resources ledger graph vms =
+    let acc = ref [] in
+    let consider util what =
+      peak := max !peak util;
+      if util >= utilization_threshold then acc := (util, what) :: !acc
+    in
+    Graph.iter_edges graph (fun u v _ ->
+        consider (Ledger.edge_utilization ledger u v) (`Link (u, v)));
+    List.iter
+      (fun vm ->
+        consider (Ledger.node_load ledger vm /. cfg.vm_capacity) (`Vm vm))
+      vms;
+    List.sort (fun (a, _) (b, _) -> compare b a) !acc
+  in
+  (* One re-join attempt on a hot resource: roll back the most recent
+     forest touching it, re-route (rule 5) or relocate the VNF (rule 6)
+     against current marginal prices, and commit whatever results.  Returns
+    true when the forest actually changed. *)
+  let attempt_rejoin ledger graph vms hot =
+    let touches (_, es, enabled_vms) =
+      match hot with
+      | `Link (u, v) ->
+          let key = (min u v, max u v) in
+          List.exists (fun (a, b) -> (min a b, max a b) = key) es
+      | `Vm vm -> List.mem vm enabled_vms
+    in
+    match List.find_opt touches !committed with
+    | None -> false
+    | Some ((old_forest, old_edges, old_vms) as entry) -> (
+        rollback ledger (old_edges, old_vms);
+        (* re-price the instance at current (post-rollback) loads *)
+        let priced =
+          Graph.map_weights graph (fun a b _ -> marginal_edge_cost ledger cfg a b)
+        in
+        let node_cost = Array.make (Graph.n graph) 0.0 in
+        List.iter
+          (fun vm -> node_cost.(vm) <- marginal_node_cost ledger cfg vm)
+          vms;
+        let old_problem = old_forest.Sof.Forest.problem in
+        let problem =
+          Sof.Problem.make ~graph:priced ~node_cost ~vms
+            ~sources:old_problem.Sof.Problem.sources
+            ~dests:old_problem.Sof.Problem.dests
+            ~chain_length:old_problem.Sof.Problem.chain_length
+        in
+        let refreshed =
+          Sof.Forest.make problem ~walks:old_forest.Sof.Forest.walks
+            ~delivery:old_forest.Sof.Forest.delivery
+        in
+        (* Rule 5 for congested links, rule 6 for overloaded VMs. *)
+        let attempt =
+          match hot with
+          | `Link (u, v) -> Sof.Dynamic.reroute_link refreshed ~u ~v
+          | `Vm vm -> Sof.Dynamic.relocate_vm refreshed ~vm
+        in
+        match attempt with
+        | Some upd when Sof.Validate.is_valid upd.Sof.Dynamic.forest ->
+            let changed =
+              Sof.Forest.paid_edges upd.Sof.Dynamic.forest <> old_edges
+              || List.map fst (Sof.Forest.enabled_vms upd.Sof.Dynamic.forest)
+                 <> old_vms
+            in
+            if changed then incr reroutes;
+            let footprint = commit ledger upd.Sof.Dynamic.forest in
+            committed :=
+              List.map
+                (fun e ->
+                  if e == entry then
+                    (upd.Sof.Dynamic.forest, fst footprint, snd footprint)
+                  else e)
+                !committed;
+            changed
+        | _ ->
+            (* keep the original embedding *)
+            ignore (commit ledger old_forest);
+            false)
+  in
+  let on_commit ~ledger ~graph ~vms forest =
+    let edges = Sof.Forest.paid_edges forest in
+    let enabled = List.map fst (Sof.Forest.enabled_vms forest) in
+    committed := (forest, edges, enabled) :: !committed;
+    let candidates = hot_resources ledger graph vms in
+    let rec try_first k = function
+      | [] -> ()
+      | _ when k = 0 -> ()
+      | (_, hot) :: rest ->
+          if not (attempt_rejoin ledger graph vms hot) then
+            try_first (k - 1) rest
+    in
+    try_first 5 candidates
+  in
+  let steps = run_core ?pricing ~rng topo cfg ~n_requests ~algo ~on_commit () in
+  { steps; reroutes = !reroutes; peak_utilization = !peak }

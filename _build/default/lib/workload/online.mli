@@ -1,0 +1,73 @@
+(** The online deployment scenario (Sections VII-B and VIII-C, Fig. 12).
+
+    Requests arrive one at a time; every link and VM carries the load of the
+    requests already embedded, and the next request is priced by the
+    {e marginal} Fortz–Thorup cost of adding its demand — so congested
+    resources look expensive and embeddings steer around them, exactly the
+    adaptive-routing behaviour of the paper's cost model.  After each
+    embedding the chosen links and VMs are charged, and we record the
+    accumulated cost. *)
+
+type config = {
+  vms_per_dc : int;       (** paper: 5 *)
+  demand : float;         (** Mbps per request; paper: 5 *)
+  link_capacity : float;  (** Mbps; paper: 100 *)
+  vm_capacity : float;    (** concurrent VNFs a VM host absorbs before congesting *)
+  src_range : int * int;  (** candidate sources per request, inclusive *)
+  dst_range : int * int;  (** destinations per request, inclusive *)
+  chain_length : int;     (** paper: 3 *)
+}
+
+val softlayer_config : config
+(** 13–17 destinations, 8–12 sources (the paper's SoftLayer setting). *)
+
+val cogent_config : config
+(** 20–60 destinations, 10–30 sources. *)
+
+type step = {
+  request : int;             (** 1-based arrival index *)
+  cost : float;              (** marginal cost of this embedding; 0 when rejected *)
+  accumulated : float;
+  served : bool;
+}
+
+val run :
+  ?pricing:[ `Marginal | `Hops ] ->
+  rng:Sof_util.Rng.t ->
+  Sof_topology.Topology.t ->
+  config ->
+  n_requests:int ->
+  algo:(Sof.Problem.t -> Sof.Forest.t option) ->
+  step list
+(** [pricing] (default [`Marginal]) sets how each request's instance is
+    priced: the Fortz-Thorup marginal cost of the load it would add (the
+    paper's adaptive model), or flat hop counts ([`Hops]) — a
+    congestion-blind strawman that loads up shortest paths and exists to
+    demonstrate what the Section VII-B re-joins rescue.  Each step's
+    instance is validated before its loads are committed. *)
+
+val accumulated_series : step list -> float list
+
+type adaptive_report = {
+  steps : step list;
+  reroutes : int;          (** congestion-triggered re-join events *)
+  peak_utilization : float;  (** highest link utilization ever observed *)
+}
+
+val run_adaptive :
+  ?pricing:[ `Marginal | `Hops ] ->
+  rng:Sof_util.Rng.t ->
+  ?utilization_threshold:float ->
+  Sof_topology.Topology.t ->
+  config ->
+  n_requests:int ->
+  algo:(Sof.Problem.t -> Sof.Forest.t option) ->
+  adaptive_report
+(** Like {!run}, plus the paper's Section VII-B congestion handling: after
+    each arrival, any link whose utilization reaches
+    [utilization_threshold] (default 0.9) triggers a re-join of the most
+    recent forest crossing it — its loads are rolled back, the crossing
+    segments are re-routed with {!Sof.Dynamic.reroute_link} against
+    current marginal prices (congested links now look expensive), and the
+    re-routed forest is committed instead.  At most one re-join per
+    arrival keeps the control loop bounded. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Printf QCheck Sof Sof_baselines Sof_topology Sof_util Sof_workload Testlib

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Option QCheck Sof Sof_graph Sof_util Testlib

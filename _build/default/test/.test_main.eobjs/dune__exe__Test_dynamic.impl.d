@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Fun List QCheck Sof Sof_graph Sof_util Testlib

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Fun List QCheck Sof Sof_cost Sof_graph Sof_kstroll Sof_lp Sof_sdn Sof_steiner Sof_util String Testlib

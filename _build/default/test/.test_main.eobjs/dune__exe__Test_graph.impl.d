@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun List QCheck Sof_graph Sof_util Testlib

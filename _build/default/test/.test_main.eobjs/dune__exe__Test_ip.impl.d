@@ -1,0 +1,1 @@
+test/test_ip.ml: Alcotest Array Fun List Option Printf QCheck Sof Sof_baselines Sof_graph Sof_lp Sof_util String Testlib

@@ -1,0 +1,1 @@
+test/test_kstroll.ml: Alcotest Array List Printf QCheck Sof_kstroll Sof_util Testlib

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Fun List QCheck Sof_lp Sof_util Testlib

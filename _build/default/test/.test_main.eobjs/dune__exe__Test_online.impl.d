@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest List Option Sof Sof_baselines Sof_topology Sof_util Sof_workload Testlib

@@ -1,0 +1,1 @@
+test/test_polish.ml: Alcotest Array Format List Printf Sof Sof_graph Sof_lp Sof_sdn Sof_simnet Sof_topology Sof_util String Testlib

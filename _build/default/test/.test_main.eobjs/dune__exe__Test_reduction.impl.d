@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array Fun List Printf QCheck Sof Sof_graph Sof_lp Sof_steiner Sof_util Testlib

@@ -1,0 +1,1 @@
+test/test_sdn.ml: Alcotest Array List QCheck Sof Sof_graph Sof_sdn Sof_topology Sof_util Sof_workload Testlib

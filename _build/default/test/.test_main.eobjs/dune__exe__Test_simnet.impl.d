@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest List Option QCheck Sof Sof_graph Sof_simnet Sof_topology Sof_util Sof_workload Testlib

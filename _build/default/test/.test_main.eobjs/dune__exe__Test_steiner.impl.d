@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Fun List QCheck Sof_graph Sof_steiner Sof_util Testlib

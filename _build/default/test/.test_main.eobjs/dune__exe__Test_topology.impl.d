@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest List Printf QCheck Sof Sof_cost Sof_graph Sof_topology Sof_util Sof_workload Testlib

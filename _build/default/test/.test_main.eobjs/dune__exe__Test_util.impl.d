@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun List Sof_util String

@@ -1,0 +1,1 @@
+test/testlib.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Sof Sof_graph Sof_util

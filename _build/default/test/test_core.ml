@@ -1,0 +1,571 @@
+module Graph = Sof_graph.Graph
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Validate = Sof.Validate
+module Transform = Sof.Transform
+module Sofda_ss = Sof.Sofda_ss
+module Sofda = Sof.Sofda
+module Conflict = Sof.Conflict
+open Testlib
+
+(* --- a tiny hand-checked instance ---------------------------------------
+   0 (source) - 1 (VM, cost 1) - 2 (VM, cost 1) - {3, 4} (destinations)
+   All edges cost 1.  Chain length 2.
+   Optimal: chain 0-1(f1)-2(f2), deliver 2-3 and 2-4: cost 2 + 2 + 2 = 6. *)
+let chain_instance () =
+  let g =
+    Graph.create ~n:5
+      ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (2, 4, 1.0) ]
+  in
+  let node_cost = [| 0.0; 1.0; 1.0; 0.0; 0.0 |] in
+  Problem.make ~graph:g ~node_cost ~vms:[ 1; 2 ] ~sources:[ 0 ]
+    ~dests:[ 3; 4 ] ~chain_length:2
+
+(* --- two islands joined by a costly bridge ------------------------------
+   Island A: 0 (src) - 1 - 2 (VMs cost 1) - 3 (dest)
+   Island B: 4 (src) - 5 - 6 (VMs cost 1) - 7 (dest)
+   Bridge 3-7 cost 50.  A two-tree forest costs 10; any single tree pays
+   the bridge.  This is the paper's Fig. 1 moral. *)
+let islands_instance () =
+  let g =
+    Graph.create ~n:8
+      ~edges:
+        [
+          (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0);
+          (4, 5, 1.0); (5, 6, 1.0); (6, 7, 1.0);
+          (3, 7, 50.0);
+        ]
+  in
+  let node_cost = [| 0.0; 1.0; 1.0; 0.0; 0.0; 1.0; 1.0; 0.0 |] in
+  Problem.make ~graph:g ~node_cost ~vms:[ 1; 2; 5; 6 ] ~sources:[ 0; 4 ]
+    ~dests:[ 3; 7 ] ~chain_length:2
+
+(* --- Problem ------------------------------------------------------------ *)
+
+let test_problem_validation () =
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let bad name f =
+    Alcotest.(check bool) name true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  bad "switch with cost" (fun () ->
+      Problem.make ~graph:g ~node_cost:[| 1.0; 0.0; 0.0 |] ~vms:[ 1 ]
+        ~sources:[ 0 ] ~dests:[ 2 ] ~chain_length:1);
+  bad "no sources" (fun () ->
+      Problem.make ~graph:g ~node_cost:[| 0.0; 1.0; 0.0 |] ~vms:[ 1 ]
+        ~sources:[] ~dests:[ 2 ] ~chain_length:1);
+  bad "chain 0" (fun () ->
+      Problem.make ~graph:g ~node_cost:[| 0.0; 1.0; 0.0 |] ~vms:[ 1 ]
+        ~sources:[ 0 ] ~dests:[ 2 ] ~chain_length:0);
+  let p =
+    Problem.make ~graph:g ~node_cost:[| 0.0; 2.5; 0.0 |] ~vms:[ 1 ]
+      ~sources:[ 0 ] ~dests:[ 2 ] ~chain_length:1
+  in
+  Alcotest.(check bool) "vm" true (Problem.is_vm p 1);
+  Alcotest.(check bool) "source" true (Problem.is_source p 0);
+  Alcotest.check feq "setup" 2.5 (Problem.setup_cost p 1)
+
+(* --- Forest cost accounting --------------------------------------------- *)
+
+let test_forest_cost_simple () =
+  let p = chain_instance () in
+  let walk =
+    {
+      Forest.source = 0;
+      hops = [| 0; 1; 2 |];
+      marks = [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ];
+    }
+  in
+  let f = Forest.make p ~walks:[ walk ] ~delivery:[ (2, 3); (2, 4) ] in
+  Validate.check_exn f;
+  let setup, conn = Forest.cost_breakdown f in
+  Alcotest.check feq "setup" 2.0 setup;
+  Alcotest.check feq "connection" 4.0 conn;
+  Alcotest.check feq "total" 6.0 (Forest.total_cost f)
+
+let test_forest_cost_revisited_edge () =
+  (* A walk that traverses edge (1,2) twice at different stages pays it
+     twice (the paper's clone rule). *)
+  let g =
+    Graph.create ~n:4 ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+  in
+  let node_cost = [| 0.0; 1.0; 1.0; 0.0 |] in
+  let p =
+    Problem.make ~graph:g ~node_cost ~vms:[ 1; 2 ] ~sources:[ 0 ]
+      ~dests:[ 3 ] ~chain_length:2
+  in
+  let walk =
+    {
+      Forest.source = 0;
+      hops = [| 0; 1; 2; 1; 2 |];
+      marks = [ { Forest.pos = 2; vnf = 1 }; { Forest.pos = 3; vnf = 2 } ];
+    }
+  in
+  let f = Forest.make p ~walks:[ walk ] ~delivery:[ (2, 3) ] in
+  Validate.check_exn f;
+  (* edges: (0,1)@0, (1,2)@0, (2,1)@1, (1,2)@2 -> 4 payments + delivery. *)
+  Alcotest.check feq "connection" 5.0 (Forest.connection_cost f);
+  Alcotest.check feq "setup" 2.0 (Forest.setup_cost f)
+
+let test_forest_cost_shared_prefix () =
+  (* Two walks from the same source sharing their first edge at stage 0 pay
+     it once (multicast sharing). *)
+  let g =
+    Graph.create ~n:6
+      ~edges:
+        [ (0, 1, 1.0); (1, 2, 1.0); (1, 3, 1.0); (2, 4, 1.0); (3, 5, 1.0) ]
+  in
+  let node_cost = [| 0.0; 0.0; 1.0; 1.0; 0.0; 0.0 |] in
+  let p =
+    Problem.make ~graph:g ~node_cost ~vms:[ 2; 3 ] ~sources:[ 0 ]
+      ~dests:[ 4; 5 ] ~chain_length:1
+  in
+  let w1 =
+    { Forest.source = 0; hops = [| 0; 1; 2 |]; marks = [ { Forest.pos = 2; vnf = 1 } ] }
+  in
+  let w2 =
+    { Forest.source = 0; hops = [| 0; 1; 3 |]; marks = [ { Forest.pos = 2; vnf = 1 } ] }
+  in
+  let f = Forest.make p ~walks:[ w1; w2 ] ~delivery:[ (2, 4); (3, 5) ] in
+  Validate.check_exn f;
+  (* (0,1) paid once, (1,2), (1,3), two delivery edges: 5 total. *)
+  Alcotest.check feq "shared prefix" 5.0 (Forest.connection_cost f)
+
+(* --- Validate ------------------------------------------------------------ *)
+
+let test_validate_catches_conflict () =
+  let p = chain_instance () in
+  let wa =
+    { Forest.source = 0; hops = [| 0; 1; 2 |];
+      marks = [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ] }
+  in
+  (* wconf re-enters VM 1 and marks it f2, clashing with wa's f1 there. *)
+  let wconf =
+    { Forest.source = 0; hops = [| 0; 1; 2; 1 |];
+      marks = [ { Forest.pos = 2; vnf = 1 }; { Forest.pos = 3; vnf = 2 } ] }
+  in
+  let f = Forest.make p ~walks:[ wa; wconf ] ~delivery:[ (2, 3); (2, 4) ] in
+  (match Validate.check f with
+  | Ok () -> Alcotest.fail "expected conflict"
+  | Error es ->
+      Alcotest.(check bool) "vnf conflict reported" true
+        (List.exists
+           (function Validate.Vnf_conflict _ -> true | _ -> false)
+           es))
+
+let test_validate_catches_missing_edge () =
+  let p = chain_instance () in
+  let w2 =
+    { Forest.source = 0; hops = [| 0; 1; 2 |];
+      marks = [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ] }
+  in
+  let f = Forest.make p ~walks:[ w2 ] ~delivery:[ (0, 3) ] in
+  (match Validate.check f with
+  | Ok () -> Alcotest.fail "expected missing edge"
+  | Error es ->
+      Alcotest.(check bool) "missing edge" true
+        (List.exists
+           (function Validate.Missing_edge _ -> true | _ -> false)
+           es))
+
+let test_validate_catches_unserved () =
+  let p = chain_instance () in
+  let w =
+    { Forest.source = 0; hops = [| 0; 1; 2 |];
+      marks = [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ] }
+  in
+  let f = Forest.make p ~walks:[ w ] ~delivery:[ (2, 3) ] in
+  (match Validate.check f with
+  | Ok () -> Alcotest.fail "expected unserved 4"
+  | Error es ->
+      Alcotest.(check bool) "unserved" true
+        (List.mem (Validate.Unserved_destination 4) es))
+
+(* --- Transform ----------------------------------------------------------- *)
+
+let test_transform_chain_walk () =
+  let p = chain_instance () in
+  let t = Transform.create p in
+  match Transform.chain_walk t ~src:0 ~last_vm:2 ~num_vnfs:2 with
+  | None -> Alcotest.fail "expected walk"
+  | Some r ->
+      Alcotest.(check (array int)) "hops" [| 0; 1; 2 |] r.Transform.hops;
+      Alcotest.(check (list (pair int int))) "marks" [ (1, 1); (2, 2) ]
+        r.Transform.vm_marks;
+      (* cost = edges (2) + setups (2) *)
+      Alcotest.check feq "cost" 4.0 r.Transform.cost
+
+let test_transform_cost_is_connection_plus_setup () =
+  let p = islands_instance () in
+  let t = Transform.create p in
+  match Transform.chain_walk t ~src:0 ~last_vm:2 ~num_vnfs:2 with
+  | None -> Alcotest.fail "expected walk"
+  | Some r ->
+      Alcotest.check feq "cost" 4.0 r.Transform.cost;
+      Alcotest.(check int) "two vnfs" 2 (List.length r.Transform.vm_marks)
+
+let test_transform_source_setup () =
+  (* Appendix D: charging the source adds c(src) exactly once. *)
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let node_cost = [| 0.0; 2.0; 3.0 |] in
+  let p =
+    Problem.make ~graph:g ~node_cost ~vms:[ 1; 2 ] ~sources:[ 0 ]
+      ~dests:[ 2 ] ~chain_length:2
+  in
+  let t = Transform.create p in
+  let plain =
+    match Transform.chain_walk t ~src:0 ~last_vm:2 ~num_vnfs:2 with
+    | Some r -> r.Transform.cost
+    | None -> Alcotest.fail "walk"
+  in
+  let charged =
+    match
+      Transform.chain_walk ~source_setup:true t ~src:0 ~last_vm:2 ~num_vnfs:2
+    with
+    | Some r -> r.Transform.cost
+    | None -> Alcotest.fail "walk"
+  in
+  Alcotest.check feq "plain" 7.0 plain;
+  (* source 0 has cost 0 here, so both agree *)
+  Alcotest.check feq "charged equals plain for free source" plain charged
+
+let test_transform_relay_walk () =
+  let p = chain_instance () in
+  let t = Transform.create p in
+  (match Transform.relay_walk t ~src:1 ~dst:4 ~num_vnfs:1 with
+  | None -> Alcotest.fail "expected relay"
+  | Some r ->
+      Alcotest.(check int) "one vnf" 1 (List.length r.Transform.vm_marks);
+      Alcotest.(check bool) "ends at dst" true
+        (r.Transform.hops.(Array.length r.Transform.hops - 1) = 4));
+  match Transform.relay_walk t ~src:1 ~dst:3 ~num_vnfs:0 with
+  | None -> Alcotest.fail "expected path"
+  | Some r ->
+      Alcotest.(check (array int)) "pure path" [| 1; 2; 3 |] r.Transform.hops;
+      Alcotest.check feq "path cost" 2.0 r.Transform.cost
+
+let test_transform_infeasible () =
+  let p = chain_instance () in
+  let t = Transform.create p in
+  (* three VNFs but only two VMs *)
+  Alcotest.(check bool) "too long chain" true
+    (Transform.chain_walk t ~src:0 ~last_vm:2 ~num_vnfs:3 = None)
+
+(* --- SOFDA-SS ------------------------------------------------------------ *)
+
+let test_sofda_ss_chain_instance () =
+  let p = chain_instance () in
+  match Sofda_ss.solve p ~source:0 with
+  | None -> Alcotest.fail "expected solution"
+  | Some r ->
+      Validate.check_exn r.Sofda_ss.forest;
+      Alcotest.(check int) "last vm" 2 r.Sofda_ss.last_vm;
+      Alcotest.check feq "optimal cost" 6.0 (Forest.total_cost r.Sofda_ss.forest)
+
+let test_sofda_ss_tradeoff () =
+  (* Last-VM choice trade-off: VM 1 is close to the source but far from the
+     destinations; VM 2 the reverse.  SOFDA-SS must examine both. *)
+  let g =
+    Graph.create ~n:6
+      ~edges:
+        [
+          (0, 1, 1.0); (1, 2, 4.0); (2, 3, 1.0); (2, 4, 1.0); (1, 5, 1.0);
+          (5, 2, 1.0);
+        ]
+  in
+  let node_cost = [| 0.0; 1.0; 1.0; 0.0; 0.0; 1.0 |] in
+  let p =
+    Problem.make ~graph:g ~node_cost ~vms:[ 1; 2; 5 ] ~sources:[ 0 ]
+      ~dests:[ 3; 4 ] ~chain_length:2
+  in
+  match Sofda_ss.solve p ~source:0 with
+  | None -> Alcotest.fail "expected solution"
+  | Some r ->
+      Validate.check_exn r.Sofda_ss.forest;
+      (* best: 0-1(f1)-5-2 or 0-1-5(f2 at 5?) ... verify cost <= naive 1-2 chain *)
+      Alcotest.(check bool) "beats naive" true
+        (Forest.total_cost r.Sofda_ss.forest <= 9.0 +. 1e-9)
+
+let test_sofda_ss_infeasible () =
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let p =
+    Problem.make ~graph:g ~node_cost:[| 0.0; 1.0; 0.0 |] ~vms:[ 1 ]
+      ~sources:[ 0 ] ~dests:[ 2 ] ~chain_length:2
+  in
+  Alcotest.(check bool) "no solution with 1 VM, chain 2" true
+    (Sofda_ss.solve p ~source:0 = None)
+
+(* --- SOFDA --------------------------------------------------------------- *)
+
+let test_sofda_single_source_matches_shape () =
+  let p = chain_instance () in
+  match Sofda.solve p with
+  | None -> Alcotest.fail "expected solution"
+  | Some r ->
+      Validate.check_exn r.Sofda.forest;
+      Alcotest.check feq "cost 6" 6.0 (Forest.total_cost r.Sofda.forest)
+
+let test_sofda_uses_two_trees_on_islands () =
+  let p = islands_instance () in
+  match Sofda.solve p with
+  | None -> Alcotest.fail "expected solution"
+  | Some r ->
+      Validate.check_exn r.Sofda.forest;
+      Alcotest.(check int) "two chains" 2 (List.length r.Sofda.selected_chains);
+      Alcotest.check feq "forest cost 10" 10.0 (Forest.total_cost r.Sofda.forest);
+      (* single-source solutions must pay the bridge *)
+      (match Sofda_ss.solve p ~source:0 with
+      | Some ss ->
+          Alcotest.(check bool) "forest beats single tree" true
+            (Forest.total_cost r.Sofda.forest
+            < Forest.total_cost ss.Sofda_ss.forest)
+      | None -> Alcotest.fail "ss should be feasible")
+
+(* --- Conflict resolution -------------------------------------------------- *)
+
+let conflict_problem () =
+  (* complete-ish graph so rewritten walks always have edges *)
+  let edges = ref [] in
+  for u = 0 to 7 do
+    for v = u + 1 to 7 do
+      edges := (u, v, 1.0) :: !edges
+    done
+  done;
+  let g = Graph.create ~n:8 ~edges:!edges in
+  let node_cost = [| 0.0; 1.0; 1.0; 1.0; 1.0; 1.0; 0.0; 0.0 |] in
+  Problem.make ~graph:g ~node_cost ~vms:[ 1; 2; 3; 4; 5 ] ~sources:[ 0; 6 ]
+    ~dests:[ 7 ] ~chain_length:3
+
+let test_conflict_case1 () =
+  let p = conflict_problem () in
+  (* W1: 0 -> 1(f1) -> 2(f2) -> 3(f3); W: 6 -> 2(f1) -> 4(f2) -> 5(f3):
+     conflict at VM 2 with j=1 <= i=2. *)
+  let w1 =
+    { Forest.source = 0; hops = [| 0; 1; 2; 3 |];
+      marks =
+        [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 };
+          { Forest.pos = 3; vnf = 3 } ] }
+  in
+  let w =
+    { Forest.source = 6; hops = [| 6; 2; 4; 5 |];
+      marks =
+        [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 };
+          { Forest.pos = 3; vnf = 3 } ] }
+  in
+  Alcotest.(check bool) "conflict detected" true (Conflict.has_conflict [ w1; w ]);
+  let resolved = Conflict.resolve p [ w1; w ] in
+  Alcotest.(check bool) "resolved" false (Conflict.has_conflict resolved);
+  Alcotest.(check int) "still two walks" 2 (List.length resolved);
+  (* validate the rewritten walks as a forest serving dest 7 from VM ends *)
+  let last_hops =
+    List.map
+      (fun w -> w.Forest.hops.(Array.length w.Forest.hops - 1))
+      resolved
+  in
+  let delivery = List.map (fun v -> (v, 7)) last_hops in
+  let f = Forest.make p ~walks:resolved ~delivery in
+  Validate.check_exn f
+
+let test_conflict_case3 () =
+  let p = conflict_problem () in
+  (* W1: 0 -> 1(f1) -> 2(f2) -> 3(f3); W: 6 -> 4(f1) -> 1(f2) -> 5(f3):
+     conflict at VM 1 with j=2 > i=1, no shared VM with h >= 2 on W1 shared
+     with W other than VM 1 -> case 3 re-roots W1 onto W's prefix. *)
+  let w1 =
+    { Forest.source = 0; hops = [| 0; 1; 2; 3 |];
+      marks =
+        [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 };
+          { Forest.pos = 3; vnf = 3 } ] }
+  in
+  let w =
+    { Forest.source = 6; hops = [| 6; 4; 1; 5 |];
+      marks =
+        [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 };
+          { Forest.pos = 3; vnf = 3 } ] }
+  in
+  let resolved = Conflict.resolve p [ w1; w ] in
+  Alcotest.(check bool) "resolved" false (Conflict.has_conflict resolved);
+  let last_hops =
+    List.map
+      (fun w -> w.Forest.hops.(Array.length w.Forest.hops - 1))
+      resolved
+  in
+  let delivery = List.map (fun v -> (v, 7)) last_hops in
+  let f = Forest.make p ~walks:resolved ~delivery in
+  Validate.check_exn f
+
+let test_conflict_case2 () =
+  let p = conflict_problem () in
+  (* Mirrors the paper's Example 7 shape: W wants f_j at u where W1 runs
+     f_i with i < j, and another shared VM w carries f_h (h >= j) on W1 —
+     the resolution must ride W1's prefix through w and keep W's tail. *)
+  let w1 =
+    { Forest.source = 0; hops = [| 0; 4; 2; 3; 5 |];
+      marks =
+        [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 };
+          { Forest.pos = 3; vnf = 3 } ] }
+  in
+  (* W: f1@3, f2@2 (conflicts: W1 runs f2@2... j=2,i=2 same -> no), use:
+     W: 6 -> 3(f1) -> 4(f2) -> 1(f3): conflict at 4 (W1: f1, i=1 < j=2);
+     shared VM 3 carries f3 = h >= j on W1 -> case 2. *)
+  let w =
+    { Forest.source = 6; hops = [| 6; 3; 4; 1 |];
+      marks =
+        [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 };
+          { Forest.pos = 3; vnf = 3 } ] }
+  in
+  let resolved = Conflict.resolve p [ w1; w ] in
+  Alcotest.(check bool) "resolved" false (Conflict.has_conflict resolved);
+  let delivery =
+    List.map
+      (fun w -> (w.Forest.hops.(Array.length w.Forest.hops - 1), 7))
+      resolved
+  in
+  let f = Forest.make p ~walks:resolved ~delivery in
+  Validate.check_exn f;
+  (* w1 must be untouched by a case-1/2 resolution *)
+  Alcotest.(check bool) "w1 unchanged" true
+    (List.exists (fun x -> x = w1) resolved)
+
+let test_conflict_shared_vm_same_vnf_no_conflict () =
+  let p = conflict_problem () in
+  let mk source =
+    { Forest.source; hops = [| source; 1; 2; 3 |];
+      marks =
+        [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 };
+          { Forest.pos = 3; vnf = 3 } ] }
+  in
+  let walks = [ mk 0; mk 6 ] in
+  Alcotest.(check bool) "agreeing walks don't conflict" false
+    (Conflict.has_conflict walks);
+  let resolved = Conflict.resolve p walks in
+  Alcotest.(check bool) "resolution is identity" true (resolved = walks)
+
+let test_remove_loops () =
+  let w =
+    { Forest.source = 0; hops = [| 0; 1; 2; 1; 3 |];
+      marks = [ { Forest.pos = 4; vnf = 1 } ] }
+  in
+  let w' = Conflict.remove_loops w in
+  Alcotest.(check (array int)) "loop cut" [| 0; 1; 3 |] w'.Forest.hops;
+  Alcotest.(check (list (pair int int))) "mark shifted" [ (2, 1) ]
+    (List.map (fun m -> (m.Forest.pos, m.Forest.vnf)) w'.Forest.marks)
+
+let test_remove_loops_keeps_marked () =
+  (* the revisit encloses a mark: must NOT be cut *)
+  let w =
+    { Forest.source = 0; hops = [| 0; 1; 2; 1; 3 |];
+      marks = [ { Forest.pos = 2; vnf = 1 }; { Forest.pos = 4; vnf = 2 } ] }
+  in
+  let w' = Conflict.remove_loops w in
+  Alcotest.(check (array int)) "unchanged" [| 0; 1; 2; 1; 3 |] w'.Forest.hops
+
+(* --- property tests over random instances -------------------------------- *)
+
+let forest_cost_nonneg f = Forest.total_cost f >= -1e-9
+
+let prop_sofda_ss_valid =
+  QCheck.Test.make ~count:150 ~name:"SOFDA-SS produces valid forests"
+    instance_arb (fun (seed, chain) ->
+      let p = random_instance ~chain_length:chain seed in
+      match Sofda_ss.solve p ~source:(List.hd p.Problem.sources) with
+      | None -> true (* infeasible instances are allowed *)
+      | Some r -> Validate.is_valid r.Sofda_ss.forest && forest_cost_nonneg r.Sofda_ss.forest)
+
+let prop_sofda_valid =
+  QCheck.Test.make ~count:150 ~name:"SOFDA produces valid forests"
+    instance_arb (fun (seed, chain) ->
+      let p = random_instance ~chain_length:chain seed in
+      match Sofda.solve p with
+      | None -> true
+      | Some r -> Validate.is_valid r.Sofda.forest && forest_cost_nonneg r.Sofda.forest)
+
+let prop_sofda_no_worse_than_best_ss =
+  (* Multi-source SOFDA should not be dramatically worse than the best
+     single-source embedding; we assert the weaker sanity property that it
+     is within 3x (they optimize the same objective with the same Steiner
+     black box). *)
+  QCheck.Test.make ~count:100 ~name:"SOFDA within 3x of best single-source"
+    instance_arb (fun (seed, chain) ->
+      let p = random_instance ~chain_length:chain seed in
+      let ss_costs =
+        List.filter_map
+          (fun s ->
+            Option.map
+              (fun r -> Forest.total_cost r.Sofda_ss.forest)
+              (Sofda_ss.solve p ~source:s))
+          p.Problem.sources
+      in
+      match (Sofda.solve p, ss_costs) with
+      | Some r, _ :: _ ->
+          let best = List.fold_left min infinity ss_costs in
+          Forest.total_cost r.Sofda.forest <= (3.0 *. best) +. 1e-6
+      | _ -> true)
+
+let prop_conflict_resolution_random =
+  (* Random conflicting walk pairs on a complete graph always resolve. *)
+  QCheck.Test.make ~count:200 ~name:"conflict resolution settles and is valid"
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let p = conflict_problem () in
+      let rng = Sof_util.Rng.create ((a * 7919) + b) in
+      let mk source =
+        let vms = [| 1; 2; 3; 4; 5 |] in
+        Sof_util.Rng.shuffle rng vms;
+        let picks = Array.sub vms 0 3 in
+        let hops = Array.append [| source |] picks in
+        {
+          Forest.source;
+          hops;
+          marks =
+            [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 };
+              { Forest.pos = 3; vnf = 3 } ];
+        }
+      in
+      let walks = [ mk 0; mk 6; mk 0 ] in
+      let resolved = Conflict.resolve p walks in
+      (not (Conflict.has_conflict resolved))
+      && List.length resolved = 3
+      &&
+      let delivery =
+        List.map
+          (fun w -> (w.Forest.hops.(Array.length w.Forest.hops - 1), 7))
+          resolved
+      in
+      let f = Forest.make p ~walks:resolved ~delivery in
+      Validate.is_valid f)
+
+let suite =
+  [
+    Alcotest.test_case "problem validation" `Quick test_problem_validation;
+    Alcotest.test_case "forest cost simple" `Quick test_forest_cost_simple;
+    Alcotest.test_case "forest cost revisit" `Quick test_forest_cost_revisited_edge;
+    Alcotest.test_case "forest cost shared prefix" `Quick test_forest_cost_shared_prefix;
+    Alcotest.test_case "validate conflict" `Quick test_validate_catches_conflict;
+    Alcotest.test_case "validate missing edge" `Quick test_validate_catches_missing_edge;
+    Alcotest.test_case "validate unserved" `Quick test_validate_catches_unserved;
+    Alcotest.test_case "transform chain walk" `Quick test_transform_chain_walk;
+    Alcotest.test_case "transform islands" `Quick test_transform_cost_is_connection_plus_setup;
+    Alcotest.test_case "transform source setup" `Quick test_transform_source_setup;
+    Alcotest.test_case "transform relay walk" `Quick test_transform_relay_walk;
+    Alcotest.test_case "transform infeasible" `Quick test_transform_infeasible;
+    Alcotest.test_case "sofda-ss chain instance" `Quick test_sofda_ss_chain_instance;
+    Alcotest.test_case "sofda-ss tradeoff" `Quick test_sofda_ss_tradeoff;
+    Alcotest.test_case "sofda-ss infeasible" `Quick test_sofda_ss_infeasible;
+    Alcotest.test_case "sofda single source" `Quick test_sofda_single_source_matches_shape;
+    Alcotest.test_case "sofda islands forest" `Quick test_sofda_uses_two_trees_on_islands;
+    Alcotest.test_case "conflict case 1" `Quick test_conflict_case1;
+    Alcotest.test_case "conflict case 2" `Quick test_conflict_case2;
+    Alcotest.test_case "conflict case 3" `Quick test_conflict_case3;
+    Alcotest.test_case "conflict same-vnf sharing" `Quick
+      test_conflict_shared_vm_same_vnf_no_conflict;
+    Alcotest.test_case "remove loops" `Quick test_remove_loops;
+    Alcotest.test_case "remove loops keeps marks" `Quick test_remove_loops_keeps_marked;
+  ]
+  @ qsuite
+      [
+        prop_sofda_ss_valid;
+        prop_sofda_valid;
+        prop_sofda_no_worse_than_best_ss;
+        prop_conflict_resolution_random;
+      ]

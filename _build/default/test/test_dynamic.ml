@@ -1,0 +1,250 @@
+module Graph = Sof_graph.Graph
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Validate = Sof.Validate
+module Dynamic = Sof.Dynamic
+module Sofda = Sof.Sofda
+open Testlib
+
+(* Richer fixture: grid-ish network with spare VMs for insertions. *)
+let fixture () =
+  let edges =
+    [
+      (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 4, 1.0); (4, 5, 1.0);
+      (2, 6, 1.0); (6, 7, 1.0); (3, 8, 1.0); (8, 9, 1.0); (1, 8, 2.0);
+      (6, 9, 2.0); (0, 6, 3.0);
+    ]
+  in
+  let g = Graph.create ~n:10 ~edges in
+  let node_cost = [| 0.0; 1.0; 1.0; 1.0; 0.0; 0.0; 1.0; 0.0; 1.0; 0.0 |] in
+  Problem.make ~graph:g ~node_cost ~vms:[ 1; 2; 3; 6; 8 ] ~sources:[ 0 ]
+    ~dests:[ 5; 7 ] ~chain_length:2
+
+let solved () =
+  let p = fixture () in
+  match Sofda.solve p with
+  | Some r -> r.Sofda.forest
+  | None -> Alcotest.fail "fixture should be solvable"
+
+let test_leave_prunes () =
+  let f = solved () in
+  let u = Dynamic.destination_leave f 7 in
+  Validate.check_exn u.Dynamic.forest;
+  Alcotest.(check (list int)) "dests shrink" [ 5 ]
+    u.Dynamic.problem.Problem.dests;
+  Alcotest.(check bool) "cost does not grow" true
+    (Forest.total_cost u.Dynamic.forest <= Forest.total_cost f +. 1e-9)
+
+let test_leave_last_raises () =
+  let f = solved () in
+  let u = Dynamic.destination_leave f 7 in
+  Alcotest.(check bool) "cannot drop last" true
+    (try
+       ignore (Dynamic.destination_leave u.Dynamic.forest 5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_leave_non_dest_raises () =
+  let f = solved () in
+  Alcotest.(check bool) "not a dest" true
+    (try
+       ignore (Dynamic.destination_leave f 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_join () =
+  let f = solved () in
+  match Dynamic.destination_join f 9 with
+  | None -> Alcotest.fail "join should succeed"
+  | Some u ->
+      Validate.check_exn u.Dynamic.forest;
+      Alcotest.(check bool) "9 now a dest" true
+        (Problem.is_dest u.Dynamic.problem 9);
+      Alcotest.(check bool) "cost grew by a bounded amount" true
+        (Forest.total_cost u.Dynamic.forest >= Forest.total_cost f -. 1e-9)
+
+let test_join_then_leave_roundtrip () =
+  let f = solved () in
+  match Dynamic.destination_join f 9 with
+  | None -> Alcotest.fail "join"
+  | Some u ->
+      let back = Dynamic.destination_leave u.Dynamic.forest 9 in
+      Validate.check_exn back.Dynamic.forest;
+      Alcotest.(check (list int)) "original dests" [ 5; 7 ]
+        back.Dynamic.problem.Problem.dests
+
+let test_vnf_delete () =
+  let f = solved () in
+  let u = Dynamic.vnf_delete f ~vnf:1 in
+  Validate.check_exn u.Dynamic.forest;
+  Alcotest.(check int) "chain shorter" 1
+    u.Dynamic.problem.Problem.chain_length;
+  Alcotest.(check bool) "cheaper or equal" true
+    (Forest.total_cost u.Dynamic.forest <= Forest.total_cost f +. 1e-9)
+
+let test_vnf_delete_bad_index () =
+  let f = solved () in
+  Alcotest.(check bool) "index 3 invalid" true
+    (try
+       ignore (Dynamic.vnf_delete f ~vnf:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_vnf_insert () =
+  let f = solved () in
+  match Dynamic.vnf_insert f ~at:2 with
+  | None -> Alcotest.fail "insert should succeed"
+  | Some u ->
+      Validate.check_exn u.Dynamic.forest;
+      Alcotest.(check int) "chain longer" 3
+        u.Dynamic.problem.Problem.chain_length
+
+let test_vnf_insert_append () =
+  let f = solved () in
+  match Dynamic.vnf_insert f ~at:3 with
+  | None -> Alcotest.fail "append should succeed"
+  | Some u -> Validate.check_exn u.Dynamic.forest
+
+let test_vnf_insert_then_delete () =
+  let f = solved () in
+  match Dynamic.vnf_insert f ~at:1 with
+  | None -> Alcotest.fail "insert"
+  | Some u ->
+      let back = Dynamic.vnf_delete u.Dynamic.forest ~vnf:1 in
+      Validate.check_exn back.Dynamic.forest;
+      Alcotest.(check int) "chain back to 2" 2
+        back.Dynamic.problem.Problem.chain_length
+
+let test_reroute_link () =
+  let f = solved () in
+  (* reroute around every edge the forest uses; result must stay valid *)
+  let edges = Forest.paid_edges f in
+  List.iter
+    (fun (u, v) ->
+      match Dynamic.reroute_link f ~u ~v with
+      | None -> ()
+      | Some upd -> Validate.check_exn upd.Dynamic.forest)
+    edges
+
+let test_relocate_vm () =
+  let f = solved () in
+  let enabled = Forest.enabled_vms f in
+  match enabled with
+  | (vm, _) :: _ -> (
+      match Dynamic.relocate_vm f ~vm with
+      | None -> () (* no substitute available is acceptable *)
+      | Some u ->
+          Validate.check_exn u.Dynamic.forest;
+          Alcotest.(check bool) "vm no longer enabled" true
+            (not (List.mem_assoc vm (Forest.enabled_vms u.Dynamic.forest))))
+  | [] -> Alcotest.fail "no enabled VMs"
+
+let test_relocate_non_enabled_raises () =
+  let f = solved () in
+  let enabled = List.map fst (Forest.enabled_vms f) in
+  let free =
+    List.find_opt
+      (fun v -> not (List.mem v enabled))
+      f.Forest.problem.Problem.vms
+  in
+  match free with
+  | None -> ()
+  | Some vm ->
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore (Dynamic.relocate_vm f ~vm);
+           false
+         with Invalid_argument _ -> true)
+
+(* Random churn: a sequence of joins and leaves keeps the forest valid. *)
+let prop_membership_churn =
+  QCheck.Test.make ~count:60 ~name:"join/leave churn preserves validity"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let p = random_instance ~chain_length:2 seed in
+      match Sofda.solve p with
+      | None -> true
+      | Some r ->
+          let rng = Sof_util.Rng.create (seed + 1) in
+          let ok = ref true in
+          let forest = ref r.Sofda.forest in
+          for _ = 1 to 6 do
+            if !ok then begin
+              let prob = (!forest).Forest.problem in
+              let dests = prob.Problem.dests in
+              let non_dests =
+                List.filter
+                  (fun v -> not (List.mem v dests))
+                  (List.init (Problem.n prob) Fun.id)
+              in
+              let join = Sof_util.Rng.bool rng in
+              if join && non_dests <> [] then begin
+                let v =
+                  List.nth non_dests
+                    (Sof_util.Rng.int rng (List.length non_dests))
+                in
+                match Dynamic.destination_join !forest v with
+                | Some u ->
+                    forest := u.Dynamic.forest;
+                    ok := !ok && Validate.is_valid !forest
+                | None -> ()
+              end
+              else if List.length dests > 1 then begin
+                let v = List.nth dests (Sof_util.Rng.int rng (List.length dests)) in
+                let u = Dynamic.destination_leave !forest v in
+                forest := u.Dynamic.forest;
+                ok := !ok && Validate.is_valid !forest
+              end
+            end
+          done;
+          !ok)
+
+let prop_vnf_churn =
+  QCheck.Test.make ~count:60 ~name:"vnf insert/delete churn preserves validity"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let p = random_instance ~chain_length:2 seed in
+      match Sofda.solve p with
+      | None -> true
+      | Some r ->
+          let rng = Sof_util.Rng.create (seed + 2) in
+          let ok = ref true in
+          let forest = ref r.Sofda.forest in
+          for _ = 1 to 4 do
+            if !ok then begin
+              let l = (!forest).Forest.problem.Problem.chain_length in
+              if Sof_util.Rng.bool rng || l <= 1 then begin
+                let at = 1 + Sof_util.Rng.int rng (l + 1) in
+                match Dynamic.vnf_insert !forest ~at with
+                | Some u ->
+                    forest := u.Dynamic.forest;
+                    ok := !ok && Validate.is_valid !forest
+                | None -> ()
+              end
+              else begin
+                let vnf = 1 + Sof_util.Rng.int rng l in
+                let u = Dynamic.vnf_delete !forest ~vnf in
+                forest := u.Dynamic.forest;
+                ok := !ok && Validate.is_valid !forest
+              end
+            end
+          done;
+          !ok)
+
+let suite =
+  [
+    Alcotest.test_case "leave prunes" `Quick test_leave_prunes;
+    Alcotest.test_case "leave last raises" `Quick test_leave_last_raises;
+    Alcotest.test_case "leave non-dest raises" `Quick test_leave_non_dest_raises;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "join/leave roundtrip" `Quick test_join_then_leave_roundtrip;
+    Alcotest.test_case "vnf delete" `Quick test_vnf_delete;
+    Alcotest.test_case "vnf delete bad index" `Quick test_vnf_delete_bad_index;
+    Alcotest.test_case "vnf insert" `Quick test_vnf_insert;
+    Alcotest.test_case "vnf insert append" `Quick test_vnf_insert_append;
+    Alcotest.test_case "vnf insert/delete" `Quick test_vnf_insert_then_delete;
+    Alcotest.test_case "reroute link" `Quick test_reroute_link;
+    Alcotest.test_case "relocate vm" `Quick test_relocate_vm;
+    Alcotest.test_case "relocate non-enabled" `Quick test_relocate_non_enabled_raises;
+  ]
+  @ qsuite [ prop_membership_churn; prop_vnf_churn ]

@@ -1,0 +1,349 @@
+(* Second-wave coverage: edge cases and cross-cutting properties that the
+   per-module suites don't reach. *)
+
+module Graph = Sof_graph.Graph
+module Binheap = Sof_graph.Binheap
+module Metric = Sof_graph.Metric
+module Steiner = Sof_steiner.Steiner
+module Kstroll = Sof_kstroll.Kstroll
+module Cost_model = Sof_cost.Cost_model
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Validate = Sof.Validate
+module Flow_table = Sof_sdn.Flow_table
+open Testlib
+
+(* --- graph edge cases ------------------------------------------------ *)
+
+let test_graph_empty_and_singleton () =
+  let empty = Graph.create ~n:0 ~edges:[] in
+  Alcotest.(check int) "empty n" 0 (Graph.n empty);
+  Alcotest.(check int) "empty m" 0 (Graph.m empty);
+  let single = Graph.create ~n:1 ~edges:[] in
+  Alcotest.(check int) "singleton degree" 0 (Graph.degree single 0);
+  Alcotest.(check bool) "singleton connected" true
+    (Sof_graph.Traversal.is_connected single)
+
+let test_graph_add_edges () =
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 2.0) ] in
+  let g' = Graph.add_edges g [ (1, 2, 3.0); (0, 1, 1.0) ] in
+  Alcotest.(check int) "two edges" 2 (Graph.m g');
+  Alcotest.(check (option (float 0.0))) "cheapest kept" (Some 1.0)
+    (Graph.edge_weight g' 0 1);
+  Alcotest.(check int) "original untouched" 1 (Graph.m g)
+
+let test_complete_of_matrix () =
+  let d = [| [| 0.0; 1.0; 2.0 |]; [| 1.0; 0.0; infinity |]; [| 2.0; infinity; 0.0 |] |] in
+  let g = Graph.complete_of_matrix d in
+  Alcotest.(check int) "two finite edges" 2 (Graph.m g);
+  Alcotest.(check bool) "asymmetric rejected" true
+    (try
+       ignore (Graph.complete_of_matrix [| [| 0.0; 1.0 |]; [| 2.0; 0.0 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:200 ~name:"heap drains in sorted order"
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun xs ->
+      let h = Binheap.create () in
+      List.iter (fun x -> Binheap.push h x x) xs;
+      let rec drain acc =
+        match Binheap.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* --- steiner: closure-reusing variant equals the fresh one ----------- *)
+
+let prop_approx_in_equals_approx =
+  QCheck.Test.make ~count:100 ~name:"approx_in = approx on shared closure"
+    (graph_params_arb ~max_n:18) (fun params ->
+      let g = graph_of_params params in
+      let n = Graph.n g in
+      let closure = Metric.closure g (Array.init n Fun.id) in
+      let rng = Sof_util.Rng.create 5 in
+      let terminals = Sof_util.Rng.sample_without_replacement rng (min 5 n) n in
+      let a = Steiner.approx g terminals in
+      let b = Steiner.approx_in g closure terminals in
+      abs_float (a.Steiner.weight -. b.Steiner.weight) < 1e-9)
+
+(* --- kstroll odds and ends ------------------------------------------- *)
+
+let test_kstroll_walk_cost () =
+  let dist a b = abs_float (float_of_int a -. float_of_int b) in
+  Alcotest.check feq "walk cost" 8.0 (Kstroll.walk_cost ~dist [ 0; 5; 2 ]);
+  Alcotest.check feq "empty walk" 0.0 (Kstroll.walk_cost ~dist []);
+  Alcotest.(check int) "distinct" 2 (Kstroll.distinct_count [ 1; 2; 1 ])
+
+let test_kstroll_exact_too_many () =
+  let dist _ _ = 1.0 in
+  Alcotest.(check bool) "21 candidates rejected" true
+    (try
+       ignore
+         (Kstroll.exact ~dist
+            ~candidates:(List.init 21 (fun i -> i + 2))
+            ~src:0 ~dst:1 ~k:3);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- cost model -------------------------------------------------------- *)
+
+let test_slope_at () =
+  Alcotest.check feq "slope light" 1.0 (Cost_model.slope_at 0.1);
+  Alcotest.check feq "slope heavy" 5000.0 (Cost_model.slope_at 1.15);
+  Alcotest.(check bool) "negative rejected" true
+    (try ignore (Cost_model.slope_at (-0.1)); false
+     with Invalid_argument _ -> true)
+
+let test_ledger_costed_graph () =
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 9.0); (1, 2, 9.0) ] in
+  let ledger =
+    Sof_cost.Ledger.create ~graph:g ~link_capacity:10.0
+      ~node_capacity:[| 0.0; 0.0; 0.0 |]
+  in
+  Sof_cost.Ledger.add_edge_load ledger 0 1 5.0;
+  let priced = Sof_cost.Ledger.costed_graph ledger in
+  Alcotest.(check (option (float 1e-9))) "loaded edge repriced"
+    (Some (Cost_model.cost ~load:5.0 ~capacity:10.0))
+    (Graph.edge_weight priced 0 1);
+  Alcotest.(check (option (float 1e-9))) "idle edge free" (Some 0.0)
+    (Graph.edge_weight priced 1 2)
+
+(* --- Forest.shorten ---------------------------------------------------- *)
+
+let shorten_fixture () =
+  (* 0 -- 1 -- 2 -- 3 with a shortcut 1 -- 3; walk detours via 2. *)
+  let g =
+    Graph.create ~n:5
+      ~edges:
+        [ (0, 1, 1.0); (1, 2, 5.0); (2, 3, 5.0); (1, 3, 1.0); (3, 4, 1.0) ]
+  in
+  let p =
+    Problem.make ~graph:g ~node_cost:[| 0.0; 1.0; 0.0; 1.0; 0.0 |]
+      ~vms:[ 1; 3 ] ~sources:[ 0 ] ~dests:[ 4 ] ~chain_length:2
+  in
+  let walk =
+    {
+      Forest.source = 0;
+      hops = [| 0; 1; 2; 3 |];
+      marks = [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 3; vnf = 2 } ];
+    }
+  in
+  (p, Forest.make p ~walks:[ walk ] ~delivery:[ (3, 4) ])
+
+let test_shorten_takes_shortcut () =
+  let _, f = shorten_fixture () in
+  let f' = Forest.shorten f in
+  Validate.check_exn f';
+  (* detour 1-2-3 (cost 10) replaced by the direct 1-3 edge (cost 1) *)
+  Alcotest.check feq "shortened cost" (1.0 +. 1.0 +. 1.0 +. 2.0)
+    (Forest.total_cost f');
+  Alcotest.(check bool) "improves" true
+    (Forest.total_cost f' < Forest.total_cost f)
+
+let prop_shorten_safe =
+  QCheck.Test.make ~count:80 ~name:"shorten never hurts and stays valid"
+    instance_arb (fun (seed, chain) ->
+      let p = random_instance ~chain_length:chain seed in
+      match Sof.Sofda.solve_aux ~t:(Sof.Transform.create p) p with
+      | None -> true
+      | Some r ->
+          let f = r.Sof.Sofda.forest in
+          let f' = Forest.shorten f in
+          Validate.is_valid f'
+          && Forest.total_cost f' <= Forest.total_cost f +. 1e-9)
+
+(* --- transform exclusions ---------------------------------------------- *)
+
+let prop_chain_walk_respects_exclude =
+  QCheck.Test.make ~count:100 ~name:"excluded VMs never carry marks"
+    instance_arb (fun (seed, chain) ->
+      let p = random_instance ~chain_length:chain seed in
+      let t = Sof.Transform.create p in
+      match p.Problem.vms with
+      | banned :: rest when List.length rest >= chain ->
+          let src = List.hd p.Problem.sources in
+          List.for_all
+            (fun u ->
+              match
+                Sof.Transform.chain_walk
+                  ~exclude:(fun v -> v = banned)
+                  t ~src ~last_vm:u ~num_vnfs:chain
+              with
+              | None -> true
+              | Some r ->
+                  List.for_all (fun (_, vm) -> vm <> banned) r.Sof.Transform.vm_marks)
+            rest
+      | _ -> true)
+
+(* --- flow table multicast merge ---------------------------------------- *)
+
+let test_flow_table_merges_branches () =
+  (* one source, two walks sharing hop 0->1 then branching: node 1 should
+     hold a single rule with two next hops for the stage-0 stream *)
+  let g =
+    Graph.create ~n:6
+      ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (1, 3, 1.0); (2, 4, 1.0); (3, 5, 1.0) ]
+  in
+  let p =
+    Problem.make ~graph:g ~node_cost:[| 0.0; 0.0; 1.0; 1.0; 0.0; 0.0 |]
+      ~vms:[ 2; 3 ] ~sources:[ 0 ] ~dests:[ 4; 5 ] ~chain_length:1
+  in
+  let w vmpos =
+    {
+      Forest.source = 0;
+      hops = [| 0; 1; vmpos |];
+      marks = [ { Forest.pos = 2; vnf = 1 } ];
+    }
+  in
+  let f = Forest.make p ~walks:[ w 2; w 3 ] ~delivery:[ (2, 4); (3, 5) ] in
+  Validate.check_exn f;
+  let rules = Flow_table.compile f in
+  let branch =
+    List.find
+      (fun (r : Flow_table.rule) ->
+        r.Flow_table.node = 1
+        && r.Flow_table.matcher = Flow_table.Stream { source = 0; stage = 0 })
+      rules
+  in
+  Alcotest.(check (list int)) "merged branch rule" [ 2; 3 ]
+    branch.Flow_table.next_hops
+
+(* --- ILP ub_binaries semantics ----------------------------------------- *)
+
+let test_ilp_ub_binaries_equivalent () =
+  let values = [| 6.0; 9.0; 4.0 |] and weights = [| 3.0; 4.0; 2.0 |] in
+  let lp =
+    {
+      Sof_lp.Simplex.n_vars = 3;
+      objective = Array.map (fun v -> -.v) values;
+      rows = [| Array.to_list (Array.mapi (fun i w -> (i, w)) weights) |];
+      relations = [| Sof_lp.Simplex.Le |];
+      rhs = [| 6.0 |];
+    }
+  in
+  let full = Sof_lp.Ilp.solve (Sof_lp.Ilp.make ~binaries:[ 0; 1; 2 ] lp) in
+  let explicit =
+    Sof_lp.Ilp.solve
+      (Sof_lp.Ilp.make ~ub_binaries:[ 0; 1; 2 ] ~binaries:[ 0; 1; 2 ] lp)
+  in
+  match (full.Sof_lp.Ilp.best, explicit.Sof_lp.Ilp.best) with
+  | Some (_, a), Some (_, b) -> Alcotest.check feq "same optimum" a b
+  | _ -> Alcotest.fail "both should solve"
+
+(* --- sofda consistency -------------------------------------------------- *)
+
+let prop_solve_forest_matches_solve =
+  QCheck.Test.make ~count:50 ~name:"solve_forest = solve . forest"
+    instance_arb (fun (seed, chain) ->
+      let p = random_instance ~chain_length:chain seed in
+      match (Sof.Sofda.solve p, Sof.Sofda.solve_forest p) with
+      | None, None -> true
+      | Some r, Some f ->
+          abs_float
+            (Sof.Forest.total_cost r.Sof.Sofda.forest -. Sof.Forest.total_cost f)
+          < 1e-9
+      | _ -> false)
+
+let prop_sofda_never_worse_than_grafted =
+  QCheck.Test.make ~count:60 ~name:"solve <= each constituent construction"
+    instance_arb (fun (seed, chain) ->
+      let p = random_instance ~chain_length:chain seed in
+      let t = Sof.Transform.create p in
+      match Sof.Sofda.solve ~transform:t p with
+      | None -> true
+      | Some best ->
+          let c = Sof.Forest.total_cost best.Sof.Sofda.forest in
+          let le = function
+            | None -> true
+            | Some (r : Sof.Sofda.report) ->
+                c <= Sof.Forest.total_cost r.Sof.Sofda.forest +. 1e-9
+          in
+          le (Sof.Sofda.solve_aux ~t p)
+          && le (Sof.Sofda.solve_grafted ~source_setup:false ~t p))
+
+(* --- Appendix D: charging the source's setup cost ----------------------- *)
+
+let prop_source_setup_never_cheaper =
+  QCheck.Test.make ~count:60 ~name:"Appendix-D pricing is never cheaper"
+    instance_arb (fun (seed, chain) ->
+      let p = random_instance ~chain_length:chain seed in
+      let t = Sof.Transform.create p in
+      let src = List.hd p.Problem.sources in
+      List.for_all
+        (fun u ->
+          match
+            ( Sof.Transform.chain_walk t ~src ~last_vm:u ~num_vnfs:chain,
+              Sof.Transform.chain_walk ~source_setup:true t ~src ~last_vm:u
+                ~num_vnfs:chain )
+          with
+          | Some plain, Some charged ->
+              charged.Sof.Transform.cost >= plain.Sof.Transform.cost -. 1e-9
+          | None, None -> true
+          | _ -> false)
+        p.Problem.vms)
+
+let test_source_setup_adds_exactly_source_cost () =
+  (* A source that happens to be a VM with cost c: the Appendix-D walk is
+     exactly c more expensive. *)
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let p =
+    Problem.make ~graph:g ~node_cost:[| 2.0; 1.0; 1.0 |] ~vms:[ 0; 1; 2 ]
+      ~sources:[ 0 ] ~dests:[ 2 ] ~chain_length:2
+  in
+  let t = Sof.Transform.create p in
+  match
+    ( Sof.Transform.chain_walk t ~src:0 ~last_vm:2 ~num_vnfs:2,
+      Sof.Transform.chain_walk ~source_setup:true t ~src:0 ~last_vm:2
+        ~num_vnfs:2 )
+  with
+  | Some plain, Some charged ->
+      Alcotest.check feq "delta = c(src)" 2.0
+        (charged.Sof.Transform.cost -. plain.Sof.Transform.cost)
+  | _ -> Alcotest.fail "both variants should produce walks"
+
+(* --- DOT export ---------------------------------------------------------- *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
+  scan 0
+
+let test_to_dot_well_formed () =
+  let _, f = shorten_fixture () in
+  let dot = Forest.to_dot f in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 10 && String.sub dot 0 8 = "digraph ");
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains dot needle))
+    [ "n0 ["; "shape=box"; "shape=doublecircle"; "shape=diamond"; "style=dashed" ]
+
+let suite =
+  [
+    Alcotest.test_case "source setup delta" `Quick
+      test_source_setup_adds_exactly_source_cost;
+    Alcotest.test_case "to_dot well-formed" `Quick test_to_dot_well_formed;
+    Alcotest.test_case "graph empty/singleton" `Quick test_graph_empty_and_singleton;
+    Alcotest.test_case "graph add_edges" `Quick test_graph_add_edges;
+    Alcotest.test_case "complete_of_matrix" `Quick test_complete_of_matrix;
+    Alcotest.test_case "kstroll walk cost" `Quick test_kstroll_walk_cost;
+    Alcotest.test_case "kstroll exact limit" `Quick test_kstroll_exact_too_many;
+    Alcotest.test_case "cost slope_at" `Quick test_slope_at;
+    Alcotest.test_case "ledger costed graph" `Quick test_ledger_costed_graph;
+    Alcotest.test_case "shorten takes shortcut" `Quick test_shorten_takes_shortcut;
+    Alcotest.test_case "flow table merges branches" `Quick test_flow_table_merges_branches;
+    Alcotest.test_case "ilp ub_binaries" `Quick test_ilp_ub_binaries_equivalent;
+  ]
+  @ qsuite
+      [
+        prop_source_setup_never_cheaper;
+        prop_heap_sorts;
+        prop_approx_in_equals_approx;
+        prop_shorten_safe;
+        prop_chain_walk_respects_exclude;
+        prop_solve_forest_matches_solve;
+        prop_sofda_never_worse_than_grafted;
+      ]

@@ -1,0 +1,258 @@
+module Graph = Sof_graph.Graph
+module Binheap = Sof_graph.Binheap
+module Union_find = Sof_graph.Union_find
+module Dijkstra = Sof_graph.Dijkstra
+module Mst = Sof_graph.Mst
+module Traversal = Sof_graph.Traversal
+module Metric = Sof_graph.Metric
+open Testlib
+
+(* --- Graph structure --- *)
+
+let diamond () =
+  Graph.create ~n:4 ~edges:[ (0, 1, 1.0); (0, 2, 2.0); (1, 3, 3.0); (2, 3, 1.0) ]
+
+let test_graph_basic () =
+  let g = diamond () in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check int) "m" 4 (Graph.m g);
+  Alcotest.(check int) "deg 0" 2 (Graph.degree g 0);
+  Alcotest.(check (option (float 0.0))) "weight" (Some 3.0) (Graph.edge_weight g 3 1);
+  Alcotest.(check (option (float 0.0))) "absent" None (Graph.edge_weight g 0 3);
+  Alcotest.check feq "total" 7.0 (Graph.total_weight g)
+
+let test_graph_parallel_edges () =
+  let g = Graph.create ~n:2 ~edges:[ (0, 1, 5.0); (1, 0, 2.0); (0, 1, 9.0) ] in
+  Alcotest.(check int) "collapsed" 1 (Graph.m g);
+  Alcotest.(check (option (float 0.0))) "cheapest kept" (Some 2.0)
+    (Graph.edge_weight g 0 1)
+
+let test_graph_rejects () =
+  let bad name f = Alcotest.(check bool) name true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  bad "self-loop" (fun () -> Graph.create ~n:2 ~edges:[ (0, 0, 1.0) ]);
+  bad "negative weight" (fun () -> Graph.create ~n:2 ~edges:[ (0, 1, -1.0) ]);
+  bad "out of range" (fun () -> Graph.create ~n:2 ~edges:[ (0, 5, 1.0) ])
+
+let test_graph_map_filter () =
+  let g = diamond () in
+  let doubled = Graph.map_weights g (fun _ _ w -> 2.0 *. w) in
+  Alcotest.check feq "doubled" 14.0 (Graph.total_weight doubled);
+  let light = Graph.filter_edges g (fun _ _ w -> w < 2.0) in
+  Alcotest.(check int) "filtered" 2 (Graph.m light)
+
+let test_graph_edges_normalized () =
+  let g = diamond () in
+  List.iter
+    (fun (u, v, _) -> Alcotest.(check bool) "u<v" true (u < v))
+    (Graph.edges g)
+
+(* --- Binheap --- *)
+
+let test_heap_ordering () =
+  let h = Binheap.create () in
+  let rng = Sof_util.Rng.create 21 in
+  let xs = List.init 500 (fun _ -> Sof_util.Rng.uniform rng) in
+  List.iter (fun x -> Binheap.push h x ()) xs;
+  Alcotest.(check int) "size" 500 (Binheap.size h);
+  let rec drain prev =
+    match Binheap.pop h with
+    | None -> ()
+    | Some (p, ()) ->
+        Alcotest.(check bool) "nondecreasing" true (p >= prev);
+        drain p
+  in
+  drain neg_infinity;
+  Alcotest.(check bool) "empty" true (Binheap.is_empty h)
+
+let test_heap_peek () =
+  let h = Binheap.create () in
+  Binheap.push h 2.0 "b";
+  Binheap.push h 1.0 "a";
+  Alcotest.(check (option (pair (float 0.0) string))) "peek min"
+    (Some (1.0, "a")) (Binheap.peek h);
+  Alcotest.(check int) "peek keeps" 2 (Binheap.size h)
+
+(* --- Union-find --- *)
+
+let test_union_find () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial count" 5 (Union_find.count uf);
+  Alcotest.(check bool) "union new" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "union dup" false (Union_find.union uf 1 0);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 3);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 4);
+  Alcotest.(check int) "count" 2 (Union_find.count uf)
+
+(* --- Dijkstra --- *)
+
+let test_dijkstra_diamond () =
+  let g = diamond () in
+  let r = Dijkstra.run g 0 in
+  Alcotest.check feq "dist 3" 3.0 r.Dijkstra.dist.(3);
+  Alcotest.(check (option (list int))) "path" (Some [ 0; 2; 3 ])
+    (Dijkstra.path_to r 3)
+
+let test_dijkstra_unreachable () =
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 1.0) ] in
+  let r = Dijkstra.run g 0 in
+  Alcotest.check feq "inf" infinity r.Dijkstra.dist.(2);
+  Alcotest.(check (option (list int))) "no path" None (Dijkstra.path_to r 2)
+
+let test_dijkstra_to_target () =
+  let g = diamond () in
+  (match Dijkstra.to_target g ~src:1 ~dst:2 with
+  | Some (d, path) ->
+      Alcotest.check feq "dist" 3.0 d;
+      Alcotest.(check (list int)) "path" [ 1; 0; 2 ] path
+  | None -> Alcotest.fail "expected path");
+  Alcotest.(check (option (pair (float 0.0) (list int)))) "unreachable" None
+    (Dijkstra.to_target (Graph.create ~n:3 ~edges:[ (0, 1, 1.0) ]) ~src:0 ~dst:2)
+
+let test_multi_source () =
+  let g =
+    Graph.create ~n:5
+      ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 4, 1.0) ]
+  in
+  let r = Dijkstra.multi_source g [ 0; 4 ] in
+  Alcotest.check feq "middle" 2.0 r.Dijkstra.dist.(2);
+  Alcotest.check feq "near right" 1.0 r.Dijkstra.dist.(3)
+
+let prop_dijkstra_vs_bellman =
+  QCheck.Test.make ~count:200 ~name:"dijkstra agrees with bellman-ford"
+    (graph_params_arb ~max_n:30) (fun params ->
+      let g = graph_of_params params in
+      let r = Dijkstra.run g 0 in
+      let bf = Dijkstra.bellman_ford g 0 in
+      Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-6) r.Dijkstra.dist bf)
+
+let prop_dijkstra_path_consistent =
+  QCheck.Test.make ~count:200 ~name:"dijkstra path cost equals dist"
+    (graph_params_arb ~max_n:30) (fun params ->
+      let g = graph_of_params params in
+      let r = Dijkstra.run g 0 in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        match Dijkstra.path_to r v with
+        | None -> ()
+        | Some path ->
+            let rec cost acc = function
+              | a :: (b :: _ as rest) -> (
+                  match Graph.edge_weight g a b with
+                  | Some w -> cost (acc +. w) rest
+                  | None -> infinity)
+              | _ -> acc
+            in
+            if abs_float (cost 0.0 path -. r.Dijkstra.dist.(v)) > 1e-6 then
+              ok := false
+      done;
+      !ok)
+
+(* --- MST --- *)
+
+let test_mst_square () =
+  let g =
+    Graph.create ~n:4
+      ~edges:[ (0, 1, 1.0); (1, 2, 2.0); (2, 3, 3.0); (3, 0, 4.0); (0, 2, 5.0) ]
+  in
+  let t = Mst.kruskal g in
+  Alcotest.(check int) "edges" 3 (List.length t);
+  Alcotest.check feq "weight" 6.0 (Mst.weight t);
+  let p = Mst.prim g ~root:2 in
+  Alcotest.check feq "prim equals kruskal weight" (Mst.weight t) (Mst.weight p)
+
+let prop_mst_prim_kruskal_agree =
+  QCheck.Test.make ~count:200 ~name:"prim and kruskal weights agree"
+    (graph_params_arb ~max_n:25) (fun params ->
+      let g = graph_of_params params in
+      abs_float (Mst.weight (Mst.kruskal g) -. Mst.weight (Mst.prim g ~root:0))
+      < 1e-6)
+
+let prop_mst_spans =
+  QCheck.Test.make ~count:100 ~name:"mst spans all nodes"
+    (graph_params_arb ~max_n:25) (fun params ->
+      let g = graph_of_params params in
+      Mst.spans g (Mst.kruskal g) (List.init (Graph.n g) Fun.id))
+
+(* --- Traversal --- *)
+
+let test_components () =
+  let g = Graph.create ~n:5 ~edges:[ (0, 1, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check int) "three components" 3 (Traversal.component_count g);
+  Alcotest.(check bool) "not connected" false (Traversal.is_connected g);
+  Alcotest.(check bool) "forest" true (Traversal.is_forest g)
+
+let test_prune_leaves () =
+  (* path 0-1-2-3 plus leaf 4 at 1; keep {0,3}: leaf 4 pruned. *)
+  let edges = [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (1, 4, 1.0) ] in
+  let keep v = v = 0 || v = 3 in
+  let pruned = Traversal.prune_steiner_leaves edges ~keep in
+  Alcotest.(check int) "three edges left" 3 (List.length pruned);
+  Alcotest.(check bool) "leaf gone" true
+    (not (List.exists (fun (u, v, _) -> u = 4 || v = 4) pruned))
+
+let test_prune_cascades () =
+  (* chain 0-1-2-3 keeping only 0: everything prunes away. *)
+  let edges = [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  let pruned = Traversal.prune_steiner_leaves edges ~keep:(fun v -> v = 0) in
+  Alcotest.(check int) "all pruned" 0 (List.length pruned)
+
+(* --- Metric closure --- *)
+
+let test_metric_closure () =
+  let g = diamond () in
+  let c = Metric.closure g [| 0; 3 |] in
+  Alcotest.check feq "dist" 3.0 (Metric.distance c 0 1);
+  Alcotest.(check (list int)) "path" [ 0; 2; 3 ] (Metric.path c 0 1);
+  Alcotest.check feq "by nodes" 3.0 (Metric.distance_nodes c 0 3)
+
+let prop_metric_triangle =
+  (* Lemma 1 of the paper: closure distances satisfy triangle inequality. *)
+  QCheck.Test.make ~count:200 ~name:"metric closure triangle inequality"
+    (graph_params_arb ~max_n:15) (fun params ->
+      let g = graph_of_params params in
+      let n = Graph.n g in
+      let terms = Array.init n Fun.id in
+      let c = Metric.closure g terms in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for d = 0 to n - 1 do
+            if
+              Metric.distance c a d
+              > Metric.distance c a b +. Metric.distance c b d +. 1e-9
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basic;
+    Alcotest.test_case "graph parallel edges" `Quick test_graph_parallel_edges;
+    Alcotest.test_case "graph rejects bad input" `Quick test_graph_rejects;
+    Alcotest.test_case "graph map/filter" `Quick test_graph_map_filter;
+    Alcotest.test_case "graph edges normalized" `Quick test_graph_edges_normalized;
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap peek" `Quick test_heap_peek;
+    Alcotest.test_case "union-find" `Quick test_union_find;
+    Alcotest.test_case "dijkstra diamond" `Quick test_dijkstra_diamond;
+    Alcotest.test_case "dijkstra unreachable" `Quick test_dijkstra_unreachable;
+    Alcotest.test_case "dijkstra to target" `Quick test_dijkstra_to_target;
+    Alcotest.test_case "dijkstra multi-source" `Quick test_multi_source;
+    Alcotest.test_case "mst square" `Quick test_mst_square;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "prune leaves" `Quick test_prune_leaves;
+    Alcotest.test_case "prune cascades" `Quick test_prune_cascades;
+    Alcotest.test_case "metric closure" `Quick test_metric_closure;
+  ]
+  @ qsuite
+      [
+        prop_dijkstra_vs_bellman;
+        prop_dijkstra_path_consistent;
+        prop_mst_prim_kruskal_agree;
+        prop_mst_spans;
+        prop_metric_triangle;
+      ]

@@ -1,0 +1,113 @@
+module Graph = Sof_graph.Graph
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Ip_model = Sof.Ip_model
+module Ilp = Sof_lp.Ilp
+open Testlib
+
+let chain_instance () =
+  let g =
+    Graph.create ~n:5
+      ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (2, 4, 1.0) ]
+  in
+  Problem.make ~graph:g ~node_cost:[| 0.0; 1.0; 1.0; 0.0; 0.0 |]
+    ~vms:[ 1; 2 ] ~sources:[ 0 ] ~dests:[ 3; 4 ] ~chain_length:2
+
+let islands () =
+  let g =
+    Graph.create ~n:8
+      ~edges:
+        [
+          (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (4, 5, 1.0); (5, 6, 1.0);
+          (6, 7, 1.0); (3, 7, 50.0);
+        ]
+  in
+  Problem.make ~graph:g
+    ~node_cost:[| 0.0; 1.0; 1.0; 0.0; 0.0; 1.0; 1.0; 0.0 |]
+    ~vms:[ 1; 2; 5; 6 ] ~sources:[ 0; 4 ] ~dests:[ 3; 7 ] ~chain_length:2
+
+let solve p = Ip_model.solve ~node_limit:120 ~time_budget:8.0 p
+
+(* Small instances keep the B&B cheap inside the test suite. *)
+let tiny_instance seed =
+  let rng = Sof_util.Rng.create seed in
+  let n = 7 + Sof_util.Rng.int rng 3 in
+  let g = random_connected_graph rng ~n ~extra:3 ~w_max:4.0 in
+  let ids = Array.init n Fun.id in
+  Sof_util.Rng.shuffle rng ids;
+  let vms = [ ids.(0); ids.(1); ids.(2) ] in
+  let sources = [ ids.(3) ] in
+  let dests = [ ids.(4); ids.(5) ] in
+  let node_cost = Array.make n 0.0 in
+  List.iter (fun v -> node_cost.(v) <- 0.5 +. Sof_util.Rng.float rng 2.0) vms;
+  Problem.make ~graph:g ~node_cost ~vms ~sources ~dests ~chain_length:2
+
+let test_ip_chain_optimum () =
+  let r = solve (chain_instance ()) in
+  match r.Ilp.best with
+  | Some (_, obj) ->
+      Alcotest.check feq "optimum 6" 6.0 obj;
+      Alcotest.(check bool) "proven" true (r.Ilp.status = Ilp.Optimal)
+  | None -> Alcotest.fail "expected solution"
+
+let test_ip_islands_optimum () =
+  let r = solve (islands ()) in
+  match r.Ilp.best with
+  | Some (_, obj) -> Alcotest.check feq "optimum 10" 10.0 obj
+  | None -> Alcotest.fail "expected solution"
+
+let test_ip_bound_below_sofda () =
+  for seed = 1 to 6 do
+    let p = tiny_instance seed in
+    match Sof.Sofda.solve p with
+    | None -> ()
+    | Some res ->
+        let r = solve p in
+        let sofda_ip_obj = Ip_model.objective_of_forest res.Sof.Sofda.forest in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: bound <= SOFDA" seed)
+          true
+          (r.Ilp.bound <= sofda_ip_obj +. 1e-6)
+  done
+
+let test_ip_describe () =
+  let m = Ip_model.build (chain_instance ()) in
+  Alcotest.(check bool) "gamma name" true
+    (String.length (m.Ip_model.describe 0) > 0);
+  Alcotest.(check bool) "tau name" true
+    (String.length (m.Ip_model.describe (m.Ip_model.var_count - 1)) > 0)
+
+let test_objective_of_forest_shares_layers () =
+  (* two walks from different sources crossing one edge in the same layer
+     are priced once by the IP rule *)
+  let p = islands () in
+  match Sof.Sofda.solve p with
+  | None -> Alcotest.fail "solvable"
+  | Some r ->
+      let ip_obj = Ip_model.objective_of_forest r.Sof.Sofda.forest in
+      Alcotest.(check bool) "ip obj <= forest cost" true
+        (ip_obj <= Forest.total_cost r.Sof.Sofda.forest +. 1e-9)
+
+let prop_ip_optimum_is_lower_bound =
+  QCheck.Test.make ~count:8 ~name:"IP optimum lower-bounds every algorithm"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let p = tiny_instance seed in
+      let r = Ip_model.solve ~node_limit:60 ~time_budget:4.0 p in
+      let check forest_opt =
+        match forest_opt with
+        | None -> true
+        | Some f -> r.Ilp.bound <= Ip_model.objective_of_forest f +. 1e-5
+      in
+      check (Option.map (fun x -> x.Sof.Sofda.forest) (Sof.Sofda.solve p))
+      && check (Sof_baselines.Baselines.est p))
+
+let suite =
+  [
+    Alcotest.test_case "ip chain optimum" `Quick test_ip_chain_optimum;
+    Alcotest.test_case "ip islands optimum" `Quick test_ip_islands_optimum;
+    Alcotest.test_case "ip bound below sofda" `Slow test_ip_bound_below_sofda;
+    Alcotest.test_case "ip describe" `Quick test_ip_describe;
+    Alcotest.test_case "ip objective sharing" `Quick test_objective_of_forest_shares_layers;
+  ]
+  @ qsuite [ prop_ip_optimum_is_lower_bound ]

@@ -1,0 +1,147 @@
+module Kstroll = Sof_kstroll.Kstroll
+open Testlib
+
+(* Metric from points on a line: dist = |a - b|. *)
+let line_dist a b = abs_float (float_of_int a -. float_of_int b)
+
+let test_direct_when_k2 () =
+  match
+    Kstroll.cheapest_insertion ~dist:line_dist ~candidates:[ 5; 7 ] ~src:0
+      ~dst:10 ~k:2
+  with
+  | Some w ->
+      Alcotest.(check (list int)) "direct" [ 0; 10 ] w.Kstroll.nodes;
+      Alcotest.check feq "cost" 10.0 w.Kstroll.cost
+  | None -> Alcotest.fail "expected walk"
+
+let test_line_insertion_free () =
+  (* Inserting nodes that lie on the segment costs nothing extra. *)
+  match
+    Kstroll.cheapest_insertion ~dist:line_dist ~candidates:[ 3; 6; 20 ] ~src:0
+      ~dst:10 ~k:4
+  with
+  | Some w ->
+      Alcotest.check feq "still 10" 10.0 w.Kstroll.cost;
+      Alcotest.(check int) "4 distinct" 4 (Kstroll.distinct_count w.Kstroll.nodes)
+  | None -> Alcotest.fail "expected walk"
+
+let test_infeasible () =
+  Alcotest.(check bool) "too few candidates" true
+    (Kstroll.cheapest_insertion ~dist:line_dist ~candidates:[ 1 ] ~src:0
+       ~dst:10 ~k:4
+    = None)
+
+let test_endpoints_ignored_in_candidates () =
+  match
+    Kstroll.cheapest_insertion ~dist:line_dist ~candidates:[ 0; 10; 5 ] ~src:0
+      ~dst:10 ~k:3
+  with
+  | Some w ->
+      Alcotest.(check int) "3 distinct" 3 (Kstroll.distinct_count w.Kstroll.nodes)
+  | None -> Alcotest.fail "expected walk"
+
+let test_exact_line () =
+  match
+    Kstroll.exact ~dist:line_dist ~candidates:[ 3; 6; 20 ] ~src:0 ~dst:10 ~k:4
+  with
+  | Some w -> Alcotest.check feq "optimal 10" 10.0 w.Kstroll.cost
+  | None -> Alcotest.fail "expected walk"
+
+let test_exact_detour () =
+  (* Only candidate is far off the segment: forced detour. *)
+  match
+    Kstroll.exact ~dist:line_dist ~candidates:[ 20 ] ~src:0 ~dst:10 ~k:3
+  with
+  | Some w ->
+      Alcotest.check feq "0-20-10" 30.0 w.Kstroll.cost;
+      Alcotest.(check (list int)) "walk" [ 0; 20; 10 ] w.Kstroll.nodes
+  | None -> Alcotest.fail "expected walk"
+
+let test_same_endpoints () =
+  match
+    Kstroll.cheapest_insertion ~dist:line_dist ~candidates:[ 2 ] ~src:0 ~dst:0
+      ~k:2
+  with
+  | Some w ->
+      Alcotest.check feq "out and back" 4.0 w.Kstroll.cost;
+      Alcotest.(check int) "visits 2" 2 (Kstroll.distinct_count w.Kstroll.nodes)
+  | None -> Alcotest.fail "expected walk"
+
+(* Random euclidean metric on the plane (satisfies triangle inequality). *)
+let plane_params =
+  QCheck.make
+    ~print:(fun (seed, m, k) -> Printf.sprintf "seed=%d m=%d k=%d" seed m k)
+    QCheck.Gen.(triple (int_bound 1_000_000) (int_range 2 9) (int_range 2 8))
+
+let plane_of seed m =
+  let rng = Sof_util.Rng.create seed in
+  Array.init (m + 2) (fun _ ->
+      (Sof_util.Rng.float rng 100.0, Sof_util.Rng.float rng 100.0))
+
+let euclid pts a b =
+  let xa, ya = pts.(a) and xb, yb = pts.(b) in
+  sqrt (((xa -. xb) ** 2.0) +. ((ya -. yb) ** 2.0))
+
+let prop_heuristic_feasible =
+  QCheck.Test.make ~count:300 ~name:"insertion walk visits k distinct nodes"
+    plane_params (fun (seed, m, k) ->
+      let k = min k (m + 2) in
+      let pts = plane_of seed m in
+      let dist = euclid pts in
+      let candidates = List.init m (fun i -> i + 2) in
+      match
+        Kstroll.cheapest_insertion ~dist ~candidates ~src:0 ~dst:1 ~k
+      with
+      | None -> false
+      | Some w ->
+          Kstroll.distinct_count w.Kstroll.nodes >= k
+          && List.hd w.Kstroll.nodes = 0
+          && List.nth w.Kstroll.nodes (List.length w.Kstroll.nodes - 1) = 1
+          && abs_float (Kstroll.walk_cost ~dist w.Kstroll.nodes -. w.Kstroll.cost)
+             < 1e-6)
+
+let prop_heuristic_vs_exact =
+  (* Optimality probe backing the DESIGN.md substitution note: cheapest
+     insertion stays within 2x of Held-Karp on random metric instances. *)
+  QCheck.Test.make ~count:200 ~name:"insertion within 2x of exact k-stroll"
+    plane_params (fun (seed, m, k) ->
+      let k = min k (m + 2) in
+      let pts = plane_of seed m in
+      let dist = euclid pts in
+      let candidates = List.init m (fun i -> i + 2) in
+      match
+        ( Kstroll.cheapest_insertion ~dist ~candidates ~src:0 ~dst:1 ~k,
+          Kstroll.exact ~dist ~candidates ~src:0 ~dst:1 ~k )
+      with
+      | Some h, Some e ->
+          h.Kstroll.cost >= e.Kstroll.cost -. 1e-6
+          && h.Kstroll.cost <= (2.0 *. e.Kstroll.cost) +. 1e-6
+      | None, None -> true
+      | _ -> false)
+
+let prop_exact_monotone_in_k =
+  QCheck.Test.make ~count:150 ~name:"exact k-stroll cost nondecreasing in k"
+    plane_params (fun (seed, m, k) ->
+      let k = min k (m + 1) in
+      let pts = plane_of seed m in
+      let dist = euclid pts in
+      let candidates = List.init m (fun i -> i + 2) in
+      match
+        ( Kstroll.exact ~dist ~candidates ~src:0 ~dst:1 ~k,
+          Kstroll.exact ~dist ~candidates ~src:0 ~dst:1 ~k:(k + 1) )
+      with
+      | Some a, Some b -> b.Kstroll.cost >= a.Kstroll.cost -. 1e-6
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "direct k=2" `Quick test_direct_when_k2;
+    Alcotest.test_case "line insertion free" `Quick test_line_insertion_free;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "endpoints in candidates" `Quick test_endpoints_ignored_in_candidates;
+    Alcotest.test_case "exact line" `Quick test_exact_line;
+    Alcotest.test_case "exact detour" `Quick test_exact_detour;
+    Alcotest.test_case "same endpoints" `Quick test_same_endpoints;
+  ]
+  @ qsuite
+      [ prop_heuristic_feasible; prop_heuristic_vs_exact; prop_exact_monotone_in_k ]

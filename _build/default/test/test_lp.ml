@@ -1,0 +1,252 @@
+module Simplex = Sof_lp.Simplex
+module Ilp = Sof_lp.Ilp
+open Testlib
+
+let lp ~n ~objective ~rows ~relations ~rhs =
+  {
+    Simplex.n_vars = n;
+    objective = Array.of_list objective;
+    rows = Array.of_list rows;
+    relations = Array.of_list relations;
+    rhs = Array.of_list rhs;
+  }
+
+let expect_optimal name p expected_obj =
+  match Simplex.solve p with
+  | Simplex.Optimal { x; objective } ->
+      Alcotest.check (Alcotest.float 1e-6) name expected_obj objective;
+      Alcotest.(check bool) (name ^ " feasible") true
+        (Simplex.check_feasible p x)
+  | Simplex.Infeasible -> Alcotest.fail (name ^ ": infeasible")
+  | Simplex.Unbounded -> Alcotest.fail (name ^ ": unbounded")
+  | Simplex.Iteration_limit -> Alcotest.fail (name ^ ": iteration limit")
+
+let test_basic_le () =
+  expect_optimal "max x+y in simplex" (
+    lp ~n:2 ~objective:[ -1.0; -1.0 ]
+      ~rows:[ [ (0, 1.0); (1, 1.0) ] ]
+      ~relations:[ Simplex.Le ] ~rhs:[ 1.0 ])
+    (-1.0)
+
+let test_ge () =
+  expect_optimal "min x with x >= 3"
+    (lp ~n:1 ~objective:[ 1.0 ] ~rows:[ [ (0, 1.0) ] ]
+       ~relations:[ Simplex.Ge ] ~rhs:[ 3.0 ])
+    3.0
+
+let test_eq () =
+  expect_optimal "min 2x+3y, x+y=4, x<=1"
+    (lp ~n:2 ~objective:[ 2.0; 3.0 ]
+       ~rows:[ [ (0, 1.0); (1, 1.0) ]; [ (0, 1.0) ] ]
+       ~relations:[ Simplex.Eq; Simplex.Le ] ~rhs:[ 4.0; 1.0 ])
+    11.0
+
+let test_degenerate_classic () =
+  (* Beale-style degeneracy: the Bland fallback must terminate. *)
+  expect_optimal "beale"
+    (lp ~n:4
+       ~objective:[ -0.75; 150.0; -0.02; 6.0 ]
+       ~rows:
+         [
+           [ (0, 0.25); (1, -60.0); (2, -0.04); (3, 9.0) ];
+           [ (0, 0.5); (1, -90.0); (2, -0.02); (3, 3.0) ];
+           [ (2, 1.0) ];
+         ]
+       ~relations:[ Simplex.Le; Simplex.Le; Simplex.Le ]
+       ~rhs:[ 0.0; 0.0; 1.0 ])
+    (-0.05)
+
+let test_infeasible () =
+  let p =
+    lp ~n:1 ~objective:[ 1.0 ]
+      ~rows:[ [ (0, 1.0) ]; [ (0, 1.0) ] ]
+      ~relations:[ Simplex.Ge; Simplex.Le ] ~rhs:[ 5.0; 1.0 ]
+  in
+  Alcotest.(check bool) "infeasible" true (Simplex.solve p = Simplex.Infeasible)
+
+let test_unbounded () =
+  let p =
+    lp ~n:1 ~objective:[ -1.0 ] ~rows:[ [ (0, 1.0) ] ]
+      ~relations:[ Simplex.Ge ] ~rhs:[ 0.0 ]
+  in
+  Alcotest.(check bool) "unbounded" true (Simplex.solve p = Simplex.Unbounded)
+
+let test_negative_rhs_normalization () =
+  (* -x <= -2  ==  x >= 2 *)
+  expect_optimal "negative rhs"
+    (lp ~n:1 ~objective:[ 1.0 ] ~rows:[ [ (0, -1.0) ] ]
+       ~relations:[ Simplex.Le ] ~rhs:[ -2.0 ])
+    2.0
+
+(* Random box LPs with analytic optima: min c.x s.t. x_i <= u_i. *)
+let prop_box_lp =
+  QCheck.Test.make ~count:200 ~name:"box LP analytic optimum"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sof_util.Rng.create seed in
+      let n = 1 + Sof_util.Rng.int rng 8 in
+      let c = Array.init n (fun _ -> Sof_util.Rng.float rng 10.0 -. 5.0) in
+      let u = Array.init n (fun _ -> 0.5 +. Sof_util.Rng.float rng 5.0) in
+      let p =
+        {
+          Simplex.n_vars = n;
+          objective = c;
+          rows = Array.init n (fun i -> [ (i, 1.0) ]);
+          relations = Array.make n Simplex.Le;
+          rhs = u;
+        }
+      in
+      let expected =
+        Array.to_list (Array.mapi (fun i ci -> if ci < 0.0 then ci *. u.(i) else 0.0) c)
+        |> List.fold_left ( +. ) 0.0
+      in
+      match Simplex.solve p with
+      | Simplex.Optimal { objective; _ } -> abs_float (objective -. expected) < 1e-6
+      | _ -> false)
+
+(* Random transportation LPs checked for feasibility + weak duality against
+   a greedy feasible solution. *)
+let prop_transport_le_greedy =
+  QCheck.Test.make ~count:100 ~name:"transport LP optimum <= greedy"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sof_util.Rng.create seed in
+      let s = 2 + Sof_util.Rng.int rng 2 in
+      let d = 2 + Sof_util.Rng.int rng 2 in
+      let supply = Array.init s (fun _ -> 1.0 +. Sof_util.Rng.float rng 4.0) in
+      let demand_total = Array.fold_left ( +. ) 0.0 supply in
+      let demand = Array.make d (demand_total /. float_of_int d) in
+      let cost = Array.init s (fun _ -> Array.init d (fun _ -> Sof_util.Rng.float rng 9.0)) in
+      let var i j = (i * d) + j in
+      let rows_supply =
+        Array.init s (fun i -> List.init d (fun j -> (var i j, 1.0)))
+      in
+      let rows_demand =
+        Array.init d (fun j -> List.init s (fun i -> (var i j, 1.0)))
+      in
+      let p =
+        {
+          Simplex.n_vars = s * d;
+          objective =
+            Array.init (s * d) (fun k -> cost.(k / d).(k mod d));
+          rows = Array.append rows_supply rows_demand;
+          relations =
+            Array.append (Array.make s Simplex.Le) (Array.make d Simplex.Eq);
+          rhs = Array.append supply demand;
+        }
+      in
+      (* greedy: fill each demand from sources in order *)
+      let remaining = Array.copy supply in
+      let greedy = ref 0.0 in
+      Array.iteri
+        (fun j dj ->
+          let need = ref dj in
+          Array.iteri
+            (fun i _ ->
+              let take = min !need remaining.(i) in
+              remaining.(i) <- remaining.(i) -. take;
+              need := !need -. take;
+              greedy := !greedy +. (take *. cost.(i).(j)))
+            remaining)
+        demand;
+      match Simplex.solve p with
+      | Simplex.Optimal { objective; x } ->
+          objective <= !greedy +. 1e-6 && Simplex.check_feasible p x
+      | _ -> false)
+
+(* --- ILP ------------------------------------------------------------- *)
+
+let knapsack_ilp values weights cap =
+  let n = Array.length values in
+  Ilp.make
+    ~binaries:(List.init n Fun.id)
+    {
+      Simplex.n_vars = n;
+      objective = Array.map (fun v -> -.v) values;
+      rows = [| Array.to_list (Array.mapi (fun i w -> (i, w)) weights) |];
+      relations = [| Simplex.Le |];
+      rhs = [| cap |];
+    }
+
+let brute_knapsack values weights cap =
+  let n = Array.length values in
+  let best = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let v = ref 0.0 and w = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        v := !v +. values.(i);
+        w := !w +. weights.(i)
+      end
+    done;
+    if !w <= cap +. 1e-9 && !v > !best then best := !v
+  done;
+  !best
+
+let test_ilp_knapsack () =
+  let values = [| 10.0; 13.0; 7.0; 8.0 |] in
+  let weights = [| 5.0; 6.0; 3.0; 4.0 |] in
+  let r = Ilp.solve (knapsack_ilp values weights 10.0) in
+  (match r.Ilp.best with
+  | Some (_, obj) ->
+      Alcotest.check (Alcotest.float 1e-6) "knapsack optimum"
+        (-.brute_knapsack values weights 10.0)
+        obj
+  | None -> Alcotest.fail "expected solution");
+  Alcotest.(check bool) "status optimal" true (r.Ilp.status = Ilp.Optimal)
+
+let prop_ilp_knapsack_random =
+  QCheck.Test.make ~count:60 ~name:"B&B matches brute-force knapsack"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sof_util.Rng.create seed in
+      let n = 2 + Sof_util.Rng.int rng 7 in
+      let values = Array.init n (fun _ -> 1.0 +. Sof_util.Rng.float rng 9.0) in
+      let weights = Array.init n (fun _ -> 1.0 +. Sof_util.Rng.float rng 9.0) in
+      let cap = 2.0 +. Sof_util.Rng.float rng 20.0 in
+      let r = Ilp.solve (knapsack_ilp values weights cap) in
+      let brute = brute_knapsack values weights cap in
+      match r.Ilp.best with
+      | Some (x, obj) ->
+          abs_float (obj +. brute) < 1e-5
+          && Array.for_all
+               (fun v -> abs_float (v -. Float.round v) < 1e-5)
+               x
+      | None -> brute = 0.0)
+
+let test_ilp_infeasible () =
+  let p =
+    Ilp.make ~binaries:[ 0; 1 ]
+      {
+        Simplex.n_vars = 2;
+        objective = [| 1.0; 1.0 |];
+        rows = [| [ (0, 1.0); (1, 1.0) ] |];
+        relations = [| Simplex.Ge |];
+        rhs = [| 3.0 |];
+      }
+  in
+  let r = Ilp.solve p in
+  Alcotest.(check bool) "infeasible" true (r.Ilp.status = Ilp.Infeasible)
+
+let test_ilp_bound_sane () =
+  let values = [| 4.0; 5.0; 6.0 |] and weights = [| 2.0; 3.0; 4.0 |] in
+  let r = Ilp.solve (knapsack_ilp values weights 6.0) in
+  (match r.Ilp.best with
+  | Some (_, obj) ->
+      Alcotest.(check bool) "bound <= incumbent" true (r.Ilp.bound <= obj +. 1e-9)
+  | None -> Alcotest.fail "expected solution")
+
+let suite =
+  [
+    Alcotest.test_case "basic le" `Quick test_basic_le;
+    Alcotest.test_case "ge" `Quick test_ge;
+    Alcotest.test_case "eq" `Quick test_eq;
+    Alcotest.test_case "degenerate" `Quick test_degenerate_classic;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalization;
+    Alcotest.test_case "ilp knapsack" `Quick test_ilp_knapsack;
+    Alcotest.test_case "ilp infeasible" `Quick test_ilp_infeasible;
+    Alcotest.test_case "ilp bound" `Quick test_ilp_bound_sane;
+  ]
+  @ qsuite [ prop_box_lp; prop_transport_le_greedy; prop_ilp_knapsack_random ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "sof"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("steiner", Test_steiner.suite);
+      ("kstroll", Test_kstroll.suite);
+      ("core", Test_core.suite);
+      ("lp", Test_lp.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("baselines", Test_baselines.suite);
+      ("topology", Test_topology.suite);
+      ("ip", Test_ip.suite);
+      ("sdn", Test_sdn.suite);
+      ("simnet", Test_simnet.suite);
+      ("online", Test_online.suite);
+      ("reduction", Test_reduction.suite);
+      ("extra", Test_extra.suite);
+      ("polish", Test_polish.suite);
+    ]

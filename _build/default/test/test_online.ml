@@ -1,0 +1,126 @@
+module Online = Sof_workload.Online
+open Testlib
+
+let sofda p = Option.map (fun r -> r.Sof.Sofda.forest) (Sof.Sofda.solve p)
+
+let run_steps ?(n = 8) seed =
+  let rng = Sof_util.Rng.create seed in
+  Online.run ~rng
+    (Sof_topology.Topology.softlayer ())
+    Online.softlayer_config ~n_requests:n ~algo:sofda
+
+let test_online_basic () =
+  let steps = run_steps 1 in
+  Alcotest.(check int) "step per request" 8 (List.length steps);
+  List.iteri
+    (fun i (s : Online.step) ->
+      Alcotest.(check int) "request index" (i + 1) s.Online.request;
+      Alcotest.(check bool) "cost nonneg" true (s.Online.cost >= 0.0))
+    steps
+
+let test_online_accumulates () =
+  let steps = run_steps 2 in
+  let series = Online.accumulated_series steps in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone accumulation" true (monotone series);
+  let last = List.nth series (List.length series - 1) in
+  let explicit =
+    List.fold_left (fun acc (s : Online.step) -> acc +. s.Online.cost) 0.0 steps
+  in
+  Alcotest.check feq "accumulated equals sum of costs" explicit last
+
+let test_online_serves () =
+  let steps = run_steps 3 in
+  List.iter
+    (fun (s : Online.step) ->
+      Alcotest.(check bool) "served" true s.Online.served)
+    steps
+
+let test_online_congestion_raises_marginal_cost () =
+  (* later requests face loaded links: the average embedding cost of the
+     second half should not be (much) below the first half *)
+  let steps = run_steps ~n:16 4 in
+  let costs = List.map (fun (s : Online.step) -> s.Online.cost) steps in
+  let first = List.filteri (fun i _ -> i < 8) costs in
+  let second = List.filteri (fun i _ -> i >= 8) costs in
+  Alcotest.(check bool) "later requests cost more" true
+    (Sof_util.Stats.mean second >= Sof_util.Stats.mean first *. 0.5)
+
+let test_online_deterministic () =
+  let a = Online.accumulated_series (run_steps 5) in
+  let b = Online.accumulated_series (run_steps 5) in
+  List.iter2 (fun x y -> Alcotest.check feq "same series" x y) a b
+
+let test_online_sofda_beats_st_accumulated () =
+  let run algo =
+    let rng = Sof_util.Rng.create 6 in
+    let steps =
+      Online.run ~rng
+        (Sof_topology.Topology.softlayer ())
+        Online.softlayer_config ~n_requests:12 ~algo
+    in
+    List.nth (Online.accumulated_series steps) 11
+  in
+  let sofda_total = run sofda in
+  let st_total = run Sof_baselines.Baselines.st in
+  Alcotest.(check bool) "sofda accumulates less than st" true
+    (sofda_total <= st_total +. 1e-6)
+
+let test_adaptive_reroutes_under_pressure () =
+  (* Congestion-blind embedding piles load onto shortest paths, so the
+     re-join machinery has real work to do; it must both fire and lower
+     the peak utilization versus the no-re-join run. *)
+  let cfg = { Online.softlayer_config with Online.link_capacity = 50.0 } in
+  let run threshold =
+    let rng = Sof_util.Rng.create 9 in
+    Online.run_adaptive ~pricing:`Hops ~rng ~utilization_threshold:threshold
+      (Sof_topology.Topology.softlayer ())
+      cfg ~n_requests:15 ~algo:sofda
+  in
+  let blind = run 99.0 in
+  let adaptive = run 0.7 in
+  Alcotest.(check int) "all arrivals stepped" 15
+    (List.length adaptive.Online.steps);
+  Alcotest.(check bool) "rerouted at least once" true
+    (adaptive.Online.reroutes >= 1);
+  Alcotest.(check bool) "peak utilization not worse" true
+    (adaptive.Online.peak_utilization
+    <= blind.Online.peak_utilization +. 1e-9)
+
+let test_adaptive_matches_plain_when_idle () =
+  (* With a sky-high threshold no re-join ever triggers, so the adaptive
+     loop must reproduce the plain run exactly. *)
+  let run_plain () =
+    let rng = Sof_util.Rng.create 4 in
+    Online.run ~rng
+      (Sof_topology.Topology.softlayer ())
+      Online.softlayer_config ~n_requests:6 ~algo:sofda
+  in
+  let run_ad () =
+    let rng = Sof_util.Rng.create 4 in
+    (Online.run_adaptive ~rng ~utilization_threshold:99.0
+       (Sof_topology.Topology.softlayer ())
+       Online.softlayer_config ~n_requests:6 ~algo:sofda)
+      .Online.steps
+  in
+  List.iter2
+    (fun (a : Online.step) (b : Online.step) ->
+      Alcotest.check feq "same cost" a.Online.cost b.Online.cost)
+    (run_plain ()) (run_ad ())
+
+let suite =
+  [
+    Alcotest.test_case "online adaptive reroutes" `Quick
+      test_adaptive_reroutes_under_pressure;
+    Alcotest.test_case "online adaptive idle = plain" `Quick
+      test_adaptive_matches_plain_when_idle;
+    Alcotest.test_case "online basic" `Quick test_online_basic;
+    Alcotest.test_case "online accumulates" `Quick test_online_accumulates;
+    Alcotest.test_case "online serves" `Quick test_online_serves;
+    Alcotest.test_case "online congestion" `Quick test_online_congestion_raises_marginal_cost;
+    Alcotest.test_case "online deterministic" `Quick test_online_deterministic;
+    Alcotest.test_case "online sofda vs st" `Quick test_online_sofda_beats_st_accumulated;
+  ]

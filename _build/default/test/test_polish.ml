@@ -1,0 +1,194 @@
+(* Final polish suite: error formatting, pretty-printers, and small API
+   corners not covered elsewhere. *)
+
+module Graph = Sof_graph.Graph
+module Dijkstra = Sof_graph.Dijkstra
+module Mst = Sof_graph.Mst
+module Metric = Sof_graph.Metric
+module Rng = Sof_util.Rng
+module Stats = Sof_util.Stats
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Validate = Sof.Validate
+open Testlib
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
+  scan 0
+
+let test_validate_to_string_all () =
+  List.iter
+    (fun (err, fragment) ->
+      Alcotest.(check bool) fragment true
+        (contains (Validate.to_string err) fragment))
+    [
+      (Validate.Bad_walk "x", "malformed walk");
+      (Validate.Missing_edge (1, 2), "(1,2)");
+      (Validate.Mark_not_vm 3, "non-VM node 3");
+      (Validate.Bad_source 4, "source 4");
+      (Validate.Vnf_conflict (5, 1, 2), "f1");
+      (Validate.Unserved_destination 6, "destination 6");
+    ]
+
+let test_pretty_printers () =
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let p =
+    Problem.make ~graph:g ~node_cost:[| 0.0; 1.0; 0.0 |] ~vms:[ 1 ]
+      ~sources:[ 0 ] ~dests:[ 2 ] ~chain_length:1
+  in
+  let walk =
+    { Forest.source = 0; hops = [| 0; 1 |]; marks = [ { Forest.pos = 1; vnf = 1 } ] }
+  in
+  let f = Forest.make p ~walks:[ walk ] ~delivery:[ (1, 2) ] in
+  let s1 = Format.asprintf "%a" Problem.pp p in
+  let s2 = Format.asprintf "%a" Forest.pp f in
+  let s3 = Format.asprintf "%a" Graph.pp g in
+  Alcotest.(check bool) "problem pp" true (contains s1 "|C|=1");
+  Alcotest.(check bool) "forest pp has walk" true (contains s2 "1[f1]");
+  Alcotest.(check bool) "forest pp has delivery" true (contains s2 "delivery");
+  Alcotest.(check bool) "graph pp" true (contains s3 "n=3")
+
+let test_stats_summary_pp () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  let txt = Format.asprintf "%a" Stats.pp_summary s in
+  Alcotest.(check bool) "mean shown" true (contains txt "mean=2.000")
+
+let test_rng_exponential_and_copy () =
+  let r = Rng.create 42 in
+  let xs = List.init 5000 (fun _ -> Rng.exponential r 2.0) in
+  List.iter (fun x -> Alcotest.(check bool) "positive" true (x > 0.0)) xs;
+  Alcotest.(check bool) "mean near 1/rate" true
+    (abs_float (Stats.mean xs -. 0.5) < 0.05);
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy preserves state" (Rng.int64 a) (Rng.int64 b);
+  Alcotest.(check bool) "exponential rejects rate 0" true
+    (try ignore (Rng.exponential a 0.0); false
+     with Invalid_argument _ -> true)
+
+let test_distance_matrix_symmetric () =
+  let rng = Rng.create 3 in
+  let g = random_connected_graph rng ~n:12 ~extra:6 ~w_max:5.0 in
+  let terms = [| 0; 3; 7; 11 |] in
+  let d = Dijkstra.distance_matrix g terms in
+  for i = 0 to 3 do
+    Alcotest.check feq "diagonal zero" 0.0 d.(i).(i);
+    for j = 0 to 3 do
+      Alcotest.check feq "symmetric" d.(i).(j) d.(j).(i)
+    done
+  done
+
+let test_mst_spans_negative () =
+  let g = Graph.create ~n:4 ~edges:[ (0, 1, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check bool) "disconnected not spanning" false
+    (Mst.spans g [ (0, 1, 1.0) ] [ 0; 1; 2 ])
+
+let test_metric_not_found () =
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let c = Metric.closure g [| 0; 2 |] in
+  Alcotest.(check bool) "non-terminal raises" true
+    (try ignore (Metric.distance_nodes c 1 2); false with Not_found -> true);
+  Alcotest.(check (list int)) "path_nodes" [ 0; 1; 2 ] (Metric.path_nodes c 0 2)
+
+let test_fabric_kind_names () =
+  let open Sof_sdn.Fabric in
+  List.iter
+    (fun (k, name) -> Alcotest.(check string) name name (kind_to_string k))
+    [
+      (Border_matrix, "border-matrix"); (Reachability, "reachability");
+      (Chain_query, "chain-query"); (Steiner_update, "steiner-update");
+      (Conflict_notice, "conflict-notice"); (Rule_install, "rule-install");
+    ]
+
+let test_controller_foreign_node () =
+  let g = (Sof_topology.Topology.softlayer ()).Sof_topology.Topology.graph in
+  let d = Sof_sdn.Domain.partition g ~k:3 in
+  let c0 = Sof_sdn.Controller.create g d 0 in
+  let foreign = List.hd d.Sof_sdn.Domain.members.(1) in
+  Alcotest.(check bool) "does not cover foreign" false
+    (Sof_sdn.Controller.covers c0 foreign);
+  Alcotest.check feq "foreign distance infinite" infinity
+    (Sof_sdn.Controller.intra_distance c0 (List.hd d.Sof_sdn.Domain.members.(0)) foreign)
+
+let test_session_initial_state () =
+  let s =
+    Sof_simnet.Session.create Sof_simnet.Session.default_config ~num_vnfs:2
+      ~path_latency:0.0
+  in
+  Alcotest.(check bool) "not done" false (Sof_simnet.Session.is_done s);
+  Alcotest.(check int) "no stalls" 0 (Sof_simnet.Session.stall_count s);
+  Alcotest.check feq "nothing played" 0.0 (Sof_simnet.Session.played s)
+
+let test_ip_describe_classes () =
+  let g = Graph.create ~n:4 ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  let p =
+    Problem.make ~graph:g ~node_cost:[| 0.0; 1.0; 1.0; 0.0 |] ~vms:[ 1; 2 ]
+      ~sources:[ 0 ] ~dests:[ 3 ] ~chain_length:2
+  in
+  let m = Sof.Ip_model.build p in
+  let names =
+    List.init m.Sof.Ip_model.var_count m.Sof.Ip_model.describe
+  in
+  List.iter
+    (fun prefix ->
+      Alcotest.(check bool) ("has " ^ prefix) true
+        (List.exists (fun n -> contains n prefix) names))
+    [ "gamma["; "sigma["; "pi["; "tau[" ]
+
+let test_dynamic_join_existing_raises () =
+  let g = Graph.create ~n:4 ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  let p =
+    Problem.make ~graph:g ~node_cost:[| 0.0; 1.0; 1.0; 0.0 |] ~vms:[ 1; 2 ]
+      ~sources:[ 0 ] ~dests:[ 3 ] ~chain_length:2
+  in
+  match Sof.Sofda.solve p with
+  | None -> Alcotest.fail "solvable"
+  | Some r ->
+      Alcotest.(check bool) "joining a member raises" true
+        (try
+           ignore (Sof.Dynamic.destination_join r.Sof.Sofda.forest 3);
+           false
+         with Invalid_argument _ -> true)
+
+let test_simplex_check_feasible_negative () =
+  let p =
+    {
+      Sof_lp.Simplex.n_vars = 1;
+      objective = [| 1.0 |];
+      rows = [| [ (0, 1.0) ] |];
+      relations = [| Sof_lp.Simplex.Ge |];
+      rhs = [| 2.0 |];
+    }
+  in
+  Alcotest.(check bool) "violating point rejected" false
+    (Sof_lp.Simplex.check_feasible p [| 1.0 |]);
+  Alcotest.(check bool) "negative rejected" false
+    (Sof_lp.Simplex.check_feasible p [| -1.0 |]);
+  Alcotest.(check bool) "satisfying point accepted" true
+    (Sof_lp.Simplex.check_feasible p [| 3.0 |])
+
+let test_tbl_float_row_fmt () =
+  let t = Sof_util.Tbl.create [ "x"; "y" ] in
+  Sof_util.Tbl.add_float_row ~fmt:(Printf.sprintf "%.0f") t "r" [ 3.7 ];
+  Alcotest.(check bool) "custom fmt" true
+    (contains (Sof_util.Tbl.render t) "r  4")
+
+let suite =
+  [
+    Alcotest.test_case "validate to_string" `Quick test_validate_to_string_all;
+    Alcotest.test_case "pretty printers" `Quick test_pretty_printers;
+    Alcotest.test_case "stats summary pp" `Quick test_stats_summary_pp;
+    Alcotest.test_case "rng exponential/copy" `Quick test_rng_exponential_and_copy;
+    Alcotest.test_case "distance matrix symmetric" `Quick test_distance_matrix_symmetric;
+    Alcotest.test_case "mst spans negative" `Quick test_mst_spans_negative;
+    Alcotest.test_case "metric not found" `Quick test_metric_not_found;
+    Alcotest.test_case "fabric kind names" `Quick test_fabric_kind_names;
+    Alcotest.test_case "controller foreign node" `Quick test_controller_foreign_node;
+    Alcotest.test_case "session initial state" `Quick test_session_initial_state;
+    Alcotest.test_case "ip describe classes" `Quick test_ip_describe_classes;
+    Alcotest.test_case "dynamic join existing" `Quick test_dynamic_join_existing_raises;
+    Alcotest.test_case "simplex check_feasible" `Quick test_simplex_check_feasible_negative;
+    Alcotest.test_case "tbl float fmt" `Quick test_tbl_float_row_fmt;
+  ]

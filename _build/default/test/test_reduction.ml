@@ -1,0 +1,126 @@
+(* Appendix A of the paper: the Steiner Tree problem reduces to SOF with a
+   single VM and |C| = 1, with OPT_SOF = OPT_Steiner + w for the fresh
+   source edge of weight w.  We verify the equality computationally: the
+   IP optimum of the reduced SOF instance must equal the Dreyfus-Wagner
+   Steiner optimum plus w — and SOFDA must stay within its bound of it. *)
+
+module Graph = Sof_graph.Graph
+module Steiner = Sof_steiner.Steiner
+open Testlib
+
+(* Build the reduction: add source s = n with edge (s, r) of weight w. *)
+let reduce g ~root ~terminals ~w =
+  let n = Graph.n g in
+  let graph = Graph.create ~n:(n + 1) ~edges:((root, n, w) :: Graph.edges g) in
+  let node_cost = Array.make (n + 1) 0.0 in
+  Sof.Problem.make ~graph ~node_cost ~vms:[ root ] ~sources:[ n ]
+    ~dests:terminals ~chain_length:1
+
+let reduction_case seed =
+  let rng = Sof_util.Rng.create seed in
+  let n = 6 + Sof_util.Rng.int rng 3 in
+  let g = random_connected_graph rng ~n ~extra:4 ~w_max:5.0 in
+  let ids = Array.init n Fun.id in
+  Sof_util.Rng.shuffle rng ids;
+  let root = ids.(0) in
+  let terminals = [ ids.(1); ids.(2); ids.(3) ] in
+  let w = 1.0 +. Sof_util.Rng.float rng 4.0 in
+  (g, root, terminals, w)
+
+let test_reduction_ip_equals_steiner () =
+  for seed = 1 to 5 do
+    let g, root, terminals, w = reduction_case seed in
+    let p = reduce g ~root ~terminals ~w in
+    let steiner_opt = Steiner.exact_weight g (root :: terminals) in
+    let r = Sof.Ip_model.solve ~node_limit:80 ~time_budget:10.0 p in
+    match (r.Sof_lp.Ilp.status, r.Sof_lp.Ilp.best) with
+    | Sof_lp.Ilp.Optimal, Some (_, obj) ->
+        Alcotest.check (Alcotest.float 1e-5)
+          (Printf.sprintf "seed %d: OPT_SOF = OPT_Steiner + w" seed)
+          (steiner_opt +. w) obj
+    | _ ->
+        (* budget exhaustion: at least the bound must bracket the value *)
+        Alcotest.(check bool) "bound below" true
+          (r.Sof_lp.Ilp.bound <= steiner_opt +. w +. 1e-5)
+  done
+
+let test_reduction_sofda_within_bound () =
+  for seed = 1 to 8 do
+    let g, root, terminals, w = reduction_case seed in
+    let p = reduce g ~root ~terminals ~w in
+    let steiner_opt = Steiner.exact_weight g (root :: terminals) in
+    let opt = steiner_opt +. w in
+    match Sof.Sofda.solve p with
+    | None -> Alcotest.fail "reduction should be solvable"
+    | Some r ->
+        Sof.Validate.check_exn r.Sof.Sofda.forest;
+        let cost = Sof.Forest.total_cost r.Sof.Sofda.forest in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: within 3*rho_ST (=6) of OPT" seed)
+          true
+          (cost >= opt -. 1e-6 && cost <= (6.0 *. opt) +. 1e-6)
+  done
+
+let test_reduction_sofda_ss_tight () =
+  (* On the reduction the chain is trivial (one VM, forced), so SOFDA's
+     quality is exactly its Steiner subroutine's: within 2x of optimum. *)
+  for seed = 1 to 8 do
+    let g, root, terminals, w = reduction_case seed in
+    let p = reduce g ~root ~terminals ~w in
+    let steiner_opt = Steiner.exact_weight g (root :: terminals) in
+    match Sof.Sofda_ss.solve p ~source:(Graph.n g) with
+    | None -> Alcotest.fail "solvable"
+    | Some r ->
+        let cost = Sof.Forest.total_cost r.Sof.Sofda_ss.forest in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: w + steiner within 2x" seed)
+          true
+          (cost <= w +. (2.0 *. steiner_opt) +. 1e-6)
+  done
+
+(* Transform consistency: the cost reported for a chain walk equals the
+   cost recomputed from its concrete hops and marks. *)
+let prop_chain_walk_cost_consistent =
+  QCheck.Test.make ~count:150 ~name:"chain walk cost = hops + setups"
+    instance_arb (fun (seed, chain) ->
+      let p = random_instance ~chain_length:chain seed in
+      let t = Sof.Transform.create p in
+      let src = List.hd p.Sof.Problem.sources in
+      List.for_all
+        (fun u ->
+          match
+            Sof.Transform.chain_walk t ~src ~last_vm:u ~num_vnfs:chain
+          with
+          | None -> true
+          | Some r ->
+              let edges = ref 0.0 in
+              let ok = ref true in
+              for i = 0 to Array.length r.Sof.Transform.hops - 2 do
+                match
+                  Graph.edge_weight p.Sof.Problem.graph
+                    r.Sof.Transform.hops.(i)
+                    r.Sof.Transform.hops.(i + 1)
+                with
+                | Some weight -> edges := !edges +. weight
+                | None -> ok := false
+              done;
+              let setups =
+                List.fold_left
+                  (fun acc (_, vm) -> acc +. Sof.Problem.setup_cost p vm)
+                  0.0 r.Sof.Transform.vm_marks
+              in
+              !ok
+              && abs_float (!edges +. setups -. r.Sof.Transform.cost) < 1e-6
+              && List.length r.Sof.Transform.vm_marks = chain)
+        p.Sof.Problem.vms)
+
+let suite =
+  [
+    Alcotest.test_case "reduction IP = Steiner + w" `Quick
+      test_reduction_ip_equals_steiner;
+    Alcotest.test_case "reduction SOFDA bound" `Quick
+      test_reduction_sofda_within_bound;
+    Alcotest.test_case "reduction SOFDA-SS tight" `Quick
+      test_reduction_sofda_ss_tight;
+  ]
+  @ qsuite [ prop_chain_walk_cost_consistent ]

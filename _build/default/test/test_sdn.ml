@@ -1,0 +1,187 @@
+module Graph = Sof_graph.Graph
+module Domain = Sof_sdn.Domain
+module Controller = Sof_sdn.Controller
+module Fabric = Sof_sdn.Fabric
+module Flow_table = Sof_sdn.Flow_table
+module Distributed = Sof_sdn.Distributed
+open Testlib
+
+let cogent_graph () = (Sof_topology.Topology.cogent ()).Sof_topology.Topology.graph
+
+let test_partition_covers () =
+  let g = cogent_graph () in
+  let d = Domain.partition g ~k:5 in
+  Alcotest.(check int) "5 domains" 5 d.Domain.count;
+  Array.iter
+    (fun dom -> Alcotest.(check bool) "assigned" true (dom >= 0 && dom < 5))
+    d.Domain.of_node;
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 d.Domain.members in
+  Alcotest.(check int) "members partition nodes" (Graph.n g) total
+
+let test_partition_bad_k () =
+  let g = cogent_graph () in
+  Alcotest.(check bool) "k=0 rejected" true
+    (try ignore (Domain.partition g ~k:0); false
+     with Invalid_argument _ -> true)
+
+let test_borders () =
+  let g = cogent_graph () in
+  let d = Domain.partition g ~k:4 in
+  for dom = 0 to 3 do
+    List.iter
+      (fun b ->
+        Alcotest.(check bool) "border is in domain" true
+          (d.Domain.of_node.(b) = dom);
+        Alcotest.(check bool) "border touches another domain" true
+          (Domain.is_border g d b))
+      (Domain.border_routers g d dom)
+  done;
+  List.iter
+    (fun (u, v, _) ->
+      Alcotest.(check bool) "inter-domain edge crosses" true
+        (d.Domain.of_node.(u) <> d.Domain.of_node.(v)))
+    (Domain.inter_domain_edges g d)
+
+let test_controller_intra () =
+  let g = cogent_graph () in
+  let d = Domain.partition g ~k:3 in
+  let c = Controller.create g d 0 in
+  let members = Controller.members c in
+  let m0 = List.hd members in
+  Alcotest.(check bool) "covers own" true (Controller.covers c m0);
+  (* intra distance never beats the global shortest path *)
+  let global = Sof_graph.Dijkstra.run g m0 in
+  List.iter
+    (fun v ->
+      let intra = Controller.intra_distance c m0 v in
+      Alcotest.(check bool) "intra >= global" true
+        (intra >= global.Sof_graph.Dijkstra.dist.(v) -. 1e-9))
+    members
+
+let test_overlay_exact_cogent () =
+  let g = cogent_graph () in
+  let net = Distributed.create g ~k:6 in
+  let fabric = Fabric.create () in
+  Distributed.exchange_matrices net fabric;
+  let rng = Sof_util.Rng.create 31 in
+  for _ = 1 to 25 do
+    let u = Sof_util.Rng.int rng (Graph.n g) in
+    let v = Sof_util.Rng.int rng (Graph.n g) in
+    let overlay = Distributed.overlay_distance net u v in
+    let global = (Sof_graph.Dijkstra.run g u).Sof_graph.Dijkstra.dist.(v) in
+    Alcotest.check feq "overlay = global" global overlay
+  done
+
+let prop_overlay_exact_random =
+  QCheck.Test.make ~count:60 ~name:"overlay distance equals global Dijkstra"
+    (graph_params_arb ~max_n:30) (fun params ->
+      let g = graph_of_params params in
+      let k = min 4 (Graph.n g) in
+      let net = Distributed.create g ~k in
+      let fabric = Fabric.create () in
+      Distributed.exchange_matrices net fabric;
+      let ok = ref true in
+      for u = 0 to min 5 (Graph.n g - 1) do
+        let global = Sof_graph.Dijkstra.run g u in
+        for v = 0 to Graph.n g - 1 do
+          let o = Distributed.overlay_distance net u v in
+          if abs_float (o -. global.Sof_graph.Dijkstra.dist.(v)) > 1e-6 then
+            ok := false
+        done
+      done;
+      !ok)
+
+let test_fabric_counters () =
+  let f = Fabric.create () in
+  Fabric.send f ~src:0 ~dst:1 Fabric.Chain_query;
+  Fabric.send f ~src:1 ~dst:1 Fabric.Rule_install;
+  Alcotest.(check int) "inter" 1 (Fabric.total f);
+  Alcotest.(check int) "south" 1 (Fabric.southbound f);
+  Alcotest.(check int) "per kind" 1 (Fabric.count f Fabric.Chain_query);
+  Alcotest.(check bool) "report" true (List.length (Fabric.report f) = 2)
+
+let solved_instance seed =
+  let rng = Sof_util.Rng.create seed in
+  let topo = Sof_topology.Topology.softlayer () in
+  let p =
+    Sof_workload.Instance.draw ~rng topo
+      {
+        Sof_workload.Instance.n_vms = 12;
+        n_sources = 4;
+        n_dests = 5;
+        chain_length = 2;
+        setup_multiplier = 1.0;
+      }
+  in
+  match Sof.Sofda.solve p with
+  | Some r -> (p, r.Sof.Sofda.forest)
+  | None -> Alcotest.fail "instance should solve"
+
+let test_flow_table_compile () =
+  let _, forest = solved_instance 3 in
+  let rules = Flow_table.compile forest in
+  Alcotest.(check bool) "has rules" true (List.length rules > 0);
+  (* every rule's next hops are graph neighbors *)
+  let g = forest.Sof.Forest.problem.Sof.Problem.graph in
+  List.iter
+    (fun (r : Flow_table.rule) ->
+      List.iter
+        (fun h ->
+          Alcotest.(check bool) "rule uses physical link" true
+            (Graph.mem_edge g r.Flow_table.node h))
+        r.Flow_table.next_hops)
+    rules;
+  (* every destination is reachable: it appears as some rule's next hop or
+     hosts a walk end *)
+  List.iter
+    (fun d ->
+      let reached =
+        List.exists
+          (fun (r : Flow_table.rule) -> List.mem d r.Flow_table.next_hops)
+          rules
+        || List.exists
+             (fun (w : Sof.Forest.walk) ->
+               Array.exists (fun h -> h = d) w.Sof.Forest.hops)
+             forest.Sof.Forest.walks
+      in
+      Alcotest.(check bool) "destination reached" true reached)
+    forest.Sof.Forest.problem.Sof.Problem.dests
+
+let test_flow_table_tcam () =
+  let _, forest = solved_instance 4 in
+  let rules = Flow_table.compile forest in
+  Alcotest.(check (list (pair int int))) "no violations at high capacity" []
+    (Flow_table.tcam_violations rules ~capacity:1000);
+  let mx = Flow_table.max_rules rules in
+  Alcotest.(check bool) "violations at capacity 0" true
+    (mx = 0 || Flow_table.tcam_violations rules ~capacity:0 <> [])
+
+let test_distributed_matches_centralized () =
+  let p, forest = solved_instance 5 in
+  let net = Distributed.create p.Sof.Problem.graph ~k:4 in
+  let fabric = Fabric.create () in
+  match Distributed.solve net fabric p with
+  | None -> Alcotest.fail "distributed should solve"
+  | Some stats ->
+      Alcotest.check feq "same cost"
+        (Sof.Forest.total_cost forest)
+        (Sof.Forest.total_cost stats.Distributed.forest);
+      Alcotest.(check bool) "exchanged matrices" true
+        (Fabric.count fabric Fabric.Border_matrix > 0);
+      Alcotest.(check bool) "installed rules" true
+        (stats.Distributed.rules_installed > 0)
+
+let suite =
+  [
+    Alcotest.test_case "partition covers" `Quick test_partition_covers;
+    Alcotest.test_case "partition bad k" `Quick test_partition_bad_k;
+    Alcotest.test_case "borders" `Quick test_borders;
+    Alcotest.test_case "controller intra" `Quick test_controller_intra;
+    Alcotest.test_case "overlay exact on cogent" `Quick test_overlay_exact_cogent;
+    Alcotest.test_case "fabric counters" `Quick test_fabric_counters;
+    Alcotest.test_case "flow table compile" `Quick test_flow_table_compile;
+    Alcotest.test_case "flow table tcam" `Quick test_flow_table_tcam;
+    Alcotest.test_case "distributed = centralized" `Quick
+      test_distributed_matches_centralized;
+  ]
+  @ qsuite [ prop_overlay_exact_random ]

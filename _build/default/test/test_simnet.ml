@@ -1,0 +1,172 @@
+module Session = Sof_simnet.Session
+module Sim = Sof_simnet.Sim
+open Testlib
+
+let cfg =
+  {
+    Session.bitrate = 8e6;
+    duration = 100.0;
+    startup_threshold = 2.0;
+    resume_threshold = 1.0;
+    pipeline_delay = 0.5;
+  }
+
+let test_session_fast_link () =
+  (* 16 Mbit/s on an 8 Mbit/s stream: startup = threshold / (rate/bitrate),
+     never stalls, finishes exactly when playback does. *)
+  let s = Session.create cfg ~num_vnfs:2 ~path_latency:0.0 in
+  Session.advance s ~now:0.0 ~rate:16e6 ~dt:500.0;
+  Alcotest.(check bool) "done" true (Session.is_done s);
+  (match Session.startup_latency s with
+  | Some st -> Alcotest.check feq "startup = 1 + pipeline" 2.0 st
+  | None -> Alcotest.fail "no startup");
+  Alcotest.check feq "no rebuffer" 0.0 (Session.rebuffer_time s);
+  Alcotest.(check int) "no stalls" 0 (Session.stall_count s);
+  Alcotest.check feq "played everything" 100.0 (Session.played s)
+
+let test_session_slow_link () =
+  (* 4 Mbit/s on an 8 Mbit/s stream: total wall time ~ 2x the clip, so
+     rebuffering ~ duration. *)
+  let s = Session.create cfg ~num_vnfs:0 ~path_latency:0.0 in
+  Session.advance s ~now:0.0 ~rate:4e6 ~dt:1000.0;
+  Alcotest.(check bool) "done" true (Session.is_done s);
+  Alcotest.(check bool) "stalled a lot" true (Session.rebuffer_time s > 50.0);
+  Alcotest.(check bool) "stalls counted" true (Session.stall_count s > 0)
+
+let test_session_zero_rate_never_starts () =
+  let s = Session.create cfg ~num_vnfs:0 ~path_latency:0.0 in
+  Session.advance s ~now:0.0 ~rate:0.0 ~dt:100.0;
+  Alcotest.(check bool) "not started" true (Session.startup_latency s = None);
+  Alcotest.(check bool) "not done" false (Session.is_done s)
+
+let test_session_path_latency_adds () =
+  let mk lat =
+    let s = Session.create cfg ~num_vnfs:0 ~path_latency:lat in
+    Session.advance s ~now:0.0 ~rate:16e6 ~dt:10.0;
+    Option.get (Session.startup_latency s)
+  in
+  Alcotest.check feq "latency shifts startup" 1.5 (mk 1.5 -. mk 0.0)
+
+let test_session_chunked_advance_agrees () =
+  (* advancing in many small steps must equal one big step (the analytic
+     transitions are exact) *)
+  let one = Session.create cfg ~num_vnfs:1 ~path_latency:0.2 in
+  Session.advance one ~now:0.0 ~rate:7e6 ~dt:400.0;
+  let many = Session.create cfg ~num_vnfs:1 ~path_latency:0.2 in
+  let t = ref 0.0 in
+  for _ = 1 to 4000 do
+    Session.advance many ~now:!t ~rate:7e6 ~dt:0.1;
+    t := !t +. 0.1
+  done;
+  Alcotest.check feq "rebuffer equal" (Session.rebuffer_time one)
+    (Session.rebuffer_time many);
+  Alcotest.check (Alcotest.float 1e-4) "played equal" (Session.played one)
+    (Session.played many);
+  Alcotest.(check int) "stalls equal" (Session.stall_count one)
+    (Session.stall_count many)
+
+let solved_testbed seed =
+  let rng = Sof_util.Rng.create seed in
+  let topo = Sof_topology.Topology.testbed () in
+  let p =
+    Sof_workload.Instance.draw ~rng topo
+      {
+        Sof_workload.Instance.n_vms = 8;
+        n_sources = 2;
+        n_dests = 4;
+        chain_length = 2;
+        setup_multiplier = 1.0;
+      }
+  in
+  match Sof.Sofda.solve p with
+  | Some r -> r.Sof.Sofda.forest
+  | None -> Alcotest.fail "testbed instance should solve"
+
+let test_routes_cover_dests () =
+  let forest = solved_testbed 1 in
+  let routes = Sim.routes_of_forest forest in
+  let dests = forest.Sof.Forest.problem.Sof.Problem.dests in
+  Alcotest.(check int) "one route per dest" (List.length dests)
+    (List.length routes);
+  let g = forest.Sof.Forest.problem.Sof.Problem.graph in
+  List.iter
+    (fun (r : Sim.route) ->
+      List.iter
+        (fun (u, v) ->
+          Alcotest.(check bool) "route uses physical links" true
+            (Sof_graph.Graph.mem_edge g u v))
+        r.Sim.links;
+      Alcotest.(check int) "context per link" (List.length r.Sim.links)
+        (List.length r.Sim.contexts))
+    routes
+
+let test_sim_run_completes () =
+  let forest = solved_testbed 2 in
+  let rng = Sof_util.Rng.create 9 in
+  let ms = Sim.run ~rng Sim.default_config forest in
+  Alcotest.(check int) "all sessions measured" 4 (List.length ms);
+  List.iter
+    (fun (m : Sim.metrics) ->
+      Alcotest.(check bool) "completed" true m.Sim.completed;
+      Alcotest.(check bool) "startup positive" true (m.Sim.startup > 0.0);
+      Alcotest.(check bool) "rebuffer nonneg" true (m.Sim.rebuffer >= 0.0))
+    ms
+
+let test_sim_deterministic () =
+  let forest = solved_testbed 3 in
+  let run () =
+    let rng = Sof_util.Rng.create 5 in
+    Sim.run ~rng Sim.default_config forest
+  in
+  let a = run () and b = run () in
+  List.iter2
+    (fun (x : Sim.metrics) (y : Sim.metrics) ->
+      Alcotest.check feq "same startup" x.Sim.startup y.Sim.startup;
+      Alcotest.check feq "same rebuffer" x.Sim.rebuffer y.Sim.rebuffer)
+    a b
+
+let test_sim_more_bandwidth_less_stall () =
+  let forest = solved_testbed 4 in
+  let run lo hi =
+    let rng = Sof_util.Rng.create 5 in
+    let cfg = { Sim.default_config with Sim.avail_lo = lo; avail_hi = hi } in
+    Sim.mean_rebuffer (Sim.run ~rng cfg forest)
+  in
+  let congested = run 4.5e6 9e6 in
+  let roomy = run 40e6 45e6 in
+  Alcotest.(check bool) "more bandwidth, less rebuffering" true
+    (roomy <= congested +. 1e-9);
+  Alcotest.check feq "no stalls with headroom" 0.0 roomy
+
+(* Conservation-style property: played time never exceeds clip length, and
+   a completed session played exactly the clip. *)
+let prop_session_conservation =
+  QCheck.Test.make ~count:200 ~name:"session conservation"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 20))
+    (fun (seed, mbit) ->
+      let rng = Sof_util.Rng.create seed in
+      let s = Session.create cfg ~num_vnfs:1 ~path_latency:0.1 in
+      let rate = float_of_int mbit *. 1e6 in
+      let t = ref 0.0 in
+      for _ = 1 to 100 do
+        let dt = 0.5 +. Sof_util.Rng.float rng 10.0 in
+        Session.advance s ~now:!t ~rate ~dt;
+        t := !t +. dt
+      done;
+      Session.played s <= cfg.Session.duration +. 1e-6
+      && ((not (Session.is_done s))
+         || abs_float (Session.played s -. cfg.Session.duration) < 1e-6))
+
+let suite =
+  [
+    Alcotest.test_case "session fast link" `Quick test_session_fast_link;
+    Alcotest.test_case "session slow link" `Quick test_session_slow_link;
+    Alcotest.test_case "session zero rate" `Quick test_session_zero_rate_never_starts;
+    Alcotest.test_case "session path latency" `Quick test_session_path_latency_adds;
+    Alcotest.test_case "session chunked advance" `Quick test_session_chunked_advance_agrees;
+    Alcotest.test_case "routes cover dests" `Quick test_routes_cover_dests;
+    Alcotest.test_case "sim completes" `Quick test_sim_run_completes;
+    Alcotest.test_case "sim deterministic" `Quick test_sim_deterministic;
+    Alcotest.test_case "sim bandwidth monotone" `Quick test_sim_more_bandwidth_less_stall;
+  ]
+  @ qsuite [ prop_session_conservation ]

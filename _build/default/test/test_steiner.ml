@@ -1,0 +1,116 @@
+module Graph = Sof_graph.Graph
+module Mst = Sof_graph.Mst
+module Steiner = Sof_steiner.Steiner
+open Testlib
+
+(* Classic Steiner example: square 0-1-2-3 of weight-2 sides with a center
+   hub 4 joined to every corner at weight 1.  Optimal tree over the corners
+   is the star through the hub (weight 4). *)
+let hub_graph () =
+  Graph.create ~n:5
+    ~edges:
+      [
+        (0, 1, 2.0); (1, 2, 2.0); (2, 3, 2.0); (3, 0, 2.0);
+        (0, 4, 1.0); (1, 4, 1.0); (2, 4, 1.0); (3, 4, 1.0);
+      ]
+
+let test_exact_star () =
+  Alcotest.check feq "star optimum" 4.0
+    (Steiner.exact_weight (hub_graph ()) [ 0; 1; 2; 3 ])
+
+let test_approx_star () =
+  let t = Steiner.approx (hub_graph ()) [ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "within 2x of optimum" true (t.Steiner.weight <= 8.0);
+  Alcotest.(check bool) "spans terminals" true
+    (Mst.spans (hub_graph ()) t.Steiner.edges [ 0; 1; 2; 3 ])
+
+let test_two_terminals_is_shortest_path () =
+  let g = hub_graph () in
+  let t = Steiner.approx g [ 0; 2 ] in
+  Alcotest.check feq "0-4-2" 2.0 t.Steiner.weight;
+  Alcotest.check feq "exact agrees" 2.0 (Steiner.exact_weight g [ 0; 2 ])
+
+let test_single_terminal () =
+  let t = Steiner.approx (hub_graph ()) [ 2 ] in
+  Alcotest.check feq "empty tree" 0.0 t.Steiner.weight;
+  Alcotest.(check int) "no edges" 0 (List.length t.Steiner.edges)
+
+let test_disconnected_raises () =
+  let g = Graph.create ~n:4 ~edges:[ (0, 1, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check bool) "approx raises" true
+    (try ignore (Steiner.approx g [ 0; 2 ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "exact raises" true
+    (try ignore (Steiner.exact_weight g [ 0; 2 ]); false
+     with Invalid_argument _ -> true)
+
+let test_steiner_node_used () =
+  (* Star where terminals are the leaves: KMB must keep the hub even though
+     it is not a terminal. *)
+  let g =
+    Graph.create ~n:4 ~edges:[ (0, 3, 1.0); (1, 3, 1.0); (2, 3, 1.0) ]
+  in
+  let t = Steiner.approx g [ 0; 1; 2 ] in
+  Alcotest.check feq "weight 3" 3.0 t.Steiner.weight;
+  Alcotest.(check bool) "hub kept" true (Steiner.contains_node t 3)
+
+let terminals_of_params (seed, n, _) k =
+  (* k distinct terminals from [0, n). *)
+  let rng = Sof_util.Rng.create (seed + 77) in
+  Sof_util.Rng.sample_without_replacement rng (min k n) n
+
+let prop_approx_within_2x =
+  QCheck.Test.make ~count:120 ~name:"KMB within 2x of Dreyfus-Wagner"
+    (graph_params_arb ~max_n:14) (fun params ->
+      let g = graph_of_params params in
+      let terminals = terminals_of_params params 5 in
+      let opt = Steiner.exact_weight g terminals in
+      let approx = (Steiner.approx g terminals).Steiner.weight in
+      approx >= opt -. 1e-6 && approx <= (2.0 *. opt) +. 1e-6)
+
+let prop_approx_is_tree_spanning =
+  QCheck.Test.make ~count:120 ~name:"KMB output is a tree spanning terminals"
+    (graph_params_arb ~max_n:20) (fun params ->
+      let g = graph_of_params params in
+      let terminals = terminals_of_params params 6 in
+      let t = Steiner.approx g terminals in
+      let sub = Graph.create ~n:(Graph.n g) ~edges:t.Steiner.edges in
+      Sof_graph.Traversal.is_forest sub
+      && Mst.spans g t.Steiner.edges terminals)
+
+let prop_exact_le_mst =
+  QCheck.Test.make ~count:120 ~name:"Steiner optimum <= spanning MST"
+    (graph_params_arb ~max_n:12) (fun params ->
+      let g = graph_of_params params in
+      let terminals = List.init (Graph.n g) Fun.id in
+      let opt = Steiner.exact_weight g terminals in
+      opt <= Mst.weight (Mst.kruskal g) +. 1e-6)
+
+let prop_exact_monotone_in_terminals =
+  QCheck.Test.make ~count:100 ~name:"adding a terminal cannot cheapen Steiner"
+    (graph_params_arb ~max_n:12) (fun params ->
+      let g = graph_of_params params in
+      let terminals = terminals_of_params params 4 in
+      match terminals with
+      | t0 :: rest when rest <> [] ->
+          let small = Steiner.exact_weight g rest in
+          let big = Steiner.exact_weight g (t0 :: rest) in
+          big >= small -. 1e-6
+      | _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "exact star" `Quick test_exact_star;
+    Alcotest.test_case "approx star" `Quick test_approx_star;
+    Alcotest.test_case "two terminals" `Quick test_two_terminals_is_shortest_path;
+    Alcotest.test_case "single terminal" `Quick test_single_terminal;
+    Alcotest.test_case "disconnected raises" `Quick test_disconnected_raises;
+    Alcotest.test_case "steiner node used" `Quick test_steiner_node_used;
+  ]
+  @ qsuite
+      [
+        prop_approx_within_2x;
+        prop_approx_is_tree_spanning;
+        prop_exact_le_mst;
+        prop_exact_monotone_in_terminals;
+      ]

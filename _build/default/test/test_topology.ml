@@ -1,0 +1,182 @@
+module Graph = Sof_graph.Graph
+module Traversal = Sof_graph.Traversal
+module Topology = Sof_topology.Topology
+module Cost_model = Sof_cost.Cost_model
+module Ledger = Sof_cost.Ledger
+open Testlib
+
+let test_softlayer_counts () =
+  let t = Topology.softlayer () in
+  Alcotest.(check int) "27 access nodes" 27 (Graph.n t.Topology.graph);
+  Alcotest.(check int) "49 links" 49 (Graph.m t.Topology.graph);
+  Alcotest.(check int) "17 DCs" 17 (List.length t.Topology.dcs);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected t.Topology.graph)
+
+let test_cogent_counts () =
+  let t = Topology.cogent () in
+  Alcotest.(check int) "190 access nodes" 190 (Graph.n t.Topology.graph);
+  Alcotest.(check int) "260 links" 260 (Graph.m t.Topology.graph);
+  Alcotest.(check int) "40 DCs" 40 (List.length t.Topology.dcs);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected t.Topology.graph)
+
+let test_cogent_deterministic () =
+  let a = Topology.cogent () and b = Topology.cogent () in
+  Alcotest.(check bool) "same edges" true
+    (Graph.edges a.Topology.graph = Graph.edges b.Topology.graph)
+
+let test_testbed_counts () =
+  let t = Topology.testbed () in
+  Alcotest.(check int) "14 nodes" 14 (Graph.n t.Topology.graph);
+  Alcotest.(check int) "20 links" 20 (Graph.m t.Topology.graph);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected t.Topology.graph)
+
+let test_inet_counts () =
+  let rng = Sof_util.Rng.create 7 in
+  let t = Topology.inet ~rng ~nodes:500 ~links:1000 ~dcs:100 in
+  Alcotest.(check int) "nodes" 500 (Graph.n t.Topology.graph);
+  Alcotest.(check int) "links" 1000 (Graph.m t.Topology.graph);
+  Alcotest.(check int) "DCs" 100 (List.length t.Topology.dcs);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected t.Topology.graph)
+
+let test_inet_heavy_tail () =
+  let rng = Sof_util.Rng.create 9 in
+  let t = Topology.inet ~rng ~nodes:1000 ~links:2000 ~dcs:10 in
+  let g = t.Topology.graph in
+  let max_deg = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    max_deg := max !max_deg (Graph.degree g v)
+  done;
+  (* preferential attachment must produce hubs far above the mean degree 4 *)
+  Alcotest.(check bool) "hub exists" true (!max_deg > 20)
+
+let test_inet_rejects () =
+  let rng = Sof_util.Rng.create 1 in
+  Alcotest.(check bool) "too few links" true
+    (try
+       ignore (Topology.inet ~rng ~nodes:10 ~links:3 ~dcs:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Cost model ---------------------------------------------------- *)
+
+let test_cost_pieces () =
+  (* values straight from the paper's case analysis (p = 1) *)
+  Alcotest.check feq "light load" 0.2 (Cost_model.utilization_cost 0.2);
+  Alcotest.check feq "u=1/3" (1.0 /. 3.0) (Cost_model.utilization_cost (1.0 /. 3.0));
+  Alcotest.check feq "u=0.5" (3.0 *. 0.5 -. (2.0 /. 3.0)) (Cost_model.utilization_cost 0.5);
+  Alcotest.check feq "u=0.8" (10.0 *. 0.8 -. (16.0 /. 3.0)) (Cost_model.utilization_cost 0.8);
+  Alcotest.check feq "u=0.95" (70.0 *. 0.95 -. (178.0 /. 3.0)) (Cost_model.utilization_cost 0.95);
+  Alcotest.check feq "u=1.05" (500.0 *. 1.05 -. (1468.0 /. 3.0)) (Cost_model.utilization_cost 1.05);
+  Alcotest.check feq "u=1.2" (5000.0 *. 1.2 -. (16318.0 /. 3.0)) (Cost_model.utilization_cost 1.2)
+
+let test_cost_continuous_at_breakpoints () =
+  List.iter
+    (fun b ->
+      let below = Cost_model.utilization_cost (b -. 1e-9) in
+      let above = Cost_model.utilization_cost (b +. 1e-9) in
+      Alcotest.(check bool)
+        (Printf.sprintf "continuous at %.3f" b)
+        true
+        (abs_float (below -. above) < 1e-4))
+    Cost_model.breakpoints
+
+let prop_cost_monotone_convex =
+  QCheck.Test.make ~count:200 ~name:"cost increasing and convex in load"
+    QCheck.(pair (float_bound_inclusive 1.2) (float_bound_inclusive 1.2))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let c = Cost_model.utilization_cost in
+      c lo <= c hi +. 1e-9
+      &&
+      let mid = (lo +. hi) /. 2.0 in
+      c mid <= ((c lo +. c hi) /. 2.0) +. 1e-9)
+
+let test_cost_scaling () =
+  (* cost scales with capacity: c(l, p) = p * c(l/p, 1) *)
+  Alcotest.check feq "homogeneous" (100.0 *. Cost_model.utilization_cost 0.5)
+    (Cost_model.cost ~load:50.0 ~capacity:100.0)
+
+let test_ledger () =
+  let g = Graph.create ~n:3 ~edges:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let ledger =
+    Ledger.create ~graph:g ~link_capacity:10.0 ~node_capacity:[| 0.0; 5.0; 0.0 |]
+  in
+  Alcotest.check feq "zero load zero cost" 0.0 (Ledger.edge_cost ledger 0 1);
+  Ledger.add_edge_load ledger 0 1 2.0;
+  Alcotest.check feq "load 2" 2.0 (Ledger.edge_load ledger 1 0);
+  Alcotest.check feq "utilization" 0.2 (Ledger.edge_utilization ledger 0 1);
+  Ledger.add_node_load ledger 1 3.0;
+  Alcotest.check feq "node cost" (Cost_model.cost ~load:3.0 ~capacity:5.0)
+    (Ledger.node_cost ledger 1);
+  Alcotest.(check bool) "bad edge raises" true
+    (try
+       Ledger.add_edge_load ledger 0 2 1.0;
+       false
+     with Invalid_argument _ -> true);
+  Ledger.reset ledger;
+  Alcotest.check feq "reset" 0.0 (Ledger.edge_load ledger 0 1)
+
+(* --- Instance builder ---------------------------------------------- *)
+
+let test_instance_draw () =
+  let rng = Sof_util.Rng.create 3 in
+  let topo = Topology.softlayer () in
+  let p =
+    Sof_workload.Instance.draw ~rng topo Sof_workload.Instance.default_params
+  in
+  Alcotest.(check int) "node count" (27 + 25) (Sof.Problem.n p);
+  Alcotest.(check int) "vms" 25 (List.length p.Sof.Problem.vms);
+  Alcotest.(check int) "sources" 14 (List.length p.Sof.Problem.sources);
+  Alcotest.(check int) "dests" 6 (List.length p.Sof.Problem.dests);
+  (* both sets live on access nodes, never on VM ids *)
+  List.iter
+    (fun v -> Alcotest.(check bool) "access node" true (v < 27))
+    (p.Sof.Problem.sources @ p.Sof.Problem.dests)
+
+let test_instance_setup_multiplier () =
+  let topo = Topology.softlayer () in
+  let draw mult =
+    let rng = Sof_util.Rng.create 5 in
+    Sof_workload.Instance.draw ~rng topo
+      {
+        Sof_workload.Instance.default_params with
+        Sof_workload.Instance.setup_multiplier = mult;
+      }
+  in
+  let p1 = draw 1.0 and p3 = draw 3.0 in
+  List.iter2
+    (fun v1 v3 ->
+      Alcotest.check feq "3x setup"
+        (3.0 *. Sof.Problem.setup_cost p1 v1)
+        (Sof.Problem.setup_cost p3 v3))
+    p1.Sof.Problem.vms p3.Sof.Problem.vms
+
+let test_instance_deterministic () =
+  let topo = Topology.softlayer () in
+  let d () =
+    let rng = Sof_util.Rng.create 8 in
+    Sof_workload.Instance.draw ~rng topo Sof_workload.Instance.default_params
+  in
+  let a = d () and b = d () in
+  Alcotest.(check bool) "same instance" true
+    (Graph.edges a.Sof.Problem.graph = Graph.edges b.Sof.Problem.graph
+    && a.Sof.Problem.sources = b.Sof.Problem.sources)
+
+let suite =
+  [
+    Alcotest.test_case "softlayer counts" `Quick test_softlayer_counts;
+    Alcotest.test_case "cogent counts" `Quick test_cogent_counts;
+    Alcotest.test_case "cogent deterministic" `Quick test_cogent_deterministic;
+    Alcotest.test_case "testbed counts" `Quick test_testbed_counts;
+    Alcotest.test_case "inet counts" `Quick test_inet_counts;
+    Alcotest.test_case "inet heavy tail" `Quick test_inet_heavy_tail;
+    Alcotest.test_case "inet rejects" `Quick test_inet_rejects;
+    Alcotest.test_case "cost pieces" `Quick test_cost_pieces;
+    Alcotest.test_case "cost continuity" `Quick test_cost_continuous_at_breakpoints;
+    Alcotest.test_case "cost scaling" `Quick test_cost_scaling;
+    Alcotest.test_case "ledger" `Quick test_ledger;
+    Alcotest.test_case "instance draw" `Quick test_instance_draw;
+    Alcotest.test_case "instance setup multiplier" `Quick test_instance_setup_multiplier;
+    Alcotest.test_case "instance deterministic" `Quick test_instance_deterministic;
+  ]
+  @ qsuite [ prop_cost_monotone_convex ]

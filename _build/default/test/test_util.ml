@@ -1,0 +1,121 @@
+module Rng = Sof_util.Rng
+module Stats = Sof_util.Stats
+module Tbl = Sof_util.Tbl
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  Alcotest.(check bool) "split stream differs" true (Rng.int64 a <> Rng.int64 c)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "int in [0,10)" true (x >= 0 && x < 10);
+    let f = Rng.uniform r in
+    Alcotest.(check bool) "uniform in [0,1)" true (f >= 0.0 && f < 1.0);
+    let g = Rng.range r (-5) 5 in
+    Alcotest.(check bool) "range inclusive" true (g >= -5 && g <= 5)
+  done
+
+let test_rng_int_rejects () =
+  let r = Rng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_mean () =
+  let r = Rng.create 9 in
+  let xs = List.init 20_000 (fun _ -> Rng.uniform r) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (m -. 0.5) < 0.02)
+
+let test_sample_without_replacement () =
+  let r = Rng.create 11 in
+  for _ = 1 to 50 do
+    let s = Rng.sample_without_replacement r 5 12 in
+    Alcotest.(check int) "five drawn" 5 (List.length s);
+    Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter
+      (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 12))
+      s
+  done
+
+let test_shuffle_permutation () =
+  let r = Rng.create 13 in
+  let a = Array.init 30 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 30 Fun.id) sorted
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_basics () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.check feq "mean" 2.5 (Stats.mean xs);
+  Alcotest.check feq "sum" 10.0 (Stats.sum xs);
+  Alcotest.check feq "min" 1.0 (Stats.minimum xs);
+  Alcotest.check feq "max" 4.0 (Stats.maximum xs);
+  Alcotest.check feq "median even" 2.5 (Stats.median xs);
+  Alcotest.check feq "median odd" 2.0 (Stats.median [ 1.0; 2.0; 7.0 ]);
+  Alcotest.check feq "variance" (5.0 /. 3.0) (Stats.variance xs)
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.check feq "p50" 50.0 (Stats.percentile 50.0 xs);
+  Alcotest.check feq "p99" 99.0 (Stats.percentile 99.0 xs);
+  Alcotest.check feq "p100" 100.0 (Stats.percentile 100.0 xs)
+
+let test_stats_empty () =
+  Alcotest.check feq "mean empty" 0.0 (Stats.mean []);
+  Alcotest.check_raises "min empty"
+    (Invalid_argument "Stats.minimum: empty sample") (fun () ->
+      ignore (Stats.minimum []))
+
+let test_tbl_render () =
+  let t = Tbl.create ~caption:"cap" [ "a"; "bb" ] in
+  Tbl.add_row t [ "1"; "2" ];
+  Tbl.add_float_row t "x" [ 3.5 ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "caption present" true
+    (String.length s > 3 && String.sub s 0 3 = "cap");
+  Alcotest.(check bool) "row present" true
+    (List.exists (fun line -> line = "x  3.50") (String.split_on_char '\n' s))
+
+let test_tbl_arity () =
+  let t = Tbl.create [ "a" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Tbl.add_row: arity mismatch")
+    (fun () -> Tbl.add_row t [ "1"; "2" ])
+
+let test_tbl_csv () =
+  let t = Tbl.create [ "a"; "b" ] in
+  Tbl.add_row t [ "x,y"; "z" ];
+  Alcotest.(check string) "csv escaped" "a,b\n\"x,y\",z\n" (Tbl.csv t)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng rejects bad bound" `Quick test_rng_int_rejects;
+    Alcotest.test_case "rng uniform mean" `Quick test_rng_mean;
+    Alcotest.test_case "rng sampling" `Quick test_sample_without_replacement;
+    Alcotest.test_case "rng shuffle" `Quick test_shuffle_permutation;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "tbl render" `Quick test_tbl_render;
+    Alcotest.test_case "tbl arity" `Quick test_tbl_arity;
+    Alcotest.test_case "tbl csv" `Quick test_tbl_csv;
+  ]

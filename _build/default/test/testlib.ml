@@ -1,0 +1,60 @@
+(* Shared helpers and generators for the test suites. *)
+
+module Graph = Sof_graph.Graph
+module Rng = Sof_util.Rng
+
+let feq = Alcotest.float 1e-6
+
+(* Random connected weighted graph: a random spanning tree plus [extra]
+   random chords; weights uniform in [0.1, w_max]. *)
+let random_connected_graph rng ~n ~extra ~w_max =
+  let weight () = 0.1 +. Rng.float rng (w_max -. 0.1) in
+  let tree =
+    List.init (n - 1) (fun i ->
+        let v = i + 1 in
+        (Rng.int rng v, v, weight ()))
+  in
+  let chords =
+    List.init extra (fun _ ->
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u = v then None else Some (u, v, weight ()))
+    |> List.filter_map Fun.id
+  in
+  Graph.create ~n ~edges:(tree @ chords)
+
+(* qcheck generator wrapping the seeded graph builder, so failures print a
+   reproducible (seed, n, extra) triple. *)
+let graph_params_arb ~max_n =
+  QCheck.make
+    ~print:(fun (seed, n, extra) ->
+      Printf.sprintf "seed=%d n=%d extra=%d" seed n extra)
+    QCheck.Gen.(
+      triple (int_bound 1_000_000) (int_range 2 max_n) (int_bound 20))
+
+let graph_of_params (seed, n, extra) =
+  random_connected_graph (Rng.create seed) ~n ~extra ~w_max:10.0
+
+(* A small SOF instance on a random connected graph: VMs, sources and
+   destinations drawn disjointly where possible. *)
+let random_instance ?(chain_length = 2) seed =
+  let rng = Rng.create seed in
+  let n = 8 + Rng.int rng 10 in
+  let g = random_connected_graph rng ~n ~extra:(n / 2) ~w_max:5.0 in
+  let ids = Array.init n Fun.id in
+  Rng.shuffle rng ids;
+  let nvms = max (chain_length + 1) (n / 3) in
+  let vms = Array.to_list (Array.sub ids 0 nvms) in
+  let nsrc = 1 + Rng.int rng 2 in
+  let sources = Array.to_list (Array.sub ids nvms nsrc) in
+  let ndst = 1 + Rng.int rng (max 1 (n - nvms - nsrc - 1)) in
+  let dests = Array.to_list (Array.sub ids (nvms + nsrc) ndst) in
+  let node_cost = Array.make n 0.0 in
+  List.iter (fun v -> node_cost.(v) <- 0.5 +. Rng.float rng 4.5) vms;
+  Sof.Problem.make ~graph:g ~node_cost ~vms ~sources ~dests ~chain_length
+
+let instance_arb =
+  QCheck.make
+    ~print:(fun (seed, c) -> Printf.sprintf "seed=%d chain=%d" seed c)
+    QCheck.Gen.(pair (int_bound 1_000_000) (int_range 1 4))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
