@@ -25,19 +25,31 @@ let st = { label = "ST"; solve = Sof_baselines.Baselines.st }
 let standard_algos = [ sofda; enemp; est; st ]
 
 (* Mean cost of an algorithm over [seeds] instances drawn from [topo] with
-   [params]; instances where the algorithm fails are skipped (and counted). *)
+   [params]; instances where the algorithm fails are skipped (and counted).
+   Instances are independent (each carries its own RNG), so they are solved
+   on the domain pool; the mean is accumulated in seed order afterwards,
+   which keeps the float sum identical to the sequential loop. *)
 let mean_cost ~seeds ~topo ~params algo =
+  let costs =
+    Sof_util.Pool.parallel_map
+      (fun seed ->
+        let rng = Rng.create (0xBE5C + (seed * 7919)) in
+        let p = Instance.draw ~rng topo params in
+        match algo.solve p with
+        | Some f ->
+            assert (Sof.Validate.is_valid f);
+            Some (Sof.Forest.total_cost f)
+        | None -> None)
+      (Array.init seeds (fun seed -> seed))
+  in
   let total = ref 0.0 and n = ref 0 in
-  for seed = 0 to seeds - 1 do
-    let rng = Rng.create (0xBE5C + (seed * 7919)) in
-    let p = Instance.draw ~rng topo params in
-    match algo.solve p with
-    | Some f ->
-        assert (Sof.Validate.is_valid f);
-        total := !total +. Sof.Forest.total_cost f;
-        incr n
-    | None -> ()
-  done;
+  Array.iter
+    (function
+      | Some c ->
+          total := !total +. c;
+          incr n
+      | None -> ())
+    costs;
   if !n = 0 then nan else !total /. float_of_int !n
 
 let sweep_table ~caption ~column ~values ~seeds ~topo ~base_params ~with_value

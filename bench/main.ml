@@ -34,6 +34,8 @@ let experiments =
     { name = "dyn"; descr = "dynamic operations vs full re-runs (Sec. VII-C)";
       run = Dynamic_bench.run };
     { name = "micro"; descr = "Bechamel per-call latency"; run = Microbench.run };
+    { name = "par"; descr = "Domain pool speedup (1 vs N domains)";
+      run = Parbench.run };
   ]
 
 let () =

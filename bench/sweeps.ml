@@ -65,46 +65,52 @@ let opt_panel ~seeds ~quick =
       [ "seed"; "SOFDA"; "eST"; "IP incumbent"; "IP lower bound"; "status" ]
   in
   let n = if quick then min seeds 2 else min seeds 5 in
-  for seed = 0 to n - 1 do
-    let rng = Sof_util.Rng.create (0xC0DE + seed) in
-    let p = Instance.draw ~rng topo reduced in
-    let sofda_cost =
-      match Sof.Sofda.solve p with
-      | Some r -> Sof.Forest.total_cost r.Sof.Sofda.forest
-      | None -> nan
-    in
-    let est_cost =
-      match Sof_baselines.Baselines.est p with
-      | Some f -> Sof.Forest.total_cost f
-      | None -> nan
-    in
-    let budget = if quick then 5.0 else 30.0 in
-    let r =
-      Sof.Ip_model.solve ~node_limit:60 ~time_budget:budget
-        ~initial_incumbent:(sofda_cost +. 1e-6) p
-    in
-    let incumbent =
-      match r.Sof_lp.Ilp.best with
-      | Some (_, obj) -> Printf.sprintf "%.2f" obj
-      | None -> Printf.sprintf "(seeded %.2f)" sofda_cost
-    in
-    let status =
-      match r.Sof_lp.Ilp.status with
-      | Sof_lp.Ilp.Optimal -> "optimal"
-      | Sof_lp.Ilp.Feasible -> "feasible"
-      | Sof_lp.Ilp.Infeasible -> "infeasible"
-      | Sof_lp.Ilp.Budget_exhausted -> "budget"
-    in
-    Sof_util.Tbl.add_row t
-      [
-        string_of_int seed;
-        Printf.sprintf "%.2f" sofda_cost;
-        Printf.sprintf "%.2f" est_cost;
-        incumbent;
-        Printf.sprintf "%.2f" r.Sof_lp.Ilp.bound;
-        status;
-      ]
-  done;
+  (* Per-seed yardstick runs are independent; compute the rows on the
+     domain pool and append them in seed order.  (The B&B status column is
+     time-budgeted and thus wall-clock sensitive either way.) *)
+  let rows =
+    Sof_util.Pool.parallel_map
+      (fun seed ->
+        let rng = Sof_util.Rng.create (0xC0DE + seed) in
+        let p = Instance.draw ~rng topo reduced in
+        let sofda_cost =
+          match Sof.Sofda.solve p with
+          | Some r -> Sof.Forest.total_cost r.Sof.Sofda.forest
+          | None -> nan
+        in
+        let est_cost =
+          match Sof_baselines.Baselines.est p with
+          | Some f -> Sof.Forest.total_cost f
+          | None -> nan
+        in
+        let budget = if quick then 5.0 else 30.0 in
+        let r =
+          Sof.Ip_model.solve ~node_limit:60 ~time_budget:budget
+            ~initial_incumbent:(sofda_cost +. 1e-6) p
+        in
+        let incumbent =
+          match r.Sof_lp.Ilp.best with
+          | Some (_, obj) -> Printf.sprintf "%.2f" obj
+          | None -> Printf.sprintf "(seeded %.2f)" sofda_cost
+        in
+        let status =
+          match r.Sof_lp.Ilp.status with
+          | Sof_lp.Ilp.Optimal -> "optimal"
+          | Sof_lp.Ilp.Feasible -> "feasible"
+          | Sof_lp.Ilp.Infeasible -> "infeasible"
+          | Sof_lp.Ilp.Budget_exhausted -> "budget"
+        in
+        [
+          string_of_int seed;
+          Printf.sprintf "%.2f" sofda_cost;
+          Printf.sprintf "%.2f" est_cost;
+          incumbent;
+          Printf.sprintf "%.2f" r.Sof_lp.Ilp.bound;
+          status;
+        ])
+      (Array.init n (fun seed -> seed))
+  in
+  Array.iter (Sof_util.Tbl.add_row t) rows;
   Sof_util.Tbl.print t;
   Common.note
     "The IP shares an edge per (layer, edge) across destinations, so its\n\

@@ -65,6 +65,16 @@ let chain_arg =
 let setup_arg =
   Arg.(value & opt float 1.0 & info [ "setup-mult" ] ~doc:"Setup-cost multiplier.")
 
+let domains_arg =
+  let doc =
+    "Worker domains for the parallel solver (default: $(b,SOF_DOMAINS) or \
+     the machine's recommended domain count minus one; 1 forces the \
+     sequential path).  Results are identical at every setting."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let set_domains n = Option.iter Sof_util.Pool.set_size n
+
 let rules_arg =
   Arg.(value & flag & info [ "rules" ] ~doc:"Also print compiled flow rules.")
 
@@ -92,7 +102,8 @@ let draw ~topology ~seed ~sources ~dests ~vms ~chain ~setup =
 (* --- solve ---------------------------------------------------------- *)
 
 let solve_cmd =
-  let run topology algo seed sources dests vms chain setup rules dot =
+  let run topology algo seed sources dests vms chain setup rules dot domains =
+    set_domains domains;
     let _, problem = draw ~topology ~seed ~sources ~dests ~vms ~chain ~setup in
     Format.printf "%a@." Sof.Problem.pp problem;
     match (algo_of_name algo) problem with
@@ -135,7 +146,7 @@ let solve_cmd =
   let term =
     Term.(
       const run $ topology_arg $ algo_arg $ seed_arg $ sources_arg $ dests_arg
-      $ vms_arg $ chain_arg $ setup_arg $ rules_arg $ dot_arg)
+      $ vms_arg $ chain_arg $ setup_arg $ rules_arg $ dot_arg $ domains_arg)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Embed a service overlay forest on a topology.")
@@ -144,7 +155,8 @@ let solve_cmd =
 (* --- compare -------------------------------------------------------- *)
 
 let compare_cmd =
-  let run topology seed sources dests vms chain setup =
+  let run topology seed sources dests vms chain setup domains =
+    set_domains domains;
     let _, problem = draw ~topology ~seed ~sources ~dests ~vms ~chain ~setup in
     let t = Sof_util.Tbl.create [ "algorithm"; "total"; "#trees"; "#VMs" ] in
     List.iter
@@ -165,7 +177,7 @@ let compare_cmd =
   let term =
     Term.(
       const run $ topology_arg $ seed_arg $ sources_arg $ dests_arg $ vms_arg
-      $ chain_arg $ setup_arg)
+      $ chain_arg $ setup_arg $ domains_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every algorithm on one instance.")

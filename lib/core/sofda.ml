@@ -1,10 +1,11 @@
 module Graph = Sof_graph.Graph
 module Steiner = Sof_steiner.Steiner
+module Pool = Sof_util.Pool
 
 type report = {
   forest : Forest.t;
   selected_chains : (int * int) list;
-  aux_tree_cost : float;
+  aux_tree_cost : float option;
   conflicts_resolved : int;
 }
 
@@ -65,24 +66,36 @@ let solve_aux ?(source_setup = false) ~t problem =
   let chain_cache : (int * int, Transform.result) Hashtbl.t =
     Hashtbl.create 64
   in
-  (* Virtual edges: one per feasible (source, last VM) candidate chain. *)
+  (* Virtual edges: one per feasible (source, last VM) candidate chain.
+     The |S| * |M| chain walks are independent, so they are priced on the
+     domain pool; the cache and edge list are then populated on this
+     (coordinating) domain in the sequential iteration order, keeping the
+     construction bit-identical to a single-domain run. *)
+  let n_vms = Array.length lay.vms in
+  let pairs =
+    Array.init
+      (Array.length lay.sources * n_vms)
+      (fun i -> (lay.sources.(i / n_vms), lay.vms.(i mod n_vms)))
+  in
+  let priced =
+    Pool.parallel_map
+      (fun (v, u) ->
+        Transform.chain_walk ~source_setup t ~src:v ~last_vm:u
+          ~num_vnfs:problem.Problem.chain_length)
+      pairs
+  in
   let virtual_edges = ref [] in
-  Array.iter
-    (fun v ->
-      Array.iter
-        (fun u ->
-          match
-            Transform.chain_walk ~source_setup t ~src:v ~last_vm:u
-              ~num_vnfs:problem.Problem.chain_length
-          with
-          | None -> ()
-          | Some r ->
-              Hashtbl.replace chain_cache (v, u) r;
-              let vhat = Hashtbl.find lay.src_dup v in
-              let uhat = Hashtbl.find lay.vm_dup u in
-              virtual_edges := (vhat, uhat, r.Transform.cost) :: !virtual_edges)
-        lay.vms)
-    lay.sources;
+  Array.iteri
+    (fun i walk ->
+      match walk with
+      | None -> ()
+      | Some r ->
+          let v, u = pairs.(i) in
+          Hashtbl.replace chain_cache (v, u) r;
+          let vhat = Hashtbl.find lay.src_dup v in
+          let uhat = Hashtbl.find lay.vm_dup u in
+          virtual_edges := (vhat, uhat, r.Transform.cost) :: !virtual_edges)
+    priced;
   if !virtual_edges = [] then None
   else begin
     let zero_edges =
@@ -137,7 +150,7 @@ let solve_aux ?(source_setup = false) ~t problem =
             {
               forest;
               selected_chains = !selected;
-              aux_tree_cost = tree.Steiner.weight;
+              aux_tree_cost = Some tree.Steiner.weight;
               conflicts_resolved;
             }
         end
@@ -196,16 +209,23 @@ let solve_grafted ~source_setup ~t problem =
                     | _ -> Some (total, u, chain, path, tree))))
           None problem.Problem.vms
   in
+  (* One Steiner tree + VM scan per source, evaluated on the pool; the
+     fold below keeps the sequential tie-breaking (first source wins). *)
+  let candidates =
+    Pool.parallel_map
+      (fun source -> (source, candidate source))
+      (Array.of_list problem.Problem.sources)
+  in
   let best =
-    List.fold_left
-      (fun best source ->
-        match candidate source with
+    Array.fold_left
+      (fun best (source, cand) ->
+        match cand with
         | None -> best
         | Some (total, u, chain, path, tree) -> (
             match best with
             | Some (c, _, _, _, _, _) when c <= total -> best
             | _ -> Some (total, source, u, chain, path, tree)))
-      None problem.Problem.sources
+      None candidates
   in
   match best with
   | None -> None
@@ -225,7 +245,7 @@ let solve_grafted ~source_setup ~t problem =
         {
           forest;
           selected_chains = [ (source, u) ];
-          aux_tree_cost = nan;
+          aux_tree_cost = None;
           conflicts_resolved = 0;
         }
 
@@ -244,28 +264,37 @@ let solve ?(source_setup = false) ?transform problem =
   in
   let ss =
     if not ss_affordable then None
-    else
-    List.fold_left
-      (fun best source ->
-        match Sofda_ss.solve ~source_setup ~transform:t problem ~source with
-        | None -> best
-        | Some r -> (
-            let cand =
-              {
-                forest = r.Sofda_ss.forest;
-                selected_chains =
-                  [ ((List.hd r.Sofda_ss.forest.Forest.walks).Forest.source,
-                     r.Sofda_ss.last_vm) ];
-                aux_tree_cost = nan;
-                conflicts_resolved = 0;
-              }
-            in
-            match best with
-            | Some b
-              when Forest.total_cost b.forest
-                   <= Forest.total_cost cand.forest -> best
-            | _ -> Some cand))
-      None problem.Problem.sources
+    else begin
+      (* One SOFDA-SS embedding per source, evaluated on the pool; the fold
+         keeps the sequential tie-breaking (first source wins on ties). *)
+      let per_source =
+        Pool.parallel_map
+          (fun source ->
+            Sofda_ss.solve ~source_setup ~transform:t problem ~source)
+          (Array.of_list problem.Problem.sources)
+      in
+      Array.fold_left
+        (fun best result ->
+          match result with
+          | None -> best
+          | Some r -> (
+              let cand =
+                {
+                  forest = r.Sofda_ss.forest;
+                  selected_chains =
+                    [ ((List.hd r.Sofda_ss.forest.Forest.walks).Forest.source,
+                       r.Sofda_ss.last_vm) ];
+                  aux_tree_cost = None;
+                  conflicts_resolved = 0;
+                }
+              in
+              match best with
+              | Some b
+                when Forest.total_cost b.forest
+                     <= Forest.total_cost cand.forest -> best
+              | _ -> Some cand))
+        None per_source
+    end
   in
   let best =
     List.fold_left

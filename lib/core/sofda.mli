@@ -23,7 +23,9 @@
 type report = {
   forest : Forest.t;
   selected_chains : (int * int) list;  (** (source, last VM) per deployed walk *)
-  aux_tree_cost : float;               (** Steiner tree cost in the auxiliary graph *)
+  aux_tree_cost : float option;
+      (** Steiner tree cost in the auxiliary graph; [None] when the winning
+          construction (grafted or single-source) never built one *)
   conflicts_resolved : int;            (** VMs that carried contending VNF demands *)
 }
 

@@ -49,7 +49,12 @@ let shortest_path t a b =
       invalid_arg "Transform.shortest_path: neither node is a terminal"
 
 (* Expand a terminal sequence into a concrete walk, recording the hop
-   position of every terminal. *)
+   position of every terminal.  [None] when some consecutive pair has no
+   connecting path: an empty inter-terminal path must fail the expansion
+   rather than silently alias the unreached terminal onto the previous
+   hop, which would corrupt the walk's vm_marks.  (A same-node pair
+   [a = b] yields the one-node path [a], which correctly reuses the
+   previous hop's position.) *)
 let expand t seq =
   match seq with
   | [] -> invalid_arg "Transform.expand: empty sequence"
@@ -58,22 +63,22 @@ let expand t seq =
       let len = ref 1 in
       let positions = ref [ (first, 0) ] in
       let rec go = function
-        | a :: (b :: _ as rest) ->
-            let path = shortest_path t a b in
-            (match path with
+        | a :: (b :: _ as rest) -> (
+            match shortest_path t a b with
+            | [] -> false
             | _ :: tail ->
                 List.iter
                   (fun v ->
                     hops := v :: !hops;
                     incr len)
-                  tail
-            | [] -> ());
-            positions := (b, !len - 1) :: !positions;
-            go rest
-        | _ -> ()
+                  tail;
+                positions := (b, !len - 1) :: !positions;
+                go rest)
+        | _ -> true
       in
-      go seq;
-      (Array.of_list (List.rev !hops), List.rev !positions)
+      if go seq then
+        Some (Array.of_list (List.rev !hops), List.rev !positions)
+      else None
 
 let setup_cost t v = Problem.setup_cost t.problem v
 
@@ -96,8 +101,10 @@ let build ?(exclude = fun _ -> false) t ~src ~dst ~k ~endpoint_weight
   let dist = stroll_dist t ~src ~dst ~endpoint_weight in
   match Kstroll.cheapest_insertion ~dist ~candidates ~src ~dst ~k with
   | None -> None
-  | Some w ->
-      let hops, positions = expand t w.Kstroll.nodes in
+  | Some w -> (
+      match expand t w.Kstroll.nodes with
+      | None -> None
+      | Some (hops, positions) ->
       let vms = List.filter (fun (v, _) -> vm_filter v) positions in
       let vm_marks = List.map (fun (v, pos) -> (pos, v)) vms in
       let setup =
@@ -112,7 +119,7 @@ let build ?(exclude = fun _ -> false) t ~src ~dst ~k ~endpoint_weight
           (0.0, None) w.Kstroll.nodes
         |> fst
       in
-      Some { hops; vm_marks; cost = setup +. connection +. extra_cost }
+      Some { hops; vm_marks; cost = setup +. connection +. extra_cost })
 
 let chain_walk ?(source_setup = false) ?exclude t ~src ~last_vm ~num_vnfs =
   if num_vnfs < 1 then invalid_arg "Transform.chain_walk: num_vnfs < 1";

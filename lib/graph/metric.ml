@@ -7,7 +7,9 @@ type t = {
 let closure g terminals =
   let index_of = Hashtbl.create (Array.length terminals) in
   Array.iteri (fun i v -> Hashtbl.replace index_of v i) terminals;
-  let runs = Array.map (fun v -> Dijkstra.run g v) terminals in
+  (* One independent Dijkstra per terminal; results land per-index, so the
+     parallel sweep is indistinguishable from the sequential one. *)
+  let runs = Sof_util.Pool.parallel_map (fun v -> Dijkstra.run g v) terminals in
   { terminals; index_of; runs }
 
 let terminals c = c.terminals

@@ -7,7 +7,9 @@
 type t
 
 val closure : Graph.t -> int array -> t
-(** [closure g terminals] computes one Dijkstra per terminal. *)
+(** [closure g terminals] computes one Dijkstra per terminal.  The sweeps
+    are independent and run on the {!Sof_util.Pool} worker domains; the
+    result is identical to the sequential computation. *)
 
 val terminals : t -> int array
 

@@ -47,8 +47,16 @@ let cheapest_insertion ~dist ~candidates ~src ~dst ~k =
     done;
     if !infeasible then None
     else
-      let cost = walk_cost ~dist !path in
-      if cost = infinity then None else Some { nodes = !path; cost }
+      (* Closed-walk convention (see the .mli): the trivial closed walk
+         collapses to the single-node list [src] at cost 0; with
+         intermediates the shared endpoint stays at both ends. *)
+      let nodes =
+        match !path with
+        | [ a; b ] when src = dst && a = src && b = src -> [ src ]
+        | p -> p
+      in
+      let cost = walk_cost ~dist nodes in
+      if cost = infinity then None else Some { nodes; cost }
   end
 
 let popcount =
@@ -67,9 +75,12 @@ let exact ~dist ~candidates ~src ~dst ~k =
   let need = max 0 (k - base) in
   if need > m then None
   else if need = 0 then begin
-    let cost = dist src dst in
-    if cost = infinity then None
-    else Some { nodes = (if src = dst then [ src ] else [ src; dst ]); cost }
+    (* Trivial closed walk: a single node, no edges, cost 0 — matching both
+       the main branch below and [cheapest_insertion]. *)
+    if src = dst then Some { nodes = [ src ]; cost = 0.0 }
+    else
+      let cost = dist src dst in
+      if cost = infinity then None else Some { nodes = [ src; dst ]; cost }
   end
   else begin
     (* dp.(mask).(i): cheapest path from src visiting exactly the candidates
@@ -117,8 +128,8 @@ let exact ~dist ~candidates ~src ~dst ~k =
           else unwind (mask lxor (1 lsl i)) p (pool.(i) :: acc)
         in
         let mids = unwind mask last [] in
-        let nodes =
-          if src = dst then (src :: mids) @ [ dst ] else (src :: mids) @ [ dst ]
-        in
+        (* [mids] is non-empty here (need >= 1), so a closed walk keeps the
+           shared endpoint at both ends, per the convention in the .mli. *)
+        let nodes = (src :: mids) @ [ dst ] in
         Some { nodes; cost }
   end

@@ -14,8 +14,18 @@
     paper's scales (k <= 8); see DESIGN.md.  [exact] is the Held–Karp
     dynamic program, exponential in the candidate count, used in tests. *)
 
+(** {b Closed-walk convention.}  Both solvers represent walks the same
+    way.  An open walk ([src <> dst]) lists [src] first and [dst] last.  A
+    closed walk ([src = dst]) repeats the shared endpoint at both ends —
+    [src; v1; …; vm; src] — {e except} the trivial closed walk that visits
+    no intermediate node, which is the single-element list [[src]] with
+    cost [0.] (a walk over one node traverses no edges).  [walk_cost]
+    agrees with this representation in every case. *)
+
 type walk = {
-  nodes : int list;  (** visited nodes, [src] first, [dst] last *)
+  nodes : int list;
+      (** visited nodes, [src] first, [dst] last (closed walks per the
+          convention above) *)
   cost : float;
 }
 

@@ -1,0 +1,190 @@
+(* Fixed worker pool over OCaml 5 domains.
+
+   The pool exists to parallelize the solver's independent fan-outs
+   (per-terminal Dijkstra sweeps, per-candidate chain walks, per-source
+   scans, per-seed benchmark instances) while keeping results bit-identical
+   to the sequential path: work is split into contiguous index chunks,
+   every result is written into its own slot of a preallocated array, and
+   all reductions happen on the coordinating domain in fixed index order.
+
+   Worker domains are spawned once (lazily) and then pull work items from a
+   shared queue; a parallel call enqueues one self-scheduling task per
+   helper, participates in the chunk loop itself, and blocks until every
+   chunk has completed.  Nested parallel calls — a parallelized routine
+   invoked from inside a worker or from inside a chunk — run sequentially,
+   so exactly one level of fan-out is ever active. *)
+
+type pool = {
+  mutable workers : unit Domain.t array;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+(* True on worker domains, and on the coordinator while it is executing
+   chunks of a parallel region: either way, a parallel_* call entered in
+   that state must degrade to the sequential path. *)
+let in_parallel_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop pool () =
+  Domain.DLS.set in_parallel_region true;
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.closed do
+      Condition.wait pool.nonempty pool.mutex
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let spawn_pool n_workers =
+  let pool =
+    {
+      workers = [||];
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+    }
+  in
+  pool.workers <- Array.init n_workers (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers
+
+(* --- global pool management (coordinator domain only) ----------------- *)
+
+let env_size () =
+  match Sys.getenv_opt "SOF_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default_size () =
+  match env_size () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let requested : int option ref = ref None
+let current : pool option ref = ref None
+let current_size = ref 1
+
+let size () =
+  match !requested with Some n -> n | None -> default_size ()
+
+let set_size n = requested := Some (max 1 n)
+
+let () =
+  at_exit (fun () ->
+      match !current with
+      | Some p ->
+          current := None;
+          shutdown p
+      | None -> ())
+
+(* The pool sized for parallelism degree [p] (coordinator + p-1 workers),
+   recreating it when the requested degree changed since the last call. *)
+let obtain p =
+  match !current with
+  | Some pool when !current_size = p -> pool
+  | maybe ->
+      Option.iter shutdown maybe;
+      let pool = spawn_pool (p - 1) in
+      current := Some pool;
+      current_size := p;
+      pool
+
+(* --- parallel region driver ------------------------------------------ *)
+
+(* Run [nchunks] invocations of [runchunk] across the pool plus the calling
+   domain.  Chunks are claimed with an atomic counter (dynamic load
+   balancing); completion is tracked with a second counter so the caller
+   can block until the last straggler finishes.  The first exception is
+   captured and re-raised on the coordinator once the region drains. *)
+let run_region pool ~helpers ~nchunks runchunk =
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let error : exn option Atomic.t = Atomic.make None in
+  let fin_mutex = Mutex.create () in
+  let fin_cond = Condition.create () in
+  let work () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < nchunks then begin
+        (if Atomic.get error = None then
+           try runchunk i
+           with e -> ignore (Atomic.compare_and_set error None (Some e)));
+        let done_ = 1 + Atomic.fetch_and_add completed 1 in
+        if done_ = nchunks then begin
+          Mutex.lock fin_mutex;
+          Condition.broadcast fin_cond;
+          Mutex.unlock fin_mutex
+        end;
+        go ()
+      end
+    in
+    go ()
+  in
+  Mutex.lock pool.mutex;
+  for _ = 1 to helpers do
+    Queue.push work pool.queue
+  done;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  Domain.DLS.set in_parallel_region true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set in_parallel_region false)
+    work;
+  Mutex.lock fin_mutex;
+  while Atomic.get completed < nchunks do
+    Condition.wait fin_cond fin_mutex
+  done;
+  Mutex.unlock fin_mutex;
+  match Atomic.get error with Some e -> raise e | None -> ()
+
+let parallel_mapi f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else
+    let p = size () in
+    if p <= 1 || n = 1 || Domain.DLS.get in_parallel_region then
+      Array.mapi f a
+    else begin
+      let pool = obtain p in
+      let out = Array.make n None in
+      (* ~4 chunks per domain: coarse enough to amortize scheduling, fine
+         enough that a slow chunk doesn't serialize the tail. *)
+      let chunk = max 1 ((n + (4 * p) - 1) / (4 * p)) in
+      let nchunks = (n + chunk - 1) / chunk in
+      run_region pool
+        ~helpers:(min (p - 1) (nchunks - 1))
+        ~nchunks
+        (fun ci ->
+          let lo = ci * chunk in
+          let hi = min n (lo + chunk) - 1 in
+          for j = lo to hi do
+            out.(j) <- Some (f j a.(j))
+          done);
+      Array.map
+        (function Some v -> v | None -> assert false (* every chunk ran *))
+        out
+    end
+
+let parallel_map f a = parallel_mapi (fun _ x -> f x) a
+
+let parallel_reduce ~combine ~init f a =
+  Array.fold_left combine init (parallel_map f a)

@@ -1,0 +1,43 @@
+(** Fixed worker pool over OCaml 5 domains.
+
+    One pool serves the whole process; it is spawned lazily on the first
+    parallel call and resized on the next call after {!set_size}.  The
+    parallelism degree (coordinating domain included) defaults to the
+    [SOF_DOMAINS] environment variable, or
+    [Domain.recommended_domain_count () - 1] when unset.
+
+    {b Determinism contract.}  [parallel_map f a] is observably identical
+    to [Array.map f a] for pure [f]: each result is written to its own
+    index, reductions run on the calling domain in ascending index order,
+    and no result ever depends on scheduling.  With degree [<= 1] (or when
+    called from inside another parallel region — only one level of fan-out
+    is ever active) the sequential [Array.map]/[Array.mapi] path runs
+    directly. *)
+
+val size : unit -> int
+(** Effective parallelism degree the next parallel call will use
+    (always [>= 1]; [1] means sequential). *)
+
+val set_size : int -> unit
+(** Override the parallelism degree ([n < 1] is clamped to [1]).  Takes
+    effect on the next parallel call; an existing pool of a different size
+    is shut down and respawned. *)
+
+val default_size : unit -> int
+(** The degree used when {!set_size} was never called: [SOF_DOMAINS] if
+    set to a positive integer, otherwise
+    [max 1 (Domain.recommended_domain_count () - 1)]. *)
+
+val parallel_map : ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f a] — [Array.map f a] with [f] applications distributed
+    over the pool in contiguous index chunks.  Exceptions raised by [f]
+    re-raise on the caller (first one wins) after the region drains. *)
+
+val parallel_mapi : (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Indexed variant of {!parallel_map}. *)
+
+val parallel_reduce :
+  combine:('b -> 'b -> 'b) -> init:'b -> ('a -> 'b) -> 'a array -> 'b
+(** [parallel_reduce ~combine ~init f a] maps [f] in parallel, then folds
+    [combine] over the results sequentially in ascending index order (so
+    non-associative or floating-point reductions stay deterministic). *)

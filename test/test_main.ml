@@ -17,4 +17,5 @@ let () =
       ("reduction", Test_reduction.suite);
       ("extra", Test_extra.suite);
       ("polish", Test_polish.suite);
+      ("parallel", Test_parallel.suite);
     ]

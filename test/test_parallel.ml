@@ -1,0 +1,285 @@
+(* The Domain pool and its determinism contract.
+
+   - Pool.parallel_map/mapi/reduce agree with the sequential Array
+     functions on every input shape (empty, single, chunk-boundary sizes)
+     and propagate exceptions.
+   - Sofda.solve produces bit-identical reports with 1 domain and with 4
+     domains on random instances (the acceptance criterion of the
+     parallel engine).
+   - Regression pins for the k-stroll closed-walk convention and the
+     Transform.expand empty-path fix. *)
+
+module Pool = Sof_util.Pool
+module Kstroll = Sof_kstroll.Kstroll
+open Testlib
+
+(* Every test restores the pool to the sequential default so suites stay
+   order-independent. *)
+let with_domains n f =
+  let saved = Pool.size () in
+  Fun.protect ~finally:(fun () -> Pool.set_size saved) (fun () ->
+      Pool.set_size n;
+      f ())
+
+(* --- Pool unit tests -------------------------------------------------- *)
+
+let test_map_empty () =
+  with_domains 4 (fun () ->
+      Alcotest.(check int) "empty" 0 (Array.length (Pool.parallel_map succ [||])))
+
+let test_map_matches_sequential () =
+  (* Sizes straddling the chunking logic: 1 (sequential shortcut), sizes
+     below/at/above the chunk count (4 domains -> up to 16 chunks), a
+     prime, and a size big enough for several elements per chunk. *)
+  with_domains 4 (fun () ->
+      List.iter
+        (fun n ->
+          let input = Array.init n (fun i -> i) in
+          let expected = Array.map (fun x -> (x * x) + 1) input in
+          let got = Pool.parallel_map (fun x -> (x * x) + 1) input in
+          Alcotest.(check (array int))
+            (Printf.sprintf "n=%d" n)
+            expected got)
+        [ 1; 2; 3; 15; 16; 17; 31; 97; 1000 ])
+
+let test_mapi_indices () =
+  with_domains 4 (fun () ->
+      let input = Array.make 100 7 in
+      let got = Pool.parallel_mapi (fun i x -> (i * 10) + x) input in
+      let expected = Array.init 100 (fun i -> (i * 10) + 7) in
+      Alcotest.(check (array int)) "mapi" expected got)
+
+let test_exceptions_propagate () =
+  with_domains 4 (fun () ->
+      Alcotest.check_raises "exception crosses domains" (Failure "boom")
+        (fun () ->
+          ignore
+            (Pool.parallel_map
+               (fun x -> if x = 57 then failwith "boom" else x)
+               (Array.init 100 (fun i -> i))));
+      (* The pool survives a failed region. *)
+      let got = Pool.parallel_map succ (Array.init 10 (fun i -> i)) in
+      Alcotest.(check (array int)) "pool alive after failure"
+        (Array.init 10 succ) got)
+
+let test_reduce_order () =
+  (* Non-commutative combine exposes any result-order nondeterminism. *)
+  with_domains 4 (fun () ->
+      let input = Array.init 50 (fun i -> i) in
+      let got =
+        Pool.parallel_reduce
+          ~combine:(fun acc s -> acc ^ s)
+          ~init:""
+          string_of_int input
+      in
+      let expected =
+        Array.fold_left (fun acc i -> acc ^ string_of_int i) "" input
+      in
+      Alcotest.(check string) "in-order fold" expected got)
+
+let test_nested_regions_sequentialize () =
+  with_domains 4 (fun () ->
+      let got =
+        Pool.parallel_map
+          (fun x ->
+            (* Inner call runs inside a region: must take the sequential
+               path, not deadlock or respawn the pool. *)
+            Array.fold_left ( + ) 0
+              (Pool.parallel_map (fun y -> x + y) (Array.init 20 (fun i -> i))))
+          (Array.init 30 (fun i -> i))
+      in
+      let expected =
+        Array.init 30 (fun x -> (20 * x) + Array.fold_left ( + ) 0 (Array.init 20 Fun.id))
+      in
+      Alcotest.(check (array int)) "nested" expected got)
+
+let test_resize () =
+  (* Flipping sizes respawns the pool; results stay identical. *)
+  let input = Array.init 200 (fun i -> i) in
+  let expected = Array.map (fun x -> x * 3) input in
+  List.iter
+    (fun n ->
+      with_domains n (fun () ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "domains=%d" n)
+            expected
+            (Pool.parallel_map (fun x -> x * 3) input)))
+    [ 1; 2; 4; 1; 3 ]
+
+(* --- Sofda determinism across domain counts --------------------------- *)
+
+let check_same_report ~tag r1 r4 =
+  match (r1, r4) with
+  | None, None -> ()
+  | Some _, None | None, Some _ ->
+      Alcotest.fail (tag ^ ": feasibility differs across domain counts")
+  | Some a, Some b ->
+      let open Sof.Sofda in
+      Alcotest.(check bool)
+        (tag ^ ": total cost bit-identical")
+        true
+        (Float.equal
+           (Sof.Forest.total_cost a.forest)
+           (Sof.Forest.total_cost b.forest));
+      Alcotest.(check bool)
+        (tag ^ ": walks identical")
+        true
+        (a.forest.Sof.Forest.walks = b.forest.Sof.Forest.walks);
+      Alcotest.(check bool)
+        (tag ^ ": delivery identical")
+        true
+        (a.forest.Sof.Forest.delivery = b.forest.Sof.Forest.delivery);
+      Alcotest.(check bool)
+        (tag ^ ": selected chains identical")
+        true
+        (a.selected_chains = b.selected_chains);
+      Alcotest.(check bool)
+        (tag ^ ": aux tree cost identical")
+        true
+        (Option.equal Float.equal a.aux_tree_cost b.aux_tree_cost);
+      Alcotest.(check int)
+        (tag ^ ": conflicts identical")
+        a.conflicts_resolved b.conflicts_resolved
+
+let test_solve_deterministic_across_domains () =
+  for seed = 0 to 49 do
+    let p = random_instance (0x9A11 + (seed * 131)) ~chain_length:(1 + (seed mod 3)) in
+    let r1 = with_domains 1 (fun () -> Sof.Sofda.solve p) in
+    let r4 = with_domains 4 (fun () -> Sof.Sofda.solve p) in
+    check_same_report ~tag:(Printf.sprintf "seed %d" seed) r1 r4
+  done
+
+let test_closure_deterministic_across_domains () =
+  let module Metric = Sof_graph.Metric in
+  for seed = 0 to 9 do
+    let g = graph_of_params (0x51EE + seed, 30, 15) in
+    let terminals = Array.init 12 (fun i -> i * 2) in
+    let c1 = with_domains 1 (fun () -> Metric.closure g terminals) in
+    let c4 = with_domains 4 (fun () -> Metric.closure g terminals) in
+    for i = 0 to Array.length terminals - 1 do
+      for j = 0 to Array.length terminals - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d dist(%d,%d)" seed i j)
+          true
+          (Float.equal (Metric.distance c1 i j) (Metric.distance c4 i j))
+      done
+    done
+  done
+
+(* --- regression: k-stroll closed-walk convention ----------------------- *)
+
+let line_dist a b = abs_float (float_of_int a -. float_of_int b)
+
+let test_trivial_closed_walk () =
+  (* k <= 1 with src = dst: both solvers return the single-node walk at
+     cost 0 (previously: exact returned [src] but charged dist src src,
+     cheapest_insertion returned [src; src]). *)
+  (match Kstroll.exact ~dist:line_dist ~candidates:[ 2; 5 ] ~src:3 ~dst:3 ~k:1 with
+  | Some w ->
+      Alcotest.(check (list int)) "exact nodes" [ 3 ] w.Kstroll.nodes;
+      Alcotest.check feq "exact cost" 0.0 w.Kstroll.cost
+  | None -> Alcotest.fail "exact: expected trivial closed walk");
+  match
+    Kstroll.cheapest_insertion ~dist:line_dist ~candidates:[ 2; 5 ] ~src:3
+      ~dst:3 ~k:1
+  with
+  | Some w ->
+      Alcotest.(check (list int)) "insertion nodes" [ 3 ] w.Kstroll.nodes;
+      Alcotest.check feq "insertion cost" 0.0 w.Kstroll.cost
+  | None -> Alcotest.fail "insertion: expected trivial closed walk"
+
+let test_closed_walk_shape_consistent () =
+  (* Non-trivial closed walks from both solvers share the duplicated
+     endpoint representation, and their cost matches walk_cost. *)
+  let check name = function
+    | Some (w : Kstroll.walk) ->
+        let n = List.length w.Kstroll.nodes in
+        Alcotest.(check bool) (name ^ " starts at src") true
+          (List.hd w.Kstroll.nodes = 0);
+        Alcotest.(check bool) (name ^ " ends at src") true
+          (List.nth w.Kstroll.nodes (n - 1) = 0);
+        Alcotest.(check int) (name ^ " distinct") 3
+          (Kstroll.distinct_count w.Kstroll.nodes);
+        Alcotest.check feq
+          (name ^ " cost = walk_cost")
+          (Kstroll.walk_cost ~dist:line_dist w.Kstroll.nodes)
+          w.Kstroll.cost
+    | None -> Alcotest.fail (name ^ ": expected walk")
+  in
+  check "exact"
+    (Kstroll.exact ~dist:line_dist ~candidates:[ 2; 5; 9 ] ~src:0 ~dst:0 ~k:3);
+  check "insertion"
+    (Kstroll.cheapest_insertion ~dist:line_dist ~candidates:[ 2; 5; 9 ] ~src:0
+       ~dst:0 ~k:3)
+
+(* --- regression: Transform.expand on unreachable terminals ------------- *)
+
+let two_component_problem () =
+  (* Component A: 0 - 1 - 2; component B: 3 - 4 - 5.  Source and one VM in
+     A, another VM and the destination in B. *)
+  let g =
+    Sof_graph.Graph.create ~n:6
+      ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (3, 4, 1.0); (4, 5, 1.0) ]
+  in
+  let node_cost = [| 0.0; 0.5; 0.0; 0.0; 0.5; 0.0 |] in
+  Sof.Problem.make ~graph:g ~node_cost ~vms:[ 1; 4 ] ~sources:[ 0 ]
+    ~dests:[ 5 ] ~chain_length:1
+
+let test_chain_walk_disconnected () =
+  (* A chain walk towards a VM in the other component must come back as
+     None — never as a walk whose vm_marks alias onto the wrong hop. *)
+  let p = two_component_problem () in
+  let t = Sof.Transform.create p in
+  Alcotest.(check bool) "unreachable last VM" true
+    (Sof.Transform.chain_walk t ~src:0 ~last_vm:4 ~num_vnfs:1 = None);
+  Alcotest.(check bool) "reachable last VM still works" true
+    (Sof.Transform.chain_walk t ~src:0 ~last_vm:1 ~num_vnfs:1 <> None)
+
+let test_vm_marks_positions_consistent () =
+  (* Every vm_mark of every feasible chain walk points at a hop that really
+     is that VM — the invariant the expand fix protects. *)
+  for seed = 0 to 19 do
+    let p = random_instance (0x3C0D + (seed * 17)) ~chain_length:2 in
+    let t = Sof.Transform.create p in
+    List.iter
+      (fun src ->
+        List.iter
+          (fun vm ->
+            match Sof.Transform.chain_walk t ~src ~last_vm:vm ~num_vnfs:2 with
+            | None -> ()
+            | Some r ->
+                List.iter
+                  (fun (pos, v) ->
+                    Alcotest.(check int)
+                      (Printf.sprintf "seed %d src %d vm %d mark" seed src vm)
+                      v
+                      r.Sof.Transform.hops.(pos))
+                  r.Sof.Transform.vm_marks)
+          p.Sof.Problem.vms)
+      p.Sof.Problem.sources
+  done
+
+let suite =
+  [
+    Alcotest.test_case "pool map empty" `Quick test_map_empty;
+    Alcotest.test_case "pool map = Array.map" `Quick test_map_matches_sequential;
+    Alcotest.test_case "pool mapi indices" `Quick test_mapi_indices;
+    Alcotest.test_case "pool exceptions propagate" `Quick
+      test_exceptions_propagate;
+    Alcotest.test_case "pool reduce in order" `Quick test_reduce_order;
+    Alcotest.test_case "nested regions sequentialize" `Quick
+      test_nested_regions_sequentialize;
+    Alcotest.test_case "pool resize" `Quick test_resize;
+    Alcotest.test_case "sofda identical across 1/4 domains" `Slow
+      test_solve_deterministic_across_domains;
+    Alcotest.test_case "closure identical across 1/4 domains" `Quick
+      test_closure_deterministic_across_domains;
+    Alcotest.test_case "trivial closed walk convention" `Quick
+      test_trivial_closed_walk;
+    Alcotest.test_case "closed walk shape consistent" `Quick
+      test_closed_walk_shape_consistent;
+    Alcotest.test_case "chain walk across components is None" `Quick
+      test_chain_walk_disconnected;
+    Alcotest.test_case "vm_marks point at their VMs" `Quick
+      test_vm_marks_positions_consistent;
+  ]
