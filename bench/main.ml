@@ -36,6 +36,8 @@ let experiments =
     { name = "micro"; descr = "Bechamel per-call latency"; run = Microbench.run };
     { name = "par"; descr = "Domain pool speedup (1 vs N domains)";
       run = Parbench.run };
+    { name = "fuzz"; descr = "property-harness throughput (oracle suite)";
+      run = Proptest_bench.run };
   ]
 
 let () =

@@ -1,0 +1,49 @@
+(* Property-harness throughput: wall time and cases/second of every oracle
+   property at its default fuzz count (an eighth under --quick), plus the
+   corpus replay.  A property failure here is reported in the table rather
+   than aborting the sweep — the authoritative gate is `dune runtest` /
+   `sof fuzz`. *)
+
+module Prop = Sof_prop.Prop
+module Oracles = Sof_prop.Oracles
+module Corpus = Sof_prop.Corpus
+
+let run ~quick ~seeds:_ =
+  let tbl =
+    Sof_util.Tbl.create [ "property"; "cases"; "result"; "time (s)"; "cases/s" ]
+  in
+  List.iter
+    (fun (p, count) ->
+      let count = if quick then max 5 (count / 8) else count in
+      let t0 = Unix.gettimeofday () in
+      let outcome = Prop.run_packed ~count ~seed:0 p in
+      let dt = Unix.gettimeofday () -. t0 in
+      let result =
+        match outcome with
+        | Prop.Passed _ -> "pass"
+        | Prop.Failed f -> Printf.sprintf "FAIL @ case %d" f.Prop.case
+      in
+      Sof_util.Tbl.add_row tbl
+        [
+          Prop.packed_name p;
+          string_of_int count;
+          result;
+          Printf.sprintf "%.2f" dt;
+          Printf.sprintf "%.1f" (float_of_int count /. dt);
+        ])
+    Oracles.all;
+  let t0 = Unix.gettimeofday () in
+  let corpus_ok =
+    List.for_all (fun e -> Corpus.replay e = Ok ()) Corpus.builtin
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Sof_util.Tbl.add_row tbl
+    [
+      "corpus replay";
+      string_of_int (List.length Corpus.builtin);
+      (if corpus_ok then "pass" else "FAIL");
+      Printf.sprintf "%.2f" dt;
+      "-";
+    ];
+  Sof_util.Tbl.print tbl
+

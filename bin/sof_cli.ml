@@ -5,9 +5,16 @@
      sof solve --topology softlayer --algo sofda --sources 14 --dests 6
      sof solve --topology cogent --algo est --chain 5 --seed 3
      sof qoe --seed 1
+     sof fuzz --count 50 --seed 0
      sof topologies *)
 
 open Cmdliner
+
+(* Topology and algorithm names are closed enumerations: Cmdliner's
+   [Arg.enum] rejects unknown values at parse time with a proper error
+   message and a nonzero exit, instead of an uncaught [Failure]. *)
+
+let topology_names = [ "softlayer"; "cogent"; "testbed"; "inet1000"; "inet5000" ]
 
 let topology_of_name ~seed name =
   match name with
@@ -22,7 +29,9 @@ let topology_of_name ~seed name =
       Sof_topology.Topology.inet
         ~rng:(Sof_util.Rng.create (seed + 1))
         ~nodes:5000 ~links:10000 ~dcs:2000
-  | other -> failwith (Printf.sprintf "unknown topology %S" other)
+  | other -> invalid_arg ("topology_of_name: " ^ other)
+
+let algo_names = [ "sofda"; "sofda-ss"; "est"; "enemp"; "st" ]
 
 let algo_of_name = function
   | "sofda" ->
@@ -33,19 +42,24 @@ let algo_of_name = function
   | "est" -> Sof_baselines.Baselines.est
   | "enemp" -> Sof_baselines.Baselines.enemp
   | "st" -> Sof_baselines.Baselines.st
-  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+  | other -> invalid_arg ("algo_of_name: " ^ other)
 
 (* --- flags ---------------------------------------------------------- *)
 
+let self_enum names = Arg.enum (List.map (fun s -> (s, s)) names)
+
 let topology_arg =
   let doc =
-    "Topology: softlayer, cogent, testbed, inet1000 or inet5000."
+    Printf.sprintf "Topology: %s." (String.concat ", " topology_names)
   in
-  Arg.(value & opt string "softlayer" & info [ "topology"; "t" ] ~doc)
+  Arg.(
+    value
+    & opt (self_enum topology_names) "softlayer"
+    & info [ "topology"; "t" ] ~doc)
 
 let algo_arg =
-  let doc = "Algorithm: sofda, sofda-ss, est, enemp or st." in
-  Arg.(value & opt string "sofda" & info [ "algo"; "a" ] ~doc)
+  let doc = Printf.sprintf "Algorithm: %s." (String.concat ", " algo_names) in
+  Arg.(value & opt (self_enum algo_names) "sofda" & info [ "algo"; "a" ] ~doc)
 
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
@@ -229,6 +243,128 @@ let qoe_cmd =
        ~doc:"Simulate video QoE on the 14-node testbed for one embedding.")
     Term.(const run $ algo_arg $ seed_arg)
 
+(* --- fuzz ----------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let module Prop = Sof_prop.Prop in
+  let module Oracles = Sof_prop.Oracles in
+  let module Corpus = Sof_prop.Corpus in
+  let prop_conv =
+    let parse s =
+      match Oracles.find s with
+      | Some _ -> Ok s
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown property %S; known: %s" s
+                 (String.concat ", " (Oracles.names ()))))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Random cases per property (default: each property's own count; \
+             crank this up for long offline runs).")
+  in
+  let props_arg =
+    Arg.(
+      value
+      & opt_all prop_conv []
+      & info [ "prop" ] ~docv:"NAME"
+          ~doc:"Fuzz only $(docv) (repeatable; default: the whole suite).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"Also replay the seed-corpus entries of $(docv).")
+  in
+  let skip_corpus_arg =
+    Arg.(
+      value & flag
+      & info [ "no-builtin-corpus" ]
+          ~doc:"Skip the compiled-in seed-corpus replay.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list-props" ] ~doc:"List properties and exit.")
+  in
+  let run count seed props corpus skip_corpus list_props =
+    if list_props then begin
+      List.iter print_endline (Oracles.names ());
+      `Ok ()
+    end
+    else begin
+      let failures = ref 0 in
+      let replay entries =
+        List.iter
+          (fun e ->
+            match Corpus.replay e with
+            | Ok () -> Printf.printf "corpus  ok    %s\n%!" (Corpus.pp_entry e)
+            | Error msg ->
+                incr failures;
+                Printf.printf "corpus  FAIL  %s\n%s\n%!" (Corpus.pp_entry e)
+                  msg)
+          entries
+      in
+      if not skip_corpus then replay Corpus.builtin;
+      (match corpus with
+      | None -> `Ok ()
+      | Some file -> (
+          match Corpus.load_file file with
+          | Ok entries ->
+              replay entries;
+              `Ok ()
+          | Error msg ->
+              incr failures;
+              `Error (false, msg)))
+      |> ignore;
+      let selected =
+        match props with
+        | [] -> Oracles.all
+        | names ->
+            List.filter_map
+              (fun n -> Option.map (fun p -> (p, 100)) (Oracles.find n))
+              names
+      in
+      List.iter
+        (fun (p, default_count) ->
+          let c = Option.value count ~default:default_count in
+          let t0 = Unix.gettimeofday () in
+          match Prop.run_packed ~count:c ~seed p with
+          | Prop.Passed { count } ->
+              Printf.printf "prop    ok    %-18s %5d cases  %.2fs\n%!"
+                (Prop.packed_name p) count
+                (Unix.gettimeofday () -. t0)
+          | Prop.Failed f ->
+              incr failures;
+              Printf.printf "prop    FAIL  %-18s\n%s\n%!" (Prop.packed_name p)
+                (Prop.pp_failure (Prop.packed_name p) f))
+        selected;
+      if !failures > 0 then begin
+        Printf.printf "%d failure(s)\n%!" !failures;
+        exit 1
+      end;
+      `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ count_arg $ seed_arg $ props_arg $ corpus_arg
+       $ skip_corpus_arg $ list_arg))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run the property-based oracle suite (long offline fuzzing; see \
+          test/ for the CI-sized runs).")
+    term
+
 (* --- topologies ----------------------------------------------------- *)
 
 let topologies_cmd =
@@ -248,4 +384,7 @@ let () =
     Cmd.info "sof" ~version:"1.0.0"
       ~doc:"Service Overlay Forest embedding for software-defined cloud networks."
   in
-  exit (Cmd.eval (Cmd.group info [ solve_cmd; compare_cmd; qoe_cmd; topologies_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ solve_cmd; compare_cmd; qoe_cmd; fuzz_cmd; topologies_cmd ]))

@@ -8,6 +8,7 @@ type error =
   | Bad_source of int
   | Vnf_conflict of int * int * int
   | Unserved_destination of int
+  | Node_out_of_range of int
 
 let to_string = function
   | Bad_walk msg -> "malformed walk: " ^ msg
@@ -17,20 +18,34 @@ let to_string = function
   | Vnf_conflict (v, f1, f2) ->
       Printf.sprintf "VM %d assigned both f%d and f%d" v f1 f2
   | Unserved_destination d -> Printf.sprintf "destination %d unserved" d
+  | Node_out_of_range v -> Printf.sprintf "node %d out of range" v
+
+(* All node ids reaching [Graph.mem_edge] / [Problem.is_vm] / [Union_find]
+   are range-checked first: those are array-indexed and a malformed forest
+   (the fuzzer builds them on purpose) must yield an [Error], never an
+   array-bounds exception. *)
+let in_range p v = v >= 0 && v < Problem.n p
 
 let check_walk problem (w : Forest.walk) errors =
   let p = problem in
   if Array.length w.Forest.hops = 0 then
     errors := Bad_walk "empty hop sequence" :: !errors
   else begin
-    if w.Forest.hops.(0) <> w.Forest.source then
+    Array.iter
+      (fun v -> if not (in_range p v) then errors := Node_out_of_range v :: !errors)
+      w.Forest.hops;
+    if w.Forest.hops.(0) <> w.Forest.source then begin
       errors := Bad_walk "first hop differs from source" :: !errors;
+      if not (in_range p w.Forest.source) then
+        errors := Node_out_of_range w.Forest.source :: !errors
+    end;
     if not (Problem.is_source p w.Forest.source) then
       errors := Bad_source w.Forest.source :: !errors;
     for i = 0 to Array.length w.Forest.hops - 2 do
       let u = w.Forest.hops.(i) and v = w.Forest.hops.(i + 1) in
-      if not (Graph.mem_edge p.Problem.graph u v) then
-        errors := Missing_edge (u, v) :: !errors
+      if in_range p u && in_range p v
+         && not (Graph.mem_edge p.Problem.graph u v)
+      then errors := Missing_edge (u, v) :: !errors
     done;
     let expected = List.init p.Problem.chain_length (fun i -> i + 1) in
     let vnfs = List.map (fun m -> m.Forest.vnf) w.Forest.marks in
@@ -45,7 +60,8 @@ let check_walk problem (w : Forest.walk) errors =
         else begin
           prev := m.Forest.pos;
           let v = w.Forest.hops.(m.Forest.pos) in
-          if not (Problem.is_vm p v) then errors := Mark_not_vm v :: !errors
+          if in_range p v && not (Problem.is_vm p v) then
+            errors := Mark_not_vm v :: !errors
         end)
       w.Forest.marks
   end
@@ -60,7 +76,8 @@ let check (t : Forest.t) =
     (fun w ->
       List.iter
         (fun (m : Forest.mark) ->
-          if m.Forest.pos < Array.length w.Forest.hops then begin
+          if m.Forest.pos >= 0 && m.Forest.pos < Array.length w.Forest.hops
+          then begin
             let v = w.Forest.hops.(m.Forest.pos) in
             match Hashtbl.find_opt enabled v with
             | Some f when f <> m.Forest.vnf ->
@@ -74,26 +91,32 @@ let check (t : Forest.t) =
      with a last VM. *)
   List.iter
     (fun (u, v) ->
-      if not (Graph.mem_edge p.Problem.graph u v) then
-        errors := Missing_edge (u, v) :: !errors)
+      if not (in_range p u) then errors := Node_out_of_range u :: !errors;
+      if not (in_range p v) then errors := Node_out_of_range v :: !errors;
+      if in_range p u && in_range p v
+         && not (Graph.mem_edge p.Problem.graph u v)
+      then errors := Missing_edge (u, v) :: !errors)
     t.Forest.delivery;
   let uf = Union_find.create (Problem.n p) in
   List.iter
     (fun (u, v) ->
-      if u >= 0 && v >= 0 && u < Problem.n p && v < Problem.n p then
-        ignore (Union_find.union uf u v))
+      if in_range p u && in_range p v then ignore (Union_find.union uf u v))
     t.Forest.delivery;
   (* Injection points: every hop at or after a walk's last mark carries the
-     fully processed stream and may feed the delivery component. *)
+     fully processed stream and may feed the delivery component.
+     Out-of-range hops were already reported above; they cannot inject. *)
   let injection_points =
     List.concat_map
       (fun w ->
         match List.rev w.Forest.marks with
         | [] -> []
-        | m :: _ when m.Forest.pos < Array.length w.Forest.hops ->
+        | m :: _
+          when m.Forest.pos >= 0 && m.Forest.pos < Array.length w.Forest.hops
+          ->
             let tail = ref [] in
             for i = m.Forest.pos to Array.length w.Forest.hops - 1 do
-              tail := w.Forest.hops.(i) :: !tail
+              let v = w.Forest.hops.(i) in
+              if in_range p v then tail := v :: !tail
             done;
             !tail
         | _ -> [])

@@ -10,6 +10,7 @@ type error =
   | Bad_source of int               (** walk root is not in S *)
   | Vnf_conflict of int * int * int (** vm, vnf1, vnf2 *)
   | Unserved_destination of int     (** no chain output reaches it *)
+  | Node_out_of_range of int        (** hop or delivery endpoint outside [V] *)
 
 val to_string : error -> string
 
@@ -22,7 +23,13 @@ val check : Forest.t -> (unit, error list) result
     destination lies in the same delivery-edge component as some walk's
     fully-processed segment (any hop at or after the walk's last mark,
     where the stream has traversed the whole chain) or coincides with such
-    a hop; delivery edges exist in [G]. *)
+    a hop; delivery edges exist in [G].
+
+    Hop values and delivery endpoints outside [0, |V|) are reported as
+    {!Node_out_of_range} (and the edge/VM checks touching them skipped)
+    rather than escaping as an array-bounds exception — the checker must
+    return a verdict on arbitrarily malformed forests, including the ones
+    the fuzzing harness builds. *)
 
 val check_exn : Forest.t -> unit
 (** @raise Failure with a readable message when invalid. *)

@@ -1,0 +1,41 @@
+(** The seed corpus: past failures pinned as replayable regressions.
+
+    Each entry names a property from {!Oracles}, a run seed, a case count
+    and the outcome the replay must produce.  Entries expecting [`Fail]
+    exist so that known-bad laws (the shrinking demo) keep failing loudly;
+    entries expecting [`Pass] are seeds that once exposed a bug and must
+    never regress.
+
+    On-disk format (one entry per line, [#] starts a comment):
+    {[ <property-name> <seed> <count> <pass|fail>  # optional note ]} *)
+
+type expect = Pass | Fail
+
+type entry = {
+  prop : string;
+  seed : int;
+  count : int;
+  expect : expect;
+  note : string;
+}
+
+val builtin : entry list
+(** Entries compiled into the library (replayed by the test suite and by
+    [sof fuzz] before fresh random rounds). *)
+
+val parse_line : string -> (entry option, string) result
+(** [Ok None] for blank/comment lines; [Error] describes a malformed
+    line. *)
+
+val load_file : string -> (entry list, string) result
+(** Parse a corpus file; the error message carries the line number. *)
+
+val pp_entry : entry -> string
+(** Render in the on-disk format. *)
+
+val replay :
+  entry -> (unit, string) result
+(** Run the entry's property at its pinned seed and check the outcome
+    matches the expectation.  [Error] when the property is unknown, an
+    expected pass fails (message includes the shrunk counterexample), or
+    an expected failure passes. *)

@@ -1,0 +1,355 @@
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Validate = Sof.Validate
+module Sofda = Sof.Sofda
+module Sofda_ss = Sof.Sofda_ss
+module Ip_model = Sof.Ip_model
+module Ilp = Sof_lp.Ilp
+module Metric = Sof_graph.Metric
+module Kstroll = Sof_kstroll.Kstroll
+module Pool = Sof_util.Pool
+module Rng = Sof_util.Rng
+
+let feq ?(eps = 1e-6) a b = abs_float (a -. b) <= eps *. max 1.0 (max (abs_float a) (abs_float b))
+
+let errf fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let check_list f xs =
+  List.fold_left (fun acc x -> match acc with Ok () -> f x | e -> e) (Ok ()) xs
+
+(* --- 1. validity + cost reconciliation ------------------------------- *)
+
+let algos : (string * (Problem.t -> Forest.t option)) list =
+  [
+    ("sofda", fun p -> Sofda.solve_forest p);
+    ( "sofda-ss",
+      fun p -> Sofda_ss.solve_forest p ~source:(List.hd p.Problem.sources) );
+    ("est", Sof_baselines.Baselines.est);
+    ("enemp", Sof_baselines.Baselines.enemp);
+    ("st", Sof_baselines.Baselines.st);
+  ]
+
+(* Recharge the forest from first principles, exactly the way the online
+   ledger does: every enabled VM once, every paid traffic context once. *)
+let recompute_cost p f =
+  let setup =
+    List.fold_left
+      (fun acc (vm, _) -> acc +. Problem.setup_cost p vm)
+      0.0 (Forest.enabled_vms f)
+  in
+  let conn =
+    List.fold_left
+      (fun acc (u, v) -> acc +. Problem.edge_cost p u v)
+      0.0 (Forest.paid_edges f)
+  in
+  (setup, conn)
+
+let forest_validity_law spec =
+  let p = Spec.to_problem spec in
+  check_list
+    (fun (name, solve) ->
+      match solve p with
+      | None -> Ok ()
+      | Some f -> (
+          match Validate.check f with
+          | Error es ->
+              errf "%s: invalid forest: %s" name
+                (String.concat "; " (List.map Validate.to_string es))
+          | Ok () ->
+              let setup, conn = Forest.cost_breakdown f in
+              let setup', conn' = recompute_cost p f in
+              let* () =
+                if feq setup setup' then Ok ()
+                else
+                  errf "%s: setup cost %.9f <> recomputed %.9f" name setup
+                    setup'
+              in
+              let* () =
+                if feq conn conn' then Ok ()
+                else
+                  errf "%s: connection cost %.9f <> recomputed %.9f" name conn
+                    conn'
+              in
+              if feq (Forest.total_cost f) (setup +. conn) then Ok ()
+              else
+                errf "%s: total %.9f <> setup + connection %.9f" name
+                  (Forest.total_cost f) (setup +. conn)))
+    algos
+
+let forest_validity =
+  Prop.Packed
+    (Prop.make ~shrink:Spec.shrink ~print:Spec.print ~name:"forest-validity"
+       ~gen:Spec.gen_mixed forest_validity_law)
+
+(* --- 2. ILP bracket --------------------------------------------------- *)
+
+let rho_st = 2.0 (* KMB Steiner ratio; see lib/steiner *)
+
+let ilp_bracket_law spec =
+  let p = Spec.to_problem spec in
+  match Sofda.solve p with
+  | None -> Ok () (* infeasible instance: nothing to bracket *)
+  | Some r ->
+      let f = r.Sofda.forest in
+      let cost = Forest.total_cost f in
+      let ip_obj = Ip_model.objective_of_forest f in
+      let res = Ip_model.solve ~node_limit:400 ~time_budget:5.0 p in
+      let* () =
+        if res.Ilp.bound <= ip_obj +. 1e-6 then Ok ()
+        else
+          errf "IP lower bound %.9f exceeds SOFDA's IP objective %.9f"
+            res.Ilp.bound ip_obj
+      in
+      (match (res.Ilp.status, res.Ilp.best) with
+      | Ilp.Infeasible, _ ->
+          errf "IP says infeasible but SOFDA embedded at cost %.9f" cost
+      | Ilp.Optimal, Some (_, opt) ->
+          let* () =
+            if opt <= cost +. 1e-6 then Ok ()
+            else errf "SOFDA cost %.9f below the proven optimum %.9f" cost opt
+          in
+          if cost <= (3.0 *. rho_st *. opt) +. 1e-6 then Ok ()
+          else
+            errf "SOFDA cost %.9f breaks the 3*rho_ST bound (opt %.9f, 3*rho_ST*opt %.9f)"
+              cost opt
+              (3.0 *. rho_st *. opt)
+      | _ -> Ok () (* budget expired: only the bound check applies *))
+
+let ilp_bracket =
+  Prop.Packed
+    (Prop.make ~shrink:Spec.shrink ~print:Spec.print ~name:"ilp-bracket"
+       ~gen:Spec.gen_tiny ilp_bracket_law)
+
+(* --- 3. metric closure ------------------------------------------------ *)
+
+let metric_closure_law spec =
+  let p = Spec.to_problem spec in
+  let terminals =
+    List.sort_uniq compare
+      (p.Problem.sources @ p.Problem.dests @ p.Problem.vms)
+  in
+  let ta = Array.of_list terminals in
+  let c = Metric.closure p.Problem.graph ta in
+  let k = Array.length ta in
+  let result = ref (Ok ()) in
+  let fail fmt = Printf.ksprintf (fun m -> if !result = Ok () then result := Error m) fmt in
+  for i = 0 to k - 1 do
+    if Metric.distance c i i <> 0.0 then
+      fail "d(%d,%d) = %.9f, not 0" ta.(i) ta.(i) (Metric.distance c i i);
+    for j = 0 to k - 1 do
+      let dij = Metric.distance c i j in
+      if dij < 0.0 then fail "negative distance d(%d,%d)" ta.(i) ta.(j);
+      if not (feq dij (Metric.distance c j i) || dij = Metric.distance c j i)
+      then
+        fail "asymmetric: d(%d,%d)=%.9f d(%d,%d)=%.9f" ta.(i) ta.(j) dij
+          ta.(j) ta.(i)
+          (Metric.distance c j i);
+      if Metric.distance_nodes c ta.(i) ta.(j) <> dij then
+        fail "distance_nodes disagrees with distance at (%d,%d)" ta.(i) ta.(j)
+    done
+  done;
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      for l = 0 to k - 1 do
+        let direct = Metric.distance c i l in
+        let via = Metric.distance c i j +. Metric.distance c j l in
+        if direct > via +. 1e-6 *. max 1.0 via then
+          fail "triangle violated: d(%d,%d)=%.9f > d(%d,%d)+d(%d,%d)=%.9f"
+            ta.(i) ta.(l) direct ta.(i) ta.(j) ta.(j) ta.(l) via
+      done
+    done
+  done;
+  !result
+
+let metric_closure =
+  Prop.Packed
+    (Prop.make ~shrink:Spec.shrink ~print:Spec.print ~name:"metric-closure"
+       ~gen:(Spec.gen_random ~max_n:14 ())
+       metric_closure_law)
+
+(* --- 4. k-stroll dominance -------------------------------------------- *)
+
+type kstroll_case = {
+  spec : Spec.t;
+  candidates : int list;
+  src : int;
+  dst : int;
+  k : int;
+}
+
+let kstroll_gen rng =
+  let spec = Spec.gen_random ~min_n:5 ~max_n:9 () rng in
+  let nodes = List.init spec.Spec.n Fun.id in
+  let candidates = Prop.Gen.subset ~max:6 nodes rng in
+  let src = Rng.int rng spec.Spec.n in
+  let dst = Rng.int rng spec.Spec.n in
+  let k = Rng.range rng 1 (List.length candidates + 2) in
+  { spec; candidates; src; dst; k }
+
+let kstroll_print c =
+  Printf.sprintf "%s\nwith candidates = [ %s ]; src = %d; dst = %d; k = %d"
+    (Spec.print c.spec)
+    (String.concat "; " (List.map string_of_int c.candidates))
+    c.src c.dst c.k
+
+let kstroll_shrink c =
+  let drops =
+    List.mapi
+      (fun i _ ->
+        { c with candidates = List.filteri (fun j _ -> j <> i) c.candidates })
+      c.candidates
+  in
+  let smaller_k = if c.k > 1 then [ { c with k = c.k - 1 } ] else [] in
+  let rounded =
+    Seq.filter_map
+      (fun s ->
+        (* keep only spec shrinks that leave the case well-formed *)
+        if
+          s.Spec.n > c.src && s.Spec.n > c.dst
+          && List.for_all (fun v -> v < s.Spec.n) c.candidates
+        then Some { c with spec = s }
+        else None)
+      (Spec.shrink c.spec)
+  in
+  Seq.append (List.to_seq (smaller_k @ drops)) rounded
+
+let check_walk_shape ~dist ~src ~dst ~k name (w : Kstroll.walk) =
+  let* () =
+    if w.Kstroll.nodes = [] then errf "%s: empty walk" name else Ok ()
+  in
+  let first = List.hd w.Kstroll.nodes in
+  let last = List.nth w.Kstroll.nodes (List.length w.Kstroll.nodes - 1) in
+  let* () =
+    if src <> dst then
+      if first = src && last = dst then Ok ()
+      else errf "%s: open walk endpoints %d..%d, wanted %d..%d" name first last src dst
+    else if w.Kstroll.nodes = [ src ] then
+      if w.Kstroll.cost = 0.0 then Ok ()
+      else errf "%s: trivial closed walk with nonzero cost %.9f" name w.Kstroll.cost
+    else if first = src && last = src && List.length w.Kstroll.nodes >= 3 then
+      Ok ()
+    else
+      errf "%s: closed walk breaks the convention (first %d, last %d, length %d)"
+        name first last
+        (List.length w.Kstroll.nodes)
+  in
+  let* () =
+    if Kstroll.distinct_count w.Kstroll.nodes >= k then Ok ()
+    else
+      errf "%s: %d distinct nodes, needed %d" name
+        (Kstroll.distinct_count w.Kstroll.nodes)
+        k
+  in
+  let recomputed = Kstroll.walk_cost ~dist w.Kstroll.nodes in
+  if feq recomputed w.Kstroll.cost then Ok ()
+  else
+    errf "%s: reported cost %.9f <> walk_cost %.9f" name w.Kstroll.cost
+      recomputed
+
+let kstroll_law c =
+  let p = Spec.to_problem c.spec in
+  let nodes = Array.init c.spec.Spec.n Fun.id in
+  let cl = Metric.closure p.Problem.graph nodes in
+  (* terminals are 0..n-1, so terminal indices coincide with node ids *)
+  let dist u v = Metric.distance cl u v in
+  let run f = f ~dist ~candidates:c.candidates ~src:c.src ~dst:c.dst ~k:c.k in
+  let h = run Kstroll.cheapest_insertion in
+  let e = run Kstroll.exact in
+  let* () =
+    match h with
+    | Some w -> check_walk_shape ~dist ~src:c.src ~dst:c.dst ~k:c.k "heuristic" w
+    | None -> Ok ()
+  in
+  let* () =
+    match e with
+    | Some w -> check_walk_shape ~dist ~src:c.src ~dst:c.dst ~k:c.k "exact" w
+    | None -> Ok ()
+  in
+  match (h, e) with
+  | Some hw, Some ew ->
+      if ew.Kstroll.cost <= hw.Kstroll.cost +. 1e-6 then Ok ()
+      else
+        errf "exact DP cost %.9f above heuristic cost %.9f" ew.Kstroll.cost
+          hw.Kstroll.cost
+  | Some _, None -> errf "heuristic found a walk but the exact DP did not"
+  | None, Some _ -> errf "exact DP found a walk but the heuristic did not"
+  | None, None -> Ok ()
+
+let kstroll_dominance =
+  Prop.Packed
+    (Prop.make ~shrink:kstroll_shrink ~print:kstroll_print
+       ~name:"kstroll-dominance" ~gen:kstroll_gen kstroll_law)
+
+(* --- 5. 1-vs-N-domain bit identity ------------------------------------ *)
+
+let with_domains n f =
+  let saved = Pool.size () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size saved)
+    (fun () ->
+      Pool.set_size n;
+      f ())
+
+let walk_key (w : Forest.walk) = (w.Forest.source, w.Forest.hops, w.Forest.marks)
+
+let report_key (r : Sofda.report) =
+  ( List.map walk_key r.Sofda.forest.Forest.walks,
+    r.Sofda.forest.Forest.delivery,
+    Forest.total_cost r.Sofda.forest,
+    r.Sofda.selected_chains,
+    r.Sofda.aux_tree_cost,
+    r.Sofda.conflicts_resolved )
+
+let domain_identity_law spec =
+  let p = Spec.to_problem spec in
+  let r1 = with_domains 1 (fun () -> Sofda.solve p) in
+  let r4 = with_domains 4 (fun () -> Sofda.solve p) in
+  match (r1, r4) with
+  | None, None -> Ok ()
+  | Some _, None | None, Some _ ->
+      errf "feasibility differs between 1 and 4 domains"
+  | Some a, Some b ->
+      if report_key a = report_key b then Ok ()
+      else
+        errf
+          "reports differ between 1 and 4 domains (costs %.12g vs %.12g)"
+          (Forest.total_cost a.Sofda.forest)
+          (Forest.total_cost b.Sofda.forest)
+
+let domain_identity =
+  Prop.Packed
+    (Prop.make ~shrink:Spec.shrink ~print:Spec.print ~name:"domain-identity"
+       ~gen:Spec.gen_mixed domain_identity_law)
+
+(* --- deliberate demo failure ------------------------------------------ *)
+
+let demo_dest_budget_prop =
+  Prop.make ~shrink:Spec.shrink ~print:Spec.print ~name:"demo-dest-budget"
+    ~gen:(Spec.gen_random ~max_dests:6 ())
+    (fun spec ->
+      let d = List.length spec.Spec.dests in
+      if d <= 3 then Ok ()
+      else errf "instance has %d destinations (law allows 3)" d)
+
+let demo_dest_budget = Prop.Packed demo_dest_budget_prop
+
+(* --- registry ---------------------------------------------------------- *)
+
+let all =
+  [
+    (forest_validity, 200);
+    (ilp_bracket, 100);
+    (metric_closure, 300);
+    (kstroll_dominance, 300);
+    (domain_identity, 120);
+  ]
+
+let names () =
+  List.map (fun (p, _) -> Prop.packed_name p) all
+  @ [ Prop.packed_name demo_dest_budget ]
+
+let find name =
+  let candidates = List.map fst all @ [ demo_dest_budget ] in
+  List.find_opt (fun p -> Prop.packed_name p = name) candidates

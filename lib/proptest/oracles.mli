@@ -1,0 +1,61 @@
+(** The differential-oracle property suite.
+
+    Each property pairs the solver stack against an independent oracle:
+    the structural validator plus a from-scratch cost recomputation, the
+    branch-and-bound ILP optimum, the metric axioms, the Held–Karp exact
+    k-stroll, and the sequential solver as the reference for the parallel
+    one.  [all] is the registry the test suite and the [sof fuzz]
+    subcommand iterate over. *)
+
+val forest_validity : Prop.packed
+(** Every forest returned by SOFDA, SOFDA-SS and the three baselines
+    passes {!Sof.Validate.check}, and its reported cost breakdown
+    reconciles with a recomputation from {!Sof.Forest.paid_edges} and
+    {!Sof.Forest.enabled_vms} against the instance's raw edge and setup
+    costs (the same per-context accounting the online {!Sof_cost.Ledger}
+    charges). *)
+
+val ilp_bracket : Prop.packed
+(** On tiny instances: the IP lower bound never exceeds the SOFDA forest's
+    IP objective, and when branch-and-bound proves optimality,
+    [opt <= cost(SOFDA) <= 3 * rho_ST * opt] with [rho_ST = 2] — the
+    paper's Theorem 2 guarantee with the KMB Steiner ratio substituted. *)
+
+val metric_closure : Prop.packed
+(** {!Sof_graph.Metric.closure} is a metric: zero diagonal, symmetric,
+    nonnegative, triangle inequality over every terminal triple; the
+    node-keyed and index-keyed accessors agree. *)
+
+val kstroll_dominance : Prop.packed
+(** The Held–Karp exact k-stroll dominates (costs at most) the
+    cheapest-insertion heuristic whenever both are feasible, they are
+    feasible on the same cases, and both emit walks obeying the
+    closed-walk convention with costs that reconcile with
+    {!Sof_kstroll.Kstroll.walk_cost}. *)
+
+val domain_identity : Prop.packed
+(** {!Sof.Sofda.solve} is bit-identical with 1 worker domain and with 4 —
+    the parallel engine's determinism contract, generalized from the fixed
+    50-instance check of the parallel test suite to arbitrary random
+    instances. *)
+
+val all : (Prop.packed * int) list
+(** The suite with each property's default case count for one [sof fuzz]
+    round (the ILP oracle runs fewer cases per round than the cheap
+    structural properties). *)
+
+val find : string -> Prop.packed option
+(** Look a property up by name — includes {!demo_dest_budget}, which [all]
+    deliberately excludes. *)
+
+val names : unit -> string list
+(** Names in [all] order, demo last. *)
+
+val demo_dest_budget_prop : Spec.t Prop.t
+(** A deliberately false law ("no instance has more than 3 destinations")
+    kept as a living demonstration that the harness finds, shrinks and
+    replays failures; the test suite asserts it fails and shrinks to the
+    minimal 4-destination instance.  Never part of {!all}. *)
+
+val demo_dest_budget : Prop.packed
+(** {!demo_dest_budget_prop} packed for {!find} and the CLI fuzzer. *)

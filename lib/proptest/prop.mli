@@ -1,0 +1,113 @@
+(** A small seeded property-based testing engine.
+
+    Differences from qcheck that earn it its keep here: generation flows
+    through {!Sof_util.Rng} (the repository's single randomness source), a
+    failing case is reported as the [(seed, case)] pair that regenerates it
+    plus a fully-shrunk counterexample printed as a reproducible OCaml
+    literal, and shrinking is integrated greedy descent over caller-supplied
+    candidate moves (for SOF instances: drop destinations, shorten chains,
+    delete chords, round weights — see {!Spec.shrink}).
+
+    Replay contract: case [i] of [run ~seed ~count prop] is generated from
+    [Rng.create (case_seed ~seed i)], so any failure can be re-triggered in
+    isolation with [run ~seed:(case_seed ~seed i) ~count:1] — that is the
+    line the failure report prints and the seed corpus stores. *)
+
+module Gen : sig
+  type 'a t = Sof_util.Rng.t -> 'a
+  (** A generator consumes randomness from the supplied stream.  Generators
+      are plain functions: compose freely. *)
+
+  val return : 'a -> 'a t
+  val map : ('a -> 'b) -> 'a t -> 'b t
+  val bind : 'a t -> ('a -> 'b t) -> 'b t
+  val pair : 'a t -> 'b t -> ('a * 'b) t
+
+  val int_range : int -> int -> int t
+  (** Inclusive range. *)
+
+  val float_range : float -> float -> float t
+  val bool : bool t
+
+  val oneof : 'a t list -> 'a t
+  (** Uniform choice among generators.  @raise Invalid_argument on []. *)
+
+  val frequency : (int * 'a t) list -> 'a t
+  (** Weighted choice; weights must be positive. *)
+
+  val choose : 'a list -> 'a t
+  (** Uniform element of a non-empty list. *)
+
+  val list_of : int t -> 'a t -> 'a list t
+  (** [list_of len g] — a list whose length is drawn from [len]. *)
+
+  val subset : max:int -> 'a list -> 'a list t
+  (** Random subset of at most [max] elements, order preserved. *)
+end
+
+type 'a law = 'a -> (unit, string) result
+(** A property body.  [Error msg] and any raised exception count as a
+    failure of the tested law (the exception is rendered into the
+    message); [Ok ()] passes. *)
+
+type 'a t
+(** A named property: generator + law + printer + shrinker. *)
+
+val make :
+  ?shrink:('a -> 'a Seq.t) ->
+  ?print:('a -> string) ->
+  name:string ->
+  gen:'a Gen.t ->
+  'a law ->
+  'a t
+(** [shrink] defaults to no shrinking; [print] to ["<opaque>"]. *)
+
+val name : 'a t -> string
+
+type 'a failure = {
+  run_seed : int;        (** seed of the whole run *)
+  case : int;            (** 0-based index of the failing case *)
+  case_seed : int;       (** [Rng.create case_seed] regenerates the raw case *)
+  shrink_steps : int;    (** greedy shrink moves accepted *)
+  message : string;      (** law failure at the shrunk counterexample *)
+  shrunk : 'a;           (** the shrunk counterexample itself *)
+  counterexample : string;  (** printed shrunk value *)
+}
+
+type 'a outcome =
+  | Passed of { count : int }
+  | Failed of 'a failure
+
+val case_seed : seed:int -> int -> int
+(** The derived seed of case [i]: [seed + i * gamma] for a fixed odd
+    stride, so [case_seed ~seed 0 = seed] and the replay contract above
+    holds exactly. *)
+
+val run : ?count:int -> seed:int -> 'a t -> 'a outcome
+(** [run ~seed ~count prop] evaluates [count] (default 100) generated
+    cases.  On the first failure the counterexample is greedily shrunk
+    (bounded at 10_000 law evaluations) and reported; no further cases
+    run. *)
+
+val pp_failure : string -> 'a failure -> string
+(** Multi-line human report: property name, replay seed, shrunk literal. *)
+
+val check_exn : ?count:int -> seed:int -> 'a t -> unit
+(** [run] that raises [Failure] with {!pp_failure} output on a failing
+    property — the test-suite entry point. *)
+
+(** {2 Heterogeneous registries}
+
+    Properties over different case types packed behind one type so a
+    registry (the oracle suite, the CLI fuzzer) can hold them in one
+    list. *)
+
+type packed = Packed : 'a t -> packed
+
+val packed_name : packed -> string
+
+val run_packed : ?count:int -> seed:int -> packed -> string outcome
+(** The shrunk value degrades to its printed form ([shrunk =
+    counterexample]) since the case type is hidden. *)
+
+val check_packed_exn : ?count:int -> seed:int -> packed -> unit

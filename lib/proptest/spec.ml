@@ -1,0 +1,188 @@
+module Graph = Sof_graph.Graph
+module Rng = Sof_util.Rng
+module Problem = Sof.Problem
+
+type t = {
+  n : int;
+  edges : (int * int * float) list;
+  vms : int list;
+  sources : int list;
+  dests : int list;
+  chain_length : int;
+  setup : (int * float) list;
+}
+
+let to_problem s =
+  let graph = Graph.create ~n:s.n ~edges:s.edges in
+  let node_cost = Array.make s.n 0.0 in
+  List.iter (fun (v, c) -> node_cost.(v) <- c) s.setup;
+  Problem.make ~graph ~node_cost ~vms:s.vms ~sources:s.sources ~dests:s.dests
+    ~chain_length:s.chain_length
+
+let of_problem (p : Problem.t) =
+  {
+    n = Problem.n p;
+    edges = Graph.edges p.Problem.graph;
+    vms = p.Problem.vms;
+    sources = p.Problem.sources;
+    dests = p.Problem.dests;
+    chain_length = p.Problem.chain_length;
+    setup =
+      List.filter_map
+        (fun v ->
+          let c = p.Problem.node_cost.(v) in
+          if c <> 0.0 then Some (v, c) else None)
+        p.Problem.vms;
+  }
+
+let print s =
+  let b = Buffer.create 256 in
+  let f x = Printf.sprintf "%.12g" x in
+  let ints xs = String.concat "; " (List.map string_of_int xs) in
+  Buffer.add_string b (Printf.sprintf "{ Sof_prop.Spec.n = %d;\n" s.n);
+  Buffer.add_string b "  edges = [ ";
+  Buffer.add_string b
+    (String.concat "; "
+       (List.map (fun (u, v, w) -> Printf.sprintf "(%d, %d, %s)" u v (f w))
+          s.edges));
+  Buffer.add_string b " ];\n";
+  Buffer.add_string b (Printf.sprintf "  vms = [ %s ];\n" (ints s.vms));
+  Buffer.add_string b (Printf.sprintf "  sources = [ %s ];\n" (ints s.sources));
+  Buffer.add_string b (Printf.sprintf "  dests = [ %s ];\n" (ints s.dests));
+  Buffer.add_string b
+    (Printf.sprintf "  chain_length = %d;\n" s.chain_length);
+  Buffer.add_string b "  setup = [ ";
+  Buffer.add_string b
+    (String.concat "; "
+       (List.map (fun (v, c) -> Printf.sprintf "(%d, %s)" v (f c)) s.setup));
+  Buffer.add_string b " ] }";
+  Buffer.contents b
+
+(* --- shrinking ------------------------------------------------------- *)
+
+let drop_nth xs i = List.filteri (fun j _ -> j <> i) xs
+
+let round1 x =
+  let r = Float.round (x *. 10.0) /. 10.0 in
+  if r < 0.0 then 0.0 else r
+
+let unused_top_node s =
+  let v = s.n - 1 in
+  if
+    v > 0
+    && (not (List.exists (fun (a, b, _) -> a = v || b = v) s.edges))
+    && (not (List.mem v s.vms))
+    && (not (List.mem v s.sources))
+    && not (List.mem v s.dests)
+  then Some v
+  else None
+
+let shrink s =
+  let cands = ref [] in
+  let add c = cands := c :: !cands in
+  (* Added in reverse priority; the final [List.rev] restores the order
+     documented in the mli (aggressive structural drops first). *)
+  (* round weights / setups to one decimal *)
+  let rounded_edges = List.map (fun (u, v, w) -> (u, v, round1 w)) s.edges in
+  if rounded_edges <> s.edges then add { s with edges = rounded_edges };
+  let rounded_setup = List.map (fun (v, c) -> (v, round1 c)) s.setup in
+  if rounded_setup <> s.setup then add { s with setup = rounded_setup };
+  (* trim the highest node when nothing references it *)
+  (match unused_top_node s with
+  | Some v -> add { s with n = v }
+  | None -> ());
+  (* delete one edge (reversed twice, so chords — appended last by the
+     generators — end up tried first) *)
+  List.iteri (fun i _ -> add { s with edges = drop_nth s.edges i }) s.edges;
+  (* drop one VM, keeping at least one *)
+  if List.length s.vms > 1 then
+    List.iteri
+      (fun i v ->
+        add
+          {
+            s with
+            vms = drop_nth s.vms i;
+            setup = List.filter (fun (u, _) -> u <> v) s.setup;
+          })
+      s.vms;
+  (* shorten the chain *)
+  if s.chain_length > 1 then add { s with chain_length = s.chain_length - 1 };
+  (* drop one source / destination, keeping at least one of each *)
+  if List.length s.sources > 1 then
+    List.iteri (fun i _ -> add { s with sources = drop_nth s.sources i }) s.sources;
+  if List.length s.dests > 1 then
+    List.iteri (fun i _ -> add { s with dests = drop_nth s.dests i }) s.dests;
+  List.to_seq (List.rev !cands)
+
+(* --- generators ------------------------------------------------------ *)
+
+let random_connected_edges rng ~n ~extra ~w_max =
+  let weight () = 0.1 +. Rng.float rng (w_max -. 0.1) in
+  let tree =
+    List.init (n - 1) (fun i ->
+        let v = i + 1 in
+        (Rng.int rng v, v, weight ()))
+  in
+  let chords =
+    List.init extra (fun _ ->
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u = v then None else Some (u, v, weight ()))
+    |> List.filter_map Fun.id
+  in
+  tree @ chords
+
+let gen_random ?(min_n = 5) ?(max_n = 18) ?(max_chain = 3) ?(max_dests = 4) ()
+    rng =
+  let n = Rng.range rng min_n max_n in
+  let edges = random_connected_edges rng ~n ~extra:(Rng.int rng (n / 2 + 1)) ~w_max:5.0 in
+  let chain_length = Rng.range rng 1 (min max_chain (max 1 (n - 3))) in
+  let ids = Array.init n Fun.id in
+  Rng.shuffle rng ids;
+  let nvms = min (n - 2) (max (chain_length + 1) (n / 3)) in
+  let nsrc = min (n - nvms - 1) (1 + Rng.int rng 2) in
+  let ndst = min (n - nvms - nsrc) (1 + Rng.int rng max_dests) in
+  let slice off len = Array.to_list (Array.sub ids off len) in
+  let vms = slice 0 nvms in
+  let sources = slice nvms nsrc in
+  let dests = slice (nvms + nsrc) ndst in
+  let setup = List.map (fun v -> (v, 0.5 +. Rng.float rng 4.5)) vms in
+  { n; edges; vms; sources; dests; chain_length; setup }
+
+let gen_topology rng =
+  let topo =
+    match Rng.int rng 3 with
+    | 0 -> Sof_topology.Topology.softlayer ()
+    | 1 -> Sof_topology.Topology.testbed ()
+    | _ ->
+        Sof_topology.Topology.inet ~rng:(Rng.split rng) ~nodes:40 ~links:80
+          ~dcs:10
+  in
+  let n_access = Graph.n topo.Sof_topology.Topology.graph in
+  let params =
+    {
+      Sof_workload.Instance.n_vms = Rng.range rng 3 8;
+      n_sources = Rng.range rng 1 (min 3 n_access);
+      n_dests = Rng.range rng 1 (min 4 n_access);
+      chain_length = Rng.range rng 1 3;
+      setup_multiplier = Rng.pick rng [| 0.5; 1.0; 2.0 |];
+    }
+  in
+  of_problem (Sof_workload.Instance.draw ~rng:(Rng.split rng) topo params)
+
+let gen_mixed rng =
+  Prop.Gen.frequency [ (3, gen_random ()); (1, gen_topology) ] rng
+
+let gen_tiny rng =
+  let n = Rng.range rng 6 10 in
+  let edges = random_connected_edges rng ~n ~extra:(Rng.int rng 3) ~w_max:4.0 in
+  let ids = Array.init n Fun.id in
+  Rng.shuffle rng ids;
+  let chain_length = Rng.range rng 1 2 in
+  let nvms = Rng.range rng (min 2 (chain_length + 1)) 3 in
+  let nvms = max nvms chain_length in
+  let vms = Array.to_list (Array.sub ids 0 nvms) in
+  let sources = [ ids.(nvms) ] in
+  let ndst = Rng.range rng 1 2 in
+  let dests = Array.to_list (Array.sub ids (nvms + 1) ndst) in
+  let setup = List.map (fun v -> (v, 0.5 +. Rng.float rng 2.0)) vms in
+  { n; edges; vms; sources; dests; chain_length; setup }

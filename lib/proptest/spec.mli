@@ -1,0 +1,62 @@
+(** Shrinkable SOF instance descriptions for the property harness.
+
+    A [Spec.t] is a plain-data description of a {!Sof.Problem.t} — node
+    count, weighted edge list, role sets, chain length, per-VM setup costs.
+    Keeping the description first-order (rather than the built problem) is
+    what makes greedy shrinking and literal printing possible: every shrink
+    move is a small edit of the description, and a failing case prints as an
+    OCaml record the reader can paste straight into a test. *)
+
+type t = {
+  n : int;
+  edges : (int * int * float) list;
+  vms : int list;
+  sources : int list;
+  dests : int list;
+  chain_length : int;
+  setup : (int * float) list;  (** (vm, setup cost); VMs absent cost 0 *)
+}
+
+val to_problem : t -> Sof.Problem.t
+(** @raise Invalid_argument when the description violates
+    {!Sof.Problem.make}'s invariants (generated and shrunk specs never
+    do). *)
+
+val of_problem : Sof.Problem.t -> t
+(** Project a built problem back to a description (used to shrink instances
+    drawn through {!Sof_workload.Instance.draw}). *)
+
+val print : t -> string
+(** The spec as a pasteable OCaml record literal. *)
+
+val shrink : t -> t Seq.t
+(** Greedy shrink candidates, most aggressive first: drop a destination /
+    source / VM (never below one of each), shorten the chain, delete an
+    edge (chords first — tree edges may disconnect the instance, which the
+    law must tolerate), trim the highest unused node, round edge weights
+    and setup costs to one decimal.  Every candidate satisfies
+    {!to_problem}'s invariants. *)
+
+(** {2 Generators} *)
+
+val gen_random :
+  ?min_n:int -> ?max_n:int -> ?max_chain:int -> ?max_dests:int -> unit ->
+  t Prop.Gen.t
+(** Random connected graph (spanning tree + chords, weights in
+    [0.1, 5.0]) with disjoint role sets, in the style of the test suite's
+    [testlib].  Defaults: [min_n = 5], [max_n = 18], [max_chain = 3],
+    [max_dests = 4]. *)
+
+val gen_topology : t Prop.Gen.t
+(** An instance drawn with {!Sof_workload.Instance.draw} on one of the
+    paper's topologies (SoftLayer, testbed, a 40-node Inet) with randomized
+    workload parameters — exercises the exact construction the benchmarks
+    use. *)
+
+val gen_mixed : t Prop.Gen.t
+(** [3:1] mix of {!gen_random} and {!gen_topology} — the default instance
+    stream for the oracle suite. *)
+
+val gen_tiny : t Prop.Gen.t
+(** ILP-oracle-sized instances: at most 10 nodes total, 2–3 VMs, one
+    source, 1–2 destinations, chain length at most 2. *)

@@ -1,26 +1,30 @@
 let sum xs = List.fold_left ( +. ) 0.0 xs
 
-let mean = function
-  | [] -> 0.0
-  | xs -> sum xs /. float_of_int (List.length xs)
-
-let mean_array a =
-  if Array.length a = 0 then 0.0
-  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
-
-let variance xs =
-  let n = List.length xs in
-  if n < 2 then 0.0
-  else
-    let m = mean xs in
-    let ss = sum (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
-    ss /. float_of_int (n - 1)
-
-let stddev xs = sqrt (variance xs)
-
+(* Uniform empty-sample policy: every statistic of an empty sample raises
+   (there is no meaningful mean of nothing, and a silent 0.0 poisons
+   benchmark aggregates downstream). *)
 let require_nonempty name = function
   | [] -> invalid_arg (name ^ ": empty sample")
   | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty "Stats.mean" xs in
+  sum xs /. float_of_int (List.length xs)
+
+let mean_array a =
+  if Array.length a = 0 then invalid_arg "Stats.mean_array: empty sample"
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance xs =
+  match require_nonempty "Stats.variance" xs with
+  | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let ss = sum (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+      ss /. float_of_int (List.length xs - 1)
+
+let stddev xs =
+  sqrt (variance (require_nonempty "Stats.stddev" xs))
 
 let minimum xs =
   match require_nonempty "Stats.minimum" xs with

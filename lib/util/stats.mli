@@ -1,14 +1,21 @@
 (** Summary statistics over float samples. *)
 
+(** Empty-sample policy: every statistic raises [Invalid_argument] on an
+    empty sample — there is no silent [0.0] fallback anywhere in this
+    module. *)
+
 val mean : float list -> float
-(** Arithmetic mean; 0 on the empty list. *)
+(** Arithmetic mean.  @raise Invalid_argument on the empty list. *)
 
 val mean_array : float array -> float
+(** @raise Invalid_argument on the empty array. *)
 
 val variance : float list -> float
-(** Unbiased sample variance (n-1 denominator); 0 when fewer than 2 samples. *)
+(** Unbiased sample variance (n-1 denominator); 0 on a single sample.
+    @raise Invalid_argument on the empty list. *)
 
 val stddev : float list -> float
+(** @raise Invalid_argument on the empty list. *)
 
 val minimum : float list -> float
 (** @raise Invalid_argument on the empty list. *)

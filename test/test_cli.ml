@@ -1,0 +1,86 @@
+(* Smoke tests for the command-line front end and the example binaries.
+
+   A separate test executable (see test/dune): it shells out to the built
+   artifacts, which dune provides as dependencies relative to the test's
+   working directory, and asserts exit codes — solve/topologies/fuzz paths
+   succeed, unknown --topology/--algo/--prop values exit nonzero through
+   Cmdliner's error path instead of an uncaught exception, and every
+   example binary runs to a clean exit. *)
+
+let cli = Filename.concat ".." "bin/sof_cli.exe"
+
+let examples =
+  [
+    "quickstart";
+    "cdn_live_stream";
+    "vr_edge_multicast";
+    "dynamic_membership";
+    "distributed_controllers";
+    "online_adaptive";
+  ]
+
+let run cmd = Sys.command (cmd ^ " > /dev/null 2>&1")
+
+let check_exit name expected cmd =
+  let got = run cmd in
+  Alcotest.(check int) (Printf.sprintf "%s: exit code of %s" name cmd) expected
+    got
+
+let test_solve_testbed () =
+  check_exit "solve" 0 (cli ^ " solve --topology testbed --seed 1 --vms 6")
+
+let test_solve_baseline_algo () =
+  check_exit "solve est" 0
+    (cli ^ " solve --topology testbed --algo est --seed 1 --vms 6")
+
+let test_topologies () = check_exit "topologies" 0 (cli ^ " topologies")
+
+let test_fuzz_smoke () =
+  check_exit "fuzz" 0 (cli ^ " fuzz --count 5 --seed 0 --no-builtin-corpus")
+
+let test_fuzz_list_props () =
+  check_exit "fuzz --list-props" 0 (cli ^ " fuzz --list-props")
+
+let test_unknown_topology_rejected () =
+  Alcotest.(check bool) "unknown topology exits nonzero" true
+    (run (cli ^ " solve --topology atlantis") <> 0)
+
+let test_unknown_algo_rejected () =
+  Alcotest.(check bool) "unknown algo exits nonzero" true
+    (run (cli ^ " solve --algo oracle") <> 0)
+
+let test_unknown_prop_rejected () =
+  Alcotest.(check bool) "unknown property exits nonzero" true
+    (run (cli ^ " fuzz --prop no-such-prop") <> 0)
+
+let test_unknown_subcommand_rejected () =
+  Alcotest.(check bool) "unknown subcommand exits nonzero" true
+    (run (cli ^ " frobnicate") <> 0)
+
+let example_cases =
+  List.map
+    (fun name ->
+      Alcotest.test_case (name ^ " runs clean") `Slow (fun () ->
+          check_exit name 0 (Filename.concat ".." ("examples/" ^ name ^ ".exe"))))
+    examples
+
+let () =
+  Alcotest.run "sof-cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "solve on testbed" `Slow test_solve_testbed;
+          Alcotest.test_case "solve with baseline algo" `Slow
+            test_solve_baseline_algo;
+          Alcotest.test_case "topologies listing" `Slow test_topologies;
+          Alcotest.test_case "fuzz smoke" `Slow test_fuzz_smoke;
+          Alcotest.test_case "fuzz --list-props" `Quick test_fuzz_list_props;
+          Alcotest.test_case "unknown --topology" `Quick
+            test_unknown_topology_rejected;
+          Alcotest.test_case "unknown --algo" `Quick test_unknown_algo_rejected;
+          Alcotest.test_case "unknown --prop" `Quick test_unknown_prop_rejected;
+          Alcotest.test_case "unknown subcommand" `Quick
+            test_unknown_subcommand_rejected;
+        ] );
+      ("examples", example_cases);
+    ]

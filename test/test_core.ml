@@ -181,6 +181,76 @@ let test_validate_catches_unserved () =
       Alcotest.(check bool) "unserved" true
         (List.mem (Validate.Unserved_destination 4) es))
 
+let count_out_of_range es =
+  List.length
+    (List.filter
+       (function Validate.Node_out_of_range _ -> true | _ -> false)
+       es)
+
+let test_validate_out_of_range_delivery () =
+  (* Out-of-range delivery endpoints used to reach Graph.mem_edge unguarded
+     and blow up with an array-bounds exception; they must be reported. *)
+  let p = chain_instance () in
+  let w =
+    { Forest.source = 0; hops = [| 0; 1; 2 |];
+      marks = [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ] }
+  in
+  let f = Forest.make p ~walks:[ w ] ~delivery:[ (0, 999); (-3, 4) ] in
+  (match Validate.check f with
+  | Ok () -> Alcotest.fail "expected out-of-range errors"
+  | Error es ->
+      Alcotest.(check bool) "999 reported" true
+        (List.mem (Validate.Node_out_of_range 999) es);
+      Alcotest.(check bool) "-3 reported" true
+        (List.mem (Validate.Node_out_of_range (-3)) es))
+
+let test_validate_out_of_range_hop () =
+  let p = chain_instance () in
+  let w =
+    { Forest.source = 0; hops = [| 0; 42; 2 |];
+      marks = [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ] }
+  in
+  let f = Forest.make p ~walks:[ w ] ~delivery:[ (2, 3); (2, 4) ] in
+  (match Validate.check f with
+  | Ok () -> Alcotest.fail "expected out-of-range hop error"
+  | Error es ->
+      Alcotest.(check bool) "hop 42 reported" true
+        (List.mem (Validate.Node_out_of_range 42) es);
+      (* the mark at pos 1 sits on the bogus hop: no crash, one report *)
+      Alcotest.(check int) "exactly one range error" 1 (count_out_of_range es))
+
+let test_validate_negative_mark_pos () =
+  (* A negative mark position must be a Bad_walk error across every pass
+     (enabled-VNF collection and injection points index hops by pos). *)
+  let p = chain_instance () in
+  let w =
+    { Forest.source = 0; hops = [| 0; 1; 2 |];
+      marks = [ { Forest.pos = -1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ] }
+  in
+  let f = Forest.make p ~walks:[ w ] ~delivery:[ (2, 3); (2, 4) ] in
+  (match Validate.check f with
+  | Ok () -> Alcotest.fail "expected bad walk"
+  | Error es ->
+      Alcotest.(check bool) "bad walk reported" true
+        (List.exists (function Validate.Bad_walk _ -> true | _ -> false) es))
+
+let test_validate_out_of_range_source () =
+  (* Walk whose declared source differs from hops.(0) and is itself out of
+     range: both defects reported, no crash from is_source/is_vm. *)
+  let p = chain_instance () in
+  let w =
+    { Forest.source = 77; hops = [| 0; 1; 2 |];
+      marks = [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ] }
+  in
+  let f = Forest.make p ~walks:[ w ] ~delivery:[ (2, 3); (2, 4) ] in
+  (match Validate.check f with
+  | Ok () -> Alcotest.fail "expected errors"
+  | Error es ->
+      Alcotest.(check bool) "source 77 out of range" true
+        (List.mem (Validate.Node_out_of_range 77) es);
+      Alcotest.(check bool) "source not in S" true
+        (List.mem (Validate.Bad_source 77) es))
+
 (* --- Transform ----------------------------------------------------------- *)
 
 let test_transform_chain_walk () =
@@ -544,6 +614,14 @@ let suite =
     Alcotest.test_case "validate conflict" `Quick test_validate_catches_conflict;
     Alcotest.test_case "validate missing edge" `Quick test_validate_catches_missing_edge;
     Alcotest.test_case "validate unserved" `Quick test_validate_catches_unserved;
+    Alcotest.test_case "validate out-of-range delivery" `Quick
+      test_validate_out_of_range_delivery;
+    Alcotest.test_case "validate out-of-range hop" `Quick
+      test_validate_out_of_range_hop;
+    Alcotest.test_case "validate negative mark pos" `Quick
+      test_validate_negative_mark_pos;
+    Alcotest.test_case "validate out-of-range source" `Quick
+      test_validate_out_of_range_source;
     Alcotest.test_case "transform chain walk" `Quick test_transform_chain_walk;
     Alcotest.test_case "transform islands" `Quick test_transform_cost_is_connection_plus_setup;
     Alcotest.test_case "transform source setup" `Quick test_transform_source_setup;

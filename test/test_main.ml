@@ -18,4 +18,5 @@ let () =
       ("extra", Test_extra.suite);
       ("polish", Test_polish.suite);
       ("parallel", Test_parallel.suite);
+      ("prop", Test_prop.suite);
     ]

@@ -1,0 +1,208 @@
+(* The property harness and its differential-oracle suite.
+
+   - Every oracle property runs at its full default count from a fixed
+     seed (the same registry `sof fuzz` iterates over).
+   - The seed corpus (compiled-in entries plus test/seed_corpus.txt) is
+     replayed: pass entries are regressions that must stay green, the
+     deliberate demo entry must keep failing.
+   - The engine itself is tested: replay contract (a failure reproduces
+     from its printed case seed), greedy shrinking reaching the minimal
+     counterexample, generator/shrinker well-formedness. *)
+
+module Prop = Sof_prop.Prop
+module Spec = Sof_prop.Spec
+module Oracles = Sof_prop.Oracles
+module Corpus = Sof_prop.Corpus
+module Rng = Sof_util.Rng
+
+let run_seed = 2026
+
+(* --- oracle suite ------------------------------------------------------ *)
+
+let oracle_cases =
+  List.map
+    (fun (p, count) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%d cases)" (Prop.packed_name p) count)
+        `Slow
+        (fun () -> Prop.check_packed_exn ~count ~seed:run_seed p))
+    Oracles.all
+
+(* --- corpus replay ----------------------------------------------------- *)
+
+let replay_all entries =
+  List.iter
+    (fun e ->
+      match Corpus.replay e with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (Corpus.pp_entry e ^ "\n" ^ msg))
+    entries
+
+let test_corpus_builtin () = replay_all Corpus.builtin
+
+let test_corpus_file () =
+  match Corpus.load_file "seed_corpus.txt" with
+  | Error msg -> Alcotest.fail msg
+  | Ok entries ->
+      Alcotest.(check bool) "corpus file is not empty" true (entries <> []);
+      replay_all entries
+
+let test_corpus_parse () =
+  (match Corpus.parse_line "  # just a comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comment line should parse to None");
+  (match Corpus.parse_line "forest-validity 12 34 pass # note here" with
+  | Ok (Some e) ->
+      Alcotest.(check string) "prop" "forest-validity" e.Corpus.prop;
+      Alcotest.(check int) "seed" 12 e.Corpus.seed;
+      Alcotest.(check int) "count" 34 e.Corpus.count;
+      Alcotest.(check bool) "expect" true (e.Corpus.expect = Corpus.Pass);
+      Alcotest.(check string) "note" "note here" e.Corpus.note
+  | _ -> Alcotest.fail "well-formed line should parse");
+  match Corpus.parse_line "forest-validity twelve 34 pass" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "malformed seed should be rejected"
+
+(* --- the deliberate failure: found, shrunk to minimal, replayable ------ *)
+
+let test_demo_shrinks_to_minimal () =
+  match Prop.run ~count:20 ~seed:0 Oracles.demo_dest_budget_prop with
+  | Prop.Passed _ -> Alcotest.fail "demo law should fail within 20 cases"
+  | Prop.Failed f ->
+      let s = f.Prop.shrunk in
+      (* Greedy shrinking must reach the minimal failing instance: exactly
+         one destination over the law's budget, everything else stripped. *)
+      Alcotest.(check int) "dests at the boundary" 4
+        (List.length s.Spec.dests);
+      Alcotest.(check int) "one source" 1 (List.length s.Spec.sources);
+      Alcotest.(check int) "one VM" 1 (List.length s.Spec.vms);
+      Alcotest.(check int) "chain length 1" 1 s.Spec.chain_length;
+      Alcotest.(check bool) "all edges deleted" true (s.Spec.edges = []);
+      let max_role =
+        List.fold_left max 0 (s.Spec.vms @ s.Spec.sources @ s.Spec.dests)
+      in
+      Alcotest.(check int) "unused top nodes trimmed" (max_role + 1)
+        s.Spec.n;
+      Alcotest.(check bool) "took shrink steps" true (f.Prop.shrink_steps > 0)
+
+let test_demo_replays_from_case_seed () =
+  match Prop.run ~count:20 ~seed:0 Oracles.demo_dest_budget_prop with
+  | Prop.Passed _ -> Alcotest.fail "demo law should fail"
+  | Prop.Failed f -> (
+      (* The failure report names a single seed that regenerates the raw
+         failing case as case 0 of a one-case run — the replay contract. *)
+      match
+        Prop.run ~count:1 ~seed:f.Prop.case_seed Oracles.demo_dest_budget_prop
+      with
+      | Prop.Passed _ -> Alcotest.fail "case seed did not reproduce"
+      | Prop.Failed f' ->
+          Alcotest.(check int) "reproduces at case 0" 0 f'.Prop.case;
+          Alcotest.(check string) "same shrunk counterexample"
+            f.Prop.counterexample f'.Prop.counterexample)
+
+(* --- engine and generator well-formedness ------------------------------ *)
+
+let test_runs_deterministic () =
+  (* Identical (seed, count) runs observe identical outcomes. *)
+  let a = Prop.run ~count:30 ~seed:7 Oracles.demo_dest_budget_prop in
+  let b = Prop.run ~count:30 ~seed:7 Oracles.demo_dest_budget_prop in
+  match (a, b) with
+  | Prop.Passed _, Prop.Passed _ -> ()
+  | Prop.Failed fa, Prop.Failed fb ->
+      Alcotest.(check int) "same case" fa.Prop.case fb.Prop.case;
+      Alcotest.(check string) "same counterexample" fa.Prop.counterexample
+        fb.Prop.counterexample
+  | _ -> Alcotest.fail "outcomes differ across identical runs"
+
+let test_case_seeds_distinct () =
+  let seen = Hashtbl.create 64 in
+  for seed = 0 to 3 do
+    for i = 0 to 63 do
+      Hashtbl.replace seen (Prop.case_seed ~seed i) ()
+    done
+  done;
+  Alcotest.(check int) "4 x 64 distinct case seeds" 256 (Hashtbl.length seen)
+
+(* Shrink candidates always stay inside Problem.make's invariants — checked
+   with the harness itself, over the same mixed generator the oracles use. *)
+let prop_shrink_well_formed =
+  Prop.make ~print:Spec.print ~name:"shrink-well-formed" ~gen:Spec.gen_mixed
+    (fun spec ->
+      let bad =
+        Seq.find_map
+          (fun cand ->
+            match Spec.to_problem cand with
+            | _ -> None
+            | exception e ->
+                Some (Spec.print cand ^ ": " ^ Printexc.to_string e))
+          (Spec.shrink spec)
+      in
+      match bad with
+      | None -> Ok ()
+      | Some msg -> Error ("ill-formed shrink candidate: " ^ msg))
+
+let test_shrink_well_formed () =
+  Prop.check_exn ~count:150 ~seed:run_seed prop_shrink_well_formed
+
+let test_gen_subset_is_subset () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 100 do
+    let xs = List.init 10 Fun.id in
+    let sub = Prop.Gen.subset ~max:6 xs rng in
+    Alcotest.(check bool) "subset" true
+      (List.length sub <= 6 && List.for_all (fun x -> List.mem x xs) sub)
+  done
+
+let test_spec_roundtrip () =
+  (* of_problem . to_problem preserves the instance (modulo edge collapse
+     and zero-setup omission, both of which to_problem re-normalizes). *)
+  let rng = Rng.create 11 in
+  for _ = 1 to 50 do
+    let spec = Spec.gen_random () rng in
+    let p = Spec.to_problem spec in
+    let spec' = Spec.of_problem p in
+    let p' = Spec.to_problem spec' in
+    Alcotest.(check bool) "same problem" true
+      (Sof.Problem.n p = Sof.Problem.n p'
+      && p.Sof.Problem.sources = p'.Sof.Problem.sources
+      && p.Sof.Problem.dests = p'.Sof.Problem.dests
+      && p.Sof.Problem.vms = p'.Sof.Problem.vms
+      && p.Sof.Problem.node_cost = p'.Sof.Problem.node_cost
+      && Sof_graph.Graph.edges p.Sof.Problem.graph
+         = Sof_graph.Graph.edges p'.Sof.Problem.graph)
+  done
+
+let test_find_knows_every_name () =
+  List.iter
+    (fun n ->
+      match Oracles.find n with
+      | Some p -> Alcotest.(check string) "found by name" n (Prop.packed_name p)
+      | None -> Alcotest.fail ("Oracles.find misses " ^ n))
+    (Oracles.names ());
+  Alcotest.(check bool) "unknown name" true (Oracles.find "no-such-prop" = None)
+
+let suite =
+  oracle_cases
+  @ [
+      Alcotest.test_case "corpus: builtin entries replay" `Slow
+        test_corpus_builtin;
+      Alcotest.test_case "corpus: seed_corpus.txt replays" `Slow
+        test_corpus_file;
+      Alcotest.test_case "corpus: line parser" `Quick test_corpus_parse;
+      Alcotest.test_case "demo failure shrinks to minimal instance" `Quick
+        test_demo_shrinks_to_minimal;
+      Alcotest.test_case "demo failure replays from case seed" `Quick
+        test_demo_replays_from_case_seed;
+      Alcotest.test_case "runs are deterministic" `Quick
+        test_runs_deterministic;
+      Alcotest.test_case "case seeds do not collide" `Quick
+        test_case_seeds_distinct;
+      Alcotest.test_case "shrink candidates stay well-formed" `Slow
+        test_shrink_well_formed;
+      Alcotest.test_case "Gen.subset draws subsets" `Quick
+        test_gen_subset_is_subset;
+      Alcotest.test_case "spec round-trips through Problem" `Quick
+        test_spec_roundtrip;
+      Alcotest.test_case "registry lookup by name" `Quick
+        test_find_knows_every_name;
+    ]

@@ -76,11 +76,26 @@ let test_stats_percentile () =
   Alcotest.check feq "p99" 99.0 (Stats.percentile 99.0 xs);
   Alcotest.check feq "p100" 100.0 (Stats.percentile 100.0 xs)
 
+(* The empty-sample policy is uniform: every statistic raises. *)
 let test_stats_empty () =
-  Alcotest.check feq "mean empty" 0.0 (Stats.mean []);
-  Alcotest.check_raises "min empty"
-    (Invalid_argument "Stats.minimum: empty sample") (fun () ->
-      ignore (Stats.minimum []))
+  let expect name f =
+    Alcotest.check_raises name
+      (Invalid_argument (Printf.sprintf "Stats.%s: empty sample" name))
+      (fun () -> ignore (f ()))
+  in
+  expect "mean" (fun () -> Stats.mean []);
+  expect "mean_array" (fun () -> Stats.mean_array [||]);
+  expect "variance" (fun () -> Stats.variance []);
+  expect "stddev" (fun () -> Stats.stddev []);
+  expect "minimum" (fun () -> Stats.minimum []);
+  expect "maximum" (fun () -> Stats.maximum []);
+  expect "median" (fun () -> Stats.median []);
+  expect "summarize" (fun () -> Stats.summarize [])
+
+let test_stats_singleton () =
+  Alcotest.check feq "mean of one" 3.0 (Stats.mean [ 3.0 ]);
+  Alcotest.check feq "variance of one" 0.0 (Stats.variance [ 3.0 ]);
+  Alcotest.check feq "stddev of one" 0.0 (Stats.stddev [ 3.0 ])
 
 let test_tbl_render () =
   let t = Tbl.create ~caption:"cap" [ "a"; "bb" ] in
@@ -115,6 +130,7 @@ let suite =
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats singleton" `Quick test_stats_singleton;
     Alcotest.test_case "tbl render" `Quick test_tbl_render;
     Alcotest.test_case "tbl arity" `Quick test_tbl_arity;
     Alcotest.test_case "tbl csv" `Quick test_tbl_csv;
