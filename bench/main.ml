@@ -33,6 +33,8 @@ let experiments =
       run = Ablation.run };
     { name = "dyn"; descr = "dynamic operations vs full re-runs (Sec. VII-C)";
       run = Dynamic_bench.run };
+    { name = "chaos"; descr = "availability + repair cost under failure traces";
+      run = Chaos_bench.run };
     { name = "micro"; descr = "Bechamel per-call latency"; run = Microbench.run };
     { name = "par"; descr = "Domain pool speedup (1 vs N domains)";
       run = Parbench.run };

@@ -293,13 +293,25 @@ let fuzz_cmd =
   let list_arg =
     Arg.(value & flag & info [ "list-props" ] ~doc:"List properties and exit.")
   in
-  let run count seed props corpus skip_corpus list_props =
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-failures" ] ~docv:"FILE"
+          ~doc:
+            "On failure, write every shrunk counterexample to $(docv) \
+             (report plus a ready-to-commit seed-corpus line) — meant for \
+             CI artifact upload.")
+  in
+  let run count seed props corpus skip_corpus list_props save =
     if list_props then begin
       List.iter print_endline (Oracles.names ());
       `Ok ()
     end
     else begin
       let failures = ref 0 in
+      let reports = ref [] in
+      let record r = reports := r :: !reports in
       let replay entries =
         List.iter
           (fun e ->
@@ -307,6 +319,9 @@ let fuzz_cmd =
             | Ok () -> Printf.printf "corpus  ok    %s\n%!" (Corpus.pp_entry e)
             | Error msg ->
                 incr failures;
+                record
+                  (Printf.sprintf "# corpus entry regressed\n%s\n%s\n"
+                     (Corpus.pp_entry e) msg);
                 Printf.printf "corpus  FAIL  %s\n%s\n%!" (Corpus.pp_entry e)
                   msg)
           entries
@@ -342,10 +357,24 @@ let fuzz_cmd =
                 (Unix.gettimeofday () -. t0)
           | Prop.Failed f ->
               incr failures;
-              Printf.printf "prop    FAIL  %-18s\n%s\n%!" (Prop.packed_name p)
-                (Prop.pp_failure (Prop.packed_name p) f))
+              let name = Prop.packed_name p in
+              record
+                (Printf.sprintf
+                   "# %s failed; corpus line to pin once the bug is fixed:\n\
+                    %s %d %d pass  # shrunk after %d steps\n%s\n"
+                   name name seed c f.Prop.shrink_steps
+                   (Prop.pp_failure name f));
+              Printf.printf "prop    FAIL  %-18s\n%s\n%!" name
+                (Prop.pp_failure name f))
         selected;
       if !failures > 0 then begin
+        (match save with
+        | Some file ->
+            let oc = open_out file in
+            List.iter (output_string oc) (List.rev !reports);
+            close_out oc;
+            Printf.printf "failure reports written to %s\n%!" file
+        | None -> ());
         Printf.printf "%d failure(s)\n%!" !failures;
         exit 1
       end;
@@ -356,13 +385,154 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ count_arg $ seed_arg $ props_arg $ corpus_arg
-       $ skip_corpus_arg $ list_arg))
+       $ skip_corpus_arg $ list_arg $ save_arg))
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Run the property-based oracle suite (long offline fuzzing; see \
           test/ for the CI-sized runs).")
+    term
+
+(* --- chaos ----------------------------------------------------------- *)
+
+let chaos_cmd =
+  let module Fault = Sof_resilience.Fault in
+  let module Repair = Sof_resilience.Repair in
+  let module Chaos = Sof_resilience.Chaos in
+  let count_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "count" ] ~docv:"N" ~doc:"Failure events to inject.")
+  in
+  let mtbf_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "mtbf" ] ~doc:"Mean seconds between failures.")
+  in
+  let mttr_arg =
+    Arg.(
+      value & opt float 15.0
+      & info [ "mttr" ] ~doc:"Mean seconds to repair a failed element.")
+  in
+  let loss_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ]
+          ~doc:
+            "East-west message loss probability; positive values also run \
+             the distributed solver over the lossy fabric and report \
+             retransmissions.")
+  in
+  let run topology seed sources dests vms chain setup count mtbf mttr loss
+      domains =
+    set_domains domains;
+    let _, problem = draw ~topology ~seed ~sources ~dests ~vms ~chain ~setup in
+    match Sof.Sofda.solve_forest problem with
+    | None ->
+        prerr_endline "no feasible embedding";
+        exit 1
+    | Some forest ->
+        let rng = Sof_util.Rng.create (seed + 17) in
+        let trace =
+          Fault.schedule ~rng ~mtbf ~mttr ~controllers:3 ~count problem
+        in
+        let report = Chaos.run ~trace forest in
+        let t =
+          Sof_util.Tbl.create
+            [ "time"; "event"; "action"; "churn"; "re-solve"; "served" ]
+        in
+        List.iter
+          (fun (e : Chaos.entry) ->
+            Sof_util.Tbl.add_row t
+              [
+                Printf.sprintf "%.1f" e.Chaos.time;
+                Fault.event_to_string e.Chaos.event;
+                (match e.Chaos.action with
+                | Some a -> Repair.action_to_string a
+                | None -> "outage");
+                Printf.sprintf "%.2f" e.Chaos.churn;
+                (match e.Chaos.resolve_churn with
+                | Some rc -> Printf.sprintf "%.2f" rc
+                | None -> "-");
+                string_of_int e.Chaos.served;
+              ])
+          report.Chaos.entries;
+        Sof_util.Tbl.print t;
+        Printf.printf
+          "availability %.4f   repair wins %d/%d (ties %d)   total churn \
+           %.2f   invalid events %d\n"
+          report.Chaos.availability report.Chaos.repair_wins
+          report.Chaos.comparisons report.Chaos.repair_ties
+          report.Chaos.total_churn report.Chaos.invalid_events;
+        (* flow-level view: link outage windows against the pristine
+           embedding *)
+        let horizon =
+          List.fold_left
+            (fun acc { Fault.time; _ } -> max acc time)
+            0.0 trace
+          +. mttr
+        in
+        let outages = Fault.link_outages ~horizon trace in
+        let sim_rng = Sof_util.Rng.create (seed + 1) in
+        let sim_cfg =
+          { Sof_simnet.Sim.default_config with max_time = horizon }
+        in
+        let ms = Sof_simnet.Sim.run ~rng:sim_rng ~outages sim_cfg forest in
+        Printf.printf
+          "flow sim: %d link outage windows, mean outage %.1fs, mean \
+           re-buffering %.1fs\n"
+          (List.length outages)
+          (Sof_simnet.Sim.mean_outage ms)
+          (Sof_simnet.Sim.mean_rebuffer ms);
+        (if loss > 0.0 then
+           let faults =
+             {
+               Sof_sdn.Fabric.rng = Sof_util.Rng.create (seed + 2);
+               loss;
+               max_retries = 4;
+               base_backoff = 0.05;
+             }
+           in
+           let fabric = Sof_sdn.Fabric.create ~faults () in
+           (* partition the instance's own graph: it includes the VM nodes
+              Instance.draw attached to the data centers *)
+           let net =
+             Sof_sdn.Distributed.create problem.Sof.Problem.graph ~k:3
+           in
+           let partitioned =
+             List.filter_map
+               (fun { Fault.event; _ } ->
+                 match event with Fault.Partition c -> Some c | _ -> None)
+               trace
+           in
+           (match partitioned with
+           | c :: _ -> Sof_sdn.Distributed.partition net c
+           | [] -> ());
+           match Sof_sdn.Distributed.solve net fabric problem with
+           | None -> print_endline "lossy control plane: no embedding"
+           | Some st ->
+               Printf.printf
+                 "lossy control plane: leader %d, %d failovers, %d \
+                  retransmits, %d drops, %.2fs backoff\n"
+                 st.Sof_sdn.Distributed.leader
+                 st.Sof_sdn.Distributed.failovers
+                 (Sof_sdn.Fabric.retransmits fabric)
+                 (Sof_sdn.Fabric.drops fabric)
+                 (Sof_sdn.Fabric.backoff_delay fabric));
+        if report.Chaos.invalid_events > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ seed_arg $ sources_arg $ dests_arg $ vms_arg
+      $ chain_arg $ setup_arg $ count_arg $ mtbf_arg $ mttr_arg $ loss_arg
+      $ domains_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Inject a seeded failure trace into a deployed forest and report \
+          repair actions, availability and repair-vs-resolve cost.")
     term
 
 (* --- topologies ----------------------------------------------------- *)
@@ -387,4 +557,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ solve_cmd; compare_cmd; qoe_cmd; fuzz_cmd; topologies_cmd ]))
+          [ solve_cmd; compare_cmd; qoe_cmd; fuzz_cmd; chaos_cmd; topologies_cmd ]))

@@ -168,10 +168,22 @@ let vnf_delete (f : Forest.t) ~vnf =
               else Some m)
             w.Forest.marks
         in
-        Conflict.remove_loops { w with Forest.marks = marks })
+        { w with Forest.marks = marks })
       f.Forest.walks
   in
-  let forest = Forest.make problem ~walks ~delivery:f.Forest.delivery in
+  (* Dropping a mark can expose a loop to removal whose hops were a
+     destination's only injection point; shrink only when the shrunk
+     forest still serves everyone.  The unshrunk walks always do: the
+     last-mark position can only move earlier, widening the tail. *)
+  let shrunk =
+    Forest.make problem
+      ~walks:(List.map Conflict.remove_loops walks)
+      ~delivery:f.Forest.delivery
+  in
+  let forest =
+    if Validate.check shrunk = Ok () then shrunk
+    else Forest.make problem ~walks ~delivery:f.Forest.delivery
+  in
   { problem; forest }
 
 (* ------------------------------------------------------------------ *)
@@ -207,6 +219,68 @@ let splice (w : Forest.walk) ~from_pos ~to_pos ~path1 ~path2 ~via ~vnf =
       ({ Forest.pos = via_pos; vnf } :: marks)
   in
   { w with Forest.hops = hops; marks }
+
+(* A walk rewrite (splice, reroute) can orphan a destination that was
+   served directly by a replaced hop of an injection tail.  Re-graft each
+   orphan with a pure delivery path from the nearest point already
+   carrying the fully processed stream; [None] when some orphan is
+   unreachable or the rewrite left any other defect. *)
+let regraft_unserved (forest : Forest.t) =
+  match Validate.check forest with
+  | Ok () -> Some forest
+  | Error errs -> (
+      let orphans =
+        List.filter_map
+          (function Validate.Unserved_destination d -> Some d | _ -> None)
+          errs
+      in
+      if orphans = [] || List.length orphans <> List.length errs then None
+      else
+        let p = forest.Forest.problem in
+        let pts = Hashtbl.create 16 in
+        List.iter
+          (fun (w : Forest.walk) ->
+            match List.rev w.Forest.marks with
+            | [] -> ()
+            | m :: _ ->
+                for i = m.Forest.pos to Array.length w.Forest.hops - 1 do
+                  Hashtbl.replace pts w.Forest.hops.(i) ()
+                done)
+          forest.Forest.walks;
+        List.iter
+          (fun (a, b) ->
+            Hashtbl.replace pts a ();
+            Hashtbl.replace pts b ())
+          forest.Forest.delivery;
+        let points = Hashtbl.fold (fun v () acc -> v :: acc) pts [] in
+        let t = Transform.create ~extra:points p in
+        let rec graft acc = function
+          | [] -> Some acc
+          | d :: rest -> (
+              let best =
+                List.fold_left
+                  (fun acc sp ->
+                    let c = Transform.distance t sp d in
+                    match acc with
+                    | Some (bc, _) when bc <= c -> acc
+                    | _ -> if c < infinity then Some (c, sp) else acc)
+                  None points
+              in
+              match best with
+              | None -> None
+              | Some (_, sp) ->
+                  graft
+                    (path_edges (Transform.shortest_path t sp d) @ acc)
+                    rest)
+        in
+        match graft [] orphans with
+        | None -> None
+        | Some extra ->
+            let f =
+              Forest.make p ~walks:forest.Forest.walks
+                ~delivery:(forest.Forest.delivery @ extra)
+            in
+            if Validate.check f = Ok () then Some f else None)
 
 let vnf_insert (f : Forest.t) ~at =
   let p = f.Forest.problem in
@@ -290,7 +364,7 @@ let vnf_insert (f : Forest.t) ~at =
   | None -> None
   | Some walks ->
       let forest = Forest.make problem ~walks ~delivery:f.Forest.delivery in
-      Some { problem; forest }
+      Option.map (fun forest -> { problem; forest }) (regraft_unserved forest)
 
 (* ------------------------------------------------------------------ *)
 
@@ -380,18 +454,27 @@ let reroute_link (f : Forest.t) ~u ~v =
   in
   match map_all [] f.Forest.walks with
   | None -> None
-  | Some walks ->
-      (* Delivery edge (u,v): replace by the current shortest path. *)
-      let delivery =
-        List.concat_map
-          (fun (a, b) ->
+  | Some walks -> (
+      (* Delivery edge (u,v): replace by the current shortest path; the
+         whole reroute fails when the cut link was a bridge. *)
+      let rec redeliver acc = function
+        | [] -> Some (List.rev acc)
+        | (a, b) :: rest ->
             if (a = u && b = v) || (a = v && b = u) then
-              path_edges (Transform.shortest_path t a b)
-            else [ (a, b) ])
-          f.Forest.delivery
+              if Transform.distance t a b = infinity then None
+              else
+                redeliver
+                  (List.rev_append (path_edges (Transform.shortest_path t a b)) acc)
+                  rest
+            else redeliver ((a, b) :: acc) rest
       in
-      let forest = Forest.make p ~walks ~delivery in
-      Some { problem = p; forest }
+      match redeliver [] f.Forest.delivery with
+      | None -> None
+      | Some delivery ->
+          let forest = Forest.make p ~walks ~delivery in
+          Option.map
+            (fun forest -> { problem = p; forest })
+            (regraft_unserved forest))
 
 (* ------------------------------------------------------------------ *)
 
@@ -490,7 +573,7 @@ let relocate_vm (f : Forest.t) ~vm =
                     anchor_pairs
                 with
                 | None -> w
-                | Some (_, prev_pos, _, next_pos) ->
+                | Some (_, prev_pos, pos, next_pos) ->
                     let path1 =
                       Transform.shortest_path t w.Forest.hops.(prev_pos) x
                     in
@@ -498,9 +581,23 @@ let relocate_vm (f : Forest.t) ~vm =
                       List.rev
                         (Transform.shortest_path t w.Forest.hops.(next_pos) x)
                     in
+                    (* Strip the relocated mark first: when it sits on an
+                       anchor (walk end or source), splice's keep-anchors
+                       filter would preserve it next to the new one. *)
+                    let w =
+                      {
+                        w with
+                        Forest.marks =
+                          List.filter
+                            (fun (m : Forest.mark) -> m.Forest.pos <> pos)
+                            w.Forest.marks;
+                      }
+                    in
                     splice w ~from_pos:prev_pos ~to_pos:next_pos ~path1 ~path2
                       ~via:x ~vnf)
               f.Forest.walks
           in
           let forest = Forest.make p ~walks ~delivery:f.Forest.delivery in
-          Some { problem = p; forest })
+          Option.map
+            (fun forest -> { problem = p; forest })
+            (regraft_unserved forest))

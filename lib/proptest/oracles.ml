@@ -323,6 +323,225 @@ let domain_identity =
     (Prop.make ~shrink:Spec.shrink ~print:Spec.print ~name:"domain-identity"
        ~gen:Spec.gen_mixed domain_identity_law)
 
+(* --- 6. dynamic-adjustment validity ----------------------------------- *)
+
+module Dynamic = Sof.Dynamic
+
+type dyn_case = { dyn_spec : Spec.t; script : int list }
+
+let dyn_gen rng =
+  let dyn_spec = Spec.gen_mixed rng in
+  let script =
+    Prop.Gen.list_of (Prop.Gen.int_range 2 5) (Prop.Gen.int_range 0 100_000) rng
+  in
+  { dyn_spec; script }
+
+let dyn_print c =
+  Printf.sprintf "%s\nwith script = [ %s ]" (Spec.print c.dyn_spec)
+    (String.concat "; " (List.map string_of_int c.script))
+
+let dyn_shrink c =
+  let drops =
+    List.mapi (fun i _ -> { c with script = List.filteri (fun j _ -> j <> i) c.script }) c.script
+  in
+  Seq.append
+    (List.to_seq drops)
+    (Seq.map (fun s -> { c with dyn_spec = s }) (Spec.shrink c.dyn_spec))
+
+(* Decode one scripted operation against the current forest; [None] means
+   the op is inapplicable (or the operation itself declined) — skip. *)
+let dyn_step (f : Forest.t) code =
+  let p = f.Forest.problem in
+  let nth xs i = List.nth xs (i mod List.length xs) in
+  let sel = code / 6 in
+  match code mod 6 with
+  | 0 ->
+      if List.length p.Problem.dests < 2 then None
+      else Some ("leave", Some (Dynamic.destination_leave f (nth p.Problem.dests sel)))
+  | 1 ->
+      let outsiders =
+        List.filter
+          (fun v -> not (Problem.is_dest p v))
+          (List.init (Problem.n p) Fun.id)
+      in
+      if outsiders = [] then None
+      else Some ("join", Dynamic.destination_join f (nth outsiders sel))
+  | 2 ->
+      if p.Problem.chain_length < 2 then None
+      else
+        Some
+          ( "vnf-delete",
+            Some (Dynamic.vnf_delete f ~vnf:(1 + (sel mod p.Problem.chain_length))) )
+  | 3 ->
+      Some
+        ( "vnf-insert",
+          Dynamic.vnf_insert f ~at:(1 + (sel mod (p.Problem.chain_length + 1))) )
+  | 4 ->
+      let edges = Sof_graph.Graph.edges p.Problem.graph in
+      if edges = [] then None
+      else
+        let u, v, _ = nth edges sel in
+        Some ("reroute", Dynamic.reroute_link f ~u ~v)
+  | _ -> (
+      match Forest.enabled_vms f with
+      | [] -> None
+      | evs -> Some ("relocate", Dynamic.relocate_vm f ~vm:(fst (nth evs sel))))
+
+let dyn_law c =
+  let p = Spec.to_problem c.dyn_spec in
+  match Sofda.solve_forest p with
+  | None -> Ok ()
+  | Some f0 ->
+      let rec go f = function
+        | [] -> Ok ()
+        | code :: rest -> (
+            match dyn_step f code with
+            | None | Some (_, None) -> go f rest
+            | Some (name, Some (upd : Dynamic.update)) -> (
+                let nf = upd.Dynamic.forest in
+                match Validate.check nf with
+                | Error es ->
+                    errf "%s (code %d): invalid forest: %s" name code
+                      (String.concat "; " (List.map Validate.to_string es))
+                | Ok () ->
+                    let* () =
+                      if nf.Forest.problem == upd.Dynamic.problem then Ok ()
+                      else errf "%s: forest not built on the updated problem" name
+                    in
+                    go nf rest))
+      in
+      go f0 c.script
+
+let dynamic_validity =
+  Prop.Packed
+    (Prop.make ~shrink:dyn_shrink ~print:dyn_print ~name:"dynamic-validity"
+       ~gen:dyn_gen dyn_law)
+
+(* --- 7. post-repair validity ------------------------------------------ *)
+
+module Fault = Sof_resilience.Fault
+module Repair = Sof_resilience.Repair
+
+type repair_case = { rep_spec : Spec.t; pick : int }
+
+let repair_gen rng =
+  { rep_spec = Spec.gen_mixed rng; pick = Rng.int rng 100_000 }
+
+let repair_print c =
+  Printf.sprintf "%s\nwith pick = %d" (Spec.print c.rep_spec) c.pick
+
+let repair_shrink c =
+  Seq.map (fun s -> { c with rep_spec = s }) (Spec.shrink c.rep_spec)
+
+let used_edges (f : Forest.t) =
+  let tbl = Hashtbl.create 32 in
+  let norm (a, b) = if a < b then (a, b) else (b, a) in
+  List.iter
+    (fun (w : Forest.walk) ->
+      for i = 0 to Array.length w.Forest.hops - 2 do
+        Hashtbl.replace tbl (norm (w.Forest.hops.(i), w.Forest.hops.(i + 1))) ()
+      done)
+    f.Forest.walks;
+  List.iter (fun e -> Hashtbl.replace tbl (norm e) ()) f.Forest.delivery;
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) tbl [])
+
+let used_nodes (f : Forest.t) =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (w : Forest.walk) ->
+      Array.iter (fun h -> Hashtbl.replace tbl h ()) w.Forest.hops)
+    f.Forest.walks;
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace tbl a ();
+      Hashtbl.replace tbl b ())
+    f.Forest.delivery;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) tbl [])
+
+(* One failure of each kind against the same embedded forest, so [count]
+   fuzz cases exercise [count] cases of {e every} kind. *)
+let repair_law c =
+  let p = Spec.to_problem c.rep_spec in
+  match Sofda.solve_forest p with
+  | None -> Ok ()
+  | Some f ->
+      let nth xs = List.nth xs (c.pick mod List.length xs) in
+      let events =
+        List.concat
+          [
+            (match used_edges f with
+            | [] -> []
+            | es ->
+                let u, v = nth es in
+                [ Fault.Link_down (u, v) ]);
+            (match used_nodes f with
+            | [] -> []
+            | ns -> [ Fault.Node_down (nth ns) ]);
+            (match Forest.enabled_vms f with
+            | [] -> []
+            | evs -> [ Fault.Vm_crash (fst (nth evs)) ]);
+          ]
+      in
+      check_list
+        (fun event ->
+          let name = Fault.event_to_string event in
+          let health = Fault.apply (Fault.healthy p) event in
+          match Repair.heal ~health ~event f with
+          | Some r -> (
+              match Validate.check r.Repair.forest with
+              | Error es ->
+                  errf "%s: post-repair forest invalid: %s" name
+                    (String.concat "; " (List.map Validate.to_string es))
+              | Ok () ->
+                  let served = r.Repair.problem.Problem.dests in
+                  let expected =
+                    List.filter
+                      (fun d ->
+                        (match event with
+                        | Fault.Node_down x -> d <> x
+                        | _ -> true)
+                        && not (List.mem d r.Repair.dropped))
+                      p.Problem.dests
+                  in
+                  let* () =
+                    if List.sort_uniq compare served = expected then Ok ()
+                    else
+                      errf "%s: serves {%s}, surviving set is {%s}" name
+                        (String.concat "," (List.map string_of_int served))
+                        (String.concat "," (List.map string_of_int expected))
+                  in
+                  (* every dropped destination must be genuinely dead *)
+                  check_list
+                    (fun d ->
+                      match Fault.degrade health ~dests:[ d ] with
+                      | None -> Ok ()
+                      | Some p1 ->
+                          if Repair.full_resolve p1 = None then Ok ()
+                          else
+                            errf "%s: dropped destination %d is still servable"
+                              name d)
+                    r.Repair.dropped)
+          | None -> (
+              (* total outage must be real: nothing on the degraded
+                 instance can be embedded *)
+              let dests =
+                List.filter
+                  (fun d ->
+                    match event with Fault.Node_down x -> d <> x | _ -> true)
+                  p.Problem.dests
+              in
+              match Fault.degrade health ~dests with
+              | None -> Ok ()
+              | Some p' ->
+                  if Repair.full_resolve p' = None then Ok ()
+                  else errf "%s: heal gave up on a solvable instance" name))
+        events
+
+let repair_validity =
+  Prop.Packed
+    (Prop.make ~shrink:repair_shrink ~print:repair_print
+       ~name:"repair-validity" ~gen:repair_gen repair_law)
+
 (* --- deliberate demo failure ------------------------------------------ *)
 
 let demo_dest_budget_prop =
@@ -344,6 +563,8 @@ let all =
     (metric_closure, 300);
     (kstroll_dominance, 300);
     (domain_identity, 120);
+    (dynamic_validity, 200);
+    (repair_validity, 200);
   ]
 
 let names () =

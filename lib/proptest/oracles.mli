@@ -39,6 +39,21 @@ val domain_identity : Prop.packed
     50-instance check of the parallel test suite to arbitrary random
     instances. *)
 
+val dynamic_validity : Prop.packed
+(** Every Section VII-C adjustment rule — destination leave/join, VNF
+    insert/delete, link reroute, VM relocation — applied in a random
+    script to a SOFDA forest yields a forest that passes
+    {!Sof.Validate.check} and is built on the rule's updated instance.
+    Inapplicable or declined operations are skipped, not failures. *)
+
+val repair_validity : Prop.packed
+(** For every embedded instance, one failure of every kind (a used link
+    cut, a used node killed, an enabled VM crashed): the healed forest
+    passes {!Sof.Validate.check}, serves exactly the surviving
+    destinations, every dropped destination is unservable on the degraded
+    instance, and {!Sof_resilience.Repair.heal} only reports total outage
+    when the degraded instance is genuinely unsolvable. *)
+
 val all : (Prop.packed * int) list
 (** The suite with each property's default case count for one [sof fuzz]
     round (the ILP oracle runs fewer cases per round than the cheap

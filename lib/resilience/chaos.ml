@@ -1,0 +1,177 @@
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Validate = Sof.Validate
+module Dynamic = Sof.Dynamic
+
+type entry = {
+  time : float;
+  event : Fault.event;
+  action : Repair.action option;
+  churn : float;
+  resolve_churn : float option;
+  served : int;
+  dropped : int list;
+  rejoined : int list;
+  valid : bool;
+}
+
+type report = {
+  entries : entry list;
+  availability : float;
+  repair_wins : int;
+  repair_ties : int;
+  comparisons : int;
+  total_churn : float;
+  invalid_events : int;
+  final_forest : Forest.t option;
+}
+
+(* Try to re-graft one lost destination onto the current forest; fall back
+   to leaving it lost.  Used on recovery events. *)
+let try_rejoin forest d =
+  if Problem.is_dest forest.Forest.problem d then None
+  else
+    match Dynamic.destination_join forest d with
+    | Some upd when Validate.check upd.Dynamic.forest = Ok () ->
+        Some upd.Dynamic.forest
+    | _ -> None
+    | exception Invalid_argument _ -> None
+
+let run ?(compare_resolve = true) ~trace forest0 =
+  let base = forest0.Forest.problem in
+  let n_dests = List.length base.Problem.dests in
+  let health = ref (Fault.healthy base) in
+  let forest = ref (Some forest0) in
+  let lost = ref [] in (* dests currently unserved (dropped or node-dead) *)
+  let entries = ref [] in
+  let log ~time ~event ~action ~churn ~resolve_churn ~dropped ~rejoined ~valid =
+    let served =
+      match !forest with
+      | None -> 0
+      | Some f -> List.length f.Forest.problem.Problem.dests
+    in
+    entries :=
+      {
+        time;
+        event;
+        action;
+        churn;
+        resolve_churn;
+        served;
+        dropped;
+        rejoined;
+        valid;
+      }
+      :: !entries
+  in
+  List.iter
+    (fun { Fault.time; event } ->
+      health := Fault.apply !health event;
+      match !forest with
+      | Some f -> (
+          (* one path for both halves: Repair.heal rebases recoveries and
+             control-plane events as Noop *)
+          match Repair.heal ~compare_resolve ~health:!health ~event f with
+          | Some r ->
+              forest := Some r.Repair.forest;
+              lost :=
+                List.sort_uniq compare
+                  (r.Repair.dropped
+                  @ List.filter
+                      (fun d ->
+                        not
+                          (Problem.is_dest r.Repair.problem d))
+                      !lost);
+              (* on recoveries, try to bring lost destinations back *)
+              let rejoined = ref [] in
+              (if not (Fault.is_failure event) then
+                 let healthy_again d =
+                   not (List.mem d !health.Fault.down_nodes)
+                 in
+                 List.iter
+                   (fun d ->
+                     if healthy_again d then
+                       match try_rejoin (Option.get !forest) d with
+                       | Some f' ->
+                           forest := Some f';
+                           rejoined := d :: !rejoined
+                       | None -> ())
+                   !lost);
+              lost := List.filter (fun d -> not (List.mem d !rejoined)) !lost;
+              let valid =
+                match !forest with
+                | Some f -> Validate.check f = Ok ()
+                | None -> false
+              in
+              log ~time ~event ~action:(Some r.Repair.action)
+                ~churn:r.Repair.churn ~resolve_churn:r.Repair.resolve_churn
+                ~dropped:r.Repair.dropped ~rejoined:!rejoined ~valid
+          | None ->
+              (* total outage: every destination is lost until recoveries
+                 make the instance solvable again *)
+              lost :=
+                List.sort_uniq compare
+                  (f.Forest.problem.Problem.dests @ !lost);
+              forest := None;
+              log ~time ~event ~action:None ~churn:0.0 ~resolve_churn:None
+                ~dropped:f.Forest.problem.Problem.dests ~rejoined:[]
+                ~valid:true)
+      | None -> (
+          (* dead network: recoveries may revive it via a full solve *)
+          let dests =
+            List.filter
+              (fun d -> not (List.mem d !health.Fault.down_nodes))
+              base.Problem.dests
+          in
+          match Fault.degrade !health ~dests with
+          | None ->
+              log ~time ~event ~action:None ~churn:0.0 ~resolve_churn:None
+                ~dropped:[] ~rejoined:[] ~valid:true
+          | Some p' -> (
+              match Repair.full_resolve p' with
+              | Some (pf, f, dropped) ->
+                  forest := Some f;
+                  let rejoined = pf.Problem.dests in
+                  lost :=
+                    List.filter
+                      (fun d -> not (List.mem d rejoined))
+                      base.Problem.dests;
+                  log ~time ~event ~action:(Some Repair.Resolved)
+                    ~churn:(Forest.total_cost f) ~resolve_churn:None ~dropped
+                    ~rejoined ~valid:(Validate.check f = Ok ())
+              | None ->
+                  log ~time ~event ~action:None ~churn:0.0 ~resolve_churn:None
+                    ~dropped:[] ~rejoined:[] ~valid:true)))
+    trace;
+  let entries = List.rev !entries in
+  let availability =
+    match entries with
+    | [] -> 1.0
+    | _ ->
+        List.fold_left
+          (fun acc e -> acc +. (float_of_int e.served /. float_of_int n_dests))
+          0.0 entries
+        /. float_of_int (List.length entries)
+  in
+  let wins, ties, comparisons =
+    List.fold_left
+      (fun (w, t, c) e ->
+        match (e.action, e.resolve_churn) with
+        | Some a, Some rc when a <> Repair.Noop ->
+            if e.churn < rc -. 1e-9 then (w + 1, t, c + 1)
+            else if e.churn <= rc +. 1e-9 then (w, t + 1, c + 1)
+            else (w, t, c + 1)
+        | _ -> (w, t, c))
+      (0, 0, 0) entries
+  in
+  {
+    entries;
+    availability;
+    repair_wins = wins;
+    repair_ties = ties;
+    comparisons;
+    total_churn = List.fold_left (fun acc e -> acc +. e.churn) 0.0 entries;
+    invalid_events =
+      List.length (List.filter (fun e -> not e.valid) entries);
+    final_forest = !forest;
+  }

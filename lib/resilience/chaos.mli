@@ -1,0 +1,50 @@
+(** Chaos runner: drive a deployed forest through a failure trace and
+    account availability, repair cost and repair-vs-resolve ratios.
+
+    The engine folds a {!Fault.timed} trace over a forest.  Every failure
+    event is healed by {!Repair.heal}; every recovery rebases the forest
+    onto the (less) degraded instance and tries to re-graft destinations
+    that were dropped while their node or their connectivity was dead
+    ({!Sof.Dynamic.destination_join} first, scoped re-solve second).
+    Control-plane events only flip {!Fault.health.partitioned}.
+
+    Every event is logged with the repair action taken, the churn paid,
+    the comparison re-solve churn (when requested), the set of currently
+    served destinations, and the post-repair validation verdict — the
+    chaos CLI and bench read everything from this log. *)
+
+type entry = {
+  time : float;
+  event : Fault.event;
+  action : Repair.action option;  (** [None] when the network was dead *)
+  churn : float;
+  resolve_churn : float option;
+  served : int;                   (** destinations served after the event *)
+  dropped : int list;             (** destinations newly dropped *)
+  rejoined : int list;            (** destinations re-grafted on recovery *)
+  valid : bool;                   (** post-event forest passed Validate *)
+}
+
+type report = {
+  entries : entry list;
+  availability : float;
+      (** mean over events of [served / |D|] of the pristine instance *)
+  repair_wins : int;
+      (** impactful failures where repair churn < full re-solve churn *)
+  repair_ties : int;
+  comparisons : int;
+      (** impactful failures where both churns were measurable *)
+  total_churn : float;
+  invalid_events : int;           (** must be 0 — asserted by tests *)
+  final_forest : Sof.Forest.t option;  (** [None] after an unhealed total outage *)
+}
+
+val run :
+  ?compare_resolve:bool ->
+  trace:Fault.timed list ->
+  Sof.Forest.t ->
+  report
+(** [run ~trace forest] — [forest] must be valid for its instance, which
+    is taken as the pristine substrate.  [compare_resolve] (default
+    [true]) prices every impactful failure's alternative full re-solve
+    for the win/tie counters. *)

@@ -1,0 +1,241 @@
+module Graph = Sof_graph.Graph
+module Problem = Sof.Problem
+module Rng = Sof_util.Rng
+
+type event =
+  | Link_down of int * int
+  | Link_up of int * int
+  | Node_down of int
+  | Node_up of int
+  | Vm_crash of int
+  | Vm_recover of int
+  | Partition of int
+  | Heal of int
+
+type timed = { time : float; event : event }
+
+let norm (u, v) = if u < v then (u, v) else (v, u)
+
+let event_to_string = function
+  | Link_down (u, v) -> Printf.sprintf "link-down %d-%d" u v
+  | Link_up (u, v) -> Printf.sprintf "link-up %d-%d" u v
+  | Node_down v -> Printf.sprintf "node-down %d" v
+  | Node_up v -> Printf.sprintf "node-up %d" v
+  | Vm_crash v -> Printf.sprintf "vm-crash %d" v
+  | Vm_recover v -> Printf.sprintf "vm-recover %d" v
+  | Partition c -> Printf.sprintf "partition %d" c
+  | Heal c -> Printf.sprintf "heal %d" c
+
+let is_failure = function
+  | Link_down _ | Node_down _ | Vm_crash _ | Partition _ -> true
+  | Link_up _ | Node_up _ | Vm_recover _ | Heal _ -> false
+
+(* --- schedules -------------------------------------------------------- *)
+
+type weights = { link : int; node : int; vm : int; partition : int }
+
+let default_weights = { link = 6; node = 2; vm = 3; partition = 1 }
+
+let schedule ~rng ?(weights = default_weights) ?(mtbf = 60.0) ?(mttr = 15.0)
+    ?(controllers = 0) ~count (p : Problem.t) =
+  let links = Array.of_list (List.map (fun (u, v, _) -> (u, v)) (Graph.edges p.Problem.graph)) in
+  let nodes = Array.init (Problem.n p) Fun.id in
+  let vms = Array.of_list p.Problem.vms in
+  let down_links = Hashtbl.create 8 in
+  let down_nodes = Hashtbl.create 8 in
+  let crashed = Hashtbl.create 8 in
+  let parted = Hashtbl.create 4 in
+  let live_sources () =
+    List.length
+      (List.filter (fun s -> not (Hashtbl.mem down_nodes s)) p.Problem.sources)
+  in
+  let live_dests () =
+    List.length
+      (List.filter (fun d -> not (Hashtbl.mem down_nodes d)) p.Problem.dests)
+  in
+  (* Draw a target of one class among healthy elements; [None] when the
+     class has nothing left to break. *)
+  let pick_target cls =
+    let pick_from arr ok =
+      let candidates = Array.to_list arr |> List.filter ok in
+      match candidates with
+      | [] -> None
+      | cs -> Some (List.nth cs (Rng.int rng (List.length cs)))
+    in
+    match cls with
+    | `Link ->
+        Option.map
+          (fun l -> Link_down (fst l, snd l))
+          (pick_from links (fun l -> not (Hashtbl.mem down_links (norm l))))
+    | `Node ->
+        Option.map
+          (fun v -> Node_down v)
+          (pick_from nodes (fun v ->
+               (not (Hashtbl.mem down_nodes v))
+               && (not (Problem.is_source p v) || live_sources () > 1)
+               && (not (Problem.is_dest p v) || live_dests () > 1)))
+    | `Vm ->
+        Option.map
+          (fun v -> Vm_crash v)
+          (pick_from vms (fun v ->
+               (not (Hashtbl.mem crashed v)) && not (Hashtbl.mem down_nodes v)))
+    | `Partition ->
+        if controllers <= 0 then None
+        else
+          Option.map
+            (fun c -> Partition c)
+            (pick_from (Array.init controllers Fun.id) (fun c ->
+                 not (Hashtbl.mem parted c)))
+  in
+  let classes =
+    List.concat
+      [
+        List.init (max 0 weights.link) (fun _ -> `Link);
+        List.init (max 0 weights.node) (fun _ -> `Node);
+        List.init (max 0 weights.vm) (fun _ -> `Vm);
+        (if controllers > 0 then
+           List.init (max 0 weights.partition) (fun _ -> `Partition)
+         else []);
+      ]
+    |> Array.of_list
+  in
+  if Array.length classes = 0 then []
+  else begin
+    let events = ref [] in
+    let now = ref 0.0 in
+    (* recoveries scheduled but not yet elapsed, as (time, heal thunk) *)
+    let pending = ref [] in
+    let heal_elapsed t =
+      let due, later = List.partition (fun (rt, _) -> rt <= t) !pending in
+      pending := later;
+      List.iter (fun (_, heal) -> heal ()) due
+    in
+    for _ = 1 to count do
+      now := !now +. Rng.exponential rng (1.0 /. mtbf);
+      heal_elapsed !now;
+      (* a few re-draws paper over exhausted classes *)
+      let rec draw tries =
+        if tries = 0 then None
+        else
+          match pick_target (Rng.pick rng classes) with
+          | Some e -> Some e
+          | None -> draw (tries - 1)
+      in
+      match draw 8 with
+      | None -> ()
+      | Some e ->
+          let recovery_at = !now +. Rng.exponential rng (1.0 /. mttr) in
+          let recovery =
+            match e with
+            | Link_down (u, v) ->
+                let l = norm (u, v) in
+                Hashtbl.replace down_links l ();
+                Some (Link_up (u, v), fun () -> Hashtbl.remove down_links l)
+            | Node_down v ->
+                Hashtbl.replace down_nodes v ();
+                Some (Node_up v, fun () -> Hashtbl.remove down_nodes v)
+            | Vm_crash v ->
+                Hashtbl.replace crashed v ();
+                Some (Vm_recover v, fun () -> Hashtbl.remove crashed v)
+            | Partition c ->
+                Hashtbl.replace parted c ();
+                Some (Heal c, fun () -> Hashtbl.remove parted c)
+            | _ -> None
+          in
+          events := { time = !now; event = e } :: !events;
+          (match recovery with
+          | Some (r, heal) ->
+              events := { time = recovery_at; event = r } :: !events;
+              pending := (recovery_at, heal) :: !pending
+          | None -> ())
+    done;
+    List.stable_sort (fun a b -> compare a.time b.time) (List.rev !events)
+  end
+
+let of_list l =
+  List.stable_sort
+    (fun a b -> compare a.time b.time)
+    (List.map (fun (time, event) -> { time; event }) l)
+
+let link_outages ~horizon trace =
+  let open_at = Hashtbl.create 8 in
+  let windows = ref [] in
+  List.iter
+    (fun { time; event } ->
+      match event with
+      | Link_down (u, v) ->
+          let l = norm (u, v) in
+          if not (Hashtbl.mem open_at l) then Hashtbl.replace open_at l time
+      | Link_up (u, v) -> (
+          let l = norm (u, v) in
+          match Hashtbl.find_opt open_at l with
+          | Some t0 ->
+              Hashtbl.remove open_at l;
+              windows := (l, t0, time) :: !windows
+          | None -> ())
+      | _ -> ())
+    trace;
+  Hashtbl.iter (fun l t0 -> windows := (l, t0, horizon) :: !windows) open_at;
+  List.sort compare !windows
+
+(* --- health ----------------------------------------------------------- *)
+
+type health = {
+  base : Problem.t;
+  down_links : (int * int) list;
+  down_nodes : int list;
+  crashed_vms : int list;
+  partitioned : int list;
+}
+
+let healthy base =
+  { base; down_links = []; down_nodes = []; crashed_vms = []; partitioned = [] }
+
+let add x l = if List.mem x l then l else x :: l
+let remove x l = List.filter (fun y -> y <> x) l
+
+let apply h = function
+  | Link_down (u, v) -> { h with down_links = add (norm (u, v)) h.down_links }
+  | Link_up (u, v) -> { h with down_links = remove (norm (u, v)) h.down_links }
+  | Node_down v -> { h with down_nodes = add v h.down_nodes }
+  | Node_up v -> { h with down_nodes = remove v h.down_nodes }
+  | Vm_crash v -> { h with crashed_vms = add v h.crashed_vms }
+  | Vm_recover v -> { h with crashed_vms = remove v h.crashed_vms }
+  | Partition c -> { h with partitioned = add c h.partitioned }
+  | Heal c -> { h with partitioned = remove c h.partitioned }
+
+let degrade h ~dests =
+  let p = h.base in
+  let node_dead v = List.mem v h.down_nodes in
+  let graph =
+    Graph.filter_edges p.Problem.graph (fun u v _ ->
+        (not (node_dead u))
+        && (not (node_dead v))
+        && not (List.mem (norm (u, v)) h.down_links))
+  in
+  let vm_dead v = node_dead v || List.mem v h.crashed_vms in
+  let vms = List.filter (fun v -> not (vm_dead v)) p.Problem.vms in
+  let node_cost =
+    Array.mapi
+      (fun v c -> if List.mem v vms then c else 0.0)
+      p.Problem.node_cost
+  in
+  let sources = List.filter (fun s -> not (node_dead s)) p.Problem.sources in
+  let dests =
+    List.sort_uniq compare (List.filter (fun d -> not (node_dead d)) dests)
+  in
+  if sources = [] || dests = [] then None
+  else
+    Some
+      (Problem.make ~graph ~node_cost ~vms ~sources ~dests
+         ~chain_length:p.Problem.chain_length)
+
+let servable (p : Problem.t) dest =
+  let uf = Sof_graph.Union_find.create (Problem.n p) in
+  Graph.iter_edges p.Problem.graph (fun u v _ ->
+      ignore (Sof_graph.Union_find.union uf u v));
+  let comp v = Sof_graph.Union_find.find uf v in
+  let c = comp dest in
+  List.exists (fun s -> comp s = c) p.Problem.sources
+  && List.length (List.filter (fun m -> comp m = c) p.Problem.vms)
+     >= p.Problem.chain_length

@@ -1,0 +1,103 @@
+(** Failure injection for deployed service overlay forests.
+
+    Two halves: an event taxonomy with a seeded MTBF/MTTR schedule
+    generator (every draw flows through {!Sof_util.Rng}, so a chaos run is
+    reproducible from one integer), and a [health] record tracking which
+    parts of the substrate are currently dead — from which the {e degraded}
+    problem (the instance with dead links, nodes and VMs removed) is
+    rebuilt after every event.
+
+    Data-plane events (link, node, VM) shrink the usable network under a
+    deployed {!Sof.Forest.t} and are healed by {!Repair}; control-plane
+    events (controller partition/heal) leave the forest alone and are
+    consumed by {!Sof_sdn.Distributed}'s leader-failover path. *)
+
+type event =
+  | Link_down of int * int  (** physical link cut (normalized [u < v]) *)
+  | Link_up of int * int    (** the cut link is restored *)
+  | Node_down of int        (** switch/host outage: all incident links die *)
+  | Node_up of int          (** node restored *)
+  | Vm_crash of int         (** VM crashes; the hosting node keeps forwarding *)
+  | Vm_recover of int       (** crashed VM restored *)
+  | Partition of int        (** controller loses east–west connectivity *)
+  | Heal of int             (** partitioned controller rejoins *)
+
+type timed = { time : float; event : event }
+
+val event_to_string : event -> string
+
+val is_failure : event -> bool
+(** [true] for the down/crash/partition half of the taxonomy. *)
+
+(** {2 Schedules} *)
+
+type weights = {
+  link : int;
+  node : int;
+  vm : int;
+  partition : int;
+}
+(** Relative frequency of each failure class when drawing a schedule.
+    A zero weight disables the class. *)
+
+val default_weights : weights
+(** Link-dominated: [{ link = 6; node = 2; vm = 3; partition = 1 }] —
+    link cuts are the common case in the paper's WAN setting. *)
+
+val schedule :
+  rng:Sof_util.Rng.t ->
+  ?weights:weights ->
+  ?mtbf:float ->
+  ?mttr:float ->
+  ?controllers:int ->
+  count:int ->
+  Sof.Problem.t ->
+  timed list
+(** [count] failure events drawn over the instance: inter-failure gaps are
+    [Exp(1/mtbf)] (default [mtbf = 60.0]), each failure schedules its own
+    recovery after [Exp(1/mttr)] (default [mttr = 15.0]).  Targets are
+    drawn uniformly inside the class among currently-healthy elements; a
+    node failure never takes down the last live source or the last live
+    destination (the chaos engine handles total outage, but the generator
+    keeps runs informative).  [controllers] enables partition events
+    (default 0 = disabled even with a positive weight).  The returned
+    trace is sorted by time, recoveries interleaved. *)
+
+val of_list : (float * event) list -> timed list
+(** A scripted trace: pair each event with its time and sort.  Use this to
+    pin a deterministic failure story in tests and examples. *)
+
+val link_outages : horizon:float -> timed list -> ((int * int) * float * float) list
+(** Project a trace onto per-link down-windows [(link, from, until)] for
+    {!Sof_simnet.Sim.run}'s [~outages]; a link still dead at the end of the
+    trace closes its window at [horizon].  Node outages contribute windows
+    for every incident-link of that node only if the caller expands them —
+    this projection covers [Link_down]/[Link_up] events only. *)
+
+(** {2 Health tracking} *)
+
+type health = {
+  base : Sof.Problem.t;          (** the pristine instance *)
+  down_links : (int * int) list; (** normalized [u < v] *)
+  down_nodes : int list;
+  crashed_vms : int list;
+  partitioned : int list;        (** controller ids *)
+}
+
+val healthy : Sof.Problem.t -> health
+
+val apply : health -> event -> health
+(** Fold one event into the health state (idempotent on repeats). *)
+
+val degrade : health -> dests:int list -> Sof.Problem.t option
+(** The instance restricted to the live substrate: dead links and every
+    link incident to a dead node removed, dead/crashed VMs removed from
+    [M] (their setup cost zeroed), dead nodes removed from [S] and from
+    the requested [dests].  [None] when no source or no requested
+    destination survives — a total outage. *)
+
+val servable : Sof.Problem.t -> int -> bool
+(** Feasibility of serving one destination on a (degraded) instance:
+    some source shares a connected component with the destination and that
+    component holds at least [chain_length] usable VMs.  Used to decide
+    which destinations must be dropped rather than re-embedded. *)

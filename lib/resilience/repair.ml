@@ -1,0 +1,493 @@
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Validate = Sof.Validate
+module Dynamic = Sof.Dynamic
+module Sofda = Sof.Sofda
+module Uf = Sof_graph.Union_find
+
+type action = Noop | Rerouted | Relocated | Dest_dropped | Rescoped | Resolved
+
+let action_to_string = function
+  | Noop -> "noop"
+  | Rerouted -> "rerouted"
+  | Relocated -> "relocated"
+  | Dest_dropped -> "dest-dropped"
+  | Rescoped -> "rescoped"
+  | Resolved -> "resolved"
+
+type t = {
+  problem : Problem.t;
+  forest : Forest.t;
+  action : action;
+  churn : float;
+  resolve_churn : float option;
+  dropped : int list;
+}
+
+let norm (u, v) = if u < v then (u, v) else (v, u)
+
+(* --- churn ------------------------------------------------------------ *)
+
+let forest_edges (f : Forest.t) =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (w : Forest.walk) ->
+      for i = 0 to Array.length w.Forest.hops - 2 do
+        Hashtbl.replace tbl (norm (w.Forest.hops.(i), w.Forest.hops.(i + 1))) ()
+      done)
+    f.Forest.walks;
+  List.iter (fun e -> Hashtbl.replace tbl (norm e) ()) f.Forest.delivery;
+  tbl
+
+(* Installation cost from a clean slate: every (deduplicated) edge at its
+   connection cost plus every enabled VM's setup — the churn of a
+   from-scratch re-solve, which tears the deployed forest down and
+   installs the new one in full. *)
+let install_cost (f : Forest.t) =
+  let p = f.Forest.problem in
+  let edge_part =
+    Hashtbl.fold
+      (fun (u, v) () acc -> acc +. Problem.edge_cost p u v)
+      (forest_edges f) 0.0
+  in
+  List.fold_left
+    (fun acc (vm, _) -> acc +. Problem.setup_cost p vm)
+    edge_part (Forest.enabled_vms f)
+
+let churn ~old_ (nw : Forest.t) =
+  let old_edges = forest_edges old_ in
+  let old_vms = Hashtbl.create 16 in
+  List.iter (fun ev -> Hashtbl.replace old_vms ev ()) (Forest.enabled_vms old_);
+  let p = nw.Forest.problem in
+  let edge_part =
+    Hashtbl.fold
+      (fun (u, v) () acc ->
+        if Hashtbl.mem old_edges (u, v) then acc
+        else acc +. Problem.edge_cost p u v)
+      (forest_edges nw) 0.0
+  in
+  List.fold_left
+    (fun acc (vm, vnf) ->
+      if Hashtbl.mem old_vms (vm, vnf) then acc
+      else acc +. Problem.setup_cost p vm)
+    edge_part (Forest.enabled_vms nw)
+
+(* --- touch tests ------------------------------------------------------ *)
+
+let walk_uses_link (w : Forest.walk) (u, v) =
+  let rec scan i =
+    i < Array.length w.Forest.hops - 1
+    && (norm (w.Forest.hops.(i), w.Forest.hops.(i + 1)) = norm (u, v)
+       || scan (i + 1))
+  in
+  scan 0
+
+let walk_uses_node (w : Forest.walk) x =
+  Array.exists (fun h -> h = x) w.Forest.hops
+
+let touches (f : Forest.t) (event : Fault.event) =
+  match event with
+  | Fault.Link_down (u, v) ->
+      List.exists (fun w -> walk_uses_link w (u, v)) f.Forest.walks
+      || List.exists (fun e -> norm e = norm (u, v)) f.Forest.delivery
+  | Fault.Node_down x ->
+      List.exists (fun w -> walk_uses_node w x) f.Forest.walks
+      || List.exists (fun (a, b) -> a = x || b = x) f.Forest.delivery
+      || Problem.is_dest f.Forest.problem x
+  | Fault.Vm_crash vm ->
+      List.exists (fun (m, _) -> m = vm) (Forest.enabled_vms f)
+  | _ -> false
+
+(* --- tree anatomy (for scoped re-solves) ------------------------------ *)
+
+(* A forest is a set of trees: walks plus the delivery components their
+   fully-processed suffixes inject into.  [anatomy] computes, over a valid
+   forest, the delivery components (as a union-find over node ids), each
+   walk's fully-processed hops, and each destination's serving structure. *)
+
+let full_hops (w : Forest.walk) =
+  match List.rev w.Forest.marks with
+  | [] -> []
+  | m :: _ ->
+      let out = ref [] in
+      for i = Array.length w.Forest.hops - 1 downto m.Forest.pos do
+        out := w.Forest.hops.(i) :: !out
+      done;
+      List.sort_uniq compare !out
+
+let delivery_uf (f : Forest.t) =
+  let uf = Uf.create (Problem.n f.Forest.problem) in
+  List.iter (fun (a, b) -> ignore (Uf.union uf a b)) f.Forest.delivery;
+  uf
+
+(* --- healing ---------------------------------------------------------- *)
+
+let rebase p (f : Forest.t) =
+  Forest.make p ~walks:f.Forest.walks ~delivery:f.Forest.delivery
+
+let valid f = Validate.check f = Ok ()
+
+(* Destinations of [p] that a single-dest SOFDA can actually embed; the
+   cheap [Fault.servable] filter prunes first, a real solve settles the
+   stragglers when the optimistic whole-set solve failed. *)
+let feasible_dests p dests = List.filter (Fault.servable p) dests
+
+(* SOFDA's auxiliary-tree construction spans all its terminals, so it
+   returns [None] outright when sources/VMs/destinations live in several
+   connected components — exactly the shape a link or node failure leaves
+   behind.  [solve_for] therefore partitions the instance per component
+   (sources and VMs restricted to the component, costs zeroed elsewhere as
+   {!Problem.make} requires), solves each sub-instance, and merges the
+   per-component trees: components are node-disjoint, so the merged forest
+   cannot acquire a VNF conflict. *)
+let sub_problem p ~sources ~vms ~dests =
+  let node_cost =
+    Array.mapi
+      (fun v c -> if List.mem v vms then c else 0.0)
+      p.Problem.node_cost
+  in
+  Problem.make ~graph:p.Problem.graph ~node_cost ~vms ~sources ~dests
+    ~chain_length:p.Problem.chain_length
+
+(* Solve one component's destinations: on failure of the whole set, drop
+   the individually-infeasible stragglers and retry. *)
+let solve_component p ~sources ~vms dests =
+  let attempt ds =
+    if ds = [] then None
+    else Sofda.solve_forest (sub_problem p ~sources ~vms ~dests:ds)
+  in
+  match attempt dests with
+  | Some f -> (f.Forest.walks, f.Forest.delivery, dests, [])
+  | None -> (
+      let kept = List.filter (fun d -> attempt [ d ] <> None) dests in
+      match attempt kept with
+      | Some f ->
+          ( f.Forest.walks,
+            f.Forest.delivery,
+            kept,
+            List.filter (fun d -> not (List.mem d kept)) dests )
+      | None -> ([], [], [], dests))
+
+let solve_for p dests =
+  match dests with
+  | [] -> None
+  | _ ->
+      let uf = Uf.create (Problem.n p) in
+      List.iter
+        (fun (u, v, _) -> ignore (Uf.union uf u v))
+        (Sof_graph.Graph.edges p.Problem.graph);
+      let groups = Hashtbl.create 4 in
+      List.iter
+        (fun d ->
+          let c = Uf.find uf d in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt groups c) in
+          Hashtbl.replace groups c (d :: prev))
+        dests;
+      let comps =
+        List.sort compare
+          (Hashtbl.fold (fun c ds acc -> (c, List.rev ds) :: acc) groups [])
+      in
+      let walks, delivery, served, dropped =
+        List.fold_left
+          (fun (ws, es, sv, dr) (c, ds) ->
+            let sources =
+              List.filter (fun s -> Uf.find uf s = c) p.Problem.sources
+            in
+            let vms = List.filter (fun m -> Uf.find uf m = c) p.Problem.vms in
+            if sources = [] || vms = [] then (ws, es, sv, ds @ dr)
+            else
+              let w, e, s, d = solve_component p ~sources ~vms ds in
+              (w @ ws, e @ es, s @ sv, d @ dr))
+          ([], [], [], []) comps
+      in
+      if served = [] then None
+      else
+        let pd =
+          Problem.make ~graph:p.Problem.graph ~node_cost:p.Problem.node_cost
+            ~vms:p.Problem.vms ~sources:p.Problem.sources
+            ~dests:(List.sort compare served)
+            ~chain_length:p.Problem.chain_length
+        in
+        Some (pd, Forest.make pd ~walks ~delivery, dropped)
+
+(* Full re-solve of the degraded instance for every feasible destination. *)
+let full_resolve (p' : Problem.t) =
+  let dests = feasible_dests p' p'.Problem.dests in
+  match solve_for p' dests with
+  | None -> None
+  | Some (pd, f, extra_dropped) ->
+      let dropped =
+        List.filter (fun d -> not (List.mem d dests)) p'.Problem.dests
+        @ extra_dropped
+      in
+      Some (pd, f, dropped)
+
+(* Scoped re-solve: keep every tree the failure does not touch, tear down
+   and re-embed only the affected ones. *)
+let scoped_resolve ~event (old_ : Forest.t) (p' : Problem.t) =
+  let affected_walk w =
+    match event with
+    | Fault.Link_down (u, v) -> walk_uses_link w (u, v)
+    | Fault.Node_down x -> walk_uses_node w x
+    | Fault.Vm_crash vm ->
+        List.exists
+          (fun (m : Forest.mark) -> w.Forest.hops.(m.Forest.pos) = vm)
+          w.Forest.marks
+    | _ -> false
+  in
+  let affected_edge e =
+    match event with
+    | Fault.Link_down (u, v) -> norm e = norm (u, v)
+    | Fault.Node_down x -> fst e = x || snd e = x
+    | _ -> false
+  in
+  let kept_walks = List.filter (fun w -> not (affected_walk w)) old_.Forest.walks in
+  let uf = delivery_uf old_ in
+  (* components holding an affected edge are torn down entirely *)
+  let dead_comps = Hashtbl.create 4 in
+  List.iter
+    (fun e -> if affected_edge e then Hashtbl.replace dead_comps (Uf.find uf (fst e)) ())
+    old_.Forest.delivery;
+  (* components with no surviving injector die too *)
+  let injected = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun h -> Hashtbl.replace injected (Uf.find uf h) ())
+        (full_hops w))
+    kept_walks;
+  let comp_alive c = (not (Hashtbl.mem dead_comps c)) && Hashtbl.mem injected c in
+  let kept_delivery =
+    List.filter (fun (a, _) -> comp_alive (Uf.find uf a)) old_.Forest.delivery
+  in
+  (* destinations still served by the kept structure *)
+  let kept_full = Hashtbl.create 16 in
+  List.iter
+    (fun w -> List.iter (fun h -> Hashtbl.replace kept_full h ()) (full_hops w))
+    kept_walks;
+  let served_by_kept d =
+    Hashtbl.mem kept_full d
+    || (comp_alive (Uf.find uf d)
+       && List.exists (fun (a, b) -> a = d || b = d) kept_delivery)
+  in
+  let to_reserve = List.filter (fun d -> not (served_by_kept d)) p'.Problem.dests in
+  let kept_served = List.filter served_by_kept p'.Problem.dests in
+  (* keep kept-enabled VMs out of the sub-instance so the merged forest
+     cannot acquire a VNF conflict *)
+  let kept_enabled = Hashtbl.create 8 in
+  List.iter
+    (fun (vm, _) -> Hashtbl.replace kept_enabled vm ())
+    (Forest.enabled_vms
+       (Forest.make old_.Forest.problem ~walks:kept_walks ~delivery:kept_delivery));
+  let sub_vms =
+    List.filter (fun m -> not (Hashtbl.mem kept_enabled m)) p'.Problem.vms
+  in
+  let sub_cost =
+    Array.mapi
+      (fun v c -> if List.mem v sub_vms then c else 0.0)
+      p'.Problem.node_cost
+  in
+  let assemble new_walks new_delivery extra_dropped =
+    let served =
+      List.sort_uniq compare
+        (kept_served
+        @ List.filter (fun d -> not (List.mem d extra_dropped)) to_reserve)
+    in
+    if served = [] then None
+    else
+      let pf =
+        Problem.make ~graph:p'.Problem.graph ~node_cost:p'.Problem.node_cost
+          ~vms:p'.Problem.vms ~sources:p'.Problem.sources ~dests:served
+          ~chain_length:p'.Problem.chain_length
+      in
+      let f =
+        Forest.make pf ~walks:(kept_walks @ new_walks)
+          ~delivery:(kept_delivery @ new_delivery)
+      in
+      if valid f then Some (pf, f, extra_dropped) else None
+  in
+  if to_reserve = [] then assemble [] [] []
+  else begin
+    (* Re-graft first: an orphaned destination reachable from a kept
+       tree's service points (injection hops, nodes of live delivery
+       components) only needs a delivery path — no new walks or VMs. *)
+    let service_points =
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun w -> List.iter (fun h -> Hashtbl.replace tbl h ()) (full_hops w))
+        kept_walks;
+      List.iter
+        (fun (a, b) ->
+          Hashtbl.replace tbl a ();
+          Hashtbl.replace tbl b ())
+        kept_delivery;
+      Hashtbl.fold (fun v () acc -> v :: acc) tbl []
+    in
+    let graft_edges = ref [] in
+    let grafted = ref [] in
+    (if service_points <> [] then
+       let t = Sof.Transform.create ~extra:service_points p' in
+       List.iter
+         (fun d ->
+           let best =
+             List.fold_left
+               (fun acc sp ->
+                 let c = Sof.Transform.distance t sp d in
+                 match acc with
+                 | Some (bc, _) when bc <= c -> acc
+                 | _ -> if c < infinity then Some (c, sp) else acc)
+               None service_points
+           in
+           match best with
+           | None -> ()
+           | Some (_, sp) ->
+               let path = Sof.Transform.shortest_path t sp d in
+               let rec edges_of = function
+                 | a :: (b :: _ as rest) -> (a, b) :: edges_of rest
+                 | _ -> []
+               in
+               graft_edges := edges_of path @ !graft_edges;
+               grafted := d :: !grafted)
+         to_reserve);
+    let to_solve =
+      List.filter (fun d -> not (List.mem d !grafted)) to_reserve
+    in
+    if to_solve = [] then assemble [] !graft_edges []
+    else begin
+      let p_sub_base =
+        Problem.make ~graph:p'.Problem.graph ~node_cost:sub_cost ~vms:sub_vms
+          ~sources:p'.Problem.sources ~dests:p'.Problem.dests
+          ~chain_length:p'.Problem.chain_length
+      in
+      let feasible = feasible_dests p_sub_base to_solve in
+      let unfeasible = List.filter (fun d -> not (List.mem d feasible)) to_solve in
+      match (feasible, solve_for p_sub_base feasible) with
+      | [], _ -> assemble [] !graft_edges to_solve
+      | _, None -> assemble [] !graft_edges to_solve
+      | _, Some (_, nf, extra) ->
+          assemble nf.Forest.walks
+            (!graft_edges @ nf.Forest.delivery)
+            (unfeasible @ extra)
+    end
+  end
+
+let heal ?(compare_resolve = false) ~(health : Fault.health)
+    ~(event : Fault.event) (old_ : Forest.t) =
+  let p_old = old_.Forest.problem in
+  let dests_wanted =
+    match event with
+    | Fault.Node_down x -> List.filter (fun d -> d <> x) p_old.Problem.dests
+    | _ -> p_old.Problem.dests
+  in
+  match Fault.degrade health ~dests:dests_wanted with
+  | None -> None
+  | Some p' ->
+      let with_resolve result =
+        if not compare_resolve then result
+        else
+          let rc =
+            Option.map
+              (fun (_, f, _) -> install_cost f)
+              (full_resolve result.problem)
+          in
+          { result with resolve_churn = rc }
+      in
+      let fallback ?(base = old_) dropped_so_far =
+        (* scoped first, full re-solve as the last resort *)
+        match scoped_resolve ~event base p' with
+        | Some (pf, f, extra) ->
+            Some
+              {
+                problem = pf;
+                forest = f;
+                action = Rescoped;
+                churn = churn ~old_ f;
+                resolve_churn = None;
+                dropped = dropped_so_far @ extra;
+              }
+        | None -> (
+            match full_resolve p' with
+            | None -> None
+            | Some (pf, f, extra) ->
+                Some
+                  {
+                    problem = pf;
+                    forest = f;
+                    action = Resolved;
+                    churn = churn ~old_ f;
+                    resolve_churn = None;
+                    dropped = dropped_so_far @ extra;
+                  })
+      in
+      let incremental () =
+        match event with
+        | Fault.Link_down (u, v) when touches old_ event -> (
+            let f' = rebase p' old_ in
+            match Dynamic.reroute_link f' ~u ~v with
+            | Some upd when valid upd.Dynamic.forest ->
+                Some
+                  {
+                    problem = upd.Dynamic.problem;
+                    forest = upd.Dynamic.forest;
+                    action = Rerouted;
+                    churn = churn ~old_ upd.Dynamic.forest;
+                    resolve_churn = None;
+                    dropped = [];
+                  }
+            | _ -> fallback [])
+        | Fault.Vm_crash vm when touches old_ event -> (
+            (* relocate on the pre-crash instance (the VM node still
+               forwards); the substitute search already excludes [vm] *)
+            match Dynamic.relocate_vm old_ ~vm with
+            | Some upd ->
+                let f = rebase p' upd.Dynamic.forest in
+                if valid f then
+                  Some
+                    {
+                      problem = p';
+                      forest = f;
+                      action = Relocated;
+                      churn = churn ~old_ f;
+                      resolve_churn = None;
+                      dropped = [];
+                    }
+                else fallback []
+            | None -> fallback [])
+        | Fault.Node_down x ->
+            let pruned, dropped =
+              if
+                Problem.is_dest p_old x
+                && List.length p_old.Problem.dests > 1
+              then (Dynamic.destination_leave old_ x).Dynamic.forest, [ x ]
+              else (old_, if Problem.is_dest p_old x then [ x ] else [])
+            in
+            if touches pruned event then fallback ~base:pruned dropped
+            else
+              let f = rebase p' pruned in
+              if valid f then
+                Some
+                  {
+                    problem = p';
+                    forest = f;
+                    action = (if dropped = [] then Noop else Dest_dropped);
+                    churn = churn ~old_ f;
+                    resolve_churn = None;
+                    dropped;
+                  }
+              else fallback dropped
+        | _ ->
+            (* untouched failure, recovery, or control-plane event *)
+            let f = rebase p' old_ in
+            if valid f then
+              Some
+                {
+                  problem = p';
+                  forest = f;
+                  action = Noop;
+                  churn = 0.0;
+                  resolve_churn = None;
+                  dropped = [];
+                }
+            else fallback []
+      in
+      Option.map with_resolve (incremental ())

@@ -1,0 +1,92 @@
+(** Incremental self-healing of a deployed service overlay forest.
+
+    The repair engine heals a forest after one data-plane failure without
+    re-running SOFDA from scratch whenever a cheaper local rule applies,
+    mirroring how Section VII-C's dynamic rules avoid full re-embeddings
+    for membership events:
+
+    - a cut link crossed by walks or delivery edges is rerouted with
+      {!Sof.Dynamic.reroute_link} on the degraded instance (dead link
+      gone, so the shortest paths route around it);
+    - a crashed VM's VNF is re-hosted on the cheapest feasible spare with
+      {!Sof.Dynamic.relocate_vm};
+    - a dead destination leaves the forest via
+      {!Sof.Dynamic.destination_leave};
+    - anything the local rules cannot absorb (a dead transit/source node,
+      a failed reroute or relocation) falls back to a {e scoped} SOFDA
+      re-solve: only the trees touching the failure are torn down and
+      re-embedded for their destinations, every unaffected tree is kept
+      verbatim;
+    - only when the merged scoped solution fails validation does the
+      engine re-solve the whole degraded instance.
+
+    Repair cost is measured as {e churn}: the cost of components of the
+    healed forest absent from the old one (new walk/delivery edges at
+    their connection cost, newly enabled VMs at their setup cost) — the
+    reconfiguration a controller must push, which is the recovery-cost
+    metric of the online service-chain literature.  A from-scratch
+    re-solve discards the deployed forest and installs the new embedding
+    in full, so it is charged its complete installation cost
+    ({!install_cost}); the repair engine's whole value is the installed
+    state it preserves.  (A re-solve followed by an incremental diff
+    against the deployed rules is a third strategy — that diff is exactly
+    what the repair engine computes without paying for the global
+    solve.) *)
+
+type action =
+  | Noop           (** failure does not touch the forest *)
+  | Rerouted       (** walks/delivery rerouted around a dead link *)
+  | Relocated      (** crashed VM's VNF moved to a spare *)
+  | Dest_dropped   (** the failed node was a leaf destination *)
+  | Rescoped       (** scoped SOFDA re-solve of the affected trees *)
+  | Resolved       (** full SOFDA re-solve of the degraded instance *)
+
+val action_to_string : action -> string
+
+type t = {
+  problem : Sof.Problem.t;  (** degraded instance the healed forest is valid for *)
+  forest : Sof.Forest.t;
+  action : action;
+  churn : float;            (** repair cost: newly installed components *)
+  resolve_churn : float option;
+      (** {!install_cost} of a from-scratch re-solve of the same degraded
+          instance, when [compare_resolve] was requested and the re-solve
+          exists *)
+  dropped : int list;       (** destinations no longer servable (dead or
+                                disconnected beyond feasibility) *)
+}
+
+val churn : old_:Sof.Forest.t -> Sof.Forest.t -> float
+(** Cost of the new forest's components absent from the old: edges (walk
+    hops and delivery, deduplicated and undirected) at connection cost
+    under the {e new} forest's instance, plus setup cost of newly enabled
+    [(vm, vnf)] pairs. *)
+
+val install_cost : Sof.Forest.t -> float
+(** Full installation cost of a forest from a clean slate — [churn]
+    against an empty deployment: every deduplicated edge at connection
+    cost plus every enabled VM's setup cost. *)
+
+val touches : Sof.Forest.t -> Fault.event -> bool
+(** Does the failed element carry any of the forest's walks, delivery
+    edges or enabled VMs? *)
+
+val full_resolve :
+  Sof.Problem.t -> (Sof.Problem.t * Sof.Forest.t * int list) option
+(** Re-embed the degraded instance from scratch for every feasible
+    destination: [(problem restricted to served dests, forest, dropped)].
+    [None] when nothing is servable.  Exposed for the chaos engine's
+    revival path and the repair-vs-resolve comparison. *)
+
+val heal :
+  ?compare_resolve:bool ->
+  health:Fault.health ->
+  event:Fault.event ->
+  Sof.Forest.t ->
+  t option
+(** Heal [forest] after [event], where [health] already includes the
+    event.  Control-plane events and recoveries heal to a rebased [Noop].
+    [None] means total outage: no source survives, or no destination can
+    be served on the degraded instance.  When [compare_resolve] is set
+    (default [false]) the engine additionally runs the full re-solve and
+    reports its churn for the repair-vs-resolve ratio. *)

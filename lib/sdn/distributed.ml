@@ -5,6 +5,7 @@ type net = {
   graph : Graph.t;
   domains : Domain.t;
   controllers : Controller.t array;
+  down : bool array; (* partitioned controllers *)
   mutable advertised : (int * int * float) list; (* union of border matrices *)
   mutable exchanged : bool;
 }
@@ -14,24 +15,54 @@ let create graph ~k =
   let controllers =
     Array.init domains.Domain.count (Controller.create graph domains)
   in
-  { graph; domains; controllers; advertised = []; exchanged = false }
+  {
+    graph;
+    domains;
+    controllers;
+    down = Array.make domains.Domain.count false;
+    advertised = [];
+    exchanged = false;
+  }
 
 let domains net = net.domains
 
 let controller_of net v = net.domains.Domain.of_node.(v)
+
+let partition net c =
+  if c < 0 || c >= Array.length net.down then
+    invalid_arg "Distributed.partition: no such controller";
+  net.down.(c) <- true
+
+let heal net c =
+  if c < 0 || c >= Array.length net.down then
+    invalid_arg "Distributed.heal: no such controller";
+  net.down.(c) <- false
+
+let is_partitioned net c =
+  c >= 0 && c < Array.length net.down && net.down.(c)
+
+(* All sends go through this wrapper: a partitioned destination burns the
+   retry budget and times out instead of delivering. *)
+let xsend net fabric ~src ~dst kind =
+  if net.down.(dst) then Fabric.timeout fabric ~src ~dst kind
+  else ignore (Fabric.send fabric ~src ~dst kind)
 
 let exchange_matrices net fabric =
   let k = net.domains.Domain.count in
   let matrices = Array.map Controller.border_matrix net.controllers in
   for src = 0 to k - 1 do
     for dst = 0 to k - 1 do
-      if src <> dst then begin
-        Fabric.send fabric ~src ~dst Fabric.Border_matrix;
-        Fabric.send fabric ~src ~dst Fabric.Reachability
+      if src <> dst && not net.down.(src) then begin
+        xsend net fabric ~src ~dst Fabric.Border_matrix;
+        xsend net fabric ~src ~dst Fabric.Reachability
       end
     done
   done;
-  net.advertised <- List.concat (Array.to_list matrices);
+  net.advertised <-
+    List.concat
+      (List.filteri
+         (fun i _ -> not net.down.(i))
+         (Array.to_list matrices));
   net.exchanged <- true
 
 (* Overlay graph: all border routers, intra-domain matrix edges,
@@ -82,72 +113,99 @@ type stats = {
   messages : (string * int) list;
   rules_installed : int;
   conflicts : int;
+  failovers : int;
 }
+
+(* Leader election: the preferred leader is the controller owning the
+   first source; every partitioned candidate is skipped (one failover
+   each), and each live controller acknowledges the winner with a
+   Failover message.  [None] when every controller is partitioned. *)
+let elect_leader net fabric preferred =
+  let k = net.domains.Domain.count in
+  let rec probe i hops =
+    if hops >= k then None
+    else
+      let c = (preferred + i) mod k in
+      if net.down.(c) then probe (i + 1) (hops + 1) else Some (c, hops)
+  in
+  match probe 0 0 with
+  | None -> None
+  | Some (leader, 0) -> Some (leader, 0)
+  | Some (leader, failovers) ->
+      for c = 0 to k - 1 do
+        if (not net.down.(c)) && c <> leader then
+          ignore (Fabric.send fabric ~src:c ~dst:leader Fabric.Failover)
+      done;
+      Some (leader, failovers)
 
 let solve net fabric (problem : Sof.Problem.t) =
   if not net.exchanged then exchange_matrices net fabric;
-  let leader =
+  let preferred =
     match problem.Sof.Problem.sources with
     | s :: _ -> controller_of net s
     | [] -> 0
   in
-  (* Chain pricing: the leader queries the controller owning each source
-     for candidate chains; that controller in turn needs the VM owners'
-     advertised distances (already exchanged), so one query/response pair
-     per (leader, source-owner) and per (source-owner, vm-owner) domain
-     pair suffices. *)
-  let pairs = Hashtbl.create 16 in
-  List.iter
-    (fun s ->
-      let cs = controller_of net s in
-      if cs <> leader then Hashtbl.replace pairs (leader, cs) ();
-      List.iter
-        (fun vm ->
-          let cm = controller_of net vm in
-          if cm <> cs then Hashtbl.replace pairs (cs, cm) ())
-        problem.Sof.Problem.vms)
-    problem.Sof.Problem.sources;
-  Hashtbl.iter
-    (fun (src, dst) () ->
-      Fabric.send fabric ~src ~dst Fabric.Chain_query;
-      Fabric.send fabric ~src:dst ~dst:src Fabric.Chain_query)
-    pairs;
-  match Sof.Sofda.solve problem with
+  match elect_leader net fabric preferred with
   | None -> None
-  | Some report ->
-      let forest = report.Sof.Sofda.forest in
-      (* Steiner construction rounds: the leader pushes every accepted tree
-         edge to the controller owning its upstream endpoint. *)
+  | Some (leader, failovers) -> (
+      (* Chain pricing: the leader queries the controller owning each source
+         for candidate chains; that controller in turn needs the VM owners'
+         advertised distances (already exchanged), so one query/response pair
+         per (leader, source-owner) and per (source-owner, vm-owner) domain
+         pair suffices. *)
+      let pairs = Hashtbl.create 16 in
       List.iter
-        (fun (a, _) ->
-          let owner = controller_of net a in
-          if owner <> leader then
-            Fabric.send fabric ~src:leader ~dst:owner Fabric.Steiner_update)
-        forest.Sof.Forest.delivery;
-      (* Conflict elimination notifications: one exchange per conflicted
-         VM between the leader and a peer controller. *)
-      for _ = 1 to report.Sof.Sofda.conflicts_resolved do
-        Fabric.send fabric ~src:leader
-          ~dst:((leader + 1) mod net.domains.Domain.count)
-          Fabric.Conflict_notice;
-        Fabric.send fabric
-          ~src:((leader + 1) mod net.domains.Domain.count)
-          ~dst:leader Fabric.Conflict_notice
-      done;
-      (* Southbound rule installation by each owning controller. *)
-      let rules = Flow_table.compile forest in
-      List.iter
-        (fun (r : Flow_table.rule) ->
-          let owner = controller_of net r.Flow_table.node in
-          if owner <> leader then
-            Fabric.send fabric ~src:leader ~dst:owner Fabric.Rule_install;
-          Fabric.send fabric ~src:owner ~dst:owner Fabric.Rule_install)
-        rules;
-      Some
-        {
-          forest;
-          leader;
-          messages = Fabric.report fabric;
-          rules_installed = List.length rules;
-          conflicts = report.Sof.Sofda.conflicts_resolved;
-        }
+        (fun s ->
+          let cs = controller_of net s in
+          if cs <> leader then Hashtbl.replace pairs (leader, cs) ();
+          List.iter
+            (fun vm ->
+              let cm = controller_of net vm in
+              if cm <> cs then Hashtbl.replace pairs (cs, cm) ())
+            problem.Sof.Problem.vms)
+        problem.Sof.Problem.sources;
+      Hashtbl.iter
+        (fun (src, dst) () ->
+          xsend net fabric ~src ~dst Fabric.Chain_query;
+          xsend net fabric ~src:dst ~dst:src Fabric.Chain_query)
+        pairs;
+      match Sof.Sofda.solve problem with
+      | None -> None
+      | Some report ->
+          let forest = report.Sof.Sofda.forest in
+          (* Steiner construction rounds: the leader pushes every accepted
+             tree edge to the controller owning its upstream endpoint. *)
+          List.iter
+            (fun (a, _) ->
+              let owner = controller_of net a in
+              if owner <> leader then
+                xsend net fabric ~src:leader ~dst:owner Fabric.Steiner_update)
+            forest.Sof.Forest.delivery;
+          (* Conflict elimination notifications: one exchange per conflicted
+             VM between the leader and a peer controller. *)
+          for _ = 1 to report.Sof.Sofda.conflicts_resolved do
+            xsend net fabric ~src:leader
+              ~dst:((leader + 1) mod net.domains.Domain.count)
+              Fabric.Conflict_notice;
+            xsend net fabric
+              ~src:((leader + 1) mod net.domains.Domain.count)
+              ~dst:leader Fabric.Conflict_notice
+          done;
+          (* Southbound rule installation by each owning controller. *)
+          let rules = Flow_table.compile forest in
+          List.iter
+            (fun (r : Flow_table.rule) ->
+              let owner = controller_of net r.Flow_table.node in
+              if owner <> leader then
+                xsend net fabric ~src:leader ~dst:owner Fabric.Rule_install;
+              xsend net fabric ~src:owner ~dst:owner Fabric.Rule_install)
+            rules;
+          Some
+            {
+              forest;
+              leader;
+              messages = Fabric.report fabric;
+              rules_installed = List.length rules;
+              conflicts = report.Sof.Sofda.conflicts_resolved;
+              failovers;
+            })

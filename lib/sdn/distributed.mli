@@ -22,13 +22,28 @@ val domains : net -> Domain.t
 val controller_of : net -> int -> int
 (** Owning controller of a node. *)
 
+val partition : net -> int -> unit
+(** Mark a controller as partitioned from the east–west channel: it stops
+    advertising, cannot lead, and messages towards it time out (visible
+    as retransmissions and drops on the {!Fabric.t}).
+    @raise Invalid_argument on an unknown controller id. *)
+
+val heal : net -> int -> unit
+(** Undo {!partition}.  Re-run {!exchange_matrices} afterwards to
+    re-advertise the healed controller's matrix. *)
+
+val is_partitioned : net -> int -> bool
+
 val exchange_matrices : net -> Fabric.t -> unit
 (** Broadcast border matrices and reachability between all controller
-    pairs (idempotent; later calls re-advertise and re-count). *)
+    pairs (idempotent; later calls re-advertise and re-count).
+    Partitioned controllers neither advertise nor receive. *)
 
 val overlay_distance : net -> int -> int -> float
 (** Inter-domain shortest-path distance through the overlay — equal to
-    the global shortest-path distance.  Requires [exchange_matrices]. *)
+    the global shortest-path distance.  Requires [exchange_matrices]
+    (raises a descriptive [Invalid_argument] otherwise); exactness also
+    assumes no controller was partitioned during the exchange. *)
 
 type stats = {
   forest : Sof.Forest.t;
@@ -36,10 +51,14 @@ type stats = {
   messages : (string * int) list;
   rules_installed : int;
   conflicts : int;
+  failovers : int;  (** partitioned candidates skipped during election *)
 }
 
 val solve : net -> Fabric.t -> Sof.Problem.t -> stats option
 (** Run SOFDA distributedly.  The resulting forest is identical in cost to
     centralized {!Sof.Sofda.solve} (the leader operates on exact overlay
-    distances); what changes is the accounted communication.  [None] when
-    the instance is infeasible. *)
+    distances); what changes is the accounted communication.  When the
+    preferred leader (the first source's controller) is partitioned, the
+    next live controller takes over — each skip counts one failover and
+    the election traffic appears as [Failover] messages.  [None] when the
+    instance is infeasible or every controller is partitioned. *)

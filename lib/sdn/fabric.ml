@@ -1,3 +1,5 @@
+module Rng = Sof_util.Rng
+
 type kind =
   | Border_matrix
   | Reachability
@@ -5,6 +7,7 @@ type kind =
   | Steiner_update
   | Conflict_notice
   | Rule_install
+  | Failover
 
 let kind_to_string = function
   | Border_matrix -> "border-matrix"
@@ -13,32 +16,106 @@ let kind_to_string = function
   | Steiner_update -> "steiner-update"
   | Conflict_notice -> "conflict-notice"
   | Rule_install -> "rule-install"
+  | Failover -> "failover"
 
 let all_kinds =
   [
     Border_matrix; Reachability; Chain_query; Steiner_update; Conflict_notice;
-    Rule_install;
+    Rule_install; Failover;
   ]
+
+type faults = {
+  rng : Rng.t;
+  loss : float;
+  max_retries : int;
+  base_backoff : float;
+}
 
 type t = {
   counters : (kind, int) Hashtbl.t;
   mutable inter : int;
   mutable south : int;
+  faults : faults option;
+  mutable retransmits : int;
+  mutable drops : int;
+  mutable backoff_delay : float;
 }
 
-let create () = { counters = Hashtbl.create 8; inter = 0; south = 0 }
+let create ?faults () =
+  {
+    counters = Hashtbl.create 8;
+    inter = 0;
+    south = 0;
+    faults;
+    retransmits = 0;
+    drops = 0;
+    backoff_delay = 0.0;
+  }
 
-let send t ~src ~dst kind =
+let count_one t kind =
   Hashtbl.replace t.counters kind
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters kind));
-  if src = dst then t.south <- t.south + 1 else t.inter <- t.inter + 1
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters kind))
+
+(* Southbound traffic (src = dst) stays inside one domain and is treated
+   as reliable; only inter-controller messages face the lossy channel.
+   Each lost transmission backs off exponentially before the retry; a
+   message that exhausts its retry budget counts as dropped. *)
+let send t ~src ~dst kind =
+  count_one t kind;
+  if src = dst then begin
+    t.south <- t.south + 1;
+    true
+  end
+  else begin
+    t.inter <- t.inter + 1;
+    match t.faults with
+    | None -> true
+    | Some f ->
+        let rec attempt n =
+          if Rng.float f.rng 1.0 >= f.loss then true
+          else if n >= f.max_retries then begin
+            t.drops <- t.drops + 1;
+            false
+          end
+          else begin
+            t.retransmits <- t.retransmits + 1;
+            t.backoff_delay <-
+              t.backoff_delay +. (f.base_backoff *. (2.0 ** float_of_int n));
+            t.inter <- t.inter + 1;
+            attempt (n + 1)
+          end
+        in
+        attempt 0
+  end
+
+(* A send whose destination is known dead: the full retry budget burns
+   through its backoff schedule, then the message times out. *)
+let timeout t ~src ~dst:_ kind =
+  count_one t kind;
+  t.inter <- t.inter + 1;
+  ignore src;
+  (match t.faults with
+  | Some f ->
+      for n = 0 to f.max_retries - 1 do
+        t.retransmits <- t.retransmits + 1;
+        t.backoff_delay <-
+          t.backoff_delay +. (f.base_backoff *. (2.0 ** float_of_int n));
+        t.inter <- t.inter + 1
+      done
+  | None -> ());
+  t.drops <- t.drops + 1
 
 let total t = t.inter
 let southbound t = t.south
 let count t kind = Option.value ~default:0 (Hashtbl.find_opt t.counters kind)
+let retransmits t = t.retransmits
+let drops t = t.drops
+let backoff_delay t = t.backoff_delay
 
 let report t =
   List.filter_map
     (fun k ->
       match count t k with 0 -> None | c -> Some (kind_to_string k, c))
     all_kinds
+  @ (if t.retransmits > 0 then [ ("retransmit", t.retransmits) ] else [])
+  @ if t.drops > 0 then [ ("dropped", t.drops) ] else []

@@ -3,7 +3,14 @@
     A counting message bus standing in for the ODL-SDNi channel: the
     distributed algorithms below route all cross-controller information
     through [send], so tests and benchmarks can assert {e what} must be
-    exchanged and {e how much}. *)
+    exchanged and {e how much}.
+
+    The bus can be made {e lossy}: with a [faults] config every
+    inter-controller transmission is dropped with probability [loss] and
+    retried with exponential backoff until [max_retries] is exhausted,
+    after which the message counts as dropped.  Retransmissions, drops and
+    the accumulated backoff delay are all observable, and [report] folds
+    them into the per-kind message table. *)
 
 type t
 
@@ -14,21 +21,44 @@ type kind =
   | Steiner_update      (** distributed Steiner tree construction round *)
   | Conflict_notice     (** VNF conflict detection / resolution *)
   | Rule_install        (** southbound flow-rule push, counted per switch *)
+  | Failover            (** leader re-election after a controller partition *)
 
-val create : unit -> t
+type faults = {
+  rng : Sof_util.Rng.t;
+  loss : float;         (** per-transmission loss probability in [0, 1) *)
+  max_retries : int;
+  base_backoff : float; (** seconds; doubles per retry *)
+}
 
-val send : t -> src:int -> dst:int -> kind -> unit
+val create : ?faults:faults -> unit -> t
+
+val send : t -> src:int -> dst:int -> kind -> bool
 (** [src]/[dst] are controller ids ([dst = src] models southbound traffic
-    inside one domain and is counted separately). *)
+    inside one domain, counted separately and never lossy).  Returns
+    [false] when the lossy channel dropped the message after exhausting
+    its retries. *)
+
+val timeout : t -> src:int -> dst:int -> kind -> unit
+(** Account a send towards a known-dead destination: the full retry
+    budget backs off and the message is dropped. *)
 
 val total : t -> int
-(** All inter-controller messages (excludes southbound). *)
+(** All inter-controller transmissions, retries included (excludes
+    southbound). *)
 
 val southbound : t -> int
 
 val count : t -> kind -> int
 
+val retransmits : t -> int
+
+val drops : t -> int
+
+val backoff_delay : t -> float
+(** Total seconds spent in exponential backoff across all retries. *)
+
 val kind_to_string : kind -> string
 
 val report : t -> (string * int) list
-(** Per-kind counters, for logs and benches. *)
+(** Per-kind counters, plus ["retransmit"] and ["dropped"] rows when the
+    lossy channel was active, for logs and benches. *)

@@ -34,6 +34,7 @@ type metrics = {
   rebuffer : float;
   stalls : int;
   completed : bool;
+  outage : float;
 }
 
 let norm (a, b) = if a < b then (a, b) else (b, a)
@@ -148,8 +149,11 @@ let mean xs =
   | [] -> 0.0
   | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let run ~rng config (f : Sof.Forest.t) =
+let run ~rng ?(outages = []) config (f : Sof.Forest.t) =
   let routes = routes_of_forest f in
+  let outages =
+    List.map (fun (l, d, u) -> (norm l, d, min u config.max_time)) outages
+  in
   let num_vnfs = f.Sof.Forest.problem.Sof.Problem.chain_length in
   (* Distinct streams per link. *)
   let link_streams = Hashtbl.create 32 in
@@ -196,44 +200,73 @@ let run ~rng config (f : Sof.Forest.t) =
         min acc (bitrate *. factor))
       bitrate route.links
   in
+  (* Outage windows per route: the flow is dead (zero rate) while any of
+     its links sits inside a failure window. *)
+  let windows_of (r : route) =
+    List.filter_map
+      (fun (l, d, u) -> if List.mem l r.links then Some (d, u) else None)
+      outages
+  in
+  let down_at ws t = List.exists (fun (d, u) -> t >= d && t < u) ws in
   let sessions =
     List.map
       (fun (r : route) ->
         let path_latency =
           config.per_hop_delay *. float_of_int (List.length r.links)
         in
-        (r, Session.create config.session ~num_vnfs ~path_latency))
+        (r, windows_of r, ref 0.0, Session.create config.session ~num_vnfs ~path_latency))
       routes
   in
-  (* Event queue of per-link background redraws. *)
+  (* Event queue of per-link background redraws; outage boundaries enter
+     as barrier events (link index -1) so every advance interval has a
+     constant up/down state. *)
   let heap = Binheap.create () in
   Array.iteri
     (fun i _ -> Binheap.push heap (Rng.exponential rng (1.0 /. config.redraw_mean)) i)
     links;
+  List.iter
+    (fun (_, d, u) ->
+      if d > 0.0 && d < config.max_time then Binheap.push heap d (-1);
+      if u > 0.0 && u < config.max_time then Binheap.push heap u (-1))
+    outages;
   let now = ref 0.0 in
-  let all_done () = List.for_all (fun (_, s) -> Session.is_done s) sessions in
+  let all_done () = List.for_all (fun (_, _, _, s) -> Session.is_done s) sessions in
+  let advance_all dt =
+    if dt > 0.0 then
+      List.iter
+        (fun (r, ws, out, s) ->
+          if not (Session.is_done s) then
+            if down_at ws !now then begin
+              out := !out +. dt;
+              Session.advance s ~now:!now ~rate:0.0 ~dt
+            end
+            else Session.advance s ~now:!now ~rate:(rate_of r) ~dt)
+        sessions
+  in
   let continue = ref true in
   while !continue && (not (all_done ())) && !now < config.max_time do
     match Binheap.pop heap with
-    | None -> continue := false
+    | None ->
+        (* No pending events — possible when no route has any link (e.g. a
+           destination colocated with its whole chain).  Drain every
+           session to the horizon at its constant rate. *)
+        advance_all (config.max_time -. !now);
+        now := config.max_time;
+        continue := false
     | Some (te, li) ->
         let te = min te config.max_time in
-        let dt = te -. !now in
-        if dt > 0.0 then
-          List.iter
-            (fun (r, s) ->
-              if not (Session.is_done s) then
-                Session.advance s ~now:!now ~rate:(rate_of r) ~dt)
-            sessions;
+        advance_all (te -. !now);
         now := te;
-        avail.(li) <-
-          config.avail_lo +. Rng.float rng (config.avail_hi -. config.avail_lo);
-        Binheap.push heap
-          (te +. Rng.exponential rng (1.0 /. config.redraw_mean))
-          li
+        if li >= 0 then begin
+          avail.(li) <-
+            config.avail_lo +. Rng.float rng (config.avail_hi -. config.avail_lo);
+          Binheap.push heap
+            (te +. Rng.exponential rng (1.0 /. config.redraw_mean))
+            li
+        end
   done;
   List.map
-    (fun ((r : route), s) ->
+    (fun ((r : route), _, out, s) ->
       {
         dest = r.dest;
         startup =
@@ -241,8 +274,10 @@ let run ~rng config (f : Sof.Forest.t) =
         rebuffer = Session.rebuffer_time s;
         stalls = Session.stall_count s;
         completed = Session.is_done s;
+        outage = !out;
       })
     sessions
 
 let mean_startup ms = mean (List.map (fun m -> m.startup) ms)
 let mean_rebuffer ms = mean (List.map (fun m -> m.rebuffer) ms)
+let mean_outage ms = mean (List.map (fun m -> m.outage) ms)

@@ -47,10 +47,24 @@ type metrics = {
   rebuffer : float;      (** total stalled seconds *)
   stalls : int;
   completed : bool;
+  outage : float;        (** seconds the route was inside a failure window *)
 }
 
-val run : rng:Sof_util.Rng.t -> config -> Sof.Forest.t -> metrics list
-(** Simulate every destination's session to completion (or [max_time]). *)
+val run :
+  rng:Sof_util.Rng.t ->
+  ?outages:((int * int) * float * float) list ->
+  config ->
+  Sof.Forest.t ->
+  metrics list
+(** Simulate every destination's session to completion (or [max_time]).
+
+    [outages] lists link failure windows [(link, t_down, t_up)] — e.g.
+    {!Sof_resilience.Fault.link_outages} of a chaos trace.  While any link
+    of a destination's route is inside a window the flow is dead: the
+    session receives zero rate (stalling and re-buffering accrue) and the
+    lost span is charged to {!metrics.outage}.  Repair completion is
+    modelled by the window's upper bound. *)
 
 val mean_startup : metrics list -> float
 val mean_rebuffer : metrics list -> float
+val mean_outage : metrics list -> float

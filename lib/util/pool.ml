@@ -114,11 +114,15 @@ let obtain p =
    domain.  Chunks are claimed with an atomic counter (dynamic load
    balancing); completion is tracked with a second counter so the caller
    can block until the last straggler finishes.  The first exception is
-   captured and re-raised on the coordinator once the region drains. *)
+   captured together with its backtrace and re-raised on the coordinator
+   once the region drains — later chunks are skipped, every queued task
+   still runs to completion, so the pool stays usable afterwards. *)
 let run_region pool ~helpers ~nchunks runchunk =
   let next = Atomic.make 0 in
   let completed = Atomic.make 0 in
-  let error : exn option Atomic.t = Atomic.make None in
+  let error : (exn * Printexc.raw_backtrace) option Atomic.t =
+    Atomic.make None
+  in
   let fin_mutex = Mutex.create () in
   let fin_cond = Condition.create () in
   let work () =
@@ -127,7 +131,9 @@ let run_region pool ~helpers ~nchunks runchunk =
       if i < nchunks then begin
         (if Atomic.get error = None then
            try runchunk i
-           with e -> ignore (Atomic.compare_and_set error None (Some e)));
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set error None (Some (e, bt))));
         let done_ = 1 + Atomic.fetch_and_add completed 1 in
         if done_ = nchunks then begin
           Mutex.lock fin_mutex;
@@ -154,7 +160,9 @@ let run_region pool ~helpers ~nchunks runchunk =
     Condition.wait fin_cond fin_mutex
   done;
   Mutex.unlock fin_mutex;
-  match Atomic.get error with Some e -> raise e | None -> ()
+  match Atomic.get error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 let parallel_mapi f a =
   let n = Array.length a in

@@ -30,8 +30,10 @@ val default_size : unit -> int
 
 val parallel_map : ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f a] — [Array.map f a] with [f] applications distributed
-    over the pool in contiguous index chunks.  Exceptions raised by [f]
-    re-raise on the caller (first one wins) after the region drains. *)
+    over the pool in contiguous index chunks.  An exception raised by [f]
+    re-raises on the caller with its original backtrace (first one wins;
+    later chunks are skipped); the region still drains fully, so the pool
+    remains usable for subsequent calls. *)
 
 val parallel_mapi : (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Indexed variant of {!parallel_map}. *)

@@ -38,6 +38,13 @@ let test_topologies () = check_exit "topologies" 0 (cli ^ " topologies")
 let test_fuzz_smoke () =
   check_exit "fuzz" 0 (cli ^ " fuzz --count 5 --seed 0 --no-builtin-corpus")
 
+let test_chaos_smoke () =
+  check_exit "chaos" 0 (cli ^ " chaos --count 10 --seed 1")
+
+let test_chaos_lossy_smoke () =
+  check_exit "chaos lossy" 0
+    (cli ^ " chaos --count 10 --seed 2 --topology testbed --loss 0.1")
+
 let test_fuzz_list_props () =
   check_exit "fuzz --list-props" 0 (cli ^ " fuzz --list-props")
 
@@ -74,6 +81,8 @@ let () =
             test_solve_baseline_algo;
           Alcotest.test_case "topologies listing" `Slow test_topologies;
           Alcotest.test_case "fuzz smoke" `Slow test_fuzz_smoke;
+          Alcotest.test_case "chaos smoke" `Slow test_chaos_smoke;
+          Alcotest.test_case "chaos lossy smoke" `Slow test_chaos_lossy_smoke;
           Alcotest.test_case "fuzz --list-props" `Quick test_fuzz_list_props;
           Alcotest.test_case "unknown --topology" `Quick
             test_unknown_topology_rejected;

@@ -13,6 +13,7 @@ let () =
       ("ip", Test_ip.suite);
       ("sdn", Test_sdn.suite);
       ("simnet", Test_simnet.suite);
+      ("resilience", Test_resilience.suite);
       ("online", Test_online.suite);
       ("reduction", Test_reduction.suite);
       ("extra", Test_extra.suite);

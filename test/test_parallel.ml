@@ -62,6 +62,40 @@ let test_exceptions_propagate () =
       Alcotest.(check (array int)) "pool alive after failure"
         (Array.init 10 succ) got)
 
+exception Probe of int
+
+(* Raise from a chunk through a couple of stack frames so the captured
+   backtrace has something to preserve. *)
+let[@inline never] rec deep_raise n =
+  if n = 0 then raise (Probe 42) else 1 + deep_raise (n - 1)
+
+let check_exception_path degree =
+  with_domains degree (fun () ->
+      Printexc.record_backtrace true;
+      let seen = ref None in
+      (try
+         ignore
+           (Pool.parallel_map
+              (fun x -> if x = 73 then deep_raise 5 else x)
+              (Array.init 200 (fun i -> i)))
+       with Probe n ->
+         seen := Some (n, Printexc.get_raw_backtrace ()));
+      match !seen with
+      | None -> Alcotest.fail "Probe did not propagate"
+      | Some (n, bt) ->
+          Alcotest.(check int) "original payload" 42 n;
+          (* [raise_with_backtrace] hands the worker's trace to the
+             caller: the frames of [deep_raise] must still be there. *)
+          Alcotest.(check bool) "backtrace preserved" true
+            (Printexc.raw_backtrace_length bt > 0);
+          (* the pool is not wedged: the next region runs to completion *)
+          let got = Pool.parallel_map succ (Array.init 64 (fun i -> i)) in
+          Alcotest.(check (array int)) "pool reusable"
+            (Array.init 64 succ) got)
+
+let test_exception_backtrace_seq () = check_exception_path 1
+let test_exception_backtrace_par () = check_exception_path 4
+
 let test_reduce_order () =
   (* Non-commutative combine exposes any result-order nondeterminism. *)
   with_domains 4 (fun () ->
@@ -266,6 +300,10 @@ let suite =
     Alcotest.test_case "pool mapi indices" `Quick test_mapi_indices;
     Alcotest.test_case "pool exceptions propagate" `Quick
       test_exceptions_propagate;
+    Alcotest.test_case "exception backtrace at degree 1" `Quick
+      test_exception_backtrace_seq;
+    Alcotest.test_case "exception backtrace at degree 4" `Quick
+      test_exception_backtrace_par;
     Alcotest.test_case "pool reduce in order" `Quick test_reduce_order;
     Alcotest.test_case "nested regions sequentialize" `Quick
       test_nested_regions_sequentialize;

@@ -1,0 +1,420 @@
+(* Fault injection, incremental repair and the chaos runner.
+
+   - Fault: scripted traces, schedule determinism, health folding,
+     degrade/total-outage edges, link-outage projection.
+   - Repair: the local rules (reroute, relocate, dest-drop, noop) on a
+     solved instance, churn vs from-scratch install cost.
+   - Chaos: report invariants on a seeded schedule.
+   - Runtime layers: lossy fabric retry/backoff/drop accounting,
+     leader failover under controller partitions, Sim outage windows. *)
+
+module Fault = Sof_resilience.Fault
+module Repair = Sof_resilience.Repair
+module Chaos = Sof_resilience.Chaos
+module Fabric = Sof_sdn.Fabric
+module Distributed = Sof_sdn.Distributed
+module Sim = Sof_simnet.Sim
+module Forest = Sof.Forest
+module Problem = Sof.Problem
+open Testlib
+
+let solved seed =
+  let rng = Sof_util.Rng.create seed in
+  let topo = Sof_topology.Topology.softlayer () in
+  let p =
+    Sof_workload.Instance.draw ~rng topo
+      {
+        Sof_workload.Instance.n_vms = 14;
+        n_sources = 5;
+        n_dests = 5;
+        chain_length = 2;
+        setup_multiplier = 1.0;
+      }
+  in
+  match Sof.Sofda.solve_forest p with
+  | Some f -> (p, f)
+  | None -> Alcotest.fail "instance should solve"
+
+let norm (u, v) = if u < v then (u, v) else (v, u)
+
+let used_links (f : Forest.t) =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (w : Forest.walk) ->
+      for i = 0 to Array.length w.Forest.hops - 2 do
+        Hashtbl.replace tbl (norm (w.Forest.hops.(i), w.Forest.hops.(i + 1))) ()
+      done)
+    f.Forest.walks;
+  List.iter (fun e -> Hashtbl.replace tbl (norm e) ()) f.Forest.delivery;
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) tbl [])
+
+(* --- Fault ------------------------------------------------------------- *)
+
+let test_scripted_trace () =
+  let trace =
+    Fault.of_list
+      [ (5.0, Fault.Link_down (1, 2)); (1.0, Fault.Vm_crash 3);
+        (3.0, Fault.Link_up (1, 2)) ]
+  in
+  Alcotest.(check (list (float 1e-9))) "sorted by time" [ 1.0; 3.0; 5.0 ]
+    (List.map (fun t -> t.Fault.time) trace);
+  Alcotest.(check bool) "failure taxonomy" true
+    (Fault.is_failure (Fault.Vm_crash 3)
+    && Fault.is_failure (Fault.Partition 0)
+    && (not (Fault.is_failure (Fault.Link_up (1, 2))))
+    && not (Fault.is_failure (Fault.Heal 0)))
+
+let test_schedule_deterministic () =
+  let p, _ = solved 11 in
+  let draw () =
+    Fault.schedule ~rng:(Sof_util.Rng.create 7) ~mtbf:30.0 ~mttr:10.0
+      ~controllers:3 ~count:20 p
+  in
+  let a = draw () and b = draw () in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Fault.timed) (y : Fault.timed) ->
+      Alcotest.check feq "same time" x.Fault.time y.Fault.time;
+      Alcotest.(check string) "same event"
+        (Fault.event_to_string x.Fault.event)
+        (Fault.event_to_string y.Fault.event))
+    a b;
+  (* sorted, and exactly [count] failures with recoveries interleaved *)
+  let times = List.map (fun t -> t.Fault.time) a in
+  Alcotest.(check bool) "sorted" true (List.sort compare times = times);
+  Alcotest.(check int) "20 failures" 20
+    (List.length (List.filter (fun t -> Fault.is_failure t.Fault.event) a))
+
+let test_health_folding () =
+  let p, _ = solved 12 in
+  let h0 = Fault.healthy p in
+  let h1 = Fault.apply h0 (Fault.Link_down (2, 1)) in
+  Alcotest.(check (list (pair int int))) "normalized" [ (1, 2) ]
+    h1.Fault.down_links;
+  (* idempotent on repeats *)
+  let h2 = Fault.apply h1 (Fault.Link_down (1, 2)) in
+  Alcotest.(check (list (pair int int))) "idempotent" [ (1, 2) ]
+    h2.Fault.down_links;
+  let h3 = Fault.apply h2 (Fault.Link_up (1, 2)) in
+  Alcotest.(check (list (pair int int))) "healed" [] h3.Fault.down_links;
+  let h4 = Fault.apply h3 (Fault.Vm_crash 9) in
+  let h5 = Fault.apply h4 (Fault.Vm_recover 9) in
+  Alcotest.(check (list int)) "vm recovered" [] h5.Fault.crashed_vms
+
+let test_degrade_total_outage () =
+  let p, _ = solved 13 in
+  (* kill every source: no degraded instance exists *)
+  let h =
+    List.fold_left
+      (fun h s -> Fault.apply h (Fault.Node_down s))
+      (Fault.healthy p) p.Problem.sources
+  in
+  Alcotest.(check bool) "no sources -> None" true
+    (Fault.degrade h ~dests:p.Problem.dests = None);
+  (* asking for no surviving destination is a total outage too *)
+  Alcotest.(check bool) "no dests -> None" true
+    (Fault.degrade (Fault.healthy p) ~dests:[] = None)
+
+let test_link_outages_projection () =
+  let trace =
+    Fault.of_list
+      [ (2.0, Fault.Link_down (4, 7)); (9.0, Fault.Link_up (4, 7));
+        (20.0, Fault.Link_down (1, 3)) ]
+  in
+  match Fault.link_outages ~horizon:50.0 trace with
+  | [ ((1, 3), d2, u2); ((4, 7), d1, u1) ] | [ ((4, 7), d1, u1); ((1, 3), d2, u2) ]
+    ->
+      Alcotest.check feq "window opens" 2.0 d1;
+      Alcotest.check feq "window closes" 9.0 u1;
+      Alcotest.check feq "open window starts" 20.0 d2;
+      Alcotest.check feq "open window clipped to horizon" 50.0 u2
+  | ws -> Alcotest.fail (Printf.sprintf "expected 2 windows, got %d" (List.length ws))
+
+(* --- Repair ------------------------------------------------------------ *)
+
+let test_repair_link_reroute () =
+  let p, f = solved 21 in
+  let link = List.hd (used_links f) in
+  let health = Fault.apply (Fault.healthy p) (Fault.Link_down (fst link, snd link)) in
+  match
+    Repair.heal ~compare_resolve:true ~health
+      ~event:(Fault.Link_down (fst link, snd link))
+      f
+  with
+  | None -> Alcotest.fail "repair should exist"
+  | Some r ->
+      Alcotest.(check bool) "healed forest valid" true
+        (Sof.Validate.check r.Repair.forest = Ok ());
+      Alcotest.(check bool) "dead link gone" true
+        (not (List.mem link (used_links r.Repair.forest)));
+      Alcotest.(check (list int)) "no destination lost" [] r.Repair.dropped;
+      (* repair pays the delta; a from-scratch re-solve pays a full
+         installation — repair must be strictly cheaper *)
+      (match r.Repair.resolve_churn with
+      | None -> Alcotest.fail "resolve comparison requested"
+      | Some rc ->
+          Alcotest.(check bool) "repair beats re-solve" true
+            (r.Repair.churn < rc -. 1e-9))
+
+let test_repair_noop_on_unused_link () =
+  let p, f = solved 22 in
+  let used = used_links f in
+  let g = p.Problem.graph in
+  let unused =
+    List.find_map
+      (fun (u, v, _) -> if List.mem (norm (u, v)) used then None else Some (norm (u, v)))
+      (Sof_graph.Graph.edges g)
+  in
+  match unused with
+  | None -> Alcotest.fail "expected an unused link"
+  | Some (u, v) -> (
+      let health = Fault.apply (Fault.healthy p) (Fault.Link_down (u, v)) in
+      match Repair.heal ~health ~event:(Fault.Link_down (u, v)) f with
+      | Some r ->
+          Alcotest.(check string) "noop" "noop"
+            (Repair.action_to_string r.Repair.action);
+          Alcotest.check feq "no churn" 0.0 r.Repair.churn
+      | None -> Alcotest.fail "noop repair should exist")
+
+let test_repair_vm_crash () =
+  let p, f = solved 23 in
+  let vm, _ = List.hd (Forest.enabled_vms f) in
+  let health = Fault.apply (Fault.healthy p) (Fault.Vm_crash vm) in
+  match Repair.heal ~health ~event:(Fault.Vm_crash vm) f with
+  | None -> Alcotest.fail "repair should exist"
+  | Some r ->
+      Alcotest.(check bool) "healed forest valid" true
+        (Sof.Validate.check r.Repair.forest = Ok ());
+      Alcotest.(check bool) "crashed VM no longer enabled" true
+        (not
+           (List.exists (fun (m, _) -> m = vm)
+              (Forest.enabled_vms r.Repair.forest)))
+
+let test_repair_dest_node_down () =
+  let p, f = solved 24 in
+  let d = List.hd p.Problem.dests in
+  let health = Fault.apply (Fault.healthy p) (Fault.Node_down d) in
+  match Repair.heal ~health ~event:(Fault.Node_down d) f with
+  | None -> Alcotest.fail "repair should exist"
+  | Some r ->
+      Alcotest.(check bool) "healed forest valid" true
+        (Sof.Validate.check r.Repair.forest = Ok ());
+      Alcotest.(check (list int)) "dest dropped" [ d ] r.Repair.dropped;
+      Alcotest.(check bool) "dest out of the instance" true
+        (not (List.mem d r.Repair.problem.Problem.dests))
+
+let test_install_cost_bounds () =
+  let _, f = solved 25 in
+  let ic = Repair.install_cost f in
+  Alcotest.(check bool) "positive" true (ic > 0.0);
+  (* churn against itself is zero; install cost is the empty-deployment
+     churn, an upper bound for any delta *)
+  Alcotest.check feq "self churn" 0.0 (Repair.churn ~old_:f f);
+  Alcotest.(check bool) "install >= total shared-edge cost" true
+    (ic <= Forest.total_cost f +. 1e-9)
+
+(* --- Chaos ------------------------------------------------------------- *)
+
+let test_chaos_report_invariants () =
+  let p, f = solved 31 in
+  let trace =
+    Fault.schedule ~rng:(Sof_util.Rng.create 5) ~mtbf:40.0 ~mttr:10.0
+      ~controllers:3 ~count:30 p
+  in
+  let report = Chaos.run ~trace f in
+  Alcotest.(check int) "entry per event" (List.length trace)
+    (List.length report.Chaos.entries);
+  Alcotest.(check int) "no invalid forests" 0 report.Chaos.invalid_events;
+  Alcotest.(check bool) "availability in [0,1]" true
+    (report.Chaos.availability >= 0.0 && report.Chaos.availability <= 1.0);
+  Alcotest.(check bool) "wins+ties <= comparisons" true
+    (report.Chaos.repair_wins + report.Chaos.repair_ties
+    <= report.Chaos.comparisons);
+  Alcotest.(check bool) "churn nonneg" true (report.Chaos.total_churn >= 0.0);
+  match report.Chaos.final_forest with
+  | Some f' ->
+      Alcotest.(check bool) "final forest valid" true
+        (Sof.Validate.check f' = Ok ())
+  | None -> Alcotest.fail "trace should not end in total outage"
+
+(* --- lossy fabric ------------------------------------------------------ *)
+
+let test_fabric_lossy () =
+  let faults =
+    {
+      Fabric.rng = Sof_util.Rng.create 3;
+      loss = 0.5;
+      max_retries = 3;
+      base_backoff = 0.01;
+    }
+  in
+  let f = Fabric.create ~faults () in
+  let delivered = ref 0 and dropped = ref 0 in
+  for _ = 1 to 200 do
+    if Fabric.send f ~src:0 ~dst:1 Fabric.Chain_query then incr delivered
+    else incr dropped
+  done;
+  Alcotest.(check bool) "some delivered" true (!delivered > 0);
+  Alcotest.(check bool) "some dropped" true (!dropped > 0);
+  Alcotest.(check int) "drop counter agrees" !dropped (Fabric.drops f);
+  Alcotest.(check bool) "retransmissions happened" true
+    (Fabric.retransmits f > 0);
+  Alcotest.(check bool) "backoff accumulated" true (Fabric.backoff_delay f > 0.0);
+  (* retries count as transmissions *)
+  Alcotest.(check bool) "total includes retries" true
+    (Fabric.total f >= 200);
+  (* southbound is never lossy *)
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "southbound reliable" true
+      (Fabric.send f ~src:2 ~dst:2 Fabric.Rule_install)
+  done;
+  let rows = Fabric.report f in
+  Alcotest.(check bool) "report has retransmit row" true
+    (List.mem_assoc "retransmit" rows);
+  Alcotest.(check bool) "report has dropped row" true
+    (List.mem_assoc "dropped" rows)
+
+let test_fabric_timeout_burns_budget () =
+  let faults =
+    {
+      Fabric.rng = Sof_util.Rng.create 4;
+      loss = 0.0;
+      max_retries = 4;
+      base_backoff = 0.1;
+    }
+  in
+  let f = Fabric.create ~faults () in
+  Fabric.timeout f ~src:0 ~dst:2 Fabric.Border_matrix;
+  Alcotest.(check int) "one drop" 1 (Fabric.drops f);
+  (* 0.1 * (2^0 + 2^1 + 2^2 + 2^3) = 1.5 *)
+  Alcotest.check feq "full backoff budget" 1.5 (Fabric.backoff_delay f)
+
+(* --- leader failover --------------------------------------------------- *)
+
+let test_failover_on_partition () =
+  let p, f = solved 41 in
+  ignore f;
+  let net = Distributed.create p.Problem.graph ~k:4 in
+  let preferred = Distributed.controller_of net (List.hd p.Problem.sources) in
+  Distributed.partition net preferred;
+  let fabric = Fabric.create () in
+  match Distributed.solve net fabric p with
+  | None -> Alcotest.fail "three live controllers should still solve"
+  | Some stats ->
+      Alcotest.(check bool) "leader moved" true
+        (stats.Distributed.leader <> preferred);
+      Alcotest.(check bool) "leader is live" true
+        (not (Distributed.is_partitioned net stats.Distributed.leader));
+      Alcotest.(check bool) "failovers counted" true
+        (stats.Distributed.failovers >= 1);
+      Alcotest.(check bool) "election traffic visible" true
+        (Fabric.count fabric Fabric.Failover > 0);
+      Alcotest.(check bool) "forest still valid" true
+        (Sof.Validate.check stats.Distributed.forest = Ok ())
+
+let test_all_partitioned_no_solve () =
+  let p, _ = solved 42 in
+  let net = Distributed.create p.Problem.graph ~k:3 in
+  for c = 0 to 2 do
+    Distributed.partition net c
+  done;
+  let fabric = Fabric.create () in
+  Alcotest.(check bool) "dead control plane" true
+    (Distributed.solve net fabric p = None);
+  Distributed.heal net 1;
+  Alcotest.(check bool) "healed controller leads" true
+    (match Distributed.solve net fabric p with
+    | Some stats -> stats.Distributed.leader = 1
+    | None -> false)
+
+let test_partition_bad_id () =
+  let p, _ = solved 43 in
+  let net = Distributed.create p.Problem.graph ~k:3 in
+  Alcotest.check_raises "bad id"
+    (Invalid_argument "Distributed.partition: no such controller") (fun () ->
+      Distributed.partition net 7)
+
+(* --- Sim outage accounting --------------------------------------------- *)
+
+let test_sim_outage_accounting () =
+  let rng = Sof_util.Rng.create 9 in
+  let topo = Sof_topology.Topology.testbed () in
+  let p =
+    Sof_workload.Instance.draw ~rng topo
+      {
+        Sof_workload.Instance.n_vms = 8;
+        n_sources = 2;
+        n_dests = 4;
+        chain_length = 2;
+        setup_multiplier = 1.0;
+      }
+  in
+  let f =
+    match Sof.Sofda.solve_forest p with
+    | Some f -> f
+    | None -> Alcotest.fail "testbed instance should solve"
+  in
+  let routes = Sim.routes_of_forest f in
+  let shared =
+    match routes with
+    | r :: _ -> List.hd r.Sim.links
+    | [] -> Alcotest.fail "expected routes"
+  in
+  let window = 25.0 in
+  let run outages =
+    Sim.run ~rng:(Sof_util.Rng.create 17) ~outages Sim.default_config f
+  in
+  let ms = run [ (shared, 10.0, 10.0 +. window) ] in
+  let hit, missed =
+    List.partition
+      (fun (m : Sim.metrics) ->
+        let r = List.find (fun (r : Sim.route) -> r.Sim.dest = m.Sim.dest) routes in
+        List.mem shared r.Sim.links)
+      ms
+  in
+  Alcotest.(check bool) "some route crosses the dead link" true (hit <> []);
+  List.iter
+    (fun (m : Sim.metrics) ->
+      Alcotest.(check bool) "outage accrued" true (m.Sim.outage > 0.0);
+      Alcotest.(check bool) "outage bounded by window" true
+        (m.Sim.outage <= window +. 1e-6);
+      Alcotest.(check bool) "stall at least as long as outage" true
+        (m.Sim.rebuffer >= m.Sim.outage -. 1e-6))
+    hit;
+  List.iter
+    (fun (m : Sim.metrics) ->
+      Alcotest.check feq "untouched route has no outage" 0.0 m.Sim.outage)
+    missed;
+  (* the same run without outages stalls strictly less on the hit routes *)
+  let baseline = run [] in
+  List.iter
+    (fun (m : Sim.metrics) ->
+      let b =
+        List.find (fun (x : Sim.metrics) -> x.Sim.dest = m.Sim.dest) baseline
+      in
+      Alcotest.(check bool) "outage only adds stall" true
+        (b.Sim.rebuffer <= m.Sim.rebuffer +. 1e-6))
+    hit
+
+let suite =
+  [
+    Alcotest.test_case "scripted trace" `Quick test_scripted_trace;
+    Alcotest.test_case "schedule deterministic" `Quick test_schedule_deterministic;
+    Alcotest.test_case "health folding" `Quick test_health_folding;
+    Alcotest.test_case "degrade total outage" `Quick test_degrade_total_outage;
+    Alcotest.test_case "link outage projection" `Quick test_link_outages_projection;
+    Alcotest.test_case "repair: link reroute" `Quick test_repair_link_reroute;
+    Alcotest.test_case "repair: noop on unused link" `Quick
+      test_repair_noop_on_unused_link;
+    Alcotest.test_case "repair: vm crash" `Quick test_repair_vm_crash;
+    Alcotest.test_case "repair: dest node down" `Quick test_repair_dest_node_down;
+    Alcotest.test_case "install cost bounds" `Quick test_install_cost_bounds;
+    Alcotest.test_case "chaos report invariants" `Quick
+      test_chaos_report_invariants;
+    Alcotest.test_case "lossy fabric" `Quick test_fabric_lossy;
+    Alcotest.test_case "fabric timeout" `Quick test_fabric_timeout_burns_budget;
+    Alcotest.test_case "failover on partition" `Quick test_failover_on_partition;
+    Alcotest.test_case "all partitioned" `Quick test_all_partitioned_no_solve;
+    Alcotest.test_case "partition bad id" `Quick test_partition_bad_id;
+    Alcotest.test_case "sim outage accounting" `Quick test_sim_outage_accounting;
+  ]

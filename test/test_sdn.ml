@@ -91,10 +91,26 @@ let prop_overlay_exact_random =
       done;
       !ok)
 
+let test_overlay_requires_exchange () =
+  (* Querying the overlay before any east–west exchange is a programming
+     error and must fail loudly, not return garbage distances. *)
+  let g = cogent_graph () in
+  let net = Distributed.create g ~k:4 in
+  Alcotest.check_raises "descriptive Invalid_argument"
+    (Invalid_argument "Distributed.overlay_distance: matrices not exchanged")
+    (fun () -> ignore (Distributed.overlay_distance net 0 1));
+  (* after the exchange the same query succeeds *)
+  let fabric = Fabric.create () in
+  Distributed.exchange_matrices net fabric;
+  Alcotest.(check bool) "finite after exchange" true
+    (Distributed.overlay_distance net 0 1 < infinity)
+
 let test_fabric_counters () =
   let f = Fabric.create () in
-  Fabric.send f ~src:0 ~dst:1 Fabric.Chain_query;
-  Fabric.send f ~src:1 ~dst:1 Fabric.Rule_install;
+  Alcotest.(check bool) "reliable delivery" true
+    (Fabric.send f ~src:0 ~dst:1 Fabric.Chain_query);
+  Alcotest.(check bool) "southbound delivery" true
+    (Fabric.send f ~src:1 ~dst:1 Fabric.Rule_install);
   Alcotest.(check int) "inter" 1 (Fabric.total f);
   Alcotest.(check int) "south" 1 (Fabric.southbound f);
   Alcotest.(check int) "per kind" 1 (Fabric.count f Fabric.Chain_query);
@@ -178,6 +194,8 @@ let suite =
     Alcotest.test_case "borders" `Quick test_borders;
     Alcotest.test_case "controller intra" `Quick test_controller_intra;
     Alcotest.test_case "overlay exact on cogent" `Quick test_overlay_exact_cogent;
+    Alcotest.test_case "overlay requires exchange" `Quick
+      test_overlay_requires_exchange;
     Alcotest.test_case "fabric counters" `Quick test_fabric_counters;
     Alcotest.test_case "flow table compile" `Quick test_flow_table_compile;
     Alcotest.test_case "flow table tcam" `Quick test_flow_table_tcam;

@@ -100,6 +100,115 @@ let test_routes_cover_dests () =
         (List.length r.Sim.contexts))
     routes
 
+(* --- degenerate forests ------------------------------------------------ *)
+
+(* A destination colocated with the source and the whole chain: the walk is
+   the single hop [0], its injection point is the destination itself, so
+   the route has no links at all — and the simulation still completes at
+   full rate. *)
+let test_routes_source_is_dest () =
+  let g = Sof_graph.Graph.create ~n:2 ~edges:[ (0, 1, 1.0) ] in
+  let p =
+    Sof.Problem.make ~graph:g ~node_cost:[| 1.0; 0.0 |] ~vms:[ 0 ]
+      ~sources:[ 0 ] ~dests:[ 0 ] ~chain_length:1
+  in
+  let walk =
+    { Sof.Forest.source = 0; hops = [| 0 |]; marks = [ { Sof.Forest.pos = 0; vnf = 1 } ] }
+  in
+  let f = Sof.Forest.make p ~walks:[ walk ] ~delivery:[] in
+  Alcotest.(check bool) "forest valid" true (Sof.Validate.check f = Ok ());
+  (match Sim.routes_of_forest f with
+  | [ r ] ->
+      Alcotest.(check int) "dest" 0 r.Sim.dest;
+      Alcotest.(check (list (pair int int))) "no links" [] r.Sim.links;
+      Alcotest.(check (list (pair (pair int int) int))) "no contexts" []
+        r.Sim.contexts
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 route, got %d" (List.length rs)));
+  let ms = Sim.run ~rng:(Sof_util.Rng.create 1) Sim.default_config f in
+  match ms with
+  | [ m ] ->
+      Alcotest.(check bool) "completed" true m.Sim.completed;
+      Alcotest.check feq "no rebuffer on empty route" 0.0 m.Sim.rebuffer
+  | _ -> Alcotest.fail "expected 1 session"
+
+(* A cloned walk revisits a node (paper's clones): the duplicated link
+   appears once per traversal, each with its own stage context, and the
+   run still completes. *)
+let test_routes_cloned_walk_duplicate_hops () =
+  let g =
+    Sof_graph.Graph.create ~n:4
+      ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (1, 3, 1.0) ]
+  in
+  let p =
+    Sof.Problem.make ~graph:g ~node_cost:[| 0.0; 0.0; 1.0; 1.0 |]
+      ~vms:[ 2; 3 ] ~sources:[ 0 ] ~dests:[ 3 ] ~chain_length:2
+  in
+  let walk =
+    {
+      Sof.Forest.source = 0;
+      hops = [| 0; 1; 2; 1; 3 |];
+      marks = [ { Sof.Forest.pos = 2; vnf = 1 }; { Sof.Forest.pos = 4; vnf = 2 } ];
+    }
+  in
+  let f = Sof.Forest.make p ~walks:[ walk ] ~delivery:[] in
+  Alcotest.(check bool) "forest valid" true (Sof.Validate.check f = Ok ());
+  (match Sim.routes_of_forest f with
+  | [ r ] ->
+      Alcotest.(check (list (pair int int)))
+        "links in traversal order, duplicate kept"
+        [ (0, 1); (1, 2); (1, 2); (1, 3) ]
+        r.Sim.links;
+      Alcotest.(check int) "context per traversal" 4 (List.length r.Sim.contexts);
+      (* the two passes over (1,2) carry different stages, so their
+         contexts differ — the sharing rule must not collapse them *)
+      let ctx (u, v) =
+        List.filter_map
+          (fun (e, id) -> if e = (u, v) then Some id else None)
+          r.Sim.contexts
+      in
+      (match ctx (1, 2) with
+      | [ a; b ] -> Alcotest.(check bool) "distinct stage contexts" true (a <> b)
+      | l -> Alcotest.fail (Printf.sprintf "expected 2 contexts on (1,2), got %d" (List.length l)))
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 route, got %d" (List.length rs)));
+  let ms = Sim.run ~rng:(Sof_util.Rng.create 2) Sim.default_config f in
+  List.iter
+    (fun (m : Sim.metrics) ->
+      Alcotest.(check bool) "completed" true m.Sim.completed)
+    ms
+
+(* Routes survive a chain shrunk by Dynamic.vnf_delete: still one route per
+   destination over physical links only. *)
+let test_routes_after_vnf_delete () =
+  let count = ref 0 in
+  for seed = 1 to 8 do
+    let forest = solved_testbed seed in
+    let chain = forest.Sof.Forest.problem.Sof.Problem.chain_length in
+    if chain >= 2 then begin
+      let upd = Sof.Dynamic.vnf_delete forest ~vnf:1 in
+      let f = upd.Sof.Dynamic.forest in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: post-delete forest valid" seed)
+        true
+        (Sof.Validate.check f = Ok ());
+      let routes = Sim.routes_of_forest f in
+      let g = f.Sof.Forest.problem.Sof.Problem.graph in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: route per dest" seed)
+        (List.length f.Sof.Forest.problem.Sof.Problem.dests)
+        (List.length routes);
+      List.iter
+        (fun (r : Sim.route) ->
+          List.iter
+            (fun (u, v) ->
+              Alcotest.(check bool) "physical link" true
+                (Sof_graph.Graph.mem_edge g u v))
+            r.Sim.links)
+        routes;
+      incr count
+    end
+  done;
+  Alcotest.(check bool) "exercised at least one chain >= 2" true (!count > 0)
+
 let test_sim_run_completes () =
   let forest = solved_testbed 2 in
   let rng = Sof_util.Rng.create 9 in
@@ -165,6 +274,12 @@ let suite =
     Alcotest.test_case "session path latency" `Quick test_session_path_latency_adds;
     Alcotest.test_case "session chunked advance" `Quick test_session_chunked_advance_agrees;
     Alcotest.test_case "routes cover dests" `Quick test_routes_cover_dests;
+    Alcotest.test_case "route for source = destination" `Quick
+      test_routes_source_is_dest;
+    Alcotest.test_case "cloned walk duplicate hops" `Quick
+      test_routes_cloned_walk_duplicate_hops;
+    Alcotest.test_case "routes after vnf delete" `Quick
+      test_routes_after_vnf_delete;
     Alcotest.test_case "sim completes" `Quick test_sim_run_completes;
     Alcotest.test_case "sim deterministic" `Quick test_sim_deterministic;
     Alcotest.test_case "sim bandwidth monotone" `Quick test_sim_more_bandwidth_less_stall;
