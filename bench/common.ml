@@ -69,6 +69,10 @@ let sweep_table ~caption ~column ~values ~seeds ~topo ~base_params ~with_value
     values;
   t
 
+(* Destination directory for machine-readable BENCH_<experiment>.json
+   emissions; set by main's [--json] flag, [None] means print-only. *)
+let json_dir : string option ref = ref None
+
 let section title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s\n" title;

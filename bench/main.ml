@@ -40,6 +40,8 @@ let experiments =
       run = Parbench.run };
     { name = "fuzz"; descr = "property-harness throughput (oracle suite)";
       run = Proptest_bench.run };
+    { name = "perf"; descr = "deterministic cost + wall-clock (CI perf gate)";
+      run = Perf.run };
   ]
 
 let () =
@@ -53,6 +55,8 @@ let () =
        "NAME run a single experiment (repeatable)");
       ("--quick", Arg.Set quick, " smaller sweeps for a fast smoke run");
       ("--seeds", Arg.Set_int seeds, "N random instances per data point (default 10)");
+      ("--json", Arg.String (fun d -> Common.json_dir := Some d),
+       "DIR also write machine-readable BENCH_<experiment>.json files to DIR");
       ("--list", Arg.Set list_only, " list experiments and exit");
     ]
   in

@@ -1,0 +1,139 @@
+(* Machine-readable perf benchmark for the CI regression gate.
+
+   One row per (topology, algorithm): mean solution cost over the seeded
+   instances (deterministic — any change means solver behaviour changed)
+   plus mean/p95 wall-clock per solve.  With [Common.json_dir] set (the
+   [--json] flag) the rows are written to BENCH_perf.json for
+   bench/perf_gate.exe to diff against the committed baseline. *)
+
+module Json = Sof_obs.Json
+module Rng = Sof_util.Rng
+module Instance = Sof_workload.Instance
+
+let topologies =
+  [
+    ("softlayer", fun () -> Sof_topology.Topology.softlayer ());
+    ("cogent", fun () -> Sof_topology.Topology.cogent ());
+  ]
+
+let algos =
+  [
+    ("sofda", Common.sofda);
+    ("est", Common.est);
+    ("enemp", Common.enemp);
+    ("st", Common.st);
+  ]
+
+let params =
+  {
+    Instance.n_vms = 25;
+    n_sources = 14;
+    n_dests = 6;
+    chain_length = 3;
+    setup_multiplier = 1.0;
+  }
+
+type row = {
+  topology : string;
+  algo : string;
+  seeds : int;
+  mean_cost : float;
+  mean_wall_s : float;
+  p95_wall_s : float;
+}
+
+let percentile xs q =
+  match Array.length xs with
+  | 0 -> nan
+  | n ->
+      let sorted = Array.copy xs in
+      Array.sort compare sorted;
+      let rank = max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)) in
+      sorted.(rank)
+
+(* Solves run sequentially (not on the pool) so per-solve wall times are
+   honest; costs stay deterministic regardless. *)
+let measure ~seeds topo_name topo algo_name (algo : Common.algo) =
+  let walls = Array.make seeds nan in
+  let total_cost = ref 0.0 and feasible = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rng = Rng.create (0xBE5C + (seed * 7919)) in
+    let p = Instance.draw ~rng topo params in
+    let t0 = Unix.gettimeofday () in
+    let result = algo.Common.solve p in
+    walls.(seed) <- Unix.gettimeofday () -. t0;
+    match result with
+    | Some f ->
+        total_cost := !total_cost +. Sof.Forest.total_cost f;
+        incr feasible
+    | None -> ()
+  done;
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  {
+    topology = topo_name;
+    algo = algo_name;
+    seeds;
+    mean_cost =
+      (if !feasible = 0 then nan else !total_cost /. float_of_int !feasible);
+    mean_wall_s = mean walls;
+    p95_wall_s = percentile walls 0.95;
+  }
+
+let json_of_rows rows =
+  Json.Obj
+    [
+      ("experiment", Json.Str "perf");
+      ( "rows",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("topology", Json.Str r.topology);
+                   ("algo", Json.Str r.algo);
+                   ("seeds", Json.Num (float_of_int r.seeds));
+                   ("mean_cost", Json.Num r.mean_cost);
+                   ("mean_wall_s", Json.Num r.mean_wall_s);
+                   ("p95_wall_s", Json.Num r.p95_wall_s);
+                 ])
+             rows) );
+    ]
+
+let run ~quick ~seeds =
+  let seeds = if quick then min seeds 3 else seeds in
+  Common.section "perf: deterministic cost + wall-clock per (topology, algo)";
+  let rows =
+    List.concat_map
+      (fun (tname, mk) ->
+        let topo = mk () in
+        List.map
+          (fun (aname, algo) -> measure ~seeds tname topo aname algo)
+          algos)
+      topologies
+  in
+  let t =
+    Common.Tbl.create
+      [ "topology"; "algo"; "seeds"; "mean cost"; "mean wall (s)"; "p95 wall (s)" ]
+  in
+  List.iter
+    (fun r ->
+      Common.Tbl.add_row t
+        [
+          r.topology;
+          r.algo;
+          string_of_int r.seeds;
+          Printf.sprintf "%.6f" r.mean_cost;
+          Printf.sprintf "%.4f" r.mean_wall_s;
+          Printf.sprintf "%.4f" r.p95_wall_s;
+        ])
+    rows;
+  Common.Tbl.print t;
+  match !Common.json_dir with
+  | None -> ()
+  | Some dir ->
+      let file = Filename.concat dir "BENCH_perf.json" in
+      let oc = open_out file in
+      output_string oc (Json.to_string (json_of_rows rows));
+      output_char oc '\n';
+      close_out oc;
+      Common.note "wrote %s" file

@@ -1,0 +1,109 @@
+(* CI perf-regression gate.
+
+     perf_gate.exe --baseline bench/baseline/BENCH_perf.json --new BENCH_perf.json
+
+   Compares a freshly produced BENCH_perf.json against the committed
+   baseline.  Two failure classes:
+
+   - mean solution cost differs at all (beyond float-noise epsilon): the
+     solvers are deterministic on fixed seeds, so any cost change means
+     solver behaviour changed and the baseline must be regenerated
+     deliberately (bench/main.exe --only perf --json bench/baseline).
+
+   - mean wall-clock regressed by more than the tolerance (default +50%):
+     CI runners are noisy, so only gross slowdowns fail.
+
+   Missing or extra (topology, algo) rows fail, so the gate cannot pass
+   vacuously. *)
+
+module Json = Sof_obs.Json
+
+let cost_eps = 1e-9
+
+let fail_count = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      incr fail_count;
+      Printf.printf "FAIL  %s\n" m)
+    fmt
+
+let read_rows file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Json.parse s with
+  | Error m -> failwith (Printf.sprintf "%s: invalid JSON: %s" file m)
+  | Ok j -> (
+      match Option.bind (Json.member "rows" j) Json.to_list with
+      | None -> failwith (file ^ ": no \"rows\" array")
+      | Some rows ->
+          List.map
+            (fun r ->
+              let str k =
+                match Option.bind (Json.member k r) Json.to_str with
+                | Some v -> v
+                | None -> failwith (file ^ ": row missing " ^ k)
+              in
+              let num k =
+                match Option.bind (Json.member k r) Json.to_float with
+                | Some v -> v
+                | None -> failwith (file ^ ": row missing " ^ k)
+              in
+              ( (str "topology", str "algo"),
+                (num "mean_cost", num "mean_wall_s") ))
+            rows)
+
+let () =
+  let baseline = ref "" and fresh = ref "" and wall_tol = ref 0.5 in
+  let spec =
+    [
+      ("--baseline", Arg.Set_string baseline, "FILE committed baseline JSON");
+      ("--new", Arg.Set_string fresh, "FILE freshly measured JSON");
+      ( "--wall-tolerance",
+        Arg.Set_float wall_tol,
+        "FRAC allowed fractional wall-clock regression (default 0.5)" );
+    ]
+  in
+  Arg.parse spec
+    (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "perf_gate.exe --baseline FILE --new FILE";
+  if !baseline = "" || !fresh = "" then begin
+    prerr_endline "perf_gate.exe: --baseline and --new are required";
+    exit 2
+  end;
+  let base = read_rows !baseline in
+  let cur = read_rows !fresh in
+  List.iter
+    (fun ((topo, algo), (bcost, bwall)) ->
+      match List.assoc_opt (topo, algo) cur with
+      | None -> fail "%s/%s: row missing from new results" topo algo
+      | Some (ccost, cwall) ->
+          let cost_changed =
+            match (Float.is_nan bcost, Float.is_nan ccost) with
+            | true, true -> false
+            | true, false | false, true -> true
+            | false, false ->
+                abs_float (ccost -. bcost)
+                > cost_eps *. Float.max 1.0 (abs_float bcost)
+          in
+          if cost_changed then
+            fail "%s/%s: mean cost changed %.9f -> %.9f (solver behaviour changed; regenerate the baseline deliberately)"
+              topo algo bcost ccost;
+          if cwall > bwall *. (1.0 +. !wall_tol) then
+            fail "%s/%s: mean wall %.4fs -> %.4fs (> +%.0f%%)" topo algo bwall
+              cwall (100.0 *. !wall_tol))
+    base;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key base) then
+        let topo, algo = key in
+        fail "%s/%s: row not in baseline (add it by regenerating)" topo algo)
+    cur;
+  if !fail_count > 0 then begin
+    Printf.printf "perf gate: %d failure(s)\n" !fail_count;
+    exit 1
+  end;
+  Printf.printf "perf gate: %d rows OK\n" (List.length base)

@@ -535,6 +535,94 @@ let chaos_cmd =
           repair actions, availability and repair-vs-resolve cost.")
     term
 
+(* --- profile --------------------------------------------------------- *)
+
+let profile_cmd =
+  let module Obs = Sof_obs.Obs in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of every recorded span to \
+             $(docv) (load it in Perfetto or about://tracing).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write a Prometheus text exposition of all metrics to $(docv).")
+  in
+  let chaos_count_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"N"
+          ~doc:
+            "After solving, also inject a seeded chaos trace of $(docv) \
+             failure events and profile the repair pipeline.")
+  in
+  let run topology algo seed sources dests vms chain setup domains trace
+      metrics chaos_count =
+    set_domains domains;
+    let _, problem = draw ~topology ~seed ~sources ~dests ~vms ~chain ~setup in
+    Obs.reset ();
+    Obs.enable ();
+    let forest = Obs.span "cli.solve" (fun () -> (algo_of_name algo) problem) in
+    (match forest with
+    | None ->
+        Obs.disable ();
+        prerr_endline "no feasible embedding";
+        exit 1
+    | Some forest ->
+        Sof.Validate.check_exn forest;
+        Printf.printf "solved: total cost %.3f\n" (Sof.Forest.total_cost forest);
+        (match chaos_count with
+        | None -> ()
+        | Some count ->
+            let rng = Sof_util.Rng.create (seed + 17) in
+            let fault_trace =
+              Sof_resilience.Fault.schedule ~rng ~mtbf:60.0 ~mttr:15.0
+                ~controllers:3 ~count problem
+            in
+            let report = Sof_resilience.Chaos.run ~trace:fault_trace forest in
+            Printf.printf "chaos: %d events, availability %.4f\n"
+              (List.length report.Sof_resilience.Chaos.entries)
+              report.Sof_resilience.Chaos.availability));
+    Obs.disable ();
+    print_string (Obs.table ());
+    (match trace with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Sof_obs.Json.to_string (Obs.chrome_trace ()));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s (%d span events)\n" file
+          (List.length (Obs.events ())));
+    match metrics with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Obs.prometheus ());
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ algo_arg $ seed_arg $ sources_arg $ dests_arg
+      $ vms_arg $ chain_arg $ setup_arg $ domains_arg $ trace_arg $ metrics_arg
+      $ chaos_count_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Solve one instance with the observability sink enabled and export \
+          solver-stage timings as metrics and a Chrome trace.")
+    term
+
 (* --- topologies ----------------------------------------------------- *)
 
 let topologies_cmd =
@@ -557,4 +645,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ solve_cmd; compare_cmd; qoe_cmd; fuzz_cmd; chaos_cmd; topologies_cmd ]))
+          [
+            solve_cmd; compare_cmd; qoe_cmd; fuzz_cmd; chaos_cmd; profile_cmd;
+            topologies_cmd;
+          ]))

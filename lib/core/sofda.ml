@@ -1,6 +1,7 @@
 module Graph = Sof_graph.Graph
 module Steiner = Sof_steiner.Steiner
 module Pool = Sof_util.Pool
+module Obs = Sof_obs.Obs
 
 type report = {
   forest : Forest.t;
@@ -62,6 +63,7 @@ let walk_of_result source (r : Transform.result) =
 
 (* Multi-tree construction via the auxiliary graph (Algorithm 2 proper). *)
 let solve_aux ?(source_setup = false) ~t problem =
+  Obs.span "sofda.aux" @@ fun () ->
   let lay = layout_of problem in
   let chain_cache : (int * int, Transform.result) Hashtbl.t =
     Hashtbl.create 64
@@ -80,10 +82,12 @@ let solve_aux ?(source_setup = false) ~t problem =
   let priced =
     Pool.parallel_map
       (fun (v, u) ->
+        Obs.span "sofda.price_chain" @@ fun () ->
         Transform.chain_walk ~source_setup t ~src:v ~last_vm:u
           ~num_vnfs:problem.Problem.chain_length)
       pairs
   in
+  Obs.count "sofda.chains_priced" (Array.length pairs);
   let virtual_edges = ref [] in
   Array.iteri
     (fun i walk ->
@@ -142,6 +146,7 @@ let solve_aux ?(source_setup = false) ~t problem =
               !selected
           in
           let conflicts_resolved = count_conflicts walks in
+          Obs.count "sofda.conflicts_resolved" conflicts_resolved;
           let walks = Conflict.resolve problem walks in
           let forest =
             Forest.make problem ~walks ~delivery:!delivery
@@ -167,6 +172,7 @@ let solve_aux ?(source_setup = false) ~t problem =
    tree over {source} ∪ D, with (last VM, attachment) chosen jointly —
    another point of SOFDA's search space the auxiliary KMB can miss. *)
 let solve_grafted ~source_setup ~t problem =
+  Obs.span "sofda.grafted" @@ fun () ->
   let closure = Transform.closure t in
   let graph = problem.Problem.graph in
   let candidate source =
@@ -250,6 +256,7 @@ let solve_grafted ~source_setup ~t problem =
         }
 
 let solve ?(source_setup = false) ?transform problem =
+  Obs.span "sofda.solve" @@ fun () ->
   let t =
     match transform with Some t -> t | None -> Transform.create problem
   in
@@ -265,6 +272,7 @@ let solve ?(source_setup = false) ?transform problem =
   let ss =
     if not ss_affordable then None
     else begin
+      Obs.span "sofda.ss_scan" @@ fun () ->
       (* One SOFDA-SS embedding per source, evaluated on the pool; the fold
          keeps the sequential tie-breaking (first source wins on ties). *)
       let per_source =

@@ -28,6 +28,7 @@ let steiner_for t problem root dests =
 let solve ?(source_setup = false) ?transform problem ~source =
   if not (Problem.is_source problem source) then
     invalid_arg "Sofda_ss.solve: source not in S";
+  Sof_obs.Obs.span "sofda_ss.solve" @@ fun () ->
   let t =
     match transform with Some t -> t | None -> Transform.create problem
   in

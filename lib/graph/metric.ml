@@ -5,11 +5,13 @@ type t = {
 }
 
 let closure g terminals =
+  Sof_obs.Obs.span "metric.closure" @@ fun () ->
   let index_of = Hashtbl.create (Array.length terminals) in
   Array.iteri (fun i v -> Hashtbl.replace index_of v i) terminals;
   (* One independent Dijkstra per terminal; results land per-index, so the
      parallel sweep is indistinguishable from the sequential one. *)
   let runs = Sof_util.Pool.parallel_map (fun v -> Dijkstra.run g v) terminals in
+  Sof_obs.Obs.count "metric.dijkstra_runs" (Array.length terminals);
   { terminals; index_of; runs }
 
 let terminals c = c.terminals

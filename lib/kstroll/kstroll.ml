@@ -10,6 +10,7 @@ let walk_cost ~dist nodes =
   go 0.0 nodes
 
 let cheapest_insertion ~dist ~candidates ~src ~dst ~k =
+  Sof_obs.Obs.span "kstroll.cheapest_insertion" @@ fun () ->
   let pool =
     List.sort_uniq compare
       (List.filter (fun v -> v <> src && v <> dst) candidates)
@@ -64,6 +65,7 @@ let popcount =
   go 0
 
 let exact ~dist ~candidates ~src ~dst ~k =
+  Sof_obs.Obs.span "kstroll.exact" @@ fun () ->
   let pool =
     Array.of_list
       (List.sort_uniq compare

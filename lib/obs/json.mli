@@ -1,0 +1,25 @@
+(** Minimal JSON reader/writer for the observability exporters and the
+    perf-regression gate.  No external dependencies; numbers are floats;
+    non-finite floats print as [null] (JSON has no spelling for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendition.  Floats use [%.17g], so every finite
+    float round-trips exactly through {!parse}. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] — first binding of [k]; [None] on non-objects. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

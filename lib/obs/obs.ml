@@ -1,0 +1,460 @@
+(* Process-wide metrics registry and span tracer.
+
+   Everything is gated on one atomic [enabled] flag, off by default: a
+   disabled recording call is a single atomic read and no allocation, so
+   instrumentation can sit on solver hot paths (per-candidate chain
+   pricing, per-chunk pool accounting) without disturbing them.  The
+   contract — checked by the [obs-transparency] oracle — is that solver
+   results are bit-identical with the sink enabled or disabled:
+   instrumentation only ever reads clocks and writes into the registry,
+   never into solver state.
+
+   Domain-safety: counters and histogram buckets are atomics, float
+   accumulators use CAS loops, the span ring buffer and the registry are
+   mutex-protected.  [Sof_util.Pool] workers record through the same
+   paths as the coordinator. *)
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+(* --- atomic float helpers --------------------------------------------- *)
+
+(* [Atomic.compare_and_set] on boxed floats compares the boxes
+   physically; retrying with the exact box just read makes the update
+   race-free. *)
+let rec fupdate a f =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (f old)) then fupdate a f
+
+(* --- metric kinds ----------------------------------------------------- *)
+
+type counter = { cname : string; cval : int Atomic.t }
+
+type gauge = { gname : string; gval : float Atomic.t }
+
+(* Log-scale histogram: bucket 0 catches values <= [hist_v0]; bucket i
+   (i >= 1) covers [v0 * gamma^(i-1), v0 * gamma^i) with gamma = 2^(1/4),
+   i.e. quarter-octave resolution (at most ~9% relative quantile error)
+   from 1 ns up to ~2^63 ns.  Exact min/max are tracked separately so
+   degenerate samples (single value, all equal) report exact quantiles. *)
+let hist_v0 = 1e-9
+
+let hist_gamma = Float.pow 2.0 0.25
+
+let hist_buckets = 256
+
+let inv_log_gamma = 1.0 /. log hist_gamma
+
+type histogram = {
+  hname : string;
+  buckets : int Atomic.t array;
+  hsum : float Atomic.t;
+  hmin : float Atomic.t;
+  hmax : float Atomic.t;
+  hcount : int Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let metric_name = function
+  | C c -> c.cname
+  | G g -> g.gname
+  | H h -> h.hname
+
+(* --- registry --------------------------------------------------------- *)
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let intern name make classify describe =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match classify m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Obs: %S is already a %s" name (describe m)))
+      | None ->
+          let v = make () in
+          Hashtbl.replace registry name (match v with m, _ -> m);
+          snd v)
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let counter name =
+  intern name
+    (fun () ->
+      let c = { cname = name; cval = Atomic.make 0 } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+    kind_name
+
+let gauge name =
+  intern name
+    (fun () ->
+      let g = { gname = name; gval = Atomic.make 0.0 } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+    kind_name
+
+let histogram name =
+  intern name
+    (fun () ->
+      let h =
+        {
+          hname = name;
+          buckets = Array.init hist_buckets (fun _ -> Atomic.make 0);
+          hsum = Atomic.make 0.0;
+          hmin = Atomic.make infinity;
+          hmax = Atomic.make neg_infinity;
+          hcount = Atomic.make 0;
+        }
+      in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+    kind_name
+
+(* --- recording -------------------------------------------------------- *)
+
+let incr ?(by = 1) c = if enabled () then ignore (Atomic.fetch_and_add c.cval by)
+
+let counter_value c = Atomic.get c.cval
+
+let set g v = if enabled () then Atomic.set g.gval v
+
+let gauge_value g = Atomic.get g.gval
+
+let bucket_of v =
+  if v <= hist_v0 then 0
+  else
+    let i = 1 + int_of_float (floor (log (v /. hist_v0) *. inv_log_gamma)) in
+    if i >= hist_buckets then hist_buckets - 1 else i
+
+let observe h v =
+  if enabled () then begin
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add h.hcount 1);
+    fupdate h.hsum (fun s -> s +. v);
+    fupdate h.hmin (fun m -> if v < m then v else m);
+    fupdate h.hmax (fun m -> if v > m then v else m)
+  end
+
+let hist_count h = Atomic.get h.hcount
+
+let hist_sum h = Atomic.get h.hsum
+
+(* Quantile estimate: find the bucket holding the q-th ranked sample and
+   report its geometric midpoint, clamped into the exact observed
+   [min, max].  Degenerate cases are exact: a single sample or an
+   all-equal sample has min = max, so the clamp collapses to the true
+   value.  Empty histograms have no quantiles. *)
+let quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Obs.quantile: q out of [0,1]";
+  let count = Atomic.get h.hcount in
+  if count = 0 then None
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int count))) in
+    let rec find i acc =
+      if i >= hist_buckets then Atomic.get h.hmax
+      else
+        let acc = acc + Atomic.get h.buckets.(i) in
+        if acc >= rank then
+          if i = 0 then hist_v0
+          else hist_v0 *. Float.pow hist_gamma (float_of_int i -. 0.5)
+        else find (i + 1) acc
+    in
+    let est = find 0 0 in
+    let lo = Atomic.get h.hmin and hi = Atomic.get h.hmax in
+    Some (Float.min hi (Float.max lo est))
+  end
+
+(* Name-keyed one-shot helpers for instrumentation sites: a disabled call
+   is one atomic read; an enabled call pays the registry lookup. *)
+let count name by = if enabled () then incr ~by (counter name)
+
+let record name v = if enabled () then observe (histogram name) v
+
+let set_gauge name v = if enabled () then set (gauge name) v
+
+(* --- span tracer ------------------------------------------------------ *)
+
+type span_event = {
+  span_name : string;
+  ts_ns : int;
+  dur_ns : int;
+  tid : int;
+  depth : int;
+}
+
+(* Bounded ring: when full, the oldest events are overwritten and counted
+   as dropped — a runaway span producer degrades the trace, never the
+   process. *)
+let default_trace_capacity = 65536
+
+type ring = {
+  mutable events : span_event array;
+  mutable head : int; (* next write position *)
+  mutable filled : int;
+  mutable dropped : int;
+}
+
+let ring =
+  {
+    events = [||];
+    head = 0;
+    filled = 0;
+    dropped = 0;
+  }
+
+let ring_mutex = Mutex.create ()
+
+let trace_capacity = ref default_trace_capacity
+
+let set_trace_capacity n =
+  Mutex.lock ring_mutex;
+  trace_capacity := max 1 n;
+  ring.events <- [||];
+  ring.head <- 0;
+  ring.filled <- 0;
+  ring.dropped <- 0;
+  Mutex.unlock ring_mutex
+
+let dummy_event = { span_name = ""; ts_ns = 0; dur_ns = 0; tid = 0; depth = 0 }
+
+let push_event e =
+  Mutex.lock ring_mutex;
+  if Array.length ring.events <> !trace_capacity then begin
+    ring.events <- Array.make !trace_capacity dummy_event;
+    ring.head <- 0;
+    ring.filled <- 0
+  end;
+  if ring.filled = Array.length ring.events then ring.dropped <- ring.dropped + 1
+  else ring.filled <- ring.filled + 1;
+  ring.events.(ring.head) <- e;
+  ring.head <- (ring.head + 1) mod Array.length ring.events;
+  Mutex.unlock ring_mutex
+
+let events () =
+  Mutex.lock ring_mutex;
+  let n = ring.filled in
+  let cap = Array.length ring.events in
+  let out =
+    List.init n (fun i -> ring.events.((ring.head - n + i + (2 * cap)) mod cap))
+  in
+  Mutex.unlock ring_mutex;
+  out
+
+let dropped_spans () =
+  Mutex.lock ring_mutex;
+  let d = ring.dropped in
+  Mutex.unlock ring_mutex;
+  d
+
+let span_depth : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let span name f =
+  if not (enabled ()) then f ()
+  else begin
+    let depth = Domain.DLS.get span_depth in
+    Domain.DLS.set span_depth (depth + 1);
+    let t0 = Sof_util.Timer.now_ns () in
+    let finish () =
+      let dur_ns = Sof_util.Timer.now_ns () - t0 in
+      Domain.DLS.set span_depth depth;
+      push_event
+        {
+          span_name = name;
+          ts_ns = t0;
+          dur_ns;
+          tid = (Domain.self () :> int);
+          depth;
+        };
+      observe (histogram name) (float_of_int dur_ns *. 1e-9)
+    in
+    match f () with
+    | result ->
+        finish ();
+        result
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+(* --- pool probe ------------------------------------------------------- *)
+
+let pool_probe =
+  {
+    Sof_util.Pool.on_region =
+      (fun ~chunks ~helpers ->
+        count "pool.regions" 1;
+        count "pool.chunks_launched" chunks;
+        count "pool.helpers_enqueued" helpers);
+    on_chunk =
+      (fun ~worker -> count (Printf.sprintf "pool.chunks.w%d" worker) 1);
+    on_dequeue =
+      (fun ~worker ~wait_ns ->
+        ignore worker;
+        record "pool.queue_wait" (float_of_int wait_ns *. 1e-9));
+  }
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let enable () =
+  Atomic.set enabled_flag true;
+  Sof_util.Pool.set_probe (Some pool_probe)
+
+let disable () =
+  Sof_util.Pool.set_probe None;
+  Atomic.set enabled_flag false
+
+let reset () =
+  with_registry (fun () -> Hashtbl.reset registry);
+  Mutex.lock ring_mutex;
+  ring.events <- [||];
+  ring.head <- 0;
+  ring.filled <- 0;
+  ring.dropped <- 0;
+  Mutex.unlock ring_mutex
+
+(* --- exporters -------------------------------------------------------- *)
+
+let sorted_metrics () =
+  let ms = with_registry (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry []) in
+  List.sort (fun a b -> compare (metric_name a) (metric_name b)) ms
+
+let quantiles = [ 0.5; 0.95; 0.99 ]
+
+let table () =
+  let b = Buffer.create 1024 in
+  let counters, gauges, hists =
+    List.fold_left
+      (fun (cs, gs, hs) m ->
+        match m with
+        | C c -> (c :: cs, gs, hs)
+        | G g -> (cs, g :: gs, hs)
+        | H h -> (cs, gs, h :: hs))
+      ([], [], []) (List.rev (sorted_metrics ()))
+  in
+  if counters <> [] then begin
+    let t = Sof_util.Tbl.create ~caption:"counters" [ "name"; "value" ] in
+    List.iter
+      (fun c ->
+        Sof_util.Tbl.add_row t [ c.cname; string_of_int (counter_value c) ])
+      counters;
+    Buffer.add_string b (Sof_util.Tbl.render t)
+  end;
+  if gauges <> [] then begin
+    let t = Sof_util.Tbl.create ~caption:"gauges" [ "name"; "value" ] in
+    List.iter
+      (fun g ->
+        Sof_util.Tbl.add_row t [ g.gname; Printf.sprintf "%.6g" (gauge_value g) ])
+      gauges;
+    Buffer.add_string b (Sof_util.Tbl.render t)
+  end;
+  if hists <> [] then begin
+    let t =
+      Sof_util.Tbl.create ~caption:"histograms"
+        [ "name"; "count"; "sum"; "p50"; "p95"; "p99"; "max" ]
+    in
+    List.iter
+      (fun h ->
+        let q x =
+          match quantile h x with
+          | Some v -> Printf.sprintf "%.6g" v
+          | None -> "-"
+        in
+        Sof_util.Tbl.add_row t
+          [
+            h.hname;
+            string_of_int (hist_count h);
+            Printf.sprintf "%.6g" (hist_sum h);
+            q 0.5;
+            q 0.95;
+            q 0.99;
+            (if hist_count h = 0 then "-"
+             else Printf.sprintf "%.6g" (Atomic.get h.hmax));
+          ])
+      hists;
+    Buffer.add_string b (Sof_util.Tbl.render t)
+  end;
+  let d = dropped_spans () in
+  if d > 0 then Buffer.add_string b (Printf.sprintf "(%d spans dropped)\n" d);
+  Buffer.contents b
+
+(* Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+   names are sanitized and prefixed with the [sof_] namespace. *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 4) in
+  Buffer.add_string b "sof_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_float x =
+  if Float.is_integer x && abs_float x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let prometheus () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      let n = prom_name (metric_name m) in
+      match m with
+      | C c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s_total counter\n" n);
+          Buffer.add_string b
+            (Printf.sprintf "%s_total %d\n" n (counter_value c))
+      | G g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b
+            (Printf.sprintf "%s %s\n" n (prom_float (gauge_value g)))
+      | H h ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
+          List.iter
+            (fun q ->
+              match quantile h q with
+              | Some v ->
+                  Buffer.add_string b
+                    (Printf.sprintf "%s{quantile=\"%g\"} %s\n" n q
+                       (prom_float v))
+              | None -> ())
+            quantiles;
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" n (prom_float (hist_sum h)));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (hist_count h)))
+    (sorted_metrics ());
+  Buffer.contents b
+
+(* Chrome trace-event format: one complete ("X") event per span, loadable
+   in about://tracing and Perfetto.  Timestamps are microseconds. *)
+let chrome_trace () =
+  let event e =
+    Json.Obj
+      [
+        ("name", Json.Str e.span_name);
+        ("cat", Json.Str "sof");
+        ("ph", Json.Str "X");
+        ("ts", Json.Num (float_of_int e.ts_ns /. 1e3));
+        ("dur", Json.Num (float_of_int e.dur_ns /. 1e3));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num (float_of_int e.tid));
+        ("args", Json.Obj [ ("depth", Json.Num (float_of_int e.depth)) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map event (events ())));
+      ("displayTimeUnit", Json.Str "ms");
+    ]

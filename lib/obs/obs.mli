@@ -1,0 +1,114 @@
+(** Process-wide observability: metrics registry and span tracer.
+
+    Recording is gated on one atomic flag (see {!enable}); while disabled
+    — the default — every recording call is a single atomic load and no
+    allocation, so instrumentation may sit on solver hot paths.  The
+    transparency contract, checked by the [obs-transparency] proptest
+    oracle, is that solver outputs are bit-identical whether the sink is
+    enabled or not.
+
+    All recording paths are domain-safe: counters and histogram buckets
+    are atomics, float accumulators use CAS loops, and the span ring
+    buffer and registry are mutex-protected, so {!Sof_util.Pool} workers
+    record through the same paths as the coordinator. *)
+
+(** {2 Lifecycle} *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Turn recording on and install the {!Sof_util.Pool} probe. *)
+
+val disable : unit -> unit
+(** Turn recording off and remove the pool probe. *)
+
+val reset : unit -> unit
+(** Drop every registered metric and all buffered span events. *)
+
+(** {2 Metrics}
+
+    Metrics are interned by name; requesting the same name twice returns
+    the same metric, requesting it with a different kind raises
+    [Invalid_argument].  Dotted names ([sofda.conflicts]) are
+    conventional; exporters sanitize as needed. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+(** Log-scale histogram (quarter-octave buckets from 1 ns up), suited to
+    latencies in seconds; exact min/max are tracked alongside. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val quantile : histogram -> float -> float option
+(** [quantile h q] for [q] in [[0,1]]: [None] when empty; exact for a
+    single sample or an all-equal sample; otherwise the geometric
+    midpoint of the selected bucket clamped into the observed
+    [[min, max]].  Raises [Invalid_argument] outside [[0,1]]. *)
+
+(** {3 Name-keyed one-shot helpers}
+
+    For instrumentation sites that fire rarely relative to their cost: a
+    disabled call is one atomic read; an enabled call pays a registry
+    lookup. *)
+
+val count : string -> int -> unit
+(** [count name by] — increment counter [name] by [by]. *)
+
+val record : string -> float -> unit
+(** [record name v] — observe [v] into histogram [name]. *)
+
+val set_gauge : string -> float -> unit
+
+(** {2 Spans} *)
+
+type span_event = {
+  span_name : string;
+  ts_ns : int;  (** start, monotonic ns (see {!Sof_util.Timer.now_ns}) *)
+  dur_ns : int;
+  tid : int;  (** recording domain's id *)
+  depth : int;  (** nesting depth on the recording domain *)
+}
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; when enabled, it records a span event on
+    completion (also on exception, which re-raises with its backtrace)
+    and observes the duration in seconds into histogram [name].  When
+    disabled it is exactly [f ()]. *)
+
+val events : unit -> span_event list
+(** Buffered span events, oldest first.  The buffer is a bounded ring:
+    once full, new events overwrite the oldest (counted by
+    {!dropped_spans}). *)
+
+val dropped_spans : unit -> int
+
+val set_trace_capacity : int -> unit
+(** Resize the span ring (default 65536).  Discards buffered events. *)
+
+(** {2 Exporters} *)
+
+val table : unit -> string
+(** Human-readable tables: counters, gauges, histogram quantiles. *)
+
+val prometheus : unit -> string
+(** Prometheus text exposition: counters as [_total] counters, gauges as
+    gauges, histograms as summaries with p50/p95/p99 quantile labels plus
+    [_sum]/[_count].  Names are sanitized and prefixed [sof_]; metrics
+    appear in name order. *)
+
+val chrome_trace : unit -> Json.t
+(** Chrome trace-event JSON ([{"traceEvents": [...]}] with one complete
+    ["X"] event per span), loadable in Perfetto / about://tracing. *)

@@ -542,6 +542,44 @@ let repair_validity =
     (Prop.make ~shrink:repair_shrink ~print:repair_print
        ~name:"repair-validity" ~gen:repair_gen repair_law)
 
+(* --- 8. observability transparency ------------------------------------ *)
+
+module Obs = Sof_obs.Obs
+
+(* Run [f] with the observability sink enabled, restoring the disabled
+   default (and an empty registry) afterwards whatever happens. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* The sink only ever reads clocks and writes into the metrics registry:
+   solver reports must be bit-identical with observability on or off. *)
+let obs_transparency_law spec =
+  let p = Spec.to_problem spec in
+  let off = Sofda.solve p in
+  let on = with_obs (fun () -> Sofda.solve p) in
+  match (off, on) with
+  | None, None -> Ok ()
+  | Some _, None | None, Some _ ->
+      errf "feasibility differs with observability enabled"
+  | Some a, Some b ->
+      if report_key a = report_key b then Ok ()
+      else
+        errf
+          "reports differ with observability enabled (costs %.12g vs %.12g)"
+          (Forest.total_cost a.Sofda.forest)
+          (Forest.total_cost b.Sofda.forest)
+
+let obs_transparency =
+  Prop.Packed
+    (Prop.make ~shrink:Spec.shrink ~print:Spec.print ~name:"obs-transparency"
+       ~gen:Spec.gen_mixed obs_transparency_law)
+
 (* --- deliberate demo failure ------------------------------------------ *)
 
 let demo_dest_budget_prop =
@@ -565,6 +603,7 @@ let all =
     (domain_identity, 120);
     (dynamic_validity, 200);
     (repair_validity, 200);
+    (obs_transparency, 200);
   ]
 
 let names () =

@@ -54,6 +54,12 @@ val repair_validity : Prop.packed
     instance, and {!Sof_resilience.Repair.heal} only reports total outage
     when the degraded instance is genuinely unsolvable. *)
 
+val obs_transparency : Prop.packed
+(** {!Sof.Sofda.solve} is bit-identical with the {!Sof_obs.Obs} sink
+    enabled and disabled — the observability layer's transparency
+    contract: instrumentation reads clocks and writes metrics, never
+    solver state. *)
+
 val all : (Prop.packed * int) list
 (** The suite with each property's default case count for one [sof fuzz]
     round (the ILP oracle runs fewer cases per round than the cheap

@@ -37,14 +37,33 @@ let try_rejoin forest d =
     | _ -> None
     | exception Invalid_argument _ -> None
 
+(* Repair ladder rung indices for the [chaos.repair_rung] histogram:
+   escalation level per handled event (None — no repair possible — is the
+   top rung). *)
+let rung_index = function
+  | Some Repair.Noop -> 0
+  | Some Repair.Rerouted -> 1
+  | Some Repair.Relocated -> 2
+  | Some Repair.Dest_dropped -> 3
+  | Some Repair.Rescoped -> 4
+  | Some Repair.Resolved -> 5
+  | None -> 6
+
 let run ?(compare_resolve = true) ~trace forest0 =
+  Sof_obs.Obs.span "chaos.run" @@ fun () ->
   let base = forest0.Forest.problem in
+  (* Availability denominator: the pristine destination set.  Destinations
+     pruned later (node death, repair's leave-based drop) shrink [served]
+     but never this denominator, so a permanently lost destination keeps
+     counting against availability in every subsequent entry. *)
   let n_dests = List.length base.Problem.dests in
   let health = ref (Fault.healthy base) in
   let forest = ref (Some forest0) in
   let lost = ref [] in (* dests currently unserved (dropped or node-dead) *)
   let entries = ref [] in
   let log ~time ~event ~action ~churn ~resolve_churn ~dropped ~rejoined ~valid =
+    Sof_obs.Obs.count "chaos.events" 1;
+    Sof_obs.Obs.record "chaos.repair_rung" (float_of_int (rung_index action));
     let served =
       match !forest with
       | None -> 0

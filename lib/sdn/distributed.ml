@@ -44,6 +44,7 @@ let is_partitioned net c =
 (* All sends go through this wrapper: a partitioned destination burns the
    retry budget and times out instead of delivering. *)
 let xsend net fabric ~src ~dst kind =
+  Sof_obs.Obs.count "distributed.messages" 1;
   if net.down.(dst) then Fabric.timeout fabric ~src ~dst kind
   else ignore (Fabric.send fabric ~src ~dst kind)
 
@@ -132,6 +133,7 @@ let elect_leader net fabric preferred =
   | None -> None
   | Some (leader, 0) -> Some (leader, 0)
   | Some (leader, failovers) ->
+      Sof_obs.Obs.count "distributed.failovers" failovers;
       for c = 0 to k - 1 do
         if (not net.down.(c)) && c <> leader then
           ignore (Fabric.send fabric ~src:c ~dst:leader Fabric.Failover)
@@ -139,6 +141,7 @@ let elect_leader net fabric preferred =
       Some (leader, failovers)
 
 let solve net fabric (problem : Sof.Problem.t) =
+  Sof_obs.Obs.span "distributed.solve" @@ fun () ->
   if not net.exchanged then exchange_matrices net fabric;
   let preferred =
     match problem.Sof.Problem.sources with

@@ -79,13 +79,17 @@ let send t ~src ~dst kind =
           end
           else begin
             t.retransmits <- t.retransmits + 1;
-            t.backoff_delay <-
-              t.backoff_delay +. (f.base_backoff *. (2.0 ** float_of_int n));
+            Sof_obs.Obs.count "fabric.retransmits" 1;
+            let backoff = f.base_backoff *. (2.0 ** float_of_int n) in
+            t.backoff_delay <- t.backoff_delay +. backoff;
+            Sof_obs.Obs.record "fabric.backoff_seconds" backoff;
             t.inter <- t.inter + 1;
             attempt (n + 1)
           end
         in
-        attempt 0
+        let ok = attempt 0 in
+        if not ok then Sof_obs.Obs.count "fabric.drops" 1;
+        ok
   end
 
 (* A send whose destination is known dead: the full retry budget burns
@@ -98,12 +102,15 @@ let timeout t ~src ~dst:_ kind =
   | Some f ->
       for n = 0 to f.max_retries - 1 do
         t.retransmits <- t.retransmits + 1;
-        t.backoff_delay <-
-          t.backoff_delay +. (f.base_backoff *. (2.0 ** float_of_int n));
+        Sof_obs.Obs.count "fabric.retransmits" 1;
+        let backoff = f.base_backoff *. (2.0 ** float_of_int n) in
+        t.backoff_delay <- t.backoff_delay +. backoff;
+        Sof_obs.Obs.record "fabric.backoff_seconds" backoff;
         t.inter <- t.inter + 1
       done
   | None -> ());
-  t.drops <- t.drops + 1
+  t.drops <- t.drops + 1;
+  Sof_obs.Obs.count "fabric.drops" 1
 
 let total t = t.inter
 let southbound t = t.south

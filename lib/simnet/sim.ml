@@ -150,6 +150,7 @@ let mean xs =
   | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let run ~rng ?(outages = []) config (f : Sof.Forest.t) =
+  Sof_obs.Obs.span "sim.run" @@ fun () ->
   let routes = routes_of_forest f in
   let outages =
     List.map (fun (l, d, u) -> (norm l, d, min u config.max_time)) outages
@@ -254,6 +255,7 @@ let run ~rng ?(outages = []) config (f : Sof.Forest.t) =
         now := config.max_time;
         continue := false
     | Some (te, li) ->
+        Sof_obs.Obs.count "sim.events" 1;
         let te = min te config.max_time in
         advance_all (te -. !now);
         now := te;
@@ -267,6 +269,7 @@ let run ~rng ?(outages = []) config (f : Sof.Forest.t) =
   done;
   List.map
     (fun ((r : route), _, out, s) ->
+      Sof_obs.Obs.record "sim.outage_seconds" !out;
       {
         dest = r.dest;
         startup =

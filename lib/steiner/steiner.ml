@@ -22,6 +22,8 @@ let path_edges g path =
 (* KMB core, parameterized by how closure-edge distances and paths are
    obtained: [dist i j] / [path i j] are keyed by positions in [terms]. *)
 let kmb g terms ~dist ~path =
+  Sof_obs.Obs.span "steiner.kmb" @@ fun () ->
+  Sof_obs.Obs.count "steiner.kmb_runs" 1;
   let k = Array.length terms in
   let es = ref [] in
   for i = 0 to k - 1 do
@@ -105,6 +107,7 @@ let relax g init =
   dist
 
 let exact_weight g terminals =
+  Sof_obs.Obs.span "steiner.exact_weight" @@ fun () ->
   let terminals = dedup_ints terminals in
   let terms = Array.of_list terminals in
   let k = Array.length terms in

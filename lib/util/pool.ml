@@ -16,19 +16,43 @@
 
 type pool = {
   mutable workers : unit Domain.t array;
-  queue : (unit -> unit) Queue.t;
+  queue : (int * (unit -> unit)) Queue.t; (* (enqueue ns, task) *)
   mutex : Mutex.t;
   nonempty : Condition.t;
   mutable closed : bool;
 }
+
+(* --- instrumentation probe -------------------------------------------- *)
+
+(* The pool sits below the observability library in the dependency order,
+   so it cannot record metrics itself; instead [Sof_obs] installs a probe.
+   Probe calls happen outside the queue lock and must never raise — a
+   misbehaving probe would poison the worker loop. *)
+type probe = {
+  on_region : chunks:int -> helpers:int -> unit;
+      (** a parallel region was launched *)
+  on_chunk : worker:int -> unit;
+      (** worker [worker] (0 = coordinator) executed one chunk *)
+  on_dequeue : worker:int -> wait_ns:int -> unit;
+      (** a queued task waited [wait_ns] before worker [worker] took it *)
+}
+
+let probe : probe option Atomic.t = Atomic.make None
+
+let set_probe p = Atomic.set probe p
+
+(* Which worker this domain is: 0 for the coordinator, 1.. for pool
+   workers.  Also reused by the probe callbacks for per-worker counts. *)
+let worker_id : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 
 (* True on worker domains, and on the coordinator while it is executing
    chunks of a parallel region: either way, a parallel_* call entered in
    that state must degrade to the sequential path. *)
 let in_parallel_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let worker_loop pool () =
+let worker_loop pool wid () =
   Domain.DLS.set in_parallel_region true;
+  Domain.DLS.set worker_id wid;
   let rec loop () =
     Mutex.lock pool.mutex;
     while Queue.is_empty pool.queue && not pool.closed do
@@ -36,8 +60,12 @@ let worker_loop pool () =
     done;
     if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
     else begin
-      let task = Queue.pop pool.queue in
+      let enqueued_ns, task = Queue.pop pool.queue in
       Mutex.unlock pool.mutex;
+      (match Atomic.get probe with
+      | Some p ->
+          p.on_dequeue ~worker:wid ~wait_ns:(Timer.now_ns () - enqueued_ns)
+      | None -> ());
       task ();
       loop ()
     end
@@ -54,7 +82,8 @@ let spawn_pool n_workers =
       closed = false;
     }
   in
-  pool.workers <- Array.init n_workers (fun _ -> Domain.spawn (worker_loop pool));
+  pool.workers <-
+    Array.init n_workers (fun i -> Domain.spawn (worker_loop pool (i + 1)));
   pool
 
 let shutdown pool =
@@ -125,6 +154,9 @@ let run_region pool ~helpers ~nchunks runchunk =
   in
   let fin_mutex = Mutex.create () in
   let fin_cond = Condition.create () in
+  (match Atomic.get probe with
+  | Some p -> p.on_region ~chunks:nchunks ~helpers
+  | None -> ());
   let work () =
     let rec go () =
       let i = Atomic.fetch_and_add next 1 in
@@ -134,6 +166,9 @@ let run_region pool ~helpers ~nchunks runchunk =
            with e ->
              let bt = Printexc.get_raw_backtrace () in
              ignore (Atomic.compare_and_set error None (Some (e, bt))));
+        (match Atomic.get probe with
+        | Some p -> p.on_chunk ~worker:(Domain.DLS.get worker_id)
+        | None -> ());
         let done_ = 1 + Atomic.fetch_and_add completed 1 in
         if done_ = nchunks then begin
           Mutex.lock fin_mutex;
@@ -145,9 +180,10 @@ let run_region pool ~helpers ~nchunks runchunk =
     in
     go ()
   in
+  let enqueued_ns = Timer.now_ns () in
   Mutex.lock pool.mutex;
   for _ = 1 to helpers do
-    Queue.push work pool.queue
+    Queue.push (enqueued_ns, work) pool.queue
   done;
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.mutex;

@@ -43,3 +43,26 @@ val parallel_reduce :
 (** [parallel_reduce ~combine ~init f a] maps [f] in parallel, then folds
     [combine] over the results sequentially in ascending index order (so
     non-associative or floating-point reductions stay deterministic). *)
+
+(** {2 Instrumentation probe}
+
+    The pool sits below the observability library in the dependency
+    order, so it cannot record metrics itself.  [Sof_obs] installs a
+    probe instead; everything stays a no-op while no probe is set.
+    Probe callbacks run on worker domains outside the queue lock and
+    must be domain-safe and non-raising. *)
+
+type probe = {
+  on_region : chunks:int -> helpers:int -> unit;
+      (** a parallel region was launched with [chunks] chunks and
+          [helpers] queued helper tasks *)
+  on_chunk : worker:int -> unit;
+      (** worker [worker] (0 = the coordinating domain, 1.. = pool
+          workers) finished executing one chunk *)
+  on_dequeue : worker:int -> wait_ns:int -> unit;
+      (** a queued helper task waited [wait_ns] nanoseconds between
+          enqueue and dequeue by worker [worker] *)
+}
+
+val set_probe : probe option -> unit
+(** Install ([Some]) or remove ([None]) the process-wide probe. *)

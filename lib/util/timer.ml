@@ -4,6 +4,29 @@ let time f =
   let t1 = Unix.gettimeofday () in
   (result, t1 -. t0)
 
+(* Monotonic nanosecond clock for span tracing.  [Unix.gettimeofday] is
+   the only wall clock the stdlib offers; it can step backwards under NTP
+   adjustment, which would produce negative span durations, so the raw
+   reading is clamped against the largest timestamp handed out so far.
+   The origin is the first read after process start, keeping the values
+   small enough for exact float microsecond conversion downstream. *)
+let epoch_ns = Atomic.make 0
+
+let last_ns = Atomic.make 0
+
+let now_ns () =
+  let raw = int_of_float (Unix.gettimeofday () *. 1e9) in
+  if Atomic.get epoch_ns = 0 then
+    ignore (Atomic.compare_and_set epoch_ns 0 raw);
+  let t = max 0 (raw - Atomic.get epoch_ns) in
+  let rec clamp () =
+    let prev = Atomic.get last_ns in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last_ns prev t then t
+    else clamp ()
+  in
+  clamp ()
+
 let time_median ?(repeats = 3) f =
   let repeats = max 1 repeats in
   let last = ref None in

@@ -7,3 +7,9 @@ val time : (unit -> 'a) -> 'a * float
 val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
 (** [time_median ~repeats f] runs [f] [repeats] times (default 3) and
     returns the last result with the median elapsed seconds. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since the first call in this process.  Safe to
+    call from any domain; successive reads never decrease (a wall-clock
+    step backwards is clamped to the last value handed out), so span
+    durations computed from two reads are always [>= 0]. *)

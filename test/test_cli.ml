@@ -48,6 +48,26 @@ let test_chaos_lossy_smoke () =
 let test_fuzz_list_props () =
   check_exit "fuzz --list-props" 0 (cli ^ " fuzz --list-props")
 
+let test_profile_smoke () =
+  let trace = Filename.temp_file "sof-profile" ".json" in
+  let metrics = Filename.temp_file "sof-profile" ".prom" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove trace with Sys_error _ -> ());
+      try Sys.remove metrics with Sys_error _ -> ())
+    (fun () ->
+      check_exit "profile" 0
+        (cli ^ " profile --topology testbed --algo sofda --trace " ^ trace
+       ^ " --metrics " ^ metrics);
+      let size f =
+        let ic = open_in_bin f in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> in_channel_length ic)
+      in
+      Alcotest.(check bool) "trace nonempty" true (size trace > 0);
+      Alcotest.(check bool) "metrics nonempty" true (size metrics > 0))
+
 let test_unknown_topology_rejected () =
   Alcotest.(check bool) "unknown topology exits nonzero" true
     (run (cli ^ " solve --topology atlantis") <> 0)
@@ -84,6 +104,7 @@ let () =
           Alcotest.test_case "chaos smoke" `Slow test_chaos_smoke;
           Alcotest.test_case "chaos lossy smoke" `Slow test_chaos_lossy_smoke;
           Alcotest.test_case "fuzz --list-props" `Quick test_fuzz_list_props;
+          Alcotest.test_case "profile smoke" `Slow test_profile_smoke;
           Alcotest.test_case "unknown --topology" `Quick
             test_unknown_topology_rejected;
           Alcotest.test_case "unknown --algo" `Quick test_unknown_algo_rejected;

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "sof"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("graph", Test_graph.suite);
       ("steiner", Test_steiner.suite);
       ("kstroll", Test_kstroll.suite);

@@ -1,0 +1,319 @@
+(* The observability layer: metrics registry, histogram quantiles, span
+   tracer and the three exporters, plus the minimal JSON module backing
+   the Chrome trace and the perf gate.
+
+   Every test runs with a clean registry and restores the disabled
+   default afterwards — observability state is process-global and the
+   other suites must see the zero-cost no-op sink. *)
+
+module Obs = Sof_obs.Obs
+module Json = Sof_obs.Json
+
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let qcheck name h q expected =
+  match Obs.quantile h q with
+  | Some v -> Alcotest.check (Alcotest.float 1e-9) name expected v
+  | None -> Alcotest.failf "%s: quantile is None" name
+
+(* --- histogram quantile edge cases ------------------------------------ *)
+
+let test_quantile_empty () =
+  with_obs (fun () ->
+      let h = Obs.histogram "t.empty" in
+      Alcotest.(check bool) "empty has no quantiles" true
+        (Obs.quantile h 0.5 = None);
+      Alcotest.(check int) "empty count" 0 (Obs.hist_count h))
+
+let test_quantile_single () =
+  with_obs (fun () ->
+      let h = Obs.histogram "t.single" in
+      Obs.observe h 0.37;
+      (* single sample: every quantile is exactly that sample *)
+      List.iter
+        (fun q -> qcheck (Printf.sprintf "q=%g" q) h q 0.37)
+        [ 0.0; 0.5; 0.95; 0.99; 1.0 ])
+
+let test_quantile_all_equal () =
+  with_obs (fun () ->
+      let h = Obs.histogram "t.equal" in
+      for _ = 1 to 100 do
+        Obs.observe h 2.5
+      done;
+      (* min = max, so the bucket-midpoint estimate clamps to the exact
+         value *)
+      List.iter
+        (fun q -> qcheck (Printf.sprintf "q=%g" q) h q 2.5)
+        [ 0.5; 0.95; 0.99 ];
+      Alcotest.check (Alcotest.float 1e-9) "sum" 250.0 (Obs.hist_sum h))
+
+let test_quantile_monotone_and_bounded () =
+  with_obs (fun () ->
+      let h = Obs.histogram "t.mixed" in
+      List.iter (Obs.observe h)
+        [ 0.001; 0.002; 0.004; 0.008; 0.016; 0.032; 0.064; 0.128; 0.256; 1.0 ];
+      let q x = Option.get (Obs.quantile h x) in
+      Alcotest.(check bool) "p50 <= p95" true (q 0.5 <= q 0.95);
+      Alcotest.(check bool) "p95 <= p99" true (q 0.95 <= q 0.99);
+      Alcotest.(check bool) "quantiles within [min,max]" true
+        (q 0.0 >= 0.001 && q 1.0 <= 1.0);
+      (* p50 of 10 samples is the 5th: 0.016; log-bucket estimate is within
+         the bucket's ~9% relative error *)
+      Alcotest.(check bool) "p50 near exact" true
+        (abs_float (q 0.5 -. 0.016) <= 0.016 *. 0.1))
+
+let test_quantile_out_of_range () =
+  with_obs (fun () ->
+      let h = Obs.histogram "t.range" in
+      Obs.observe h 1.0;
+      Alcotest.check_raises "q > 1 rejected"
+        (Invalid_argument "Obs.quantile: q out of [0,1]") (fun () ->
+          ignore (Obs.quantile h 1.5)))
+
+(* --- counters, gauges, gating ----------------------------------------- *)
+
+let test_counter_gauge () =
+  with_obs (fun () ->
+      let c = Obs.counter "t.count" in
+      Obs.incr c;
+      Obs.incr ~by:41 c;
+      Alcotest.(check int) "counter" 42 (Obs.counter_value c);
+      let g = Obs.gauge "t.gauge" in
+      Obs.set g 2.75;
+      Alcotest.check (Alcotest.float 0.0) "gauge" 2.75 (Obs.gauge_value g))
+
+let test_disabled_is_noop () =
+  Obs.reset ();
+  Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
+  let c = Obs.counter "t.off" in
+  let h = Obs.histogram "t.off_h" in
+  Obs.incr c;
+  Obs.observe h 1.0;
+  ignore (Obs.span "t.off_span" (fun () -> 7));
+  Alcotest.(check int) "counter untouched" 0 (Obs.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.hist_count h);
+  Alcotest.(check int) "no span recorded" 0 (List.length (Obs.events ()));
+  Obs.reset ()
+
+let test_kind_clash () =
+  with_obs (fun () ->
+      ignore (Obs.counter "t.clash");
+      Alcotest.(check bool) "same name, other kind raises" true
+        (try
+           ignore (Obs.histogram "t.clash");
+           false
+         with Invalid_argument _ -> true))
+
+(* --- spans -------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let r =
+        Obs.span "outer" (fun () ->
+            ignore (Obs.span "inner" (fun () -> 1));
+            2)
+      in
+      Alcotest.(check int) "span returns the body's value" 2 r;
+      match Obs.events () with
+      | [ inner; outer ] ->
+          (* spans record at exit: inner completes first *)
+          Alcotest.(check string) "inner first" "inner" inner.Obs.span_name;
+          Alcotest.(check string) "outer second" "outer" outer.Obs.span_name;
+          Alcotest.(check int) "outer depth" 0 outer.Obs.depth;
+          Alcotest.(check int) "inner depth" 1 inner.Obs.depth;
+          Alcotest.(check bool) "inner starts after outer" true
+            (inner.Obs.ts_ns >= outer.Obs.ts_ns);
+          Alcotest.(check bool) "inner contained in outer" true
+            (inner.Obs.ts_ns + inner.Obs.dur_ns
+            <= outer.Obs.ts_ns + outer.Obs.dur_ns)
+      | es -> Alcotest.failf "expected 2 events, got %d" (List.length es))
+
+let test_span_reraises () =
+  with_obs (fun () ->
+      (try Obs.span "boom" (fun () -> failwith "kaput") with
+      | Failure m -> Alcotest.(check string) "exception preserved" "kaput" m
+      | e -> raise e);
+      Alcotest.(check int) "failing span still recorded" 1
+        (List.length (Obs.events ())))
+
+let test_span_ring_bounded () =
+  with_obs (fun () ->
+      Obs.set_trace_capacity 8;
+      Fun.protect
+        ~finally:(fun () -> Obs.set_trace_capacity 65536)
+        (fun () ->
+          for i = 0 to 19 do
+            ignore (Obs.span (Printf.sprintf "s%d" i) (fun () -> ()))
+          done;
+          let es = Obs.events () in
+          Alcotest.(check int) "ring keeps capacity" 8 (List.length es);
+          Alcotest.(check int) "overflow counted" 12 (Obs.dropped_spans ());
+          (* oldest-first: the survivors are the last 8 spans *)
+          Alcotest.(check string) "oldest survivor" "s12"
+            (List.hd es).Obs.span_name))
+
+(* --- Chrome trace export ------------------------------------------------ *)
+
+let test_chrome_trace_export () =
+  with_obs (fun () ->
+      ignore (Obs.span "alpha" (fun () -> Obs.span "beta" (fun () -> 0)));
+      (* round-trip through the writer and parser, as Perfetto would read
+         the file *)
+      let json = Json.to_string (Obs.chrome_trace ()) in
+      match Json.parse json with
+      | Error m -> Alcotest.failf "trace JSON does not parse: %s" m
+      | Ok doc -> (
+          match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+          | None -> Alcotest.fail "no traceEvents array"
+          | Some evs ->
+              Alcotest.(check int) "one event per span" 2 (List.length evs);
+              let names =
+                List.filter_map
+                  (fun e -> Option.bind (Json.member "name" e) Json.to_str)
+                  evs
+              in
+              Alcotest.(check (list string)) "exit order preserved"
+                [ "beta"; "alpha" ] names;
+              List.iter
+                (fun e ->
+                  let str k = Option.bind (Json.member k e) Json.to_str in
+                  let num k = Option.bind (Json.member k e) Json.to_float in
+                  Alcotest.(check (option string)) "complete event" (Some "X")
+                    (str "ph");
+                  Alcotest.(check bool) "nonnegative duration" true
+                    (match num "dur" with Some d -> d >= 0.0 | None -> false);
+                  Alcotest.(check bool) "timestamp present" true
+                    (num "ts" <> None))
+                evs))
+
+(* --- Prometheus export -------------------------------------------------- *)
+
+let test_prometheus_golden () =
+  with_obs (fun () ->
+      Obs.incr ~by:3 (Obs.counter "golden.count");
+      Obs.set (Obs.gauge "golden.gauge") 2.5;
+      let h = Obs.histogram "golden.hist" in
+      for _ = 1 to 4 do
+        Obs.observe h 1.0
+      done;
+      let expected =
+        String.concat "\n"
+          [
+            "# TYPE sof_golden_count_total counter";
+            "sof_golden_count_total 3";
+            "# TYPE sof_golden_gauge gauge";
+            "sof_golden_gauge 2.5";
+            "# TYPE sof_golden_hist summary";
+            "sof_golden_hist{quantile=\"0.5\"} 1";
+            "sof_golden_hist{quantile=\"0.95\"} 1";
+            "sof_golden_hist{quantile=\"0.99\"} 1";
+            "sof_golden_hist_sum 4";
+            "sof_golden_hist_count 4";
+            "";
+          ]
+      in
+      Alcotest.(check string) "golden exposition" expected (Obs.prometheus ()))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_table_smoke () =
+  with_obs (fun () ->
+      Obs.incr (Obs.counter "t.table");
+      ignore (Obs.span "t.table_span" (fun () -> ()));
+      let s = Obs.table () in
+      Alcotest.(check bool) "mentions the counter" true (contains s "t.table"))
+
+(* --- JSON module -------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\n");
+        ("n", Json.Num 1.5);
+        ("i", Json.Num 42.0);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("a", Json.Arr [ Json.Num 0.1; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error m -> Alcotest.failf "round-trip parse failed: %s" m
+
+let test_json_float_precision () =
+  let x = 8.124001358999997 in
+  match Json.parse (Json.to_string (Json.Num x)) with
+  | Ok (Json.Num y) ->
+      Alcotest.(check bool) "float survives exactly" true (x = y)
+  | _ -> Alcotest.fail "number did not round-trip"
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "parsed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
+
+(* --- transparency (direct, oracle-shaped) ------------------------------- *)
+
+let test_transparency_direct () =
+  let p =
+    let rng = Sof_util.Rng.create 11 in
+    Sof_workload.Instance.draw ~rng
+      (Sof_topology.Topology.testbed ())
+      {
+        Sof_workload.Instance.n_vms = 8;
+        n_sources = 2;
+        n_dests = 4;
+        chain_length = 2;
+        setup_multiplier = 1.0;
+      }
+  in
+  let off = Sof.Sofda.solve p in
+  let on = with_obs (fun () -> Sof.Sofda.solve p) in
+  match (off, on) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "bit-identical forests" true
+        (a.Sof.Sofda.forest.Sof.Forest.walks
+         = b.Sof.Sofda.forest.Sof.Forest.walks
+        && a.Sof.Sofda.forest.Sof.Forest.delivery
+           = b.Sof.Sofda.forest.Sof.Forest.delivery
+        && Sof.Forest.total_cost a.Sof.Sofda.forest
+           = Sof.Forest.total_cost b.Sof.Sofda.forest)
+  | _ -> Alcotest.fail "testbed instance should solve both ways"
+
+let suite =
+  [
+    Alcotest.test_case "quantile: empty" `Quick test_quantile_empty;
+    Alcotest.test_case "quantile: single sample" `Quick test_quantile_single;
+    Alcotest.test_case "quantile: all equal" `Quick test_quantile_all_equal;
+    Alcotest.test_case "quantile: monotone + bounded" `Quick
+      test_quantile_monotone_and_bounded;
+    Alcotest.test_case "quantile: out of range" `Quick
+      test_quantile_out_of_range;
+    Alcotest.test_case "counter + gauge" `Quick test_counter_gauge;
+    Alcotest.test_case "disabled sink is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "name/kind clash" `Quick test_kind_clash;
+    Alcotest.test_case "span nesting + ordering" `Quick test_span_nesting;
+    Alcotest.test_case "span re-raises" `Quick test_span_reraises;
+    Alcotest.test_case "span ring bounded" `Quick test_span_ring_bounded;
+    Alcotest.test_case "chrome trace export" `Quick test_chrome_trace_export;
+    Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+    Alcotest.test_case "table smoke" `Quick test_table_smoke;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json float precision" `Quick test_json_float_precision;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "transparency (direct)" `Quick test_transparency_direct;
+  ]

@@ -396,9 +396,51 @@ let test_sim_outage_accounting () =
         (b.Sim.rebuffer <= m.Sim.rebuffer +. 1e-6))
     hit
 
+(* Availability regression: a destination whose node dies permanently is
+   dropped from the forest (repair's leave-based prune) but must keep
+   counting against availability in every subsequent entry — the
+   denominator stays the pristine destination set. *)
+let test_chaos_availability_permanent_loss () =
+  (* Star: source 0 — VM 1 — dests {2, 3, 4}. *)
+  let g =
+    Graph.create ~n:5
+      ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (1, 3, 1.0); (1, 4, 1.0) ]
+  in
+  let p =
+    Problem.make ~graph:g
+      ~node_cost:[| 0.0; 1.0; 0.0; 0.0; 0.0 |]
+      ~vms:[ 1 ] ~sources:[ 0 ] ~dests:[ 2; 3; 4 ] ~chain_length:1
+  in
+  let forest =
+    match Sof.Sofda.solve_forest p with
+    | Some f -> f
+    | None -> Alcotest.fail "star instance should solve"
+  in
+  let trace =
+    Fault.of_list
+      [ (1.0, Fault.Node_down 4); (2.0, Fault.Heal 0);
+        (3.0, Fault.Partition 0) ]
+  in
+  let report = Chaos.run ~trace forest in
+  (match report.Chaos.entries with
+  | [ e1; e2; e3 ] ->
+      Alcotest.(check (list int)) "dest 4 dropped" [ 4 ] e1.Chaos.dropped;
+      Alcotest.(check int) "served after loss" 2 e1.Chaos.served;
+      (* never rejoined: node 4 stays down for the rest of the trace *)
+      Alcotest.(check (list int)) "no rejoin (heal)" [] e2.Chaos.rejoined;
+      Alcotest.(check (list int)) "no rejoin (partition)" [] e3.Chaos.rejoined;
+      Alcotest.(check int) "still down (heal)" 2 e2.Chaos.served;
+      Alcotest.(check int) "still down (partition)" 2 e3.Chaos.served
+  | es -> Alcotest.failf "expected 3 entries, got %d" (List.length es));
+  (* hand-computed: every entry serves 2 of the pristine 3 dests *)
+  Alcotest.check (Alcotest.float 1e-9) "availability pinned" (2.0 /. 3.0)
+    report.Chaos.availability
+
 let suite =
   [
     Alcotest.test_case "scripted trace" `Quick test_scripted_trace;
+    Alcotest.test_case "availability: permanent dest loss" `Quick
+      test_chaos_availability_permanent_loss;
     Alcotest.test_case "schedule deterministic" `Quick test_schedule_deterministic;
     Alcotest.test_case "health folding" `Quick test_health_folding;
     Alcotest.test_case "degrade total outage" `Quick test_degrade_total_outage;
