@@ -79,6 +79,42 @@ let measure ~seeds topo_name topo algo_name (algo : Common.algo) =
     p95_wall_s = percentile walls 0.95;
   }
 
+(* Closure micro-bench row: wall-clock of building the SOFDA transform
+   (dominated by Metric.closure) plus the number of Dijkstra runs a full
+   solve starts, read off the [metric.dijkstra_runs] counter.  The count
+   is deterministic, so it rides in [mean_cost] where the gate's exact
+   cost check pins any closure-reuse regression. *)
+let measure_closure ~seeds topo_name topo =
+  let module Obs = Sof_obs.Obs in
+  let walls = Array.make seeds nan in
+  let runs = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rng = Rng.create (0xBE5C + (seed * 7919)) in
+    let p = Instance.draw ~rng topo params in
+    let t0 = Unix.gettimeofday () in
+    let tr = Sof.Transform.create p in
+    walls.(seed) <- Unix.gettimeofday () -. t0;
+    ignore (Sys.opaque_identity tr);
+    Obs.reset ();
+    Obs.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        Obs.reset ())
+      (fun () ->
+        ignore (Sof.Sofda.solve p);
+        runs := !runs + Obs.counter_value (Obs.counter "metric.dijkstra_runs"))
+  done;
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  {
+    topology = topo_name;
+    algo = "closure";
+    seeds;
+    mean_cost = float_of_int !runs /. float_of_int seeds;
+    mean_wall_s = mean walls;
+    p95_wall_s = percentile walls 0.95;
+  }
+
 let json_of_rows rows =
   Json.Obj
     [
@@ -108,7 +144,8 @@ let run ~quick ~seeds =
         let topo = mk () in
         List.map
           (fun (aname, algo) -> measure ~seeds tname topo aname algo)
-          algos)
+          algos
+        @ [ measure_closure ~seeds tname topo ])
       topologies
   in
   let t =

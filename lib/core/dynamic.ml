@@ -63,14 +63,14 @@ let destination_leave (f : Forest.t) v =
 
 (* ------------------------------------------------------------------ *)
 
-let destination_join (f : Forest.t) v =
+let destination_join ?cache (f : Forest.t) v =
   let p = f.Forest.problem in
   let l = p.Problem.chain_length in
   if Problem.is_dest p v then invalid_arg "Dynamic.destination_join: already a destination";
   let enabled = enabled_map f in
   let exclude vm = Hashtbl.mem enabled vm in
   let extra = forest_nodes f in
-  let t = Transform.create ~extra p in
+  let t = Transform.create ?cache ~extra p in
   (* Candidate attachment points: every walk hop with its stage; delivery
      nodes carry the complete stream (stage = |C|). *)
   let candidates = ref [] in
@@ -225,7 +225,7 @@ let splice (w : Forest.walk) ~from_pos ~to_pos ~path1 ~path2 ~via ~vnf =
    orphan with a pure delivery path from the nearest point already
    carrying the fully processed stream; [None] when some orphan is
    unreachable or the rewrite left any other defect. *)
-let regraft_unserved (forest : Forest.t) =
+let regraft_unserved ?cache (forest : Forest.t) =
   match Validate.check forest with
   | Ok () -> Some forest
   | Error errs -> (
@@ -253,7 +253,7 @@ let regraft_unserved (forest : Forest.t) =
             Hashtbl.replace pts b ())
           forest.Forest.delivery;
         let points = Hashtbl.fold (fun v () acc -> v :: acc) pts [] in
-        let t = Transform.create ~extra:points p in
+        let t = Transform.create ?cache ~extra:points p in
         let rec graft acc = function
           | [] -> Some acc
           | d :: rest -> (
@@ -282,7 +282,7 @@ let regraft_unserved (forest : Forest.t) =
             in
             if Validate.check f = Ok () then Some f else None)
 
-let vnf_insert (f : Forest.t) ~at =
+let vnf_insert ?cache (f : Forest.t) ~at =
   let p = f.Forest.problem in
   let l = p.Problem.chain_length in
   if at < 1 || at > l + 1 then invalid_arg "Dynamic.vnf_insert: bad position";
@@ -301,7 +301,7 @@ let vnf_insert (f : Forest.t) ~at =
   in
   let walks = List.map renumber f.Forest.walks in
   let extra = forest_nodes f in
-  let t = Transform.create ~extra p in
+  let t = Transform.create ?cache ~extra p in
   let enabled = Hashtbl.create 16 in
   List.iter
     (fun (w : Forest.walk) ->
@@ -364,7 +364,7 @@ let vnf_insert (f : Forest.t) ~at =
   | None -> None
   | Some walks ->
       let forest = Forest.make problem ~walks ~delivery:f.Forest.delivery in
-      Option.map (fun forest -> { problem; forest }) (regraft_unserved forest)
+      Option.map (fun forest -> { problem; forest }) (regraft_unserved ?cache forest)
 
 (* ------------------------------------------------------------------ *)
 
@@ -377,10 +377,10 @@ let segment_uses_edge hops a b u v =
   in
   scan a
 
-let reroute_link (f : Forest.t) ~u ~v =
+let reroute_link ?cache (f : Forest.t) ~u ~v =
   let p = f.Forest.problem in
   let extra = forest_nodes f in
-  let t = Transform.create ~extra p in
+  let t = Transform.create ?cache ~extra p in
   (* Anchors: hop 0, every mark position, last hop. *)
   let anchors (w : Forest.walk) =
     List.sort_uniq compare
@@ -474,18 +474,18 @@ let reroute_link (f : Forest.t) ~u ~v =
           let forest = Forest.make p ~walks ~delivery in
           Option.map
             (fun forest -> { problem = p; forest })
-            (regraft_unserved forest))
+            (regraft_unserved ?cache forest))
 
 (* ------------------------------------------------------------------ *)
 
-let relocate_vm (f : Forest.t) ~vm =
+let relocate_vm ?cache (f : Forest.t) ~vm =
   let p = f.Forest.problem in
   let enabled = enabled_map f in
   match Hashtbl.find_opt enabled vm with
   | None -> invalid_arg "Dynamic.relocate_vm: VM runs no VNF"
   | Some vnf ->
       let extra = forest_nodes f in
-      let t = Transform.create ~extra p in
+      let t = Transform.create ?cache ~extra p in
       let affected =
         List.filter
           (fun (w : Forest.walk) ->
@@ -600,4 +600,4 @@ let relocate_vm (f : Forest.t) ~vm =
           let forest = Forest.make p ~walks ~delivery:f.Forest.delivery in
           Option.map
             (fun forest -> { problem = p; forest })
-            (regraft_unserved forest))
+            (regraft_unserved ?cache forest))

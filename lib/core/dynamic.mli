@@ -2,7 +2,10 @@
     VII-C): destination join/leave, VNF insertion/deletion, and rerouting
     around congested links or overloaded VMs.
 
-    Every operation returns a fresh {!Problem.t} (membership or chain
+    Operations that re-solve shortest paths accept an optional
+    {!Sof_graph.Metric.Cache.t} so Dijkstra runs are shared between the
+    op's own grafting pass and its unserved-destination regraft (and with
+    any surrounding repair pipeline).  Every operation returns a fresh {!Problem.t} (membership or chain
     changes alter the instance) together with a forest that remains valid
     for it; operations never touch walks that do not need to change, which
     is the paper's point — no full SOFDA re-run per membership event. *)
@@ -17,7 +20,8 @@ val destination_leave : Forest.t -> int -> update
     path up to the nearest branch/injection node is pruned (paper's rule 1).
     @raise Invalid_argument when the node is not a destination. *)
 
-val destination_join : Forest.t -> int -> update option
+val destination_join :
+  ?cache:Sof_graph.Metric.Cache.t -> Forest.t -> int -> update option
 (** Attach a new destination at minimum incremental cost (paper's rule 2):
     either graft onto the delivery component through a shortest path (the
     stream there is fully processed), or branch a partial chain off a walk
@@ -31,20 +35,23 @@ val vnf_delete : Forest.t -> vnf:int -> update
     detours are shortcut.  @raise Invalid_argument on a bad index or when
     the chain has length 1. *)
 
-val vnf_insert : Forest.t -> at:int -> update option
+val vnf_insert :
+  ?cache:Sof_graph.Metric.Cache.t -> Forest.t -> at:int -> update option
 (** Insert a new VNF so that it becomes the [at]-th function (paper's rule
     4).  For every walk the cheapest available VM between the [at-1]-th and
     the old [at]-th VM is spliced in (connection + setup cost minimized);
     walks may share the spliced VM.  [None] if some walk cannot host the
     new VNF. *)
 
-val reroute_link : Forest.t -> u:int -> v:int -> update option
+val reroute_link :
+  ?cache:Sof_graph.Metric.Cache.t -> Forest.t -> u:int -> v:int -> update option
 (** Re-route every walk segment and delivery path that crosses link
     [(u,v)], using current edge costs (paper's rule 5 — call after raising
     the congested link's cost in the problem's graph).  [None] when some
     crossing segment admits no alternative route. *)
 
-val relocate_vm : Forest.t -> vm:int -> update option
+val relocate_vm :
+  ?cache:Sof_graph.Metric.Cache.t -> Forest.t -> vm:int -> update option
 (** Move the VNF running on an overloaded VM to the best available
     substitute and re-connect it to each walk's neighbouring VMs (paper's
     rule 6).  [None] when no substitute VM exists. *)

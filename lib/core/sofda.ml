@@ -109,8 +109,11 @@ let solve_aux ?(source_setup = false) ~t problem =
           problem.Problem.vms
     in
     let aux_n = lay.n + 1 + Array.length lay.sources + Array.length lay.vms in
+    (* Base edges are already deduplicated and every gadget edge touches a
+       duplicate node (or the super-source), so the concatenation is
+       duplicate-free and can skip [Graph.create]'s dedup pass. *)
     let aux =
-      Graph.create ~n:aux_n
+      Graph.create_simple ~n:aux_n
         ~edges:(Graph.edges problem.Problem.graph @ zero_edges @ !virtual_edges)
     in
     match Steiner.approx aux (lay.shat :: problem.Problem.dests) with
@@ -255,10 +258,12 @@ let solve_grafted ~source_setup ~t problem =
           conflicts_resolved = 0;
         }
 
-let solve ?(source_setup = false) ?transform problem =
+let solve ?cache ?(source_setup = false) ?transform problem =
   Obs.span "sofda.solve" @@ fun () ->
   let t =
-    match transform with Some t -> t | None -> Transform.create problem
+    match transform with
+    | Some t -> t
+    | None -> Transform.create ?cache problem
   in
   let aux = solve_aux ~source_setup ~t problem in
   let grafted = solve_grafted ~source_setup ~t problem in
@@ -319,5 +324,5 @@ let solve ?(source_setup = false) ?transform problem =
   (* the paper's walk-shortening post-step (Example 7) *)
   Option.map (fun r -> { r with forest = Forest.shorten r.forest }) best
 
-let solve_forest ?source_setup problem =
-  Option.map (fun r -> r.forest) (solve ?source_setup problem)
+let solve_forest ?cache ?source_setup problem =
+  Option.map (fun r -> r.forest) (solve ?cache ?source_setup problem)

@@ -29,11 +29,22 @@ type report = {
   conflicts_resolved : int;            (** VMs that carried contending VNF demands *)
 }
 
-val solve : ?source_setup:bool -> ?transform:Transform.t -> Problem.t -> report option
+val solve :
+  ?cache:Sof_graph.Metric.Cache.t ->
+  ?source_setup:bool ->
+  ?transform:Transform.t ->
+  Problem.t ->
+  report option
 (** [None] when no feasible forest exists (some destination cannot be
-    reached through a full chain). *)
+    reached through a full chain).  A [cache] shares Dijkstra runs with
+    other solves over the same graph (repair and re-solve pipelines);
+    ignored when a prebuilt [transform] is supplied. *)
 
-val solve_forest : ?source_setup:bool -> Problem.t -> Forest.t option
+val solve_forest :
+  ?cache:Sof_graph.Metric.Cache.t ->
+  ?source_setup:bool ->
+  Problem.t ->
+  Forest.t option
 
 (** {2 Ablation entry points}
 

@@ -25,12 +25,14 @@ let steiner_for t problem root dests =
   | tree -> Some tree
   | exception Invalid_argument _ -> None
 
-let solve ?(source_setup = false) ?transform problem ~source =
+let solve ?cache ?(source_setup = false) ?transform problem ~source =
   if not (Problem.is_source problem source) then
     invalid_arg "Sofda_ss.solve: source not in S";
   Sof_obs.Obs.span "sofda_ss.solve" @@ fun () ->
   let t =
-    match transform with Some t -> t | None -> Transform.create problem
+    match transform with
+    | Some t -> t
+    | None -> Transform.create ?cache problem
   in
   let consider best u =
     match
@@ -61,5 +63,5 @@ let solve ?(source_setup = false) ?transform problem ~source =
           tree_cost = tree.Steiner.weight;
         }
 
-let solve_forest ?source_setup problem ~source =
-  Option.map (fun r -> r.forest) (solve ?source_setup problem ~source)
+let solve_forest ?cache ?source_setup problem ~source =
+  Option.map (fun r -> r.forest) (solve ?cache ?source_setup problem ~source)

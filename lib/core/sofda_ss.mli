@@ -14,6 +14,7 @@ type report = {
 }
 
 val solve :
+  ?cache:Sof_graph.Metric.Cache.t ->
   ?source_setup:bool ->
   ?transform:Transform.t ->
   Problem.t ->
@@ -22,8 +23,13 @@ val solve :
 (** [solve problem ~source] — [None] when no candidate last VM yields a
     feasible chain + tree (disconnected instance or too few VMs).  A
     precomputed [transform] (closure) may be supplied to amortize Dijkstra
-    runs across calls. *)
+    runs across calls; a [cache] does the same across independent solves
+    on one graph (ignored when [transform] is given). *)
 
 val solve_forest :
-  ?source_setup:bool -> Problem.t -> source:int -> Forest.t option
+  ?cache:Sof_graph.Metric.Cache.t ->
+  ?source_setup:bool ->
+  Problem.t ->
+  source:int ->
+  Forest.t option
 (** [solve] projected to the forest. *)

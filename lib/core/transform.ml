@@ -13,14 +13,14 @@ type result = {
   cost : float;
 }
 
-let create ?(extra = []) problem =
+let create ?cache ?(extra = []) problem =
   let terminals =
-    List.sort_uniq compare
+    List.sort_uniq Int.compare
       (problem.Problem.sources @ problem.Problem.vms @ problem.Problem.dests
       @ extra)
   in
   let terms = Array.of_list terminals in
-  let closure = Metric.closure problem.Problem.graph terms in
+  let closure = Metric.closure ?cache problem.Problem.graph terms in
   let idx = Hashtbl.create (Array.length terms) in
   Array.iteri (fun i v -> Hashtbl.replace idx v i) terms;
   { problem; closure; idx }
@@ -37,13 +37,15 @@ let terminal_idx t v =
 
 let distance t a b =
   match (Hashtbl.find_opt t.idx a, Hashtbl.find_opt t.idx b) with
-  | Some i, _ -> (Metric.dist_from_terminal t.closure i).(b)
-  | None, Some j -> (Metric.dist_from_terminal t.closure j).(a)
+  | Some i, Some j -> Metric.distance t.closure i j
+  | Some i, None -> Metric.distance_to_node t.closure i b
+  | None, Some j -> Metric.distance_to_node t.closure j a
   | None, None -> invalid_arg "Transform.distance: neither node is a terminal"
 
 let shortest_path t a b =
   match (Hashtbl.find_opt t.idx a, Hashtbl.find_opt t.idx b) with
-  | Some i, _ -> Metric.path_to_node t.closure i b
+  | Some i, Some j -> Metric.path t.closure i j
+  | Some i, None -> Metric.path_to_node t.closure i b
   | None, Some j -> List.rev (Metric.path_to_node t.closure j a)
   | None, None ->
       invalid_arg "Transform.shortest_path: neither node is a terminal"

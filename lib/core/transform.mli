@@ -19,7 +19,8 @@ type result = {
   cost : float;                 (** connection + setup cost of the walk *)
 }
 
-val create : ?extra:int list -> Problem.t -> t
+val create :
+  ?cache:Sof_graph.Metric.Cache.t -> ?extra:int list -> Problem.t -> t
 (** Closure over [S ∪ M ∪ D ∪ extra].  One Dijkstra per terminal. *)
 
 val problem : t -> Problem.t

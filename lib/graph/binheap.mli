@@ -1,6 +1,7 @@
-(** Minimum binary heap with float priorities.
+(** Minimum implicit 4-ary heap with float priorities.
 
-    Used by Dijkstra and Prim.  Deletions are lazy: [decrease_key] is
+    Used by Prim, the Steiner relaxation and the simulator's event queue.
+    Deletions are lazy: [decrease_key] is
     realized by inserting a duplicate and letting stale entries be skipped by
     the caller (the standard "lazy Dijkstra" idiom), so [pop] may return
     superseded entries — callers filter with their own settled set. *)

@@ -1,42 +1,202 @@
 type result = { dist : float array; parent : int array }
 
-let run_from g sources ~stop_at =
-  let n = Graph.n g in
+(* ------------------------------------------------------------------ *)
+(* Internal monomorphic binary heap over (float priority, int node).
+
+   Deliberately binary, not 4-ary: the pop order among equal priorities
+   is part of the solver's determinism contract (it decides which of
+   several equal-cost parents wins a tie), and this layout replicates the
+   historical heap's ordering exactly.  Deletions are lazy — stale
+   entries are skipped against the settled set by the callers below. *)
+
+type heap = {
+  mutable hprio : float array;
+  mutable hnode : int array;
+  mutable hlen : int;
+}
+
+let heap_make () = { hprio = Array.make 16 0.0; hnode = Array.make 16 0; hlen = 0 }
+
+let heap_grow h =
+  let cap = Array.length h.hprio in
+  let prio = Array.make (cap * 2) 0.0 in
+  let node = Array.make (cap * 2) 0 in
+  Array.blit h.hprio 0 prio 0 h.hlen;
+  Array.blit h.hnode 0 node 0 h.hlen;
+  h.hprio <- prio;
+  h.hnode <- node
+
+let heap_swap h i j =
+  let p = h.hprio.(i) and d = h.hnode.(i) in
+  h.hprio.(i) <- h.hprio.(j);
+  h.hnode.(i) <- h.hnode.(j);
+  h.hprio.(j) <- p;
+  h.hnode.(j) <- d
+
+let rec heap_sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.hprio.(parent) > h.hprio.(i) then begin
+      heap_swap h i parent;
+      heap_sift_up h parent
+    end
+  end
+
+let rec heap_sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.hlen && h.hprio.(l) < h.hprio.(!smallest) then smallest := l;
+  if r < h.hlen && h.hprio.(r) < h.hprio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    heap_swap h i !smallest;
+    heap_sift_down h !smallest
+  end
+
+let heap_push h prio node =
+  if h.hlen = Array.length h.hprio then heap_grow h;
+  h.hprio.(h.hlen) <- prio;
+  h.hnode.(h.hlen) <- node;
+  h.hlen <- h.hlen + 1;
+  heap_sift_up h (h.hlen - 1)
+
+(* Pop the minimum-priority node, or -1 when empty. *)
+let heap_pop h =
+  if h.hlen = 0 then -1
+  else begin
+    let u = h.hnode.(0) in
+    h.hlen <- h.hlen - 1;
+    h.hprio.(0) <- h.hprio.(h.hlen);
+    h.hnode.(0) <- h.hnode.(h.hlen);
+    if h.hlen > 0 then heap_sift_down h 0;
+    u
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain reusable workspace.
+
+   dist/parent are valid only where the stamp says so: stamp.(v) = gen
+   means touched this run, stamp.(v) = gen + 1 means settled this run,
+   anything lower is garbage from an earlier generation.  Bumping gen by
+   2 invalidates the whole workspace in O(1) — no per-run alloc+clear.
+   The workspace lives in domain-local storage, so pool workers never
+   alias each other's scratch. *)
+
+type ws = {
+  mutable cap : int;
+  mutable wdist : float array;
+  mutable wparent : int array;
+  mutable stamp : int array;
+  mutable gen : int;
+  wheap : heap;
+}
+
+let ws_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        cap = 0;
+        wdist = [||];
+        wparent = [||];
+        stamp = [||];
+        gen = 1;
+        wheap = heap_make ();
+      })
+
+let ws_prepare n =
+  let ws = Domain.DLS.get ws_key in
+  if ws.cap < n then begin
+    let cap = max n (2 * ws.cap) in
+    ws.cap <- cap;
+    ws.wdist <- Array.make cap infinity;
+    ws.wparent <- Array.make cap (-1);
+    ws.stamp <- Array.make cap 0;
+    ws.gen <- 1
+  end
+  else ws.gen <- ws.gen + 2;
+  ws.wheap.hlen <- 0;
+  ws
+
+let ws_seed ws n s =
+  if s < 0 || s >= n then invalid_arg "Dijkstra: source out of range";
+  ws.stamp.(s) <- ws.gen;
+  ws.wdist.(s) <- 0.0;
+  ws.wparent.(s) <- -1;
+  heap_push ws.wheap 0.0 s
+
+(* Settle and relax the next node; -1 when the heap is exhausted. *)
+let ws_settle_next ws g =
+  let rec go () =
+    let u = heap_pop ws.wheap in
+    if u = -1 then -1
+    else if ws.stamp.(u) > ws.gen then go () (* stale lazy-deletion entry *)
+    else begin
+      ws.stamp.(u) <- ws.gen + 1;
+      let d = ws.wdist.(u) in
+      Graph.iter_neighbors g u (fun v w ->
+          let nd = d +. w in
+          if ws.stamp.(v) < ws.gen then begin
+            ws.stamp.(v) <- ws.gen;
+            ws.wdist.(v) <- nd;
+            ws.wparent.(v) <- u;
+            heap_push ws.wheap nd v
+          end
+          else if nd < ws.wdist.(v) then begin
+            ws.wdist.(v) <- nd;
+            ws.wparent.(v) <- u;
+            heap_push ws.wheap nd v
+          end);
+      u
+    end
+  in
+  go ()
+
+let ws_exhaust ws g = while ws_settle_next ws g <> -1 do () done
+
+(* Copy the settled portion of the workspace out into a fresh result;
+   untouched and merely-touched nodes read as unreachable. *)
+let ws_materialize ws n =
   let dist = Array.make n infinity in
   let parent = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Binheap.create () in
-  List.iter
-    (fun s ->
-      if s < 0 || s >= n then invalid_arg "Dijkstra: source out of range";
-      dist.(s) <- 0.0;
-      Binheap.push heap 0.0 s)
-    sources;
-  let finished = ref false in
-  while (not !finished) && not (Binheap.is_empty heap) do
-    match Binheap.pop heap with
-    | None -> finished := true
-    | Some (d, u) ->
-        if not settled.(u) then begin
-          settled.(u) <- true;
-          if stop_at = Some u then finished := true
-          else
-            Graph.iter_neighbors g u (fun v w ->
-                let nd = d +. w in
-                if nd < dist.(v) then begin
-                  dist.(v) <- nd;
-                  parent.(v) <- u;
-                  Binheap.push heap nd v
-                end)
-        end
+  let settled_gen = ws.gen + 1 in
+  for v = 0 to n - 1 do
+    if ws.stamp.(v) = settled_gen then begin
+      dist.(v) <- ws.wdist.(v);
+      parent.(v) <- ws.wparent.(v)
+    end
   done;
   { dist; parent }
 
-let run g s = run_from g [ s ] ~stop_at:None
+let run g s =
+  let n = Graph.n g in
+  let ws = ws_prepare n in
+  ws_seed ws n s;
+  ws_exhaust ws g;
+  ws_materialize ws n
 
 let multi_source g sources =
   if sources = [] then invalid_arg "Dijkstra.multi_source: no sources";
-  run_from g sources ~stop_at:None
+  let n = Graph.n g in
+  let ws = ws_prepare n in
+  List.iter (ws_seed ws n) sources;
+  ws_exhaust ws g;
+  ws_materialize ws n
+
+let run_to_targets g s ~targets =
+  let n = Graph.n g in
+  Array.iter
+    (fun t ->
+      if t < 0 || t >= n then invalid_arg "Dijkstra.run_to_targets: target out of range")
+    targets;
+  let ws = ws_prepare n in
+  ws_seed ws n s;
+  (try
+     Array.iter
+       (fun t ->
+         while ws.stamp.(t) <= ws.gen do
+           if ws_settle_next ws g = -1 then raise Exit
+         done)
+       targets
+   with Exit -> ());
+  ws_materialize ws n
 
 let path_to r v =
   if r.dist.(v) = infinity then None
@@ -46,22 +206,164 @@ let path_to r v =
   end
 
 let to_target g ~src ~dst =
-  let r = run_from g [ src ] ~stop_at:(Some dst) in
-  if r.dist.(dst) = infinity then None
-  else
-    match path_to r dst with
-    | Some p -> Some (r.dist.(dst), p)
-    | None -> None
+  let n = Graph.n g in
+  if dst < 0 || dst >= n then invalid_arg "Dijkstra.to_target: target out of range";
+  let ws = ws_prepare n in
+  ws_seed ws n src;
+  let reached = ref false in
+  (try
+     while not !reached do
+       let u = ws_settle_next ws g in
+       if u = -1 then raise Exit;
+       if u = dst then reached := true
+     done
+   with Exit -> ());
+  if not !reached then None
+  else begin
+    let rec build acc u = if u = -1 then acc else build (u :: acc) ws.wparent.(u) in
+    Some (ws.wdist.(dst), build [] dst)
+  end
 
 let distance_matrix g terminals =
   let k = Array.length terminals in
   let d = Array.make_matrix k k infinity in
   Array.iteri
     (fun i ti ->
-      let r = run g ti in
+      let r = run_to_targets g ti ~targets:terminals in
       Array.iteri (fun j tj -> d.(i).(j) <- r.dist.(tj)) terminals)
     terminals;
   d
+
+(* ------------------------------------------------------------------ *)
+(* Resumable single-source runs.
+
+   A [state] owns its label arrays and frontier and can be driven
+   terminal-by-terminal: settled labels are final (nonnegative weights
+   admit no later improvement), so a state can be paused after the nodes
+   one caller needs and resumed when another caller needs more.  The
+   settle order is identical to a full run regardless of how the work is
+   sliced, so results never depend on resume interleaving. *)
+
+type state = {
+  sgraph : Graph.t;
+  sroot : int;
+  sdist : float array;
+  sparent : int array;
+  ssettled : bool array;
+  sheap : heap;
+  mutable nsettled : int;
+  mutable exhausted : bool;
+}
+
+let start g s =
+  let n = Graph.n g in
+  if s < 0 || s >= n then invalid_arg "Dijkstra.start: source out of range";
+  let st =
+    {
+      sgraph = g;
+      sroot = s;
+      sdist = Array.make n infinity;
+      sparent = Array.make n (-1);
+      ssettled = Array.make n false;
+      sheap = heap_make ();
+      nsettled = 0;
+      exhausted = false;
+    }
+  in
+  st.sdist.(s) <- 0.0;
+  heap_push st.sheap 0.0 s;
+  st
+
+let root st = st.sroot
+let is_settled st v = st.ssettled.(v)
+let is_exhausted st = st.exhausted
+let settled_count st = st.nsettled
+
+let state_settle_next st =
+  if st.exhausted then -1
+  else begin
+    let rec go () =
+      let u = heap_pop st.sheap in
+      if u = -1 then begin
+        st.exhausted <- true;
+        -1
+      end
+      else if st.ssettled.(u) then go ()
+      else begin
+        st.ssettled.(u) <- true;
+        st.nsettled <- st.nsettled + 1;
+        let d = st.sdist.(u) in
+        Graph.iter_neighbors st.sgraph u (fun v w ->
+            let nd = d +. w in
+            if nd < st.sdist.(v) then begin
+              st.sdist.(v) <- nd;
+              st.sparent.(v) <- u;
+              heap_push st.sheap nd v
+            end);
+        u
+      end
+    in
+    go ()
+  end
+
+let settle st v =
+  while (not st.ssettled.(v)) && state_settle_next st <> -1 do
+    ()
+  done
+
+let settle_many st targets = Array.iter (settle st) targets
+
+let settle_all st =
+  while state_settle_next st <> -1 do
+    ()
+  done
+
+let state_dist st v = if st.ssettled.(v) then st.sdist.(v) else infinity
+
+let state_path st v =
+  if not st.ssettled.(v) then None
+  else begin
+    let rec build acc u = if u = -1 then acc else build (u :: acc) st.sparent.(u) in
+    Some (build [] v)
+  end
+
+let state_dist_array st =
+  settle_all st;
+  st.sdist
+
+(* ------------------------------------------------------------------ *)
+(* Straightforward reference implementation: fresh arrays every run, its
+   own heap, no generations, no early exit.  Kept as the differential
+   oracle for the workspace engine above — both use the same binary tie
+   order, so dist AND parent arrays must match exactly. *)
+
+let reference g sources =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = heap_make () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Dijkstra: source out of range";
+      dist.(s) <- 0.0;
+      heap_push heap 0.0 s)
+    sources;
+  while heap.hlen > 0 do
+    let u = heap_pop heap in
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      let d = dist.(u) in
+      Graph.iter_neighbors g u (fun v w ->
+          let nd = d +. w in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            parent.(v) <- u;
+            heap_push heap nd v
+          end)
+    end
+  done;
+  { dist; parent }
 
 let bellman_ford g s =
   let n = Graph.n g in

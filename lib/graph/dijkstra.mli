@@ -1,4 +1,14 @@
-(** Shortest paths on nonnegative edge weights. *)
+(** Shortest paths on nonnegative edge weights.
+
+    The engine reuses a per-domain scratch workspace (generation-stamped
+    label arrays plus a persistent frontier heap held in domain-local
+    storage), so a run costs no O(n) allocation or clearing beyond the
+    returned result.  Pool workers each get their own workspace; results
+    are always materialized into fresh arrays and never alias scratch.
+
+    Equal-priority frontier entries pop in the same order as the
+    historical implementation, so distances {e and parent choices on
+    ties} are reproduced bit-for-bit. *)
 
 type result = {
   dist : float array;  (** [dist.(v)] = shortest distance; [infinity] if unreachable. *)
@@ -12,6 +22,13 @@ val multi_source : Graph.t -> int list -> result
 (** Shortest distance from the nearest of several sources (virtual
     super-source of weight 0). *)
 
+val run_to_targets : Graph.t -> int -> targets:int array -> result
+(** Like {!run} but stops as soon as every node in [targets] is settled
+    (or the source's component is exhausted), so the cost scales with the
+    reached subgraph rather than |V|.  Settled nodes carry their exact
+    distance and parent; nodes not settled by then read as unreachable
+    ([infinity] / [-1]) even when a finite tentative label existed. *)
+
 val to_target : Graph.t -> src:int -> dst:int -> (float * int list) option
 (** Shortest path [src -> dst] with early termination; returns the distance
     and the node sequence (inclusive of both endpoints), or [None] when
@@ -22,8 +39,58 @@ val path_to : result -> int -> int list option
     [result]; [None] if unreachable. *)
 
 val distance_matrix : Graph.t -> int array -> float array array
-(** [distance_matrix g terminals] runs Dijkstra from each terminal; entry
-    [(i, j)] is the distance between [terminals.(i)] and [terminals.(j)]. *)
+(** [distance_matrix g terminals] runs targeted Dijkstra from each terminal;
+    entry [(i, j)] is the distance between [terminals.(i)] and
+    [terminals.(j)]. *)
+
+(** {2 Resumable runs}
+
+    A {!state} is a paused single-source run that owns its labels and
+    frontier.  Settled labels are final — nonnegative weights admit no
+    later improvement — so callers may settle exactly the nodes they
+    need now and resume for more later; the settle order (and therefore
+    every label) is independent of how the work is sliced. *)
+
+type state
+
+val start : Graph.t -> int -> state
+(** Begin a run from a source; nothing is settled yet. *)
+
+val root : state -> int
+(** The source the state was started from. *)
+
+val settle : state -> int -> unit
+(** Drive the run until the node is settled, or the frontier empties (the
+    node is unreachable). *)
+
+val settle_many : state -> int array -> unit
+
+val settle_all : state -> unit
+(** Exhaust the run: every reachable node settled. *)
+
+val is_settled : state -> int -> bool
+val is_exhausted : state -> bool
+
+val settled_count : state -> int
+(** Number of nodes settled so far — the work metric behind the
+    [metric.dijkstra_settled] counter. *)
+
+val state_dist : state -> int -> float
+(** Exact distance for a settled node; [infinity] for an unsettled one
+    (meaningful only after {!settle}/{!settle_all} made the node's status
+    final). *)
+
+val state_path : state -> int -> int list option
+(** Node sequence root .. v for a settled node, [None] otherwise. *)
+
+val state_dist_array : state -> float array
+(** Exhaust the run and expose the full distance array (live, do not
+    mutate): [infinity] marks unreachable nodes. *)
+
+val reference : Graph.t -> int list -> result
+(** Straightforward multi-source implementation with fresh arrays and no
+    early exit — the differential oracle for the workspace engine; both
+    use the same tie order, so results must match exactly. *)
 
 val bellman_ford : Graph.t -> int -> float array
 (** Reference O(nm) shortest-path implementation, used as a test oracle. *)

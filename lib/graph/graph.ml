@@ -1,21 +1,72 @@
+(* Flat CSR adjacency: one offsets array plus parallel target/weight
+   arrays.  Row [u] lives in [off.(u) .. off.(u+1)-1] of [tgt]/[wgt] and is
+   sorted by target, so neighbor iteration order matches the historical
+   sorted (target, weight) tuple representation bit-for-bit.  [wgt] is a
+   plain [float array] and therefore unboxed. *)
 type t = {
   n : int;
-  adj : (int * float) array array; (* adj.(u) = sorted neighbor array *)
   m : int;
+  off : int array; (* length n+1 *)
+  tgt : int array; (* length 2m, row-sorted by target *)
+  wgt : float array; (* length 2m, parallel to tgt *)
 }
 
-let validate_edge n (u, v, w) =
-  if u < 0 || u >= n || v < 0 || v >= n then
+let validate_edge ctx n (u, v, w) =
+  if u < 0 || u >= n then
     invalid_arg
-      (Printf.sprintf "Graph.create: endpoint out of range (%d,%d) with n=%d" u
+      (Printf.sprintf "Graph.%s: endpoint out of range (%d,%d) with n=%d" ctx u
+         v n)
+  else if v < 0 || v >= n then
+    invalid_arg
+      (Printf.sprintf "Graph.%s: endpoint out of range (%d,%d) with n=%d" ctx u
          v n);
-  if u = v then invalid_arg "Graph.create: self-loop";
+  if u = v then invalid_arg (Printf.sprintf "Graph.%s: self-loop" ctx);
   if w < 0.0 || Float.is_nan w then
-    invalid_arg "Graph.create: negative or NaN weight"
+    invalid_arg (Printf.sprintf "Graph.%s: negative or NaN weight" ctx)
+
+(* Build the CSR arrays from [m] undirected edges delivered (twice) by
+   [iter2].  Rows are insertion-sorted by target: degrees are small and the
+   sort is monomorphic on int keys, replacing the old polymorphic
+   [Array.sort compare] over boxed tuples. *)
+let build ~n ~m iter2 =
+  let off = Array.make (n + 1) 0 in
+  iter2 (fun u v _ ->
+      off.(u + 1) <- off.(u + 1) + 1;
+      off.(v + 1) <- off.(v + 1) + 1);
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u + 1) + off.(u)
+  done;
+  let tgt = Array.make (2 * m) 0 in
+  let wgt = Array.make (2 * m) 0.0 in
+  let fill = Array.sub off 0 n in
+  iter2 (fun u v w ->
+      let iu = fill.(u) in
+      fill.(u) <- iu + 1;
+      tgt.(iu) <- v;
+      wgt.(iu) <- w;
+      let iv = fill.(v) in
+      fill.(v) <- iv + 1;
+      tgt.(iv) <- u;
+      wgt.(iv) <- w);
+  for u = 0 to n - 1 do
+    let lo = off.(u) and hi = off.(u + 1) in
+    for i = lo + 1 to hi - 1 do
+      let t = tgt.(i) and w = wgt.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && tgt.(!j) > t do
+        tgt.(!j + 1) <- tgt.(!j);
+        wgt.(!j + 1) <- wgt.(!j);
+        decr j
+      done;
+      tgt.(!j + 1) <- t;
+      wgt.(!j + 1) <- w
+    done
+  done;
+  { n; m; off; tgt; wgt }
 
 let create ~n ~edges =
   if n < 0 then invalid_arg "Graph.create: negative n";
-  List.iter (validate_edge n) edges;
+  List.iter (validate_edge "create" n) edges;
   (* Collapse parallel edges keeping the cheapest: deduplicate via a map keyed
      by the normalized endpoint pair. *)
   let tbl = Hashtbl.create (List.length edges * 2) in
@@ -26,49 +77,74 @@ let create ~n ~edges =
       | Some w' when w' <= w -> ()
       | _ -> Hashtbl.replace tbl key w)
     edges;
-  let deg = Array.make n 0 in
-  Hashtbl.iter
-    (fun (u, v) _ ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    tbl;
-  let adj = Array.init n (fun u -> Array.make deg.(u) (0, 0.0)) in
-  let fill = Array.make n 0 in
-  Hashtbl.iter
-    (fun (u, v) w ->
-      adj.(u).(fill.(u)) <- (v, w);
-      fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- (u, w);
-      fill.(v) <- fill.(v) + 1)
-    tbl;
-  Array.iter (fun row -> Array.sort compare row) adj;
-  { n; adj; m = Hashtbl.length tbl }
+  let m = Hashtbl.length tbl in
+  build ~n ~m (fun f -> Hashtbl.iter (fun (u, v) w -> f u v w) tbl)
+
+let create_simple ~n ~edges =
+  if n < 0 then invalid_arg "Graph.create_simple: negative n";
+  List.iter (validate_edge "create_simple" n) edges;
+  let m = List.length edges in
+  let g = build ~n ~m (fun f -> List.iter (fun (u, v, w) -> f u v w) edges) in
+  (* The caller promised a duplicate-free edge set; with rows sorted by
+     target a violation shows up as adjacent equal targets. *)
+  for u = 0 to n - 1 do
+    for i = g.off.(u) + 1 to g.off.(u + 1) - 1 do
+      if g.tgt.(i) = g.tgt.(i - 1) then
+        invalid_arg
+          (Printf.sprintf "Graph.create_simple: duplicate edge (%d,%d)" u
+             g.tgt.(i))
+    done
+  done;
+  g
 
 let n g = g.n
 let m g = g.m
 
 let iter_neighbors g u f =
-  Array.iter (fun (v, w) -> f v w) g.adj.(u)
+  for i = g.off.(u) to g.off.(u + 1) - 1 do
+    f g.tgt.(i) g.wgt.(i)
+  done
 
 let fold_neighbors g u f init =
-  Array.fold_left (fun acc (v, w) -> f acc v w) init g.adj.(u)
+  let acc = ref init in
+  for i = g.off.(u) to g.off.(u + 1) - 1 do
+    acc := f !acc g.tgt.(i) g.wgt.(i)
+  done;
+  !acc
 
-let neighbors g u = Array.to_list g.adj.(u)
+let neighbors g u =
+  let acc = ref [] in
+  for i = g.off.(u + 1) - 1 downto g.off.(u) do
+    acc := (g.tgt.(i), g.wgt.(i)) :: !acc
+  done;
+  !acc
 
-let degree g u = Array.length g.adj.(u)
+let degree g u = g.off.(u + 1) - g.off.(u)
 
 let edge_weight g u v =
   if u < 0 || u >= g.n || v < 0 || v >= g.n then None
-  else
-    Array.fold_left
-      (fun acc (x, w) -> if x = v then Some w else acc)
-      None g.adj.(u)
+  else begin
+    (* Rows are sorted by target: binary search. *)
+    let lo = ref g.off.(u) and hi = ref (g.off.(u + 1) - 1) in
+    let found = ref None in
+    while !found = None && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let t = g.tgt.(mid) in
+      if t = v then found := Some g.wgt.(mid)
+      else if t < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  end
 
 let mem_edge g u v = edge_weight g u v <> None
 
 let iter_edges g f =
   for u = 0 to g.n - 1 do
-    Array.iter (fun (v, w) -> if u < v then f u v w) g.adj.(u)
+    for i = g.off.(u) to g.off.(u + 1) - 1 do
+      let v = g.tgt.(i) in
+      if u < v then f u v g.wgt.(i)
+    done
   done
 
 let edges g =
@@ -81,15 +157,17 @@ let total_weight g =
   iter_edges g (fun _ _ w -> acc := !acc +. w);
   !acc
 
+(* iter_edges emits each endpoint pair exactly once, so the rebuilt edge
+   sets below are duplicate-free by construction and can skip dedup. *)
 let map_weights g f =
   let es = ref [] in
   iter_edges g (fun u v w -> es := (u, v, f u v w) :: !es);
-  create ~n:g.n ~edges:!es
+  create_simple ~n:g.n ~edges:!es
 
 let filter_edges g keep =
   let es = ref [] in
   iter_edges g (fun u v w -> if keep u v w then es := (u, v, w) :: !es);
-  create ~n:g.n ~edges:!es
+  create_simple ~n:g.n ~edges:!es
 
 let add_edges g extra = create ~n:g.n ~edges:(edges g @ extra)
 
@@ -105,7 +183,7 @@ let complete_of_matrix d =
       if d.(u).(v) < infinity then es := (u, v, d.(u).(v)) :: !es
     done
   done;
-  create ~n ~edges:!es
+  create_simple ~n ~edges:!es
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph n=%d m=%d" g.n g.m;

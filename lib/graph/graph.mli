@@ -11,6 +11,14 @@ val create : n:int -> edges:(int * int * float) list -> t
     an undirected edge.  @raise Invalid_argument on out-of-range endpoints,
     self-loops, or negative weights. *)
 
+val create_simple : n:int -> edges:(int * int * float) list -> t
+(** Like {!create} but for edge sets the caller guarantees contain no
+    duplicate endpoint pair, skipping the dedup hashtable pass (metric
+    complete graphs, auxiliary layouts, rebuilt edge lists).  Endpoint,
+    self-loop and weight validation still apply, and a duplicate pair is
+    detected and rejected rather than silently admitted.
+    @raise Invalid_argument as {!create}, plus on duplicate edges. *)
+
 val n : t -> int
 (** Number of nodes. *)
 

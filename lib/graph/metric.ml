@@ -1,22 +1,170 @@
-type t = {
-  terminals : int array;
-  index_of : (int, int) Hashtbl.t;
-  runs : Dijkstra.result array;
+module Obs = Sof_obs.Obs
+
+(* A closure no longer stores finished full-graph sweeps: each terminal
+   owns a resumable Dijkstra [state] that is driven exactly as far as the
+   queries need.  Runs are shareable across closures (and whole re-solve
+   pipelines) through a {!Cache}, because settled labels are final and a
+   later closure can only ever extend a run, never change it. *)
+
+type run = {
+  root : int;
+  rlock : Mutex.t;
+  mutable rstate : Dijkstra.state option;
 }
 
-let closure g terminals =
-  Sof_obs.Obs.span "metric.closure" @@ fun () ->
+type mode =
+  | Shared
+      (* Eagerly settles every terminal at build (on the pool), so
+         terminal-to-terminal queries are lock-free; queries about other
+         nodes resume the run under the run's mutex. *)
+  | Local
+      (* Confined to the constructing caller: runs start lazily on first
+         use and nothing is locked.  Must never cross domains. *)
+
+type t = {
+  graph : Graph.t;
+  terminals : int array;
+  index_of : (int, int) Hashtbl.t;
+  runs : run array;
+  mode : mode;
+}
+
+module Cache = struct
+  type entry = { cgraph : Graph.t; table : (int, run) Hashtbl.t }
+  type cache = { clock : Mutex.t; mutable entries : entry list }
+  type t = cache
+
+  let create () = { clock = Mutex.create (); entries = [] }
+end
+
+let fresh_run v = { root = v; rlock = Mutex.create (); rstate = None }
+
+(* Fetch or create the per-(graph, root) runs.  Graphs are compared by
+   physical identity: a solve pipeline passes the same graph value
+   around, and value-equal but distinct graphs must not share runs (their
+   states embed the graph they were started on). *)
+let runs_of_cache (cache : Cache.t) g terminals =
+  Mutex.lock cache.Cache.clock;
+  let table =
+    match
+      List.find_opt (fun e -> e.Cache.cgraph == g) cache.Cache.entries
+    with
+    | Some e -> e.Cache.table
+    | None ->
+        let table = Hashtbl.create 64 in
+        cache.Cache.entries <-
+          { Cache.cgraph = g; table } :: cache.Cache.entries;
+        table
+  in
+  let reused = ref 0 in
+  let runs =
+    Array.map
+      (fun v ->
+        match Hashtbl.find_opt table v with
+        | Some r ->
+            incr reused;
+            r
+        | None ->
+            let r = fresh_run v in
+            Hashtbl.add table v r;
+            r)
+      terminals
+  in
+  Mutex.unlock cache.Cache.clock;
+  if !reused > 0 then Obs.count "metric.closure_reuse" !reused;
+  runs
+
+let closure ?cache ?(local = false) g terminals =
+  if local && cache <> None then
+    invalid_arg "Metric.closure: ~local closures cannot share a cache";
+  Obs.span "metric.closure" @@ fun () ->
   let index_of = Hashtbl.create (Array.length terminals) in
   Array.iteri (fun i v -> Hashtbl.replace index_of v i) terminals;
-  (* One independent Dijkstra per terminal; results land per-index, so the
-     parallel sweep is indistinguishable from the sequential one. *)
-  let runs = Sof_util.Pool.parallel_map (fun v -> Dijkstra.run g v) terminals in
-  Sof_obs.Obs.count "metric.dijkstra_runs" (Array.length terminals);
-  { terminals; index_of; runs }
+  let runs =
+    match cache with
+    | Some cache -> runs_of_cache cache g terminals
+    | None -> Array.map fresh_run terminals
+  in
+  let c =
+    { graph = g; terminals; index_of; runs; mode = (if local then Local else Shared) }
+  in
+  if not local then begin
+    (* Settle every terminal in every run up front (one independent
+       targeted sweep per terminal, on the pool worker domains): all
+       terminal-indexed queries below are then reads of final labels and
+       need no synchronization.  Counters aggregate on this domain. *)
+    let stats =
+      Sof_util.Pool.parallel_map
+        (fun r ->
+          Mutex.lock r.rlock;
+          let started, st =
+            match r.rstate with
+            | Some st -> (0, st)
+            | None ->
+                let st = Dijkstra.start g r.root in
+                r.rstate <- Some st;
+                (1, st)
+          in
+          let before = Dijkstra.settled_count st in
+          Dijkstra.settle_many st terminals;
+          let after = Dijkstra.settled_count st in
+          Mutex.unlock r.rlock;
+          (started, after - before))
+        runs
+    in
+    let starts = Array.fold_left (fun a (s, _) -> a + s) 0 stats in
+    let settles = Array.fold_left (fun a (_, d) -> a + d) 0 stats in
+    Obs.count "metric.dijkstra_runs" starts;
+    Obs.count "metric.dijkstra_settled" settles
+  end;
+  c
 
 let terminals c = c.terminals
 
-let distance c i j = c.runs.(i).Dijkstra.dist.(c.terminals.(j))
+(* Local-mode lazy start: first query of a root begins its run. *)
+let local_state c r =
+  match r.rstate with
+  | Some st -> st
+  | None ->
+      let st = Dijkstra.start c.graph r.root in
+      r.rstate <- Some st;
+      Obs.count "metric.dijkstra_runs" 1;
+      st
+
+(* Make node [v]'s status in run [i] final and return the state. *)
+let ensure_node c i v =
+  let r = c.runs.(i) in
+  match c.mode with
+  | Local ->
+      let st = local_state c r in
+      Dijkstra.settle st v;
+      st
+  | Shared ->
+      let st =
+        match r.rstate with Some st -> st | None -> assert false
+      in
+      if Hashtbl.mem c.index_of v then st (* settled at build: lock-free *)
+      else begin
+        Mutex.lock r.rlock;
+        Dijkstra.settle st v;
+        Mutex.unlock r.rlock;
+        st
+      end
+
+(* Terminal-indexed queries: in Shared mode the target was settled at
+   build, so skip [ensure_node]'s membership test on the hot path. *)
+let terminal_state c i v =
+  match c.mode with
+  | Shared -> (
+      match c.runs.(i).rstate with Some st -> st | None -> assert false)
+  | Local ->
+      let st = local_state c c.runs.(i) in
+      Dijkstra.settle st v;
+      st
+
+let distance c i j =
+  let tj = c.terminals.(j) in
+  Dijkstra.state_dist (terminal_state c i tj) tj
 
 let index_of_node c v =
   match Hashtbl.find_opt c.index_of v with
@@ -25,16 +173,34 @@ let index_of_node c v =
 
 let distance_nodes c u v = distance c (index_of_node c u) (index_of_node c v)
 
+let distance_to_node c i v =
+  let st = ensure_node c i v in
+  Dijkstra.state_dist st v
+
 let path_to_node c i v =
-  match Dijkstra.path_to c.runs.(i) v with
+  let st = ensure_node c i v in
+  match Dijkstra.state_path st v with
   | Some p -> p
   | None -> invalid_arg "Metric.path: disconnected terminals"
 
-let path c i j = path_to_node c i c.terminals.(j)
+let path c i j =
+  let tj = c.terminals.(j) in
+  match Dijkstra.state_path (terminal_state c i tj) tj with
+  | Some p -> p
+  | None -> invalid_arg "Metric.path: disconnected terminals"
 
 let path_nodes c u v = path c (index_of_node c u) (index_of_node c v)
 
-let dist_from_terminal c i = c.runs.(i).Dijkstra.dist
+let dist_from_terminal c i =
+  let r = c.runs.(i) in
+  match c.mode with
+  | Local -> Dijkstra.state_dist_array (local_state c r)
+  | Shared ->
+      let st = match r.rstate with Some st -> st | None -> assert false in
+      Mutex.lock r.rlock;
+      let a = Dijkstra.state_dist_array st in
+      Mutex.unlock r.rlock;
+      a
 
 let complete_graph c =
   let k = Array.length c.terminals in
@@ -45,4 +211,5 @@ let complete_graph c =
       if d < infinity then es := (i, j, d) :: !es
     done
   done;
-  Graph.create ~n:k ~edges:!es
+  (* Index pairs are distinct by construction: no dedup pass needed. *)
+  Graph.create_simple ~n:k ~edges:!es

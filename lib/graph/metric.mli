@@ -2,14 +2,41 @@
 
     The closure is the complete graph over the terminals whose edge weights
     are shortest-path distances in the base graph; it retains enough state to
-    expand any closure edge back into a concrete path. *)
+    expand any closure edge back into a concrete path.
+
+    Each terminal owns a resumable {!Dijkstra.state} driven only as far
+    as the queries require.  By default (a {e shared} closure) every
+    terminal is settled in every run at build time on the
+    {!Sof_util.Pool} worker domains, so terminal-indexed queries are
+    lock-free reads of final labels; queries about non-terminal nodes
+    resume the relevant run under a per-run mutex.  Because settled
+    labels are final, runs can also be shared across closures of the
+    same graph through a {!Cache} — later closures extend runs, never
+    change them — which is how repair and re-solve pipelines avoid
+    recomputing shortest-path work.  All distances and paths are
+    bit-identical to independent full sweeps. *)
 
 type t
 
-val closure : Graph.t -> int array -> t
-(** [closure g terminals] computes one Dijkstra per terminal.  The sweeps
-    are independent and run on the {!Sof_util.Pool} worker domains; the
-    result is identical to the sequential computation. *)
+(** Shareable per-(graph, root) Dijkstra runs.  Graphs are keyed by
+    physical identity.  Thread one cache through a pipeline of solves
+    over the same graph and each shortest-path tree is computed at most
+    once; reuse shows up on the [metric.closure_reuse] counter. *)
+module Cache : sig
+  type t
+
+  val create : unit -> t
+end
+
+val closure : ?cache:Cache.t -> ?local:bool -> Graph.t -> int array -> t
+(** [closure g terminals] builds the closure.  With [~cache] the
+    underlying runs are fetched from (and registered in) the cache.
+    With [~local:true] the closure starts runs lazily on first query and
+    performs no synchronization at all — the caller promises the value
+    never crosses domains (it may live {e on} a worker domain, it just
+    must not be shared); incompatible with [~cache].
+    @raise Invalid_argument when both [~cache] and [~local:true] are
+    given. *)
 
 val terminals : t -> int array
 
@@ -19,6 +46,11 @@ val distance : t -> int -> int -> float
 val distance_nodes : t -> int -> int -> float
 (** [distance_nodes c u v] — distance between terminal *nodes* [u] and [v].
     @raise Not_found if either node is not a terminal. *)
+
+val distance_to_node : t -> int -> int -> float
+(** [distance_to_node c i v] — distance from terminal index [i] to an
+    arbitrary node [v] of the base graph ([infinity] when unreachable).
+    May resume run [i] under its lock. *)
 
 val path : t -> int -> int -> int list
 (** [path c i j] — a shortest path in the base graph between terminal
@@ -31,7 +63,7 @@ val path_nodes : t -> int -> int -> int list
 val dist_from_terminal : t -> int -> float array
 (** [dist_from_terminal c i] — full distance array of the Dijkstra run
     rooted at terminal index [i] (distances to every node of the base
-    graph). *)
+    graph; exhausts the run).  The array is live — do not mutate. *)
 
 val path_to_node : t -> int -> int -> int list
 (** [path_to_node c i v] — shortest path from terminal index [i] to an

@@ -1,6 +1,6 @@
 let kruskal g =
   let es = Graph.edges g in
-  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare a b) es in
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) es in
   let uf = Union_find.create (Graph.n g) in
   List.filter (fun (u, v, _) -> Union_find.union uf u v) sorted
 

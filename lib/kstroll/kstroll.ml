@@ -1,6 +1,6 @@
 type walk = { nodes : int list; cost : float }
 
-let distinct_count nodes = List.length (List.sort_uniq compare nodes)
+let distinct_count nodes = List.length (List.sort_uniq Int.compare nodes)
 
 let walk_cost ~dist nodes =
   let rec go acc = function
@@ -12,7 +12,7 @@ let walk_cost ~dist nodes =
 let cheapest_insertion ~dist ~candidates ~src ~dst ~k =
   Sof_obs.Obs.span "kstroll.cheapest_insertion" @@ fun () ->
   let pool =
-    List.sort_uniq compare
+    List.sort_uniq Int.compare
       (List.filter (fun v -> v <> src && v <> dst) candidates)
   in
   let base = if src = dst then 1 else 2 in
@@ -68,7 +68,7 @@ let exact ~dist ~candidates ~src ~dst ~k =
   Sof_obs.Obs.span "kstroll.exact" @@ fun () ->
   let pool =
     Array.of_list
-      (List.sort_uniq compare
+      (List.sort_uniq Int.compare
          (List.filter (fun v -> v <> src && v <> dst) candidates))
   in
   let m = Array.length pool in

@@ -580,6 +580,192 @@ let obs_transparency =
     (Prop.make ~shrink:Spec.shrink ~print:Spec.print ~name:"obs-transparency"
        ~gen:Spec.gen_mixed obs_transparency_law)
 
+(* --- 9. Dijkstra engine equivalence ----------------------------------- *)
+
+module Graph = Sof_graph.Graph
+module Dijkstra = Sof_graph.Dijkstra
+
+type dijkstra_case = {
+  dij_spec : Spec.t;
+  dij_src : int;
+  dij_extra : int;  (** second seed for the multi-source check *)
+  dij_targets : int list;
+  dij_cut : int option;
+      (** node whose incident edges are severed, guaranteeing an
+          unreachable target when present *)
+}
+
+let dijkstra_gen rng =
+  let spec = Spec.gen_random ~min_n:4 ~max_n:16 () rng in
+  (* Snap weights onto a 0.5 grid so distinct shortest paths of equal cost
+     are common — the oracle must pin the tie order, not dodge it. *)
+  let snap w = max 0.5 (Float.round (w *. 2.0) /. 2.0) in
+  let spec =
+    {
+      spec with
+      Spec.edges = List.map (fun (u, v, w) -> (u, v, snap w)) spec.Spec.edges;
+    }
+  in
+  let n = spec.Spec.n in
+  let src = Rng.int rng n in
+  let extra = Rng.int rng n in
+  let targets =
+    Prop.Gen.list_of (Prop.Gen.int_range 1 4) (Prop.Gen.int_range 0 (n - 1)) rng
+  in
+  let cut =
+    if Rng.int rng 2 = 0 then
+      let c = Rng.int rng n in
+      if c = src then None else Some c
+    else None
+  in
+  (* A severed node placed among the targets exercises the early-exit
+     path that must drain the whole frontier and report unreachable. *)
+  let targets = match cut with Some c -> c :: targets | None -> targets in
+  { dij_spec = spec; dij_src = src; dij_extra = extra; dij_targets = targets; dij_cut = cut }
+
+let dijkstra_print c =
+  Printf.sprintf "%s\nwith src = %d; extra = %d; targets = [ %s ]; cut = %s"
+    (Spec.print c.dij_spec) c.dij_src c.dij_extra
+    (String.concat "; " (List.map string_of_int c.dij_targets))
+    (match c.dij_cut with None -> "None" | Some v -> Printf.sprintf "Some %d" v)
+
+let dijkstra_shrink c =
+  let drops =
+    List.mapi
+      (fun i _ ->
+        { c with dij_targets = List.filteri (fun j _ -> j <> i) c.dij_targets })
+      c.dij_targets
+  in
+  let uncut = match c.dij_cut with Some _ -> [ { c with dij_cut = None } ] | None -> [] in
+  let specs =
+    Seq.filter_map
+      (fun s ->
+        let ok v = v < s.Spec.n in
+        if
+          ok c.dij_src && ok c.dij_extra
+          && List.for_all ok c.dij_targets
+          && (match c.dij_cut with None -> true | Some v -> ok v)
+        then Some { c with dij_spec = s }
+        else None)
+      (Spec.shrink c.dij_spec)
+  in
+  Seq.append (List.to_seq (uncut @ drops)) specs
+
+let dijkstra_graph c =
+  let edges =
+    match c.dij_cut with
+    | None -> c.dij_spec.Spec.edges
+    | Some x ->
+        List.filter (fun (u, v, _) -> u <> x && v <> x) c.dij_spec.Spec.edges
+  in
+  Graph.create ~n:c.dij_spec.Spec.n ~edges
+
+(* Exact equality, ties included: the workspace engine promises the same
+   settle order as the reference, so dist AND parent must match bit for
+   bit, not just within epsilon. *)
+let dijkstra_result_equal name (want : Dijkstra.result) (got : Dijkstra.result) =
+  let n = Array.length want.Dijkstra.dist in
+  let bad = ref (Ok ()) in
+  (try
+     for v = 0 to n - 1 do
+       if got.Dijkstra.dist.(v) <> want.Dijkstra.dist.(v) then begin
+         bad :=
+           errf "%s: dist.(%d) = %.17g, reference %.17g" name v
+             got.Dijkstra.dist.(v) want.Dijkstra.dist.(v);
+         raise Exit
+       end;
+       if got.Dijkstra.parent.(v) <> want.Dijkstra.parent.(v) then begin
+         bad :=
+           errf "%s: parent.(%d) = %d, reference %d" name v
+             got.Dijkstra.parent.(v) want.Dijkstra.parent.(v);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !bad
+
+let dijkstra_equiv_law c =
+  let g = dijkstra_graph c in
+  let n = Graph.n g in
+  let want = Dijkstra.reference g [ c.dij_src ] in
+  (* 1. full workspace run *)
+  let* () = dijkstra_result_equal "run" want (Dijkstra.run g c.dij_src) in
+  (* 2. multi-source against the same reference engine *)
+  let sources = List.sort_uniq Int.compare [ c.dij_src; c.dij_extra ] in
+  let* () =
+    dijkstra_result_equal "multi_source"
+      (Dijkstra.reference g sources)
+      (Dijkstra.multi_source g sources)
+  in
+  (* 3. targeted run: settled labels are a prefix of the full run *)
+  let targets = Array.of_list c.dij_targets in
+  let rt = Dijkstra.run_to_targets g c.dij_src ~targets in
+  let* () =
+    check_list
+      (fun v ->
+        if rt.Dijkstra.dist.(v) = infinity then Ok ()
+        else if rt.Dijkstra.dist.(v) <> want.Dijkstra.dist.(v) then
+          errf "run_to_targets: settled dist.(%d) = %.17g, reference %.17g" v
+            rt.Dijkstra.dist.(v) want.Dijkstra.dist.(v)
+        else if rt.Dijkstra.parent.(v) <> want.Dijkstra.parent.(v) then
+          errf "run_to_targets: settled parent.(%d) = %d, reference %d" v
+            rt.Dijkstra.parent.(v) want.Dijkstra.parent.(v)
+        else Ok ())
+      (List.init n Fun.id)
+  in
+  let* () =
+    check_list
+      (fun t ->
+        if rt.Dijkstra.dist.(t) <> want.Dijkstra.dist.(t) then
+          errf "run_to_targets: target %d at %.17g, reference %.17g" t
+            rt.Dijkstra.dist.(t) want.Dijkstra.dist.(t)
+        else if Dijkstra.path_to rt t <> Dijkstra.path_to want t then
+          errf "run_to_targets: path to target %d differs from reference" t
+        else Ok ())
+      c.dij_targets
+  in
+  (* 4. resumable state driven target-by-target, then exhausted: slicing
+        must not change any label *)
+  let st = Dijkstra.start g c.dij_src in
+  Dijkstra.settle_many st targets;
+  let* () =
+    check_list
+      (fun t ->
+        let reachable = want.Dijkstra.dist.(t) < infinity in
+        if Dijkstra.is_settled st t <> reachable then
+          errf "state: target %d settled=%b, reachable=%b" t
+            (Dijkstra.is_settled st t) reachable
+        else Ok ())
+      c.dij_targets
+  in
+  Dijkstra.settle_all st;
+  let* () =
+    check_list
+      (fun v ->
+        if Dijkstra.state_dist st v <> want.Dijkstra.dist.(v) then
+          errf "state: dist.(%d) = %.17g, reference %.17g" v
+            (Dijkstra.state_dist st v) want.Dijkstra.dist.(v)
+        else if Dijkstra.state_path st v <> Dijkstra.path_to want v then
+          errf "state: path to %d differs from reference" v
+        else Ok ())
+      (List.init n Fun.id)
+  in
+  (* 5. independent algorithm cross-check *)
+  let bf = Dijkstra.bellman_ford g c.dij_src in
+  check_list
+    (fun v ->
+      if bf.(v) = want.Dijkstra.dist.(v) || feq bf.(v) want.Dijkstra.dist.(v)
+      then Ok ()
+      else
+        errf "bellman-ford: dist.(%d) = %.17g, dijkstra %.17g" v bf.(v)
+          want.Dijkstra.dist.(v))
+    (List.init n Fun.id)
+
+let dijkstra_equiv =
+  Prop.Packed
+    (Prop.make ~shrink:dijkstra_shrink ~print:dijkstra_print
+       ~name:"dijkstra-equiv" ~gen:dijkstra_gen dijkstra_equiv_law)
+
 (* --- deliberate demo failure ------------------------------------------ *)
 
 let demo_dest_budget_prop =
@@ -604,6 +790,7 @@ let all =
     (dynamic_validity, 200);
     (repair_validity, 200);
     (obs_transparency, 200);
+    (dijkstra_equiv, 300);
   ]
 
 let names () =

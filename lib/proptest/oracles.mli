@@ -60,6 +60,17 @@ val obs_transparency : Prop.packed
     contract: instrumentation reads clocks and writes metrics, never
     solver state. *)
 
+val dijkstra_equiv : Prop.packed
+(** The workspace Dijkstra engine ({!Sof_graph.Dijkstra.run},
+    [multi_source], the targeted [run_to_targets] and the resumable
+    [state] driven in slices) reproduces {!Sof_graph.Dijkstra.reference}
+    — fresh arrays, no generations, no early exit — {e exactly}: dist and
+    parent arrays bit-identical, ties included (weights are snapped onto
+    a coarse grid so equal-cost paths are common).  Cases optionally
+    sever one node's incident edges and target it, pinning the
+    early-exit behaviour on unreachable terminals; Bellman–Ford
+    cross-checks distances as an independent algorithm. *)
+
 val all : (Prop.packed * int) list
 (** The suite with each property's default case count for one [sof fuzz]
     round (the ILP oracle runs fewer cases per round than the cheap

@@ -151,10 +151,10 @@ let sub_problem p ~sources ~vms ~dests =
 
 (* Solve one component's destinations: on failure of the whole set, drop
    the individually-infeasible stragglers and retry. *)
-let solve_component p ~sources ~vms dests =
+let solve_component ?cache p ~sources ~vms dests =
   let attempt ds =
     if ds = [] then None
-    else Sofda.solve_forest (sub_problem p ~sources ~vms ~dests:ds)
+    else Sofda.solve_forest ?cache (sub_problem p ~sources ~vms ~dests:ds)
   in
   match attempt dests with
   | Some f -> (f.Forest.walks, f.Forest.delivery, dests, [])
@@ -168,7 +168,7 @@ let solve_component p ~sources ~vms dests =
             List.filter (fun d -> not (List.mem d kept)) dests )
       | None -> ([], [], [], dests))
 
-let solve_for p dests =
+let solve_for ?cache p dests =
   match dests with
   | [] -> None
   | _ ->
@@ -196,7 +196,7 @@ let solve_for p dests =
             let vms = List.filter (fun m -> Uf.find uf m = c) p.Problem.vms in
             if sources = [] || vms = [] then (ws, es, sv, ds @ dr)
             else
-              let w, e, s, d = solve_component p ~sources ~vms ds in
+              let w, e, s, d = solve_component ?cache p ~sources ~vms ds in
               (w @ ws, e @ es, s @ sv, d @ dr))
           ([], [], [], []) comps
       in
@@ -211,9 +211,9 @@ let solve_for p dests =
         Some (pd, Forest.make pd ~walks ~delivery, dropped)
 
 (* Full re-solve of the degraded instance for every feasible destination. *)
-let full_resolve (p' : Problem.t) =
+let full_resolve ?cache (p' : Problem.t) =
   let dests = feasible_dests p' p'.Problem.dests in
-  match solve_for p' dests with
+  match solve_for ?cache p' dests with
   | None -> None
   | Some (pd, f, extra_dropped) ->
       let dropped =
@@ -224,7 +224,7 @@ let full_resolve (p' : Problem.t) =
 
 (* Scoped re-solve: keep every tree the failure does not touch, tear down
    and re-embed only the affected ones. *)
-let scoped_resolve ~event (old_ : Forest.t) (p' : Problem.t) =
+let scoped_resolve ?cache ~event (old_ : Forest.t) (p' : Problem.t) =
   let affected_walk w =
     match event with
     | Fault.Link_down (u, v) -> walk_uses_link w (u, v)
@@ -326,7 +326,7 @@ let scoped_resolve ~event (old_ : Forest.t) (p' : Problem.t) =
     let graft_edges = ref [] in
     let grafted = ref [] in
     (if service_points <> [] then
-       let t = Sof.Transform.create ~extra:service_points p' in
+       let t = Sof.Transform.create ?cache ~extra:service_points p' in
        List.iter
          (fun d ->
            let best =
@@ -382,19 +382,23 @@ let heal ?(compare_resolve = false) ~(health : Fault.health)
   match Fault.degrade health ~dests:dests_wanted with
   | None -> None
   | Some p' ->
+      (* One run cache for the whole heal: the scoped re-solve, the
+         dynamic rules, any component re-solves and the repair-vs-resolve
+         comparison all share Dijkstra runs on the degraded graph. *)
+      let cache = Sof_graph.Metric.Cache.create () in
       let with_resolve result =
         if not compare_resolve then result
         else
           let rc =
             Option.map
               (fun (_, f, _) -> install_cost f)
-              (full_resolve result.problem)
+              (full_resolve ~cache result.problem)
           in
           { result with resolve_churn = rc }
       in
       let fallback ?(base = old_) dropped_so_far =
         (* scoped first, full re-solve as the last resort *)
-        match scoped_resolve ~event base p' with
+        match scoped_resolve ~cache ~event base p' with
         | Some (pf, f, extra) ->
             Some
               {
@@ -406,7 +410,7 @@ let heal ?(compare_resolve = false) ~(health : Fault.health)
                 dropped = dropped_so_far @ extra;
               }
         | None -> (
-            match full_resolve p' with
+            match full_resolve ~cache p' with
             | None -> None
             | Some (pf, f, extra) ->
                 Some
@@ -423,7 +427,7 @@ let heal ?(compare_resolve = false) ~(health : Fault.health)
         match event with
         | Fault.Link_down (u, v) when touches old_ event -> (
             let f' = rebase p' old_ in
-            match Dynamic.reroute_link f' ~u ~v with
+            match Dynamic.reroute_link ~cache f' ~u ~v with
             | Some upd when valid upd.Dynamic.forest ->
                 Some
                   {
@@ -438,7 +442,7 @@ let heal ?(compare_resolve = false) ~(health : Fault.health)
         | Fault.Vm_crash vm when touches old_ event -> (
             (* relocate on the pre-crash instance (the VM node still
                forwards); the substitute search already excludes [vm] *)
-            match Dynamic.relocate_vm old_ ~vm with
+            match Dynamic.relocate_vm ~cache old_ ~vm with
             | Some upd ->
                 let f = rebase p' upd.Dynamic.forest in
                 if valid f then

@@ -72,7 +72,9 @@ val touches : Sof.Forest.t -> Fault.event -> bool
     edges or enabled VMs? *)
 
 val full_resolve :
-  Sof.Problem.t -> (Sof.Problem.t * Sof.Forest.t * int list) option
+  ?cache:Sof_graph.Metric.Cache.t ->
+  Sof.Problem.t ->
+  (Sof.Problem.t * Sof.Forest.t * int list) option
 (** Re-embed the degraded instance from scratch for every feasible
     destination: [(problem restricted to served dests, forest, dropped)].
     [None] when nothing is servable.  Exposed for the chaos engine's

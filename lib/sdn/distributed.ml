@@ -105,7 +105,8 @@ let overlay_distance net u v =
     if direct < infinity then add u v direct;
     let su = id_of u and sv = id_of v in
     let g = Graph.create ~n:!fresh ~edges:!edges in
-    (Dijkstra.run g su).Dijkstra.dist.(sv)
+    (* Only one label is read: stop the sweep once [sv] settles. *)
+    (Dijkstra.run_to_targets g su ~targets:[| sv |]).Dijkstra.dist.(sv)
   end
 
 type stats = {

@@ -1,6 +1,6 @@
 type tree = { edges : (int * int * float) list; weight : float }
 
-let dedup_ints xs = List.sort_uniq compare xs
+let dedup_ints xs = List.sort_uniq Int.compare xs
 
 let tree_nodes t =
   dedup_ints (List.concat_map (fun (u, v, _) -> [ u; v ]) t.edges)
@@ -32,7 +32,8 @@ let kmb g terms ~dist ~path =
       if d < infinity then es := (i, j, d) :: !es
     done
   done;
-  let cg = Sof_graph.Graph.create ~n:k ~edges:!es in
+  (* Index pairs (i, j) are distinct: skip the dedup pass. *)
+  let cg = Sof_graph.Graph.create_simple ~n:k ~edges:!es in
   let mst1 = Sof_graph.Mst.kruskal cg in
   if List.length mst1 <> k - 1 then
     invalid_arg "Steiner.approx: terminals are disconnected";
@@ -57,7 +58,11 @@ let approx g terminals =
   | [ _ ] -> { edges = []; weight = 0.0 }
   | _ ->
       let terms = Array.of_list terminals in
-      let closure = Sof_graph.Metric.closure g terms in
+      (* The closure never escapes this call, so a lazily-started local
+         closure suffices: KMB's i < j query pattern never sources the
+         last terminal, saving one Dijkstra run outright, and runs stop
+         at the farthest queried terminal instead of sweeping |V|. *)
+      let closure = Sof_graph.Metric.closure ~local:true g terms in
       kmb g terms
         ~dist:(Sof_graph.Metric.distance closure)
         ~path:(Sof_graph.Metric.path closure)

@@ -227,11 +227,15 @@ let run_adaptive ?pricing ~rng ?(utilization_threshold = 0.9) topo cfg
           Sof.Forest.make problem ~walks:old_forest.Sof.Forest.walks
             ~delivery:old_forest.Sof.Forest.delivery
         in
-        (* Rule 5 for congested links, rule 6 for overloaded VMs. *)
+        (* Rule 5 for congested links, rule 6 for overloaded VMs.  The
+           cache shares Dijkstra runs between the rule's own grafting
+           pass and its unserved-destination regraft on this repriced
+           graph. *)
+        let cache = Sof_graph.Metric.Cache.create () in
         let attempt =
           match hot with
-          | `Link (u, v) -> Sof.Dynamic.reroute_link refreshed ~u ~v
-          | `Vm vm -> Sof.Dynamic.relocate_vm refreshed ~vm
+          | `Link (u, v) -> Sof.Dynamic.reroute_link ~cache refreshed ~u ~v
+          | `Vm vm -> Sof.Dynamic.relocate_vm ~cache refreshed ~vm
         in
         match attempt with
         | Some upd when Sof.Validate.is_valid upd.Sof.Dynamic.forest ->

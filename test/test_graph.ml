@@ -72,6 +72,51 @@ let test_heap_peek () =
     (Some (1.0, "a")) (Binheap.peek h);
   Alcotest.(check int) "peek keeps" 2 (Binheap.size h)
 
+let test_heap_ties () =
+  (* Duplicate priorities hammer the 4-ary sift paths; drain must stay
+     nondecreasing and return exactly the pushed multiset. *)
+  let h = Binheap.create () in
+  let rng = Sof_util.Rng.create 77 in
+  let xs = List.init 1000 (fun i -> (float_of_int (Sof_util.Rng.int rng 8), i)) in
+  List.iter (fun (p, i) -> Binheap.push h p i) xs;
+  let rec drain prev acc =
+    match Binheap.pop h with
+    | None -> List.rev acc
+    | Some (p, i) ->
+        Alcotest.(check bool) "nondecreasing under ties" true (p >= prev);
+        drain p ((p, i) :: acc)
+  in
+  let popped = drain neg_infinity [] in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "multiset preserved"
+    (List.sort compare xs)
+    (List.sort compare popped)
+
+(* --- create_simple --- *)
+
+let test_create_simple_equiv () =
+  let edges = [ (0, 1, 1.0); (0, 2, 2.0); (1, 3, 3.0); (2, 3, 1.0) ] in
+  let a = Graph.create ~n:4 ~edges in
+  let b = Graph.create_simple ~n:4 ~edges in
+  Alcotest.(check (list (triple int int (float 0.0))))
+    "same edge list" (Graph.edges a) (Graph.edges b);
+  List.iter
+    (fun u ->
+      Alcotest.(check (list (pair int (float 0.0))))
+        "same neighbor rows" (Graph.neighbors a u) (Graph.neighbors b u))
+    [ 0; 1; 2; 3 ]
+
+let test_create_simple_rejects () =
+  let bad name f =
+    Alcotest.(check bool) name true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  bad "duplicate pair" (fun () ->
+      Graph.create_simple ~n:3 ~edges:[ (0, 1, 1.0); (1, 0, 2.0) ]);
+  bad "self-loop" (fun () -> Graph.create_simple ~n:2 ~edges:[ (1, 1, 1.0) ]);
+  bad "negative weight" (fun () ->
+      Graph.create_simple ~n:2 ~edges:[ (0, 1, -1.0) ])
+
 (* --- Union-find --- *)
 
 let test_union_find () =
@@ -118,6 +163,78 @@ let test_multi_source () =
   let r = Dijkstra.multi_source g [ 0; 4 ] in
   Alcotest.check feq "middle" 2.0 r.Dijkstra.dist.(2);
   Alcotest.check feq "near right" 1.0 r.Dijkstra.dist.(3)
+
+let test_run_to_targets_early_exit () =
+  (* Two components: 0-1-2 and 3-4.  Asking for node 4 from source 0 must
+     drain the frontier, report unreachable, and leave the other
+     component's labels untouched. *)
+  let g =
+    Graph.create ~n:5 ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (3, 4, 1.0) ]
+  in
+  let r = Dijkstra.run_to_targets g 0 ~targets:[| 4 |] in
+  Alcotest.check feq "unreachable target" infinity r.Dijkstra.dist.(4);
+  Alcotest.(check int) "no parent" (-1) r.Dijkstra.parent.(4);
+  Alcotest.(check (option (list int))) "no path" None (Dijkstra.path_to r 4);
+  Alcotest.check feq "own component settled" 2.0 r.Dijkstra.dist.(2);
+  (* A near target stops the sweep before the far end of the path. *)
+  let line =
+    Graph.create ~n:4 ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+  in
+  let r = Dijkstra.run_to_targets line 0 ~targets:[| 1 |] in
+  Alcotest.check feq "requested target exact" 1.0 r.Dijkstra.dist.(1);
+  Alcotest.check feq "beyond the target unsettled" infinity r.Dijkstra.dist.(3)
+
+let test_workspace_reuse () =
+  (* Successive runs on the same domain share scratch arrays; a big run
+     followed by small ones (and back) must never leak stale labels. *)
+  let big =
+    Graph.create ~n:64
+      ~edges:(List.init 63 (fun i -> (i, i + 1, 1.0 +. float_of_int (i mod 3))))
+  in
+  let small = diamond () in
+  let check_equal name g s =
+    let want = Dijkstra.reference g [ s ] in
+    let got = Dijkstra.run g s in
+    Alcotest.(check bool)
+      name true
+      (want.Dijkstra.dist = got.Dijkstra.dist
+      && want.Dijkstra.parent = got.Dijkstra.parent)
+  in
+  for round = 0 to 4 do
+    check_equal (Printf.sprintf "big round %d" round) big (round mod 64);
+    check_equal (Printf.sprintf "small round %d" round) small (round mod 4);
+    let r = Dijkstra.run_to_targets big (round mod 64) ~targets:[| 0; 63 |] in
+    Alcotest.check feq "targeted after reuse"
+      (Dijkstra.reference big [ round mod 64 ]).Dijkstra.dist.(63)
+      r.Dijkstra.dist.(63)
+  done
+
+let test_workspace_across_domains () =
+  (* Every pool worker gets its own domain-local workspace: a parallel
+     sweep over sources must be bit-identical to the sequential one. *)
+  let g =
+    Graph.create ~n:40
+      ~edges:
+        (List.init 39 (fun i -> (i, i + 1, 0.5 +. float_of_int (i mod 5)))
+        @ List.init 13 (fun i -> (i, (3 * i) + 2, 2.5)))
+  in
+  let sources = Array.init 40 Fun.id in
+  let saved = Sof_util.Pool.size () in
+  Fun.protect
+    ~finally:(fun () -> Sof_util.Pool.set_size saved)
+    (fun () ->
+      Sof_util.Pool.set_size 4;
+      let par = Sof_util.Pool.parallel_map (fun s -> Dijkstra.run g s) sources in
+      Sof_util.Pool.set_size 1;
+      let seq = Array.map (fun s -> Dijkstra.run g s) sources in
+      Array.iteri
+        (fun i (want : Dijkstra.result) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "source %d identical across domains" i)
+            true
+            (want.Dijkstra.dist = par.(i).Dijkstra.dist
+            && want.Dijkstra.parent = par.(i).Dijkstra.parent))
+        seq)
 
 let prop_dijkstra_vs_bellman =
   QCheck.Test.make ~count:200 ~name:"dijkstra agrees with bellman-ford"
@@ -207,6 +324,69 @@ let test_metric_closure () =
   Alcotest.(check (list int)) "path" [ 0; 2; 3 ] (Metric.path c 0 1);
   Alcotest.check feq "by nodes" 3.0 (Metric.distance_nodes c 0 3)
 
+let test_metric_node_queries () =
+  let g = diamond () in
+  let c = Metric.closure g [| 0; 3 |] in
+  (* node 2 is a Steiner point: reachable only via the node-keyed API *)
+  Alcotest.check feq "to steiner node" 2.0 (Metric.distance_to_node c 0 2);
+  Alcotest.(check (list int)) "path to node" [ 0; 2 ] (Metric.path_to_node c 0 2);
+  Alcotest.check feq "to terminal node" 3.0 (Metric.distance_to_node c 0 3);
+  let d = Metric.dist_from_terminal c 1 in
+  Alcotest.check feq "full array from terminal 3" 1.0 d.(2)
+
+let test_metric_modes () =
+  let g = diamond () in
+  let shared = Metric.closure g [| 0; 3 |] in
+  let local = Metric.closure ~local:true g [| 0; 3 |] in
+  Alcotest.check feq "local agrees with shared"
+    (Metric.distance shared 0 1) (Metric.distance local 0 1);
+  Alcotest.(check (list int)) "local path agrees"
+    (Metric.path shared 0 1) (Metric.path local 0 1);
+  let cache = Metric.Cache.create () in
+  Alcotest.(check bool) "local + cache rejected" true
+    (try
+       ignore (Metric.closure ~cache ~local:true g [| 0; 3 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_metric_cache_reuse () =
+  let g = diamond () in
+  let cache = Metric.Cache.create () in
+  let cval name = Sof_obs.Obs.counter_value (Sof_obs.Obs.counter name) in
+  Sof_obs.Obs.reset ();
+  Sof_obs.Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Sof_obs.Obs.disable ();
+      Sof_obs.Obs.reset ())
+    (fun () ->
+      let c1 = Metric.closure ~cache g [| 0; 3 |] in
+      let runs_after_first = cval "metric.dijkstra_runs" in
+      (* Same graph value, same terminals: every run is a cache hit. *)
+      let c2 = Metric.closure ~cache g [| 0; 3 |] in
+      Alcotest.(check int)
+        "no new runs on the second closure" runs_after_first
+        (cval "metric.dijkstra_runs");
+      Alcotest.(check bool)
+        "reuse counted" true
+        (cval "metric.closure_reuse" >= 2);
+      Alcotest.check feq "identical distances"
+        (Metric.distance c1 0 1) (Metric.distance c2 0 1);
+      (* A superset terminal set on the same graph still reuses the runs
+         rooted at the old terminals. *)
+      let c3 = Metric.closure ~cache g [| 0; 2; 3 |] in
+      Alcotest.(check bool)
+        "superset closure reuses roots" true
+        (cval "metric.closure_reuse" >= 4);
+      Alcotest.check feq "superset agrees" 3.0 (Metric.distance_nodes c3 0 3);
+      (* A structurally equal but physically distinct graph shares nothing. *)
+      let g' = diamond () in
+      let before = cval "metric.dijkstra_runs" in
+      ignore (Metric.closure ~cache g' [| 0; 3 |]);
+      Alcotest.(check bool)
+        "distinct graph gets fresh runs" true
+        (cval "metric.dijkstra_runs" > before))
+
 let prop_metric_triangle =
   (* Lemma 1 of the paper: closure distances satisfy triangle inequality. *)
   QCheck.Test.make ~count:200 ~name:"metric closure triangle inequality"
@@ -236,17 +416,26 @@ let suite =
     Alcotest.test_case "graph map/filter" `Quick test_graph_map_filter;
     Alcotest.test_case "graph edges normalized" `Quick test_graph_edges_normalized;
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap ties" `Quick test_heap_ties;
     Alcotest.test_case "heap peek" `Quick test_heap_peek;
+    Alcotest.test_case "create_simple equivalence" `Quick test_create_simple_equiv;
+    Alcotest.test_case "create_simple rejects" `Quick test_create_simple_rejects;
     Alcotest.test_case "union-find" `Quick test_union_find;
     Alcotest.test_case "dijkstra diamond" `Quick test_dijkstra_diamond;
     Alcotest.test_case "dijkstra unreachable" `Quick test_dijkstra_unreachable;
     Alcotest.test_case "dijkstra to target" `Quick test_dijkstra_to_target;
     Alcotest.test_case "dijkstra multi-source" `Quick test_multi_source;
+    Alcotest.test_case "run_to_targets early exit" `Quick test_run_to_targets_early_exit;
+    Alcotest.test_case "workspace reuse across runs" `Quick test_workspace_reuse;
+    Alcotest.test_case "workspace across domains" `Quick test_workspace_across_domains;
     Alcotest.test_case "mst square" `Quick test_mst_square;
     Alcotest.test_case "components" `Quick test_components;
     Alcotest.test_case "prune leaves" `Quick test_prune_leaves;
     Alcotest.test_case "prune cascades" `Quick test_prune_cascades;
     Alcotest.test_case "metric closure" `Quick test_metric_closure;
+    Alcotest.test_case "metric node queries" `Quick test_metric_node_queries;
+    Alcotest.test_case "metric shared/local modes" `Quick test_metric_modes;
+    Alcotest.test_case "metric cache reuse" `Quick test_metric_cache_reuse;
   ]
   @ qsuite
       [
