@@ -40,6 +40,8 @@ let experiments =
       run = Parbench.run };
     { name = "fuzz"; descr = "property-harness throughput (oracle suite)";
       run = Proptest_bench.run };
+    { name = "stream"; descr = "streaming admission: incremental vs batch re-opt";
+      run = Stream_bench.run };
     { name = "perf"; descr = "deterministic cost + wall-clock (CI perf gate)";
       run = Perf.run };
   ]

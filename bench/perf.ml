@@ -12,8 +12,12 @@ module Instance = Sof_workload.Instance
 
 let topologies =
   [
-    ("softlayer", fun () -> Sof_topology.Topology.softlayer ());
-    ("cogent", fun () -> Sof_topology.Topology.cogent ());
+    ( "softlayer",
+      (fun () -> Sof_topology.Topology.softlayer ()),
+      Sof_workload.Online.softlayer_config );
+    ( "cogent",
+      (fun () -> Sof_topology.Topology.cogent ()),
+      Sof_workload.Online.cogent_config );
   ]
 
 let algos =
@@ -115,6 +119,66 @@ let measure_closure ~seeds topo_name topo =
     p95_wall_s = percentile walls 0.95;
   }
 
+(* Streaming-admission rows: both engine modes serve the same seeded
+   event scripts; [mean_cost] carries the deterministic comparison
+   metric (amortized marginal cost for the [stream-*] rows, acceptance
+   ratio for the [stream-*-ar] rows), so the gate's exact cost check
+   pins any admission or embedding behaviour change. *)
+let measure_stream ~seeds topo_name topo workload =
+  let module Stream = Sof_workload.Stream in
+  let cfg =
+    {
+      Stream.workload;
+      process = Stream.Poisson { rate = 1.0 };
+      mean_hold = 8.0;
+      horizon = 12.0;
+      max_utilization = 0.2;
+    }
+  in
+  let n_access =
+    (fun (_, _, n) -> n) (Sof_workload.Online.augment topo workload)
+  in
+  let modes =
+    [
+      ("stream-inc", Stream.Incremental);
+      ("stream-batch", Stream.Batch { reopt_every = 8 });
+    ]
+  in
+  let scripts =
+    List.init seeds (fun seed ->
+        Stream.script ~rng:(Rng.create (0xBE5C + (seed * 7919))) ~n_access cfg)
+  in
+  List.concat_map
+    (fun (label, mode) ->
+      let walls = Array.make seeds nan in
+      let amortized = ref 0.0 and ratio = ref 0.0 in
+      List.iteri
+        (fun seed events ->
+          let t0 = Unix.gettimeofday () in
+          let r = Stream.run_script ~mode topo cfg events in
+          walls.(seed) <- Unix.gettimeofday () -. t0;
+          amortized := !amortized +. r.Stream.amortized_cost;
+          ratio := !ratio +. r.Stream.acceptance_ratio)
+        scripts;
+      let mean a =
+        Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+      in
+      let row cost =
+        {
+          topology = topo_name;
+          algo = label;
+          seeds;
+          mean_cost = cost;
+          mean_wall_s = mean walls;
+          p95_wall_s = percentile walls 0.95;
+        }
+      in
+      [
+        row (!amortized /. float_of_int seeds);
+        { (row (!ratio /. float_of_int seeds)) with algo = label ^ "-ar" };
+      ])
+    modes
+
 let json_of_rows rows =
   Json.Obj
     [
@@ -140,12 +204,17 @@ let run ~quick ~seeds =
   Common.section "perf: deterministic cost + wall-clock per (topology, algo)";
   let rows =
     List.concat_map
-      (fun (tname, mk) ->
+      (fun (tname, mk, workload) ->
         let topo = mk () in
         List.map
           (fun (aname, algo) -> measure ~seeds tname topo aname algo)
           algos
-        @ [ measure_closure ~seeds tname topo ])
+        @ [ measure_closure ~seeds tname topo ]
+        @
+        (* gate only the cheap SoftLayer stream rows; the cross-topology
+           comparison lives in the [stream] experiment *)
+        if tname = "softlayer" then measure_stream ~seeds tname topo workload
+        else [])
       topologies
   in
   let t =

@@ -1,0 +1,157 @@
+(* Streaming admission: incremental embedding vs periodic batch
+   re-optimization on the same seeded event scripts (arrivals AND
+   departures).  For each topology the two engines serve the identical
+   script, so acceptance ratio and amortized per-request marginal cost
+   are a like-for-like comparison; the closure-reuse counter shows how
+   much Dijkstra work the incremental path's run-long metric cache
+   saves. *)
+
+module Json = Sof_obs.Json
+module Obs = Sof_obs.Obs
+module Rng = Sof_util.Rng
+module Online = Sof_workload.Online
+module Stream = Sof_workload.Stream
+
+let topologies =
+  [
+    ("softlayer", fun () -> Sof_topology.Topology.softlayer (), Online.softlayer_config);
+    ("cogent", fun () -> Sof_topology.Topology.cogent (), Online.cogent_config);
+  ]
+
+let config ~quick workload =
+  {
+    Stream.workload;
+    process = Stream.Diurnal { base = 0.5; peak = 2.0; period = 20.0 };
+    mean_hold = 10.0;
+    horizon = (if quick then 15.0 else 40.0);
+    max_utilization = 0.6;
+  }
+
+type run_stats = {
+  report : Stream.report;
+  wall_s : float;
+  closure_reuse : int;
+}
+
+let serve ~mode topo cfg events =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let report = Stream.run_script ~mode topo cfg events in
+      let wall_s = Unix.gettimeofday () -. t0 in
+      {
+        report;
+        wall_s;
+        closure_reuse = Obs.counter_value (Obs.counter "metric.closure_reuse");
+      })
+
+let mode_label = function
+  | Stream.Incremental -> "incremental"
+  | Stream.Batch { reopt_every } -> Printf.sprintf "batch/%d" reopt_every
+
+let json_row tname mode (s : run_stats) =
+  let r = s.report in
+  Json.Obj
+    [
+      ("topology", Json.Str tname);
+      ("mode", Json.Str (mode_label mode));
+      ("arrivals", Json.Num (float_of_int r.Stream.arrivals));
+      ("accepted", Json.Num (float_of_int r.Stream.accepted));
+      ("acceptance_ratio", Json.Num r.Stream.acceptance_ratio);
+      ("amortized_cost", Json.Num r.Stream.amortized_cost);
+      ("reopt_churn", Json.Num r.Stream.reopt_churn);
+      ("spliced", Json.Num (float_of_int r.Stream.spliced));
+      ("rescoped", Json.Num (float_of_int r.Stream.rescoped));
+      ("repriced", Json.Num (float_of_int r.Stream.repriced));
+      ("peak_utilization", Json.Num r.Stream.peak_utilization);
+      ("live_peak", Json.Num (float_of_int r.Stream.live_peak));
+      ("embed_wall_p95_s", Json.Num r.Stream.embed_wall_p95);
+      ("wall_s", Json.Num s.wall_s);
+      ("closure_reuse", Json.Num (float_of_int s.closure_reuse));
+    ]
+
+let run ~quick ~seeds =
+  let seeds = if quick then min seeds 2 else seeds in
+  Common.section
+    "stream: admission + incremental embed vs periodic batch re-optimization";
+  let modes = [ Stream.Incremental; Stream.Batch { reopt_every = 10 } ] in
+  let t =
+    Common.Tbl.create
+      [
+        "topology"; "mode"; "arrivals"; "accept %"; "amortized cost";
+        "re-opt churn"; "rungs s/r/p"; "p95 embed (ms)"; "closure reuse";
+      ]
+  in
+  let json_rows = ref [] in
+  List.iter
+    (fun (tname, mk) ->
+      let topo, workload = mk () in
+      let cfg = config ~quick workload in
+      let n_access = (fun (_, _, n) -> n) (Online.augment topo workload) in
+      (* one script per seed, served by every mode *)
+      let scripts =
+        List.init seeds (fun seed ->
+            Stream.script ~rng:(Rng.create (0xECAF + (seed * 7919))) ~n_access
+              cfg)
+      in
+      List.iter
+        (fun mode ->
+          let stats =
+            List.map (fun events -> serve ~mode topo cfg events) scripts
+          in
+          let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 stats in
+          let n = float_of_int (List.length stats) in
+          let arrivals = sum (fun s -> float_of_int s.report.Stream.arrivals) in
+          let accepted = sum (fun s -> float_of_int s.report.Stream.accepted) in
+          let amortized =
+            sum (fun s -> s.report.Stream.amortized_cost) /. n
+          in
+          let churn = sum (fun s -> s.report.Stream.reopt_churn) in
+          let reuse = sum (fun s -> float_of_int s.closure_reuse) in
+          let p95 =
+            sum (fun s -> s.report.Stream.embed_wall_p95) /. n
+          in
+          Common.Tbl.add_row t
+            [
+              tname;
+              mode_label mode;
+              Printf.sprintf "%.0f" arrivals;
+              Printf.sprintf "%.1f" (100.0 *. accepted /. arrivals);
+              Printf.sprintf "%.3f" amortized;
+              Printf.sprintf "%.1f" churn;
+              Printf.sprintf "%d/%d/%d"
+                (int_of_float (sum (fun s -> float_of_int s.report.Stream.spliced)))
+                (int_of_float (sum (fun s -> float_of_int s.report.Stream.rescoped)))
+                (int_of_float (sum (fun s -> float_of_int s.report.Stream.repriced)));
+              Printf.sprintf "%.2f" (1000.0 *. p95);
+              Printf.sprintf "%.0f" reuse;
+            ];
+          List.iter2
+            (fun s _ -> json_rows := json_row tname mode s :: !json_rows)
+            stats scripts)
+        modes)
+    topologies;
+  Common.Tbl.print t;
+  Common.note
+    "same seeded scripts for both modes; amortized cost = marginal \
+     Fortz-Thorup cost per accepted request";
+  match !Common.json_dir with
+  | None -> ()
+  | Some dir ->
+      let file = Filename.concat dir "BENCH_stream.json" in
+      let oc = open_out file in
+      output_string oc
+        (Json.to_string
+           (Json.Obj
+              [
+                ("experiment", Json.Str "stream");
+                ("rows", Json.Arr (List.rev !json_rows));
+              ]));
+      output_char oc '\n';
+      close_out oc;
+      Common.note "wrote %s" file

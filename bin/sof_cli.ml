@@ -623,6 +623,157 @@ let profile_cmd =
           solver-stage timings as metrics and a Chrome trace.")
     term
 
+(* --- stream ---------------------------------------------------------- *)
+
+let stream_cmd =
+  let module Stream = Sof_workload.Stream in
+  let module Online = Sof_workload.Online in
+  let process_names = [ "poisson"; "diurnal"; "flash" ] in
+  let process_arg =
+    let doc =
+      Printf.sprintf "Arrival process: %s." (String.concat ", " process_names)
+    in
+    Arg.(value & opt (self_enum process_names) "poisson" & info [ "process" ] ~doc)
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~doc:"Mean arrival rate (requests per unit time).")
+  in
+  let hold_arg =
+    Arg.(
+      value & opt float 12.0
+      & info [ "mean-hold" ] ~doc:"Mean exponential holding time.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 40.0
+      & info [ "horizon" ] ~doc:"Arrivals are generated in [0, horizon).")
+  in
+  let util_arg =
+    Arg.(
+      value & opt float 0.6
+      & info [ "max-util" ]
+          ~doc:"Admission headroom: highest link/VM utilization admitted.")
+  in
+  let reopt_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "reopt-every" ]
+          ~doc:"Batch mode: re-embed all live requests every N arrivals.")
+  in
+  let mode_names = [ "incremental"; "batch"; "both" ] in
+  let mode_arg =
+    let doc =
+      Printf.sprintf "Embedding engine: %s." (String.concat ", " mode_names)
+    in
+    Arg.(value & opt (self_enum mode_names) "both" & info [ "mode" ] ~doc)
+  in
+  let run topology seed mode process rate mean_hold horizon max_util
+      reopt_every domains =
+    set_domains domains;
+    let topo = topology_of_name ~seed topology in
+    let workload =
+      match topology with
+      | "cogent" -> Online.cogent_config
+      | _ -> Online.softlayer_config
+    in
+    let process =
+      match process with
+      | "poisson" -> Stream.Poisson { rate }
+      | "diurnal" ->
+          Stream.Diurnal
+            { base = rate /. 2.0; peak = rate *. 2.0; period = horizon /. 2.0 }
+      | "flash" ->
+          Stream.Flash
+            {
+              base = rate /. 2.0;
+              burst_rate = rate *. 4.0;
+              burst_every = horizon /. 4.0;
+              burst_len = horizon /. 16.0;
+            }
+      | other -> invalid_arg ("stream process: " ^ other)
+    in
+    let cfg =
+      {
+        Stream.workload;
+        process;
+        mean_hold;
+        horizon;
+        max_utilization = max_util;
+      }
+    in
+    let _, _, n_access = Online.augment topo workload in
+    let events = Stream.script ~rng:(Sof_util.Rng.create seed) ~n_access cfg in
+    let modes =
+      match mode with
+      | "incremental" -> [ ("incremental", Stream.Incremental) ]
+      | "batch" -> [ ("batch", Stream.Batch { reopt_every }) ]
+      | _ ->
+          [
+            ("incremental", Stream.Incremental);
+            ("batch", Stream.Batch { reopt_every });
+          ]
+    in
+    let t =
+      Sof_util.Tbl.create
+        [
+          "mode"; "arrivals"; "accepted"; "accept %"; "amortized cost";
+          "re-opt churn"; "rungs s/r/p"; "peak util"; "p95 embed (ms)";
+          "closure reuse";
+        ]
+    in
+    let module Obs = Sof_obs.Obs in
+    List.iter
+      (fun (label, mode) ->
+        Obs.reset ();
+        Obs.enable ();
+        let r, reuse =
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.disable ();
+              Obs.reset ())
+            (fun () ->
+              let r = Stream.run_script ~mode topo cfg events in
+              (r, Obs.counter_value (Obs.counter "metric.closure_reuse")))
+        in
+        Sof_util.Tbl.add_row t
+          [
+            label;
+            string_of_int r.Stream.arrivals;
+            string_of_int r.Stream.accepted;
+            Printf.sprintf "%.1f" (100.0 *. r.Stream.acceptance_ratio);
+            Printf.sprintf "%.3f" r.Stream.amortized_cost;
+            Printf.sprintf "%.1f" r.Stream.reopt_churn;
+            Printf.sprintf "%d/%d/%d" r.Stream.spliced r.Stream.rescoped
+              r.Stream.repriced;
+            Printf.sprintf "%.3f" r.Stream.peak_utilization;
+            Printf.sprintf "%.2f" (1000.0 *. r.Stream.embed_wall_p95);
+            string_of_int reuse;
+          ])
+      modes;
+    Sof_util.Tbl.print t;
+    Printf.printf
+      "%d events (%d arrivals) on %s; both engines serve the same seeded \
+       script\n"
+      (List.length events)
+      (List.length
+         (List.filter (function Stream.Arrive _ -> true | _ -> false) events))
+      topology
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ seed_arg $ mode_arg $ process_arg $ rate_arg
+      $ hold_arg $ horizon_arg $ util_arg $ reopt_arg $ domains_arg)
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Serve a streaming workload (arrivals and departures) with \
+          admission control, comparing incremental embedding against \
+          periodic batch re-optimization.")
+    term
+
 (* --- topologies ----------------------------------------------------- *)
 
 let topologies_cmd =
@@ -647,5 +798,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; compare_cmd; qoe_cmd; fuzz_cmd; chaos_cmd; profile_cmd;
-            topologies_cmd;
+            stream_cmd; topologies_cmd;
           ]))

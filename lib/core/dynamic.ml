@@ -148,6 +148,25 @@ let destination_join ?cache (f : Forest.t) v =
       in
       Some { problem; forest }
 
+(* Join a batch of destinations one at a time, sharing [cache] across the
+   grafts so the underlying Dijkstra trees are computed once.  A
+   destination that cannot be attached (or is already served) is skipped
+   and reported rather than failing the batch — the streaming admission
+   engine decides what to do with stragglers. *)
+let destinations_join ?cache (f : Forest.t) dests =
+  let join (upd, unserved) v =
+    let p = upd.forest.Forest.problem in
+    if Problem.is_dest p v then (upd, v :: unserved)
+    else
+      match destination_join ?cache upd.forest v with
+      | Some upd' -> (upd', unserved)
+      | None -> (upd, v :: unserved)
+  in
+  let upd, unserved =
+    List.fold_left join ({ problem = f.Forest.problem; forest = f }, []) dests
+  in
+  (upd, List.rev unserved)
+
 (* ------------------------------------------------------------------ *)
 
 let vnf_delete (f : Forest.t) ~vnf =

@@ -29,6 +29,20 @@ val destination_join :
     VNFs on fresh VMs along a k-stroll walk to the new destination.  [None]
     when no feasible attachment exists. *)
 
+val destinations_join :
+  ?cache:Sof_graph.Metric.Cache.t ->
+  Forest.t ->
+  int list ->
+  update * int list
+(** [destinations_join ?cache f dests] attaches the destinations one at a
+    time with {!destination_join}, threading one [cache] through every
+    graft so shortest-path trees are shared across the batch.  Returns
+    the final update plus the destinations that could not be attached
+    (no feasible attachment, or already a destination) in input order;
+    the update covers whatever subset was joined — [([], update
+    unchanged)] degenerates to the input forest.  This is the streaming
+    admission engine's incremental embed rung. *)
+
 val vnf_delete : Forest.t -> vnf:int -> update
 (** Remove the [vnf]-th function from the chain (paper's rule 3): its VMs
     become pass-through hops, later VNFs renumber down, and VNF-free

@@ -766,6 +766,98 @@ let dijkstra_equiv =
     (Prop.make ~shrink:dijkstra_shrink ~print:dijkstra_print
        ~name:"dijkstra-equiv" ~gen:dijkstra_gen dijkstra_equiv_law)
 
+(* --- 10. online ledger conservation ----------------------------------- *)
+
+module Online = Sof_workload.Online
+module Ledger = Sof_cost.Ledger
+
+type ledger_case = { led_seed : int; led_requests : int; led_threshold : float }
+
+(* Small testbed-sized workload so each case embeds in milliseconds; the
+   tight link capacity plus the congestion-blind [`Hops] pricing makes
+   re-joins (rollback + recommit) fire for real. *)
+let ledger_cfg =
+  {
+    Online.vms_per_dc = 2;
+    demand = 5.0;
+    link_capacity = 20.0;
+    vm_capacity = 3.0;
+    src_range = (2, 4);
+    dst_range = (3, 6);
+    chain_length = 2;
+  }
+
+let ledger_gen rng =
+  {
+    led_seed = Rng.int rng 100_000;
+    led_requests = Rng.range rng 2 10;
+    led_threshold = 0.3 +. (0.1 *. float_of_int (Rng.int rng 6));
+  }
+
+let ledger_print c =
+  Printf.sprintf "seed = %d; n_requests = %d; threshold = %.1f" c.led_seed
+    c.led_requests c.led_threshold
+
+let ledger_shrink c =
+  if c.led_requests > 2 then
+    Seq.return { c with led_requests = c.led_requests - 1 }
+  else Seq.empty
+
+(* After any adaptive run — including failed and successful re-joins —
+   the ledger must equal exactly the charges of the forests left
+   committed: every rollback is paired with a recommit.  Loads are sums
+   of the exactly-representable demand (5.0) and 1.0, so the comparison
+   is bit-identical, not epsilon. *)
+let ledger_conservation_law c =
+  let topo = Sof_topology.Topology.testbed () in
+  let report =
+    Online.run_adaptive ~pricing:`Hops
+      ~rng:(Rng.create c.led_seed)
+      ~utilization_threshold:c.led_threshold topo ledger_cfg
+      ~n_requests:c.led_requests
+      ~algo:(fun p -> Sofda.solve_forest p)
+  in
+  let graph, _, n_access = Online.augment topo ledger_cfg in
+  let node_capacity =
+    Array.init (Graph.n graph) (fun v ->
+        if v >= n_access then ledger_cfg.Online.vm_capacity else 0.0)
+  in
+  let fresh =
+    Ledger.create ~graph ~link_capacity:ledger_cfg.Online.link_capacity
+      ~node_capacity
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (u, v) ->
+          Ledger.add_edge_load fresh u v ledger_cfg.Online.demand)
+        (Forest.paid_edges f);
+      List.iter
+        (fun (vm, _) -> Ledger.add_node_load fresh vm 1.0)
+        (Forest.enabled_vms f))
+    report.Online.committed;
+  let final = report.Online.final_ledger in
+  let result = ref (Ok ()) in
+  let fail fmt =
+    Printf.ksprintf (fun m -> if !result = Ok () then result := Error m) fmt
+  in
+  Graph.iter_edges graph (fun u v _ ->
+      let want = Ledger.edge_load fresh u v
+      and got = Ledger.edge_load final u v in
+      if got <> want then
+        fail "link (%d,%d): final load %.17g <> recharged %.17g" u v got want);
+  for v = 0 to Graph.n graph - 1 do
+    let want = Ledger.node_load fresh v and got = Ledger.node_load final v in
+    if got <> want then
+      fail "node %d: final load %.17g <> recharged %.17g" v got want
+  done;
+  !result
+
+let ledger_conservation =
+  Prop.Packed
+    (Prop.make ~shrink:ledger_shrink ~print:ledger_print
+       ~name:"ledger-conservation" ~gen:ledger_gen ledger_conservation_law)
+
 (* --- deliberate demo failure ------------------------------------------ *)
 
 let demo_dest_budget_prop =
@@ -791,6 +883,7 @@ let all =
     (repair_validity, 200);
     (obs_transparency, 200);
     (dijkstra_equiv, 300);
+    (ledger_conservation, 60);
   ]
 
 let names () =

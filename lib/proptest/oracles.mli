@@ -71,6 +71,15 @@ val dijkstra_equiv : Prop.packed
     early-exit behaviour on unreachable terminals; Bellman–Ford
     cross-checks distances as an independent algorithm. *)
 
+val ledger_conservation : Prop.packed
+(** After {!Sof_workload.Online.run_adaptive} — congestion-blind pricing
+    on a tight testbed workload, so rollback/recommit re-joins genuinely
+    fire — the final {!Sof_cost.Ledger} is {e bit-identical} to charging
+    only the committed forests' footprints into a fresh ledger: every
+    rollback is paired with a recommit, no load leaks or double-charges.
+    Exact float equality is sound because all loads are sums of the
+    exactly-representable demand and 1.0. *)
+
 val all : (Prop.packed * int) list
 (** The suite with each property's default case count for one [sof fuzz]
     round (the ILP oracle runs fewer cases per round than the cheap

@@ -57,6 +57,45 @@ let augment topo cfg =
   let graph = Graph.create ~n ~edges:(Graph.edges base @ !vm_edges) in
   (graph, List.rev !vms, n_access)
 
+(* Draw one request's disjoint source and destination sets from the
+   access nodes.  The configured ranges are clamped to what the topology
+   can actually provide: at least one source and one destination, never
+   more picks than access nodes.  Topologies with a single access node
+   cannot host a request at all. *)
+let draw_request ~rng ~n_access cfg =
+  if n_access < 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Online.draw_request: topology has %d access node(s); a request \
+          needs at least 2 (one source, one destination)"
+         n_access);
+  let lo_s, hi_s = cfg.src_range and lo_d, hi_d = cfg.dst_range in
+  let n_src = max 1 (min (Rng.range rng lo_s hi_s) (n_access - 1)) in
+  let n_dst = max 1 (min (Rng.range rng lo_d hi_d) (n_access - n_src)) in
+  let picks = Rng.sample_without_replacement rng (n_src + n_dst) n_access in
+  let rec split k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | x :: rest -> split (k - 1) (x :: acc) rest
+    | [] -> (List.rev acc, [])
+  in
+  split n_src [] picks
+
+(* Canonical form of an embedding's charged footprint: paid edges as an
+   orientation-normalized sorted multiset (an edge paid twice for two
+   traffic contexts appears twice), enabled VMs as a sorted list.  Two
+   forests with equal canonical footprints charge the ledger
+   identically. *)
+let canonical_footprint edges vms =
+  let cmp_edge (a1, b1) (a2, b2) =
+    match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+  in
+  ( List.sort cmp_edge
+      (List.map (fun (a, b) -> if a <= b then (a, b) else (b, a)) edges),
+    List.sort Int.compare vms )
+
+let same_footprint (e1, v1) (e2, v2) =
+  canonical_footprint e1 v1 = canonical_footprint e2 v2
+
 let marginal_edge_cost ledger cfg u v =
   let load = Ledger.edge_load ledger u v in
   Cost_model.cost ~load:(load +. cfg.demand) ~capacity:cfg.link_capacity
@@ -83,16 +122,7 @@ let run_core ?(pricing = `Marginal) ~rng topo cfg ~n_requests ~algo ~on_commit
   let steps = ref [] in
   let accumulated = ref 0.0 in
   for request = 1 to n_requests do
-    let lo_s, hi_s = cfg.src_range and lo_d, hi_d = cfg.dst_range in
-    let n_src = Rng.range rng lo_s hi_s in
-    let n_dst = min (Rng.range rng lo_d hi_d) (n_access - n_src) in
-    let picks = Rng.sample_without_replacement rng (n_src + n_dst) n_access in
-    let rec split k acc = function
-      | rest when k = 0 -> (List.rev acc, rest)
-      | x :: rest -> split (k - 1) (x :: acc) rest
-      | [] -> (List.rev acc, [])
-    in
-    let sources, dests = split n_src [] picks in
+    let sources, dests = draw_request ~rng ~n_access cfg in
     (* [`Marginal] prices each resource by the Fortz-Thorup marginal cost
        of adding this request (the paper's online model); [`Hops] is the
        congestion-blind strawman used to showcase re-joins. *)
@@ -139,12 +169,13 @@ let run_core ?(pricing = `Marginal) ~rng topo cfg ~n_requests ~algo ~on_commit
     in
     steps := step :: !steps
   done;
-  List.rev !steps
+  (List.rev !steps, ledger)
 
 let run ?pricing ~rng topo cfg ~n_requests ~algo =
-  run_core ?pricing ~rng topo cfg ~n_requests ~algo
-    ~on_commit:(fun ~ledger:_ ~graph:_ ~vms:_ _ -> ())
-    ()
+  fst
+    (run_core ?pricing ~rng topo cfg ~n_requests ~algo
+       ~on_commit:(fun ~ledger:_ ~graph:_ ~vms:_ _ -> ())
+       ())
 
 let accumulated_series steps = List.map (fun s -> s.accumulated) steps
 
@@ -152,6 +183,8 @@ type adaptive_report = {
   steps : step list;
   reroutes : int;
   peak_utilization : float;
+  final_ledger : Ledger.t;
+  committed : Sof.Forest.t list;
 }
 let run_adaptive ?pricing ~rng ?(utilization_threshold = 0.9) topo cfg
     ~n_requests ~algo =
@@ -190,7 +223,7 @@ let run_adaptive ?pricing ~rng ?(utilization_threshold = 0.9) topo cfg
       (fun vm ->
         consider (Ledger.node_load ledger vm /. cfg.vm_capacity) (`Vm vm))
       vms;
-    List.sort (fun (a, _) (b, _) -> compare b a) !acc
+    List.sort (fun (a, _) (b, _) -> Float.compare b a) !acc
   in
   (* One re-join attempt on a hot resource: roll back the most recent
      forest touching it, re-route (rule 5) or relocate the VNF (rule 6)
@@ -239,10 +272,17 @@ let run_adaptive ?pricing ~rng ?(utilization_threshold = 0.9) topo cfg
         in
         match attempt with
         | Some upd when Sof.Validate.is_valid upd.Sof.Dynamic.forest ->
+            (* A re-join counts as a reroute only when the physical
+               footprint actually moved: the lists are compared as
+               canonical sets, so a same-footprint result returned in a
+               different order is not a reroute. *)
             let changed =
-              Sof.Forest.paid_edges upd.Sof.Dynamic.forest <> old_edges
-              || List.map fst (Sof.Forest.enabled_vms upd.Sof.Dynamic.forest)
-                 <> old_vms
+              not
+                (same_footprint
+                   ( Sof.Forest.paid_edges upd.Sof.Dynamic.forest,
+                     List.map fst
+                       (Sof.Forest.enabled_vms upd.Sof.Dynamic.forest) )
+                   (old_edges, old_vms))
             in
             if changed then incr reroutes;
             let footprint = commit ledger upd.Sof.Dynamic.forest in
@@ -273,5 +313,13 @@ let run_adaptive ?pricing ~rng ?(utilization_threshold = 0.9) topo cfg
     in
     try_first 5 candidates
   in
-  let steps = run_core ?pricing ~rng topo cfg ~n_requests ~algo ~on_commit () in
-  { steps; reroutes = !reroutes; peak_utilization = !peak }
+  let steps, ledger =
+    run_core ?pricing ~rng topo cfg ~n_requests ~algo ~on_commit ()
+  in
+  {
+    steps;
+    reroutes = !reroutes;
+    peak_utilization = !peak;
+    final_ledger = ledger;
+    committed = List.map (fun (f, _, _) -> f) !committed;
+  }

@@ -31,6 +31,31 @@ type step = {
   served : bool;
 }
 
+val augment :
+  Sof_topology.Topology.t -> config -> Sof_graph.Graph.t * int list * int
+(** [augment topo cfg] attaches [cfg.vms_per_dc] VM nodes to every data
+    center of [topo] (unit-cost access links) and returns
+    [(graph, vms, n_access)] where [vms] are the fresh VM node ids and
+    [n_access] the number of original access nodes.  Shared with the
+    streaming engine ({!Stream}) so both scenarios embed on the same
+    substrate. *)
+
+val draw_request :
+  rng:Sof_util.Rng.t -> n_access:int -> config -> int list * int list
+(** Draw one request's [(sources, dests)] — disjoint subsets of the
+    access nodes, sized from [cfg.src_range] and [cfg.dst_range] but
+    clamped to what the topology can provide: at least one source and
+    one destination, at most [n_access] picks total.
+    @raise Invalid_argument when [n_access < 2] — such a topology cannot
+    host both a source and a destination. *)
+
+val same_footprint :
+  (int * int) list * int list -> (int * int) list * int list -> bool
+(** Order- and orientation-insensitive equality of charged footprints
+    [(paid edges, enabled VMs)]: edges are compared as a normalized
+    multiset (per-context payments preserved), VMs as a set.  Exposed for
+    the re-join accounting tests. *)
+
 val run :
   ?pricing:[ `Marginal | `Hops ] ->
   rng:Sof_util.Rng.t ->
@@ -50,8 +75,18 @@ val accumulated_series : step list -> float list
 
 type adaptive_report = {
   steps : step list;
-  reroutes : int;          (** congestion-triggered re-join events *)
+  reroutes : int;
+      (** congestion-triggered re-join events that moved the footprint
+          (set-compared; a same-footprint re-join does not count) *)
   peak_utilization : float;  (** highest link utilization ever observed *)
+  final_ledger : Sof_cost.Ledger.t;
+      (** the load ledger as the run left it — every committed forest's
+          charges minus every rollback *)
+  committed : Sof.Forest.t list;
+      (** the live embeddings at the end of the run, most recent first;
+          charging exactly their footprints into a fresh ledger must
+          reproduce [final_ledger] (the conservation law the test suite
+          checks) *)
 }
 
 val run_adaptive :

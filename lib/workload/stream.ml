@@ -1,0 +1,562 @@
+module Graph = Sof_graph.Graph
+module Metric = Sof_graph.Metric
+module Rng = Sof_util.Rng
+module Stats = Sof_util.Stats
+module Timer = Sof_util.Timer
+module Topology = Sof_topology.Topology
+module Cost_model = Sof_cost.Cost_model
+module Ledger = Sof_cost.Ledger
+module Repair = Sof_resilience.Repair
+module Obs = Sof_obs.Obs
+
+type process =
+  | Poisson of { rate : float }
+  | Diurnal of { base : float; peak : float; period : float }
+  | Flash of {
+      base : float;
+      burst_rate : float;
+      burst_every : float;
+      burst_len : float;
+    }
+
+type config = {
+  workload : Online.config;
+  process : process;
+  mean_hold : float;
+  horizon : float;
+  max_utilization : float;
+}
+
+let default_config =
+  {
+    workload = Online.softlayer_config;
+    process = Poisson { rate = 1.0 };
+    mean_hold = 12.0;
+    horizon = 40.0;
+    max_utilization = 1.0;
+  }
+
+type request = {
+  id : int;
+  arrival : float;
+  hold : float;
+  sources : int list;
+  dests : int list;
+}
+
+type event = Arrive of request | Depart of { id : int; time : float }
+
+(* --- event script ----------------------------------------------------- *)
+
+let rate_at process t =
+  match process with
+  | Poisson { rate } -> rate
+  | Diurnal { base; peak; period } ->
+      (* a full wave per [period], starting (and ending) at [base] *)
+      base
+      +. (peak -. base) *. 0.5
+         *. (1.0 -. cos (2.0 *. Float.pi *. t /. period))
+  | Flash { base; burst_rate; burst_every; burst_len } ->
+      if Float.rem t burst_every < burst_len then burst_rate else base
+
+let peak_rate = function
+  | Poisson { rate } -> rate
+  | Diurnal { base; peak; _ } -> Float.max base peak
+  | Flash { base; burst_rate; _ } -> Float.max base burst_rate
+
+let validate_config cfg =
+  let pos name v =
+    if not (v > 0.0) then
+      invalid_arg (Printf.sprintf "Stream: %s must be positive (got %g)" name v)
+  in
+  (match cfg.process with
+  | Poisson { rate } -> pos "rate" rate
+  | Diurnal { base; peak; period } ->
+      pos "base" base;
+      pos "peak" peak;
+      pos "period" period
+  | Flash { base; burst_rate; burst_every; burst_len } ->
+      pos "base" base;
+      pos "burst_rate" burst_rate;
+      pos "burst_every" burst_every;
+      pos "burst_len" burst_len);
+  pos "mean_hold" cfg.mean_hold;
+  pos "horizon" cfg.horizon;
+  pos "max_utilization" cfg.max_utilization
+
+let event_time = function Arrive r -> r.arrival | Depart d -> d.time
+let event_id = function Arrive r -> r.id | Depart d -> d.id
+
+(* Departures sort before arrivals at the same instant: capacity freed by
+   a departing request is available to the admission decision. *)
+let event_rank = function Depart _ -> 0 | Arrive _ -> 1
+
+let compare_events a b =
+  match Float.compare (event_time a) (event_time b) with
+  | 0 -> (
+      match Int.compare (event_rank a) (event_rank b) with
+      | 0 -> Int.compare (event_id a) (event_id b)
+      | c -> c)
+  | c -> c
+
+(* Nonhomogeneous Poisson arrivals by thinning against the peak rate;
+   every arrival also schedules its departure (past the horizon is fine —
+   a full replay always drains the system). *)
+let script ~rng ~n_access cfg =
+  validate_config cfg;
+  let pr = peak_rate cfg.process in
+  let events = ref [] in
+  let id = ref 0 in
+  let t = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Rng.exponential rng pr;
+    if !t >= cfg.horizon then continue := false
+    else if Rng.uniform rng *. pr <= rate_at cfg.process !t then begin
+      incr id;
+      let sources, dests = Online.draw_request ~rng ~n_access cfg.workload in
+      let hold = Rng.exponential rng (1.0 /. cfg.mean_hold) in
+      let r = { id = !id; arrival = !t; hold; sources; dests } in
+      events :=
+        Depart { id = r.id; time = r.arrival +. hold } :: Arrive r :: !events
+    end
+  done;
+  List.sort compare_events !events
+
+(* --- footprints and the ledger ---------------------------------------- *)
+
+(* A forest's charged footprint: normalized paid edges with per-context
+   multiplicity, plus enabled VM nodes.  Charging a footprint into the
+   ledger is exactly what [Online.run_core] does edge by edge. *)
+type footprint = { fp_edges : ((int * int) * int) list; fp_vms : int list }
+
+let footprint_of_forest f =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (u, v) ->
+      let key = if u <= v then (u, v) else (v, u) in
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    (Sof.Forest.paid_edges f);
+  let fp_edges =
+    List.sort
+      (fun ((a1, b1), _) ((a2, b2), _) ->
+        match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+      (Hashtbl.fold (fun e k acc -> (e, k) :: acc) tbl [])
+  in
+  { fp_edges; fp_vms = List.map fst (Sof.Forest.enabled_vms f) }
+
+let charge ledger w ~sign fp =
+  List.iter
+    (fun ((u, v), k) ->
+      Ledger.add_edge_load ledger u v
+        (sign *. float_of_int k *. w.Online.demand))
+    fp.fp_edges;
+  List.iter (fun vm -> Ledger.add_node_load ledger vm sign) fp.fp_vms
+
+(* Admission check: would committing [fp] keep every touched resource
+   within the headroom threshold? *)
+let fits ledger w ~max_utilization fp =
+  let eps = 1e-9 in
+  List.for_all
+    (fun ((u, v), k) ->
+      Ledger.edge_load ledger u v +. (float_of_int k *. w.Online.demand)
+      <= (max_utilization *. w.Online.link_capacity) +. eps)
+    fp.fp_edges
+  && List.for_all
+       (fun vm ->
+         Ledger.node_load ledger vm +. 1.0
+         <= (max_utilization *. w.Online.vm_capacity) +. eps)
+       fp.fp_vms
+
+(* Fortz–Thorup marginal cost of committing [fp] on the current loads —
+   the congestion-aware price both engine modes are scored by. *)
+let marginal_footprint_cost ledger w fp =
+  let edge =
+    List.fold_left
+      (fun acc ((u, v), k) ->
+        let load = Ledger.edge_load ledger u v in
+        acc
+        +. Cost_model.cost
+             ~load:(load +. (float_of_int k *. w.Online.demand))
+             ~capacity:w.Online.link_capacity
+        -. Cost_model.cost ~load ~capacity:w.Online.link_capacity)
+      0.0 fp.fp_edges
+  in
+  List.fold_left
+    (fun acc vm ->
+      let load = Ledger.node_load ledger vm in
+      acc
+      +. Cost_model.cost ~load:(load +. 1.0) ~capacity:w.Online.vm_capacity
+      -. Cost_model.cost ~load ~capacity:w.Online.vm_capacity)
+    edge fp.fp_vms
+
+let footprint_peak ledger w fp =
+  let peak =
+    List.fold_left
+      (fun acc ((u, v), _) ->
+        Float.max acc (Ledger.edge_utilization ledger u v))
+      0.0 fp.fp_edges
+  in
+  List.fold_left
+    (fun acc vm ->
+      Float.max acc (Ledger.node_load ledger vm /. w.Online.vm_capacity))
+    peak fp.fp_vms
+
+(* --- engine ------------------------------------------------------------ *)
+
+type mode = Incremental | Batch of { reopt_every : int }
+type rung = Spliced | Rescoped | Repriced
+
+type outcome = {
+  id : int;
+  time : float;
+  accepted : bool;
+  rung : rung option;
+  marginal_cost : float;
+  wall_s : float;
+}
+
+type report = {
+  arrivals : int;
+  departures : int;
+  accepted : int;
+  rejected : int;
+  acceptance_ratio : float;
+  total_marginal_cost : float;
+  amortized_cost : float;
+  reopt_churn : float;
+  reopt_rounds : int;
+  spliced : int;
+  rescoped : int;
+  repriced : int;
+  peak_utilization : float;
+  live_peak : int;
+  embed_wall_p50 : float;
+  embed_wall_p95 : float;
+  embed_wall_p99 : float;
+  outcomes : outcome list;
+  final_ledger : Ledger.t;
+}
+
+type live_entry = { forest : Sof.Forest.t; fp : footprint }
+
+(* Saturated resources are priced at a large finite penalty rather than
+   [infinity]: Dijkstra then still ranks paths (no inf - inf traps), and
+   the [fits] check stays the single admission authority. *)
+let penalty = 1e9
+
+let serves_all dests (f : Sof.Forest.t) =
+  List.for_all
+    (fun d -> List.mem d f.Sof.Forest.problem.Sof.Problem.dests)
+    dests
+
+let run_script ~mode topo cfg events =
+  validate_config cfg;
+  (match mode with
+  | Batch { reopt_every } when reopt_every <= 0 ->
+      invalid_arg "Stream: Batch reopt_every must be positive"
+  | _ -> ());
+  let w = cfg.workload in
+  let graph0, vms, _n_access = Online.augment topo w in
+  (* One physical graph, priced once at zero-load marginal cost: the
+     incremental path's runs in the long-lived metric cache stay valid
+     for the whole stream. *)
+  let static_graph =
+    Graph.map_weights graph0 (fun _ _ _ ->
+        Cost_model.cost ~load:w.Online.demand ~capacity:w.Online.link_capacity)
+  in
+  let n = Graph.n static_graph in
+  let static_node_cost = Array.make n 0.0 in
+  List.iter
+    (fun vm ->
+      static_node_cost.(vm) <-
+        Cost_model.cost ~load:1.0 ~capacity:w.Online.vm_capacity)
+    vms;
+  let node_capacity =
+    Array.init n (fun v ->
+        if List.mem v vms then w.Online.vm_capacity else 0.0)
+  in
+  let ledger =
+    Ledger.create ~graph:static_graph ~link_capacity:w.Online.link_capacity
+      ~node_capacity
+  in
+  let cache = Metric.Cache.create () in
+  let live : (int, live_entry) Hashtbl.t = Hashtbl.create 64 in
+  let arrivals = ref 0
+  and departures = ref 0
+  and accepted = ref 0
+  and rejected = ref 0 in
+  let spliced = ref 0 and rescoped = ref 0 and repriced = ref 0 in
+  let total_marginal = ref 0.0 and reopt_churn = ref 0.0 in
+  let reopt_rounds = ref 0 in
+  let peak = ref 0.0 and live_peak = ref 0 in
+  let walls = ref [] in
+  let outcomes = ref [] in
+  let mk_problem ~graph ~node_cost ~sources ~dests =
+    Sof.Problem.make ~graph ~node_cost ~vms ~sources ~dests
+      ~chain_length:w.Online.chain_length
+  in
+  (* Current marginal prices, with saturated resources at [penalty] —
+     a fresh physical graph, so solves on it bypass the shared cache. *)
+  let repriced_instance () =
+    let graph =
+      Graph.map_weights static_graph (fun u v _ ->
+          let load = Ledger.edge_load ledger u v in
+          if
+            load +. w.Online.demand
+            > cfg.max_utilization *. w.Online.link_capacity
+          then penalty
+          else
+            Cost_model.cost ~load:(load +. w.Online.demand)
+              ~capacity:w.Online.link_capacity
+            -. Cost_model.cost ~load ~capacity:w.Online.link_capacity)
+    in
+    let node_cost = Array.make n 0.0 in
+    List.iter
+      (fun vm ->
+        let load = Ledger.node_load ledger vm in
+        node_cost.(vm) <-
+          (if load +. 1.0 > cfg.max_utilization *. w.Online.vm_capacity then
+             penalty
+           else
+             Cost_model.cost ~load:(load +. 1.0)
+               ~capacity:w.Online.vm_capacity
+             -. Cost_model.cost ~load ~capacity:w.Online.vm_capacity))
+      vms;
+    (graph, node_cost)
+  in
+  (* Cheap admission precheck: a chain needs [chain_length] distinct VMs
+     with headroom; without them no embedding can fit. *)
+  let precheck () =
+    let free =
+      List.fold_left
+        (fun acc vm ->
+          if
+            Ledger.node_load ledger vm +. 1.0
+            <= cfg.max_utilization *. w.Online.vm_capacity
+          then acc + 1
+          else acc)
+        0 vms
+    in
+    free >= w.Online.chain_length
+  in
+  let candidate_ok dests f =
+    Sof.Validate.is_valid f && serves_all dests f
+  in
+  (* Rung 1: single-destination seed solve plus grafts, all under the
+     run-long cache on the statically priced graph. *)
+  let splice sources dests =
+    match dests with
+    | [] -> None
+    | d0 :: rest -> (
+        match
+          Sof.Sofda.solve_forest ~cache
+            (mk_problem ~graph:static_graph ~node_cost:static_node_cost
+               ~sources ~dests:[ d0 ])
+        with
+        | None -> None
+        | Some f0 ->
+            let upd, unserved = Sof.Dynamic.destinations_join ~cache f0 rest in
+            if unserved = [] && candidate_ok dests upd.Sof.Dynamic.forest then
+              Some upd.Sof.Dynamic.forest
+            else None)
+  in
+  (* Rung 2: scoped from-scratch re-solve, still sharing the cache. *)
+  let rescope sources dests =
+    match
+      Repair.full_resolve ~cache
+        (mk_problem ~graph:static_graph ~node_cost:static_node_cost ~sources
+           ~dests)
+    with
+    | Some (_, f, []) when candidate_ok dests f -> Some f
+    | _ -> None
+  in
+  (* Rung 3: load-aware re-solve at current marginal prices. *)
+  let reprice_solve sources dests =
+    let graph, node_cost = repriced_instance () in
+    match Sof.Sofda.solve_forest (mk_problem ~graph ~node_cost ~sources ~dests)
+    with
+    | Some f when candidate_ok dests f -> Some f
+    | _ -> None
+  in
+  let commit id forest =
+    let fp = footprint_of_forest forest in
+    let cost = marginal_footprint_cost ledger w fp in
+    charge ledger w ~sign:1.0 fp;
+    peak := Float.max !peak (footprint_peak ledger w fp);
+    Hashtbl.replace live id { forest; fp };
+    live_peak := max !live_peak (Hashtbl.length live);
+    total_marginal := !total_marginal +. cost;
+    cost
+  in
+  (* The escalation ladder for one arrival; returns the rung and the
+     admitted forest, or [None] for a rejection. *)
+  let serve_incremental sources dests =
+    if not (precheck ()) then None
+    else
+      let structural =
+        match splice sources dests with
+        | Some f -> Some (Spliced, f)
+        | None -> (
+            match rescope sources dests with
+            | Some f -> Some (Rescoped, f)
+            | None -> None)
+      in
+      match structural with
+      | Some (rung, f) when fits ledger w ~max_utilization:cfg.max_utilization
+                              (footprint_of_forest f) ->
+          Some (rung, f)
+      | _ -> (
+          (* structural conflict, or a capacity conflict: one load-aware
+             repriced attempt before rejecting *)
+          match reprice_solve sources dests with
+          | Some f
+            when fits ledger w ~max_utilization:cfg.max_utilization
+                   (footprint_of_forest f) ->
+              Some (Repriced, f)
+          | _ -> None)
+  in
+  let serve_batch sources dests =
+    if not (precheck ()) then None
+    else
+      match reprice_solve sources dests with
+      | Some f
+        when fits ledger w ~max_utilization:cfg.max_utilization
+               (footprint_of_forest f) ->
+          Some (Repriced, f)
+      | _ -> None
+  in
+  (* Periodic batch re-optimization: rebuild the ledger from scratch,
+     re-embedding every live request at current marginal prices in id
+     order; a request whose re-embed fails keeps its old forest. *)
+  let reoptimize () =
+    incr reopt_rounds;
+    Obs.count "stream.reopt_rounds" 1;
+    let ids =
+      List.sort Int.compare
+        (Hashtbl.fold (fun id _ acc -> id :: acc) live [])
+    in
+    Ledger.reset ledger;
+    List.iter
+      (fun id ->
+        let entry = Hashtbl.find live id in
+        let p = entry.forest.Sof.Forest.problem in
+        let sources = p.Sof.Problem.sources and dests = p.Sof.Problem.dests in
+        let replacement =
+          match reprice_solve sources dests with
+          | Some f
+            when fits ledger w ~max_utilization:cfg.max_utilization
+                   (footprint_of_forest f) ->
+              Some f
+          | _ -> None
+        in
+        match replacement with
+        | Some f ->
+            let fp = footprint_of_forest f in
+            charge ledger w ~sign:1.0 fp;
+            peak := Float.max !peak (footprint_peak ledger w fp);
+            reopt_churn := !reopt_churn +. Repair.churn ~old_:entry.forest f;
+            Obs.count "stream.reopt_reembedded" 1;
+            Hashtbl.replace live id { forest = f; fp }
+        | None -> charge ledger w ~sign:1.0 entry.fp)
+      ids
+  in
+  let serve =
+    match mode with
+    | Incremental -> serve_incremental
+    | Batch _ -> serve_batch
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Depart { id; _ } -> (
+          match Hashtbl.find_opt live id with
+          | None -> () (* rejected arrival: nothing was held *)
+          | Some entry ->
+              incr departures;
+              Obs.count "stream.departures" 1;
+              charge ledger w ~sign:(-1.0) entry.fp;
+              Hashtbl.remove live id)
+      | Arrive r ->
+          incr arrivals;
+          Obs.count "stream.arrivals" 1;
+          let result, wall =
+            Timer.time (fun () -> serve r.sources r.dests)
+          in
+          walls := wall :: !walls;
+          Obs.record "stream.embed_latency" wall;
+          let outcome =
+            match result with
+            | Some (rung, forest) ->
+                incr accepted;
+                Obs.count "stream.accepted" 1;
+                (match rung with
+                | Spliced ->
+                    incr spliced;
+                    Obs.count "stream.rung_spliced" 1
+                | Rescoped ->
+                    incr rescoped;
+                    Obs.count "stream.rung_rescoped" 1
+                | Repriced ->
+                    incr repriced;
+                    Obs.count "stream.rung_repriced" 1);
+                let cost = commit r.id forest in
+                {
+                  id = r.id;
+                  time = r.arrival;
+                  accepted = true;
+                  rung = Some rung;
+                  marginal_cost = cost;
+                  wall_s = wall;
+                }
+            | None ->
+                incr rejected;
+                Obs.count "stream.rejected" 1;
+                {
+                  id = r.id;
+                  time = r.arrival;
+                  accepted = false;
+                  rung = None;
+                  marginal_cost = 0.0;
+                  wall_s = wall;
+                }
+          in
+          outcomes := outcome :: !outcomes;
+          (match mode with
+          | Batch { reopt_every } when !arrivals mod reopt_every = 0 ->
+              reoptimize ()
+          | _ -> ()))
+    events;
+  let pct p =
+    match !walls with [] -> 0.0 | ws -> Stats.percentile p ws
+  in
+  {
+    arrivals = !arrivals;
+    departures = !departures;
+    accepted = !accepted;
+    rejected = !rejected;
+    acceptance_ratio =
+      (if !arrivals = 0 then 1.0
+       else float_of_int !accepted /. float_of_int !arrivals);
+    total_marginal_cost = !total_marginal;
+    amortized_cost =
+      (if !accepted = 0 then 0.0
+       else !total_marginal /. float_of_int !accepted);
+    reopt_churn = !reopt_churn;
+    reopt_rounds = !reopt_rounds;
+    spliced = !spliced;
+    rescoped = !rescoped;
+    repriced = !repriced;
+    peak_utilization = !peak;
+    live_peak = !live_peak;
+    embed_wall_p50 = pct 50.0;
+    embed_wall_p95 = pct 95.0;
+    embed_wall_p99 = pct 99.0;
+    outcomes = List.rev !outcomes;
+    final_ledger = ledger;
+  }
+
+let run ~mode ~rng topo cfg =
+  let _, _, n_access = Online.augment topo cfg.workload in
+  run_script ~mode topo cfg (script ~rng ~n_access cfg)

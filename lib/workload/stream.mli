@@ -1,0 +1,147 @@
+(** Streaming admission engine: a long-lived request stream with arrivals
+    {e and} departures, admission control against capacity headroom, and
+    incremental embedding.
+
+    Where {!Online} replays the paper's arrivals-only Fig. 12 scenario,
+    this module runs the full online service model of the admission
+    literature (Lukovszki & Schmid, {e Online Admission Control and
+    Embedding of Service Chains}): requests arrive over continuous time
+    under a seeded stochastic process (Poisson, diurnal wave, or flash
+    crowd), hold their resources for an exponential lifetime, and depart,
+    releasing every load they charged.  An admission controller accepts
+    or rejects each arrival against the link/VM capacity headroom in the
+    {!Sof_cost.Ledger}; accepted requests are embedded {e incrementally}
+    — a single-destination seed solve plus
+    {!Sof.Dynamic.destinations_join} grafts under one long-lived
+    {!Sof_graph.Metric.Cache} spanning the whole run — escalating through
+    {!Sof_resilience.Repair.full_resolve} on structural conflict and a
+    load-aware repriced re-solve on capacity conflict before rejecting.
+
+    The engine is deterministic: all randomness is consumed at
+    {!script}-generation time, so the same event script can be served by
+    the incremental and the periodic-batch engines for a like-for-like
+    acceptance-ratio and amortized-cost comparison. *)
+
+(** Arrival process, in requests per unit time. *)
+type process =
+  | Poisson of { rate : float }  (** homogeneous: constant [rate] *)
+  | Diurnal of { base : float; peak : float; period : float }
+      (** sinusoidal wave between [base] and [peak] with [period] *)
+  | Flash of {
+      base : float;
+      burst_rate : float;
+      burst_every : float;
+      burst_len : float;
+    }
+      (** [base] rate, spiking to [burst_rate] for the first [burst_len]
+          of every [burst_every] window (flash crowds) *)
+
+type config = {
+  workload : Online.config;
+      (** per-request shape: source/destination ranges, demand,
+          capacities, chain length, VMs per data center *)
+  process : process;
+  mean_hold : float;  (** mean exponential holding time of a request *)
+  horizon : float;    (** arrivals are generated in [0, horizon) *)
+  max_utilization : float;
+      (** admission headroom: a request is only committed while every
+          touched link stays at [load <= max_utilization *
+          link_capacity] and every touched VM at [load <=
+          max_utilization * vm_capacity] *)
+}
+
+val default_config : config
+(** SoftLayer-shaped default: {!Online.softlayer_config} workload,
+    Poisson arrivals at rate 1 with mean hold 12 (≈ 12 concurrent
+    requests in steady state), horizon 40, full-capacity admission
+    ([max_utilization = 1.0]). *)
+
+type request = {
+  id : int;  (** 1-based, in arrival order *)
+  arrival : float;
+  hold : float;
+  sources : int list;
+  dests : int list;
+}
+
+type event =
+  | Arrive of request
+  | Depart of { id : int; time : float }
+      (** departures of rejected requests are ignored by the engine *)
+
+val script : rng:Sof_util.Rng.t -> n_access:int -> config -> event list
+(** Generate the full, time-ordered event script: arrivals drawn from
+    [config.process] by thinning against its peak rate, each with an
+    exponential holding time and a request drawn by
+    {!Online.draw_request}; every arrival's departure is included even
+    when it falls past the horizon, so a full replay always drains the
+    system.  Simultaneous events order departures first (capacity is
+    freed before the next admission decision).
+    @raise Invalid_argument on non-positive rates, horizon, or mean
+    hold. *)
+
+(** How accepted requests are embedded. *)
+type mode =
+  | Incremental
+      (** seed solve + destination grafts under one run-long metric
+          cache; escalation ladder on conflict; no re-optimization *)
+  | Batch of { reopt_every : int }
+      (** every arrival is a from-scratch solve at current marginal
+          prices, and every [reopt_every] arrivals all live requests are
+          re-embedded from scratch (the periodic batch re-optimization
+          strawman the incremental path is compared against).
+          @raise Invalid_argument when [reopt_every <= 0]. *)
+
+(** Which escalation-ladder rung served an accepted request. *)
+type rung =
+  | Spliced   (** incremental seed + grafts, on the cache-shared graph *)
+  | Rescoped  (** {!Sof_resilience.Repair.full_resolve} under the cache *)
+  | Repriced  (** load-aware re-solve at marginal prices (cache miss) *)
+
+type outcome = {
+  id : int;
+  time : float;
+  accepted : bool;
+  rung : rung option;     (** [None] when rejected *)
+  marginal_cost : float;  (** Fortz–Thorup marginal cost of the committed
+                              footprint at admission time; 0 when rejected *)
+  wall_s : float;         (** wall-clock spent deciding/embedding *)
+}
+
+type report = {
+  arrivals : int;
+  departures : int;  (** departures of {e accepted} requests *)
+  accepted : int;
+  rejected : int;
+  acceptance_ratio : float;  (** accepted / arrivals; 1 when no arrivals *)
+  total_marginal_cost : float;
+  amortized_cost : float;
+      (** total marginal cost per accepted request — the
+          incremental-vs-batch comparison metric *)
+  reopt_churn : float;
+      (** batch mode: summed {!Sof_resilience.Repair.churn} of every
+          re-optimization re-embed; 0 in incremental mode *)
+  reopt_rounds : int;
+  spliced : int;
+  rescoped : int;
+  repriced : int;
+  peak_utilization : float;  (** highest committed link/VM utilization *)
+  live_peak : int;           (** max concurrently held requests *)
+  embed_wall_p50 : float;
+  embed_wall_p95 : float;
+  embed_wall_p99 : float;  (** per-arrival decision latency, seconds *)
+  outcomes : outcome list;   (** per arrival, in arrival order *)
+  final_ledger : Sof_cost.Ledger.t;
+      (** after a full script replay every departure has fired, so all
+          loads must be back to zero — the conservation law the test
+          suite checks *)
+}
+
+val run_script :
+  mode:mode -> Sof_topology.Topology.t -> config -> event list -> report
+(** Serve a prepared script (from {!script}) — use this to compare modes
+    on the identical request sequence. *)
+
+val run :
+  mode:mode -> rng:Sof_util.Rng.t -> Sof_topology.Topology.t -> config -> report
+(** [script] + [run_script]. *)

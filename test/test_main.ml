@@ -16,6 +16,7 @@ let () =
       ("simnet", Test_simnet.suite);
       ("resilience", Test_resilience.suite);
       ("online", Test_online.suite);
+      ("stream", Test_stream.suite);
       ("reduction", Test_reduction.suite);
       ("extra", Test_extra.suite);
       ("polish", Test_polish.suite);

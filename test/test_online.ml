@@ -111,8 +111,115 @@ let test_adaptive_matches_plain_when_idle () =
       Alcotest.check feq "same cost" a.Online.cost b.Online.cost)
     (run_plain ()) (run_ad ())
 
+let test_draw_request_tiny_topology () =
+  (* Regression: the request sizes come from softlayer-sized ranges
+     (8-12 sources, 13-17 destinations); on a topology with only a
+     handful of access nodes they must clamp to >= 1 of each, never to a
+     zero or negative destination count. *)
+  let rng = Sof_util.Rng.create 42 in
+  for _ = 1 to 200 do
+    let sources, dests =
+      Online.draw_request ~rng ~n_access:3 Online.softlayer_config
+    in
+    Alcotest.(check bool) "at least one source" true (List.length sources >= 1);
+    Alcotest.(check bool) "at least one dest" true (List.length dests >= 1);
+    Alcotest.(check bool) "fits in the topology" true
+      (List.length sources + List.length dests <= 3);
+    List.iter
+      (fun s ->
+        Alcotest.(check bool) "disjoint" true (not (List.mem s dests)))
+      sources
+  done;
+  Alcotest.check_raises "one access node is degenerate"
+    (Invalid_argument
+       "Online.draw_request: topology has 1 access node(s); a request needs \
+        at least 2 (one source, one destination)") (fun () ->
+      ignore (Online.draw_request ~rng ~n_access:1 Online.softlayer_config))
+
+let test_online_runs_on_tiny_topology () =
+  (* End-to-end on a 3-node triangle with one data center: every request
+     clamps to 1-2 sources and 1-2 destinations and the run completes. *)
+  let topo =
+    {
+      Sof_topology.Topology.name = "triangle";
+      graph =
+        Sof_graph.Graph.create ~n:3
+          ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 1.0) ];
+      dcs = [ 1 ];
+    }
+  in
+  let rng = Sof_util.Rng.create 8 in
+  let steps =
+    Online.run ~rng topo Online.softlayer_config ~n_requests:4 ~algo:sofda
+  in
+  Alcotest.(check int) "all requests stepped" 4 (List.length steps)
+
+let test_same_footprint () =
+  (* Orientation- and order-insensitive ... *)
+  Alcotest.(check bool) "reordered + flipped edges equal" true
+    (Online.same_footprint
+       ([ (0, 1); (2, 3) ], [ 5; 4 ])
+       ([ (3, 2); (1, 0) ], [ 4; 5 ]));
+  (* ... but per-context multiplicity is load, so it must distinguish *)
+  Alcotest.(check bool) "multiplicity differs" false
+    (Online.same_footprint ([ (0, 1); (1, 0) ], [ 4 ]) ([ (0, 1) ], [ 4 ]));
+  Alcotest.(check bool) "different vms differ" false
+    (Online.same_footprint ([ (0, 1) ], [ 4 ]) ([ (0, 1) ], [ 6 ]))
+
+let test_adaptive_ledger_conservation () =
+  (* After re-joins (rollbacks + recommits) the final ledger must be
+     bit-identical to charging only the committed forests into a fresh
+     one — the same law the ledger-conservation fuzz oracle checks, here
+     pinned on a fixed congested seed. *)
+  let cfg = { Online.softlayer_config with Online.link_capacity = 50.0 } in
+  let topo = Sof_topology.Topology.softlayer () in
+  let rng = Sof_util.Rng.create 9 in
+  let report =
+    Online.run_adaptive ~pricing:`Hops ~rng ~utilization_threshold:0.7 topo
+      cfg ~n_requests:12 ~algo:sofda
+  in
+  Alcotest.(check bool) "re-joins fired" true (report.Online.reroutes >= 1);
+  let graph, _, n_access = Online.augment topo cfg in
+  let node_capacity =
+    Array.init (Sof_graph.Graph.n graph) (fun v ->
+        if v >= n_access then cfg.Online.vm_capacity else 0.0)
+  in
+  let fresh =
+    Sof_cost.Ledger.create ~graph ~link_capacity:cfg.Online.link_capacity
+      ~node_capacity
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (u, v) ->
+          Sof_cost.Ledger.add_edge_load fresh u v cfg.Online.demand)
+        (Sof.Forest.paid_edges f);
+      List.iter
+        (fun (vm, _) -> Sof_cost.Ledger.add_node_load fresh vm 1.0)
+        (Sof.Forest.enabled_vms f))
+    report.Online.committed;
+  let final = report.Online.final_ledger in
+  Sof_graph.Graph.iter_edges graph (fun u v _ ->
+      Alcotest.(check (float 0.0))
+        "edge load conserved"
+        (Sof_cost.Ledger.edge_load fresh u v)
+        (Sof_cost.Ledger.edge_load final u v));
+  for v = 0 to Sof_graph.Graph.n graph - 1 do
+    Alcotest.(check (float 0.0))
+      "node load conserved"
+      (Sof_cost.Ledger.node_load fresh v)
+      (Sof_cost.Ledger.node_load final v)
+  done
+
 let suite =
   [
+    Alcotest.test_case "draw_request tiny topology" `Quick
+      test_draw_request_tiny_topology;
+    Alcotest.test_case "online runs on tiny topology" `Quick
+      test_online_runs_on_tiny_topology;
+    Alcotest.test_case "same_footprint" `Quick test_same_footprint;
+    Alcotest.test_case "adaptive ledger conservation" `Quick
+      test_adaptive_ledger_conservation;
     Alcotest.test_case "online adaptive reroutes" `Quick
       test_adaptive_reroutes_under_pressure;
     Alcotest.test_case "online adaptive idle = plain" `Quick

@@ -1,0 +1,188 @@
+module Stream = Sof_workload.Stream
+module Online = Sof_workload.Online
+module Ledger = Sof_cost.Ledger
+module Graph = Sof_graph.Graph
+module Obs = Sof_obs.Obs
+
+let topo = Sof_topology.Topology.softlayer ()
+
+(* Tight headroom + a flash crowd so admission control has real work:
+   rejections, repriced solves, and a deep live-request pool. *)
+let tight_cfg =
+  {
+    Stream.default_config with
+    Stream.process =
+      Stream.Flash
+        { base = 0.5; burst_rate = 5.0; burst_every = 10.0; burst_len = 3.0 };
+    horizon = 25.0;
+    mean_hold = 8.0;
+    max_utilization = 0.5;
+  }
+
+let script_for cfg seed =
+  let _, _, n_access = Online.augment topo cfg.Stream.workload in
+  Stream.script ~rng:(Sof_util.Rng.create seed) ~n_access cfg
+
+let run_tight ?(seed = 7) mode = Stream.run_script ~mode topo tight_cfg (script_for tight_cfg seed)
+
+let ledger_loads (r : Stream.report) =
+  let lg = r.Stream.final_ledger in
+  let g = Ledger.graph lg in
+  let acc = ref [] in
+  Graph.iter_edges g (fun u v _ -> acc := Ledger.edge_load lg u v :: !acc);
+  for v = 0 to Graph.n g - 1 do
+    acc := Ledger.node_load lg v :: !acc
+  done;
+  !acc
+
+let test_script_shape () =
+  let events = script_for tight_cfg 3 in
+  let arrivals =
+    List.filter_map
+      (function Stream.Arrive r -> Some r | Stream.Depart _ -> None)
+      events
+  in
+  Alcotest.(check bool) "some arrivals" true (List.length arrivals > 0);
+  Alcotest.(check int) "one departure per arrival"
+    (List.length events)
+    (2 * List.length arrivals);
+  (* time-ordered, and every request's sources/dests are disjoint *)
+  let times = List.map Stream.(function Arrive r -> r.arrival | Depart d -> d.time) events in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "time-ordered" true (sorted times);
+  List.iter
+    (fun (r : Stream.request) ->
+      Alcotest.(check bool) "hold positive" true (r.Stream.hold > 0.0);
+      Alcotest.(check bool) "sources and dests disjoint" true
+        (List.for_all (fun s -> not (List.mem s r.Stream.dests)) r.Stream.sources))
+    arrivals
+
+let test_script_validates () =
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Stream: rate must be positive (got -1)") (fun () ->
+      ignore
+        (script_for
+           { tight_cfg with Stream.process = Stream.Poisson { rate = -1.0 } }
+           0));
+  Alcotest.check_raises "zero horizon"
+    (Invalid_argument "Stream: horizon must be positive (got 0)") (fun () ->
+      ignore (script_for { tight_cfg with Stream.horizon = 0.0 } 0))
+
+let test_accounting () =
+  let r = run_tight Stream.Incremental in
+  Alcotest.(check bool) "some arrivals" true (r.Stream.arrivals > 0);
+  Alcotest.(check int) "accepted + rejected = arrivals" r.Stream.arrivals
+    (r.Stream.accepted + r.Stream.rejected);
+  Alcotest.(check int) "every accepted request departed" r.Stream.accepted
+    r.Stream.departures;
+  Alcotest.(check int) "one outcome per arrival" r.Stream.arrivals
+    (List.length r.Stream.outcomes);
+  Alcotest.(check int) "rungs partition the accepted" r.Stream.accepted
+    (r.Stream.spliced + r.Stream.rescoped + r.Stream.repriced);
+  Alcotest.(check bool) "pressure produced rejections" true
+    (r.Stream.rejected > 0)
+
+let test_drains_to_zero () =
+  List.iter
+    (fun mode ->
+      let r = run_tight mode in
+      List.iter
+        (fun load -> Alcotest.(check (float 0.0)) "load zero" 0.0 load)
+        (ledger_loads r))
+    [ Stream.Incremental; Stream.Batch { reopt_every = 7 } ]
+
+let test_respects_headroom () =
+  List.iter
+    (fun mode ->
+      let r = run_tight mode in
+      Alcotest.(check bool) "peak within admission threshold" true
+        (r.Stream.peak_utilization
+        <= tight_cfg.Stream.max_utilization +. 1e-9))
+    [ Stream.Incremental; Stream.Batch { reopt_every = 7 } ]
+
+let test_deterministic () =
+  let key (r : Stream.report) =
+    ( r.Stream.accepted,
+      r.Stream.rejected,
+      r.Stream.total_marginal_cost,
+      r.Stream.peak_utilization,
+      r.Stream.spliced,
+      r.Stream.repriced )
+  in
+  Alcotest.(check bool) "same script, same report" true
+    (key (run_tight Stream.Incremental) = key (run_tight Stream.Incremental))
+
+let test_same_script_both_modes () =
+  let events = script_for tight_cfg 11 in
+  let inc = Stream.run_script ~mode:Stream.Incremental topo tight_cfg events in
+  let bat =
+    Stream.run_script ~mode:(Stream.Batch { reopt_every = 7 }) topo tight_cfg
+      events
+  in
+  Alcotest.(check int) "same arrivals" inc.Stream.arrivals bat.Stream.arrivals;
+  Alcotest.(check int) "incremental never re-optimizes" 0
+    inc.Stream.reopt_rounds;
+  Alcotest.(check (float 0.0)) "incremental churn zero" 0.0
+    inc.Stream.reopt_churn;
+  Alcotest.(check int) "batch re-optimized on schedule"
+    (bat.Stream.arrivals / 7) bat.Stream.reopt_rounds;
+  Alcotest.(check bool) "batch serves everything via repriced solves" true
+    (bat.Stream.spliced = 0 && bat.Stream.rescoped = 0)
+
+let test_incremental_reuses_cache () =
+  Obs.reset ();
+  Obs.enable ();
+  let reuse =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        Obs.reset ())
+      (fun () ->
+        ignore (run_tight Stream.Incremental);
+        Obs.counter_value (Obs.counter "metric.closure_reuse"))
+  in
+  Alcotest.(check bool) "closure cache reused across requests" true (reuse > 0)
+
+let test_generous_capacity_accepts_all () =
+  let cfg =
+    {
+      tight_cfg with
+      Stream.process = Stream.Poisson { rate = 1.0 };
+      horizon = 10.0;
+      max_utilization = 1.0;
+    }
+  in
+  let r = Stream.run_script ~mode:Stream.Incremental topo cfg (script_for cfg 5) in
+  Alcotest.(check int) "nothing rejected" 0 r.Stream.rejected;
+  Alcotest.(check (float 1e-9)) "acceptance ratio 1" 1.0
+    r.Stream.acceptance_ratio;
+  Alcotest.(check bool) "amortized cost positive" true
+    (r.Stream.amortized_cost > 0.0)
+
+let test_bad_reopt_rejected () =
+  Alcotest.check_raises "reopt_every 0"
+    (Invalid_argument "Stream: Batch reopt_every must be positive") (fun () ->
+      ignore
+        (Stream.run_script
+           ~mode:(Stream.Batch { reopt_every = 0 })
+           topo tight_cfg []))
+
+let suite =
+  [
+    Alcotest.test_case "script shape" `Quick test_script_shape;
+    Alcotest.test_case "script validates config" `Quick test_script_validates;
+    Alcotest.test_case "admission accounting" `Quick test_accounting;
+    Alcotest.test_case "departures drain the ledger" `Quick test_drains_to_zero;
+    Alcotest.test_case "headroom respected" `Quick test_respects_headroom;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "incremental vs batch on one script" `Quick
+      test_same_script_both_modes;
+    Alcotest.test_case "incremental reuses metric cache" `Quick
+      test_incremental_reuses_cache;
+    Alcotest.test_case "generous capacity accepts all" `Quick
+      test_generous_capacity_accepts_all;
+    Alcotest.test_case "bad reopt_every rejected" `Quick test_bad_reopt_rejected;
+  ]
