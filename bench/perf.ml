@@ -119,6 +119,51 @@ let measure_closure ~seeds topo_name topo =
     p95_wall_s = percentile walls 0.95;
   }
 
+(* LP-relax-and-round rows, at the reduced instance size of the [lp]
+   experiment (the full Section VIII parameters stall the dense-tableau
+   masters; see bench/lp_bench.ml).  Two rows share each solve: [lp-round]
+   carries the rounded forest's IP objective and [lp-bound] the proven
+   LP lower bound — both deterministic on the fixed seeds, so the gate's
+   exact cost check pins any column-generation or rounding change. *)
+let lp_params =
+  {
+    Instance.n_vms = 10;
+    n_sources = 4;
+    n_dests = 3;
+    chain_length = 2;
+    setup_multiplier = 1.0;
+  }
+
+let measure_lp ~seeds topo_name topo =
+  let walls = Array.make seeds nan in
+  let total_cost = ref 0.0 and total_bound = ref 0.0 and feasible = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rng = Rng.create (0xBE5C + (seed * 7919)) in
+    let p = Instance.draw ~rng topo lp_params in
+    let t0 = Unix.gettimeofday () in
+    let result = Sof.Lp_round.solve ~seed p in
+    walls.(seed) <- Unix.gettimeofday () -. t0;
+    match result with
+    | Some r ->
+        total_cost := !total_cost +. r.Sof.Lp_round.rounded_ip_cost;
+        total_bound := !total_bound +. r.Sof.Lp_round.lp_bound;
+        incr feasible
+    | None -> ()
+  done;
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  let row cost =
+    {
+      topology = topo_name;
+      algo = "lp-round";
+      seeds;
+      mean_cost =
+        (if !feasible = 0 then nan else cost /. float_of_int !feasible);
+      mean_wall_s = mean walls;
+      p95_wall_s = percentile walls 0.95;
+    }
+  in
+  [ row !total_cost; { (row !total_bound) with algo = "lp-bound" } ]
+
 (* Streaming-admission rows: both engine modes serve the same seeded
    event scripts; [mean_cost] carries the deterministic comparison
    metric (amortized marginal cost for the [stream-*] rows, acceptance
@@ -211,9 +256,12 @@ let run ~quick ~seeds =
           algos
         @ [ measure_closure ~seeds tname topo ]
         @
-        (* gate only the cheap SoftLayer stream rows; the cross-topology
-           comparison lives in the [stream] experiment *)
-        if tname = "softlayer" then measure_stream ~seeds tname topo workload
+        (* gate only the cheap SoftLayer stream and LP rows; the
+           cross-topology comparison lives in the [stream] experiment, and
+           Cogent-scale LPs stall the masters (bench/lp_bench.ml) *)
+        if tname = "softlayer" then
+          measure_stream ~seeds tname topo workload
+          @ measure_lp ~seeds tname topo
         else [])
       topologies
   in

@@ -31,7 +31,7 @@ let topology_of_name ~seed name =
         ~nodes:5000 ~links:10000 ~dcs:2000
   | other -> invalid_arg ("topology_of_name: " ^ other)
 
-let algo_names = [ "sofda"; "sofda-ss"; "est"; "enemp"; "st" ]
+let algo_names = [ "sofda"; "sofda-ss"; "lp-round"; "est"; "enemp"; "st" ]
 
 let algo_of_name = function
   | "sofda" ->
@@ -39,6 +39,7 @@ let algo_of_name = function
   | "sofda-ss" ->
       fun p ->
         Sof.Sofda_ss.solve_forest p ~source:(List.hd p.Sof.Problem.sources)
+  | "lp-round" -> fun p -> Sof.Lp_round.solve_forest p
   | "est" -> Sof_baselines.Baselines.est
   | "enemp" -> Sof_baselines.Baselines.enemp
   | "st" -> Sof_baselines.Baselines.st

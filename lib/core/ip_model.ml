@@ -43,7 +43,27 @@ let arcs_of graph =
       incr i);
   { count = 2 * m; tail; head; cost; out_of; into }
 
-let build (p : Problem.t) =
+(* Shared variable layout + constraint rows of the IP formulation; the ILP
+   solver and the LP relaxation (column generation + rounding) both build
+   on it. *)
+type model = {
+  lp : Simplex.problem;
+  mvar_count : int;
+  mdescribe : int -> string;
+  marcs : arcs;
+  mdests : int array;
+  msources : int array;
+  mvms : int array;
+  ml : int;
+  mgamma0 : int -> int -> int;        (* dest idx, source idx *)
+  mgammaf : int -> int -> int -> int; (* dest idx, vnf (1-based), vm idx *)
+  msigma : int -> int -> int;         (* vnf (1-based), vm idx *)
+  mpi : int -> int -> int -> int;     (* dest idx, layer (0..l), arc id *)
+  mtau : int -> int -> int;           (* layer (0..l), arc id *)
+  mtau_vars : int list;
+}
+
+let model_of (p : Problem.t) =
   let graph = p.Problem.graph in
   let arcs = arcs_of graph in
   let dests = Array.of_list p.Problem.dests in
@@ -181,10 +201,84 @@ let build (p : Problem.t) =
      through tau. *)
   let tau_vars = List.init ((l + 1) * arcs.count) (fun i -> tau_off + i) in
   {
+    lp;
+    mvar_count = var_count;
+    mdescribe = describe;
+    marcs = arcs;
+    mdests = dests;
+    msources = sources;
+    mvms = vms;
+    ml = l;
+    mgamma0 = gamma0;
+    mgammaf = gammaf;
+    msigma = sigma;
+    mpi = pi;
+    mtau = tau;
+    mtau_vars = tau_vars;
+  }
+
+let build (p : Problem.t) =
+  let m = model_of p in
+  {
     ilp =
-      Ilp.make ~ub_binaries:tau_vars ~binaries:(List.init var_count Fun.id) lp;
-    var_count;
-    describe;
+      Ilp.make ~ub_binaries:m.mtau_vars
+        ~binaries:(List.init m.mvar_count Fun.id)
+        m.lp;
+    var_count = m.mvar_count;
+    describe = m.mdescribe;
+  }
+
+type relaxation = {
+  rlp : Simplex.problem;
+  rvar_count : int;
+  rdescribe : int -> string;
+  rdests : int array;
+  rsources : int array;
+  rvms : int array;
+  rchain : int;
+  rgamma0 : int -> int -> int;
+  rgammaf : int -> int -> int -> int;
+  rsigma : int -> int -> int;
+  rpi : int -> int -> int -> int;
+  rtau : int -> int -> int;
+  rarc : int -> int -> int option;
+}
+
+let relaxation (p : Problem.t) =
+  let m = model_of p in
+  (* The LP relaxation keeps the tau <= 1 rows: they are what caps every
+     flow variable at 1 (through constraint (8)), which both tightens the
+     bound and licenses the var_upper = 1 Lagrangian fallback in
+     {!Sof_lp.Col_gen}. *)
+  let ub_rows = List.map (fun j -> [ (j, 1.0) ]) m.mtau_vars in
+  let n_ub = List.length ub_rows in
+  let lp =
+    {
+      m.lp with
+      Simplex.rows = Array.append m.lp.Simplex.rows (Array.of_list ub_rows);
+      relations =
+        Array.append m.lp.Simplex.relations (Array.make n_ub Simplex.Le);
+      rhs = Array.append m.lp.Simplex.rhs (Array.make n_ub 1.0);
+    }
+  in
+  let arc_tbl = Hashtbl.create (2 * m.marcs.count) in
+  for a = 0 to m.marcs.count - 1 do
+    Hashtbl.replace arc_tbl (m.marcs.tail.(a), m.marcs.head.(a)) a
+  done;
+  {
+    rlp = lp;
+    rvar_count = m.mvar_count;
+    rdescribe = m.mdescribe;
+    rdests = m.mdests;
+    rsources = m.msources;
+    rvms = m.mvms;
+    rchain = m.ml;
+    rgamma0 = m.mgamma0;
+    rgammaf = m.mgammaf;
+    rsigma = m.msigma;
+    rpi = m.mpi;
+    rtau = m.mtau;
+    rarc = (fun u v -> Hashtbl.find_opt arc_tbl (u, v));
   }
 
 let solve ?node_limit ?time_budget ?initial_incumbent p =

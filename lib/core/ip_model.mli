@@ -38,6 +38,35 @@ val solve :
   Sof_lp.Ilp.result
 (** [build] + {!Sof_lp.Ilp.solve}. *)
 
+type relaxation = {
+  rlp : Sof_lp.Simplex.problem;
+      (** the LP relaxation: the IP rows plus explicit [tau <= 1] caps,
+          integrality dropped — its optimum lower-bounds the IP optimum *)
+  rvar_count : int;
+  rdescribe : int -> string;
+  rdests : int array;
+  rsources : int array;
+  rvms : int array;
+  rchain : int;  (** chain length [|C|] *)
+  rgamma0 : int -> int -> int;  (** [rgamma0 d si]: dest idx, source idx *)
+  rgammaf : int -> int -> int -> int;
+      (** [rgammaf d f mi]: dest idx, VNF [f] (1-based), VM idx *)
+  rsigma : int -> int -> int;  (** [rsigma f mi] *)
+  rpi : int -> int -> int -> int;
+      (** [rpi d f a]: dest idx, layer [f] (0..|C|), arc id *)
+  rtau : int -> int -> int;  (** [rtau f a] *)
+  rarc : int -> int -> int option;
+      (** directed arc id of edge [u -> v], when the edge exists *)
+}
+
+val relaxation : Problem.t -> relaxation
+(** The LP relaxation of {!build}'s IP with its variable layout exposed,
+    ready for {!Sof_lp.Col_gen} (sparse pricing) and for the randomized
+    rounding in {!Lp_round}: the layout functions let the rounding read
+    per-destination source/VM marginals ([rgamma0], [rgammaf]) out of a
+    fractional solution, and [rarc] maps concrete walk edges to flow
+    columns for warm-start supports. *)
+
 val objective_of_forest : Forest.t -> float
 (** The forest's cost under the IP's (edge, layer) sharing rule — an upper
     bound usable as [initial_incumbent]. *)

@@ -1,0 +1,357 @@
+module Obs = Sof_obs.Obs
+module Rng = Sof_util.Rng
+module Col_gen = Sof_lp.Col_gen
+
+type report = {
+  forest : Forest.t;
+  lp_bound : float;
+  lp_proven : bool;
+  lp_stats : Col_gen.stats;
+  rounded_ip_cost : float;
+  trials : int;
+  repairs : int;
+  fallback : bool;
+}
+
+(* A chain assignment for one destination: the sampled (or inherited)
+   source and the VM enabled for each VNF, in chain order. *)
+type chain = { src : int; vms : int array }
+
+let reachable t a b = Transform.distance t a b < infinity
+
+let chain_feasible t dest c =
+  let l = Array.length c.vms in
+  let ok = ref (l = 0 || reachable t c.src c.vms.(0)) in
+  for f = 0 to l - 2 do
+    ok := !ok && reachable t c.vms.(f) c.vms.(f + 1)
+  done;
+  !ok && (l = 0 || reachable t c.vms.(l - 1) dest)
+
+(* The full chain of a (valid) forest walk: marks are exactly f1..f|C| in
+   order, so the marked hops are the per-VNF VMs. *)
+let chain_of_walk l (w : Forest.walk) =
+  if List.length w.Forest.marks <> l then None
+  else
+    Some
+      {
+        src = w.Forest.source;
+        vms =
+          Array.of_list
+            (List.map (fun m -> w.Forest.hops.(m.Forest.pos)) w.Forest.marks);
+      }
+
+(* Realize a chain as a forest walk plus delivery edges: concatenated
+   shortest paths source -> vm_1 -> ... -> vm_l, then vm_l -> dest as
+   delivery.  All chain nodes are closure terminals.  The caller must have
+   checked [chain_feasible]. *)
+let realize t dest c =
+  let l = Array.length c.vms in
+  let marks = ref [] in
+  let hops = ref [ c.src ] in
+  let len = ref 1 in
+  let append_path a b =
+    match Transform.shortest_path t a b with
+    | [] | [ _ ] -> ()
+    | _ :: tail ->
+        hops := !hops @ tail;
+        len := !len + List.length tail
+  in
+  for f = 0 to l - 1 do
+    let a = if f = 0 then c.src else c.vms.(f - 1) in
+    append_path a c.vms.(f);
+    marks := { Forest.pos = !len - 1; vnf = f + 1 } :: !marks
+  done;
+  let walk =
+    {
+      Forest.source = c.src;
+      hops = Array.of_list !hops;
+      marks = List.rev !marks;
+    }
+  in
+  let delivery =
+    if l = 0 then []
+    else
+      let rec edges = function
+        | u :: (v :: _ as rest) -> (u, v) :: edges rest
+        | _ -> []
+      in
+      edges (Transform.shortest_path t c.vms.(l - 1) dest)
+  in
+  (walk, delivery)
+
+(* Warm start: per destination, the first SOFDA walk whose last VM reaches
+   it; yields both the initial column support for the restricted master
+   and the repair ladder's per-destination fallback chain. *)
+let warm_chains t (rel : Ip_model.relaxation) (sofda_forest : Forest.t) =
+  let l = rel.Ip_model.rchain in
+  let chains = List.filter_map (chain_of_walk l) sofda_forest.Forest.walks in
+  Array.map
+    (fun d -> List.find_opt (fun c -> chain_feasible t d c) chains)
+    rel.Ip_model.rdests
+
+let warm_support t (rel : Ip_model.relaxation) warm =
+  let module I = Ip_model in
+  let l = rel.I.rchain in
+  let src_idx = Hashtbl.create 16 and vm_idx = Hashtbl.create 16 in
+  Array.iteri (fun i s -> Hashtbl.replace src_idx s i) rel.I.rsources;
+  Array.iteri (fun i v -> Hashtbl.replace vm_idx v i) rel.I.rvms;
+  let cols = ref [] in
+  let add c = cols := c :: !cols in
+  let add_path di f a b =
+    let rec arcs = function
+      | u :: (v :: _ as rest) -> (
+          (match rel.I.rarc u v with
+          | Some arc ->
+              add (rel.I.rpi di f arc);
+              add (rel.I.rtau f arc)
+          | None -> ());
+          arcs rest)
+      | _ -> ()
+    in
+    arcs (Transform.shortest_path t a b)
+  in
+  Array.iteri
+    (fun di c ->
+      match c with
+      | None -> ()
+      | Some c ->
+          (match Hashtbl.find_opt src_idx c.src with
+          | Some si -> add (rel.I.rgamma0 di si)
+          | None -> ());
+          Array.iteri
+            (fun f0 vm ->
+              match Hashtbl.find_opt vm_idx vm with
+              | Some mi ->
+                  add (rel.I.rgammaf di (f0 + 1) mi);
+                  add (rel.I.rsigma (f0 + 1) mi)
+              | None -> ())
+            c.vms;
+          let dest = rel.I.rdests.(di) in
+          for f = 0 to l do
+            let a = if f = 0 then c.src else c.vms.(f - 1) in
+            let b = if f = l then dest else c.vms.(f) in
+            add_path di f a b
+          done)
+    warm;
+  !cols
+
+(* Categorical draw over nonnegative weights; [None] when all mass is
+   (numerically) zero. *)
+let sample rng weights =
+  let total =
+    Array.fold_left (fun acc (_, w) -> acc +. max 0.0 w) 0.0 weights
+  in
+  if total <= 1e-12 then None
+  else begin
+    let r = Rng.float rng total in
+    let acc = ref 0.0 and res = ref None in
+    Array.iter
+      (fun (v, w) ->
+        if !res = None then begin
+          acc := !acc +. max 0.0 w;
+          if r < !acc then res := Some v
+        end)
+      weights;
+    match !res with
+    | None -> Some (fst weights.(Array.length weights - 1))
+    | some -> some
+  end
+
+let default_trials = 16
+
+let solve ?cache ?(seed = 0) ?(trials = default_trials) ?max_rounds ?batch
+    (p : Problem.t) =
+  match Sofda.solve ?cache p with
+  | None -> None
+  | Some sofda ->
+      Obs.span "lp_round.solve" @@ fun () ->
+      let t = Transform.create ?cache p in
+      let rel = Ip_model.relaxation p in
+      let module I = Ip_model in
+      let l = rel.I.rchain in
+      let warm = warm_chains t rel sofda.Sofda.forest in
+      let cg =
+        Obs.span "lp_round.relax" @@ fun () ->
+        Col_gen.solve ?max_rounds ?batch ~var_upper:1.0
+          ~initial:(warm_support t rel warm)
+          rel.I.rlp
+      in
+      Obs.count "lp.master_rounds" cg.Col_gen.stats.Col_gen.rounds;
+      Obs.count "lp.columns_priced" cg.Col_gen.stats.Col_gen.columns_priced;
+      Obs.count "lp.columns_added" cg.Col_gen.stats.Col_gen.columns_added;
+      (* Costs are nonnegative, so 0 is always a sound fallback bound. *)
+      let lp_bound = max 0.0 cg.Col_gen.bound in
+      let frac =
+        match cg.Col_gen.outcome with
+        | Col_gen.Optimal { x; _ } | Col_gen.Stalled { x = Some x; _ } ->
+            Some x
+        | _ -> None
+      in
+      let repairs = ref 0 in
+      (* Marginals for destination [di]: LP values when available, else
+         point mass on the warm chain. *)
+      let source_weights di =
+        match frac with
+        | Some x ->
+            Array.mapi
+              (fun si s -> (s, x.(rel.I.rgamma0 di si)))
+              rel.I.rsources
+        | None -> (
+            match warm.(di) with
+            | Some c -> [| (c.src, 1.0) |]
+            | None -> Array.map (fun s -> (s, 1.0)) rel.I.rsources)
+      in
+      let vm_weights di f =
+        match frac with
+        | Some x ->
+            Array.mapi
+              (fun mi v -> (v, x.(rel.I.rgammaf di f mi)))
+              rel.I.rvms
+        | None -> (
+            match warm.(di) with
+            | Some c -> [| (c.vms.(f - 1), 1.0) |]
+            | None -> Array.map (fun v -> (v, 1.0)) rel.I.rvms)
+      in
+      (* One sampled chain.  [restricted] filters every step to candidates
+         reachable from the previous node (the first repair rung). *)
+      let draw_chain rng di ~restricted =
+        let dest = rel.I.rdests.(di) in
+        match sample rng (source_weights di) with
+        | None -> None
+        | Some src ->
+            let used = Hashtbl.create 8 in
+            let rec pick f prev acc =
+              if f > l then Some { src; vms = Array.of_list (List.rev acc) }
+              else begin
+                let ws =
+                  Array.of_list
+                    (List.filter
+                       (fun (v, w) ->
+                         (not (Hashtbl.mem used v))
+                         && w > 0.0
+                         && ((not restricted) || reachable t prev v))
+                       (Array.to_list (vm_weights di f)))
+                in
+                (* if the LP marginal has no usable mass, widen to every
+                   unused (reachable) VM *)
+                let ws =
+                  if ws <> [||] then ws
+                  else
+                    Array.of_list
+                      (List.filter
+                         (fun (v, _) ->
+                           (not (Hashtbl.mem used v))
+                           && ((not restricted) || reachable t prev v))
+                         (Array.to_list
+                            (Array.map (fun v -> (v, 1.0)) rel.I.rvms)))
+                in
+                match sample rng ws with
+                | None -> None
+                | Some vm ->
+                    Hashtbl.replace used vm ();
+                    pick (f + 1) vm (vm :: acc)
+              end
+            in
+            let c = pick 1 src [] in
+            Option.bind c (fun c ->
+                if chain_feasible t dest c then Some c else None)
+      in
+      (* Repair ladder for one destination: naive draw, then up to 4
+         reachability-restricted redraws, then the SOFDA warm chain. *)
+      let chain_for rng di =
+        match draw_chain rng di ~restricted:false with
+        | Some c -> Some c
+        | None ->
+            incr repairs;
+            Obs.count "lp.repair_escalations" 1;
+            let rec retry k =
+              if k = 0 then None
+              else
+                match draw_chain rng di ~restricted:true with
+                | Some c -> Some c
+                | None -> retry (k - 1)
+            in
+            (match retry 4 with
+            | Some c -> Some c
+            | None ->
+                incr repairs;
+                Obs.count "lp.repair_escalations" 1;
+                warm.(di))
+      in
+      let nd = Array.length rel.I.rdests in
+      let best = ref None in
+      let trial rng =
+        let chains =
+          Array.init nd (fun di ->
+              Option.map (fun c -> (di, c)) (chain_for rng di))
+        in
+        if Array.exists (fun c -> c = None) chains then None
+        else begin
+          let walks = ref [] and delivery = ref [] in
+          Array.iter
+            (fun c ->
+              match c with
+              | None -> ()
+              | Some (di, c) ->
+                  let w, dl = realize t rel.I.rdests.(di) c in
+                  walks := w :: !walks;
+                  delivery := dl @ !delivery)
+            chains;
+          (* A draw whose walks clash on a VM (two VNFs sampled onto it)
+             is infeasible as drawn: healing it through the paper's
+             conflict rules is the first repair rung that rewrites
+             structure rather than resampling. *)
+          if Conflict.has_conflict !walks then begin
+            incr repairs;
+            Obs.count "lp.repair_escalations" 1
+          end;
+          match Conflict.resolve p (List.rev !walks) with
+          | exception _ ->
+              incr repairs;
+              Obs.count "lp.repair_escalations" 1;
+              None
+          | walks -> (
+              let forest = Forest.make p ~walks ~delivery:!delivery in
+              match Validate.check forest with
+              | Ok () -> Some forest
+              | Error _ ->
+                  incr repairs;
+                  Obs.count "lp.repair_escalations" 1;
+                  None)
+        end
+      in
+      (Obs.span "lp_round.round" @@ fun () ->
+       let rng = Rng.create seed in
+       for _ = 1 to trials do
+         let rng_t = Rng.split rng in
+         match trial rng_t with
+         | None -> ()
+         | Some f -> (
+             let c = Forest.total_cost f in
+             match !best with
+             | Some (c0, _) when c0 <= c -> ()
+             | _ -> best := Some (c, f))
+       done);
+      Obs.count "lp.rounding_trials" trials;
+      let forest, fallback =
+        match !best with
+        | Some (_, f) -> (Forest.shorten f, false)
+        | None ->
+            incr repairs;
+            Obs.count "lp.repair_escalations" 1;
+            (sofda.Sofda.forest, true)
+      in
+      Some
+        {
+          forest;
+          lp_bound;
+          lp_proven = cg.Col_gen.proven;
+          lp_stats = cg.Col_gen.stats;
+          rounded_ip_cost = Ip_model.objective_of_forest forest;
+          trials;
+          repairs = !repairs;
+          fallback;
+        }
+
+let solve_forest ?cache ?seed ?trials p =
+  Option.map (fun r -> r.forest) (solve ?cache ?seed ?trials p)

@@ -1,0 +1,60 @@
+(** LP-relax-and-round: the second solver family.
+
+    Pipeline: solve the {!Ip_model.relaxation} with sparse delayed column
+    generation ({!Sof_lp.Col_gen}), then draw [trials] randomized
+    roundings of the fractional solution — per destination, a source and a
+    VM per VNF are sampled from the LP marginals ([gamma] values), the
+    chain is realized as concatenated shortest paths and the processed
+    stream delivered along a shortest path — and keep the cheapest draw
+    that validates.  Infeasible draws are repaired by an escalating
+    ladder: reachability-restricted resampling, substitution of the
+    SOFDA chain for the failing destination, and finally the SOFDA forest
+    itself; cross-walk VNF clashes are healed by {!Conflict.resolve}.
+    Every returned forest passes {!Validate.check}.
+
+    Determinism: all randomness flows through one seeded
+    {!Sof_util.Rng}; the same [seed] yields a bit-identical forest and
+    report.  The LP lower bound is sound even when column generation is
+    cut short (Lagrangian fallback, clamped at 0 for the nonnegative
+    objective), so [lp_bound <= Ip_model.objective_of_forest f] holds for
+    {e every} feasible forest [f] — the [lp-vs-sofda] fuzz oracle's
+    contract. *)
+
+type report = {
+  forest : Forest.t;          (** always {!Validate.check}-clean *)
+  lp_bound : float;
+      (** sound lower bound on the IP optimum (hence on the IP objective
+          of any feasible forest); [>= 0] *)
+  lp_proven : bool;  (** [lp_bound] is the exact LP-relaxation optimum *)
+  lp_stats : Sof_lp.Col_gen.stats;
+  rounded_ip_cost : float;
+      (** {!Ip_model.objective_of_forest} of [forest] *)
+  trials : int;     (** rounding trials drawn *)
+  repairs : int;
+      (** repair-ladder escalations fired: infeasible draws resampled or
+          replaced, VNF clashes healed by {!Conflict} rules, invalid
+          trials discarded, SOFDA fallbacks *)
+  fallback : bool;  (** no trial validated; [forest] is the SOFDA forest *)
+}
+
+val solve :
+  ?cache:Sof_graph.Metric.Cache.t ->
+  ?seed:int ->
+  ?trials:int ->
+  ?max_rounds:int ->
+  ?batch:int ->
+  Problem.t ->
+  report option
+(** [None] exactly when {!Sofda.solve} returns [None] (no feasible
+    embedding to warm-start or repair with).  [seed] defaults to 0,
+    [trials] to 16; [max_rounds] and [batch] tune the column-generation
+    loop ({!Sof_lp.Col_gen.solve}).  A shared [cache] reuses Dijkstra
+    closures across SOFDA, the warm start, and the rounding paths. *)
+
+val solve_forest :
+  ?cache:Sof_graph.Metric.Cache.t ->
+  ?seed:int ->
+  ?trials:int ->
+  Problem.t ->
+  Forest.t option
+(** [solve] projected to the forest, for the CLI algorithm table. *)

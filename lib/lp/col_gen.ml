@@ -1,0 +1,237 @@
+type stats = {
+  rounds : int;
+  columns_priced : int;
+  columns_added : int;
+  active_columns : int;
+  active_rows : int;
+}
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+  | Stalled of { x : float array option; objective : float option }
+
+type result = {
+  outcome : outcome;
+  bound : float;
+  proven : bool;
+  stats : stats;
+}
+
+let price_eps = 1e-7
+
+(* Is row [i] satisfied by the all-zero assignment? *)
+let zero_satisfied (p : Simplex.problem) i =
+  let b = p.rhs.(i) in
+  match p.relations.(i) with
+  | Simplex.Le -> b >= 0.0
+  | Simplex.Ge -> b <= 0.0
+  | Simplex.Eq -> b = 0.0
+
+let solve ?(max_rounds = 60) ?(batch = 32) ?max_iters ?(var_upper = infinity)
+    ?(perturb = 1e-7) ?(initial = []) (p : Simplex.problem) =
+  let m = Array.length p.rows in
+  let n = p.n_vars in
+  (* Anti-degeneracy relaxation: nudge every inequality outward by a tiny
+     row-dependent amount.  This only enlarges the feasible region, so the
+     certified optimum (and the Lagrangian fallback) remain sound lower
+     bounds on the original LP — and it turns the formulation's many
+     [>= 0] rows into slack-started [<=] rows after RHS normalization,
+     which kills the phase-1 artificials and the degenerate-pivot crawl
+     that otherwise dominates masters built from flow constraints. *)
+  let prhs =
+    Array.mapi
+      (fun i b ->
+        let d = perturb *. (1.0 +. (float_of_int (i mod 251) /. 251.0)) in
+        match p.relations.(i) with
+        | Simplex.Le -> b +. d
+        | Simplex.Ge -> b -. d
+        | Simplex.Eq -> b)
+      p.rhs
+  in
+  (* Column-major view for pricing and row activation. *)
+  let cols = Array.make n [] in
+  Array.iteri
+    (fun i row -> List.iter (fun (j, v) -> cols.(j) <- (i, v) :: cols.(j)) row)
+    p.rows;
+  let active_col = Array.make n false in
+  let active_row = Array.make m false in
+  let activate_col j =
+    if not active_col.(j) then begin
+      active_col.(j) <- true;
+      (* Every row constraining an active column joins the master, so any
+         master-feasible point extends (with zeros) to a point satisfying
+         all rows that touch active columns. *)
+      List.iter (fun (i, _) -> active_row.(i) <- true) cols.(j)
+    end
+  in
+  let infeasible_row = ref false in
+  for i = 0 to m - 1 do
+    if not (zero_satisfied p i) then begin
+      active_row.(i) <- true;
+      if p.rows.(i) = [] then infeasible_row := true
+      else List.iter (fun (j, _) -> activate_col j) p.rows.(i)
+    end
+  done;
+  List.iter
+    (fun j ->
+      if j < 0 || j >= n then invalid_arg "Col_gen.solve: initial column";
+      activate_col j)
+    initial;
+  let columns_priced = ref 0 in
+  let columns_added = ref 0 in
+  let rounds = ref 0 in
+  let best_bound = ref neg_infinity in
+  let escalated = ref false in
+  let stats () =
+    let ac = ref 0 and ar = ref 0 in
+    Array.iter (fun b -> if b then incr ac) active_col;
+    Array.iter (fun b -> if b then incr ar) active_row;
+    {
+      rounds = !rounds;
+      columns_priced = !columns_priced;
+      columns_added = !columns_added;
+      active_columns = !ac;
+      active_rows = !ar;
+    }
+  in
+  let finish outcome ~bound ~proven =
+    { outcome; bound; proven; stats = stats () }
+  in
+  if !infeasible_row then finish Infeasible ~bound:infinity ~proven:true
+  else begin
+    let last = ref None in
+    let rec loop () =
+      incr rounds;
+      (* Compact the active columns and rows into a restricted problem. *)
+      let sel = ref [] in
+      for j = n - 1 downto 0 do
+        if active_col.(j) then sel := j :: !sel
+      done;
+      let sel = Array.of_list !sel in
+      let idx_of = Array.make n (-1) in
+      Array.iteri (fun r j -> idx_of.(j) <- r) sel;
+      let rsel = ref [] in
+      for i = m - 1 downto 0 do
+        if active_row.(i) then rsel := i :: !rsel
+      done;
+      let rsel = Array.of_list !rsel in
+      let sub =
+        {
+          Simplex.n_vars = Array.length sel;
+          objective = Array.map (fun j -> p.objective.(j)) sel;
+          rows =
+            Array.map
+              (fun i ->
+                List.filter_map
+                  (fun (j, v) ->
+                    if active_col.(j) then Some (idx_of.(j), v) else None)
+                  p.rows.(i))
+              rsel;
+          relations = Array.map (fun i -> p.relations.(i)) rsel;
+          rhs = Array.map (fun i -> prhs.(i)) rsel;
+        }
+      in
+      (* Per-master pivot budget: one degenerate or ill-conditioned master
+         must not burn the whole solve; a [Limit]ed master just stalls the
+         loop, whose bound falls back to the (sound) Lagrangian value. *)
+      let master_iters =
+        let cap = (2 * (Array.length rsel + Array.length sel)) + 1000 in
+        match max_iters with Some k -> min k cap | None -> cap
+      in
+      match Simplex.solve_dual ~max_iters:master_iters sub with
+      | Simplex.Infeasible, _ ->
+          (* A restricted master can be infeasible even when the full LP is
+             not (the fix may need inactive columns).  Escalate once to the
+             full problem; if that is infeasible, so is the LP. *)
+          if !escalated then finish Infeasible ~bound:infinity ~proven:true
+          else begin
+            escalated := true;
+            for j = 0 to n - 1 do
+              activate_col j
+            done;
+            Array.fill active_row 0 m true;
+            loop ()
+          end
+      | Simplex.Unbounded, _ ->
+          (* The improving ray lives on active columns and satisfies every
+             row touching them; inactive rows are constant (and
+             zero-satisfied) along it, so the full LP is unbounded too. *)
+          finish Unbounded ~bound:neg_infinity ~proven:true
+      | Simplex.Iteration_limit, _ ->
+          let x, objective =
+            match !last with
+            | Some (x, obj) -> (Some x, Some obj)
+            | None -> (None, None)
+          in
+          finish (Stalled { x; objective }) ~bound:!best_bound ~proven:false
+      | Simplex.Optimal { x = xr; objective }, dual ->
+          let x = Array.make n 0.0 in
+          Array.iteri (fun r j -> x.(j) <- xr.(r)) sel;
+          last := Some (x, objective);
+          let y = Array.make m 0.0 in
+          (match dual with
+          | Some d -> Array.iteri (fun r i -> y.(i) <- d.(r)) rsel
+          | None -> ());
+          (* Price every inactive column against the extended duals. *)
+          let worst = ref [] in
+          let lagrangian_gap = ref 0.0 in
+          for j = 0 to n - 1 do
+            if not active_col.(j) then begin
+              incr columns_priced;
+              let rc =
+                List.fold_left
+                  (fun acc (i, v) -> acc -. (y.(i) *. v))
+                  p.objective.(j) cols.(j)
+              in
+              if rc < -.price_eps then begin
+                worst := (rc, j) :: !worst;
+                lagrangian_gap := !lagrangian_gap +. (rc *. var_upper)
+              end
+            end
+          done;
+          if !worst = [] then
+            finish (Optimal { x; objective }) ~bound:objective ~proven:true
+          else begin
+            (* Not optimal yet: the Lagrangian value of the current duals
+               is still a valid lower bound on the full LP. *)
+            let yb = ref 0.0 in
+            Array.iteri (fun i yi -> yb := !yb +. (yi *. prhs.(i))) y;
+            best_bound := max !best_bound (!yb +. !lagrangian_gap);
+            if !rounds >= max_rounds then
+              finish
+                (Stalled { x = Some x; objective = Some objective })
+                ~bound:!best_bound ~proven:false
+            else begin
+              let picked =
+                List.sort compare !worst |> List.filteri (fun k _ -> k < batch)
+              in
+              List.iter
+                (fun (_, j) ->
+                  incr columns_added;
+                  activate_col j;
+                  (* Companion columns: a 2-entry row such as a variable
+                     link ([pi <= tau], [gamma <= sigma]) pins the new
+                     column to a partner that would otherwise only price
+                     in a round later — with the new column stuck at 0 in
+                     between.  Activating the partner at once saves a full
+                     master solve per linked pair. *)
+                  List.iter
+                    (fun (i, _) ->
+                      match p.rows.(i) with
+                      | [ (j1, _); (j2, _) ] ->
+                          let other = if j1 = j then j2 else j1 in
+                          if not active_col.(other) then begin
+                            incr columns_added;
+                            activate_col other
+                          end
+                      | _ -> ())
+                    cols.(j))
+                picked;
+              loop ()
+            end
+          end
+    in
+    loop ()
+  end

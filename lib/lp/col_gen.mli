@@ -1,0 +1,68 @@
+(** Delayed column generation over a sparse LP.
+
+    The dense tableau in {!Simplex} scales with [rows * columns]; the SOF
+    relaxation at SoftLayer/Cogent sizes has tens of thousands of columns
+    (per-destination, per-layer arc flows) of which only a few hundred are
+    ever nonzero.  This module keeps a small {e restricted master} — the
+    columns known to matter plus every row touching them — solves it with
+    the dense simplex, prices the remaining columns against the master's
+    dual values, and re-solves with the most violated columns added until
+    no column has negative reduced cost.
+
+    Soundness contract: rows not touching any active column must be
+    satisfied by the all-zero assignment (true of the SOF relaxation: only
+    the assignment equalities have nonzero RHS, and their columns are
+    activated up front).  On [proven = true] termination the value {e is}
+    the full-LP optimum: the extended primal (inactive columns at zero)
+    and the extended duals (inactive rows at zero) form an optimal pair.
+    When the loop is cut short, [bound] falls back to the Lagrangian value
+    [y.b + sum_j min(0, rc_j) * var_upper] — still a valid lower bound on
+    the full LP whenever every feasible point satisfies
+    [x_j <= var_upper]. *)
+
+type stats = {
+  rounds : int;           (** restricted masters solved *)
+  columns_priced : int;   (** cumulative reduced-cost evaluations *)
+  columns_added : int;    (** columns activated by pricing *)
+  active_columns : int;   (** final restricted-master width *)
+  active_rows : int;      (** final restricted-master height *)
+}
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+      (** full-length primal (inactive columns are zero) *)
+  | Infeasible
+  | Unbounded
+  | Stalled of { x : float array option; objective : float option }
+      (** round/iteration budget hit before pricing converged; [x] is the
+          best restricted solution seen, an upper bound on the LP value *)
+
+type result = {
+  outcome : outcome;
+  bound : float;
+      (** sound lower bound on the full LP value; [neg_infinity] when
+          nothing was proven (e.g. stall with [var_upper = infinity]) *)
+  proven : bool;  (** [bound] equals the full LP optimum *)
+  stats : stats;
+}
+
+val solve :
+  ?max_rounds:int ->
+  ?batch:int ->
+  ?max_iters:int ->
+  ?var_upper:float ->
+  ?perturb:float ->
+  ?initial:int list ->
+  Simplex.problem ->
+  result
+(** [max_rounds] caps pricing rounds (default 60); [batch] is the number
+    of columns added per round (default 32); [max_iters] is forwarded to
+    each restricted {!Simplex.solve_dual}; [var_upper] (default
+    [infinity]) must upper-bound every variable over the feasible region
+    for the stall-time Lagrangian bound to be valid — pass [1.0] for 0/1
+    relaxations; [perturb] (default [1e-7]) relaxes every inequality
+    outward by a tiny row-dependent amount before solving, an
+    anti-degeneracy device that can only lower the (still sound) bound by
+    O([perturb] * sum |y|) — pass [0.0] for exact-degenerate behaviour;
+    [initial] seeds the active column set (pass the support of a known
+    feasible point so the first master is feasible). *)

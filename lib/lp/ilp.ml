@@ -86,7 +86,7 @@ module Frontier = struct
 end
 
 let solve ?(node_limit = 2000) ?(time_budget = 60.0) ?initial_incumbent
-    { lp; binaries; ub_binaries } =
+    ?max_iters { lp; binaries; ub_binaries } =
   let t0 = Unix.gettimeofday () in
   let incumbent = ref None in
   let incumbent_obj =
@@ -95,16 +95,28 @@ let solve ?(node_limit = 2000) ?(time_budget = 60.0) ?initial_incumbent
   let frontier = Frontier.create () in
   let nodes = ref 0 in
   let exhausted = ref false in
-  let best_pruned_bound = ref infinity in
+  (* Lowest proven bound among subtrees whose LP could not be solved
+     (unbounded relaxation or iteration limit): the parent's LP bound still
+     covers such a subtree, keeping the reported bound finite and sound.
+     For the root the fallback is the trivial bound: 0 when every
+     objective coefficient is nonnegative (x >= 0), else unproven. *)
+  let pruned_bound = ref infinity in
+  let unexplored = ref false in
   let root_infeasible = ref false in
-  let expand fixed =
+  let trivial_bound =
+    if Array.for_all (fun c -> c >= 0.0) lp.Simplex.objective then 0.0
+    else neg_infinity
+  in
+  let expand ~parent_bound fixed =
     incr nodes;
-    match Simplex.solve (relaxation lp ub_binaries fixed) with
+    match Simplex.solve ?max_iters (relaxation lp ub_binaries fixed) with
     | Simplex.Infeasible ->
         if fixed = [] then root_infeasible := true
     | Simplex.Unbounded | Simplex.Iteration_limit ->
-        (* treat as unexplorable: keep the bound conservative *)
-        best_pruned_bound := min !best_pruned_bound neg_infinity
+        (* unexplorable subtree: fall back to the bound inherited from the
+           parent relaxation *)
+        unexplored := true;
+        pruned_bound := min !pruned_bound parent_bound
     | Simplex.Optimal { x; objective } ->
         if objective < !incumbent_obj -. 1e-9 then begin
           match most_fractional binaries x with
@@ -114,7 +126,7 @@ let solve ?(node_limit = 2000) ?(time_budget = 60.0) ?initial_incumbent
           | Some j -> Frontier.push frontier objective (fixed, j)
         end
   in
-  expand [];
+  expand ~parent_bound:trivial_bound [];
   let continue () =
     (not (Frontier.is_empty frontier))
     && !nodes < node_limit
@@ -125,8 +137,8 @@ let solve ?(node_limit = 2000) ?(time_budget = 60.0) ?initial_incumbent
     | None -> ()
     | Some (bound, (fixed, j)) ->
         if bound < !incumbent_obj -. 1e-9 then begin
-          expand ((j, 0.0) :: fixed);
-          expand ((j, 1.0) :: fixed)
+          expand ~parent_bound:bound ((j, 0.0) :: fixed);
+          expand ~parent_bound:bound ((j, 1.0) :: fixed)
         end
   done;
   if not (Frontier.is_empty frontier) then exhausted := true;
@@ -135,12 +147,12 @@ let solve ?(node_limit = 2000) ?(time_budget = 60.0) ?initial_incumbent
   in
   let bound =
     if !root_infeasible then infinity
-    else min frontier_bound !incumbent_obj
+    else min (min frontier_bound !incumbent_obj) !pruned_bound
   in
   let status =
     if !root_infeasible then Infeasible
     else
-      match (!incumbent, !exhausted) with
+      match (!incumbent, !exhausted || !unexplored) with
       | Some _, false -> Optimal
       | Some _, true -> Feasible
       | None, true -> Budget_exhausted

@@ -34,9 +34,21 @@ val solve :
   ?node_limit:int ->
   ?time_budget:float ->
   ?initial_incumbent:float ->
+  ?max_iters:int ->
   t ->
   result
 (** [node_limit] defaults to 2000; [time_budget] (seconds) defaults to 60.
     [initial_incumbent] lets callers seed pruning with a known feasible
     objective (e.g. a SOFDA solution) — note the incumbent vector is then
-    [None] unless the search finds something at least as good. *)
+    [None] unless the search finds something at least as good.
+    [max_iters] caps each relaxation's simplex iterations (forwarded to
+    {!Simplex.solve}).
+
+    Bound contract: [bound] is a proven lower bound on the 0/1 optimum.
+    When a subtree's relaxation cannot be solved (iteration limit or an
+    unbounded degenerate relaxation), the subtree is covered by its
+    parent's LP bound — or, at the root, by the trivial bound 0 when the
+    objective is nonnegative — so a [Budget_exhausted] result still
+    carries a finite usable [bound] whenever the objective is
+    nonnegative; [nan] never escapes and [infinity] only accompanies
+    [Infeasible]. *)

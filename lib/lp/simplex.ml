@@ -46,10 +46,12 @@ let build p =
   let rows = Array.map (fun r -> r) p.rows in
   let rels = Array.copy p.relations in
   let rhs = Array.copy p.rhs in
+  let flipped = Array.make m false in
   for i = 0 to m - 1 do
     if rhs.(i) < 0.0 then begin
       rows.(i) <- List.map (fun (j, v) -> (j, -.v)) rows.(i);
       rhs.(i) <- -.rhs.(i);
+      flipped.(i) <- true;
       rels.(i) <-
         (match rels.(i) with Le -> Ge | Ge -> Le | Eq -> Eq)
     end
@@ -67,6 +69,10 @@ let build p =
   let cols = p.n_vars + !n_slack + !n_art in
   let a = Array.make_matrix m (cols + 1) 0.0 in
   let basis = Array.make m (-1) in
+  (* Identity column of each row: the (+1-coefficient) slack of a Le row or
+     the artificial of a Ge/Eq row.  The final reduced-cost row under that
+     column yields the row's dual value. *)
+  let id_col = Array.make m (-1) in
   let slack_base = p.n_vars in
   let art_base = p.n_vars + !n_slack in
   let si = ref 0 and ai = ref 0 in
@@ -77,19 +83,22 @@ let build p =
     | Le ->
         a.(i).(slack_base + !si) <- 1.0;
         basis.(i) <- slack_base + !si;
+        id_col.(i) <- slack_base + !si;
         incr si
     | Ge ->
         a.(i).(slack_base + !si) <- -1.0;
         incr si;
         a.(i).(art_base + !ai) <- 1.0;
         basis.(i) <- art_base + !ai;
+        id_col.(i) <- art_base + !ai;
         incr ai
     | Eq ->
         a.(i).(art_base + !ai) <- 1.0;
         basis.(i) <- art_base + !ai;
+        id_col.(i) <- art_base + !ai;
         incr ai)
   done;
-  ({ a; m; cols; rhs_col = cols; basis }, art_base)
+  ({ a; m; cols; rhs_col = cols; basis }, art_base, id_col, flipped)
 
 let pivot t ~row ~col =
   let arow = t.a.(row) in
@@ -129,8 +138,21 @@ let optimize t obj ~max_iters ~allowed =
   done;
   let iters = ref 0 in
   let bland_after = max_iters / 2 in
+  (* Numerical blow-up guard: a tableau whose RHS column has exploded (or
+     gone non-finite) can still "terminate" with a garbage optimum, so we
+     bail out as [`Limit] instead — callers treat that as an honest
+     failure rather than a certificate. *)
+  let blown_up () =
+    let bad = ref false in
+    for i = 0 to t.m - 1 do
+      let b = t.a.(i).(t.rhs_col) in
+      if not (abs_float b <= 1e12) then bad := true
+    done;
+    !bad
+  in
   let rec loop () =
     if !iters >= max_iters then `Limit
+    else if !iters land 63 = 0 && blown_up () then `Limit
     else begin
       incr iters;
       (* entering column *)
@@ -153,7 +175,10 @@ let optimize t obj ~max_iters ~allowed =
       if !enter = -1 then `Optimal
       else begin
         let col = !enter in
-        (* ratio test; Bland tie-break on basis index *)
+        (* Ratio test.  Ties within [eps]: prefer the largest pivot element
+           (numerical stability — repeated pivots on near-zero entries blow
+           the tableau up exponentially); under Bland's rule, the smallest
+           basis index (anti-cycling) wins instead. *)
         let row = ref (-1) in
         let best_ratio = ref infinity in
         for i = 0 to t.m - 1 do
@@ -164,7 +189,9 @@ let optimize t obj ~max_iters ~allowed =
               ratio < !best_ratio -. eps
               || (ratio < !best_ratio +. eps
                  && !row >= 0
-                 && t.basis.(i) < t.basis.(!row))
+                 &&
+                 if use_bland then t.basis.(i) < t.basis.(!row)
+                 else aij > t.a.(!row).(col))
             then begin
               best_ratio := ratio;
               row := i
@@ -196,13 +223,13 @@ let extract t n_vars =
   done;
   x
 
-let solve ?max_iters p =
+let solve_dual ?max_iters p =
   validate p;
   let m = Array.length p.rows in
   let max_iters =
     match max_iters with Some k -> k | None -> 50 * (m + p.n_vars)
   in
-  let t, art_base = build p in
+  let t, art_base, id_col, flipped = build p in
   (* Phase 1: minimize the sum of artificials. *)
   let phase1_obj = Array.make (t.cols + 1) 0.0 in
   for j = art_base to t.cols - 1 do
@@ -210,7 +237,7 @@ let solve ?max_iters p =
   done;
   let status1, _ = optimize t phase1_obj ~max_iters ~allowed:(fun _ -> true) in
   (match status1 with `Unbounded -> assert false | _ -> ());
-  if status1 = `Limit then Iteration_limit
+  if status1 = `Limit then (Iteration_limit, None)
   else begin
     let art_sum =
       let s = ref 0.0 in
@@ -219,7 +246,7 @@ let solve ?max_iters p =
       done;
       !s
     in
-    if art_sum > 1e-6 then Infeasible
+    if art_sum > 1e-6 then (Infeasible, None)
     else begin
       (* Drive any degenerate artificial out of the basis if possible. *)
       for i = 0 to t.m - 1 do
@@ -234,21 +261,43 @@ let solve ?max_iters p =
       (* Phase 2: original objective; artificial columns forbidden. *)
       let phase2_obj = Array.make (t.cols + 1) 0.0 in
       Array.blit p.objective 0 phase2_obj 0 p.n_vars;
-      let status2, _ =
+      let status2, z =
         optimize t phase2_obj ~max_iters ~allowed:(fun j -> j < art_base)
       in
       match status2 with
-      | `Unbounded -> Unbounded
-      | `Limit -> Iteration_limit
+      | `Unbounded -> (Unbounded, None)
+      | `Limit -> (Iteration_limit, None)
+      | `Optimal when
+          not
+            (Array.for_all
+               (fun r -> abs_float r.(t.rhs_col) <= 1e12)
+               t.a) ->
+          (* Terminated on a numerically wrecked tableau: no certificate. *)
+          (Iteration_limit, None)
       | `Optimal ->
           let x = extract t p.n_vars in
           let objective =
             Array.to_seq (Array.mapi (fun j v -> p.objective.(j) *. v) x)
             |> Seq.fold_left ( +. ) 0.0
           in
-          Optimal { x; objective }
+          (* Simplex multipliers: the reduced cost of a row's identity
+             column (a unit column with zero objective coefficient) is
+             [-y_i]; rows that were flipped during RHS normalization get
+             their sign restored so duals refer to the original rows.  At
+             optimality they satisfy [y_i <= 0] for Le rows, [y_i >= 0]
+             for Ge rows (free for Eq), and [c_j - y . A_j >= 0] for every
+             column — the certificate delayed column generation prices
+             against. *)
+          let dual =
+            Array.init m (fun i ->
+                let y = -.z.(id_col.(i)) in
+                if flipped.(i) then -.y else y)
+          in
+          (Optimal { x; objective }, Some dual)
     end
   end
+
+let solve ?max_iters p = fst (solve_dual ?max_iters p)
 
 let check_feasible ?(tol = 1e-6) p x =
   Array.length x = p.n_vars

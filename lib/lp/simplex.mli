@@ -29,6 +29,15 @@ val solve : ?max_iters:int -> problem -> outcome
 (** [max_iters] defaults to [50 * (rows + vars)].  @raise Invalid_argument
     on ragged input. *)
 
+val solve_dual : ?max_iters:int -> problem -> outcome * float array option
+(** Like {!solve}; on [Optimal] additionally returns the optimal dual
+    values [y], one per row of the {e original} problem (RHS-normalization
+    flips are undone).  The duals satisfy the sign convention of
+    [min c.x, x >= 0]: [y_i <= 0] for [Le] rows, [y_i >= 0] for [Ge] rows,
+    free for [Eq], with every column's reduced cost
+    [c_j - y . A_j >= -eps].  They are the pricing certificate used by
+    {!Col_gen} and a valid Lagrangian-bound multiplier set. *)
+
 val check_feasible : ?tol:float -> problem -> float array -> bool
 (** Does [x] satisfy every constraint and nonnegativity (within [tol],
     default 1e-6)?  Used by tests and by the ILP layer to sanity-check

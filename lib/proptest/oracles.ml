@@ -858,6 +858,111 @@ let ledger_conservation =
     (Prop.make ~shrink:ledger_shrink ~print:ledger_print
        ~name:"ledger-conservation" ~gen:ledger_gen ledger_conservation_law)
 
+(* --- 11. LP relaxation & randomized rounding -------------------------- *)
+
+let lp_bound_check name bound cost =
+  if bound <= cost +. (1e-6 *. max 1.0 (abs_float cost)) then Ok ()
+  else errf "LP bound %.9f exceeds %s IP objective %.9f" bound name cost
+
+(* The column-generation bound is claimed sound even when pricing stalls
+   (Lagrangian fallback), so it must sit below the IP objective of every
+   feasible forest — the rounded one and SOFDA's alike; the rounded
+   forest must validate; and the whole pipeline must replay
+   bit-identically under the same seed. *)
+let lp_vs_sofda_law spec =
+  let p = Spec.to_problem spec in
+  let cache = Metric.Cache.create () in
+  match (Sof.Lp_round.solve ~cache ~seed:0 p, Sofda.solve ~cache p) with
+  | None, None -> Ok ()
+  | None, Some _ -> errf "lp-round gave up on a SOFDA-feasible instance"
+  | Some _, None ->
+      errf "lp-round embedded an instance SOFDA calls infeasible"
+  | Some r, Some s ->
+      let* () =
+        match Validate.check r.Sof.Lp_round.forest with
+        | Ok () -> Ok ()
+        | Error es ->
+            errf "rounded forest invalid: %s"
+              (String.concat "; " (List.map Validate.to_string es))
+      in
+      let bound = r.Sof.Lp_round.lp_bound in
+      let* () =
+        if Float.is_finite bound && bound >= 0.0 then Ok ()
+        else errf "LP bound %.9f is not finite and nonnegative" bound
+      in
+      let* () =
+        lp_bound_check "rounded" bound r.Sof.Lp_round.rounded_ip_cost
+      in
+      let* () =
+        lp_bound_check "SOFDA" bound
+          (Ip_model.objective_of_forest s.Sofda.forest)
+      in
+      (* Deterministic replay; skipped on the rare large draws where the
+         relaxation is expensive enough to dominate the fuzz round. *)
+      if r.Sof.Lp_round.lp_stats.Sof_lp.Col_gen.active_columns > 600 then
+        Ok ()
+      else
+        match Sof.Lp_round.solve ~cache ~seed:0 p with
+        | None -> errf "replay with the same seed returned no embedding"
+        | Some r2 ->
+            if
+              r2.Sof.Lp_round.forest.Forest.walks
+              = r.Sof.Lp_round.forest.Forest.walks
+              && r2.Sof.Lp_round.forest.Forest.delivery
+                 = r.Sof.Lp_round.forest.Forest.delivery
+              && r2.Sof.Lp_round.lp_bound = bound
+              && r2.Sof.Lp_round.repairs = r.Sof.Lp_round.repairs
+              && r2.Sof.Lp_round.fallback = r.Sof.Lp_round.fallback
+            then Ok ()
+            else errf "same-seed replay diverged"
+
+let lp_vs_sofda =
+  Prop.Packed
+    (Prop.make ~shrink:Spec.shrink ~print:Spec.print ~name:"lp-vs-sofda"
+       ~gen:Spec.gen_mixed lp_vs_sofda_law)
+
+(* Rounding robustness across seeds: every draw — repaired or not — must
+   validate, its cost must dominate the LP bound, and the bound itself
+   must not depend on the rounding seed (column generation is
+   deterministic and seed-free). *)
+let rounding_validity_law spec =
+  let p = Spec.to_problem spec in
+  let cache = Metric.Cache.create () in
+  match Sof.Lp_round.solve ~cache ~seed:1 ~trials:4 p with
+  | None -> Ok ()
+  | Some r1 ->
+      check_list
+        (fun seed ->
+          match Sof.Lp_round.solve ~cache ~seed ~trials:4 p with
+          | None -> errf "seed %d: no embedding after seed 1 succeeded" seed
+          | Some r ->
+              let* () =
+                match Validate.check r.Sof.Lp_round.forest with
+                | Ok () -> Ok ()
+                | Error es ->
+                    errf "seed %d: invalid forest (repairs %d): %s" seed
+                      r.Sof.Lp_round.repairs
+                      (String.concat "; "
+                         (List.map Validate.to_string es))
+              in
+              let* () =
+                lp_bound_check "rounded" r.Sof.Lp_round.lp_bound
+                  r.Sof.Lp_round.rounded_ip_cost
+              in
+              if r.Sof.Lp_round.lp_bound = r1.Sof.Lp_round.lp_bound then
+                Ok ()
+              else
+                errf "seed %d: LP bound %.9f differs from seed 1's %.9f"
+                  seed r.Sof.Lp_round.lp_bound r1.Sof.Lp_round.lp_bound)
+        [ 1; 2; 3 ]
+
+let rounding_validity =
+  Prop.Packed
+    (Prop.make ~shrink:Spec.shrink ~print:Spec.print
+       ~name:"rounding-validity"
+       ~gen:(Spec.gen_random ())
+       rounding_validity_law)
+
 (* --- deliberate demo failure ------------------------------------------ *)
 
 let demo_dest_budget_prop =
@@ -884,6 +989,11 @@ let all =
     (obs_transparency, 200);
     (dijkstra_equiv, 300);
     (ledger_conservation, 60);
+    (lp_vs_sofda, 200);
+    (* each case solves four LP relax-and-round pipelines, so the per-case
+       cost is ~4x the differential oracle's; 100 keeps the suite's wall
+       time in check without losing the multi-seed coverage *)
+    (rounding_validity, 100);
   ]
 
 let names () =

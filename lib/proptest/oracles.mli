@@ -80,6 +80,21 @@ val ledger_conservation : Prop.packed
     Exact float equality is sound because all loads are sums of the
     exactly-representable demand and 1.0. *)
 
+val lp_vs_sofda : Prop.packed
+(** The LP-relax-and-round solver family against SOFDA: both agree on
+    feasibility; the rounded forest passes {!Sof.Validate.check}; the
+    column-generation lower bound is finite, nonnegative and at most the
+    IP objective of {e both} the rounded forest and SOFDA's (the bound
+    must stay sound even when pricing stalls and the Lagrangian fallback
+    is reported); and re-solving under the same seed replays the forest,
+    bound and repair count bit-identically. *)
+
+val rounding_validity : Prop.packed
+(** Randomized rounding across several seeds: every draw — whether the
+    repair ladder fired or not — validates and its IP objective dominates
+    the LP bound, and the bound itself is identical across rounding seeds
+    (column generation is deterministic and seed-free). *)
+
 val all : (Prop.packed * int) list
 (** The suite with each property's default case count for one [sof fuzz]
     round (the ILP oracle runs fewer cases per round than the cheap

@@ -33,6 +33,12 @@ let test_solve_baseline_algo () =
   check_exit "solve est" 0
     (cli ^ " solve --topology testbed --algo est --seed 1 --vms 6")
 
+let test_solve_lp_round () =
+  check_exit "solve lp-round" 0
+    (cli
+   ^ " solve --topology testbed --algo lp-round --seed 1 --vms 6 --sources 2 \
+      --dests 2 --chain 2")
+
 let test_topologies () = check_exit "topologies" 0 (cli ^ " topologies")
 
 let test_fuzz_smoke () =
@@ -99,6 +105,7 @@ let () =
           Alcotest.test_case "solve on testbed" `Slow test_solve_testbed;
           Alcotest.test_case "solve with baseline algo" `Slow
             test_solve_baseline_algo;
+          Alcotest.test_case "solve with lp-round" `Slow test_solve_lp_round;
           Alcotest.test_case "topologies listing" `Slow test_topologies;
           Alcotest.test_case "fuzz smoke" `Slow test_fuzz_smoke;
           Alcotest.test_case "chaos smoke" `Slow test_chaos_smoke;

@@ -1,5 +1,6 @@
 module Simplex = Sof_lp.Simplex
 module Ilp = Sof_lp.Ilp
+module Col_gen = Sof_lp.Col_gen
 open Testlib
 
 let lp ~n ~objective ~rows ~relations ~rhs =
@@ -236,6 +237,296 @@ let test_ilp_bound_sane () =
       Alcotest.(check bool) "bound <= incumbent" true (r.Ilp.bound <= obj +. 1e-9)
   | None -> Alcotest.fail "expected solution")
 
+(* --- duals ----------------------------------------------------------- *)
+
+let test_solve_dual_signs () =
+  (* min 2x + 3y  s.t.  x + y >= 4 (Ge: y1 >= 0), x <= 3 (Le: y2 <= 0). *)
+  let p =
+    lp ~n:2 ~objective:[ 2.0; 3.0 ]
+      ~rows:[ [ (0, 1.0); (1, 1.0) ]; [ (0, 1.0) ] ]
+      ~relations:[ Simplex.Ge; Simplex.Le ] ~rhs:[ 4.0; 3.0 ]
+  in
+  match Simplex.solve_dual p with
+  | Simplex.Optimal { objective; _ }, Some y ->
+      Alcotest.check (Alcotest.float 1e-6) "primal optimum" 9.0 objective;
+      Alcotest.(check bool) "Ge dual nonnegative" true (y.(0) >= -1e-9);
+      Alcotest.(check bool) "Le dual nonpositive" true (y.(1) <= 1e-9);
+      (* strong duality: y.b = objective *)
+      Alcotest.check (Alcotest.float 1e-6) "y.b = objective"
+        objective
+        ((y.(0) *. 4.0) +. (y.(1) *. 3.0))
+  | _ -> Alcotest.fail "expected optimal with duals"
+
+let test_solve_dual_flipped_row () =
+  (* -x <= -2 is normalized internally; the reported dual must refer to
+     the original row: min x s.t. x >= 2 has y = 1 on that row, so the
+     Le-as-written row carries y = -1. *)
+  let p =
+    lp ~n:1 ~objective:[ 1.0 ] ~rows:[ [ (0, -1.0) ] ]
+      ~relations:[ Simplex.Le ] ~rhs:[ -2.0 ]
+  in
+  match Simplex.solve_dual p with
+  | Simplex.Optimal { objective; _ }, Some y ->
+      Alcotest.check (Alcotest.float 1e-6) "objective" 2.0 objective;
+      Alcotest.check (Alcotest.float 1e-6) "flipped dual" (-1.0) y.(0)
+  | _ -> Alcotest.fail "expected optimal with duals"
+
+(* Weak duality on random transportation LPs: reduced costs of every
+   column are nonnegative at optimality (the pricing certificate). *)
+let prop_dual_certificate =
+  QCheck.Test.make ~count:100 ~name:"dual certificate: reduced costs >= 0"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sof_util.Rng.create seed in
+      let n = 2 + Sof_util.Rng.int rng 5 in
+      let m = 1 + Sof_util.Rng.int rng 4 in
+      let p =
+        {
+          Simplex.n_vars = n;
+          objective =
+            Array.init n (fun _ -> Sof_util.Rng.float rng 10.0 -. 2.0);
+          rows =
+            Array.init m (fun _ ->
+                List.init n (fun j ->
+                    (j, Sof_util.Rng.float rng 3.0 +. 0.1)));
+          relations =
+            Array.init m (fun _ ->
+                if Sof_util.Rng.bool rng then Simplex.Ge else Simplex.Le);
+          rhs = Array.init m (fun _ -> Sof_util.Rng.float rng 8.0);
+        }
+      in
+      match Simplex.solve_dual p with
+      | Simplex.Optimal _, Some y ->
+          let ok = ref true in
+          for j = 0 to n - 1 do
+            let rc = ref p.Simplex.objective.(j) in
+            Array.iteri
+              (fun i row ->
+                List.iter
+                  (fun (j', v) -> if j' = j then rc := !rc -. (y.(i) *. v))
+                  row)
+              p.Simplex.rows;
+            if !rc < -1e-6 then ok := false
+          done;
+          !ok
+      | (Simplex.Infeasible | Simplex.Unbounded), _ -> true
+      | _ -> false)
+
+(* --- column generation ----------------------------------------------- *)
+
+let box ~n ~c ~u =
+  {
+    Simplex.n_vars = n;
+    objective = c;
+    rows = Array.init n (fun i -> [ (i, 1.0) ]);
+    relations = Array.make n Simplex.Le;
+    rhs = u;
+  }
+
+let test_colgen_matches_dense () =
+  (* Cover LP: every row is zero-violated, so the loop must price the
+     cheap columns in; proven termination must equal the dense optimum. *)
+  let p =
+    lp ~n:4 ~objective:[ 3.0; 1.0; 4.0; 2.0 ]
+      ~rows:
+        [
+          [ (0, 1.0); (1, 1.0) ];
+          [ (1, 1.0); (2, 1.0) ];
+          [ (2, 1.0); (3, 1.0) ];
+        ]
+      ~relations:[ Simplex.Ge; Simplex.Ge; Simplex.Ge ]
+      ~rhs:[ 1.0; 1.0; 1.0 ]
+  in
+  let r = Col_gen.solve ~var_upper:2.0 p in
+  (match Simplex.solve p with
+  | Simplex.Optimal { objective; _ } ->
+      Alcotest.(check bool) "proven" true r.Col_gen.proven;
+      (* the anti-degeneracy perturbation may shave O(1e-7) off *)
+      Alcotest.check (Alcotest.float 1e-4) "cg = dense" objective
+        r.Col_gen.bound
+  | _ -> Alcotest.fail "dense solve failed");
+  match r.Col_gen.outcome with
+  | Col_gen.Optimal { x; _ } ->
+      Alcotest.(check bool) "primal feasible" true
+        (Simplex.check_feasible p x)
+  | _ -> Alcotest.fail "expected optimal outcome"
+
+let test_colgen_infeasible_escalates () =
+  (* x0 >= 1 (activates x0) and x0 + x1 = 2 with x0 <= 0.5: the
+     restricted master is infeasible until escalation brings x1 in; then
+     phase 1 proves the whole LP feasible and pricing converges. *)
+  let feasible =
+    lp ~n:2 ~objective:[ 1.0; 1.0 ]
+      ~rows:[ [ (0, 1.0) ]; [ (0, 1.0); (1, 1.0) ]; [ (0, 1.0) ] ]
+      ~relations:[ Simplex.Ge; Simplex.Eq; Simplex.Le ]
+      ~rhs:[ 0.2; 2.0; 0.5 ]
+  in
+  let r = Col_gen.solve ~var_upper:2.0 feasible in
+  (match r.Col_gen.outcome with
+  | Col_gen.Optimal { objective; _ } ->
+      Alcotest.check (Alcotest.float 1e-4) "escalated optimum" 2.0 objective
+  | _ -> Alcotest.fail "expected optimal after escalation");
+  (* genuinely infeasible: x0 >= 3 and x0 <= 1 *)
+  let infeasible =
+    lp ~n:1 ~objective:[ 1.0 ]
+      ~rows:[ [ (0, 1.0) ]; [ (0, 1.0) ] ]
+      ~relations:[ Simplex.Ge; Simplex.Le ] ~rhs:[ 3.0; 1.0 ]
+  in
+  let r = Col_gen.solve infeasible in
+  Alcotest.(check bool) "proven infeasible" true
+    (r.Col_gen.outcome = Col_gen.Infeasible && r.Col_gen.proven)
+
+let test_colgen_unbounded () =
+  (* min -x with x >= 1: the ray is feasible for the full LP too. *)
+  let p =
+    lp ~n:1 ~objective:[ -1.0 ] ~rows:[ [ (0, 1.0) ] ]
+      ~relations:[ Simplex.Ge ] ~rhs:[ 1.0 ]
+  in
+  let r = Col_gen.solve p in
+  Alcotest.(check bool) "unbounded" true
+    (r.Col_gen.outcome = Col_gen.Unbounded)
+
+let test_colgen_stall_bound_sound () =
+  (* One pricing round on a box LP with all-negative costs: nothing can
+     finish, but the Lagrangian fallback must still lower-bound the true
+     optimum (here sum c_i u_i = -6 with var_upper = 2 giving -10). *)
+  let p = box ~n:5 ~c:(Array.make 5 (-1.0)) ~u:(Array.make 5 1.2) in
+  let r = Col_gen.solve ~max_rounds:1 ~batch:2 ~var_upper:2.0 p in
+  (match r.Col_gen.outcome with
+  | Col_gen.Stalled _ -> ()
+  | _ -> Alcotest.fail "expected stall at max_rounds = 1");
+  Alcotest.(check bool) "not proven" false r.Col_gen.proven;
+  Alcotest.(check bool) "stall bound is a lower bound" true
+    (r.Col_gen.bound <= -6.0 +. 1e-6);
+  Alcotest.(check bool) "stall bound is finite" true
+    (Float.is_finite r.Col_gen.bound);
+  (* with rounds to spare the same LP must terminate proven *)
+  let full = Col_gen.solve ~var_upper:2.0 p in
+  Alcotest.(check bool) "pricing loop terminates" true full.Col_gen.proven;
+  Alcotest.check (Alcotest.float 1e-4) "full optimum" (-6.0)
+    full.Col_gen.bound
+
+let prop_colgen_matches_dense_random =
+  QCheck.Test.make ~count:60 ~name:"col_gen = dense simplex on cover LPs"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sof_util.Rng.create seed in
+      let n = 3 + Sof_util.Rng.int rng 6 in
+      let m = 2 + Sof_util.Rng.int rng 4 in
+      let p =
+        {
+          Simplex.n_vars = n;
+          objective =
+            Array.init n (fun _ -> 0.5 +. Sof_util.Rng.float rng 9.0);
+          rows =
+            Array.init m (fun _ ->
+                List.filteri
+                  (fun j _ -> j = 0 || Sof_util.Rng.bool rng)
+                  (List.init n (fun j -> (j, 1.0))));
+          relations = Array.make m Simplex.Ge;
+          rhs = Array.init m (fun _ -> 0.5 +. Sof_util.Rng.float rng 2.0);
+        }
+      in
+      let r = Col_gen.solve ~batch:2 ~var_upper:10.0 p in
+      match (r.Col_gen.outcome, Simplex.solve p) with
+      | Col_gen.Optimal _, Simplex.Optimal { objective; _ } ->
+          r.Col_gen.proven
+          && abs_float (r.Col_gen.bound -. objective)
+             <= 1e-4 *. max 1.0 (abs_float objective)
+          && r.Col_gen.bound <= objective +. 1e-9
+      | _ -> false)
+
+(* --- ILP budget expiry (bound soundness) ------------------------------ *)
+
+let cover_ilp =
+  (* min x0 + x1 + x2, pairwise covers, binaries; optimum 2. *)
+  Ilp.make
+    ~binaries:[ 0; 1; 2 ]
+    {
+      Simplex.n_vars = 3;
+      objective = [| 1.0; 1.0; 1.0 |];
+      rows =
+        [|
+          [ (0, 1.0); (1, 1.0) ];
+          [ (1, 1.0); (2, 1.0) ];
+          [ (0, 1.0); (2, 1.0) ];
+        |];
+      relations = [| Simplex.Ge; Simplex.Ge; Simplex.Ge |];
+      rhs = [| 1.0; 1.0; 1.0 |];
+    }
+
+let test_ilp_budget_bound_finite () =
+  (* Root relaxation cut off after 0 pivots: the solver must fall back to
+     the trivial bound for the nonnegative objective — a finite proven
+     bound, never nan, never infinity, and never a spurious Infeasible. *)
+  let r = Ilp.solve ~max_iters:0 cover_ilp in
+  Alcotest.(check bool) "budget exhausted" true
+    (r.Ilp.status = Ilp.Budget_exhausted);
+  Alcotest.(check bool) "bound finite" true (Float.is_finite r.Ilp.bound);
+  Alcotest.(check bool) "bound not nan" false (Float.is_nan r.Ilp.bound);
+  Alcotest.(check bool) "bound sound vs optimum 2" true (r.Ilp.bound <= 2.0)
+
+let test_ilp_node_budget_bound () =
+  (* node_limit 0: nothing explored, same finite-bound contract. *)
+  let r = Ilp.solve ~node_limit:0 cover_ilp in
+  Alcotest.(check bool) "not optimal" true (r.Ilp.status <> Ilp.Optimal);
+  Alcotest.(check bool) "bound finite" true (Float.is_finite r.Ilp.bound);
+  Alcotest.(check bool) "bound sound" true (r.Ilp.bound <= 2.0 +. 1e-9);
+  (* untouched budget: same ILP solves to its true optimum *)
+  let full = Ilp.solve cover_ilp in
+  (match full.Ilp.best with
+  | Some (_, obj) ->
+      Alcotest.check (Alcotest.float 1e-6) "cover optimum" 2.0 obj
+  | None -> Alcotest.fail "expected cover solution");
+  Alcotest.(check bool) "full bound finite" true
+    (Float.is_finite full.Ilp.bound)
+
+(* --- randomized rounding determinism ---------------------------------- *)
+
+let fixed_instance seed =
+  Sof_prop.Spec.to_problem
+    (Sof_prop.Spec.gen_mixed (Sof_util.Rng.create seed))
+
+let forest_fingerprint (f : Sof.Forest.t) =
+  ( List.map
+      (fun (w : Sof.Forest.walk) ->
+        ( w.Sof.Forest.source,
+          Array.to_list w.Sof.Forest.hops,
+          List.map
+            (fun (m : Sof.Forest.mark) -> (m.Sof.Forest.pos, m.Sof.Forest.vnf))
+            w.Sof.Forest.marks ))
+      f.Sof.Forest.walks,
+    f.Sof.Forest.delivery )
+
+let test_rounding_deterministic () =
+  List.iter
+    (fun inst_seed ->
+      let p = fixed_instance inst_seed in
+      match
+        (Sof.Lp_round.solve ~seed:3 p, Sof.Lp_round.solve ~seed:3 p)
+      with
+      | None, None -> ()
+      | Some a, Some b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "instance %d: same seed, same forest" inst_seed)
+            true
+            (forest_fingerprint a.Sof.Lp_round.forest
+             = forest_fingerprint b.Sof.Lp_round.forest);
+          Alcotest.(check bool) "same bound" true
+            (a.Sof.Lp_round.lp_bound = b.Sof.Lp_round.lp_bound);
+          Alcotest.(check bool) "same repairs" true
+            (a.Sof.Lp_round.repairs = b.Sof.Lp_round.repairs)
+      | _ -> Alcotest.fail "feasibility flipped between identical runs")
+    [ 2; 5; 8 ]
+
+let test_rounding_seed_independent_bound () =
+  let p = fixed_instance 2 in
+  match (Sof.Lp_round.solve ~seed:0 p, Sof.Lp_round.solve ~seed:99 p) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "bound independent of rounding seed" true
+        (a.Sof.Lp_round.lp_bound = b.Sof.Lp_round.lp_bound)
+  | _ -> Alcotest.fail "expected embeddings on the fixed instance"
+
 let suite =
   [
     Alcotest.test_case "basic le" `Quick test_basic_le;
@@ -248,5 +539,28 @@ let suite =
     Alcotest.test_case "ilp knapsack" `Quick test_ilp_knapsack;
     Alcotest.test_case "ilp infeasible" `Quick test_ilp_infeasible;
     Alcotest.test_case "ilp bound" `Quick test_ilp_bound_sane;
+    Alcotest.test_case "dual signs" `Quick test_solve_dual_signs;
+    Alcotest.test_case "dual flipped row" `Quick test_solve_dual_flipped_row;
+    Alcotest.test_case "colgen = dense" `Quick test_colgen_matches_dense;
+    Alcotest.test_case "colgen infeasible escalation" `Quick
+      test_colgen_infeasible_escalates;
+    Alcotest.test_case "colgen unbounded" `Quick test_colgen_unbounded;
+    Alcotest.test_case "colgen stall bound" `Quick
+      test_colgen_stall_bound_sound;
+    Alcotest.test_case "ilp budget bound finite" `Quick
+      test_ilp_budget_bound_finite;
+    Alcotest.test_case "ilp node budget bound" `Quick
+      test_ilp_node_budget_bound;
+    Alcotest.test_case "rounding deterministic" `Quick
+      test_rounding_deterministic;
+    Alcotest.test_case "rounding seed-independent bound" `Quick
+      test_rounding_seed_independent_bound;
   ]
-  @ qsuite [ prop_box_lp; prop_transport_le_greedy; prop_ilp_knapsack_random ]
+  @ qsuite
+      [
+        prop_box_lp;
+        prop_transport_le_greedy;
+        prop_ilp_knapsack_random;
+        prop_dual_certificate;
+        prop_colgen_matches_dense_random;
+      ]
