@@ -42,6 +42,8 @@ let experiments =
       run = Proptest_bench.run };
     { name = "stream"; descr = "streaming admission: incremental vs batch re-opt";
       run = Stream_bench.run };
+    { name = "serve"; descr = "deadline-aware serving: degradation, shedding, breakers";
+      run = Serve_bench.run };
     { name = "lp"; descr = "LP relaxation bound vs rounded/SOFDA cost";
       run = Lp_bench.run };
     { name = "perf"; descr = "deterministic cost + wall-clock (CI perf gate)";

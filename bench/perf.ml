@@ -224,6 +224,113 @@ let measure_stream ~seeds topo_name topo workload =
       ])
     modes
 
+(* Serving-layer rows, pinned in the two machine-deterministic deadline
+   regimes.  [serve-tight] runs at deadline 0: every budgeted rung's
+   slice is expired at birth, so each request degrades down the ladder
+   to the unbudgeted eST terminal — its mean served cost is the
+   degradation floor, and [serve-tight-deg] rides the (deterministic)
+   degraded-request count.  [serve-relaxed] disables the deadline so the
+   preferred SOFDA rung always serves cleanly.  [serve-shed] drives a
+   flash crowd into a 2-deep queue with a virtual queue deadline and
+   carries the shed count — queueing is virtual-time, so all of these
+   are exact under the gate's bit-level cost check. *)
+let measure_serve ~seeds topo_name topo workload =
+  let module Stream = Sof_workload.Stream in
+  let module Serve = Sof_serve.Serve in
+  let stream =
+    {
+      Stream.workload;
+      process = Stream.Poisson { rate = 1.0 };
+      mean_hold = 8.0;
+      horizon = 12.0;
+      max_utilization = 0.2;
+    }
+  in
+  let base =
+    {
+      Serve.default_config with
+      stream;
+      queue_cap = 16;
+      policy = Serve.Reject_newest;
+      service_time = 0.2;
+      queue_deadline = infinity;
+    }
+  in
+  let shed_cfg =
+    {
+      base with
+      stream =
+        {
+          stream with
+          process =
+            Stream.Flash
+              { base = 0.5; burst_rate = 6.0; burst_every = 6.0; burst_len = 2.0 };
+        };
+      deadline_ms = infinity;
+      ladder = [ Serve.Est ];
+      queue_cap = 2;
+      policy = Serve.Drop_oldest;
+      service_time = 0.5;
+      queue_deadline = 1.5;
+    }
+  in
+  let n_access =
+    (fun (_, _, n) -> n) (Sof_workload.Online.augment topo workload)
+  in
+  let configs =
+    [
+      ( "serve-tight",
+        { base with deadline_ms = 0.0; ladder = [ Serve.Lp; Serve.Sofda ] },
+        true );
+      ( "serve-relaxed",
+        { base with deadline_ms = infinity; ladder = [ Serve.Sofda ] },
+        false );
+      ("serve-shed", shed_cfg, false);
+    ]
+  in
+  List.concat_map
+    (fun (label, cfg, with_degraded) ->
+      let walls = Array.make seeds nan in
+      let cost = ref 0.0 and degraded = ref 0 and shed = ref 0 in
+      for seed = 0 to seeds - 1 do
+        let events =
+          Stream.script
+            ~rng:(Rng.create (0xBE5C + (seed * 7919)))
+            ~n_access cfg.Serve.stream
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Serve.run_script topo cfg events in
+        walls.(seed) <- Unix.gettimeofday () -. t0;
+        cost := !cost +. r.Serve.mean_served_cost;
+        degraded := !degraded + r.Serve.degraded;
+        shed :=
+          !shed + r.Serve.shed_queue_full + r.Serve.shed_expired
+          + r.Serve.shed_fault
+      done;
+      let mean a =
+        Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+      in
+      let row cost =
+        {
+          topology = topo_name;
+          algo = label;
+          seeds;
+          mean_cost = cost;
+          mean_wall_s = mean walls;
+          p95_wall_s = percentile walls 0.95;
+        }
+      in
+      let cost_metric =
+        if label = "serve-shed" then float_of_int !shed
+        else !cost /. float_of_int seeds
+      in
+      row cost_metric
+      ::
+      (if with_degraded then
+         [ { (row (float_of_int !degraded)) with algo = label ^ "-deg" } ]
+       else []))
+    configs
+
 let json_of_rows rows =
   Json.Obj
     [
@@ -261,6 +368,7 @@ let run ~quick ~seeds =
            Cogent-scale LPs stall the masters (bench/lp_bench.ml) *)
         if tname = "softlayer" then
           measure_stream ~seeds tname topo workload
+          @ measure_serve ~seeds tname topo workload
           @ measure_lp ~seeds tname topo
         else [])
       topologies

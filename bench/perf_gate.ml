@@ -2,32 +2,18 @@
 
      perf_gate.exe --baseline bench/baseline/BENCH_perf.json --new BENCH_perf.json
 
-   Compares a freshly produced BENCH_perf.json against the committed
-   baseline.  Two failure classes:
-
-   - mean solution cost differs at all (beyond float-noise epsilon): the
-     solvers are deterministic on fixed seeds, so any cost change means
-     solver behaviour changed and the baseline must be regenerated
-     deliberately (bench/main.exe --only perf --json bench/baseline).
-
-   - mean wall-clock regressed by more than the tolerance (default +50%):
-     CI runners are noisy, so only gross slowdowns fail.
-
-   Missing or extra (topology, algo) rows fail, so the gate cannot pass
-   vacuously. *)
+   Thin CLI over {!Sof_obs.Gate}: mean solution cost must match the
+   committed baseline beyond float noise (the solvers are deterministic
+   on fixed seeds, so any cost change means solver behaviour changed and
+   the baseline must be regenerated deliberately via
+   bench/main.exe --only perf --json bench/baseline), mean wall-clock may
+   regress only within the tolerance (default +50%; CI runners are
+   noisy), and missing or extra (topology, algo) rows fail so the gate
+   cannot pass vacuously.  Each violated row prints its name, the
+   baseline value, the observed value and the relative drift. *)
 
 module Json = Sof_obs.Json
-
-let cost_eps = 1e-9
-
-let fail_count = ref 0
-
-let fail fmt =
-  Printf.ksprintf
-    (fun m ->
-      incr fail_count;
-      Printf.printf "FAIL  %s\n" m)
-    fmt
+module Gate = Sof_obs.Gate
 
 let read_rows file =
   let ic = open_in_bin file in
@@ -37,24 +23,9 @@ let read_rows file =
   match Json.parse s with
   | Error m -> failwith (Printf.sprintf "%s: invalid JSON: %s" file m)
   | Ok j -> (
-      match Option.bind (Json.member "rows" j) Json.to_list with
-      | None -> failwith (file ^ ": no \"rows\" array")
-      | Some rows ->
-          List.map
-            (fun r ->
-              let str k =
-                match Option.bind (Json.member k r) Json.to_str with
-                | Some v -> v
-                | None -> failwith (file ^ ": row missing " ^ k)
-              in
-              let num k =
-                match Option.bind (Json.member k r) Json.to_float with
-                | Some v -> v
-                | None -> failwith (file ^ ": row missing " ^ k)
-              in
-              ( (str "topology", str "algo"),
-                (num "mean_cost", num "mean_wall_s") ))
-            rows)
+      match Gate.rows_of_json j with
+      | Ok rows -> rows
+      | Error m -> failwith (Printf.sprintf "%s: %s" file m))
 
 let () =
   let baseline = ref "" and fresh = ref "" and wall_tol = ref 0.5 in
@@ -75,35 +46,13 @@ let () =
     exit 2
   end;
   let base = read_rows !baseline in
-  let cur = read_rows !fresh in
-  List.iter
-    (fun ((topo, algo), (bcost, bwall)) ->
-      match List.assoc_opt (topo, algo) cur with
-      | None -> fail "%s/%s: row missing from new results" topo algo
-      | Some (ccost, cwall) ->
-          let cost_changed =
-            match (Float.is_nan bcost, Float.is_nan ccost) with
-            | true, true -> false
-            | true, false | false, true -> true
-            | false, false ->
-                abs_float (ccost -. bcost)
-                > cost_eps *. Float.max 1.0 (abs_float bcost)
-          in
-          if cost_changed then
-            fail "%s/%s: mean cost changed %.9f -> %.9f (solver behaviour changed; regenerate the baseline deliberately)"
-              topo algo bcost ccost;
-          if cwall > bwall *. (1.0 +. !wall_tol) then
-            fail "%s/%s: mean wall %.4fs -> %.4fs (> +%.0f%%)" topo algo bwall
-              cwall (100.0 *. !wall_tol))
-    base;
-  List.iter
-    (fun (key, _) ->
-      if not (List.mem_assoc key base) then
-        let topo, algo = key in
-        fail "%s/%s: row not in baseline (add it by regenerating)" topo algo)
-    cur;
-  if !fail_count > 0 then begin
-    Printf.printf "perf gate: %d failure(s)\n" !fail_count;
-    exit 1
-  end;
-  Printf.printf "perf gate: %d rows OK\n" (List.length base)
+  let violations =
+    Gate.compare_rows ~wall_tolerance:!wall_tol ~baseline:base
+      ~current:(read_rows !fresh) ()
+  in
+  List.iter (fun v -> Printf.printf "FAIL  %s\n" (Gate.describe v)) violations;
+  match violations with
+  | [] -> Printf.printf "perf gate: %d rows OK\n" (List.length base)
+  | vs ->
+      Printf.printf "perf gate: %d failure(s)\n" (List.length vs);
+      exit 1

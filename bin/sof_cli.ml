@@ -493,6 +493,7 @@ let chaos_cmd =
                loss;
                max_retries = 4;
                base_backoff = 0.05;
+               jitter = 0.5;
              }
            in
            let fabric = Sof_sdn.Fabric.create ~faults () in
@@ -775,6 +776,246 @@ let stream_cmd =
           periodic batch re-optimization.")
     term
 
+(* --- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let module Stream = Sof_workload.Stream in
+  let module Online = Sof_workload.Online in
+  let module Serve = Sof_serve.Serve in
+  let module Journal = Sof_serve.Journal in
+  let deadline_arg =
+    Arg.(
+      value & opt float 200.0
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Per-request compute budget in wall-clock milliseconds; 0 \
+             degrades every budgeted solver instantly, negative disables \
+             the deadline.")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt float 250.0
+      & info [ "grace-ms" ]
+          ~doc:"Tolerance above the deadline before a deadline miss.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~doc:"Bounded admission-queue capacity.")
+  in
+  let policy_names = [ "reject-newest"; "drop-oldest"; "edf" ] in
+  let policy_arg =
+    let doc =
+      Printf.sprintf "Queue shedding policy: %s."
+        (String.concat ", " policy_names)
+    in
+    Arg.(
+      value
+      & opt (self_enum policy_names) "reject-newest"
+      & info [ "policy" ] ~doc)
+  in
+  let ladder_arg =
+    Arg.(
+      value & opt string "sofda"
+      & info [ "ladder" ]
+          ~doc:
+            "Comma-separated degradation ladder (lp-round, sofda, est); est \
+             is always appended as the unbudgeted terminal rung.")
+  in
+  let process_arg =
+    Arg.(
+      value
+      & opt (self_enum [ "poisson"; "flash" ]) "poisson"
+      & info [ "process" ] ~doc:"Arrival process: poisson, flash.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~doc:"Mean arrival rate (requests per unit time).")
+  in
+  let hold_arg =
+    Arg.(
+      value & opt float 12.0
+      & info [ "mean-hold" ] ~doc:"Mean exponential holding time.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "horizon" ] ~doc:"Arrivals are generated in [0, horizon).")
+  in
+  let util_arg =
+    Arg.(
+      value & opt float 0.6
+      & info [ "max-util" ]
+          ~doc:"Admission headroom: highest link/VM utilization admitted.")
+  in
+  let service_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "service-time" ]
+          ~doc:"Virtual service time the single server spends per request.")
+  in
+  let qdeadline_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "queue-deadline" ]
+          ~doc:
+            "Virtual seconds a request may wait in the queue before \
+             expiring; 0 means never.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Write-ahead journal file (append; flushed per record).")
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Do not serve: replay the --journal file, report the recovered \
+             state and check the recovery invariant.")
+  in
+  let run topology seed deadline_ms grace_ms queue policy ladder process rate
+      mean_hold horizon max_util service_time queue_deadline journal recover
+      domains =
+    set_domains domains;
+    let topo = topology_of_name ~seed topology in
+    let workload =
+      match topology with
+      | "cogent" -> Online.cogent_config
+      | _ -> Online.softlayer_config
+    in
+    let process =
+      match process with
+      | "flash" ->
+          Stream.Flash
+            {
+              base = rate /. 2.0;
+              burst_rate = rate *. 4.0;
+              burst_every = horizon /. 4.0;
+              burst_len = horizon /. 16.0;
+            }
+      | _ -> Stream.Poisson { rate }
+    in
+    let ladder =
+      List.map
+        (fun s ->
+          match Serve.family_of_string (String.trim s) with
+          | Some f -> f
+          | None -> invalid_arg ("serve ladder: unknown family " ^ s))
+        (String.split_on_char ',' ladder)
+    in
+    let policy =
+      match Serve.policy_of_string policy with
+      | Some p -> p
+      | None -> invalid_arg ("serve policy: " ^ policy)
+    in
+    let cfg =
+      {
+        Serve.default_config with
+        stream =
+          {
+            Stream.workload;
+            process;
+            mean_hold;
+            horizon;
+            max_utilization = max_util;
+          };
+        deadline_ms = (if deadline_ms < 0.0 then infinity else deadline_ms);
+        grace_ms;
+        ladder;
+        queue_cap = queue;
+        policy;
+        service_time;
+        queue_deadline =
+          (if queue_deadline <= 0.0 then infinity else queue_deadline);
+      }
+    in
+    if recover then begin
+      match journal with
+      | None ->
+          prerr_endline "sof serve --recover requires --journal FILE";
+          exit 2
+      | Some file ->
+          let snap = Serve.recover topo cfg file in
+          Printf.printf
+            "recovered %s: %d committed, %d departed, %d live, %d \
+             uncommitted in flight\n"
+            file snap.Serve.committed snap.Serve.departed
+            (List.length snap.Serve.live_forests)
+            snap.Serve.uncommitted;
+          (match Serve.recovery_invariant topo cfg snap with
+          | Ok () -> print_endline "recovery invariant: OK (bit-exact)"
+          | Error m ->
+              Printf.printf "recovery invariant: FAIL — %s\n" m;
+              exit 1)
+    end
+    else begin
+      let writer = Option.map Journal.open_writer journal in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Option.iter Journal.close_writer writer)
+          (fun () ->
+            Serve.run ?journal:writer ~rng:(Sof_util.Rng.create seed) topo cfg)
+      in
+      let t =
+        Sof_util.Tbl.create
+          [
+            "arrivals"; "served"; "rejected"; "shed q/exp/fault"; "degraded";
+            "miss"; "breaker o/s"; "retries"; "p95 (ms)"; "mean cost";
+          ]
+      in
+      Sof_util.Tbl.add_row t
+        [
+          string_of_int report.Serve.arrivals;
+          string_of_int report.Serve.served;
+          string_of_int report.Serve.rejected;
+          Printf.sprintf "%d/%d/%d" report.Serve.shed_queue_full
+            report.Serve.shed_expired report.Serve.shed_fault;
+          string_of_int report.Serve.degraded;
+          string_of_int report.Serve.deadline_miss;
+          Printf.sprintf "%d/%d" report.Serve.breaker_opens
+            report.Serve.breaker_skips;
+          string_of_int report.Serve.retries;
+          Printf.sprintf "%.2f" (1000.0 *. report.Serve.wall_p95);
+          Printf.sprintf "%.3f" report.Serve.mean_served_cost;
+        ];
+      Sof_util.Tbl.print t;
+      (match journal with
+      | Some file ->
+          Printf.printf "journal: %d records -> %s\n"
+            (List.length report.Serve.records)
+            file
+      | None -> ());
+      Printf.printf
+        "queue peak %d; ladder %s under %s deadline\n" report.Serve.queue_peak
+        (String.concat " -> "
+           (List.map Serve.family_to_string
+              (List.filter (fun f -> f <> Serve.Est) cfg.Serve.ladder
+              @ [ Serve.Est ])))
+        (if Float.is_finite cfg.Serve.deadline_ms then
+           Printf.sprintf "%.0fms" cfg.Serve.deadline_ms
+         else "no")
+    end
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ seed_arg $ deadline_arg $ grace_arg
+      $ queue_arg $ policy_arg $ ladder_arg $ process_arg $ rate_arg
+      $ hold_arg $ horizon_arg $ util_arg $ service_arg $ qdeadline_arg
+      $ journal_arg $ recover_arg $ domains_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Resident serving loop: deadline-budgeted degradation ladder, \
+          bounded admission queue with load shedding, circuit breakers and \
+          a crash-consistent write-ahead journal.")
+    term
+
 (* --- topologies ----------------------------------------------------- *)
 
 let topologies_cmd =
@@ -799,5 +1040,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; compare_cmd; qoe_cmd; fuzz_cmd; chaos_cmd; profile_cmd;
-            stream_cmd; topologies_cmd;
+            stream_cmd; serve_cmd; topologies_cmd;
           ]))

@@ -160,9 +160,30 @@ let sample rng weights =
 let default_trials = 16
 
 let solve ?cache ?(seed = 0) ?(trials = default_trials) ?max_rounds ?batch
-    (p : Problem.t) =
-  match Sofda.solve ?cache p with
+    ?budget (p : Problem.t) =
+  match Sofda.solve ?cache ?budget p with
   | None -> None
+  | Some sofda when Sof_util.Budget.check budget ->
+      (* Deadline passed right after the warm start: report the SOFDA
+         forest as the documented fallback without touching the LP. *)
+      Some
+        {
+          forest = sofda.Sofda.forest;
+          lp_bound = 0.0;
+          lp_proven = false;
+          lp_stats =
+            {
+              Col_gen.rounds = 0;
+              columns_priced = 0;
+              columns_added = 0;
+              active_columns = 0;
+              active_rows = 0;
+            };
+          rounded_ip_cost = Ip_model.objective_of_forest sofda.Sofda.forest;
+          trials = 0;
+          repairs = 0;
+          fallback = true;
+        }
   | Some sofda ->
       Obs.span "lp_round.solve" @@ fun () ->
       let t = Transform.create ?cache p in
@@ -174,7 +195,7 @@ let solve ?cache ?(seed = 0) ?(trials = default_trials) ?max_rounds ?batch
         Obs.span "lp_round.relax" @@ fun () ->
         Col_gen.solve ?max_rounds ?batch ~var_upper:1.0
           ~initial:(warm_support t rel warm)
-          rel.I.rlp
+          ?budget rel.I.rlp
       in
       Obs.count "lp.master_rounds" cg.Col_gen.stats.Col_gen.rounds;
       Obs.count "lp.columns_priced" cg.Col_gen.stats.Col_gen.columns_priced;
@@ -320,18 +341,25 @@ let solve ?cache ?(seed = 0) ?(trials = default_trials) ?max_rounds ?batch
                   None)
         end
       in
+      let attempted = ref 0 in
       (Obs.span "lp_round.round" @@ fun () ->
        let rng = Rng.create seed in
+       (* Per-trial deadline poll: expiry keeps the best-of-completed
+          trials (or falls through to the SOFDA fallback below). *)
        for _ = 1 to trials do
-         let rng_t = Rng.split rng in
-         match trial rng_t with
-         | None -> ()
-         | Some f -> (
-             let c = Forest.total_cost f in
-             match !best with
-             | Some (c0, _) when c0 <= c -> ()
-             | _ -> best := Some (c, f))
+         if not (Sof_util.Budget.check budget) then begin
+           incr attempted;
+           let rng_t = Rng.split rng in
+           match trial rng_t with
+           | None -> ()
+           | Some f -> (
+               let c = Forest.total_cost f in
+               match !best with
+               | Some (c0, _) when c0 <= c -> ()
+               | _ -> best := Some (c, f))
+         end
        done);
+      let trials = !attempted in
       Obs.count "lp.rounding_trials" trials;
       let forest, fallback =
         match !best with
@@ -353,5 +381,5 @@ let solve ?cache ?(seed = 0) ?(trials = default_trials) ?max_rounds ?batch
           fallback;
         }
 
-let solve_forest ?cache ?seed ?trials p =
-  Option.map (fun r -> r.forest) (solve ?cache ?seed ?trials p)
+let solve_forest ?cache ?seed ?trials ?budget p =
+  Option.map (fun r -> r.forest) (solve ?cache ?seed ?trials ?budget p)

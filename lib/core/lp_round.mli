@@ -43,18 +43,30 @@ val solve :
   ?trials:int ->
   ?max_rounds:int ->
   ?batch:int ->
+  ?budget:Sof_util.Budget.t ->
   Problem.t ->
   report option
 (** [None] exactly when {!Sofda.solve} returns [None] (no feasible
     embedding to warm-start or repair with).  [seed] defaults to 0,
     [trials] to 16; [max_rounds] and [batch] tune the column-generation
     loop ({!Sof_lp.Col_gen.solve}).  A shared [cache] reuses Dijkstra
-    closures across SOFDA, the warm start, and the rounding paths. *)
+    closures across SOFDA, the warm start, and the rounding paths.
+
+    An expired [budget] degrades in stage order, never raising: the
+    warm-start SOFDA solve goes anytime (its own contract), column
+    generation stalls at the next pivot/round boundary with the sound
+    Lagrangian bound, and the rounding loop keeps the cheapest of the
+    trials already drawn — so the report's [trials] is the count
+    actually attempted and [fallback] marks a forest degraded all the
+    way back to SOFDA's.  [None] on expiry only when the warm start
+    itself produced nothing.  [?budget:None] is bit-identical to the
+    unbudgeted call. *)
 
 val solve_forest :
   ?cache:Sof_graph.Metric.Cache.t ->
   ?seed:int ->
   ?trials:int ->
+  ?budget:Sof_util.Budget.t ->
   Problem.t ->
   Forest.t option
 (** [solve] projected to the forest, for the CLI algorithm table. *)

@@ -258,15 +258,26 @@ let solve_grafted ~source_setup ~t problem =
           conflicts_resolved = 0;
         }
 
-let solve ?cache ?(source_setup = false) ?transform problem =
+let solve ?cache ?(source_setup = false) ?transform ?budget problem =
   Obs.span "sofda.solve" @@ fun () ->
+  (* Anytime at construction granularity: the budget is polled before
+     each of the three constructions (aux, grafted, SS scan) and the
+     minimum is taken over the ones that ran to completion.  A deadline
+     that passes before the first construction yields [None]; a pool
+     fan-out already in flight runs to completion (the check sits at
+     stage boundaries, not inside [Pool.parallel_map]). *)
+  let expired () = Sof_util.Budget.check budget in
+  if expired () then None
+  else
   let t =
     match transform with
     | Some t -> t
     | None -> Transform.create ?cache problem
   in
-  let aux = solve_aux ~source_setup ~t problem in
-  let grafted = solve_grafted ~source_setup ~t problem in
+  let aux = if expired () then None else solve_aux ~source_setup ~t problem in
+  let grafted =
+    if expired () then None else solve_grafted ~source_setup ~t problem
+  in
   (* The exhaustive SOFDA-SS scan builds |S| * |M| Steiner trees; beyond a
      size threshold the grafted construction covers its role at a fraction
      of the cost (one tree per source). *)
@@ -275,7 +286,7 @@ let solve ?cache ?(source_setup = false) ?transform problem =
     <= 1024
   in
   let ss =
-    if not ss_affordable then None
+    if (not ss_affordable) || expired () then None
     else begin
       Obs.span "sofda.ss_scan" @@ fun () ->
       (* One SOFDA-SS embedding per source, evaluated on the pool; the fold
@@ -324,5 +335,5 @@ let solve ?cache ?(source_setup = false) ?transform problem =
   (* the paper's walk-shortening post-step (Example 7) *)
   Option.map (fun r -> { r with forest = Forest.shorten r.forest }) best
 
-let solve_forest ?cache ?source_setup problem =
-  Option.map (fun r -> r.forest) (solve ?cache ?source_setup problem)
+let solve_forest ?cache ?source_setup ?budget problem =
+  Option.map (fun r -> r.forest) (solve ?cache ?source_setup ?budget problem)

@@ -33,16 +33,26 @@ val solve :
   ?cache:Sof_graph.Metric.Cache.t ->
   ?source_setup:bool ->
   ?transform:Transform.t ->
+  ?budget:Sof_util.Budget.t ->
   Problem.t ->
   report option
 (** [None] when no feasible forest exists (some destination cannot be
     reached through a full chain).  A [cache] shares Dijkstra runs with
     other solves over the same graph (repair and re-solve pipelines);
-    ignored when a prebuilt [transform] is supplied. *)
+    ignored when a prebuilt [transform] is supplied.
+
+    The solve is {e anytime} at construction granularity: the [budget] is
+    polled before each of the three constructions (auxiliary, grafted,
+    single-source scan) and the result is the cheapest construction that
+    ran to completion — [None] when the deadline passed before the first
+    one finished.  Expiry never raises and never leaves partial state; a
+    construction already dispatched to the pool runs to completion.
+    [?budget:None] is bit-identical to the unbudgeted call. *)
 
 val solve_forest :
   ?cache:Sof_graph.Metric.Cache.t ->
   ?source_setup:bool ->
+  ?budget:Sof_util.Budget.t ->
   Problem.t ->
   Forest.t option
 

@@ -25,7 +25,7 @@ let steiner_for t problem root dests =
   | tree -> Some tree
   | exception Invalid_argument _ -> None
 
-let solve ?cache ?(source_setup = false) ?transform problem ~source =
+let solve ?cache ?(source_setup = false) ?transform ?budget problem ~source =
   if not (Problem.is_source problem source) then
     invalid_arg "Sofda_ss.solve: source not in S";
   Sof_obs.Obs.span "sofda_ss.solve" @@ fun () ->
@@ -34,20 +34,25 @@ let solve ?cache ?(source_setup = false) ?transform problem ~source =
     | Some t -> t
     | None -> Transform.create ?cache problem
   in
+  (* Anytime scan: the budget is polled before each candidate last VM, so
+     an expired budget returns the best fully-evaluated candidate so far
+     (or [None] when the deadline passed before the first one). *)
   let consider best u =
-    match
-      Transform.chain_walk ~source_setup t ~src:source ~last_vm:u
-        ~num_vnfs:problem.Problem.chain_length
-    with
-    | None -> best
-    | Some walk_result -> (
-        match steiner_for t problem u problem.Problem.dests with
-        | None -> best
-        | Some tree ->
-            let cost = walk_result.Transform.cost +. tree.Steiner.weight in
-            (match best with
-            | Some (c, _, _, _) when c <= cost -> best
-            | _ -> Some (cost, u, walk_result, tree)))
+    if Sof_util.Budget.check budget then best
+    else
+      match
+        Transform.chain_walk ~source_setup t ~src:source ~last_vm:u
+          ~num_vnfs:problem.Problem.chain_length
+      with
+      | None -> best
+      | Some walk_result -> (
+          match steiner_for t problem u problem.Problem.dests with
+          | None -> best
+          | Some tree ->
+              let cost = walk_result.Transform.cost +. tree.Steiner.weight in
+              (match best with
+              | Some (c, _, _, _) when c <= cost -> best
+              | _ -> Some (cost, u, walk_result, tree)))
   in
   match List.fold_left consider None problem.Problem.vms with
   | None -> None
@@ -63,5 +68,6 @@ let solve ?cache ?(source_setup = false) ?transform problem ~source =
           tree_cost = tree.Steiner.weight;
         }
 
-let solve_forest ?cache ?source_setup problem ~source =
-  Option.map (fun r -> r.forest) (solve ?cache ?source_setup problem ~source)
+let solve_forest ?cache ?source_setup ?budget problem ~source =
+  Option.map (fun r -> r.forest)
+    (solve ?cache ?source_setup ?budget problem ~source)

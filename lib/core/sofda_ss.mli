@@ -17,6 +17,7 @@ val solve :
   ?cache:Sof_graph.Metric.Cache.t ->
   ?source_setup:bool ->
   ?transform:Transform.t ->
+  ?budget:Sof_util.Budget.t ->
   Problem.t ->
   source:int ->
   report option
@@ -24,11 +25,18 @@ val solve :
     feasible chain + tree (disconnected instance or too few VMs).  A
     precomputed [transform] (closure) may be supplied to amortize Dijkstra
     runs across calls; a [cache] does the same across independent solves
-    on one graph (ignored when [transform] is given). *)
+    on one graph (ignored when [transform] is given).
+
+    The candidate scan is {e anytime}: an expired [budget] stops before
+    the next candidate last VM and returns the best fully-evaluated
+    candidate so far — [None] when the deadline passed before the first
+    one, never an exception.  [?budget:None] is bit-identical to the
+    unbudgeted call. *)
 
 val solve_forest :
   ?cache:Sof_graph.Metric.Cache.t ->
   ?source_setup:bool ->
+  ?budget:Sof_util.Budget.t ->
   Problem.t ->
   source:int ->
   Forest.t option

@@ -30,7 +30,7 @@ let zero_satisfied (p : Simplex.problem) i =
   | Simplex.Eq -> b = 0.0
 
 let solve ?(max_rounds = 60) ?(batch = 32) ?max_iters ?(var_upper = infinity)
-    ?(perturb = 1e-7) ?(initial = []) (p : Simplex.problem) =
+    ?(perturb = 1e-7) ?(initial = []) ?budget (p : Simplex.problem) =
   let m = Array.length p.rows in
   let n = p.n_vars in
   (* Anti-degeneracy relaxation: nudge every inequality outward by a tiny
@@ -103,6 +103,17 @@ let solve ?(max_rounds = 60) ?(batch = 32) ?max_iters ?(var_upper = infinity)
   else begin
     let last = ref None in
     let rec loop () =
+      (* Deadline check at the round boundary: an expired budget abandons
+         the pricing loop exactly like a round-limit stall, reporting the
+         last master solution and the sound Lagrangian bound. *)
+      if Sof_util.Budget.check budget then
+        let x, objective =
+          match !last with
+          | Some (x, obj) -> (Some x, Some obj)
+          | None -> (None, None)
+        in
+        finish (Stalled { x; objective }) ~bound:!best_bound ~proven:false
+      else begin
       incr rounds;
       (* Compact the active columns and rows into a restricted problem. *)
       let sel = ref [] in
@@ -140,7 +151,7 @@ let solve ?(max_rounds = 60) ?(batch = 32) ?max_iters ?(var_upper = infinity)
         let cap = (2 * (Array.length rsel + Array.length sel)) + 1000 in
         match max_iters with Some k -> min k cap | None -> cap
       in
-      match Simplex.solve_dual ~max_iters:master_iters sub with
+      match Simplex.solve_dual ~max_iters:master_iters ?budget sub with
       | Simplex.Infeasible, _ ->
           (* A restricted master can be infeasible even when the full LP is
              not (the fix may need inactive columns).  Escalate once to the
@@ -232,6 +243,7 @@ let solve ?(max_rounds = 60) ?(batch = 32) ?max_iters ?(var_upper = infinity)
               loop ()
             end
           end
+      end
     in
     loop ()
   end

@@ -53,6 +53,7 @@ val solve :
   ?var_upper:float ->
   ?perturb:float ->
   ?initial:int list ->
+  ?budget:Sof_util.Budget.t ->
   Simplex.problem ->
   result
 (** [max_rounds] caps pricing rounds (default 60); [batch] is the number
@@ -65,4 +66,11 @@ val solve :
     anti-degeneracy device that can only lower the (still sound) bound by
     O([perturb] * sum |y|) — pass [0.0] for exact-degenerate behaviour;
     [initial] seeds the active column set (pass the support of a known
-    feasible point so the first master is feasible). *)
+    feasible point so the first master is feasible).
+
+    An expired [budget] abandons cooperatively: the pricing loop stops at
+    the next round boundary (and the running master at its next pivot)
+    with [Stalled] carrying the last master solution, [bound] the sound
+    Lagrangian fallback, and [proven = false] — the same shape as a
+    round-limit stall, never an exception.  [?budget:None] is
+    bit-identical to the unbudgeted call. *)

@@ -122,8 +122,10 @@ let pivot t ~row ~col =
 
 (* Run primal simplex on tableau [t] for objective [obj] (array over all
    columns).  The objective row is maintained explicitly.  Returns
-   [`Optimal], [`Unbounded] or [`Limit]. *)
-let optimize t obj ~max_iters ~allowed =
+   [`Optimal], [`Unbounded] or [`Limit].  An expired [budget] stops the
+   pivot loop as [`Limit] — the tableau is local to the call, so an
+   abandoned run leaves no half-written state behind. *)
+let optimize ?budget t obj ~max_iters ~allowed =
   let z = Array.make (t.rhs_col + 1) 0.0 in
   Array.blit obj 0 z 0 (Array.length obj);
   (* Make the objective row consistent with the current basis: subtract
@@ -152,6 +154,7 @@ let optimize t obj ~max_iters ~allowed =
   in
   let rec loop () =
     if !iters >= max_iters then `Limit
+    else if Sof_util.Budget.check budget then `Limit
     else if !iters land 63 = 0 && blown_up () then `Limit
     else begin
       incr iters;
@@ -223,7 +226,7 @@ let extract t n_vars =
   done;
   x
 
-let solve_dual ?max_iters p =
+let solve_dual ?max_iters ?budget p =
   validate p;
   let m = Array.length p.rows in
   let max_iters =
@@ -235,7 +238,9 @@ let solve_dual ?max_iters p =
   for j = art_base to t.cols - 1 do
     phase1_obj.(j) <- 1.0
   done;
-  let status1, _ = optimize t phase1_obj ~max_iters ~allowed:(fun _ -> true) in
+  let status1, _ =
+    optimize ?budget t phase1_obj ~max_iters ~allowed:(fun _ -> true)
+  in
   (match status1 with `Unbounded -> assert false | _ -> ());
   if status1 = `Limit then (Iteration_limit, None)
   else begin
@@ -262,7 +267,8 @@ let solve_dual ?max_iters p =
       let phase2_obj = Array.make (t.cols + 1) 0.0 in
       Array.blit p.objective 0 phase2_obj 0 p.n_vars;
       let status2, z =
-        optimize t phase2_obj ~max_iters ~allowed:(fun j -> j < art_base)
+        optimize ?budget t phase2_obj ~max_iters ~allowed:(fun j ->
+            j < art_base)
       in
       match status2 with
       | `Unbounded -> (Unbounded, None)
@@ -297,7 +303,7 @@ let solve_dual ?max_iters p =
     end
   end
 
-let solve ?max_iters p = fst (solve_dual ?max_iters p)
+let solve ?max_iters ?budget p = fst (solve_dual ?max_iters ?budget p)
 
 let check_feasible ?(tol = 1e-6) p x =
   Array.length x = p.n_vars

@@ -25,11 +25,17 @@ type outcome =
   | Unbounded
   | Iteration_limit
 
-val solve : ?max_iters:int -> problem -> outcome
-(** [max_iters] defaults to [50 * (rows + vars)].  @raise Invalid_argument
-    on ragged input. *)
+val solve : ?max_iters:int -> ?budget:Sof_util.Budget.t -> problem -> outcome
+(** [max_iters] defaults to [50 * (rows + vars)].  An expired [budget]
+    stops the pivot loop with [Iteration_limit] — a cooperative,
+    exception-free abandon ([?budget:None] is bit-identical to the
+    unbudgeted call).  @raise Invalid_argument on ragged input. *)
 
-val solve_dual : ?max_iters:int -> problem -> outcome * float array option
+val solve_dual :
+  ?max_iters:int ->
+  ?budget:Sof_util.Budget.t ->
+  problem ->
+  outcome * float array option
 (** Like {!solve}; on [Optimal] additionally returns the optimal dual
     values [y], one per row of the {e original} problem (RHS-normalization
     flips are undone).  The duals satisfy the sign convention of

@@ -1,0 +1,123 @@
+let default_cost_eps = 1e-9
+
+type entry = {
+  topology : string;
+  algo : string;
+  mean_cost : float;
+  mean_wall_s : float;
+}
+
+type violation =
+  | Cost_changed of {
+      topology : string;
+      algo : string;
+      baseline : float;
+      observed : float;
+      drift : float;
+    }
+  | Wall_regressed of {
+      topology : string;
+      algo : string;
+      baseline : float;
+      observed : float;
+      drift : float;
+      tolerance : float;
+    }
+  | Missing_row of { topology : string; algo : string }
+  | Extra_row of { topology : string; algo : string }
+
+let rel_drift ~baseline ~observed =
+  (observed -. baseline) /. Float.max 1.0 (abs_float baseline)
+
+let compare_rows ?(cost_eps = default_cost_eps) ~wall_tolerance ~baseline
+    ~current () =
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  let key e = (e.topology, e.algo) in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> key c = key b) current with
+      | None -> push (Missing_row { topology = b.topology; algo = b.algo })
+      | Some c ->
+          let cost_changed =
+            match (Float.is_nan b.mean_cost, Float.is_nan c.mean_cost) with
+            | true, true -> false
+            | true, false | false, true -> true
+            | false, false ->
+                abs_float (c.mean_cost -. b.mean_cost)
+                > cost_eps *. Float.max 1.0 (abs_float b.mean_cost)
+          in
+          if cost_changed then
+            push
+              (Cost_changed
+                 {
+                   topology = b.topology;
+                   algo = b.algo;
+                   baseline = b.mean_cost;
+                   observed = c.mean_cost;
+                   drift =
+                     rel_drift ~baseline:b.mean_cost ~observed:c.mean_cost;
+                 });
+          if c.mean_wall_s > b.mean_wall_s *. (1.0 +. wall_tolerance) then
+            push
+              (Wall_regressed
+                 {
+                   topology = b.topology;
+                   algo = b.algo;
+                   baseline = b.mean_wall_s;
+                   observed = c.mean_wall_s;
+                   drift =
+                     rel_drift ~baseline:b.mean_wall_s ~observed:c.mean_wall_s;
+                   tolerance = wall_tolerance;
+                 }))
+    baseline;
+  List.iter
+    (fun c ->
+      if not (List.exists (fun b -> key b = key c) baseline) then
+        push (Extra_row { topology = c.topology; algo = c.algo }))
+    current;
+  List.rev !violations
+
+let describe = function
+  | Cost_changed { topology; algo; baseline; observed; drift } ->
+      Printf.sprintf
+        "%s/%s: mean cost changed %.9f -> %.9f (rel drift %+.3e; solvers \
+         are seed-deterministic, regenerate the baseline deliberately)"
+        topology algo baseline observed drift
+  | Wall_regressed { topology; algo; baseline; observed; drift; tolerance } ->
+      Printf.sprintf
+        "%s/%s: mean wall %.4fs -> %.4fs (rel drift %+.1f%% > +%.0f%%)"
+        topology algo baseline observed (100.0 *. drift)
+        (100.0 *. tolerance)
+  | Missing_row { topology; algo } ->
+      Printf.sprintf "%s/%s: row missing from new results" topology algo
+  | Extra_row { topology; algo } ->
+      Printf.sprintf "%s/%s: row not in baseline (add it by regenerating)"
+        topology algo
+
+let rows_of_json j =
+  match Option.bind (Json.member "rows" j) Json.to_list with
+  | None -> Error "no \"rows\" array"
+  | Some rows -> (
+      try
+        Ok
+          (List.map
+             (fun r ->
+               let str k =
+                 match Option.bind (Json.member k r) Json.to_str with
+                 | Some v -> v
+                 | None -> failwith ("row missing " ^ k)
+               in
+               let num k =
+                 match Option.bind (Json.member k r) Json.to_float with
+                 | Some v -> v
+                 | None -> failwith ("row missing " ^ k)
+               in
+               {
+                 topology = str "topology";
+                 algo = str "algo";
+                 mean_cost = num "mean_cost";
+                 mean_wall_s = num "mean_wall_s";
+               })
+             rows)
+      with Failure m -> Error m)

@@ -1,0 +1,59 @@
+(** Perf-regression gate logic, shared by [bench/perf_gate.exe] and its
+    unit tests.
+
+    Compares freshly measured bench rows against a committed baseline:
+    mean solution cost must match bit-for-bit up to a float-noise
+    epsilon (the solvers are seed-deterministic, so any drift is a
+    behaviour change), mean wall-clock may regress only within a
+    fractional tolerance, and missing/extra rows always fail so the gate
+    cannot pass vacuously.  Every violation carries the row key, the
+    baseline and observed values, and the relative drift. *)
+
+type entry = {
+  topology : string;
+  algo : string;
+  mean_cost : float;
+  mean_wall_s : float;
+}
+
+type violation =
+  | Cost_changed of {
+      topology : string;
+      algo : string;
+      baseline : float;
+      observed : float;
+      drift : float;  (** (observed - baseline) / max 1 |baseline| *)
+    }
+  | Wall_regressed of {
+      topology : string;
+      algo : string;
+      baseline : float;
+      observed : float;
+      drift : float;
+      tolerance : float;
+    }
+  | Missing_row of { topology : string; algo : string }
+  | Extra_row of { topology : string; algo : string }
+
+val default_cost_eps : float
+(** [1e-9] relative. *)
+
+val compare_rows :
+  ?cost_eps:float ->
+  wall_tolerance:float ->
+  baseline:entry list ->
+  current:entry list ->
+  unit ->
+  violation list
+(** Violations in baseline order (cost before wall per row), then extra
+    rows; empty means the gate passes.  NaN costs on both sides compare
+    equal (a NaN baseline pins "no measurement"). *)
+
+val describe : violation -> string
+(** One-line human-readable report: row name, baseline, observed,
+    relative drift. *)
+
+val rel_drift : baseline:float -> observed:float -> float
+
+val rows_of_json : Json.t -> (entry list, string) result
+(** Decode a [BENCH_perf.json]-shaped document ([{"rows": [...]}]). *)

@@ -963,6 +963,140 @@ let rounding_validity =
        ~gen:(Spec.gen_random ())
        rounding_validity_law)
 
+(* --- 13. serving journal replay --------------------------------------- *)
+
+module Stream = Sof_workload.Stream
+module Serve = Sof_serve.Serve
+module Journal = Sof_serve.Journal
+
+type serve_case = {
+  srv_seed : int;
+  srv_ecut : int;  (** event-script truncation point (mod #events + 1) *)
+  srv_rcut : int;  (** journal truncation point — the simulated crash *)
+}
+
+let serve_gen rng =
+  {
+    srv_seed = Rng.int rng 100_000;
+    srv_ecut = Rng.int rng 1_000;
+    srv_rcut = Rng.int rng 1_000;
+  }
+
+let serve_print c =
+  Printf.sprintf "seed = %d; event_cut = %d; record_cut = %d" c.srv_seed
+    c.srv_ecut c.srv_rcut
+
+let serve_shrink c =
+  if c.srv_ecut > 0 then Seq.return { c with srv_ecut = c.srv_ecut - 1 }
+  else Seq.empty
+
+(* No compute deadline (so the run is machine-deterministic) but every
+   backpressure path live: a 3-deep queue under all three policies, a
+   finite virtual queue deadline, and an outage window on odd seeds. *)
+let serve_case_cfg c =
+  let policy =
+    match c.srv_seed mod 3 with
+    | 0 -> Serve.Reject_newest
+    | 1 -> Serve.Drop_oldest
+    | _ -> Serve.Edf
+  in
+  let outages = if c.srv_seed land 1 = 1 then [ (1.0, 1.6) ] else [] in
+  {
+    Serve.default_config with
+    stream =
+      {
+        Stream.workload = ledger_cfg;
+        process = Stream.Poisson { rate = 1.5 };
+        mean_hold = 2.5;
+        horizon = 6.0;
+        max_utilization = 0.6;
+      };
+    deadline_ms = infinity;
+    ladder = [ Serve.Sofda ];
+    queue_cap = 3;
+    policy;
+    service_time = 0.3;
+    queue_deadline = 2.0;
+    retry_max = 2;
+    retry_base = 0.2;
+    retry_jitter = 0.5;
+    retry_seed = c.srv_seed + 17;
+    outages;
+  }
+
+let firstn n l = List.filteri (fun i _ -> i < n) l
+
+(* The WAL law: (1) the journal's JSON text round-trips, and a byte
+   truncation (torn tail) still parses to a clean record prefix; (2)
+   replaying the full journal reconstructs the final ledger and live
+   forests bit-identically; (3) replaying a prefix cut at any record
+   boundary — the simulated [kill -9] — lands in a state satisfying the
+   recovery invariant.  Event scripts are themselves truncated mid-run so
+   the final state has live deployments (a full script drains). *)
+let journal_replay_law c =
+  let topo = Sof_topology.Topology.testbed () in
+  let cfg = serve_case_cfg c in
+  let _, _, n_access = Online.augment topo cfg.Serve.stream.Stream.workload in
+  let events =
+    Stream.script ~rng:(Rng.create c.srv_seed) ~n_access cfg.Serve.stream
+  in
+  let events = firstn (c.srv_ecut mod (List.length events + 1)) events in
+  let report = Serve.run_script topo cfg events in
+  let records = report.Serve.records in
+  (* text round-trip + torn-tail tolerance *)
+  let text =
+    String.concat "" (List.map (fun r -> Journal.to_line r ^ "\n") records)
+  in
+  let* () =
+    if Journal.parse_lines text = records then Ok ()
+    else errf "journal text does not round-trip (%d records)"
+        (List.length records)
+  in
+  let* () =
+    if String.length text = 0 then Ok ()
+    else
+      let cut = c.srv_rcut mod String.length text in
+      let parsed = Journal.parse_lines (String.sub text 0 cut) in
+      if parsed = firstn (List.length parsed) records then Ok ()
+      else errf "byte-truncated journal is not a record prefix (cut %d)" cut
+  in
+  (* full replay: bit-identical ledger + forests *)
+  let snap = Serve.replay topo cfg records in
+  let* () =
+    match Serve.ledger_diff snap.Serve.ledger report.Serve.final_ledger with
+    | None -> Ok ()
+    | Some d -> errf "full replay ledger mismatch: %s" d
+  in
+  let* () =
+    let ids l = List.map fst l in
+    if ids snap.Serve.live_forests <> ids report.Serve.live then
+      errf "live ids diverge: replay %d vs run %d"
+        (List.length snap.Serve.live_forests)
+        (List.length report.Serve.live)
+    else
+      check_list
+        (fun ((id, f), (_, g)) ->
+          if Serve.forest_equal f g then Ok ()
+          else errf "live forest %d diverges after replay" id)
+        (List.combine snap.Serve.live_forests report.Serve.live)
+  in
+  (* crash at a record boundary: prefix state is internally consistent *)
+  let k = c.srv_rcut mod (List.length records + 1) in
+  let snap_t = Serve.replay topo cfg (firstn k records) in
+  let* () =
+    match Serve.recovery_invariant topo cfg snap_t with
+    | Ok () -> Ok ()
+    | Error m -> errf "crash at record %d: %s" k m
+  in
+  match Serve.recovery_invariant topo cfg snap with
+  | Ok () -> Ok ()
+  | Error m -> errf "full snapshot: %s" m
+
+let journal_replay =
+  Prop.Packed
+    (Prop.make ~shrink:serve_shrink ~print:serve_print ~name:"journal-replay"
+       ~gen:serve_gen journal_replay_law)
+
 (* --- deliberate demo failure ------------------------------------------ *)
 
 let demo_dest_budget_prop =
@@ -994,6 +1128,7 @@ let all =
        cost is ~4x the differential oracle's; 100 keeps the suite's wall
        time in check without losing the multi-seed coverage *)
     (rounding_validity, 100);
+    (journal_replay, 100);
   ]
 
 let names () =

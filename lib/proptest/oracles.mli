@@ -95,6 +95,18 @@ val rounding_validity : Prop.packed
     the LP bound, and the bound itself is identical across rounding seeds
     (column generation is deterministic and seed-free). *)
 
+val journal_replay : Prop.packed
+(** The serving layer's write-ahead journal ({!Sof_serve.Journal}) on a
+    seeded, deadline-free (hence machine-deterministic) serve run whose
+    event script is truncated mid-stream so deployments are live at the
+    end: the JSON text round-trips and any byte truncation (torn tail)
+    still parses to a clean record prefix; replaying the full journal
+    reconstructs the final ledger and the live forests {e bit-identically}
+    ({!Sof_serve.Serve.replay}); and replaying a prefix cut at any record
+    boundary — the simulated [kill -9] — satisfies
+    {!Sof_serve.Serve.recovery_invariant} (fresh recharge of the
+    recovered forests lands on the replayed ledger's exact bits). *)
+
 val all : (Prop.packed * int) list
 (** The suite with each property's default case count for one [sof fuzz]
     round (the ILP oracle runs fewer cases per round than the cheap

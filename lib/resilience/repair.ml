@@ -151,10 +151,11 @@ let sub_problem p ~sources ~vms ~dests =
 
 (* Solve one component's destinations: on failure of the whole set, drop
    the individually-infeasible stragglers and retry. *)
-let solve_component ?cache p ~sources ~vms dests =
+let solve_component ?cache ?budget p ~sources ~vms dests =
   let attempt ds =
     if ds = [] then None
-    else Sofda.solve_forest ?cache (sub_problem p ~sources ~vms ~dests:ds)
+    else
+      Sofda.solve_forest ?cache ?budget (sub_problem p ~sources ~vms ~dests:ds)
   in
   match attempt dests with
   | Some f -> (f.Forest.walks, f.Forest.delivery, dests, [])
@@ -168,7 +169,7 @@ let solve_component ?cache p ~sources ~vms dests =
             List.filter (fun d -> not (List.mem d kept)) dests )
       | None -> ([], [], [], dests))
 
-let solve_for ?cache p dests =
+let solve_for ?cache ?budget p dests =
   match dests with
   | [] -> None
   | _ ->
@@ -196,7 +197,9 @@ let solve_for ?cache p dests =
             let vms = List.filter (fun m -> Uf.find uf m = c) p.Problem.vms in
             if sources = [] || vms = [] then (ws, es, sv, ds @ dr)
             else
-              let w, e, s, d = solve_component ?cache p ~sources ~vms ds in
+              let w, e, s, d =
+                solve_component ?cache ?budget p ~sources ~vms ds
+              in
               (w @ ws, e @ es, s @ sv, d @ dr))
           ([], [], [], []) comps
       in
@@ -211,9 +214,9 @@ let solve_for ?cache p dests =
         Some (pd, Forest.make pd ~walks ~delivery, dropped)
 
 (* Full re-solve of the degraded instance for every feasible destination. *)
-let full_resolve ?cache (p' : Problem.t) =
+let full_resolve ?cache ?budget (p' : Problem.t) =
   let dests = feasible_dests p' p'.Problem.dests in
-  match solve_for ?cache p' dests with
+  match solve_for ?cache ?budget p' dests with
   | None -> None
   | Some (pd, f, extra_dropped) ->
       let dropped =
@@ -224,7 +227,7 @@ let full_resolve ?cache (p' : Problem.t) =
 
 (* Scoped re-solve: keep every tree the failure does not touch, tear down
    and re-embed only the affected ones. *)
-let scoped_resolve ?cache ~event (old_ : Forest.t) (p' : Problem.t) =
+let scoped_resolve ?cache ?budget ~event (old_ : Forest.t) (p' : Problem.t) =
   let affected_walk w =
     match event with
     | Fault.Link_down (u, v) -> walk_uses_link w (u, v)
@@ -361,7 +364,7 @@ let scoped_resolve ?cache ~event (old_ : Forest.t) (p' : Problem.t) =
       in
       let feasible = feasible_dests p_sub_base to_solve in
       let unfeasible = List.filter (fun d -> not (List.mem d feasible)) to_solve in
-      match (feasible, solve_for p_sub_base feasible) with
+      match (feasible, solve_for ?budget p_sub_base feasible) with
       | [], _ -> assemble [] !graft_edges to_solve
       | _, None -> assemble [] !graft_edges to_solve
       | _, Some (_, nf, extra) ->
@@ -371,7 +374,7 @@ let scoped_resolve ?cache ~event (old_ : Forest.t) (p' : Problem.t) =
     end
   end
 
-let heal ?(compare_resolve = false) ~(health : Fault.health)
+let heal ?(compare_resolve = false) ?budget ~(health : Fault.health)
     ~(event : Fault.event) (old_ : Forest.t) =
   let p_old = old_.Forest.problem in
   let dests_wanted =
@@ -397,8 +400,12 @@ let heal ?(compare_resolve = false) ~(health : Fault.health)
           { result with resolve_churn = rc }
       in
       let fallback ?(base = old_) dropped_so_far =
-        (* scoped first, full re-solve as the last resort *)
-        match scoped_resolve ~cache ~event base p' with
+        (* scoped first, full re-solve as the last resort; the budget is
+           polled at each rung boundary, so an expired heal abandons
+           ([None]) rather than starting another re-solve *)
+        if Sof_util.Budget.check budget then None
+        else
+        match scoped_resolve ~cache ?budget ~event base p' with
         | Some (pf, f, extra) ->
             Some
               {
@@ -409,8 +416,9 @@ let heal ?(compare_resolve = false) ~(health : Fault.health)
                 resolve_churn = None;
                 dropped = dropped_so_far @ extra;
               }
+        | None when Sof_util.Budget.check budget -> None
         | None -> (
-            match full_resolve ~cache p' with
+            match full_resolve ~cache ?budget p' with
             | None -> None
             | Some (pf, f, extra) ->
                 Some

@@ -73,15 +73,19 @@ val touches : Sof.Forest.t -> Fault.event -> bool
 
 val full_resolve :
   ?cache:Sof_graph.Metric.Cache.t ->
+  ?budget:Sof_util.Budget.t ->
   Sof.Problem.t ->
   (Sof.Problem.t * Sof.Forest.t * int list) option
 (** Re-embed the degraded instance from scratch for every feasible
     destination: [(problem restricted to served dests, forest, dropped)].
-    [None] when nothing is servable.  Exposed for the chaos engine's
-    revival path and the repair-vs-resolve comparison. *)
+    [None] when nothing is servable — or when an expired [budget] made
+    the component solves come back empty (the underlying {!Sof.Sofda}
+    solves are anytime).  Exposed for the chaos engine's revival path and
+    the repair-vs-resolve comparison. *)
 
 val heal :
   ?compare_resolve:bool ->
+  ?budget:Sof_util.Budget.t ->
   health:Fault.health ->
   event:Fault.event ->
   Sof.Forest.t ->
@@ -91,4 +95,12 @@ val heal :
     [None] means total outage: no source survives, or no destination can
     be served on the degraded instance.  When [compare_resolve] is set
     (default [false]) the engine additionally runs the full re-solve and
-    reports its churn for the repair-vs-resolve ratio. *)
+    reports its churn for the repair-vs-resolve ratio.
+
+    The escalation ladder polls [budget] at each re-solve rung boundary:
+    an expired budget abandons the heal ([None]) instead of starting the
+    scoped or full re-solve, and the rungs themselves inherit the token
+    through their anytime SOFDA solves — so a heal never overruns its
+    deadline by more than one construction.  The cheap incremental rules
+    (reroute / relocate / leave) always run.  [?budget:None] is
+    bit-identical to the unbudgeted call. *)

@@ -29,7 +29,16 @@ type faults = {
   loss : float;
   max_retries : int;
   base_backoff : float;
+  jitter : float;
 }
+
+(* Decorrelates retry storms: each backoff is scaled by a seeded factor
+   in [1 - jitter/2, 1 + jitter/2].  [jitter = 0] draws nothing from the
+   RNG, so pre-jitter fault schedules replay bit-identically. *)
+let jittered f backoff =
+  if f.jitter > 0.0 then
+    backoff *. (1.0 +. (f.jitter *. (Rng.float f.rng 1.0 -. 0.5)))
+  else backoff
 
 type t = {
   counters : (kind, int) Hashtbl.t;
@@ -80,7 +89,7 @@ let send t ~src ~dst kind =
           else begin
             t.retransmits <- t.retransmits + 1;
             Sof_obs.Obs.count "fabric.retransmits" 1;
-            let backoff = f.base_backoff *. (2.0 ** float_of_int n) in
+            let backoff = jittered f (f.base_backoff *. (2.0 ** float_of_int n)) in
             t.backoff_delay <- t.backoff_delay +. backoff;
             Sof_obs.Obs.record "fabric.backoff_seconds" backoff;
             t.inter <- t.inter + 1;
@@ -103,7 +112,7 @@ let timeout t ~src ~dst:_ kind =
       for n = 0 to f.max_retries - 1 do
         t.retransmits <- t.retransmits + 1;
         Sof_obs.Obs.count "fabric.retransmits" 1;
-        let backoff = f.base_backoff *. (2.0 ** float_of_int n) in
+        let backoff = jittered f (f.base_backoff *. (2.0 ** float_of_int n)) in
         t.backoff_delay <- t.backoff_delay +. backoff;
         Sof_obs.Obs.record "fabric.backoff_seconds" backoff;
         t.inter <- t.inter + 1

@@ -28,6 +28,11 @@ type faults = {
   loss : float;         (** per-transmission loss probability in [0, 1) *)
   max_retries : int;
   base_backoff : float; (** seconds; doubles per retry *)
+  jitter : float;
+      (** backoff jitter amplitude: each backoff is scaled by a seeded
+          factor in [1 - jitter/2, 1 + jitter/2], decorrelating retry
+          storms across controllers.  [0.0] draws nothing from [rng],
+          keeping pre-jitter schedules bit-identical. *)
 }
 
 val create : ?faults:faults -> unit -> t

@@ -1,0 +1,64 @@
+type config = { window : int; threshold : int; cooldown : int }
+
+let default_config = { window = 8; threshold = 4; cooldown = 4 }
+
+type state = Closed | Open of { remaining : int } | Half_open
+
+type t = {
+  cfg : config;
+  outcomes : bool Queue.t;  (* rolling window; [true] = failure *)
+  mutable failures : int;   (* failures currently in [outcomes] *)
+  mutable state : state;
+  mutable opens : int;
+}
+
+let create cfg =
+  if cfg.window < 1 then invalid_arg "Breaker: window must be >= 1";
+  if cfg.threshold < 1 then invalid_arg "Breaker: threshold must be >= 1";
+  if cfg.cooldown < 0 then invalid_arg "Breaker: cooldown must be >= 0";
+  { cfg; outcomes = Queue.create (); failures = 0; state = Closed; opens = 0 }
+
+let state t = t.state
+let opens t = t.opens
+let failures t = t.failures
+
+let reset_window t =
+  Queue.clear t.outcomes;
+  t.failures <- 0
+
+let trip t =
+  t.state <- Open { remaining = t.cfg.cooldown };
+  t.opens <- t.opens + 1;
+  reset_window t
+
+(* Deterministic by construction: the cooldown counts {e denied calls},
+   not wall-clock time, so the same call sequence always walks the same
+   Closed -> Open -> Half_open path. *)
+let allow t =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open { remaining } ->
+      if remaining > 0 then begin
+        t.state <- Open { remaining = remaining - 1 };
+        false
+      end
+      else begin
+        t.state <- Half_open;
+        true
+      end
+
+let record t ~ok =
+  match t.state with
+  | Half_open -> if ok then t.state <- Closed else trip t
+  | Open _ ->
+      (* a call that slipped through without [allow]: count it only if it
+         failed, by re-arming the cooldown *)
+      if not ok then t.state <- Open { remaining = t.cfg.cooldown }
+  | Closed ->
+      Queue.push (not ok) t.outcomes;
+      if not ok then t.failures <- t.failures + 1;
+      if Queue.length t.outcomes > t.cfg.window then begin
+        let evicted = Queue.pop t.outcomes in
+        if evicted then t.failures <- t.failures - 1
+      end;
+      if t.failures >= t.cfg.threshold then trip t

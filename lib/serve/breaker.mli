@@ -1,0 +1,50 @@
+(** Per-solver-family circuit breaker for the serving ladder.
+
+    A family that keeps blowing its deadline slice wastes the slice on
+    every request before the ladder falls through — the breaker skips it
+    outright once failures dominate a rolling window, and probes it again
+    after a cooldown.
+
+    The breaker is {e deterministic}: state advances only on [allow] /
+    [record] calls (the cooldown counts denied calls, not wall-clock
+    time), so a fixed request sequence with fixed outcomes always
+    produces the same skip pattern — which is what lets the serve bench
+    rows gate on breaker-driven degradation counts. *)
+
+type config = {
+  window : int;     (** rolling outcome window size (>= 1) *)
+  threshold : int;  (** failures within the window that trip it (>= 1) *)
+  cooldown : int;   (** denied calls before a half-open probe (>= 0) *)
+}
+
+val default_config : config
+(** window 8, threshold 4, cooldown 4. *)
+
+type state =
+  | Closed                       (** calls flow; outcomes fill the window *)
+  | Open of { remaining : int }  (** deny the next [remaining] calls *)
+  | Half_open                    (** one probe call: success closes,
+                                     failure re-trips *)
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on a non-positive window/threshold or
+    negative cooldown. *)
+
+val allow : t -> bool
+(** May the next call proceed?  [false] consumes one cooldown tick; the
+    call that exhausts the cooldown transitions to {!Half_open} and is
+    allowed as the probe. *)
+
+val record : t -> ok:bool -> unit
+(** Report the outcome of an allowed call.  In [Closed], pushes into the
+    rolling window and trips to [Open] at [threshold] failures (clearing
+    the window).  In [Half_open], success closes, failure re-trips. *)
+
+val state : t -> state
+val opens : t -> int
+(** How many times the breaker has tripped. *)
+
+val failures : t -> int
+(** Failures currently in the rolling window. *)

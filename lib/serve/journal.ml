@@ -1,0 +1,199 @@
+module Json = Sof_obs.Json
+
+type record =
+  | Admit of { id : int; time : float; sources : int list; dests : int list }
+  | Commit of {
+      id : int;
+      time : float;
+      family : string;
+      sources : int list;
+      dests : int list;
+      walks : Sof.Forest.walk list;
+      delivery : (int * int) list;
+    }
+  | Depart of { id : int; time : float }
+
+let record_id = function
+  | Admit { id; _ } | Commit { id; _ } | Depart { id; _ } -> id
+
+let record_time = function
+  | Admit { time; _ } | Commit { time; _ } | Depart { time; _ } -> time
+
+(* --- JSON codec -------------------------------------------------------- *)
+
+let num i = Json.Num (float_of_int i)
+let ints xs = Json.Arr (List.map num xs)
+
+let json_of_walk (w : Sof.Forest.walk) =
+  Json.Obj
+    [
+      ("source", num w.Sof.Forest.source);
+      ("hops", ints (Array.to_list w.Sof.Forest.hops));
+      ( "marks",
+        Json.Arr
+          (List.map
+             (fun (m : Sof.Forest.mark) ->
+               Json.Obj
+                 [ ("pos", num m.Sof.Forest.pos); ("vnf", num m.Sof.Forest.vnf) ])
+             w.Sof.Forest.marks) );
+    ]
+
+let to_json = function
+  | Admit { id; time; sources; dests } ->
+      Json.Obj
+        [
+          ("t", Json.Str "admit");
+          ("id", num id);
+          ("time", Json.Num time);
+          ("sources", ints sources);
+          ("dests", ints dests);
+        ]
+  | Commit { id; time; family; sources; dests; walks; delivery } ->
+      Json.Obj
+        [
+          ("t", Json.Str "commit");
+          ("id", num id);
+          ("time", Json.Num time);
+          ("family", Json.Str family);
+          ("sources", ints sources);
+          ("dests", ints dests);
+          ("walks", Json.Arr (List.map json_of_walk walks));
+          ( "delivery",
+            Json.Arr
+              (List.map (fun (u, v) -> Json.Arr [ num u; num v ]) delivery) );
+        ]
+  | Depart { id; time } ->
+      Json.Obj
+        [ ("t", Json.Str "depart"); ("id", num id); ("time", Json.Num time) ]
+
+let to_line r = Json.to_string (to_json r)
+
+(* Decoding is total: any missing/ill-typed field surfaces as [Error],
+   which the line parser treats as the torn tail of a crashed write. *)
+let ( let* ) r f = Result.bind r f
+
+let need name = function Some v -> Ok v | None -> Error ("missing " ^ name)
+
+let get_int name j =
+  let* v = need name (Option.bind (Json.member name j) Json.to_float) in
+  if Float.is_integer v then Ok (int_of_float v)
+  else Error (name ^ ": not an integer")
+
+let get_float name j =
+  need name (Option.bind (Json.member name j) Json.to_float)
+
+let get_str name j = need name (Option.bind (Json.member name j) Json.to_str)
+
+let get_ints name j =
+  let* l = need name (Option.bind (Json.member name j) Json.to_list) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+        match Json.to_float x with
+        | Some v when Float.is_integer v -> go (int_of_float v :: acc) rest
+        | _ -> Error (name ^ ": not an integer list"))
+  in
+  go [] l
+
+let walk_of_json j =
+  let* source = get_int "source" j in
+  let* hops = get_ints "hops" j in
+  let* marks_j = need "marks" (Option.bind (Json.member "marks" j) Json.to_list) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | m :: rest ->
+        let* pos = get_int "pos" m in
+        let* vnf = get_int "vnf" m in
+        go ({ Sof.Forest.pos; vnf } :: acc) rest
+  in
+  let* marks = go [] marks_j in
+  Ok { Sof.Forest.source; hops = Array.of_list hops; marks }
+
+let of_json j =
+  let* tag = get_str "t" j in
+  let* id = get_int "id" j in
+  let* time = get_float "time" j in
+  match tag with
+  | "admit" ->
+      let* sources = get_ints "sources" j in
+      let* dests = get_ints "dests" j in
+      Ok (Admit { id; time; sources; dests })
+  | "depart" -> Ok (Depart { id; time })
+  | "commit" ->
+      let* family = get_str "family" j in
+      let* sources = get_ints "sources" j in
+      let* dests = get_ints "dests" j in
+      let* walks_j =
+        need "walks" (Option.bind (Json.member "walks" j) Json.to_list)
+      in
+      let rec walks acc = function
+        | [] -> Ok (List.rev acc)
+        | w :: rest ->
+            let* w = walk_of_json w in
+            walks (w :: acc) rest
+      in
+      let* walks = walks [] walks_j in
+      let* delivery_j =
+        need "delivery" (Option.bind (Json.member "delivery" j) Json.to_list)
+      in
+      let rec edges acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.Arr [ u; v ] :: rest -> (
+            match (Json.to_float u, Json.to_float v) with
+            | Some u, Some v when Float.is_integer u && Float.is_integer v ->
+                edges ((int_of_float u, int_of_float v) :: acc) rest
+            | _ -> Error "delivery: not an edge")
+        | _ -> Error "delivery: not an edge"
+      in
+      let* delivery = edges [] delivery_j in
+      Ok (Commit { id; time; family; sources; dests; walks; delivery })
+  | other -> Error ("unknown record type " ^ other)
+
+let of_line line =
+  match Json.parse line with
+  | Error m -> Error m
+  | Ok j -> of_json j
+
+(* Crash tolerance: a [kill -9] mid-write leaves at most one torn line at
+   the end of the file.  Parsing stops at the first malformed or
+   truncated line and keeps the clean prefix — every record before it was
+   flushed before the state change it describes, so the prefix is a
+   consistent WAL. *)
+let parse_lines s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "" :: rest -> go acc rest
+    | line :: rest -> (
+        match of_line line with
+        | Ok r -> go (r :: acc) rest
+        | Error _ -> List.rev acc)
+  in
+  go [] lines
+
+let load file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  parse_lines s
+
+(* --- writer ------------------------------------------------------------ *)
+
+type writer = { oc : out_channel; mutable records : int }
+
+let open_writer file = { oc = open_out_gen [ Open_append; Open_creat ] 0o644 file; records = 0 }
+
+(* Write-ahead discipline: the record is flushed to the OS before the
+   caller mutates in-memory state, so a process kill can lose at most the
+   in-flight line (torn tail), never a state change without its record. *)
+let append w r =
+  output_string w.oc (to_line r);
+  output_char w.oc '\n';
+  flush w.oc;
+  w.records <- w.records + 1;
+  Sof_obs.Obs.count "serve.journal_records" 1
+
+let records w = w.records
+
+let close_writer w = close_out w.oc

@@ -1,0 +1,64 @@
+(** Write-ahead journal of serving-state changes.
+
+    One JSON object per line ({!Sof_obs.Json}), appended and {e flushed}
+    before the in-memory state change it describes — so a [kill -9]
+    leaves at most one torn trailing line, which {!parse_lines} discards,
+    and the surviving prefix is a consistent write-ahead log from which
+    {!Serve.replay} reconstructs the ledger and deployed forests
+    bit-identically.
+
+    All integers are encoded as JSON numbers (exact: ids and node
+    indices are far below 2{^53}); [%.17g] float formatting makes times
+    round-trip exactly. *)
+
+type record =
+  | Admit of { id : int; time : float; sources : int list; dests : int list }
+      (** request entered the admission queue *)
+  | Commit of {
+      id : int;
+      time : float;
+      family : string;  (** winning ladder rung, {!Serve.family_to_string} *)
+      sources : int list;
+      dests : int list;
+      walks : Sof.Forest.walk list;
+      delivery : (int * int) list;
+    }
+      (** forest deployed and its footprint charged; [walks]/[delivery]
+          suffice to rebuild the forest on the static instance *)
+  | Depart of { id : int; time : float }
+      (** deployment released and its footprint discharged *)
+
+val record_id : record -> int
+val record_time : record -> float
+
+(** {2 Codec} *)
+
+val to_json : record -> Sof_obs.Json.t
+val to_line : record -> string
+(** Single-line JSON, no trailing newline. *)
+
+val of_line : string -> (record, string) result
+
+val parse_lines : string -> record list
+(** Parse newline-separated records, stopping at the first malformed or
+    truncated line (the torn tail of a crashed write); blank lines are
+    skipped. *)
+
+val load : string -> record list
+(** Read and {!parse_lines} a journal file. *)
+
+(** {2 Writer} *)
+
+type writer
+
+val open_writer : string -> writer
+(** Open (append, create) a journal file. *)
+
+val append : writer -> record -> unit
+(** Write one record and flush it to the OS — call {e before} mutating
+    the state the record describes. *)
+
+val records : writer -> int
+(** Records appended through this writer. *)
+
+val close_writer : writer -> unit

@@ -1,0 +1,713 @@
+module Graph = Sof_graph.Graph
+module Metric = Sof_graph.Metric
+module Rng = Sof_util.Rng
+module Stats = Sof_util.Stats
+module Budget = Sof_util.Budget
+module Timer = Sof_util.Timer
+module Ledger = Sof_cost.Ledger
+module Cost_model = Sof_cost.Cost_model
+module Online = Sof_workload.Online
+module Stream = Sof_workload.Stream
+module Obs = Sof_obs.Obs
+
+(* --- configuration ----------------------------------------------------- *)
+
+type family = Lp | Sofda | Est
+
+let family_to_string = function
+  | Lp -> "lp-round"
+  | Sofda -> "sofda"
+  | Est -> "est"
+
+let family_of_string = function
+  | "lp-round" | "lp" -> Some Lp
+  | "sofda" -> Some Sofda
+  | "est" -> Some Est
+  | _ -> None
+
+type policy = Reject_newest | Drop_oldest | Edf
+
+let policy_to_string = function
+  | Reject_newest -> "reject-newest"
+  | Drop_oldest -> "drop-oldest"
+  | Edf -> "edf"
+
+let policy_of_string = function
+  | "reject-newest" -> Some Reject_newest
+  | "drop-oldest" -> Some Drop_oldest
+  | "edf" -> Some Edf
+  | _ -> None
+
+type config = {
+  stream : Stream.config;
+  deadline_ms : float;
+  grace_ms : float;
+  ladder : family list;
+  queue_cap : int;
+  policy : policy;
+  service_time : float;
+  queue_deadline : float;
+  breaker : Breaker.config;
+  retry_max : int;
+  retry_base : float;
+  retry_jitter : float;
+  retry_seed : int;
+  outages : (float * float) list;
+}
+
+let default_config =
+  {
+    stream =
+      {
+        Stream.default_config with
+        horizon = 20.0;
+        max_utilization = 0.5;
+      };
+    deadline_ms = 200.0;
+    grace_ms = 250.0;
+    ladder = [ Sofda ];
+    queue_cap = 16;
+    policy = Reject_newest;
+    service_time = 0.2;
+    queue_deadline = infinity;
+    breaker = Breaker.default_config;
+    retry_max = 3;
+    retry_base = 0.25;
+    retry_jitter = 0.5;
+    retry_seed = 0x5EED;
+    outages = [];
+  }
+
+let validate_config cfg =
+  if cfg.queue_cap < 1 then invalid_arg "Serve: queue_cap must be >= 1";
+  if not (cfg.service_time >= 0.0) then
+    invalid_arg "Serve: service_time must be >= 0";
+  if not (cfg.deadline_ms >= 0.0) then
+    invalid_arg "Serve: deadline_ms must be >= 0";
+  if not (cfg.grace_ms >= 0.0) then invalid_arg "Serve: grace_ms must be >= 0";
+  if not (cfg.queue_deadline > 0.0) then
+    invalid_arg "Serve: queue_deadline must be positive";
+  if cfg.retry_max < 0 then invalid_arg "Serve: retry_max must be >= 0";
+  if not (cfg.retry_base > 0.0) then
+    invalid_arg "Serve: retry_base must be positive";
+  if not (cfg.retry_jitter >= 0.0) then
+    invalid_arg "Serve: retry_jitter must be >= 0";
+  List.iter
+    (fun (a, b) ->
+      if not (b > a) then invalid_arg "Serve: outage window must have a < b")
+    cfg.outages
+
+(* Est is the unconditional terminal rung: always affordable, never
+   breaker-gated, so the ladder can never strand a servable request. *)
+let normalize_ladder ladder =
+  List.filter (fun f -> f <> Est) ladder @ [ Est ]
+
+(* --- responses --------------------------------------------------------- *)
+
+type shed_reason = Queue_full | Queue_expired | Fault_exhausted
+
+let shed_reason_to_string = function
+  | Queue_full -> "queue-full"
+  | Queue_expired -> "queue-expired"
+  | Fault_exhausted -> "fault-exhausted"
+
+type status =
+  | Served of {
+      family : family;
+      degraded : bool;
+      cost : float;
+      marginal : float;
+    }
+  | Rejected
+  | Shed of shed_reason
+
+type response = {
+  id : int;
+  arrival : float;
+  start : float;
+  wall_s : float;
+  retries : int;
+  status : status;
+}
+
+type report = {
+  arrivals : int;
+  served : int;
+  rejected : int;
+  shed_queue_full : int;
+  shed_expired : int;
+  shed_fault : int;
+  degraded : int;
+  deadline_miss : int;
+  breaker_opens : int;
+  breaker_skips : int;
+  retries : int;
+  queue_peak : int;
+  served_cost_total : float;
+  mean_served_cost : float;
+  wall_p50 : float;
+  wall_p95 : float;
+  wall_p99 : float;
+  responses : response list;
+  records : Journal.record list;
+  final_ledger : Ledger.t;
+  live : (int * Sof.Forest.t) list;
+}
+
+(* --- static instance --------------------------------------------------- *)
+
+(* Mirror of {!Stream.run_script}'s setup, byte for byte: the serving
+   layer and the journal replay must price and account against the
+   identical static instance or recovery cannot be bit-identical. *)
+type instance = {
+  w : Online.config;
+  vms : int list;
+  static_graph : Graph.t;
+  static_node_cost : float array;
+  ledger : Ledger.t;
+}
+
+let instance topo cfg =
+  let w = cfg.stream.Stream.workload in
+  let graph0, vms, _n_access = Online.augment topo w in
+  let static_graph =
+    Graph.map_weights graph0 (fun _ _ _ ->
+        Cost_model.cost ~load:w.Online.demand ~capacity:w.Online.link_capacity)
+  in
+  let n = Graph.n static_graph in
+  let static_node_cost = Array.make n 0.0 in
+  List.iter
+    (fun vm ->
+      static_node_cost.(vm) <-
+        Cost_model.cost ~load:1.0 ~capacity:w.Online.vm_capacity)
+    vms;
+  let node_capacity =
+    Array.init n (fun v ->
+        if List.mem v vms then w.Online.vm_capacity else 0.0)
+  in
+  let ledger =
+    Ledger.create ~graph:static_graph ~link_capacity:w.Online.link_capacity
+      ~node_capacity
+  in
+  { w; vms; static_graph; static_node_cost; ledger }
+
+let mk_problem inst ~sources ~dests =
+  Sof.Problem.make ~graph:inst.static_graph ~node_cost:inst.static_node_cost
+    ~vms:inst.vms ~sources ~dests ~chain_length:inst.w.Online.chain_length
+
+(* --- degradation ladder ------------------------------------------------ *)
+
+(* One rung: [(forest, clean)] where [clean] means the family finished
+   its work without its slice expiring — a partial (anytime) result still
+   enters the candidate pool, it just doesn't stop the fallthrough. *)
+let attempt cache fam ~budget p =
+  match fam with
+  | Est -> (Sof_baselines.Baselines.est p, true)
+  | Sofda ->
+      let r = Sof.Sofda.solve ~cache ?budget p in
+      let expired = Budget.check budget in
+      ( Option.map (fun (r : Sof.Sofda.report) -> r.Sof.Sofda.forest) r,
+        Option.is_some r && not expired )
+  | Lp ->
+      let r = Sof.Lp_round.solve ~cache ?budget p in
+      let expired = Budget.check budget in
+      ( Option.map (fun (r : Sof.Lp_round.report) -> r.Sof.Lp_round.forest) r,
+        (match r with
+        | Some r -> (not r.Sof.Lp_round.fallback) && not expired
+        | None -> false) )
+
+type ladder_outcome = {
+  winner : (family * Sof.Forest.t) option;
+  lad_degraded : bool;
+  lad_skips : int;
+}
+
+let run_ladder cache breakers ~ladder ~deadline_ms p =
+  let total =
+    if Float.is_finite deadline_ms then Some (Budget.after_ms deadline_ms)
+    else None
+  in
+  let head = List.hd ladder in
+  let candidates = ref [] in
+  let first_clean = ref None in
+  let skips = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | fam :: rest -> (
+        let terminal = fam = Est in
+        if (not terminal) && not (Breaker.allow (List.assoc fam breakers))
+        then begin
+          incr skips;
+          Obs.count "serve.breaker_skips" 1;
+          go rest
+        end
+        else begin
+          let slice =
+            if terminal then None
+            else
+              match total with
+              | None -> None
+              | Some tot ->
+                  (* equal split of what's left over the budgeted rungs
+                     still ahead: an early rung that returns fast donates
+                     its unused time to the rest *)
+                  let budgeted_left =
+                    List.length
+                      (List.filter (fun f -> f <> Est) (fam :: rest))
+                  in
+                  let rem = Budget.remaining_ns tot in
+                  Some
+                    (Budget.create
+                       ~deadline_ns:
+                         (Timer.now_ns () + (rem / max 1 budgeted_left))
+                       ())
+          in
+          let forest, clean = attempt cache fam ~budget:slice p in
+          (match forest with
+          | Some f when Sof.Validate.is_valid f ->
+              candidates := (fam, f) :: !candidates
+          | _ -> ());
+          let clean_done = clean && Option.is_some forest in
+          if not terminal then
+            Breaker.record (List.assoc fam breakers) ~ok:clean_done;
+          if clean_done then begin
+            if !first_clean = None then first_clean := Some fam
+          end
+          else go rest
+        end)
+  in
+  go ladder;
+  (* cheapest valid completion wins; ties keep the earliest rung *)
+  let winner =
+    List.fold_left
+      (fun acc (fam, f) ->
+        let c = Sof.Forest.total_cost f in
+        match acc with
+        | Some (_, _, best) when best <= c -> acc
+        | _ -> Some (fam, f, c))
+      None
+      (List.rev !candidates)
+  in
+  let winner = Option.map (fun (fam, f, _) -> (fam, f)) winner in
+  let lad_degraded =
+    match winner with None -> false | Some _ -> !first_clean <> Some head
+  in
+  { winner; lad_degraded; lad_skips = !skips }
+
+(* --- the serving loop -------------------------------------------------- *)
+
+let run_script ?journal topo cfg events =
+  validate_config cfg;
+  let inst = instance topo cfg in
+  let w = inst.w in
+  let cache = Metric.Cache.create () in
+  let ladder = normalize_ladder cfg.ladder in
+  let breakers =
+    List.filter_map
+      (fun f -> if f = Est then None else Some (f, Breaker.create cfg.breaker))
+      ladder
+  in
+  let rng_retry = Rng.create cfg.retry_seed in
+  let live : (int, Sof.Forest.t * Stream.footprint) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let records = ref [] in
+  let journal_write r =
+    records := r :: !records;
+    match journal with None -> () | Some wr -> Journal.append wr r
+  in
+  let arrivals = ref 0
+  and served = ref 0
+  and rejected = ref 0
+  and shed_queue_full = ref 0
+  and shed_expired = ref 0
+  and shed_fault = ref 0
+  and degraded = ref 0
+  and deadline_miss = ref 0
+  and breaker_skips = ref 0
+  and retries_total = ref 0
+  and queue_peak = ref 0
+  and served_cost = ref 0.0 in
+  let responses = ref [] in
+  let queue : Stream.request list ref = ref [] in
+  let server_free_at = ref 0.0 in
+  let push r = responses := r :: !responses in
+  let shed (r : Stream.request) ~at ~retries reason =
+    (match reason with
+    | Queue_full ->
+        incr shed_queue_full;
+        Obs.count "serve.shed_queue_full" 1
+    | Queue_expired ->
+        incr shed_expired;
+        Obs.count "serve.shed_expired" 1
+    | Fault_exhausted ->
+        incr shed_fault;
+        Obs.count "serve.shed_fault" 1);
+    push
+      {
+        id = r.Stream.id;
+        arrival = r.Stream.arrival;
+        start = at;
+        wall_s = 0.0;
+        retries;
+        status = Shed reason;
+      }
+  in
+  let in_outage t =
+    List.exists (fun (a, b) -> t >= a && t < b) cfg.outages
+  in
+  let vdeadline (r : Stream.request) = r.Stream.arrival +. cfg.queue_deadline in
+  (* EDF picks the most urgent virtual deadline; the FIFO policies serve
+     in arrival order.  Ties break on the smaller id, so the schedule is
+     a pure function of the script. *)
+  let pick_next () =
+    match !queue with
+    | [] -> None
+    | (x :: rest) as q -> (
+        match cfg.policy with
+        | Reject_newest | Drop_oldest -> Some (x, rest)
+        | Edf ->
+            let best =
+              List.fold_left
+                (fun (best : Stream.request) (r : Stream.request) ->
+                  let c = Float.compare (vdeadline r) (vdeadline best) in
+                  if c < 0 || (c = 0 && r.Stream.id < best.Stream.id) then r
+                  else best)
+                x rest
+            in
+            Some
+              ( best,
+                List.filter
+                  (fun (r : Stream.request) -> r.Stream.id <> best.Stream.id)
+                  q ))
+  in
+  let deadline_limit = (cfg.deadline_ms +. cfg.grace_ms) /. 1000.0 in
+  let serve_one (r : Stream.request) ~start =
+    (* seeded-jitter exponential backoff through outage windows *)
+    let attempts = ref 0 in
+    let t = ref start in
+    let exhausted = ref false in
+    while in_outage !t && not !exhausted do
+      if !attempts >= cfg.retry_max then exhausted := true
+      else begin
+        let jf =
+          if cfg.retry_jitter > 0.0 then
+            1.0 +. (cfg.retry_jitter *. (Rng.uniform rng_retry -. 0.5))
+          else 1.0
+        in
+        t := !t +. (cfg.retry_base *. (2.0 ** float_of_int !attempts) *. jf);
+        incr attempts;
+        incr retries_total;
+        Obs.count "serve.retries" 1
+      end
+    done;
+    if !exhausted then shed r ~at:!t ~retries:!attempts Fault_exhausted
+    else begin
+      let start = !t in
+      let wall0 = Timer.now_ns () in
+      let out =
+        Obs.span "serve.request" (fun () ->
+            run_ladder cache breakers ~ladder ~deadline_ms:cfg.deadline_ms
+              (mk_problem inst ~sources:r.Stream.sources ~dests:r.Stream.dests))
+      in
+      let wall_s = float_of_int (Timer.now_ns () - wall0) *. 1e-9 in
+      Obs.record "serve.wall_s" wall_s;
+      breaker_skips := !breaker_skips + out.lad_skips;
+      server_free_at := start +. cfg.service_time;
+      let reject () =
+        incr rejected;
+        Obs.count "serve.rejected" 1;
+        push
+          {
+            id = r.Stream.id;
+            arrival = r.Stream.arrival;
+            start;
+            wall_s;
+            retries = !attempts;
+            status = Rejected;
+          }
+      in
+      match out.winner with
+      | None -> reject ()
+      | Some (fam, f) ->
+          let fp = Stream.footprint_of_forest f in
+          if
+            not
+              (Stream.fits inst.ledger w
+                 ~max_utilization:cfg.stream.Stream.max_utilization fp)
+          then reject ()
+          else begin
+            let marginal = Stream.marginal_footprint_cost inst.ledger w fp in
+            (* WAL: the commit record hits the journal before the ledger
+               mutates *)
+            journal_write
+              (Journal.Commit
+                 {
+                   id = r.Stream.id;
+                   time = start;
+                   family = family_to_string fam;
+                   sources = r.Stream.sources;
+                   dests = r.Stream.dests;
+                   walks = f.Sof.Forest.walks;
+                   delivery = f.Sof.Forest.delivery;
+                 });
+            Stream.charge inst.ledger w ~sign:1.0 fp;
+            Hashtbl.replace live r.Stream.id (f, fp);
+            incr served;
+            Obs.count "serve.served" 1;
+            if out.lad_degraded then begin
+              incr degraded;
+              Obs.count "serve.degraded" 1
+            end;
+            if Float.is_finite cfg.deadline_ms && wall_s > deadline_limit
+            then begin
+              incr deadline_miss;
+              Obs.count "serve.deadline_miss" 1
+            end;
+            let cost = Sof.Forest.total_cost f in
+            served_cost := !served_cost +. cost;
+            push
+              {
+                id = r.Stream.id;
+                arrival = r.Stream.arrival;
+                start;
+                wall_s;
+                retries = !attempts;
+                status =
+                  Served { family = fam; degraded = out.lad_degraded; cost; marginal };
+              }
+          end
+    end
+  in
+  let rec drain upto =
+    match pick_next () with
+    | None -> ()
+    | Some (r, rest) ->
+        let start = Float.max !server_free_at r.Stream.arrival in
+        if start > upto then ()
+        else begin
+          queue := rest;
+          if Float.is_finite cfg.queue_deadline && start > vdeadline r +. 1e-9
+          then shed r ~at:start ~retries:0 Queue_expired
+          else serve_one r ~start;
+          drain upto
+        end
+  in
+  let enqueue (r : Stream.request) =
+    if List.length !queue >= cfg.queue_cap then begin
+      match cfg.policy with
+      | Reject_newest -> shed r ~at:r.Stream.arrival ~retries:0 Queue_full
+      | Drop_oldest -> (
+          match !queue with
+          | victim :: rest ->
+              shed victim ~at:r.Stream.arrival ~retries:0 Queue_full;
+              queue := rest @ [ r ]
+          | [] -> queue := [ r ])
+      | Edf -> (
+          (* shed the slackest deadline, which may be the newcomer *)
+          let victim =
+            List.fold_left
+              (fun (best : Stream.request) (x : Stream.request) ->
+                let c = Float.compare (vdeadline x) (vdeadline best) in
+                if c > 0 || (c = 0 && x.Stream.id > best.Stream.id) then x
+                else best)
+              r !queue
+          in
+          shed victim ~at:r.Stream.arrival ~retries:0 Queue_full;
+          if victim.Stream.id <> r.Stream.id then
+            queue :=
+              List.filter
+                (fun (x : Stream.request) -> x.Stream.id <> victim.Stream.id)
+                !queue
+              @ [ r ])
+    end
+    else queue := !queue @ [ r ];
+    queue_peak := max !queue_peak (List.length !queue)
+  in
+  List.iter
+    (fun ev ->
+      let t = match ev with
+        | Stream.Arrive r -> r.Stream.arrival
+        | Stream.Depart d -> d.time
+      in
+      drain t;
+      match ev with
+      | Stream.Depart { id; time } ->
+          if List.exists (fun (r : Stream.request) -> r.Stream.id = id) !queue
+          then begin
+            (* the client gave up while we were still queueing it *)
+            (match
+               List.find_opt
+                 (fun (r : Stream.request) -> r.Stream.id = id)
+                 !queue
+             with
+            | Some r -> shed r ~at:time ~retries:0 Queue_expired
+            | None -> ());
+            queue :=
+              List.filter (fun (r : Stream.request) -> r.Stream.id <> id) !queue
+          end
+          else (
+            match Hashtbl.find_opt live id with
+            | None -> () (* rejected or shed; nothing deployed *)
+            | Some (_, fp) ->
+                journal_write (Journal.Depart { id; time });
+                Stream.charge inst.ledger w ~sign:(-1.0) fp;
+                Hashtbl.remove live id)
+      | Stream.Arrive r ->
+          incr arrivals;
+          Obs.count "serve.arrivals" 1;
+          journal_write
+            (Journal.Admit
+               {
+                 id = r.Stream.id;
+                 time = r.Stream.arrival;
+                 sources = r.Stream.sources;
+                 dests = r.Stream.dests;
+               });
+          enqueue r)
+    events;
+  drain infinity;
+  let responses = List.rev !responses in
+  let walls =
+    List.filter_map
+      (fun r -> match r.status with Served _ -> Some r.wall_s | _ -> None)
+      responses
+  in
+  let pct p = if walls = [] then 0.0 else Stats.percentile p walls in
+  let live_list =
+    Hashtbl.fold (fun id (f, _) acc -> (id, f) :: acc) live []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  {
+    arrivals = !arrivals;
+    served = !served;
+    rejected = !rejected;
+    shed_queue_full = !shed_queue_full;
+    shed_expired = !shed_expired;
+    shed_fault = !shed_fault;
+    degraded = !degraded;
+    deadline_miss = !deadline_miss;
+    breaker_opens =
+      List.fold_left (fun acc (_, b) -> acc + Breaker.opens b) 0 breakers;
+    breaker_skips = !breaker_skips;
+    retries = !retries_total;
+    queue_peak = !queue_peak;
+    served_cost_total = !served_cost;
+    mean_served_cost =
+      (if !served = 0 then 0.0 else !served_cost /. float_of_int !served);
+    wall_p50 = pct 50.0;
+    wall_p95 = pct 95.0;
+    wall_p99 = pct 99.0;
+    responses;
+    records = List.rev !records;
+    final_ledger = inst.ledger;
+    live = live_list;
+  }
+
+let run ?journal ~rng topo cfg =
+  let _, _, n_access = Online.augment topo cfg.stream.Stream.workload in
+  let events = Stream.script ~rng ~n_access cfg.stream in
+  run_script ?journal topo cfg events
+
+(* --- crash-consistent recovery ----------------------------------------- *)
+
+type snapshot = {
+  ledger : Ledger.t;
+  live_forests : (int * Sof.Forest.t) list;
+  committed : int;
+  departed : int;
+  uncommitted : int;
+}
+
+let replay topo cfg records =
+  let inst = instance topo cfg in
+  let w = inst.w in
+  let live : (int, Sof.Forest.t * Stream.footprint) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let admits : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let committed = ref 0 and departed = ref 0 in
+  List.iter
+    (function
+      | Journal.Admit { id; _ } -> Hashtbl.replace admits id ()
+      | Journal.Commit { id; sources; dests; walks; delivery; _ } ->
+          let p = mk_problem inst ~sources ~dests in
+          let f = Sof.Forest.make p ~walks ~delivery in
+          let fp = Stream.footprint_of_forest f in
+          Stream.charge inst.ledger w ~sign:1.0 fp;
+          Hashtbl.replace live id (f, fp);
+          Hashtbl.remove admits id;
+          incr committed
+      | Journal.Depart { id; _ } -> (
+          Hashtbl.remove admits id;
+          match Hashtbl.find_opt live id with
+          | None -> ()
+          | Some (_, fp) ->
+              Stream.charge inst.ledger w ~sign:(-1.0) fp;
+              Hashtbl.remove live id;
+              incr departed))
+    records;
+  let live_forests =
+    Hashtbl.fold (fun id (f, _) acc -> (id, f) :: acc) live []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  {
+    ledger = inst.ledger;
+    live_forests;
+    committed = !committed;
+    departed = !departed;
+    uncommitted = Hashtbl.length admits;
+  }
+
+let recover topo cfg file = replay topo cfg (Journal.load file)
+
+(* --- bit-exact state comparison ---------------------------------------- *)
+
+let bits = Int64.bits_of_float
+
+let ledger_diff l1 l2 =
+  let g1 = Ledger.graph l1 and g2 = Ledger.graph l2 in
+  if Graph.n g1 <> Graph.n g2 then
+    Some
+      (Printf.sprintf "graph size mismatch: %d vs %d nodes" (Graph.n g1)
+         (Graph.n g2))
+  else
+    let diff = ref None in
+    List.iter
+      (fun (u, v, _) ->
+        if !diff = None then
+          let a = Ledger.edge_load l1 u v and b = Ledger.edge_load l2 u v in
+          if bits a <> bits b then
+            diff :=
+              Some
+                (Printf.sprintf "edge (%d,%d) load %.17g vs %.17g" u v a b))
+      (Graph.edges g1);
+    for v = 0 to Graph.n g1 - 1 do
+      if !diff = None then begin
+        let a = Ledger.node_load l1 v and b = Ledger.node_load l2 v in
+        if bits a <> bits b then
+          diff := Some (Printf.sprintf "node %d load %.17g vs %.17g" v a b)
+      end
+    done;
+    !diff
+
+let ledger_equal l1 l2 = ledger_diff l1 l2 = None
+
+let forest_equal (a : Sof.Forest.t) (b : Sof.Forest.t) =
+  a.Sof.Forest.walks = b.Sof.Forest.walks
+  && a.Sof.Forest.delivery = b.Sof.Forest.delivery
+
+(* The recovery invariant: recharging a fresh ledger from the recovered
+   live forests lands on the same bits as the replayed ledger.  Loads are
+   sums of [demand] and 1.0 — exactly representable for the stock
+   configs — so charge/release cancellation is exact and order drops
+   out. *)
+let recovery_invariant topo cfg snap =
+  let inst = instance topo cfg in
+  List.iter
+    (fun (_, f) ->
+      Stream.charge inst.ledger inst.w ~sign:1.0 (Stream.footprint_of_forest f))
+    snap.live_forests;
+  match ledger_diff inst.ledger snap.ledger with
+  | None -> Ok ()
+  | Some d -> Error ("recovery invariant violated: " ^ d)

@@ -1,0 +1,206 @@
+(** Deadline-aware resilient serving layer.
+
+    A resident request loop over the streaming workload model
+    ({!Sof_workload.Stream}): requests arrive on a virtual-time script,
+    wait in a bounded admission queue, and are served by a {e
+    graceful-degradation ladder} of solver families under a real-time
+    compute deadline.  Four robustness mechanisms compose:
+
+    - {b Deadline budgets} — each request gets a {!Sof_util.Budget} of
+      [deadline_ms]; budgeted rungs of the ladder receive an equal split
+      of the remaining time and stop mid-flight through the solvers'
+      cooperative cancellation ({!Sof.Sofda}, {!Sof.Lp_round} are
+      anytime under a budget).
+    - {b Degradation ladder} — the configured family order falls through
+      [lp-round → sofda → est]; the terminal {!Sof_baselines.Baselines.est}
+      rung is unbudgeted and never skipped, so a servable request is
+      always answered.  The {e cheapest valid} completion wins, partial
+      (anytime) results included; a request is {e degraded} when the
+      preferred family did not complete cleanly.
+    - {b Backpressure} — a bounded queue with a shedding policy
+      (reject-newest / drop-oldest / earliest-virtual-deadline-first),
+      virtual queue deadlines, and seeded-jitter exponential backoff
+      through configured outage windows.
+    - {b Circuit breakers} — a per-family {!Breaker} skips a rung whose
+      failures dominate a rolling window and probes it after a cooldown.
+
+    Every state change is preceded by a flushed {!Journal} record
+    (write-ahead), so a [kill -9] loses at most the in-flight request:
+    {!replay} reconstructs the ledger and the deployed forests
+    bit-identically from the journal prefix.
+
+    Determinism: virtual time (arrivals, queueing, sheds, retries,
+    breaker transitions) is a pure function of the script and the
+    config.  Only wall-clock latencies and deadline-driven degradation
+    depend on the machine; with [deadline_ms = 0] (every budgeted rung
+    abandons instantly) or [deadline_ms = infinity] (no budget) the
+    entire run is machine-deterministic — the serve bench rows gate on
+    exactly those two regimes. *)
+
+(** Solver family, one ladder rung. *)
+type family =
+  | Lp      (** {!Sof.Lp_round.solve} — LP relax-and-round *)
+  | Sofda   (** {!Sof.Sofda.solve} — the paper's 3-approximation *)
+  | Est     (** {!Sof_baselines.Baselines.est} — cheapest baseline;
+                always terminal, unbudgeted, never breaker-gated *)
+
+val family_to_string : family -> string
+val family_of_string : string -> family option
+
+(** Queue shedding policy when the admission queue is full or drained. *)
+type policy =
+  | Reject_newest  (** full queue bounces the arriving request *)
+  | Drop_oldest    (** full queue sheds its oldest entry *)
+  | Edf            (** serve earliest virtual deadline first; full queue
+                       sheds the slackest deadline (maybe the newcomer) *)
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type config = {
+  stream : Sof_workload.Stream.config;
+      (** workload shape, arrival process, horizon, admission headroom *)
+  deadline_ms : float;
+      (** per-request compute budget (wall-clock ms); [0] degrades every
+          budgeted rung instantly, [infinity] disables budgets *)
+  grace_ms : float;
+      (** tolerance above [deadline_ms] before a served request counts
+          as a deadline miss *)
+  ladder : family list;
+      (** preferred family order; [Est] is appended as the terminal rung
+          (and dropped from any earlier position) *)
+  queue_cap : int;        (** bounded admission queue size (>= 1) *)
+  policy : policy;
+  service_time : float;
+      (** virtual time the single server occupies per ladder run *)
+  queue_deadline : float;
+      (** virtual seconds a request may wait before it expires in the
+          queue; [infinity] = never *)
+  breaker : Breaker.config;
+  retry_max : int;        (** outage-bounce retries before shedding *)
+  retry_base : float;     (** base backoff (virtual seconds) *)
+  retry_jitter : float;
+      (** jitter amplitude: each backoff is scaled by
+          [1 + jitter * (U(0,1) - 0.5)]; [0] draws nothing from the RNG *)
+  retry_seed : int;       (** seed of the dedicated retry RNG *)
+  outages : (float * float) list;
+      (** virtual-time [(from, to)] windows during which service attempts
+          bounce into backoff *)
+}
+
+val default_config : config
+
+(** Why a request was shed without a ladder run. *)
+type shed_reason =
+  | Queue_full        (** admission-queue overflow *)
+  | Queue_expired     (** virtual queue deadline passed before service *)
+  | Fault_exhausted   (** outage retries exhausted *)
+
+val shed_reason_to_string : shed_reason -> string
+
+type status =
+  | Served of {
+      family : family;   (** winning ladder rung *)
+      degraded : bool;   (** preferred family did not complete cleanly *)
+      cost : float;      (** {!Sof.Forest.total_cost} of the deployment *)
+      marginal : float;  (** marginal footprint cost at commit time *)
+    }
+  | Rejected  (** no valid embedding, or admission headroom exceeded *)
+  | Shed of shed_reason
+
+type response = {
+  id : int;
+  arrival : float;   (** virtual arrival time *)
+  start : float;     (** virtual service start (or shed decision time) *)
+  wall_s : float;    (** real compute seconds (0 for sheds) *)
+  retries : int;     (** outage bounces consumed *)
+  status : status;
+}
+
+type report = {
+  arrivals : int;
+  served : int;
+  rejected : int;
+  shed_queue_full : int;
+  shed_expired : int;
+  shed_fault : int;
+  degraded : int;
+  deadline_miss : int;
+      (** served with [wall_s > (deadline_ms + grace_ms) / 1000] *)
+  breaker_opens : int;
+  breaker_skips : int;
+  retries : int;
+  queue_peak : int;
+  served_cost_total : float;
+  mean_served_cost : float;
+  wall_p50 : float;
+  wall_p95 : float;
+  wall_p99 : float;  (** served-request compute latency percentiles *)
+  responses : response list;  (** decision order *)
+  records : Journal.record list;
+      (** the full WAL stream, also when no file journal was attached *)
+  final_ledger : Sof_cost.Ledger.t;
+  live : (int * Sof.Forest.t) list;
+      (** deployments still live after the script, id-sorted (empty for
+          a full script, whose departures all fire) *)
+}
+
+val run_script :
+  ?journal:Journal.writer ->
+  Sof_topology.Topology.t ->
+  config ->
+  Sof_workload.Stream.event list ->
+  report
+(** Serve a prepared event script.  When [journal] is given, every
+    admit/commit/depart record is flushed to it {e before} the
+    corresponding in-memory state change (write-ahead).
+    @raise Invalid_argument on a malformed config. *)
+
+val run :
+  ?journal:Journal.writer ->
+  rng:Sof_util.Rng.t ->
+  Sof_topology.Topology.t ->
+  config ->
+  report
+(** {!Sof_workload.Stream.script} + {!run_script}. *)
+
+(** {2 Crash-consistent recovery} *)
+
+type snapshot = {
+  ledger : Sof_cost.Ledger.t;
+  live_forests : (int * Sof.Forest.t) list;  (** id-sorted *)
+  committed : int;
+  departed : int;
+  uncommitted : int;
+      (** admits with neither commit nor depart — in flight (or shed)
+          at the crash point *)
+}
+
+val replay :
+  Sof_topology.Topology.t -> config -> Journal.record list -> snapshot
+(** Reconstruct serving state from a journal prefix, applying commits
+    (rebuild the forest from its walks/delivery on the same static
+    instance, charge its footprint) and departures in record order.
+    Replaying the records of an uncrashed run reproduces its final
+    ledger and live forests bit-identically; replaying a truncated
+    prefix reproduces the state at the crash point. *)
+
+val recover : Sof_topology.Topology.t -> config -> string -> snapshot
+(** {!Journal.load} + {!replay}; tolerates a torn trailing line. *)
+
+val recovery_invariant :
+  Sof_topology.Topology.t -> config -> snapshot -> (unit, string) result
+(** Consistency check after recovery: recharging a fresh ledger from the
+    recovered live forests must land on the replayed ledger's exact bits
+    (loads are sums of [demand] and [1.0], exactly representable for the
+    stock configs, so cancellation is exact and charge order drops
+    out).  [Error] carries the first mismatching resource. *)
+
+val ledger_equal : Sof_cost.Ledger.t -> Sof_cost.Ledger.t -> bool
+(** Bitwise equality of every edge and node load. *)
+
+val ledger_diff : Sof_cost.Ledger.t -> Sof_cost.Ledger.t -> string option
+(** First mismatching resource, human-readable; [None] when equal. *)
+
+val forest_equal : Sof.Forest.t -> Sof.Forest.t -> bool
+(** Structural equality of walks and delivery edges. *)

@@ -1,0 +1,41 @@
+(* Cooperative cancellation token for deadline-budgeted solves.
+
+   A budget is an absolute deadline on the {!Timer.now_ns} clock plus an
+   atomic cancel flag.  Solvers poll [expired] at stage boundaries (a
+   check is two atomic reads and a clock read, ~100ns) and wind down to
+   their documented partial/abandoned result — never an exception, never
+   a half-written workspace.  The flag is [Atomic] so a coordinating
+   domain can cancel a solve running on pool workers. *)
+
+type t = { deadline_ns : int option; cancelled : bool Atomic.t }
+
+let create ?deadline_ns () = { deadline_ns; cancelled = Atomic.make false }
+
+let after_ms ms =
+  let ms = Float.max 0.0 ms in
+  create ~deadline_ns:(Timer.now_ns () + int_of_float (ms *. 1e6)) ()
+
+let cancel t = Atomic.set t.cancelled true
+
+let cancelled t = Atomic.get t.cancelled
+
+let deadline_ns t = t.deadline_ns
+
+let expired t =
+  Atomic.get t.cancelled
+  ||
+  match t.deadline_ns with
+  | None -> false
+  | Some d -> Timer.now_ns () >= d
+
+let remaining_ns t =
+  if Atomic.get t.cancelled then 0
+  else
+    match t.deadline_ns with
+    | None -> max_int
+    | Some d -> max 0 (d - Timer.now_ns ())
+
+(* The polling convention every budgeted solver uses: an absent budget
+   never expires, so [?budget:None] call paths stay bit-identical to the
+   unbudgeted code. *)
+let check = function None -> false | Some b -> expired b

@@ -1,0 +1,41 @@
+(** Cooperative cancellation token for deadline-budgeted solves.
+
+    A budget pairs an absolute deadline on the monotonic {!Timer.now_ns}
+    clock with an atomic cancel flag.  Budgeted solvers poll {!expired}
+    (or the [?budget] convenience {!check}) at stage boundaries and wind
+    down to their documented partial/abandoned result: they never raise
+    on expiry and never leave a half-written workspace.  Passing
+    [?budget:None] is guaranteed bit-identical to the unbudgeted call —
+    the poll short-circuits before touching the clock. *)
+
+type t
+
+val create : ?deadline_ns:int -> unit -> t
+(** [create ~deadline_ns ()] — absolute deadline on the {!Timer.now_ns}
+    scale; omit [deadline_ns] for a cancel-only token that expires only
+    via {!cancel}. *)
+
+val after_ms : float -> t
+(** [after_ms ms] — deadline [ms] milliseconds from now (clamped at 0:
+    [after_ms 0.0] is expired from birth, the deterministic way to force
+    every budgeted stage to abandon). *)
+
+val cancel : t -> unit
+(** Flip the atomic cancel flag; every subsequent {!expired} is [true].
+    Safe from any domain. *)
+
+val cancelled : t -> bool
+
+val deadline_ns : t -> int option
+
+val expired : t -> bool
+(** Cancelled, or the deadline has passed ([now_ns >= deadline]). *)
+
+val remaining_ns : t -> int
+(** Nanoseconds until the deadline (0 when expired or cancelled,
+    [max_int] for a deadline-free token). *)
+
+val check : t option -> bool
+(** [check budget] — the [?budget] polling convention: [false] for
+    [None] (without reading the clock, preserving bit-identity of
+    unbudgeted paths), {!expired} otherwise. *)

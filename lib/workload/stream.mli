@@ -80,6 +80,43 @@ val script : rng:Sof_util.Rng.t -> n_access:int -> config -> event list
     @raise Invalid_argument on non-positive rates, horizon, or mean
     hold. *)
 
+(** {2 Footprints}
+
+    The charged resource footprint of a deployed forest — the unit the
+    ledger accounting below works in, shared with the serving layer
+    ({!Sof_serve}) and the journal-replay oracle. *)
+
+type footprint = {
+  fp_edges : ((int * int) * int) list;
+      (** normalized [(u, v)] with [u <= v], with per-context multiplicity,
+          sorted — deterministic for a given forest *)
+  fp_vms : int list;  (** enabled VM nodes *)
+}
+
+val footprint_of_forest : Sof.Forest.t -> footprint
+
+val charge :
+  Sof_cost.Ledger.t -> Online.config -> sign:float -> footprint -> unit
+(** Charge ([sign = 1.0]) or release ([sign = -1.0]) the footprint's
+    loads: [demand] per edge context, 1.0 per enabled VM. *)
+
+val fits :
+  Sof_cost.Ledger.t ->
+  Online.config ->
+  max_utilization:float ->
+  footprint ->
+  bool
+(** Would committing the footprint keep every touched resource within
+    the headroom threshold (with a 1e-9 epsilon)? *)
+
+val marginal_footprint_cost :
+  Sof_cost.Ledger.t -> Online.config -> footprint -> float
+(** Fortz–Thorup marginal cost of committing the footprint at current
+    loads. *)
+
+val footprint_peak : Sof_cost.Ledger.t -> Online.config -> footprint -> float
+(** Highest utilization over the footprint's resources after commit. *)
+
 (** How accepted requests are embedded. *)
 type mode =
   | Incremental

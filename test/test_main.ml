@@ -17,6 +17,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("online", Test_online.suite);
       ("stream", Test_stream.suite);
+      ("serve", Test_serve.suite);
       ("reduction", Test_reduction.suite);
       ("extra", Test_extra.suite);
       ("polish", Test_polish.suite);

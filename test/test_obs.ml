@@ -266,6 +266,143 @@ let test_json_rejects_garbage () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
 
+(* --- perf gate --------------------------------------------------------- *)
+
+module Gate = Sof_obs.Gate
+
+let entry topology algo mean_cost mean_wall_s =
+  { Gate.topology; algo; mean_cost; mean_wall_s }
+
+let gate_baseline =
+  [ entry "softlayer" "sofda" 8.124 0.02; entry "cogent" "est" 18.6 0.01 ]
+
+let compare_rows = Gate.compare_rows ~wall_tolerance:0.5
+
+let test_gate_passes_clean () =
+  Alcotest.(check int) "identical rows pass" 0
+    (List.length
+       (compare_rows ~baseline:gate_baseline ~current:gate_baseline ()));
+  (* wall regression inside the tolerance, cost drift inside the epsilon *)
+  let current =
+    [
+      entry "softlayer" "sofda" (8.124 *. (1.0 +. 1e-12)) 0.029;
+      entry "cogent" "est" 18.6 0.0001;
+    ]
+  in
+  Alcotest.(check int) "noise-level drift passes" 0
+    (List.length (compare_rows ~baseline:gate_baseline ~current ()))
+
+let test_gate_cost_drift () =
+  let current =
+    [ entry "softlayer" "sofda" 8.3 0.02; entry "cogent" "est" 18.6 0.01 ]
+  in
+  match compare_rows ~baseline:gate_baseline ~current () with
+  | [ Gate.Cost_changed { topology; algo; baseline; observed; drift } ] ->
+      Alcotest.(check string) "row topology" "softlayer" topology;
+      Alcotest.(check string) "row algo" "sofda" algo;
+      Alcotest.check (Alcotest.float 1e-9) "baseline value" 8.124 baseline;
+      Alcotest.check (Alcotest.float 1e-9) "observed value" 8.3 observed;
+      Alcotest.check (Alcotest.float 1e-9) "relative drift"
+        (Gate.rel_drift ~baseline:8.124 ~observed:8.3)
+        drift;
+      let line =
+        Gate.describe
+          (List.hd (compare_rows ~baseline:gate_baseline ~current ()))
+      in
+      let contains needle =
+        let nl = String.length needle and ll = String.length line in
+        let rec scan i =
+          i + nl <= ll && (String.sub line i nl = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "describe mentions %s" needle)
+            true (contains needle))
+        [ "softlayer"; "sofda" ]
+  | vs -> Alcotest.failf "expected one cost violation, got %d" (List.length vs)
+
+let test_gate_wall_regression () =
+  let current =
+    [ entry "softlayer" "sofda" 8.124 0.04; entry "cogent" "est" 18.6 0.01 ]
+  in
+  (match compare_rows ~baseline:gate_baseline ~current () with
+  | [ Gate.Wall_regressed { baseline; observed; tolerance; _ } ] ->
+      Alcotest.check (Alcotest.float 1e-9) "wall baseline" 0.02 baseline;
+      Alcotest.check (Alcotest.float 1e-9) "wall observed" 0.04 observed;
+      Alcotest.check (Alcotest.float 1e-9) "tolerance carried" 0.5 tolerance
+  | vs -> Alcotest.failf "expected one wall violation, got %d" (List.length vs));
+  (* a wall *improvement* never fails *)
+  let current =
+    [ entry "softlayer" "sofda" 8.124 0.001; entry "cogent" "est" 18.6 0.01 ]
+  in
+  Alcotest.(check int) "faster is fine" 0
+    (List.length (compare_rows ~baseline:gate_baseline ~current ()))
+
+let test_gate_missing_and_extra () =
+  let current =
+    [ entry "softlayer" "sofda" 8.124 0.02; entry "inet" "st" 1.0 0.001 ]
+  in
+  let vs = compare_rows ~baseline:gate_baseline ~current () in
+  Alcotest.(check bool) "missing row reported" true
+    (List.exists
+       (function
+         | Gate.Missing_row { topology = "cogent"; algo = "est" } -> true
+         | _ -> false)
+       vs);
+  Alcotest.(check bool) "extra row reported" true
+    (List.exists
+       (function
+         | Gate.Extra_row { topology = "inet"; algo = "st" } -> true
+         | _ -> false)
+       vs);
+  Alcotest.(check int) "nothing else" 2 (List.length vs)
+
+let test_gate_nan_pins_no_measurement () =
+  let baseline = [ entry "softlayer" "sofda" Float.nan 0.02 ] in
+  Alcotest.(check int) "NaN on both sides compares equal" 0
+    (List.length
+       (compare_rows ~baseline
+          ~current:[ entry "softlayer" "sofda" Float.nan 0.02 ]
+          ()));
+  Alcotest.(check int) "NaN vs number fails" 1
+    (List.length
+       (compare_rows ~baseline
+          ~current:[ entry "softlayer" "sofda" 1.0 0.02 ]
+          ()))
+
+let test_gate_rows_of_json () =
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.Str "perf");
+        ( "rows",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ("topology", Json.Str "softlayer");
+                  ("algo", Json.Str "sofda");
+                  ("seeds", Json.Num 3.0);
+                  ("mean_cost", Json.Num 8.124);
+                  ("mean_wall_s", Json.Num 0.02);
+                  ("p95_wall_s", Json.Num 0.03);
+                ];
+            ] );
+      ]
+  in
+  (match Gate.rows_of_json doc with
+  | Ok [ e ] ->
+      Alcotest.(check string) "algo decoded" "sofda" e.Gate.algo;
+      Alcotest.check (Alcotest.float 1e-12) "cost decoded" 8.124 e.Gate.mean_cost
+  | Ok l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  match Gate.rows_of_json (Json.Obj [ ("rows", Json.Str "nope") ]) with
+  | Ok _ -> Alcotest.fail "malformed document decoded"
+  | Error _ -> ()
+
 (* --- transparency (direct, oracle-shaped) ------------------------------- *)
 
 let test_transparency_direct () =
@@ -315,5 +452,13 @@ let suite =
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json float precision" `Quick test_json_float_precision;
     Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "gate: clean rows pass" `Quick test_gate_passes_clean;
+    Alcotest.test_case "gate: cost drift" `Quick test_gate_cost_drift;
+    Alcotest.test_case "gate: wall regression" `Quick test_gate_wall_regression;
+    Alcotest.test_case "gate: missing + extra rows" `Quick
+      test_gate_missing_and_extra;
+    Alcotest.test_case "gate: NaN baseline" `Quick
+      test_gate_nan_pins_no_measurement;
+    Alcotest.test_case "gate: rows_of_json" `Quick test_gate_rows_of_json;
     Alcotest.test_case "transparency (direct)" `Quick test_transparency_direct;
   ]

@@ -246,6 +246,7 @@ let test_fabric_lossy () =
       loss = 0.5;
       max_retries = 3;
       base_backoff = 0.01;
+      jitter = 0.0;
     }
   in
   let f = Fabric.create ~faults () in
@@ -281,6 +282,7 @@ let test_fabric_timeout_burns_budget () =
       loss = 0.0;
       max_retries = 4;
       base_backoff = 0.1;
+      jitter = 0.0;
     }
   in
   let f = Fabric.create ~faults () in
@@ -288,6 +290,46 @@ let test_fabric_timeout_burns_budget () =
   Alcotest.(check int) "one drop" 1 (Fabric.drops f);
   (* 0.1 * (2^0 + 2^1 + 2^2 + 2^3) = 1.5 *)
   Alcotest.check feq "full backoff budget" 1.5 (Fabric.backoff_delay f)
+
+(* The jittered schedule is a pure function of the seed: one jitter
+   factor per retry, in order, each scaling that retry's exponential
+   backoff by [1 + jitter * (u - 0.5)]. *)
+let test_fabric_jitter_schedule () =
+  let mk seed jitter =
+    {
+      Fabric.rng = Sof_util.Rng.create seed;
+      loss = 0.0;
+      max_retries = 4;
+      base_backoff = 0.1;
+      jitter;
+    }
+  in
+  let burn faults =
+    let f = Fabric.create ~faults () in
+    Fabric.timeout f ~src:0 ~dst:2 Fabric.Border_matrix;
+    Fabric.backoff_delay f
+  in
+  let jittered = burn (mk 7 0.5) in
+  let expected = ref 0.0 in
+  let rng = Sof_util.Rng.create 7 in
+  for n = 0 to 3 do
+    expected :=
+      !expected
+      +. 0.1
+         *. (2.0 ** float_of_int n)
+         *. (1.0 +. (0.5 *. (Sof_util.Rng.float rng 1.0 -. 0.5)))
+  done;
+  Alcotest.check feq "pinned jittered schedule" !expected jittered;
+  (* every factor lies in [0.75, 1.25], so the total stays in bounds *)
+  Alcotest.(check bool)
+    "within jitter bounds" true
+    (jittered >= 1.5 *. 0.75 && jittered <= 1.5 *. 1.25);
+  (* same seed replays bit-identically *)
+  Alcotest.(check bool)
+    "seeded replay is bit-identical" true
+    (Int64.bits_of_float jittered = Int64.bits_of_float (burn (mk 7 0.5)));
+  (* jitter = 0 preserves the legacy schedule exactly *)
+  Alcotest.check feq "zero jitter keeps legacy schedule" 1.5 (burn (mk 7 0.0))
 
 (* --- leader failover --------------------------------------------------- *)
 
@@ -455,6 +497,8 @@ let suite =
       test_chaos_report_invariants;
     Alcotest.test_case "lossy fabric" `Quick test_fabric_lossy;
     Alcotest.test_case "fabric timeout" `Quick test_fabric_timeout_burns_budget;
+    Alcotest.test_case "fabric jitter schedule" `Quick
+      test_fabric_jitter_schedule;
     Alcotest.test_case "failover on partition" `Quick test_failover_on_partition;
     Alcotest.test_case "all partitioned" `Quick test_all_partitioned_no_solve;
     Alcotest.test_case "partition bad id" `Quick test_partition_bad_id;

@@ -1,0 +1,433 @@
+(* The deadline-aware serving layer: budget semantics on the budgeted
+   solvers, the circuit breaker state machine, the write-ahead journal
+   codec, queue policies and determinism of the virtual-time event loop,
+   and the kill-and-recover harness.
+
+   The budget bit-identity tests are the contract the whole layer leans
+   on: [?budget:None] must not perturb the unbudgeted solvers, and a
+   generous budget must land on the same forest — otherwise attaching
+   the serving layer would silently change every committed embedding. *)
+
+module Budget = Sof_util.Budget
+module Rng = Sof_util.Rng
+module Stream = Sof_workload.Stream
+module Online = Sof_workload.Online
+module Serve = Sof_serve.Serve
+module Journal = Sof_serve.Journal
+module Breaker = Sof_serve.Breaker
+
+(* --- shared fixtures --------------------------------------------------- *)
+
+let testbed_workload =
+  {
+    Online.vms_per_dc = 2;
+    demand = 5.0;
+    link_capacity = 20.0;
+    vm_capacity = 3.0;
+    src_range = (2, 4);
+    dst_range = (3, 6);
+    chain_length = 2;
+  }
+
+let draw_problem seed =
+  let rng = Rng.create seed in
+  Sof_workload.Instance.draw ~rng
+    (Sof_topology.Topology.testbed ())
+    {
+      Sof_workload.Instance.n_vms = 8;
+      n_sources = 2;
+      n_dests = 4;
+      chain_length = 2;
+      setup_multiplier = 1.0;
+    }
+
+let serve_config ?(deadline_ms = infinity) ?(ladder = [ Serve.Sofda ])
+    ?(queue_cap = 3) ?(policy = Serve.Reject_newest) ?(queue_deadline = 2.0)
+    ?(outages = []) () =
+  {
+    Serve.default_config with
+    stream =
+      {
+        Stream.workload = testbed_workload;
+        process = Stream.Poisson { rate = 1.5 };
+        mean_hold = 2.5;
+        horizon = 6.0;
+        max_utilization = 0.6;
+      };
+    deadline_ms;
+    ladder;
+    queue_cap;
+    policy;
+    service_time = 0.3;
+    queue_deadline;
+    retry_max = 2;
+    retry_base = 0.2;
+    retry_jitter = 0.5;
+    retry_seed = 40;
+    outages;
+  }
+
+let run_serve ?journal ~seed cfg =
+  let topo = Sof_topology.Topology.testbed () in
+  let _, _, n_access = Online.augment topo cfg.Serve.stream.Stream.workload in
+  let events = Stream.script ~rng:(Rng.create seed) ~n_access cfg.Serve.stream in
+  Serve.run_script ?journal topo cfg events
+
+let forest_eq a b =
+  a.Sof.Forest.walks = b.Sof.Forest.walks
+  && a.Sof.Forest.delivery = b.Sof.Forest.delivery
+  && Sof.Forest.total_cost a = Sof.Forest.total_cost b
+
+(* --- budget token ------------------------------------------------------ *)
+
+let test_budget_token () =
+  Alcotest.(check bool) "check None is false" false (Budget.check None);
+  let b = Budget.after_ms 0.0 in
+  Alcotest.(check bool) "after_ms 0 expired from birth" true (Budget.expired b);
+  Alcotest.(check int) "expired remaining is 0" 0 (Budget.remaining_ns b);
+  let generous = Budget.after_ms 60_000.0 in
+  Alcotest.(check bool) "generous not expired" false (Budget.expired generous);
+  Alcotest.(check bool) "generous remaining positive" true
+    (Budget.remaining_ns generous > 0);
+  let free = Budget.create () in
+  Alcotest.(check bool) "deadline-free not expired" false (Budget.expired free);
+  Alcotest.(check int) "deadline-free remaining" max_int
+    (Budget.remaining_ns free);
+  Budget.cancel free;
+  Alcotest.(check bool) "cancel expires" true (Budget.expired free);
+  Alcotest.(check bool) "cancelled flag" true (Budget.cancelled free);
+  Alcotest.(check int) "cancelled remaining is 0" 0 (Budget.remaining_ns free)
+
+(* --- budget semantics on the solvers ----------------------------------- *)
+
+let test_expired_budget_abandons () =
+  let p = draw_problem 3 in
+  (* Expired from birth: SOFDA abandons before its first construction,
+     LP relax-and-round degrades per its documented stage order.  The
+     contract under test is "never raises, documented partial result". *)
+  (match Sof.Sofda.solve ~budget:(Budget.after_ms 0.0) p with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expired budget should abandon the SOFDA solve");
+  (match Sof.Lp_round.solve ~budget:(Budget.after_ms 0.0) p with
+  | None -> ()
+  | Some r ->
+      Alcotest.(check bool) "expired LP solve is marked fallback" true
+        r.Sof.Lp_round.fallback);
+  match Sof.Sofda.solve ~budget:(Budget.after_ms 60_000.0) p with
+  | None -> Alcotest.fail "generous budget must not abandon"
+  | Some _ -> ()
+
+let test_cancelled_budget_abandons () =
+  let p = draw_problem 4 in
+  let b = Budget.create () in
+  Budget.cancel b;
+  match Sof.Sofda.solve ~budget:b p with
+  | None -> ()
+  | Some _ -> Alcotest.fail "cancelled token should abandon the solve"
+
+let test_budget_none_bit_identical () =
+  let p = draw_problem 5 in
+  let plain = Sof.Sofda.solve p in
+  let none = Sof.Sofda.solve ?budget:None p in
+  let generous = Sof.Sofda.solve ~budget:(Budget.after_ms 60_000.0) p in
+  match (plain, none, generous) with
+  | Some a, Some b, Some c ->
+      Alcotest.(check bool) "?budget:None bit-identical" true
+        (forest_eq a.Sof.Sofda.forest b.Sof.Sofda.forest);
+      Alcotest.(check bool) "generous budget bit-identical" true
+        (forest_eq a.Sof.Sofda.forest c.Sof.Sofda.forest)
+  | _ -> Alcotest.fail "testbed instance should solve in all three modes"
+
+(* --- circuit breaker --------------------------------------------------- *)
+
+let test_breaker_config_validation () =
+  List.iter
+    (fun cfg ->
+      match Breaker.create cfg with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "invalid breaker config accepted")
+    [
+      { Breaker.window = 0; threshold = 1; cooldown = 1 };
+      { Breaker.window = 4; threshold = 0; cooldown = 1 };
+      { Breaker.window = 4; threshold = 2; cooldown = -1 };
+    ]
+
+let test_breaker_lifecycle () =
+  let b = Breaker.create { Breaker.window = 4; threshold = 2; cooldown = 2 } in
+  Alcotest.(check bool) "starts closed" true (Breaker.state b = Breaker.Closed);
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b);
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:false;
+  Alcotest.(check int) "one failure in window" 1 (Breaker.failures b);
+  Alcotest.(check bool) "still closed below threshold" true
+    (Breaker.state b = Breaker.Closed);
+  Breaker.record b ~ok:false;
+  (match Breaker.state b with
+  | Breaker.Open { remaining } ->
+      Alcotest.(check int) "open for cooldown calls" 2 remaining
+  | _ -> Alcotest.fail "threshold failures should trip the breaker");
+  Alcotest.(check int) "one open so far" 1 (Breaker.opens b);
+  Alcotest.(check bool) "open denies (1st cooldown tick)" false
+    (Breaker.allow b);
+  Alcotest.(check bool) "open denies (2nd cooldown tick)" false
+    (Breaker.allow b);
+  Alcotest.(check bool) "call after the cooldown is the probe" true
+    (Breaker.allow b);
+  Alcotest.(check bool) "half-open" true (Breaker.state b = Breaker.Half_open);
+  Breaker.record b ~ok:false;
+  Alcotest.(check bool) "failed probe re-trips" true
+    (match Breaker.state b with Breaker.Open _ -> true | _ -> false);
+  Alcotest.(check int) "re-trip counted" 2 (Breaker.opens b);
+  Alcotest.(check bool) "denied again" false (Breaker.allow b);
+  Alcotest.(check bool) "denied again (2nd)" false (Breaker.allow b);
+  Alcotest.(check bool) "probe again" true (Breaker.allow b);
+  Breaker.record b ~ok:true;
+  Alcotest.(check bool) "successful probe closes" true
+    (Breaker.state b = Breaker.Closed);
+  Alcotest.(check int) "window cleared on close" 0 (Breaker.failures b)
+
+let test_breaker_window_eviction () =
+  let b = Breaker.create { Breaker.window = 2; threshold = 2; cooldown = 1 } in
+  (* failure, then enough successes to evict it from the 2-wide window *)
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:true;
+  Alcotest.(check int) "old failure evicted" 0 (Breaker.failures b);
+  Breaker.record b ~ok:false;
+  Alcotest.(check bool) "one fresh failure keeps it closed" true
+    (Breaker.state b = Breaker.Closed)
+
+(* --- journal codec ----------------------------------------------------- *)
+
+let sample_records =
+  [
+    Journal.Admit { id = 1; time = 0.25; sources = [ 0; 3 ]; dests = [ 5 ] };
+    Journal.Commit
+      {
+        id = 1;
+        time = 0.5;
+        family = "sofda";
+        sources = [ 0; 3 ];
+        dests = [ 5 ];
+        walks =
+          [
+            {
+              Sof.Forest.source = 0;
+              hops = [| 0; 2; 5 |];
+              marks = [ { Sof.Forest.pos = 1; vnf = 0 } ];
+            };
+          ];
+        delivery = [ (2, 5) ];
+      };
+    Journal.Depart { id = 1; time = 3.75 };
+  ]
+
+let test_journal_roundtrip () =
+  List.iter
+    (fun r ->
+      match Journal.of_line (Journal.to_line r) with
+      | Ok r' -> Alcotest.(check bool) "record round-trips" true (r = r')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    sample_records
+
+let test_journal_torn_tail () =
+  let text =
+    String.concat ""
+      (List.map (fun r -> Journal.to_line r ^ "\n") sample_records)
+  in
+  Alcotest.(check int) "full text parses all records" 3
+    (List.length (Journal.parse_lines text));
+  (* cut mid-way through the last record: the torn tail is discarded *)
+  let cut = String.length text - 7 in
+  let parsed = Journal.parse_lines (String.sub text 0 cut) in
+  Alcotest.(check int) "torn tail drops exactly the last record" 2
+    (List.length parsed);
+  Alcotest.(check bool) "surviving prefix is intact" true
+    (parsed = [ List.nth sample_records 0; List.nth sample_records 1 ])
+
+let test_journal_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Journal.of_line s with
+      | Ok _ -> Alcotest.failf "decoded %S" s
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "{\"t\":\"nope\",\"id\":1,\"time\":0}";
+      "{\"t\":\"admit\",\"id\":1.5,\"time\":0,\"sources\":[],\"dests\":[]}";
+      "{\"t\":\"depart\",\"id\":1}";
+    ]
+
+(* --- event-loop determinism and queue policies ------------------------- *)
+
+let test_serve_deterministic () =
+  let cfg = serve_config ~policy:Serve.Edf ~outages:[ (1.0, 1.6) ] () in
+  let a = run_serve ~seed:11 cfg in
+  let b = run_serve ~seed:11 cfg in
+  Alcotest.(check bool) "same records" true (a.Serve.records = b.Serve.records);
+  Alcotest.(check bool) "same statuses" true
+    (List.map (fun r -> r.Serve.status) a.Serve.responses
+    = List.map (fun r -> r.Serve.status) b.Serve.responses);
+  Alcotest.(check bool) "same ledger bits" true
+    (Serve.ledger_equal a.Serve.final_ledger b.Serve.final_ledger);
+  Alcotest.(check int) "same retries" a.Serve.retries b.Serve.retries
+
+let test_serve_accounting () =
+  List.iter
+    (fun policy ->
+      let cfg = serve_config ~policy ~queue_cap:1 ~queue_deadline:0.5 () in
+      let r = run_serve ~seed:23 cfg in
+      Alcotest.(check int) "every arrival is accounted for" r.Serve.arrivals
+        (r.Serve.served + r.Serve.rejected + r.Serve.shed_queue_full
+       + r.Serve.shed_expired + r.Serve.shed_fault);
+      Alcotest.(check bool) "queue peak bounded by cap" true
+        (r.Serve.queue_peak <= 1))
+    [ Serve.Reject_newest; Serve.Drop_oldest; Serve.Edf ]
+
+let test_queue_policies_differ () =
+  (* Same script, 1-deep queue: reject-newest bounces the newcomer while
+     drop-oldest shed the incumbent — the shed id sets must differ. *)
+  let shed_ids policy =
+    let cfg = serve_config ~policy ~queue_cap:1 ~queue_deadline:0.5 () in
+    let r = run_serve ~seed:23 cfg in
+    List.filter_map
+      (fun (resp : Serve.response) ->
+        match resp.Serve.status with
+        | Serve.Shed _ -> Some resp.Serve.id
+        | _ -> None)
+      r.Serve.responses
+  in
+  let reject = shed_ids Serve.Reject_newest in
+  let drop = shed_ids Serve.Drop_oldest in
+  Alcotest.(check bool) "policies shed under pressure" true
+    (reject <> [] && drop <> []);
+  Alcotest.(check bool) "policies pick different victims" true (reject <> drop)
+
+let test_ladder_degrades_to_est () =
+  (* deadline 0: every budgeted rung abandons at entry, the unbudgeted
+     eST terminal serves, and each served request counts as degraded. *)
+  let tight = serve_config ~deadline_ms:0.0 () in
+  let r = run_serve ~seed:11 tight in
+  Alcotest.(check bool) "something was served" true (r.Serve.served > 0);
+  Alcotest.(check int) "every served request degraded" r.Serve.served
+    r.Serve.degraded;
+  List.iter
+    (fun (resp : Serve.response) ->
+      match resp.Serve.status with
+      | Serve.Served { family; degraded; _ } ->
+          Alcotest.(check bool) "est served" true (family = Serve.Est);
+          Alcotest.(check bool) "marked degraded" true degraded
+      | _ -> ())
+    r.Serve.responses;
+  let relaxed = serve_config ~deadline_ms:infinity () in
+  let r = run_serve ~seed:11 relaxed in
+  Alcotest.(check int) "no degradation without deadline" 0 r.Serve.degraded
+
+let test_outage_retries () =
+  let cfg = serve_config ~outages:[ (0.0, 2.0) ] () in
+  let r = run_serve ~seed:11 cfg in
+  Alcotest.(check bool) "outage window forces retries" true (r.Serve.retries > 0)
+
+(* --- crash-consistent recovery ----------------------------------------- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "sof_serve_test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_recover_full_run () =
+  with_temp_journal (fun path ->
+      let cfg = serve_config ~outages:[ (1.0, 1.6) ] () in
+      let journal = Journal.open_writer path in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Journal.close_writer journal)
+          (fun () -> run_serve ~journal ~seed:31 cfg)
+      in
+      let topo = Sof_topology.Topology.testbed () in
+      let snap = Serve.recover topo cfg path in
+      Alcotest.(check bool) "recovered ledger bit-identical" true
+        (Serve.ledger_equal snap.Serve.ledger report.Serve.final_ledger);
+      Alcotest.(check bool) "live forests match" true
+        (List.map fst snap.Serve.live_forests
+         = List.map fst report.Serve.live
+        && List.for_all2
+             (fun (_, a) (_, b) -> Serve.forest_equal a b)
+             snap.Serve.live_forests report.Serve.live);
+      match Serve.recovery_invariant topo cfg snap with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "recovery invariant: %s" e)
+
+let test_recover_torn_journal () =
+  with_temp_journal (fun path ->
+      let cfg = serve_config () in
+      let journal = Journal.open_writer path in
+      let _ =
+        Fun.protect
+          ~finally:(fun () -> Journal.close_writer journal)
+          (fun () -> run_serve ~journal ~seed:31 cfg)
+      in
+      (* simulate the kill -9 torn write: chop the file mid-line *)
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let full = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "journal long enough to tear" true (len > 40);
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (len - 23));
+      close_out oc;
+      let topo = Sof_topology.Topology.testbed () in
+      let snap = Serve.recover topo cfg path in
+      Alcotest.(check bool) "torn journal still replays records" true
+        (snap.Serve.committed > 0 || snap.Serve.uncommitted > 0);
+      match Serve.recovery_invariant topo cfg snap with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "recovery invariant after tear: %s" e)
+
+let test_replay_prefix_consistent () =
+  let cfg = serve_config ~policy:Serve.Drop_oldest () in
+  let r = run_serve ~seed:47 cfg in
+  let topo = Sof_topology.Topology.testbed () in
+  let records = r.Serve.records in
+  let n = List.length records in
+  (* every record-boundary prefix is a consistent crash point *)
+  List.iter
+    (fun k ->
+      let prefix = List.filteri (fun i _ -> i < k) records in
+      let snap = Serve.replay topo cfg prefix in
+      match Serve.recovery_invariant topo cfg snap with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "prefix %d/%d inconsistent: %s" k n e)
+    [ 0; n / 3; n / 2; 2 * n / 3; n ]
+
+let suite =
+  [
+    Alcotest.test_case "budget token" `Quick test_budget_token;
+    Alcotest.test_case "expired budget abandons" `Quick
+      test_expired_budget_abandons;
+    Alcotest.test_case "cancelled budget abandons" `Quick
+      test_cancelled_budget_abandons;
+    Alcotest.test_case "?budget:None bit-identity" `Quick
+      test_budget_none_bit_identical;
+    Alcotest.test_case "breaker config validation" `Quick
+      test_breaker_config_validation;
+    Alcotest.test_case "breaker lifecycle" `Quick test_breaker_lifecycle;
+    Alcotest.test_case "breaker window eviction" `Quick
+      test_breaker_window_eviction;
+    Alcotest.test_case "journal round-trip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal torn tail" `Quick test_journal_torn_tail;
+    Alcotest.test_case "journal rejects garbage" `Quick
+      test_journal_rejects_garbage;
+    Alcotest.test_case "serve deterministic" `Quick test_serve_deterministic;
+    Alcotest.test_case "serve accounting" `Quick test_serve_accounting;
+    Alcotest.test_case "queue policies differ" `Quick test_queue_policies_differ;
+    Alcotest.test_case "ladder degrades to est" `Quick
+      test_ladder_degrades_to_est;
+    Alcotest.test_case "outage retries" `Quick test_outage_retries;
+    Alcotest.test_case "recover full run" `Quick test_recover_full_run;
+    Alcotest.test_case "recover torn journal" `Quick test_recover_torn_journal;
+    Alcotest.test_case "replay prefix consistent" `Quick
+      test_replay_prefix_consistent;
+  ]
