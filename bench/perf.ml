@@ -331,6 +331,88 @@ let measure_serve ~seeds topo_name topo workload =
        else []))
     configs
 
+(* Batched-engine serving throughput, pinned on both topologies.  The
+   engine is bit-identical to the sequential server in the deadline-free
+   regime, so [mean_cost] (mean served cost) stays exact under the gate
+   while the wall columns carry the throughput signal: [serve-throughput]
+   rides mean seconds per served request — inverse throughput, so a
+   slower engine trips the gate's wall tolerance — and
+   [serve-throughput-p99] rides the p99 per-request solve wall.  The p99
+   row's [mean_cost] carries the (deterministic) total served count, so
+   a schedule change cannot hide behind the latency columns. *)
+let measure_throughput ~seeds topo_name topo workload =
+  let module Stream = Sof_workload.Stream in
+  let module Serve = Sof_serve.Serve in
+  let module Engine = Sof_serve.Engine in
+  let stream =
+    {
+      Stream.workload;
+      process = Stream.Poisson { rate = 1.0 };
+      mean_hold = 8.0;
+      horizon = 12.0;
+      max_utilization = 0.2;
+    }
+  in
+  let cfg =
+    {
+      Serve.default_config with
+      stream;
+      deadline_ms = infinity;
+      ladder = [ Serve.Sofda ];
+      queue_cap = 16;
+      policy = Serve.Reject_newest;
+      service_time = 0.2;
+      queue_deadline = infinity;
+    }
+  in
+  let engine = { Engine.shards = 2; batch_size = 4 } in
+  let n_access =
+    (fun (_, _, n) -> n) (Sof_workload.Online.augment topo workload)
+  in
+  let run_walls = Array.make seeds nan in
+  let req_walls = ref [] in
+  let served = ref 0 and cost = ref 0.0 in
+  for seed = 0 to seeds - 1 do
+    let events =
+      Stream.script ~rng:(Rng.create (0xBE5C + (seed * 7919))) ~n_access stream
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Engine.run_script ~engine topo cfg events in
+    run_walls.(seed) <- Unix.gettimeofday () -. t0;
+    served := !served + r.Serve.served;
+    cost := !cost +. r.Serve.served_cost_total;
+    List.iter
+      (fun (resp : Serve.response) ->
+        match resp.Serve.status with
+        | Serve.Served _ -> req_walls := resp.Serve.wall_s :: !req_walls
+        | _ -> ())
+      r.Serve.responses
+  done;
+  let total_wall = Array.fold_left ( +. ) 0.0 run_walls in
+  let pct p =
+    if !req_walls = [] then 0.0 else Sof_util.Stats.percentile p !req_walls
+  in
+  [
+    {
+      topology = topo_name;
+      algo = "serve-throughput";
+      seeds;
+      mean_cost =
+        (if !served = 0 then nan else !cost /. float_of_int !served);
+      mean_wall_s =
+        (if !served = 0 then nan else total_wall /. float_of_int !served);
+      p95_wall_s = pct 95.0;
+    };
+    {
+      topology = topo_name;
+      algo = "serve-throughput-p99";
+      seeds;
+      mean_cost = float_of_int !served;
+      mean_wall_s = pct 99.0;
+      p95_wall_s = pct 95.0;
+    };
+  ]
+
 let json_of_rows rows =
   Json.Obj
     [
@@ -366,11 +448,14 @@ let run ~quick ~seeds =
         (* gate only the cheap SoftLayer stream and LP rows; the
            cross-topology comparison lives in the [stream] experiment, and
            Cogent-scale LPs stall the masters (bench/lp_bench.ml) *)
-        if tname = "softlayer" then
-          measure_stream ~seeds tname topo workload
-          @ measure_serve ~seeds tname topo workload
-          @ measure_lp ~seeds tname topo
-        else [])
+        (if tname = "softlayer" then
+           measure_stream ~seeds tname topo workload
+           @ measure_serve ~seeds tname topo workload
+           @ measure_lp ~seeds tname topo
+         else [])
+        (* batched-engine throughput rows run on both topologies: the
+           engine must stay deterministic (and fast) at Cogent scale too *)
+        @ measure_throughput ~seeds tname topo workload)
       topologies
   in
   let t =

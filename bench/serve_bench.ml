@@ -180,6 +180,63 @@ let run ~quick ~seeds =
   Common.note
     "tight deadlines degrade to the eST floor instead of missing; shedding \
      only fires under the flash crowd's bounded queue";
+  (* --- batched engine vs sequential server: identity + throughput ------ *)
+  let module Engine = Sof_serve.Engine in
+  let relaxed = List.assoc "relaxed" (scenarios ~quick workload) in
+  let scripts =
+    List.init seeds (fun seed ->
+        Stream.script
+          ~rng:(Rng.create (0xBE5C + (seed * 7919)))
+          ~n_access relaxed.Serve.stream)
+  in
+  let time_run f =
+    let t0 = Unix.gettimeofday () in
+    let rs = List.map f scripts in
+    (rs, Unix.gettimeofday () -. t0)
+  in
+  let seq_rs, seq_wall = time_run (fun ev -> Serve.run_script topo relaxed ev) in
+  let engine = { Engine.shards = 0; batch_size = 8 } in
+  let bat_rs, bat_wall =
+    time_run (fun ev -> Engine.run_script ~engine topo relaxed ev)
+  in
+  let served rs = List.fold_left (fun acc r -> acc + r.Serve.served) 0 rs in
+  let mismatches =
+    List.fold_left2
+      (fun acc a b ->
+        match Engine.report_diff a b with
+        | None -> acc
+        | Some d ->
+            if acc = 0 then Common.note "engine mismatch: %s" d;
+            acc + 1)
+      0 seq_rs bat_rs
+  in
+  let tput n w = if w <= 0.0 then 0.0 else float_of_int n /. w in
+  Common.note
+    "engine identity on the relaxed scenario: %s (%d scripts); sequential %d \
+     served in %.2f s (%.1f req/s), batched %.2f s (%.1f req/s)"
+    (if mismatches = 0 then "bit-identical" else
+       Printf.sprintf "%d MISMATCHES" mismatches)
+    seeds (served seq_rs) seq_wall
+    (tput (served seq_rs) seq_wall)
+    bat_wall
+    (tput (served bat_rs) bat_wall);
+  let engine_rows =
+    List.map
+      (fun (name, rs, wall) ->
+        Json.Obj
+          [
+            ("scenario", Json.Str name);
+            ("served", Json.Num (float_of_int (served rs)));
+            ("wall_s", Json.Num wall);
+            ("req_per_s", Json.Num (tput (served rs) wall));
+            ("identical", Json.Bool (mismatches = 0));
+          ])
+      [
+        ("engine-sequential", seq_rs, seq_wall);
+        ("engine-batched", bat_rs, bat_wall);
+      ]
+  in
+  let rows = rows @ engine_rows in
   match !Common.json_dir with
   | None -> ()
   | Some dir ->

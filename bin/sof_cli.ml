@@ -878,9 +878,33 @@ let serve_cmd =
             "Do not serve: replay the --journal file, report the recovered \
              state and check the recovery invariant.")
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (self_enum [ "sequential"; "batched" ]) "sequential"
+      & info [ "engine" ]
+          ~doc:
+            "Solve engine: sequential (one request at a time) or batched \
+             (shard the stream across the domain pool; bit-identical under \
+             a 0 or infinite deadline).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~doc:
+            "Shard count for --engine batched; 0 uses the pool size \
+             (--domains).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch-size" ]
+          ~doc:"Requests coalesced per dispatch for --engine batched.")
+  in
   let run topology seed deadline_ms grace_ms queue policy ladder process rate
       mean_hold horizon max_util service_time queue_deadline journal recover
-      domains =
+      engine shards batch_size domains =
     set_domains domains;
     let topo = topology_of_name ~seed topology in
     let workload =
@@ -959,7 +983,13 @@ let serve_cmd =
         Fun.protect
           ~finally:(fun () -> Option.iter Journal.close_writer writer)
           (fun () ->
-            Serve.run ?journal:writer ~rng:(Sof_util.Rng.create seed) topo cfg)
+            let rng = Sof_util.Rng.create seed in
+            match engine with
+            | "batched" ->
+                Sof_serve.Engine.run ?journal:writer
+                  ~engine:{ Sof_serve.Engine.shards; batch_size }
+                  ~rng topo cfg
+            | _ -> Serve.run ?journal:writer ~rng topo cfg)
       in
       let t =
         Sof_util.Tbl.create
@@ -1006,7 +1036,8 @@ let serve_cmd =
       const run $ topology_arg $ seed_arg $ deadline_arg $ grace_arg
       $ queue_arg $ policy_arg $ ladder_arg $ process_arg $ rate_arg
       $ hold_arg $ horizon_arg $ util_arg $ service_arg $ qdeadline_arg
-      $ journal_arg $ recover_arg $ domains_arg)
+      $ journal_arg $ recover_arg $ engine_arg $ shards_arg $ batch_arg
+      $ domains_arg)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -31,10 +31,31 @@ type t = {
 
 module Cache = struct
   type entry = { cgraph : Graph.t; table : (int, run) Hashtbl.t }
-  type cache = { clock : Mutex.t; mutable entries : entry list }
+
+  type cache = {
+    clock : Mutex.t;
+    mutable entries : entry list;
+    frozen : bool;
+        (* A frozen cache is a read-only snapshot: its tables are never
+           mutated again, so lookups need no lock and are safe from any
+           domain.  The run records themselves stay shared with the base
+           cache — settled labels are final and resumption synchronizes
+           on the per-run lock, so sharing is still deterministic. *)
+  }
+
   type t = cache
 
-  let create () = { clock = Mutex.create (); entries = [] }
+  let create () = { clock = Mutex.create (); entries = []; frozen = false }
+
+  let snapshot c =
+    Mutex.lock c.clock;
+    let entries =
+      List.map
+        (fun e -> { e with table = Hashtbl.copy e.table })
+        c.entries
+    in
+    Mutex.unlock c.clock;
+    { clock = Mutex.create (); entries; frozen = true }
 end
 
 let fresh_run v = { root = v; rlock = Mutex.create (); rstate = None }
@@ -44,6 +65,29 @@ let fresh_run v = { root = v; rlock = Mutex.create (); rstate = None }
    around, and value-equal but distinct graphs must not share runs (their
    states embed the graph they were started on). *)
 let runs_of_cache (cache : Cache.t) g terminals =
+  if cache.Cache.frozen then begin
+    (* Snapshot path: lock-free lookups (the tables are immutable), and
+       misses get private unregistered runs so concurrent readers never
+       mutate shared structure. *)
+    let table =
+      List.find_opt (fun e -> e.Cache.cgraph == g) cache.Cache.entries
+      |> Option.map (fun e -> e.Cache.table)
+    in
+    let reused = ref 0 in
+    let runs =
+      Array.map
+        (fun v ->
+          match Option.bind table (fun t -> Hashtbl.find_opt t v) with
+          | Some r ->
+              incr reused;
+              r
+          | None -> fresh_run v)
+        terminals
+    in
+    if !reused > 0 then Obs.count "metric.closure_reuse" !reused;
+    runs
+  end
+  else begin
   Mutex.lock cache.Cache.clock;
   let table =
     match
@@ -73,6 +117,7 @@ let runs_of_cache (cache : Cache.t) g terminals =
   Mutex.unlock cache.Cache.clock;
   if !reused > 0 then Obs.count "metric.closure_reuse" !reused;
   runs
+  end
 
 let closure ?cache ?(local = false) g terminals =
   if local && cache <> None then

@@ -26,6 +26,16 @@ module Cache : sig
   type t
 
   val create : unit -> t
+
+  val snapshot : t -> t
+  (** [snapshot c] — a read-only snapshot of [c], safe for concurrent
+      readers on multiple domains.  Lookups against the snapshot are
+      lock-free and never register new runs (misses fall back to private
+      runs), while hits share the base cache's run records — settled
+      labels are final and resumption still synchronizes per run, so
+      results stay bit-identical to the base cache.  Closures built from
+      the snapshot accrue [metric.closure_reuse] as usual.  Later
+      additions to [c] are not visible through the snapshot. *)
 end
 
 val closure : ?cache:Cache.t -> ?local:bool -> Graph.t -> int array -> t

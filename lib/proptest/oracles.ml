@@ -1097,6 +1097,96 @@ let journal_replay =
     (Prop.make ~shrink:serve_shrink ~print:serve_print ~name:"journal-replay"
        ~gen:serve_gen journal_replay_law)
 
+(* --- 14. batched engine identity --------------------------------------- *)
+
+module Engine = Sof_serve.Engine
+
+type engine_case = {
+  eng_seed : int;
+  eng_shards : int;  (** 0 = pool size *)
+  eng_batch : int;
+  eng_zero : bool;  (** deadline 0 (true) vs infinity (false) *)
+  eng_ecut : int;  (** event-script truncation point (mod #events + 1) *)
+}
+
+let engine_gen rng =
+  {
+    eng_seed = Rng.int rng 100_000;
+    eng_shards = [| 0; 1; 2; 4 |].(Rng.int rng 4);
+    eng_batch = 1 + Rng.int rng 5;
+    eng_zero = Rng.int rng 2 = 1;
+    eng_ecut = Rng.int rng 1_000;
+  }
+
+let engine_print c =
+  Printf.sprintf "seed = %d; shards = %d; batch = %d; deadline = %s; ecut = %d"
+    c.eng_seed c.eng_shards c.eng_batch
+    (if c.eng_zero then "0" else "inf")
+    c.eng_ecut
+
+(* Shrink toward the sequential-looking corner first (1 shard, then
+   batch 1, then the full script) so counterexamples separate sharding
+   bugs from batching bugs. *)
+let engine_shrink c =
+  List.to_seq
+    (List.concat
+       [
+         (if c.eng_shards <> 1 then [ { c with eng_shards = 1 } ] else []);
+         (if c.eng_batch > 1 then [ { c with eng_batch = 1 } ] else []);
+         (if c.eng_ecut > 0 then [ { c with eng_ecut = c.eng_ecut - 1 } ]
+          else []);
+       ])
+
+(* The serve-case backpressure gauntlet, in both machine-deterministic
+   regimes (deadline 0: budgets expired from birth; infinity: no
+   budgets).  The LP rung joins the ladder on every fifth seed, but only
+   in the deadline-0 regime: its expired slice makes the attempt cheap
+   and pure while still exercising the engine's LP memoization and the
+   breaker-open routing (every LP attempt fails, so the breaker trips
+   and later requests probe it) — unbudgeted LP on these augmented
+   instances is far too slow for a 100-case oracle. *)
+let engine_case_cfg c =
+  let base =
+    serve_case_cfg { srv_seed = c.eng_seed; srv_ecut = 0; srv_rcut = 0 }
+  in
+  {
+    base with
+    Serve.deadline_ms = (if c.eng_zero then 0.0 else infinity);
+    ladder =
+      (if c.eng_zero && c.eng_seed mod 5 = 0 then [ Serve.Lp; Serve.Sofda ]
+       else [ Serve.Sofda ]);
+  }
+
+(* The tentpole law: the batched engine is bit-identical to the
+   sequential server on the same script for any shard count and batch
+   size — same responses, journal records, ledger bits, and live
+   deployments (wall-clock fields excluded; they differ between any two
+   runs). *)
+let engine_identity_law c =
+  let topo = Sof_topology.Topology.testbed () in
+  let cfg = engine_case_cfg c in
+  let _, _, n_access = Online.augment topo cfg.Serve.stream.Stream.workload in
+  let events =
+    Stream.script ~rng:(Rng.create c.eng_seed) ~n_access cfg.Serve.stream
+  in
+  let events = firstn (c.eng_ecut mod (List.length events + 1)) events in
+  let seq = Serve.run_script topo cfg events in
+  let bat =
+    Engine.run_script
+      ~engine:{ Engine.shards = c.eng_shards; batch_size = c.eng_batch }
+      topo cfg events
+  in
+  match Engine.report_diff seq bat with
+  | None -> Ok ()
+  | Some d ->
+      errf "batched (%d shards, batch %d) diverges from sequential: %s"
+        c.eng_shards c.eng_batch d
+
+let engine_identity =
+  Prop.Packed
+    (Prop.make ~shrink:engine_shrink ~print:engine_print
+       ~name:"engine-identity" ~gen:engine_gen engine_identity_law)
+
 (* --- deliberate demo failure ------------------------------------------ *)
 
 let demo_dest_budget_prop =
@@ -1129,6 +1219,7 @@ let all =
        time in check without losing the multi-seed coverage *)
     (rounding_validity, 100);
     (journal_replay, 100);
+    (engine_identity, 100);
   ]
 
 let names () =

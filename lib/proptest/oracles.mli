@@ -107,6 +107,15 @@ val journal_replay : Prop.packed
     {!Sof_serve.Serve.recovery_invariant} (fresh recharge of the
     recovered forests lands on the replayed ledger's exact bits). *)
 
+val engine_identity : Prop.packed
+(** The batched serving engine ({!Sof_serve.Engine}) against the
+    sequential server on the same seeded script, in both
+    machine-deterministic regimes (deadline 0 and infinity), across
+    shard counts 0/1/2/4 and batch sizes 1–5: the deterministic report
+    surfaces — responses, journal records, final ledger bits, live
+    deployments, every counter except wall-clock-derived ones — must be
+    identical ({!Sof_serve.Engine.report_diff}). *)
+
 val all : (Prop.packed * int) list
 (** The suite with each property's default case count for one [sof fuzz]
     round (the ILP oracle runs fewer cases per round than the cheap

@@ -1,0 +1,332 @@
+module Metric = Sof_graph.Metric
+module Pool = Sof_util.Pool
+module Timer = Sof_util.Timer
+module Stream = Sof_workload.Stream
+module Online = Sof_workload.Online
+module Obs = Sof_obs.Obs
+module I = Serve.Internal
+
+(* Batched multi-domain solve engine.
+
+   The sequential server interleaves scheduling and solving: one request
+   is solved to completion before the next queue decision.  The engine
+   exploits a structural fact of {!Serve.run_core} — the schedule (which
+   requests are served or shed, and at what virtual time) is a pure
+   function of the script and config, solver outcomes never feed back
+   into it — to split the run into three passes:
+
+   1. {e discover}: replay the event loop with no-op solvers (quiet, no
+      journal) and record the served requests in decision order;
+   2. {e speculate}: shard those requests by id across the {!Pool}
+      domains through a persistent shard queue, coalescing up to
+      [batch_size] requests per dispatch, and run each request's full
+      ladder against a read-only {!Metric.Cache.snapshot} pre-settled
+      for the run's terminals, memoizing every rung outcome;
+   3. {e serve}: run the authoritative event loop (journal, breakers,
+      ledger, observability) with a [make_attempt] that blocks on the
+      request's memo slot and replays the recorded rung outcomes.
+
+   Determinism: in the machine-deterministic regimes ([deadline_ms = 0]
+   — budgets expired from birth — or [infinity] — no budgets) each rung
+   is a pure function of the problem, so the memoized outcome equals
+   what the live solver would have produced and pass 3 is bit-identical
+   to the sequential engine for any shard count or batch size (the
+   [engine-identity] proptest oracle pins this).  Under a finite nonzero
+   deadline the engine keeps the schedule and the WAL contract but
+   speculates with uncapped slices, which can only improve solution
+   quality — same as two sequential runs differing in machine speed.
+
+   A rung the speculation did not reach (a breaker skip in pass 2 never
+   happens — speculation ignores breakers — but pass 3's breakers may
+   route around a memoized rung and then probe it later) falls back to
+   an inline solve against the same snapshot, counted on
+   [engine.inline_solves]. *)
+
+type config = { shards : int; batch_size : int }
+
+let default_config = { shards = 0; batch_size = 8 }
+
+let validate_engine e =
+  if e.shards < 0 then invalid_arg "Engine: shards must be >= 0 (0 = pool size)";
+  if e.batch_size < 1 then invalid_arg "Engine: batch_size must be >= 1"
+
+(* --- batch former ------------------------------------------------------- *)
+
+(* Pure and order-deterministic: requests keep their relative order
+   within a shard (fixed assignment via [shard_of]), each shard's stream
+   is cut into chunks of at most [batch_size], and dispatch order
+   round-robins across shards so every domain starts working on its
+   first batch before any shard's second batch is queued. *)
+let form_batches ~shards ~batch_size ~shard_of xs =
+  if shards < 1 then invalid_arg "Engine.form_batches: shards must be >= 1";
+  if batch_size < 1 then
+    invalid_arg "Engine.form_batches: batch_size must be >= 1";
+  let per_shard = Array.make shards [] in
+  Array.iter
+    (fun x ->
+      let s = shard_of x in
+      if s < 0 || s >= shards then
+        invalid_arg "Engine.form_batches: shard_of out of range";
+      per_shard.(s) <- x :: per_shard.(s))
+    xs;
+  let chunks_of l =
+    let rec go acc cur n = function
+      | [] ->
+          let acc =
+            if cur = [] then acc else Array.of_list (List.rev cur) :: acc
+          in
+          Array.of_list (List.rev acc)
+      | x :: rest ->
+          if n = batch_size then go (Array.of_list (List.rev cur) :: acc) [ x ] 1 rest
+          else go acc (x :: cur) (n + 1) rest
+    in
+    go [] [] 0 l
+  in
+  let per_shard = Array.map (fun l -> chunks_of (List.rev l)) per_shard in
+  let out = ref [] in
+  let round = ref 0 in
+  let more = ref true in
+  while !more do
+    more := false;
+    Array.iteri
+      (fun s chunks ->
+        if !round < Array.length chunks then begin
+          out := (s, chunks.(!round)) :: !out;
+          more := true
+        end)
+      per_shard;
+    incr round
+  done;
+  List.rev !out
+
+(* --- speculative solve results ------------------------------------------ *)
+
+type precomp = {
+  mutable outcomes : (Serve.family * (Sof.Forest.t option * bool)) list;
+  mutable wall_s : float;  (* solver seconds spent on this request *)
+}
+
+type slot =
+  | Pending
+  | Ready of precomp
+  | Failed of exn * Printexc.raw_backtrace
+
+(* --- the engine --------------------------------------------------------- *)
+
+let run_script ?journal ?(engine = default_config) topo cfg events =
+  validate_engine engine;
+  let shards = if engine.shards = 0 then Pool.size () else engine.shards in
+  Obs.set_gauge "engine.shards" (float_of_int shards);
+  (* pass 1: discover the served-request schedule on a throwaway replica *)
+  let order_rev = ref [] in
+  let seen = Hashtbl.create 64 in
+  ignore
+    (I.run_core ~quiet:true
+       ~make_attempt:(fun _ (r : Stream.request) ->
+         if not (Hashtbl.mem seen r.Stream.id) then begin
+           Hashtbl.add seen r.Stream.id ();
+           order_rev := r :: !order_rev
+         end;
+         fun ~slice:_ _ -> (None, false))
+       topo cfg events);
+  let order = Array.of_list (List.rev !order_rev) in
+  (* pass 2: warm a shared closure cache for the whole stream's terminal
+     set, snapshot it read-only, and fan the ladder solves out over the
+     pool in shard-local batches *)
+  let inst = I.instance topo cfg in
+  let snap =
+    let base = Metric.Cache.create () in
+    if Array.length order > 0 then begin
+      let warm =
+        List.sort_uniq Int.compare
+          (Array.fold_left
+             (fun acc (r : Stream.request) ->
+               r.Stream.sources @ r.Stream.dests @ acc)
+             (I.instance_vms inst) order)
+      in
+      ignore
+        (Metric.closure ~cache:base (I.instance_graph inst)
+           (Array.of_list warm))
+    end;
+    Metric.Cache.snapshot base
+  in
+  let maxid =
+    Array.fold_left (fun m (r : Stream.request) -> max m r.Stream.id) (-1) order
+  in
+  let slots = Array.make (maxid + 1) Pending in
+  let smutex = Mutex.create () in
+  let scond = Condition.create () in
+  let set_slot id v =
+    Mutex.lock smutex;
+    slots.(id) <- v;
+    Condition.broadcast scond;
+    Mutex.unlock smutex
+  in
+  let ladder = I.normalize_ladder cfg.Serve.ladder in
+  let speculate (r : Stream.request) =
+    let p =
+      I.mk_problem inst ~sources:r.Stream.sources ~dests:r.Stream.dests
+    in
+    let real = I.real_attempt snap p in
+    let pre = { outcomes = []; wall_s = 0.0 } in
+    let t0 = Timer.now_ns () in
+    let attempt ~slice fam =
+      let res = real ~slice fam in
+      pre.outcomes <- (fam, res) :: pre.outcomes;
+      res
+    in
+    ignore
+      (I.ladder_walk
+         ~allow:(fun _ -> true)
+         ~record:(fun _ ~ok:_ -> ())
+         ~ladder ~deadline_ms:cfg.Serve.deadline_ms ~attempt);
+    pre.wall_s <- float_of_int (Timer.now_ns () - t0) *. 1e-9;
+    set_slot r.Stream.id (Ready pre)
+  in
+  let sq = Pool.shard_queue ~shards in
+  (* best-effort close: a speculative failure already re-raises through
+     the muxer's [Failed] slot, and close's own drain would re-raise the
+     same exception inside [finally], masking the original *)
+  Fun.protect ~finally:(fun () -> try Pool.shard_close sq with _ -> ())
+  @@ fun () ->
+  List.iter
+    (fun (shard, batch) ->
+      Obs.count "engine.batches" 1;
+      let submitted_ns = Timer.now_ns () in
+      Pool.shard_submit sq ~shard (fun () ->
+          Obs.record "engine.shard_queue_wait"
+            (float_of_int (Timer.now_ns () - submitted_ns) *. 1e-9);
+          (* a crash mid-batch must not strand the muxer: mark every slot
+             of the batch Failed past the point of the exception *)
+          try Array.iter speculate batch
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Array.iter
+              (fun (r : Stream.request) ->
+                match slots.(r.Stream.id) with
+                | Pending -> set_slot r.Stream.id (Failed (e, bt))
+                | Ready _ | Failed _ -> ())
+              batch;
+            Printexc.raise_with_backtrace e bt))
+    (form_batches ~shards ~batch_size:engine.batch_size
+       ~shard_of:(fun (r : Stream.request) -> r.Stream.id mod shards)
+       order);
+  (* pass 3: the authoritative loop starts immediately — it blocks per
+     request on the memo slot, so journal records land as soon as the
+     first speculative solves do (pipelining, not a barrier) *)
+  let wait_slot id =
+    Mutex.lock smutex;
+    let rec loop () =
+      match slots.(id) with
+      | Ready pre ->
+          Mutex.unlock smutex;
+          pre
+      | Failed (e, bt) ->
+          Mutex.unlock smutex;
+          Printexc.raise_with_backtrace e bt
+      | Pending ->
+          Condition.wait scond smutex;
+          loop ()
+    in
+    loop ()
+  in
+  let make_attempt eng_inst (r : Stream.request) =
+    let pre =
+      if r.Stream.id >= 0 && r.Stream.id <= maxid then wait_slot r.Stream.id
+      else { outcomes = []; wall_s = 0.0 }
+      (* unseen id: impossible for matching events, but degrade safely *)
+    in
+    let real =
+      lazy
+        (I.real_attempt snap
+           (I.mk_problem eng_inst ~sources:r.Stream.sources
+              ~dests:r.Stream.dests))
+    in
+    fun ~slice fam ->
+      match List.assoc_opt fam pre.outcomes with
+      | Some res -> res
+      | None ->
+          (* breaker routing in pass 3 reached a rung the speculation
+             stopped short of; solve it inline on the same snapshot *)
+          Obs.count "engine.inline_solves" 1;
+          let t0 = Timer.now_ns () in
+          let res = (Lazy.force real) ~slice fam in
+          pre.wall_s <-
+            pre.wall_s +. (float_of_int (Timer.now_ns () - t0) *. 1e-9);
+          pre.outcomes <- (fam, res) :: pre.outcomes;
+          res
+  in
+  let wall_of ~id ~measured_s =
+    if id >= 0 && id <= maxid then
+      match slots.(id) with Ready pre -> pre.wall_s | _ -> measured_s
+    else measured_s
+  in
+  let report = I.run_core ?journal ~make_attempt ~wall_of topo cfg events in
+  Pool.shard_drain sq;
+  report
+
+let run ?journal ?engine ~rng topo cfg =
+  let _, _, n_access = Online.augment topo cfg.Serve.stream.Stream.workload in
+  let events = Stream.script ~rng ~n_access cfg.Serve.stream in
+  run_script ?journal ?engine topo cfg events
+
+(* --- report comparison -------------------------------------------------- *)
+
+(* Equality of the deterministic surface of two reports.  Wall-clock
+   fields ([wall_s], latency percentiles, [deadline_miss]) are excluded:
+   they differ between any two runs, sequential or batched. *)
+let report_diff (a : Serve.report) (b : Serve.report) =
+  let open Serve in
+  let scalar name va vb =
+    if va <> vb then Some (Printf.sprintf "%s: %d vs %d" name va vb) else None
+  in
+  let first l = List.find_map (fun f -> f ()) l in
+  let response_eq (x : response) (y : response) =
+    x.id = y.id && x.arrival = y.arrival && x.start = y.start
+    && x.retries = y.retries && x.status = y.status
+  in
+  first
+    [
+      (fun () -> scalar "arrivals" a.arrivals b.arrivals);
+      (fun () -> scalar "served" a.served b.served);
+      (fun () -> scalar "rejected" a.rejected b.rejected);
+      (fun () -> scalar "shed_queue_full" a.shed_queue_full b.shed_queue_full);
+      (fun () -> scalar "shed_expired" a.shed_expired b.shed_expired);
+      (fun () -> scalar "shed_fault" a.shed_fault b.shed_fault);
+      (fun () -> scalar "degraded" a.degraded b.degraded);
+      (fun () -> scalar "breaker_opens" a.breaker_opens b.breaker_opens);
+      (fun () -> scalar "breaker_skips" a.breaker_skips b.breaker_skips);
+      (fun () -> scalar "retries" a.retries b.retries);
+      (fun () -> scalar "queue_peak" a.queue_peak b.queue_peak);
+      (fun () ->
+        if
+          Int64.bits_of_float a.served_cost_total
+          <> Int64.bits_of_float b.served_cost_total
+        then
+          Some
+            (Printf.sprintf "served_cost_total: %.17g vs %.17g"
+               a.served_cost_total b.served_cost_total)
+        else None);
+      (fun () ->
+        if List.length a.responses <> List.length b.responses then
+          Some
+            (Printf.sprintf "response count: %d vs %d"
+               (List.length a.responses) (List.length b.responses))
+        else
+          List.find_map
+            (fun ((x : response), (y : response)) ->
+              if response_eq x y then None
+              else Some (Printf.sprintf "response %d differs" x.id))
+            (List.combine a.responses b.responses));
+      (fun () ->
+        if a.records <> b.records then Some "journal records differ" else None);
+      (fun () -> ledger_diff a.final_ledger b.final_ledger);
+      (fun () ->
+        if
+          List.length a.live = List.length b.live
+          && List.for_all2
+               (fun (i, f) (j, g) -> i = j && forest_equal f g)
+               a.live b.live
+        then None
+        else Some "live deployments differ");
+    ]

@@ -1,0 +1,82 @@
+(** Batched multi-domain solve engine for the serving layer.
+
+    Shards the served-request stream across the {!Sof_util.Pool} domains
+    and solves the degradation ladder speculatively in batches, then
+    replays the authoritative event loop against the memoized outcomes.
+    Three passes:
+
+    + {e discover} — run the event loop with no-op solvers to learn
+      which requests get served, in decision order.  Valid because the
+      schedule of {!Serve.run_script} is a pure function of the script
+      and config: solver outcomes never feed back into queueing, retry
+      draws, or server occupancy.
+    + {e speculate} — fixed shard assignment by request id
+      ([id mod shards]), per-shard FIFO queues on the pool, up to
+      [batch_size] requests coalesced per dispatch.  Every shard solves
+      against a shared read-only {!Sof_graph.Metric.Cache.snapshot}
+      pre-settled with the whole stream's terminals, so closure reuse
+      accrues across the run while each request keeps its own Dijkstra
+      resumptions synchronized per run.
+    + {e serve} — the unmodified event loop (journal WAL, breakers,
+      ledger, observability) consumes the memos through a result mux
+      that blocks per request, pipelined with pass 2.
+
+    {b Determinism.}  In the machine-deterministic regimes
+    ([deadline_ms] of [0] or [infinity]) the result is bit-identical to
+    the sequential {!Serve.run_script} for {e any} shard count and batch
+    size — pinned by the [engine-identity] proptest oracle.  Under a
+    finite nonzero deadline the schedule and WAL contract still hold
+    exactly; only solution quality may differ, as it already does
+    between two sequential runs on machines of different speed.
+
+    Observability: [engine.batches], [engine.shard_queue_wait] (seconds
+    between batch submission and dispatch), [engine.inline_solves]
+    (rungs the speculation did not reach), [engine.shards]. *)
+
+type config = {
+  shards : int;      (** shard count; [0] means {!Sof_util.Pool.size} *)
+  batch_size : int;  (** max requests coalesced per dispatch ([>= 1]) *)
+}
+
+val default_config : config
+(** [{ shards = 0; batch_size = 8 }]. *)
+
+val run_script :
+  ?journal:Journal.writer ->
+  ?engine:config ->
+  Sof_topology.Topology.t ->
+  Serve.config ->
+  Sof_workload.Stream.event list ->
+  Serve.report
+(** Batched counterpart of {!Serve.run_script}; same WAL contract (every
+    admit/commit/depart record is flushed before the state change).
+    @raise Invalid_argument on a malformed serve or engine config. *)
+
+val run :
+  ?journal:Journal.writer ->
+  ?engine:config ->
+  rng:Sof_util.Rng.t ->
+  Sof_topology.Topology.t ->
+  Serve.config ->
+  Serve.report
+(** {!Sof_workload.Stream.script} + {!run_script}. *)
+
+val form_batches :
+  shards:int ->
+  batch_size:int ->
+  shard_of:('a -> int) ->
+  'a array ->
+  (int * 'a array) list
+(** The batch former, exposed for tests.  Splits [xs] into per-shard
+    streams by [shard_of] (preserving relative order), cuts each stream
+    into chunks of at most [batch_size], and returns [(shard, batch)]
+    dispatches round-robined across shards.
+    @raise Invalid_argument on non-positive [shards]/[batch_size] or an
+    out-of-range [shard_of] result. *)
+
+val report_diff : Serve.report -> Serve.report -> string option
+(** First difference between the deterministic surfaces of two reports
+    ([None] when identical): scalar counters, responses (minus wall
+    clock), journal records, final ledger bits, live deployments.
+    Wall-clock-derived fields ([wall_s], latency percentiles,
+    [deadline_miss]) are excluded — they differ between any two runs. *)

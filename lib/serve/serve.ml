@@ -197,10 +197,16 @@ let mk_problem inst ~sources ~dests =
 
 (* --- degradation ladder ------------------------------------------------ *)
 
-(* One rung: [(forest, clean)] where [clean] means the family finished
-   its work without its slice expiring — a partial (anytime) result still
-   enters the candidate pool, it just doesn't stop the fallthrough. *)
-let attempt cache fam ~budget p =
+(* One rung as a function of its budget slice: [(forest, clean)] where
+   [clean] means the family finished its work without its slice expiring
+   — a partial (anytime) result still enters the candidate pool, it just
+   doesn't stop the fallthrough.  Abstracting the rung behind a function
+   is what lets the batched engine substitute memoized speculative
+   solves for live ones without touching the walk. *)
+type rung_attempt = slice:Budget.t option -> family -> Sof.Forest.t option * bool
+
+let real_attempt cache p ~slice fam =
+  let budget = slice in
   match fam with
   | Est -> (Sof_baselines.Baselines.est p, true)
   | Sofda ->
@@ -222,7 +228,10 @@ type ladder_outcome = {
   lad_skips : int;
 }
 
-let run_ladder cache breakers ~ladder ~deadline_ms p =
+(* Walk the ladder.  [allow]/[record] abstract the circuit breakers (the
+   authoritative pass wires in real breakers; speculative passes pass
+   always-allow no-ops), [attempt] abstracts the rung solver. *)
+let ladder_walk ~allow ~record ~ladder ~deadline_ms ~(attempt : rung_attempt) =
   let total =
     if Float.is_finite deadline_ms then Some (Budget.after_ms deadline_ms)
     else None
@@ -235,10 +244,8 @@ let run_ladder cache breakers ~ladder ~deadline_ms p =
     | [] -> ()
     | fam :: rest -> (
         let terminal = fam = Est in
-        if (not terminal) && not (Breaker.allow (List.assoc fam breakers))
-        then begin
+        if (not terminal) && not (allow fam) then begin
           incr skips;
-          Obs.count "serve.breaker_skips" 1;
           go rest
         end
         else begin
@@ -262,14 +269,13 @@ let run_ladder cache breakers ~ladder ~deadline_ms p =
                          (Timer.now_ns () + (rem / max 1 budgeted_left))
                        ())
           in
-          let forest, clean = attempt cache fam ~budget:slice p in
+          let forest, clean = attempt ~slice fam in
           (match forest with
           | Some f when Sof.Validate.is_valid f ->
               candidates := (fam, f) :: !candidates
           | _ -> ());
           let clean_done = clean && Option.is_some forest in
-          if not terminal then
-            Breaker.record (List.assoc fam breakers) ~ok:clean_done;
+          if not terminal then record fam ~ok:clean_done;
           if clean_done then begin
             if !first_clean = None then first_clean := Some fam
           end
@@ -296,7 +302,21 @@ let run_ladder cache breakers ~ladder ~deadline_ms p =
 
 (* --- the serving loop -------------------------------------------------- *)
 
-let run_script ?journal topo cfg events =
+(* The event loop, parameterized over the three seams the batched engine
+   needs:
+   - [quiet] suppresses every [Obs] emission (schedule-discovery passes
+     must not pollute live counters);
+   - [make_attempt] supplies the per-request rung solver (invoked before
+     the request's wall clock starts, so a blocking result fetch is not
+     billed to the request);
+   - [wall_of] maps the measured wall seconds of a request to the value
+     reported for it (the engine substitutes the speculative solve's
+     wall so latency quantiles describe real solver work).
+   Everything that decides *which* requests are served, shed, or retried
+   — queueing, backoff draws, [server_free_at] — is untouched by these
+   hooks: the schedule is a pure function of the script and config, which
+   is the keystone of the engine's bit-identity argument. *)
+let run_core ?journal ?(quiet = false) ?make_attempt ?wall_of topo cfg events =
   validate_config cfg;
   let inst = instance topo cfg in
   let w = inst.w in
@@ -306,6 +326,32 @@ let run_script ?journal topo cfg events =
     List.filter_map
       (fun f -> if f = Est then None else Some (f, Breaker.create cfg.breaker))
       ladder
+  in
+  let count name n = if not quiet then Obs.count name n in
+  let span name f = if quiet then f () else Obs.span name f in
+  let allow fam =
+    let ok = Breaker.allow (List.assoc fam breakers) in
+    if not ok then count "serve.breaker_skips" 1;
+    ok
+  in
+  let record fam ~ok = Breaker.record (List.assoc fam breakers) ~ok in
+  let attempt_of =
+    match make_attempt with
+    | Some f -> f inst
+    | None ->
+        fun (r : Stream.request) ->
+          (* lazily built so problem construction stays inside the
+             request's wall-clock window, as it always was *)
+          let p =
+            lazy
+              (mk_problem inst ~sources:r.Stream.sources ~dests:r.Stream.dests)
+          in
+          fun ~slice fam -> real_attempt cache (Lazy.force p) ~slice fam
+  in
+  let wall_of =
+    match wall_of with
+    | Some f -> f
+    | None -> fun ~id:_ ~measured_s -> measured_s
   in
   let rng_retry = Rng.create cfg.retry_seed in
   let live : (int, Sof.Forest.t * Stream.footprint) Hashtbl.t =
@@ -336,13 +382,13 @@ let run_script ?journal topo cfg events =
     (match reason with
     | Queue_full ->
         incr shed_queue_full;
-        Obs.count "serve.shed_queue_full" 1
+        count "serve.shed_queue_full" 1
     | Queue_expired ->
         incr shed_expired;
-        Obs.count "serve.shed_expired" 1
+        count "serve.shed_expired" 1
     | Fault_exhausted ->
         incr shed_fault;
-        Obs.count "serve.shed_fault" 1);
+        count "serve.shed_fault" 1);
     push
       {
         id = r.Stream.id;
@@ -398,25 +444,27 @@ let run_script ?journal topo cfg events =
         t := !t +. (cfg.retry_base *. (2.0 ** float_of_int !attempts) *. jf);
         incr attempts;
         incr retries_total;
-        Obs.count "serve.retries" 1
+        count "serve.retries" 1
       end
     done;
     if !exhausted then shed r ~at:!t ~retries:!attempts Fault_exhausted
     else begin
       let start = !t in
+      let attempt = attempt_of r in
       let wall0 = Timer.now_ns () in
       let out =
-        Obs.span "serve.request" (fun () ->
-            run_ladder cache breakers ~ladder ~deadline_ms:cfg.deadline_ms
-              (mk_problem inst ~sources:r.Stream.sources ~dests:r.Stream.dests))
+        span "serve.request" (fun () ->
+            ladder_walk ~allow ~record ~ladder ~deadline_ms:cfg.deadline_ms
+              ~attempt)
       in
-      let wall_s = float_of_int (Timer.now_ns () - wall0) *. 1e-9 in
-      Obs.record "serve.wall_s" wall_s;
+      let measured_s = float_of_int (Timer.now_ns () - wall0) *. 1e-9 in
+      let wall_s = wall_of ~id:r.Stream.id ~measured_s in
+      if not quiet then Obs.record "serve.wall_s" wall_s;
       breaker_skips := !breaker_skips + out.lad_skips;
       server_free_at := start +. cfg.service_time;
       let reject () =
         incr rejected;
-        Obs.count "serve.rejected" 1;
+        count "serve.rejected" 1;
         push
           {
             id = r.Stream.id;
@@ -454,15 +502,15 @@ let run_script ?journal topo cfg events =
             Stream.charge inst.ledger w ~sign:1.0 fp;
             Hashtbl.replace live r.Stream.id (f, fp);
             incr served;
-            Obs.count "serve.served" 1;
+            count "serve.served" 1;
             if out.lad_degraded then begin
               incr degraded;
-              Obs.count "serve.degraded" 1
+              count "serve.degraded" 1
             end;
             if Float.is_finite cfg.deadline_ms && wall_s > deadline_limit
             then begin
               incr deadline_miss;
-              Obs.count "serve.deadline_miss" 1
+              count "serve.deadline_miss" 1
             end;
             let cost = Sof.Forest.total_cost f in
             served_cost := !served_cost +. cost;
@@ -555,7 +603,7 @@ let run_script ?journal topo cfg events =
                 Hashtbl.remove live id)
       | Stream.Arrive r ->
           incr arrivals;
-          Obs.count "serve.arrivals" 1;
+          count "serve.arrivals" 1;
           journal_write
             (Journal.Admit
                {
@@ -603,6 +651,8 @@ let run_script ?journal topo cfg events =
     final_ledger = inst.ledger;
     live = live_list;
   }
+
+let run_script ?journal topo cfg events = run_core ?journal topo cfg events
 
 let run ?journal ~rng topo cfg =
   let _, _, n_access = Online.augment topo cfg.stream.Stream.workload in
@@ -711,3 +761,25 @@ let recovery_invariant topo cfg snap =
   match ledger_diff inst.ledger snap.ledger with
   | None -> Ok ()
   | Some d -> Error ("recovery invariant violated: " ^ d)
+
+(* --- engine seams ------------------------------------------------------- *)
+
+module Internal = struct
+  type nonrec instance = instance
+  type nonrec rung_attempt = rung_attempt
+
+  type nonrec ladder_outcome = ladder_outcome = {
+    winner : (family * Sof.Forest.t) option;
+    lad_degraded : bool;
+    lad_skips : int;
+  }
+
+  let instance = instance
+  let mk_problem = mk_problem
+  let instance_graph i = i.static_graph
+  let instance_vms i = i.vms
+  let real_attempt = real_attempt
+  let normalize_ladder = normalize_ladder
+  let ladder_walk = ladder_walk
+  let run_core = run_core
+end

@@ -204,3 +204,69 @@ val ledger_diff : Sof_cost.Ledger.t -> Sof_cost.Ledger.t -> string option
 
 val forest_equal : Sof.Forest.t -> Sof.Forest.t -> bool
 (** Structural equality of walks and delivery edges. *)
+
+(** {2 Engine seams}
+
+    The hooks {!Engine} builds on.  They expose the serving loop's three
+    substitution points — the static instance, the per-rung solver, and
+    the event loop itself — without widening the public serving API.
+    Outside [lib/serve] these are implementation details: prefer
+    {!run_script} / {!Engine.run_script}. *)
+module Internal : sig
+  type instance
+  (** The static pricing instance shared by every request of a run —
+      mirrors {!Sof_workload.Stream.run_script}'s setup byte for byte. *)
+
+  val instance : Sof_topology.Topology.t -> config -> instance
+  val instance_graph : instance -> Sof_graph.Graph.t
+  val instance_vms : instance -> int list
+
+  val mk_problem :
+    instance -> sources:int list -> dests:int list -> Sof.Problem.t
+
+  type rung_attempt =
+    slice:Sof_util.Budget.t option -> family -> Sof.Forest.t option * bool
+  (** One ladder rung as a function of its budget slice: [(forest,
+      clean)] where [clean] means the family finished without the slice
+      expiring. *)
+
+  val real_attempt : Sof_graph.Metric.Cache.t -> Sof.Problem.t -> rung_attempt
+  (** The live solver rung ([Est] / {!Sof.Sofda} / {!Sof.Lp_round}). *)
+
+  val normalize_ladder : family list -> family list
+  (** Drop [Est] from any earlier position and append it as terminal. *)
+
+  type ladder_outcome = {
+    winner : (family * Sof.Forest.t) option;
+        (** cheapest valid completion, earliest rung on ties *)
+    lad_degraded : bool;
+    lad_skips : int;
+  }
+
+  val ladder_walk :
+    allow:(family -> bool) ->
+    record:(family -> ok:bool -> unit) ->
+    ladder:family list ->
+    deadline_ms:float ->
+    attempt:rung_attempt ->
+    ladder_outcome
+  (** Walk a normalized ladder.  [allow]/[record] abstract the circuit
+      breakers; the terminal rung is never gated. *)
+
+  val run_core :
+    ?journal:Journal.writer ->
+    ?quiet:bool ->
+    ?make_attempt:(instance -> Sof_workload.Stream.request -> rung_attempt) ->
+    ?wall_of:(id:int -> measured_s:float -> float) ->
+    Sof_topology.Topology.t ->
+    config ->
+    Sof_workload.Stream.event list ->
+    report
+  (** The event loop behind {!run_script}, parameterized over the seams:
+      [quiet] suppresses all [Sof_obs] emissions, [make_attempt]
+      substitutes the per-request rung solver (invoked before the
+      request's wall clock starts), [wall_of] remaps the reported wall
+      seconds.  None of the hooks can influence {e which} requests are
+      served, shed, or retried — the schedule is a pure function of the
+      script and config. *)
+end

@@ -112,10 +112,24 @@ let requested : int option ref = ref None
 let current : pool option ref = ref None
 let current_size = ref 1
 
+(* Shard queues pin the pool for their whole lifetime (their pump tasks
+   live in the pool's queue), so the degree must not change while any are
+   live — see [set_size]. *)
+let live_shard_queues_ = ref 0
+
+let live_shard_queues () = !live_shard_queues_
+
 let size () =
   match !requested with Some n -> n | None -> default_size ()
 
-let set_size n = requested := Some (max 1 n)
+let set_size n =
+  if !live_shard_queues_ > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Pool.set_size: cannot change the parallelism degree while %d shard \
+          queue(s) are live — drain and close them first"
+         !live_shard_queues_);
+  requested := Some (max 1 n)
 
 let () =
   at_exit (fun () ->
@@ -232,3 +246,155 @@ let parallel_map f a = parallel_mapi (fun _ x -> f x) a
 
 let parallel_reduce ~combine ~init f a =
   Array.fold_left combine init (parallel_map f a)
+
+(* --- persistent shard queues ------------------------------------------ *)
+
+(* A shard queue is the long-lived counterpart of [run_region]: instead of
+   one bounded fan-out, the owner keeps submitting tasks keyed by a shard
+   index, and tasks within one shard run in submission order (each shard
+   has at most one pump active at a time).  Distinct shards run
+   concurrently on the pool workers.  The coordinator that created the
+   queue is the single owner: only it may submit, drain, or close.
+
+   When the pool is effectively sequential (degree 1, or the caller is
+   already inside a parallel region), tasks run inline at submission —
+   same ordering contract, no concurrency. *)
+
+type shard_state = {
+  tasks : (unit -> unit) Queue.t;
+  mutable pumping : bool; (* a pump for this shard is scheduled or running *)
+}
+
+type shard_queue = {
+  sq_pool : pool option; (* None = sequential fallback *)
+  sq_shards : shard_state array;
+  sq_mutex : Mutex.t;
+  sq_done : Condition.t;
+  mutable sq_outstanding : int; (* submitted but not yet executed *)
+  sq_error : (exn * Printexc.raw_backtrace) option Atomic.t;
+  mutable sq_closed : bool;
+}
+
+let shard_queue ~shards =
+  if shards < 1 then invalid_arg "Pool.shard_queue: shards must be >= 1";
+  let p = size () in
+  let sequential = p <= 1 || Domain.DLS.get in_parallel_region in
+  let sq =
+    {
+      sq_pool = (if sequential then None else Some (obtain p));
+      sq_shards =
+        Array.init shards (fun _ ->
+            { tasks = Queue.create (); pumping = false });
+      sq_mutex = Mutex.create ();
+      sq_done = Condition.create ();
+      sq_outstanding = 0;
+      sq_error = Atomic.make None;
+      sq_closed = false;
+    }
+  in
+  incr live_shard_queues_;
+  sq
+
+(* Run queued tasks of shard [i] until its queue is empty.  Every task
+   runs (errors are captured, not propagated, so the journal of work stays
+   complete); the first exception is re-raised at [shard_drain]. *)
+let rec pump_shard sq i =
+  let st = sq.sq_shards.(i) in
+  Mutex.lock sq.sq_mutex;
+  if Queue.is_empty st.tasks then begin
+    st.pumping <- false;
+    Mutex.unlock sq.sq_mutex
+  end
+  else begin
+    let task = Queue.pop st.tasks in
+    Mutex.unlock sq.sq_mutex;
+    (try task ()
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       ignore (Atomic.compare_and_set sq.sq_error None (Some (e, bt))));
+    Mutex.lock sq.sq_mutex;
+    sq.sq_outstanding <- sq.sq_outstanding - 1;
+    if sq.sq_outstanding = 0 then Condition.broadcast sq.sq_done;
+    Mutex.unlock sq.sq_mutex;
+    pump_shard sq i
+  end
+
+let shard_submit sq ~shard f =
+  if sq.sq_closed then invalid_arg "Pool.shard_submit: queue is closed";
+  if shard < 0 || shard >= Array.length sq.sq_shards then
+    invalid_arg "Pool.shard_submit: shard index out of range";
+  match sq.sq_pool with
+  | None ->
+      (* Sequential fallback: run inline, capturing errors with the same
+         drain-time contract as the parallel path. *)
+      (try f ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set sq.sq_error None (Some (e, bt))))
+  | Some pool ->
+      let st = sq.sq_shards.(shard) in
+      Mutex.lock sq.sq_mutex;
+      Queue.push f st.tasks;
+      sq.sq_outstanding <- sq.sq_outstanding + 1;
+      let need_pump = not st.pumping in
+      if need_pump then st.pumping <- true;
+      Mutex.unlock sq.sq_mutex;
+      if need_pump then begin
+        let enqueued_ns = Timer.now_ns () in
+        Mutex.lock pool.mutex;
+        Queue.push (enqueued_ns, fun () -> pump_shard sq shard) pool.queue;
+        Condition.signal pool.nonempty;
+        Mutex.unlock pool.mutex
+      end
+
+let shard_drain sq =
+  (match sq.sq_pool with
+  | None -> ()
+  | Some _pool ->
+      (* Help out: adopt any shard that has queued work but no active
+         pump, then block until the last outstanding task completes. *)
+      let was = Domain.DLS.get in_parallel_region in
+      Domain.DLS.set in_parallel_region true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_parallel_region was)
+        (fun () ->
+          let rec help () =
+            Mutex.lock sq.sq_mutex;
+            let found = ref None in
+            Array.iteri
+              (fun i st ->
+                if
+                  !found = None && (not st.pumping)
+                  && not (Queue.is_empty st.tasks)
+                then begin
+                  st.pumping <- true;
+                  found := Some i
+                end)
+              sq.sq_shards;
+            Mutex.unlock sq.sq_mutex;
+            match !found with
+            | Some i ->
+                pump_shard sq i;
+                help ()
+            | None -> ()
+          in
+          help ());
+      Mutex.lock sq.sq_mutex;
+      while sq.sq_outstanding > 0 do
+        Condition.wait sq.sq_done sq.sq_mutex
+      done;
+      Mutex.unlock sq.sq_mutex);
+  match Atomic.get sq.sq_error with
+  | Some (e, bt) ->
+      Atomic.set sq.sq_error None;
+      Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let shard_close sq =
+  if not sq.sq_closed then begin
+    Fun.protect
+      ~finally:(fun () ->
+        sq.sq_closed <- true;
+        decr live_shard_queues_)
+      (fun () -> shard_drain sq)
+  end

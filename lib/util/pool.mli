@@ -21,7 +21,12 @@ val size : unit -> int
 val set_size : int -> unit
 (** Override the parallelism degree ([n < 1] is clamped to [1]).  Takes
     effect on the next parallel call; an existing pool of a different size
-    is shut down and respawned. *)
+    is shut down and respawned.
+
+    @raise Invalid_argument if any {!shard_queue} is live — a shard
+    queue's pump tasks reside in the pool's work queue, so resizing
+    mid-stream would race them against a pool teardown.  Drain and close
+    every shard queue first. *)
 
 val default_size : unit -> int
 (** The degree used when {!set_size} was never called: [SOF_DOMAINS] if
@@ -43,6 +48,45 @@ val parallel_reduce :
 (** [parallel_reduce ~combine ~init f a] maps [f] in parallel, then folds
     [combine] over the results sequentially in ascending index order (so
     non-associative or floating-point reductions stay deterministic). *)
+
+(** {2 Persistent shard queues}
+
+    The long-lived counterpart of a parallel region: the owner keeps
+    submitting tasks keyed by a shard index, and the pool executes them
+    with two guarantees — tasks within one shard run in submission order
+    (at most one pump per shard is ever active), and distinct shards run
+    concurrently across the pool workers.
+
+    The coordinator that created the queue is the single owner: only it
+    may call {!shard_submit}, {!shard_drain}, or {!shard_close}.  With
+    degree [<= 1], or when created from inside a parallel region, tasks
+    run inline at submission under the same ordering contract. *)
+
+type shard_queue
+
+val shard_queue : shards:int -> shard_queue
+(** Create a shard queue with [shards] independent shards ([>= 1]).
+    Pins the pool degree: {!set_size} raises until the queue is closed. *)
+
+val shard_submit : shard_queue -> shard:int -> (unit -> unit) -> unit
+(** Enqueue a task on shard [shard] (owner only).  Returns immediately in
+    parallel mode; runs the task inline in sequential mode.  An exception
+    raised by a task is captured (every submitted task still runs) and
+    re-raised at the next {!shard_drain}, first one wins.
+    @raise Invalid_argument on a closed queue or out-of-range shard. *)
+
+val shard_drain : shard_queue -> unit
+(** Block until every submitted task has executed; the calling domain
+    helps pump idle shards while waiting.  Re-raises the first captured
+    task exception with its original backtrace, clearing it.  The queue
+    remains usable for further submissions. *)
+
+val shard_close : shard_queue -> unit
+(** Drain, then permanently close the queue and release the {!set_size}
+    pin.  Idempotent; subsequent submits raise [Invalid_argument]. *)
+
+val live_shard_queues : unit -> int
+(** Number of shard queues created and not yet closed. *)
 
 (** {2 Instrumentation probe}
 

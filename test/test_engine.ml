@@ -1,0 +1,254 @@
+(* The batched serving engine (Sof_serve.Engine): the batch former's
+   edge cases, shard/batch determinism against the sequential server,
+   and kill-9-mid-batch crash recovery through the shared WAL.
+
+   The determinism checks are the layer's whole contract: in the
+   machine-deterministic regimes (deadline 0 or infinity) the engine
+   must be bit-identical to [Serve.run_script] for any shard count and
+   batch size, so attaching the engine can never change what a
+   deployment commits. *)
+
+module Rng = Sof_util.Rng
+module Stream = Sof_workload.Stream
+module Online = Sof_workload.Online
+module Serve = Sof_serve.Serve
+module Engine = Sof_serve.Engine
+module Journal = Sof_serve.Journal
+
+(* --- shared fixtures (the serving-layer testbed workload) -------------- *)
+
+let testbed_workload =
+  {
+    Online.vms_per_dc = 2;
+    demand = 5.0;
+    link_capacity = 20.0;
+    vm_capacity = 3.0;
+    src_range = (2, 4);
+    dst_range = (3, 6);
+    chain_length = 2;
+  }
+
+let serve_config ?(deadline_ms = infinity) ?(ladder = [ Serve.Sofda ]) () =
+  {
+    Serve.default_config with
+    stream =
+      {
+        Stream.workload = testbed_workload;
+        process = Stream.Poisson { rate = 1.5 };
+        mean_hold = 2.5;
+        horizon = 6.0;
+        max_utilization = 0.6;
+      };
+    deadline_ms;
+    ladder;
+    queue_cap = 3;
+    policy = Serve.Reject_newest;
+    service_time = 0.3;
+    queue_deadline = 2.0;
+    retry_max = 2;
+    retry_base = 0.2;
+    retry_jitter = 0.5;
+    retry_seed = 40;
+  }
+
+let script ~seed cfg =
+  let topo = Sof_topology.Topology.testbed () in
+  let _, _, n_access = Online.augment topo cfg.Serve.stream.Stream.workload in
+  (topo, Stream.script ~rng:(Rng.create seed) ~n_access cfg.Serve.stream)
+
+(* --- batch former ------------------------------------------------------ *)
+
+let test_batches_empty () =
+  Alcotest.(check int)
+    "empty queue yields no dispatches" 0
+    (List.length
+       (Engine.form_batches ~shards:3 ~batch_size:4 ~shard_of:Fun.id [||]))
+
+let test_batches_single () =
+  match
+    Engine.form_batches ~shards:4 ~batch_size:8
+      ~shard_of:(fun x -> x mod 4)
+      [| 7 |]
+  with
+  | [ (shard, batch) ] ->
+      Alcotest.(check int) "single request lands on its shard" 3 shard;
+      Alcotest.(check (array int)) "batch is just the request" [| 7 |] batch
+  | ds -> Alcotest.failf "expected one dispatch, got %d" (List.length ds)
+
+let test_batches_oversized () =
+  (* batch size far larger than the queue: one dispatch takes everything *)
+  match
+    Engine.form_batches ~shards:1 ~batch_size:100
+      ~shard_of:(fun _ -> 0)
+      [| 1; 2; 3 |]
+  with
+  | [ (0, batch) ] ->
+      Alcotest.(check (array int)) "whole queue in one batch" [| 1; 2; 3 |]
+        batch
+  | _ -> Alcotest.fail "expected a single full dispatch"
+
+let test_batches_order_and_coverage () =
+  let shards = 3 and batch_size = 2 in
+  let xs = Array.init 11 Fun.id in
+  let dispatches =
+    Engine.form_batches ~shards ~batch_size ~shard_of:(fun x -> x mod shards) xs
+  in
+  List.iter
+    (fun (s, b) ->
+      Alcotest.(check bool)
+        "batch size within cap" true
+        (Array.length b >= 1 && Array.length b <= batch_size);
+      Array.iter
+        (fun x -> Alcotest.(check int) "request on its shard" s (x mod shards))
+        b)
+    dispatches;
+  (* concatenating a shard's batches reproduces its stream in submission
+     order, and the union covers every request exactly once *)
+  let per_shard = Array.make shards [] in
+  List.iter
+    (fun (s, b) -> per_shard.(s) <- per_shard.(s) @ Array.to_list b)
+    dispatches;
+  Array.iteri
+    (fun s got ->
+      let want =
+        List.filter (fun x -> x mod shards = s) (Array.to_list xs)
+      in
+      Alcotest.(check (list int)) "per-shard stream in order" want got)
+    per_shard
+
+let test_batches_invalid () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool)
+    "zero shards rejected" true
+    (raises (fun () ->
+         Engine.form_batches ~shards:0 ~batch_size:1
+           ~shard_of:(fun _ -> 0)
+           [| 1 |]));
+  Alcotest.(check bool)
+    "zero batch size rejected" true
+    (raises (fun () ->
+         Engine.form_batches ~shards:1 ~batch_size:0
+           ~shard_of:(fun _ -> 0)
+           [| 1 |]));
+  Alcotest.(check bool)
+    "out-of-range shard_of rejected" true
+    (raises (fun () ->
+         Engine.form_batches ~shards:2 ~batch_size:1
+           ~shard_of:(fun _ -> 5)
+           [| 1 |]))
+
+(* --- shard determinism against the sequential server ------------------- *)
+
+let check_identical ~what cfg ~seed =
+  let topo, events = script ~seed cfg in
+  let base = Serve.run_script topo cfg events in
+  List.iter
+    (fun (shards, batch_size) ->
+      let r =
+        Engine.run_script ~engine:{ Engine.shards; batch_size } topo cfg events
+      in
+      match Engine.report_diff base r with
+      | None -> ()
+      | Some d ->
+          Alcotest.failf "%s: shards=%d batch=%d differs: %s" what shards
+            batch_size d)
+    [ (1, 1); (2, 3); (4, 2) ];
+  base
+
+let test_engine_matches_sequential () =
+  let base = check_identical ~what:"deadline inf" (serve_config ()) ~seed:11 in
+  Alcotest.(check bool) "the run actually served" true (base.Serve.served > 0)
+
+let test_engine_deadline_zero () =
+  (* deadline 0: every budgeted rung abandons at entry and the
+     unbudgeted eST terminal serves — exercises the memoized-miss and
+     breaker paths with an LP rung on the ladder *)
+  let cfg =
+    serve_config ~deadline_ms:0.0 ~ladder:[ Serve.Lp; Serve.Sofda ] ()
+  in
+  let base = check_identical ~what:"deadline 0" cfg ~seed:23 in
+  Alcotest.(check int)
+    "every served request degraded to eST" base.Serve.served
+    base.Serve.degraded
+
+let test_engine_config_validation () =
+  let cfg = serve_config () in
+  let topo, events = script ~seed:11 cfg in
+  let raises engine =
+    try
+      ignore (Engine.run_script ~engine topo cfg events);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool)
+    "negative shards rejected" true
+    (raises { Engine.shards = -1; batch_size = 1 });
+  Alcotest.(check bool)
+    "zero batch size rejected" true
+    (raises { Engine.shards = 1; batch_size = 0 })
+
+(* --- kill -9 mid-batch: crash recovery through the WAL ------------------ *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "sof_engine_test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_engine_kill9_recovery () =
+  with_temp_journal (fun path ->
+      let cfg = serve_config () in
+      let topo, events = script ~seed:31 cfg in
+      let journal = Journal.open_writer path in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Journal.close_writer journal)
+          (fun () ->
+            Engine.run_script ~journal
+              ~engine:{ Engine.shards = 2; batch_size = 3 }
+              topo cfg events)
+      in
+      (* full-journal recovery lands on the engine run's final state *)
+      let snap = Serve.recover topo cfg path in
+      Alcotest.(check bool)
+        "recovered ledger bit-identical" true
+        (Serve.ledger_equal snap.Serve.ledger report.Serve.final_ledger);
+      (* kill -9 mid-batch: a crash between any two record flushes leaves
+         a record-boundary prefix, and every one must be consistent *)
+      let records = report.Serve.records in
+      let n = List.length records in
+      Alcotest.(check bool) "engine journalled records" true (n > 0);
+      List.iter
+        (fun k ->
+          let prefix = List.filteri (fun i _ -> i < k) records in
+          let s = Serve.replay topo cfg prefix in
+          match Serve.recovery_invariant topo cfg s with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "prefix %d/%d inconsistent: %s" k n e)
+        [ 0; 1; n / 2; n - 1; n ])
+
+let suite =
+  [
+    Alcotest.test_case "batch former: empty queue" `Quick test_batches_empty;
+    Alcotest.test_case "batch former: single request" `Quick
+      test_batches_single;
+    Alcotest.test_case "batch former: batch larger than queue" `Quick
+      test_batches_oversized;
+    Alcotest.test_case "batch former: order and coverage" `Quick
+      test_batches_order_and_coverage;
+    Alcotest.test_case "batch former: invalid arguments" `Quick
+      test_batches_invalid;
+    Alcotest.test_case "engine identical across shards 1/2/4" `Quick
+      test_engine_matches_sequential;
+    Alcotest.test_case "engine identical under deadline 0" `Quick
+      test_engine_deadline_zero;
+    Alcotest.test_case "engine config validation" `Quick
+      test_engine_config_validation;
+    Alcotest.test_case "kill -9 mid-batch recovery" `Quick
+      test_engine_kill9_recovery;
+  ]

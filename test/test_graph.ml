@@ -387,6 +387,28 @@ let test_metric_cache_reuse () =
         "distinct graph gets fresh runs" true
         (cval "metric.dijkstra_runs" > before))
 
+let test_metric_cache_snapshot () =
+  let g = diamond () in
+  let cache = Metric.Cache.create () in
+  let c0 = Metric.closure ~cache g [| 0; 3 |] in
+  let snap = Metric.Cache.snapshot cache in
+  (* hits share the base cache's run records: bit-identical answers *)
+  let cs = Metric.closure ~cache:snap g [| 0; 3 |] in
+  Alcotest.check feq "snapshot distance identical" (Metric.distance c0 0 1)
+    (Metric.distance cs 0 1);
+  Alcotest.(check (list int))
+    "snapshot path identical" (Metric.path c0 0 1) (Metric.path cs 0 1);
+  (* misses fall back to private runs — never registered in the snapshot *)
+  let g' = diamond () in
+  let cm = Metric.closure ~cache:snap g' [| 0; 3 |] in
+  Alcotest.check feq "miss solves privately" 3.0 (Metric.distance cm 0 1);
+  (* later base-cache additions stay invisible through the frozen tables,
+     and a superset terminal query still answers correctly *)
+  ignore (Metric.closure ~cache g' [| 0; 3 |]);
+  let cs2 = Metric.closure ~cache:snap g [| 0; 2; 3 |] in
+  Alcotest.check feq "superset over snapshot agrees" 3.0
+    (Metric.distance_nodes cs2 0 3)
+
 let prop_metric_triangle =
   (* Lemma 1 of the paper: closure distances satisfy triangle inequality. *)
   QCheck.Test.make ~count:200 ~name:"metric closure triangle inequality"
@@ -436,6 +458,8 @@ let suite =
     Alcotest.test_case "metric node queries" `Quick test_metric_node_queries;
     Alcotest.test_case "metric shared/local modes" `Quick test_metric_modes;
     Alcotest.test_case "metric cache reuse" `Quick test_metric_cache_reuse;
+    Alcotest.test_case "metric cache snapshot" `Quick
+      test_metric_cache_snapshot;
   ]
   @ qsuite
       [

@@ -18,6 +18,7 @@ let () =
       ("online", Test_online.suite);
       ("stream", Test_stream.suite);
       ("serve", Test_serve.suite);
+      ("engine", Test_engine.suite);
       ("reduction", Test_reduction.suite);
       ("extra", Test_extra.suite);
       ("polish", Test_polish.suite);

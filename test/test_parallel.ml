@@ -140,6 +140,85 @@ let test_resize () =
             (Pool.parallel_map (fun x -> x * 3) input)))
     [ 1; 2; 4; 1; 3 ]
 
+(* --- persistent shard queues ------------------------------------------ *)
+
+let test_shard_queue_order () =
+  (* Per-shard FIFO: tasks on one shard never run concurrently or out of
+     submission order, even when shards outnumber pool workers. *)
+  with_domains 4 (fun () ->
+      let shards = 3 in
+      let sq = Pool.shard_queue ~shards in
+      Fun.protect
+        ~finally:(fun () -> Pool.shard_close sq)
+        (fun () ->
+          let logs = Array.init shards (fun _ -> ref []) in
+          for i = 0 to 29 do
+            let s = i mod shards in
+            Pool.shard_submit sq ~shard:s (fun () -> logs.(s) := i :: !(logs.(s)))
+          done;
+          Pool.shard_drain sq;
+          Array.iteri
+            (fun s log ->
+              let want = List.init 10 (fun k -> (k * shards) + s) in
+              Alcotest.(check (list int))
+                (Printf.sprintf "shard %d in submission order" s)
+                want (List.rev !log))
+            logs))
+
+let test_shard_queue_error_completion () =
+  (* A failing task does not cancel its peers: every submitted task
+     still runs (complete-journal semantics), and the first error is
+     re-raised at drain exactly once. *)
+  with_domains 4 (fun () ->
+      let sq = Pool.shard_queue ~shards:2 in
+      let ran = Atomic.make 0 in
+      Pool.shard_submit sq ~shard:0 (fun () -> Atomic.incr ran);
+      Pool.shard_submit sq ~shard:0 (fun () -> failwith "boom");
+      Pool.shard_submit sq ~shard:0 (fun () -> Atomic.incr ran);
+      Pool.shard_submit sq ~shard:1 (fun () -> Atomic.incr ran);
+      let raised =
+        try
+          Pool.shard_drain sq;
+          false
+        with Failure m -> m = "boom"
+      in
+      Alcotest.(check bool) "drain re-raises the task error" true raised;
+      Alcotest.(check int) "every task still ran" 3 (Atomic.get ran);
+      (* the error was consumed by the drain: close is clean *)
+      Pool.shard_close sq;
+      Pool.shard_close sq (* idempotent *))
+
+let test_shard_queue_sequential_inline () =
+  (* At degree 1 the queue degrades to inline execution at submit. *)
+  with_domains 1 (fun () ->
+      let sq = Pool.shard_queue ~shards:4 in
+      let hits = ref [] in
+      Pool.shard_submit sq ~shard:2 (fun () -> hits := 2 :: !hits);
+      Pool.shard_submit sq ~shard:0 (fun () -> hits := 0 :: !hits);
+      Alcotest.(check (list int)) "ran inline at submit" [ 0; 2 ] !hits;
+      Pool.shard_drain sq;
+      Pool.shard_close sq)
+
+let test_set_size_rejected_while_live () =
+  (* Regression: resizing the pool under a live shard queue would strand
+     its pump tasks in the dying pool's queue — it must be rejected with
+     a clear error, and allowed again once the queue is closed. *)
+  with_domains 2 (fun () ->
+      let sq = Pool.shard_queue ~shards:2 in
+      Alcotest.(check int) "queue counted live" 1 (Pool.live_shard_queues ());
+      let rejected =
+        try
+          Pool.set_size 4;
+          false
+        with Invalid_argument _ -> true
+      in
+      Pool.shard_close sq;
+      Alcotest.(check bool) "set_size rejected while live" true rejected;
+      Alcotest.(check int) "no queues live after close" 0
+        (Pool.live_shard_queues ());
+      Pool.set_size 3;
+      Alcotest.(check int) "resize after close honoured" 3 (Pool.size ()))
+
 (* --- Sofda determinism across domain counts --------------------------- *)
 
 let check_same_report ~tag r1 r4 =
@@ -308,6 +387,14 @@ let suite =
     Alcotest.test_case "nested regions sequentialize" `Quick
       test_nested_regions_sequentialize;
     Alcotest.test_case "pool resize" `Quick test_resize;
+    Alcotest.test_case "shard queue per-shard order" `Quick
+      test_shard_queue_order;
+    Alcotest.test_case "shard queue error completion" `Quick
+      test_shard_queue_error_completion;
+    Alcotest.test_case "shard queue sequential inline" `Quick
+      test_shard_queue_sequential_inline;
+    Alcotest.test_case "set_size rejected while shard queue live" `Quick
+      test_set_size_rejected_while_live;
     Alcotest.test_case "sofda identical across 1/4 domains" `Slow
       test_solve_deterministic_across_domains;
     Alcotest.test_case "closure identical across 1/4 domains" `Quick
