@@ -22,6 +22,8 @@ type tally = {
   mutable link_wins : int;
   mutable link_comparisons : int;
   mutable invalid : int;
+  mutable eval_wall : float;
+  mutable solve_wall : float;
 }
 
 let fresh () =
@@ -34,6 +36,8 @@ let fresh () =
     link_wins = 0;
     link_comparisons = 0;
     invalid = 0;
+    eval_wall = 0.0;
+    solve_wall = 0.0;
   }
 
 let absorb t (report : Chaos.report) =
@@ -43,6 +47,8 @@ let absorb t (report : Chaos.report) =
   t.wins <- t.wins + report.Chaos.repair_wins;
   t.comparisons <- t.comparisons + report.Chaos.comparisons;
   t.invalid <- t.invalid + report.Chaos.invalid_events;
+  t.eval_wall <- t.eval_wall +. report.Chaos.eval_wall_s;
+  t.solve_wall <- t.solve_wall +. report.Chaos.solve_wall_s;
   List.iter
     (fun (e : Chaos.entry) ->
       match (e.Chaos.event, e.Chaos.action, e.Chaos.resolve_churn) with
@@ -84,7 +90,7 @@ let run ~quick ~seeds =
           ~caption:(Printf.sprintf "%s (%d traces x %d events)" tname seeds events)
           [
             "MTBF (s)"; "availability"; "mean churn"; "repair wins";
-            "link wins"; "invalid";
+            "link wins"; "invalid"; "eval wall (ms)"; "solve wall (ms)";
           ]
       in
       List.iter
@@ -104,6 +110,8 @@ let run ~quick ~seeds =
               Printf.sprintf "%d/%d" tally.wins tally.comparisons;
               Printf.sprintf "%d/%d" tally.link_wins tally.link_comparisons;
               string_of_int tally.invalid;
+              Printf.sprintf "%.2f" (1000.0 *. tally.eval_wall /. n);
+              Printf.sprintf "%.2f" (1000.0 *. tally.solve_wall /. n);
             ])
         mtbfs;
       Tbl.print t)
@@ -115,4 +123,6 @@ let run ~quick ~seeds =
     ];
   Common.note
     "repair wins = events where incremental repair churn < from-scratch \
-     re-solve churn; link wins restricts to single-link failures."
+     re-solve churn; link wins restricts to single-link failures.  eval \
+     wall is the forest-evaluation share of the trace (warm Fdag \
+     context), solve wall the remainder spent in the repair ladder."

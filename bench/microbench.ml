@@ -14,8 +14,38 @@ let default_instance () =
 let tests () =
   let p = default_instance () in
   let make name f = Test.make ~name (Staged.stage f) in
+  (* Forest-evaluator rows: one representative embedded forest, evaluated
+     through the legacy traversals (packed vs polymorphic paid-edge dedup,
+     enabled-VM dedup, the combined validity+cost+paid bill) and through a
+     warm [Fdag] context.  The context memoizes physically-identical
+     forests, so the warm row cycles through >memo-cap distinct record
+     copies — every call pays the real re-intern + re-fold, never the
+     memo. *)
+  let forest =
+    match Sof.Sofda.solve_forest p with
+    | Some f -> f
+    | None -> failwith "microbench: default instance must embed"
+  in
+  let fdag = Sof.Fdag.create () in
+  ignore (Sof.Fdag.eval fdag forest);
+  let copies =
+    Array.init 9 (fun _ ->
+        { forest with Sof.Forest.delivery = forest.Sof.Forest.delivery })
+  in
+  let cycle = ref 0 in
   Test.make_grouped ~name:"sof" ~fmt:"%s %s"
     [
+      make "paid-edges" (fun () -> ignore (Sof.Forest.paid_edges forest));
+      make "paid-edges-poly" (fun () ->
+          ignore (Sof.Forest.paid_edges_poly forest));
+      make "enabled-vms" (fun () -> ignore (Sof.Forest.enabled_vms forest));
+      make "eval-legacy" (fun () ->
+          ignore (Sof.Validate.check forest);
+          ignore (Sof.Forest.total_cost forest);
+          ignore (Sof.Forest.paid_edges forest));
+      make "eval-fdag-warm" (fun () ->
+          cycle := (!cycle + 1) mod Array.length copies;
+          ignore (Sof.Fdag.eval fdag copies.(!cycle)));
       make "sofda" (fun () -> ignore (Sof.Sofda.solve p));
       make "sofda-ss" (fun () ->
           ignore

@@ -413,6 +413,153 @@ let measure_throughput ~seeds topo_name topo workload =
     };
   ]
 
+(* Sharing-aware evaluation rows, on an Inet-sized splice script: after
+   a seed SOFDA embed the destinations churn (leave / re-join) through
+   [Dynamic], and every updated forest goes through one event's worth of
+   evaluation work, exactly as the streaming/chaos loops consume it — a
+   candidate validity probe, a commit-time validity + cost read, and the
+   ledger footprint (paid-edge multiset + enabled VMs).  [eval-legacy]
+   replays that protocol with the classic traversals (two
+   [Validate.check] passes, [total_cost], [paid_edges]/[enabled_vms]
+   folded into the sorted footprint); [eval-fdag] answers all of it with
+   one warm {!Sof.Fdag.eval} plus a memoized re-read.  Both rows fold
+   the evaluated total cost into [mean_cost], so the gate's exact check
+   pins the two evaluators against each other bit-for-bit, while the
+   wall columns carry the per-event evaluation latency the sharing is
+   meant to win.
+   [eval-counters] rides the deterministic incremental-evaluation
+   counters: dirty-node rebuilds in [mean_cost], full evaluations in
+   [mean_wall_s] (deterministic, so exact under the wall tolerance),
+   shared nodes in the ungated [p95_wall_s] — a sharing regression
+   cannot hide behind wall noise. *)
+let measure_eval ~seeds topo_name topo =
+  let module Fdag = Sof.Fdag in
+  let module Dynamic = Sof.Dynamic in
+  let rounds = 5 in
+  (* deterministic splice scripts, built once: both rows evaluate the
+     same forest snapshots verbatim *)
+  let scripts =
+    List.init seeds (fun seed ->
+        let rng = Rng.create (0xBE5C + (seed * 7919)) in
+        let p = Instance.draw ~rng topo params in
+        match Sof.Sofda.solve_forest p with
+        | None -> []
+        | Some f0 ->
+            let cache = Sof_graph.Metric.Cache.create () in
+            let cur = ref f0 in
+            let out = ref [ f0 ] in
+            let dests0 = f0.Sof.Forest.problem.Sof.Problem.dests in
+            for _ = 1 to rounds do
+              List.iter
+                (fun d ->
+                  let dests = (!cur).Sof.Forest.problem.Sof.Problem.dests in
+                  if List.mem d dests && List.length dests > 1 then (
+                    let u = Dynamic.destination_leave !cur d in
+                    cur := u.Dynamic.forest;
+                    out := !cur :: !out);
+                  if
+                    not
+                      (List.mem d (!cur).Sof.Forest.problem.Sof.Problem.dests)
+                  then
+                    match Dynamic.destination_join ~cache !cur d with
+                    | Some u ->
+                        cur := u.Dynamic.forest;
+                        out := !cur :: !out
+                    | None -> ())
+                dests0
+            done;
+            List.rev !out)
+  in
+  let events = List.fold_left (fun n s -> n + List.length s) 0 scripts in
+  (* [evalf ()] builds the per-script evaluator (the fdag pass warms one
+     context per script, mirroring a run-long chaos/stream context) *)
+  let eval_pass evalf =
+    let walls = ref [] and total = ref 0.0 in
+    List.iter
+      (fun script ->
+        let eval = evalf () in
+        List.iter
+          (fun f ->
+            let t0 = Unix.gettimeofday () in
+            let c = eval f in
+            walls := (Unix.gettimeofday () -. t0) :: !walls;
+            total := !total +. c)
+          script)
+      scripts;
+    (Array.of_list !walls, !total)
+  in
+  let legacy_walls, legacy_cost =
+    eval_pass (fun () f ->
+        (* candidate probe *)
+        ignore (Sys.opaque_identity (Sof.Validate.check f = Ok ()));
+        (* commit: validity + cost *)
+        ignore (Sys.opaque_identity (Sof.Validate.check f));
+        let c = Sof.Forest.total_cost f in
+        (* ledger footprint: paid-edge multiset, sorted, plus VM list *)
+        let tbl = Hashtbl.create 32 in
+        List.iter
+          (fun (u, v) ->
+            let key = if u <= v then (u, v) else (v, u) in
+            Hashtbl.replace tbl key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+          (Sof.Forest.paid_edges f);
+        let fp_edges =
+          List.sort
+            (fun ((a1, b1), _) ((a2, b2), _) ->
+              match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+            (Hashtbl.fold (fun e k acc -> (e, k) :: acc) tbl [])
+        in
+        ignore (Sys.opaque_identity fp_edges);
+        ignore
+          (Sys.opaque_identity (List.map fst (Sof.Forest.enabled_vms f)));
+        c)
+  in
+  let ctxs = ref [] in
+  let fdag_walls, fdag_cost =
+    eval_pass (fun () ->
+        let ctx = Fdag.create () in
+        ctxs := ctx :: !ctxs;
+        fun f ->
+          (* candidate probe *)
+          ignore (Sys.opaque_identity (Fdag.eval ctx f).Fdag.valid);
+          (* commit + footprint: memoized re-read of the same pass *)
+          let r = Fdag.eval ctx f in
+          ignore (Sys.opaque_identity r.Fdag.fp_edges);
+          ignore (Sys.opaque_identity r.Fdag.fp_vms);
+          r.Fdag.total_cost)
+  in
+  let dirty = ref 0 and full = ref 0 and shared = ref 0 in
+  List.iter
+    (fun ctx ->
+      let s = Fdag.stats ctx in
+      dirty := !dirty + s.Fdag.reeval_dirty;
+      full := !full + s.Fdag.full_evals;
+      shared := !shared + s.Fdag.nodes_shared)
+    !ctxs;
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  let row algo cost walls =
+    {
+      topology = topo_name;
+      algo;
+      seeds;
+      mean_cost = (if events = 0 then nan else cost /. float_of_int events);
+      mean_wall_s = mean walls;
+      p95_wall_s = percentile walls 0.95;
+    }
+  in
+  [
+    row "eval-legacy" legacy_cost legacy_walls;
+    row "eval-fdag" fdag_cost fdag_walls;
+    {
+      topology = topo_name;
+      algo = "eval-counters";
+      seeds;
+      mean_cost = float_of_int !dirty;
+      mean_wall_s = float_of_int !full;
+      p95_wall_s = float_of_int !shared;
+    };
+  ]
+
 let json_of_rows rows =
   Json.Obj
     [
@@ -457,6 +604,12 @@ let run ~quick ~seeds =
            engine must stay deterministic (and fast) at Cogent scale too *)
         @ measure_throughput ~seeds tname topo workload)
       topologies
+    (* sharing-aware evaluation rows run at Inet scale, where the warm
+       DAG's dirty-region recomputation pays: same instance family as
+       the chaos bench's Inet topology *)
+    @ measure_eval ~seeds "inet1000"
+        (Sof_topology.Topology.inet ~rng:(Rng.create 1) ~nodes:1000
+           ~links:2000 ~dcs:200)
   in
   let t =
     Common.Tbl.create

@@ -71,6 +71,8 @@ let json_row tname mode (s : run_stats) =
       ("peak_utilization", Json.Num r.Stream.peak_utilization);
       ("live_peak", Json.Num (float_of_int r.Stream.live_peak));
       ("embed_wall_p95_s", Json.Num r.Stream.embed_wall_p95);
+      ("eval_wall_s", Json.Num r.Stream.eval_wall_s);
+      ("solve_wall_s", Json.Num r.Stream.solve_wall_s);
       ("wall_s", Json.Num s.wall_s);
       ("closure_reuse", Json.Num (float_of_int s.closure_reuse));
     ]
@@ -84,7 +86,8 @@ let run ~quick ~seeds =
     Common.Tbl.create
       [
         "topology"; "mode"; "arrivals"; "accept %"; "amortized cost";
-        "re-opt churn"; "rungs s/r/p"; "p95 embed (ms)"; "closure reuse";
+        "re-opt churn"; "rungs s/r/p"; "p95 embed (ms)"; "eval wall (ms)";
+        "solve wall (ms)"; "closure reuse";
       ]
   in
   let json_rows = ref [] in
@@ -129,6 +132,10 @@ let run ~quick ~seeds =
                 (int_of_float (sum (fun s -> float_of_int s.report.Stream.rescoped)))
                 (int_of_float (sum (fun s -> float_of_int s.report.Stream.repriced)));
               Printf.sprintf "%.2f" (1000.0 *. p95);
+              Printf.sprintf "%.2f"
+                (1000.0 *. sum (fun s -> s.report.Stream.eval_wall_s) /. n);
+              Printf.sprintf "%.2f"
+                (1000.0 *. sum (fun s -> s.report.Stream.solve_wall_s) /. n);
               Printf.sprintf "%.0f" reuse;
             ];
           List.iter2
@@ -139,7 +146,9 @@ let run ~quick ~seeds =
   Common.Tbl.print t;
   Common.note
     "same seeded scripts for both modes; amortized cost = marginal \
-     Fortz-Thorup cost per accepted request";
+     Fortz-Thorup cost per accepted request; eval/solve wall split the \
+     per-run wall into forest evaluation (warm Fdag context) vs \
+     embedding work";
   match !Common.json_dir with
   | None -> ()
   | Some dir ->

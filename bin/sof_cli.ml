@@ -466,6 +466,8 @@ let chaos_cmd =
           report.Chaos.availability report.Chaos.repair_wins
           report.Chaos.comparisons report.Chaos.repair_ties
           report.Chaos.total_churn report.Chaos.invalid_events;
+        Printf.printf "eval wall %.4fs   solve wall %.4fs\n"
+          report.Chaos.eval_wall_s report.Chaos.solve_wall_s;
         (* flow-level view: link outage windows against the pristine
            embedding *)
         let horizon =
@@ -722,7 +724,7 @@ let stream_cmd =
         [
           "mode"; "arrivals"; "accepted"; "accept %"; "amortized cost";
           "re-opt churn"; "rungs s/r/p"; "peak util"; "p95 embed (ms)";
-          "closure reuse";
+          "eval wall (ms)"; "solve wall (ms)"; "closure reuse";
         ]
     in
     let module Obs = Sof_obs.Obs in
@@ -751,6 +753,8 @@ let stream_cmd =
               r.Stream.repriced;
             Printf.sprintf "%.3f" r.Stream.peak_utilization;
             Printf.sprintf "%.2f" (1000.0 *. r.Stream.embed_wall_p95);
+            Printf.sprintf "%.2f" (1000.0 *. r.Stream.eval_wall_s);
+            Printf.sprintf "%.2f" (1000.0 *. r.Stream.solve_wall_s);
             string_of_int reuse;
           ])
       modes;

@@ -244,8 +244,13 @@ let splice (w : Forest.walk) ~from_pos ~to_pos ~path1 ~path2 ~via ~vnf =
    orphan with a pure delivery path from the nearest point already
    carrying the fully processed stream; [None] when some orphan is
    unreachable or the rewrite left any other defect. *)
-let regraft_unserved ?cache (forest : Forest.t) =
-  match Validate.check forest with
+let check_forest ?fdag f =
+  match fdag with
+  | Some ctx -> Fdag.validity (Fdag.eval ctx f)
+  | None -> Validate.check f
+
+let regraft_unserved ?cache ?fdag (forest : Forest.t) =
+  match check_forest ?fdag forest with
   | Ok () -> Some forest
   | Error errs -> (
       let orphans =
@@ -299,9 +304,9 @@ let regraft_unserved ?cache (forest : Forest.t) =
               Forest.make p ~walks:forest.Forest.walks
                 ~delivery:(forest.Forest.delivery @ extra)
             in
-            if Validate.check f = Ok () then Some f else None)
+            if check_forest ?fdag f = Ok () then Some f else None)
 
-let vnf_insert ?cache (f : Forest.t) ~at =
+let vnf_insert ?cache ?fdag (f : Forest.t) ~at =
   let p = f.Forest.problem in
   let l = p.Problem.chain_length in
   if at < 1 || at > l + 1 then invalid_arg "Dynamic.vnf_insert: bad position";
@@ -383,7 +388,7 @@ let vnf_insert ?cache (f : Forest.t) ~at =
   | None -> None
   | Some walks ->
       let forest = Forest.make problem ~walks ~delivery:f.Forest.delivery in
-      Option.map (fun forest -> { problem; forest }) (regraft_unserved ?cache forest)
+      Option.map (fun forest -> { problem; forest }) (regraft_unserved ?cache ?fdag forest)
 
 (* ------------------------------------------------------------------ *)
 
@@ -396,7 +401,7 @@ let segment_uses_edge hops a b u v =
   in
   scan a
 
-let reroute_link ?cache (f : Forest.t) ~u ~v =
+let reroute_link ?cache ?fdag (f : Forest.t) ~u ~v =
   let p = f.Forest.problem in
   let extra = forest_nodes f in
   let t = Transform.create ?cache ~extra p in
@@ -493,11 +498,11 @@ let reroute_link ?cache (f : Forest.t) ~u ~v =
           let forest = Forest.make p ~walks ~delivery in
           Option.map
             (fun forest -> { problem = p; forest })
-            (regraft_unserved ?cache forest))
+            (regraft_unserved ?cache ?fdag forest))
 
 (* ------------------------------------------------------------------ *)
 
-let relocate_vm ?cache (f : Forest.t) ~vm =
+let relocate_vm ?cache ?fdag (f : Forest.t) ~vm =
   let p = f.Forest.problem in
   let enabled = enabled_map f in
   match Hashtbl.find_opt enabled vm with
@@ -619,4 +624,4 @@ let relocate_vm ?cache (f : Forest.t) ~vm =
           let forest = Forest.make p ~walks ~delivery:f.Forest.delivery in
           Option.map
             (fun forest -> { problem = p; forest })
-            (regraft_unserved ?cache forest))
+            (regraft_unserved ?cache ?fdag forest))

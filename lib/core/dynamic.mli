@@ -5,7 +5,12 @@
     Operations that re-solve shortest paths accept an optional
     {!Sof_graph.Metric.Cache.t} so Dijkstra runs are shared between the
     op's own grafting pass and its unserved-destination regraft (and with
-    any surrounding repair pipeline).  Every operation returns a fresh {!Problem.t} (membership or chain
+    any surrounding repair pipeline).  Operations that validate their
+    candidate (the regraft path) additionally accept an optional
+    {!Fdag.t} evaluation context: a splice dirties only the touched
+    walk nodes, so a shared context re-checks validity over the dirty
+    region instead of re-traversing the whole forest ({!Fdag.eval} is
+    bit-identical to {!Validate.check}).  Every operation returns a fresh {!Problem.t} (membership or chain
     changes alter the instance) together with a forest that remains valid
     for it; operations never touch walks that do not need to change, which
     is the paper's point — no full SOFDA re-run per membership event. *)
@@ -50,7 +55,11 @@ val vnf_delete : Forest.t -> vnf:int -> update
     the chain has length 1. *)
 
 val vnf_insert :
-  ?cache:Sof_graph.Metric.Cache.t -> Forest.t -> at:int -> update option
+  ?cache:Sof_graph.Metric.Cache.t ->
+  ?fdag:Fdag.t ->
+  Forest.t ->
+  at:int ->
+  update option
 (** Insert a new VNF so that it becomes the [at]-th function (paper's rule
     4).  For every walk the cheapest available VM between the [at-1]-th and
     the old [at]-th VM is spliced in (connection + setup cost minimized);
@@ -58,14 +67,23 @@ val vnf_insert :
     new VNF. *)
 
 val reroute_link :
-  ?cache:Sof_graph.Metric.Cache.t -> Forest.t -> u:int -> v:int -> update option
+  ?cache:Sof_graph.Metric.Cache.t ->
+  ?fdag:Fdag.t ->
+  Forest.t ->
+  u:int ->
+  v:int ->
+  update option
 (** Re-route every walk segment and delivery path that crosses link
     [(u,v)], using current edge costs (paper's rule 5 — call after raising
     the congested link's cost in the problem's graph).  [None] when some
     crossing segment admits no alternative route. *)
 
 val relocate_vm :
-  ?cache:Sof_graph.Metric.Cache.t -> Forest.t -> vm:int -> update option
+  ?cache:Sof_graph.Metric.Cache.t ->
+  ?fdag:Fdag.t ->
+  Forest.t ->
+  vm:int ->
+  update option
 (** Move the VNF running on an overloaded VM to the best available
     substitute and re-connect it to each walk's neighbouring VMs (paper's
     rule 6).  [None] when no substitute VM exists. *)

@@ -1,0 +1,804 @@
+module Graph = Sof_graph.Graph
+module Union_find = Sof_graph.Union_find
+module Obs = Sof_obs.Obs
+module Timer = Sof_util.Timer
+
+type result = {
+  errors : Validate.error list;
+  valid : bool;
+  paid_defined : bool;
+  cost_defined : bool;
+  setup_cost : float;
+  connection_cost : float;
+  total_cost : float;
+  paid_edges : (int * int) list;
+  enabled_vms : (int * int) list;
+  fp_edges : ((int * int) * int) list;
+  fp_vms : int list;
+}
+
+type stats = {
+  evals : int;
+  full_evals : int;
+  reeval_dirty : int;
+  nodes_shared : int;
+}
+
+(* ---------- hashing -------------------------------------------------- *)
+
+(* FNV-1a over every element.  [Hashtbl.hash] only samples ~10 fields, so
+   long hop arrays sharing a prefix would all collide into one bucket. *)
+let fnv_prime = 0x100000001b3
+let fnv_basis = 0x3bf29ce484222325 (* FNV offset basis folded into 62 bits *)
+
+let fnv_int h x = (h lxor x) * fnv_prime
+
+let hash_int_array h a =
+  let h = ref h in
+  for i = 0 to Array.length a - 1 do
+    h := fnv_int !h a.(i)
+  done;
+  !h
+
+let int_array_equal a b =
+  a == b
+  || Array.length a = Array.length b
+     &&
+     let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+     go (Array.length a - 1)
+
+module Seg_tbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = int_array_equal
+  let hash a = hash_int_array fnv_basis a land max_int
+end)
+
+module Walk_tbl = Hashtbl.Make (struct
+  type t = Forest.walk
+
+  let equal (a : Forest.walk) (b : Forest.walk) =
+    a == b
+    || a.Forest.source = b.Forest.source
+       && int_array_equal a.Forest.hops b.Forest.hops
+       && a.Forest.marks = b.Forest.marks
+
+  let hash (w : Forest.walk) =
+    let h = fnv_int fnv_basis w.Forest.source in
+    let h = hash_int_array h w.Forest.hops in
+    List.fold_left
+      (fun h (m : Forest.mark) -> fnv_int (fnv_int h m.Forest.pos) m.Forest.vnf)
+      h w.Forest.marks
+    land max_int
+end)
+
+module Del_tbl = Hashtbl.Make (struct
+  type t = (int * int) list
+
+  let equal a b = a == b || a = b
+
+  let hash d =
+    List.fold_left (fun h (u, v) -> fnv_int (fnv_int h u) v) fnv_basis d
+    land max_int
+end)
+
+(* ---------- nodes ----------------------------------------------------- *)
+
+(* Per-graph attributes of a hop slice (all edges share one stage).  Keyed
+   by physical graph identity: range checks depend on |V| and costs on the
+   weights, both properties of the graph value. *)
+type sattrs = {
+  s_lo : int array;  (* normalized endpoints per slice edge *)
+  s_hi : int array;
+  s_enc : int array;  (* lo * n + hi when both endpoints in range, else -1 *)
+  s_costs : float array;  (* edge weight; nan when absent or out of range *)
+  s_bad : int list;  (* ascending slice indices of out-of-range nodes *)
+}
+
+type snode = { s_hops : int array; mutable s_by_graph : (Graph.t * sattrs) list }
+
+(* Per-mark replay of Validate's mark loop: either the static "positions
+   not ascending / out of range" complaint or the node to re-check against
+   the problem's VM set at eval time. *)
+type mark_check = Mark_bad | Mark_at of int
+
+type wattrs = {
+  a_chain : int;  (* chain length the context keys were built for *)
+  a_costs : float array;  (* per walk edge, walk order *)
+  a_lo : int array;
+  a_hi : int array;
+  a_stage : int array;
+  a_keys : int array;  (* >= 0 encoded context key, -1 => tuple context *)
+  a_first : int array;  (* ascending edge indices first carrying their context *)
+  a_pre : Validate.error list;  (* range errors, then first-hop errors *)
+  a_miss : Validate.error list;  (* missing-edge errors in hop order *)
+  a_injection : int array;  (* in-range injection-tail nodes *)
+  a_cost_ok : bool;  (* every walk edge present with in-range endpoints *)
+}
+
+type wnode = {
+  wkey : Forest.walk;
+  wlen : int;
+  estage : int array;  (* stage per edge index (clamped at hop 0) *)
+  wsegs : (snode * int) array;  (* segment, start hop index *)
+  wmarks : mark_check array;
+  wpos_marks : (int * int) array;  (* (hop node, vnf), positions in [0,len) *)
+  wpos_ok : bool;  (* every mark position indexes hops *)
+  wstage_ok : bool;  (* every mark position nonnegative (legacy stages total) *)
+  mutable wshape : (int * Validate.error list) option;
+  mutable w_by_graph : (Graph.t * wattrs) list;
+}
+
+type dattrs = {
+  d_costs : float array;  (* per delivery edge, list order *)
+  d_errs : Validate.error list;
+  d_comp : (int, int) Hashtbl.t;  (* endpoint -> component representative *)
+  d_cost_ok : bool;
+}
+
+type dnode = {
+  d_edges : (int * int) list;
+  mutable d_by_graph : (Graph.t * dattrs) list;
+}
+
+type t = {
+  segs : snode Seg_tbl.t;
+  walks : wnode Walk_tbl.t;
+  dels : dnode Del_tbl.t;
+  mutable prev : (Forest.walk array * wnode array) option;
+  mutable memo : (Forest.t * result) list;
+  mutable c_evals : int;
+  mutable c_full : int;
+  mutable c_dirty : int;
+  mutable c_shared : int;
+  mutable l_full : int;
+  mutable l_built : int;
+  mutable l_shared : int;
+  mutable c_wall_ns : int;
+}
+
+let create () =
+  {
+    segs = Seg_tbl.create 256;
+    walks = Walk_tbl.create 256;
+    dels = Del_tbl.create 64;
+    prev = None;
+    memo = [];
+    c_evals = 0;
+    c_full = 0;
+    c_dirty = 0;
+    c_shared = 0;
+    l_full = 0;
+    l_built = 0;
+    l_shared = 0;
+    c_wall_ns = 0;
+  }
+
+let stats ctx =
+  {
+    evals = ctx.c_evals;
+    full_evals = ctx.c_full;
+    reeval_dirty = ctx.c_dirty;
+    nodes_shared = ctx.c_shared;
+  }
+
+let last_stats ctx =
+  {
+    evals = min ctx.c_evals 1;
+    full_evals = ctx.l_full;
+    reeval_dirty = ctx.l_built;
+    nodes_shared = ctx.l_shared;
+  }
+
+let validity r = if r.valid then Ok () else Error r.errors
+
+(* Backstop against unbounded growth on very long streams: amnesia is
+   cheap (the next eval rebuilds from scratch) and never affects results. *)
+let max_walk_nodes = 16_384
+let max_graph_attrs = 4
+let memo_cap = 8
+
+(* Keyed-by-physical-graph attribute slots on a node: move-to-front on
+   hit, capped.  [refresh] decides whether a found slot is still usable
+   (context keys embed the chain length, so a same-graph different-chain
+   problem forces a rebuild). *)
+let by_graph ~refresh ~build ctx get set g =
+  let rec split acc = function
+    | [] -> None
+    | (g', a) :: rest when g' == g -> Some (a, List.rev_append acc rest)
+    | x :: rest -> split (x :: acc) rest
+  in
+  match split [] (get ()) with
+  | Some (a, rest) when refresh a ->
+      ctx.l_shared <- ctx.l_shared + 1;
+      set ((g, a) :: rest);
+      a
+  | Some (_, rest) ->
+      ctx.l_built <- ctx.l_built + 1;
+      let a = build () in
+      set ((g, a) :: rest);
+      a
+  | None ->
+      ctx.l_built <- ctx.l_built + 1;
+      let a = build () in
+      let l = (g, a) :: get () in
+      set (if List.length l > max_graph_attrs then List.filteri (fun i _ -> i < max_graph_attrs) l else l);
+      a
+
+(* ---------- segment nodes --------------------------------------------- *)
+
+let seg_node ctx hops =
+  match Seg_tbl.find_opt ctx.segs hops with
+  | Some sn ->
+      ctx.l_shared <- ctx.l_shared + 1;
+      sn
+  | None ->
+      ctx.l_built <- ctx.l_built + 1;
+      let sn = { s_hops = hops; s_by_graph = [] } in
+      Seg_tbl.replace ctx.segs hops sn;
+      sn
+
+let build_sattrs g n s =
+  let ne = max 0 (Array.length s - 1) in
+  let s_lo = Array.make ne 0
+  and s_hi = Array.make ne 0
+  and s_enc = Array.make ne (-1)
+  and s_costs = Array.make ne nan in
+  let bad = ref [] in
+  for i = Array.length s - 1 downto 0 do
+    let v = s.(i) in
+    if v < 0 || v >= n then bad := i :: !bad
+  done;
+  for i = 0 to ne - 1 do
+    let u = s.(i) and v = s.(i + 1) in
+    let lo = min u v and hi = max u v in
+    s_lo.(i) <- lo;
+    s_hi.(i) <- hi;
+    if lo >= 0 && hi < n then begin
+      s_enc.(i) <- (lo * n) + hi;
+      match Graph.edge_weight g lo hi with
+      | Some w -> s_costs.(i) <- w
+      | None -> ()
+    end
+  done;
+  { s_lo; s_hi; s_enc; s_costs; s_bad = !bad }
+
+let sattrs ctx g n sn =
+  by_graph ctx
+    ~refresh:(fun _ -> true)
+    ~build:(fun () -> build_sattrs g n sn.s_hops)
+    (fun () -> sn.s_by_graph)
+    (fun l -> sn.s_by_graph <- l)
+    g
+
+(* ---------- walk nodes ------------------------------------------------- *)
+
+let build_wnode ctx (w : Forest.walk) =
+  let len = Array.length w.Forest.hops in
+  let ne = max 0 (len - 1) in
+  (* Stage per edge, exactly [Forest.stages] but clamped at hop 0 so a
+     negative mark position cannot escape the array (legacy raises there;
+     [wstage_ok] records that divergence). *)
+  let estage = Array.make ne 0 in
+  let stage_ok = ref true in
+  List.iter
+    (fun (m : Forest.mark) ->
+      if m.Forest.pos < 0 then stage_ok := false;
+      for i = max 0 m.Forest.pos to ne - 1 do
+        estage.(i) <- max estage.(i) m.Forest.vnf
+      done)
+    w.Forest.marks;
+  (* Segment boundaries wherever the stage steps: every edge of a slice
+     carries one traffic stage, so a splice between marks dirties exactly
+     one segment. *)
+  let wsegs =
+    if len = 0 then [||]
+    else begin
+      let bounds = ref [ 0 ] in
+      for i = 1 to ne - 1 do
+        if estage.(i) <> estage.(i - 1) then bounds := i :: !bounds
+      done;
+      let bounds = Array.of_list (List.rev (len - 1 :: !bounds)) in
+      let nb = Array.length bounds in
+      if nb < 2 then [| (seg_node ctx w.Forest.hops, 0) |]
+      else
+        Array.init (nb - 1) (fun k ->
+            let b = bounds.(k) and c = bounds.(k + 1) in
+            if b = 0 && c = len - 1 then (seg_node ctx w.Forest.hops, 0)
+            else (seg_node ctx (Array.sub w.Forest.hops b (c - b + 1)), b))
+    end
+  in
+  let wmarks =
+    let prev = ref (-1) in
+    Array.of_list
+      (List.map
+         (fun (m : Forest.mark) ->
+           if m.Forest.pos <= !prev || m.Forest.pos > len - 1 then Mark_bad
+           else begin
+             prev := m.Forest.pos;
+             Mark_at w.Forest.hops.(m.Forest.pos)
+           end)
+         w.Forest.marks)
+  in
+  let pos_ok = ref true in
+  let wpos_marks =
+    Array.of_list
+      (List.filter_map
+         (fun (m : Forest.mark) ->
+           if m.Forest.pos >= 0 && m.Forest.pos < len then
+             Some (w.Forest.hops.(m.Forest.pos), m.Forest.vnf)
+           else begin
+             pos_ok := false;
+             None
+           end)
+         w.Forest.marks)
+  in
+  {
+    wkey = w;
+    wlen = len;
+    estage;
+    wsegs;
+    wmarks;
+    wpos_marks;
+    wpos_ok = !pos_ok;
+    wstage_ok = !stage_ok;
+    wshape = None;
+    w_by_graph = [];
+  }
+
+let walk_node ctx (w : Forest.walk) =
+  match Walk_tbl.find_opt ctx.walks w with
+  | Some wn ->
+      ctx.l_shared <- ctx.l_shared + 1;
+      wn
+  | None ->
+      ctx.l_built <- ctx.l_built + 1;
+      let wn = build_wnode ctx w in
+      Walk_tbl.replace ctx.walks w wn;
+      wn
+
+let shape_errors chain wn =
+  match wn.wshape with
+  | Some (c, errs) when c = chain -> errs
+  | _ ->
+      let expected = List.init chain (fun i -> i + 1) in
+      let vnfs = List.map (fun (m : Forest.mark) -> m.Forest.vnf) wn.wkey.Forest.marks in
+      let errs =
+        if vnfs <> expected then
+          [ Validate.Bad_walk "marks are not exactly f1..f|C| in order" ]
+        else []
+      in
+      wn.wshape <- Some (chain, errs);
+      errs
+
+let build_wattrs ctx g n chain wn =
+  let w = wn.wkey in
+  let len = wn.wlen in
+  let ne = max 0 (len - 1) in
+  let a_costs = Array.make ne nan
+  and a_lo = Array.make ne 0
+  and a_hi = Array.make ne 0
+  and a_keys = Array.make ne (-1) in
+  let pre = ref [] and miss = ref [] in
+  let cost_ok = ref true in
+  (* The source and |V|^3 * (chain+2) must fit for the packed int keys;
+     otherwise every context of this walk uses the tuple fallback. *)
+  let enc_ok =
+    w.Forest.source >= 0 && w.Forest.source < n
+    && float_of_int n ** 3.0 *. float_of_int (chain + 2) < 4.0e18
+  in
+  Array.iteri
+    (fun k (sn, b) ->
+      let sa = sattrs ctx g n sn in
+      (* Range errors in hop order; the shared boundary hop belongs to
+         the previous segment. *)
+      List.iter
+        (fun idx ->
+          if not (k > 0 && idx = 0) then
+            pre := Validate.Node_out_of_range sn.s_hops.(idx) :: !pre)
+        sa.s_bad;
+      for j = 0 to Array.length sn.s_hops - 2 do
+        let i = b + j in
+        a_lo.(i) <- sa.s_lo.(j);
+        a_hi.(i) <- sa.s_hi.(j);
+        a_costs.(i) <- sa.s_costs.(j);
+        if sa.s_enc.(j) >= 0 then begin
+          if Float.is_nan sa.s_costs.(j) then begin
+            cost_ok := false;
+            miss := Validate.Missing_edge (sn.s_hops.(j), sn.s_hops.(j + 1)) :: !miss
+          end;
+          let st = wn.estage.(i) in
+          if enc_ok && st >= 0 && st <= chain then
+            a_keys.(i) <- (((sa.s_enc.(j) * n) + w.Forest.source) * (chain + 1)) + st
+        end
+        else cost_ok := false
+      done)
+    wn.wsegs;
+  let pre = List.rev !pre in
+  let pre =
+    if len > 0 && w.Forest.hops.(0) <> w.Forest.source then
+      pre
+      @ Validate.Bad_walk "first hop differs from source"
+        ::
+        (if w.Forest.source < 0 || w.Forest.source >= n then
+           [ Validate.Node_out_of_range w.Forest.source ]
+         else [])
+    else pre
+  in
+  (* First-in-walk occurrence of each traffic context, in edge order. *)
+  let a_first =
+    let seen_int = Hashtbl.create (2 * ne) and seen_any = Hashtbl.create 4 in
+    let acc = ref [] in
+    for i = 0 to ne - 1 do
+      if a_keys.(i) >= 0 then begin
+        if not (Hashtbl.mem seen_int a_keys.(i)) then begin
+          Hashtbl.replace seen_int a_keys.(i) ();
+          acc := i :: !acc
+        end
+      end
+      else
+        let key = ((a_lo.(i), a_hi.(i)), w.Forest.source, wn.estage.(i)) in
+        if not (Hashtbl.mem seen_any key) then begin
+          Hashtbl.replace seen_any key ();
+          acc := i :: !acc
+        end
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let a_injection =
+    match List.rev w.Forest.marks with
+    | (m : Forest.mark) :: _ when m.Forest.pos >= 0 && m.Forest.pos < len ->
+        let acc = ref [] in
+        for i = len - 1 downto m.Forest.pos do
+          let v = w.Forest.hops.(i) in
+          if v >= 0 && v < n then acc := v :: !acc
+        done;
+        Array.of_list !acc
+    | _ -> [||]
+  in
+  {
+    a_chain = chain;
+    a_costs;
+    a_lo;
+    a_hi;
+    a_stage = wn.estage;
+    a_keys;
+    a_first;
+    a_pre = pre;
+    a_miss = List.rev !miss;
+    a_injection;
+    a_cost_ok = !cost_ok;
+  }
+
+let wattrs ctx g n chain wn =
+  by_graph ctx
+    ~refresh:(fun a -> a.a_chain = chain)
+    ~build:(fun () -> build_wattrs ctx g n chain wn)
+    (fun () -> wn.w_by_graph)
+    (fun l -> wn.w_by_graph <- l)
+    g
+
+(* ---------- delivery node ---------------------------------------------- *)
+
+let del_node ctx edges =
+  match Del_tbl.find_opt ctx.dels edges with
+  | Some dn ->
+      ctx.l_shared <- ctx.l_shared + 1;
+      dn
+  | None ->
+      ctx.l_built <- ctx.l_built + 1;
+      let dn = { d_edges = edges; d_by_graph = [] } in
+      Del_tbl.replace ctx.dels edges dn;
+      dn
+
+let build_dattrs g n edges =
+  let m = List.length edges in
+  let d_costs = Array.make m nan in
+  let errs = ref [] and cost_ok = ref true in
+  (* Union-find over dense ids of the endpoints actually present, so a
+     delivery rebuild costs O(|delivery|) rather than O(|V|): on big
+     graphs the per-splice rebuild would otherwise be dominated by the
+     [Union_find.create n] fill.  Representatives are mapped back to a
+     member node id, so [d_comp] keeps the original semantics: distinct
+     components have distinct reps, and a node absent from the delivery
+     can never collide with one (every rep is a member). *)
+  let ids = Hashtbl.create (2 * m) in
+  let nodes = ref [] and nids = ref 0 in
+  let register v =
+    if v >= 0 && v < n && not (Hashtbl.mem ids v) then begin
+      Hashtbl.replace ids v !nids;
+      nodes := v :: !nodes;
+      incr nids
+    end
+  in
+  List.iter
+    (fun (u, v) ->
+      register u;
+      register v)
+    edges;
+  let node_of = Array.of_list (List.rev !nodes) in
+  let uf = Union_find.create !nids in
+  List.iteri
+    (fun j (u, v) ->
+      let in_u = u >= 0 && u < n and in_v = v >= 0 && v < n in
+      if not in_u then errs := Validate.Node_out_of_range u :: !errs;
+      if not in_v then errs := Validate.Node_out_of_range v :: !errs;
+      if in_u && in_v then begin
+        ignore (Union_find.union uf (Hashtbl.find ids u) (Hashtbl.find ids v));
+        let lo = min u v and hi = max u v in
+        match Graph.edge_weight g lo hi with
+        | Some c -> d_costs.(j) <- c
+        | None ->
+            cost_ok := false;
+            errs := Validate.Missing_edge (u, v) :: !errs
+      end
+      else cost_ok := false)
+    edges;
+  let d_comp = Hashtbl.create (2 * m) in
+  let rep v = node_of.(Union_find.find uf (Hashtbl.find ids v)) in
+  List.iter
+    (fun (u, v) ->
+      if u >= 0 && u < n && not (Hashtbl.mem d_comp u) then
+        Hashtbl.replace d_comp u (rep u);
+      if v >= 0 && v < n && not (Hashtbl.mem d_comp v) then
+        Hashtbl.replace d_comp v (rep v))
+    edges;
+  { d_costs; d_errs = List.rev !errs; d_comp; d_cost_ok = !cost_ok }
+
+let dattrs ctx g n dn =
+  by_graph ctx
+    ~refresh:(fun _ -> true)
+    ~build:(fun () -> build_dattrs g n dn.d_edges)
+    (fun () -> dn.d_by_graph)
+    (fun l -> dn.d_by_graph <- l)
+    g
+
+(* ---------- evaluation ------------------------------------------------- *)
+
+let comp_find da v =
+  match Hashtbl.find_opt da.d_comp v with Some r -> r | None -> v
+
+let memo_find ctx f =
+  let rec go acc = function
+    | [] -> None
+    | (f', r) :: rest when f' == f ->
+        ctx.memo <- (f', r) :: List.rev_append acc rest;
+        Some r
+    | x :: rest -> go (x :: acc) rest
+  in
+  go [] ctx.memo
+
+let eval_untimed ctx (f : Forest.t) =
+  match memo_find ctx f with
+  | Some r ->
+      ctx.c_evals <- ctx.c_evals + 1;
+      ctx.c_shared <- ctx.c_shared + 1;
+      ctx.l_full <- 0;
+      ctx.l_built <- 0;
+      ctx.l_shared <- 1;
+      Obs.count "fdag.nodes_shared" 1;
+      r
+  | None ->
+      if Walk_tbl.length ctx.walks > max_walk_nodes then begin
+        Walk_tbl.reset ctx.walks;
+        Seg_tbl.reset ctx.segs;
+        Del_tbl.reset ctx.dels;
+        ctx.prev <- None;
+        ctx.memo <- []
+      end;
+      ctx.l_full <- 0;
+      ctx.l_built <- 0;
+      ctx.l_shared <- 0;
+      let p = f.Forest.problem in
+      let g = p.Problem.graph in
+      let n = Problem.n p in
+      let chain = p.Problem.chain_length in
+      let warr = Array.of_list f.Forest.walks in
+      let nw = Array.length warr in
+      let wnodes =
+        Array.mapi
+          (fun i w ->
+            match ctx.prev with
+            | Some (pw, pn) when i < Array.length pw && pw.(i) == w ->
+                ctx.l_shared <- ctx.l_shared + 1;
+                pn.(i)
+            | _ -> walk_node ctx w)
+          warr
+      in
+      let wa = Array.map (fun wn -> wattrs ctx g n chain wn) wnodes in
+      let dn = del_node ctx f.Forest.delivery in
+      let da = dattrs ctx g n dn in
+      (* --- validity, in Validate.check's exact emission order --- *)
+      let errs = ref [] in
+      let emit e = errs := e :: !errs in
+      Array.iteri
+        (fun i wn ->
+          let w = warr.(i) in
+          if wn.wlen = 0 then emit (Validate.Bad_walk "empty hop sequence")
+          else begin
+            List.iter emit wa.(i).a_pre;
+            if not (Problem.is_source p w.Forest.source) then
+              emit (Validate.Bad_source w.Forest.source);
+            List.iter emit wa.(i).a_miss;
+            List.iter emit (shape_errors chain wn);
+            Array.iter
+              (function
+                | Mark_bad ->
+                    emit
+                      (Validate.Bad_walk
+                         "mark positions not ascending / out of range")
+                | Mark_at v ->
+                    if v >= 0 && v < n && not (Problem.is_vm p v) then
+                      emit (Validate.Mark_not_vm v))
+              wn.wmarks
+          end)
+        wnodes;
+      let enabled_tbl = Hashtbl.create 16 in
+      Array.iter
+        (fun wn ->
+          Array.iter
+            (fun (v, vnf) ->
+              match Hashtbl.find_opt enabled_tbl v with
+              | Some f0 when f0 <> vnf -> emit (Validate.Vnf_conflict (v, f0, vnf))
+              | Some _ -> ()
+              | None -> Hashtbl.replace enabled_tbl v vnf)
+            wn.wpos_marks)
+        wnodes;
+      List.iter emit da.d_errs;
+      let injected = Hashtbl.create 32 in
+      for i = 0 to nw - 1 do
+        Array.iter
+          (fun v -> Hashtbl.replace injected (comp_find da v) ())
+          wa.(i).a_injection
+      done;
+      List.iter
+        (fun d ->
+          if not (Hashtbl.mem injected (comp_find da d)) then
+            emit (Validate.Unserved_destination d))
+        p.Problem.dests;
+      let errors = List.rev !errs in
+      (* --- costs, paid contexts and footprint in one pass --- *)
+      let dup_source =
+        if nw < 2 then fun _ -> false
+        else begin
+          let cnt = Hashtbl.create 8 in
+          Array.iter
+            (fun (w : Forest.walk) ->
+              Hashtbl.replace cnt w.Forest.source
+                (1 + Option.value ~default:0 (Hashtbl.find_opt cnt w.Forest.source)))
+            warr;
+          fun s -> Option.value ~default:0 (Hashtbl.find_opt cnt s) > 1
+        end
+      in
+      let seen_int = lazy (Hashtbl.create 64)
+      and seen_any = lazy (Hashtbl.create 16) in
+      let conn = ref 0.0 in
+      let paid = ref [] in
+      let fp = Hashtbl.create 32 in
+      let fp_add lo hi =
+        let key = (lo, hi) in
+        Hashtbl.replace fp key (1 + Option.value ~default:0 (Hashtbl.find_opt fp key))
+      in
+      let cost_ok = ref true in
+      let paid_defined = ref true in
+      Array.iteri
+        (fun i wn ->
+          let a = wa.(i) in
+          if not a.a_cost_ok then cost_ok := false;
+          if not wn.wstage_ok then paid_defined := false;
+          if not wn.wpos_ok then cost_ok := false;
+          let dup = dup_source wn.wkey.Forest.source in
+          Array.iter
+            (fun idx ->
+              let pays =
+                if not dup then true
+                else if a.a_keys.(idx) >= 0 then begin
+                  let t = Lazy.force seen_int in
+                  if Hashtbl.mem t a.a_keys.(idx) then false
+                  else begin
+                    Hashtbl.replace t a.a_keys.(idx) ();
+                    true
+                  end
+                end
+                else begin
+                  let t = Lazy.force seen_any in
+                  let key =
+                    ((a.a_lo.(idx), a.a_hi.(idx)), wn.wkey.Forest.source, a.a_stage.(idx))
+                  in
+                  if Hashtbl.mem t key then false
+                  else begin
+                    Hashtbl.replace t key ();
+                    true
+                  end
+                end
+              in
+              if pays then begin
+                conn := !conn +. a.a_costs.(idx);
+                paid := (a.a_lo.(idx), a.a_hi.(idx)) :: !paid;
+                fp_add a.a_lo.(idx) a.a_hi.(idx)
+              end)
+            a.a_first)
+        wnodes;
+      if not da.d_cost_ok then cost_ok := false;
+      List.iteri
+        (fun j (u, v) ->
+          let lo = min u v and hi = max u v in
+          conn := !conn +. da.d_costs.(j);
+          paid := (lo, hi) :: !paid;
+          fp_add lo hi)
+        dn.d_edges;
+      let paid_edges = List.rev !paid in
+      (* --- enabled VMs and setup cost, legacy order --- *)
+      let enabled_vms =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun wn -> Array.to_list wn.wpos_marks)
+             (Array.to_list wnodes))
+      in
+      let setup = ref 0.0 in
+      let last_vm = ref min_int in
+      List.iter
+        (fun (v, _) ->
+          if v <> !last_vm then begin
+            last_vm := v;
+            if v >= 0 && v < n then setup := !setup +. Problem.setup_cost p v
+            else cost_ok := false
+          end)
+        enabled_vms;
+      let cost_defined = !cost_ok && !paid_defined in
+      let setup_cost = if cost_defined then !setup else nan in
+      let connection_cost = if cost_defined then !conn else nan in
+      let total_cost = setup_cost +. connection_cost in
+      let fp_edges =
+        List.sort
+          (fun ((a1, b1), _) ((a2, b2), _) ->
+            match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+          (Hashtbl.fold (fun e k acc -> (e, k) :: acc) fp [])
+      in
+      let r =
+        {
+          errors;
+          valid = errors = [];
+          paid_defined = !paid_defined;
+          cost_defined;
+          setup_cost;
+          connection_cost;
+          total_cost;
+          paid_edges;
+          enabled_vms;
+          fp_edges;
+          fp_vms = List.map fst enabled_vms;
+        }
+      in
+      ctx.prev <- Some (warr, wnodes);
+      ctx.memo <-
+        (f, r)
+        :: (if List.length ctx.memo >= memo_cap then
+              List.filteri (fun i _ -> i < memo_cap - 1) ctx.memo
+            else ctx.memo);
+      ctx.c_evals <- ctx.c_evals + 1;
+      ctx.c_shared <- ctx.c_shared + ctx.l_shared;
+      if ctx.l_shared = 0 then begin
+        ctx.c_full <- ctx.c_full + 1;
+        ctx.l_full <- 1;
+        Obs.count "fdag.full_evals" 1
+      end
+      else begin
+        ctx.c_dirty <- ctx.c_dirty + ctx.l_built;
+        Obs.count "fdag.reeval_dirty" ctx.l_built;
+        Obs.count "fdag.nodes_shared" ctx.l_shared
+      end;
+      r
+
+(* The wall accumulator lets consumers (chaos/stream/serve reports) split
+   evaluation time from solver time even when evals happen deep inside a
+   repair ladder sharing this context; clock reads never touch results. *)
+let eval ctx f =
+  let t0 = Timer.now_ns () in
+  let r = eval_untimed ctx f in
+  ctx.c_wall_ns <- ctx.c_wall_ns + (Timer.now_ns () - t0);
+  r
+
+let eval_wall_s ctx = float_of_int ctx.c_wall_ns *. 1e-9
+
+let reeval = eval

@@ -1,0 +1,107 @@
+(** Sharing-aware forest evaluation: hash-consed DAG of walk segments.
+
+    A {!Forest.t} stores walks as independent hop arrays, so the legacy
+    evaluators ({!Forest.total_cost}, {!Forest.paid_edges},
+    {!Validate.check}, the stream-ledger footprint) each re-traverse the
+    whole forest from scratch — chaos events, stream arrivals and serve
+    batches re-pay four full walks per candidate.  [Fdag] represents
+    forests as a shared DAG instead: maximal same-stage hop runs are
+    hash-consed into {e segment} nodes, walks into {e walk} nodes and the
+    delivery edge set into a {e delivery} node, and every expensive
+    attribute (per-edge costs and traffic-context keys, missing-edge and
+    range errors, injection tails, delivery components) is computed once
+    per node per graph and cached on it.  One {!eval} then returns cost,
+    structural validity, paid traffic contexts and the ledger footprint in
+    a single pass over the cached attributes.
+
+    {b Bit-identity.}  For any forest, [eval] agrees exactly with the
+    legacy evaluators: [errors] is byte-equal to {!Validate.check}'s error
+    list, [paid_edges]/[enabled_vms] are structurally equal to their
+    {!Forest} namesakes, the footprint matches the stream ledger's
+    charging, and — whenever [cost_defined] — the cost fields are
+    bit-identical floats (the per-context costs are re-folded into the
+    accumulator in the legacy first-occurrence order, so float
+    non-associativity never shows).  The [fdag-equiv] proptest oracle
+    checks this differentially on every solver family.
+
+    {b Incrementality.}  Contexts are warm: re-evaluating a forest that
+    shares walks (physically or by content) with previously evaluated
+    ones rebuilds only the dirty nodes — a {!Dynamic} splice, a
+    {!Repair.heal} rung or a stream graft touches O(|changed|) nodes and
+    every untouched walk is a table hit.  An eval over fully warm nodes
+    costs one cheap re-fold of cached per-context costs (float adds and
+    small int-table ops), skipping stage recomputation, tuple hashing,
+    CSR cost lookups and the O(n) union-find build entirely.
+
+    Contexts are not domain-safe: create one per domain (the batched
+    serve engine keeps one per shard batch). *)
+
+type t
+(** A mutable evaluation context: the hash-cons tables, per-graph
+    attribute caches and a small memo of recently evaluated forests.
+    Caches are keyed by physical graph identity (capped per node, LRU),
+    so long-lived graphs — the stream's statically priced graph, a serve
+    domain's topology — stay warm while per-event degraded graphs churn
+    harmlessly. *)
+
+type result = {
+  errors : Validate.error list;
+      (** Byte-equal to [Validate.check]'s error list; [[]] iff valid. *)
+  valid : bool;  (** [errors = []]. *)
+  paid_defined : bool;
+      (** Legacy {!Forest.paid_edges} does not raise (every mark position
+          is nonnegative).  When [false], [paid_edges] / [fp_edges] are
+          still total here — stages clamp at hop 0 — but have no legacy
+          counterpart to compare against. *)
+  cost_defined : bool;
+      (** All walk and delivery edges exist (endpoints in range), every
+          mark position indexes its walk and every enabled VM is in
+          range — exactly the cases where the legacy cost evaluators do
+          not raise.  When [false] the three cost fields are [nan]. *)
+  setup_cost : float;
+  connection_cost : float;
+  total_cost : float;
+  paid_edges : (int * int) list;
+      (** Structurally equal to {!Forest.paid_edges}. *)
+  enabled_vms : (int * int) list;
+      (** Structurally equal to {!Forest.enabled_vms} whenever the legacy
+          function does not raise (see [cost_defined]). *)
+  fp_edges : ((int * int) * int) list;
+      (** Normalized paid edges with per-context multiplicity, sorted —
+          the stream ledger footprint. *)
+  fp_vms : int list;  (** [List.map fst enabled_vms]. *)
+}
+
+type stats = {
+  evals : int;         (** evaluations answered (including memo hits) *)
+  full_evals : int;    (** evaluations that reused no cached node *)
+  reeval_dirty : int;  (** dirty nodes (re)built across warm evaluations *)
+  nodes_shared : int;  (** cache hits: nodes or memoized results reused *)
+}
+
+val create : unit -> t
+
+val eval : t -> Forest.t -> result
+(** Evaluate [f], reusing every warm node and building the rest.  Also
+    bumps the [fdag.full_evals] / [fdag.reeval_dirty] /
+    [fdag.nodes_shared] {!Sof_obs.Obs} counters. *)
+
+val reeval : t -> Forest.t -> result
+(** Alias of {!eval}, named for call sites that re-evaluate after a
+    splice: the unchanged region is warm, so only dirty nodes are
+    recomputed. *)
+
+val validity : result -> (unit, Validate.error list) Stdlib.result
+(** [Ok ()] / [Error errors] — drop-in for {!Validate.check}. *)
+
+val stats : t -> stats
+(** Cumulative counters since {!create}. *)
+
+val eval_wall_s : t -> float
+(** Cumulative wall-clock seconds this context has spent inside
+    {!eval}, over its whole lifetime.  Consumers that thread one context
+    through a run subtract two readings to price the evaluation share of
+    an event separately from the surrounding solver work. *)
+
+val last_stats : t -> stats
+(** Counters of the most recent {!eval} only ([evals] is 0 or 1). *)

@@ -20,15 +20,54 @@ let walk_last_vm w =
 
 let walk_vms w = List.map (fun m -> w.hops.(m.pos)) w.marks
 
+(* Sorted-array dedup: same result as
+   [List.sort_uniq compare (List.concat_map ...)] but with a monomorphic
+   comparator and no intermediate lists — this sits on the stream/serve
+   admission hot path via the ledger footprint. *)
 let enabled_vms t =
-  List.sort_uniq compare
-    (List.concat_map
-       (fun w -> List.map (fun m -> (w.hops.(m.pos), m.vnf)) w.marks)
-       t.walks)
+  let count =
+    List.fold_left (fun acc w -> acc + List.length w.marks) 0 t.walks
+  in
+  if count = 0 then []
+  else begin
+    let a = Array.make count (0, 0) in
+    let i = ref 0 in
+    List.iter
+      (fun w ->
+        List.iter
+          (fun m ->
+            a.(!i) <- (w.hops.(m.pos), m.vnf);
+            incr i)
+          w.marks)
+      t.walks;
+    Array.sort
+      (fun (v1, f1) (v2, f2) ->
+        match Int.compare v1 v2 with 0 -> Int.compare f1 f2 | c -> c)
+      a;
+    let acc = ref [] in
+    for j = count - 1 downto 0 do
+      let v, f = a.(j) in
+      if
+        j = count - 1
+        ||
+        let v', f' = a.(j + 1) in
+        v <> v' || f <> f'
+      then acc := (v, f) :: !acc
+    done;
+    !acc
+  end
 
 let setup_cost t =
-  let vms = List.sort_uniq compare (List.map fst (enabled_vms t)) in
-  List.fold_left (fun acc v -> acc +. Problem.setup_cost t.problem v) 0.0 vms
+  (* [enabled_vms] is sorted by (vm, vnf), so distinct VMs in ascending
+     order are the consecutive-dedup of the firsts — the exact fold order
+     of the old [sort_uniq] on the projected list. *)
+  let rec go acc last = function
+    | [] -> acc
+    | (v, _) :: rest ->
+        if v = last then go acc last rest
+        else go (acc +. Problem.setup_cost t.problem v) v rest
+  in
+  go 0.0 min_int (enabled_vms t)
 
 (* Stage of hop index i = number of VNFs already applied when leaving
    hops.(i), i.e. the count of marks with pos <= i. *)
@@ -43,7 +82,11 @@ let stages w =
     w.marks;
   stage
 
-let iter_paid_edges t f =
+(* Reference dedup with polymorphic tuple keys: every key allocates and
+   pays the generic hash.  Kept as the fallback for forests whose ids do
+   not pack into an int key, and as the microbench baseline for the packed
+   path below. *)
+let iter_paid_edges_poly t f =
   let seen = Hashtbl.create 64 in
   List.iter
     (fun w ->
@@ -59,6 +102,46 @@ let iter_paid_edges t f =
     t.walks;
   List.iter (fun e -> f (norm e)) t.delivery
 
+let iter_paid_edges t f =
+  let n = Problem.n t.problem in
+  (* A traffic context ((lo,hi), source, stage) packs into one int when
+     every id is in range and |V|^3 * (smax+2) fits: same dedup, same
+     emission order, no tuple allocation or polymorphic hashing. *)
+  let encodable =
+    let ok = ref true and smax = ref 0 in
+    List.iter
+      (fun w ->
+        if w.source < 0 || w.source >= n then ok := false;
+        Array.iter (fun v -> if v < 0 || v >= n then ok := false) w.hops;
+        List.iter (fun m -> if m.vnf > !smax then smax := m.vnf) w.marks)
+      t.walks;
+    if
+      !ok
+      && float_of_int n ** 3.0 *. float_of_int (!smax + 2) < 4.0e18
+    then Some !smax
+    else None
+  in
+  match encodable with
+  | None -> iter_paid_edges_poly t f
+  | Some smax ->
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun w ->
+          let stage = stages w in
+          for i = 0 to Array.length w.hops - 2 do
+            let u = w.hops.(i) and v = w.hops.(i + 1) in
+            let lo = if u < v then u else v and hi = if u < v then v else u in
+            let key =
+              ((((lo * n) + hi) * n) + w.source) * (smax + 1) + stage.(i)
+            in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              f (lo, hi)
+            end
+          done)
+        t.walks;
+      List.iter (fun e -> f (norm e)) t.delivery
+
 let connection_cost t =
   let acc = ref 0.0 in
   iter_paid_edges t (fun (u, v) -> acc := !acc +. Problem.edge_cost t.problem u v);
@@ -67,6 +150,11 @@ let connection_cost t =
 let paid_edges t =
   let acc = ref [] in
   iter_paid_edges t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let paid_edges_poly t =
+  let acc = ref [] in
+  iter_paid_edges_poly t (fun e -> acc := e :: !acc);
   List.rev !acc
 
 let total_cost t = setup_cost t +. connection_cost t

@@ -58,6 +58,12 @@ val paid_edges : t -> (int * int) list
     context (so an edge traversed at two stages appears twice).  Used by
     the online ledger to charge link loads exactly as costs were counted. *)
 
+val paid_edges_poly : t -> (int * int) list
+(** {!paid_edges} through the reference dedup (polymorphic tuple keys).
+    [paid_edges] packs each traffic context into one int when the ids fit
+    and falls back to this path otherwise; kept public as the microbench
+    baseline for that hot-path rewrite. *)
+
 val walk_edge_cost : Problem.t -> walk -> float
 (** Connection cost of one walk in isolation (each traversal paid). *)
 

@@ -1187,6 +1187,146 @@ let engine_identity =
     (Prop.make ~shrink:engine_shrink ~print:engine_print
        ~name:"engine-identity" ~gen:engine_gen engine_identity_law)
 
+(* --- shared-DAG forest evaluation equivalence ------------------------- *)
+
+module Fdag = Sof.Fdag
+
+type fdag_case = { fd_spec : Spec.t; fd_script : int list }
+
+let fdag_gen rng =
+  let fd_spec = Spec.gen_mixed rng in
+  let fd_script =
+    Prop.Gen.list_of (Prop.Gen.int_range 2 5) (Prop.Gen.int_range 0 100_000) rng
+  in
+  { fd_spec; fd_script }
+
+let fdag_print c =
+  Printf.sprintf "%s\nwith script = [ %s ]" (Spec.print c.fd_spec)
+    (String.concat "; " (List.map string_of_int c.fd_script))
+
+let fdag_shrink c =
+  let drops =
+    List.mapi
+      (fun i _ -> { c with fd_script = List.filteri (fun j _ -> j <> i) c.fd_script })
+      c.fd_script
+  in
+  Seq.append
+    (List.to_seq drops)
+    (Seq.map (fun s -> { c with fd_spec = s }) (Spec.shrink c.fd_spec))
+
+let bits = Int64.bits_of_float
+
+(* One eval against every legacy evaluator.  Bit-exact on costs: the DAG
+   evaluator must re-fold cached per-context costs in the legacy
+   first-occurrence order, so even float non-associativity cannot show. *)
+let fdag_against_legacy name ctx (f : Forest.t) =
+  let r = Fdag.eval ctx f in
+  let legacy_errs = match Validate.check f with Ok () -> [] | Error es -> es in
+  let* () =
+    if r.Fdag.errors = legacy_errs then Ok ()
+    else
+      errf "%s: fdag errors [%s] <> legacy [%s]" name
+        (String.concat "; " (List.map Validate.to_string r.Fdag.errors))
+        (String.concat "; " (List.map Validate.to_string legacy_errs))
+  in
+  let* () =
+    if (not r.Fdag.paid_defined) || r.Fdag.paid_edges = Forest.paid_edges f
+    then Ok ()
+    else errf "%s: paid_edges disagree with legacy" name
+  in
+  let* () =
+    (* the packed-int-key dedup inside Forest.paid_edges against its
+       polymorphic-hash reference *)
+    if (not r.Fdag.paid_defined) || Forest.paid_edges f = Forest.paid_edges_poly f
+    then Ok ()
+    else errf "%s: packed paid_edges disagree with the poly reference" name
+  in
+  if not r.Fdag.cost_defined then
+    if r.Fdag.valid then errf "%s: valid forest but cost undefined" name
+    else Ok ()
+  else
+    let setup, conn = Forest.cost_breakdown f in
+    let* () =
+      if bits r.Fdag.setup_cost = bits setup then Ok ()
+      else errf "%s: setup %h <> legacy %h" name r.Fdag.setup_cost setup
+    in
+    let* () =
+      if bits r.Fdag.connection_cost = bits conn then Ok ()
+      else errf "%s: connection %h <> legacy %h" name r.Fdag.connection_cost conn
+    in
+    let* () =
+      if bits r.Fdag.total_cost = bits (Forest.total_cost f) then Ok ()
+      else
+        errf "%s: total %h <> legacy %h" name r.Fdag.total_cost
+          (Forest.total_cost f)
+    in
+    let* () =
+      if r.Fdag.enabled_vms = Forest.enabled_vms f then Ok ()
+      else errf "%s: enabled_vms disagree with legacy" name
+    in
+    let fp = Sof_workload.Stream.footprint_of_forest f in
+    if
+      r.Fdag.fp_edges = fp.Sof_workload.Stream.fp_edges
+      && r.Fdag.fp_vms = fp.Sof_workload.Stream.fp_vms
+    then Ok ()
+    else errf "%s: ledger footprint disagrees with legacy" name
+
+(* A fresh context and a shared warm context must agree field-for-field:
+   incremental re-evaluation over dirty nodes is invisible in results. *)
+let fdag_warm_vs_cold name warm (f : Forest.t) =
+  let rw = Fdag.eval warm f in
+  let rc = Fdag.eval (Fdag.create ()) f in
+  if
+    rw.Fdag.errors = rc.Fdag.errors
+    && rw.Fdag.cost_defined = rc.Fdag.cost_defined
+    && ((not rw.Fdag.cost_defined)
+       || bits rw.Fdag.total_cost = bits rc.Fdag.total_cost)
+    && rw.Fdag.paid_edges = rc.Fdag.paid_edges
+    && rw.Fdag.fp_edges = rc.Fdag.fp_edges
+  then Ok ()
+  else errf "%s: warm reeval differs from a cold eval" name
+
+let fdag_equiv_law c =
+  let p = Spec.to_problem c.fd_spec in
+  let shared = Fdag.create () in
+  let* () =
+    check_list
+      (fun (name, solve) ->
+        match solve p with
+        | None -> Ok ()
+        | Some f ->
+            let* () = fdag_against_legacy name (Fdag.create ()) f in
+            (* same forest through the shared context: node reuse across
+               solver families must not change any result *)
+            fdag_against_legacy (name ^ "/shared") shared f)
+      algos
+  in
+  match Sofda.solve_forest p with
+  | None -> Ok ()
+  | Some f0 ->
+      (* splice a dynamic script through one warm context: after every
+         step the incremental re-evaluation must match both the legacy
+         evaluators and a from-scratch eval *)
+      let warm = Fdag.create () in
+      let* () = fdag_against_legacy "dyn-seed" warm f0 in
+      let rec go f = function
+        | [] -> Ok ()
+        | code :: rest -> (
+            match dyn_step f code with
+            | None | Some (_, None) -> go f rest
+            | Some (name, Some (upd : Dynamic.update)) ->
+                let nf = upd.Dynamic.forest in
+                let* () = fdag_against_legacy ("dyn-" ^ name) warm nf in
+                let* () = fdag_warm_vs_cold ("dyn-" ^ name) warm nf in
+                go nf rest)
+      in
+      go f0 c.fd_script
+
+let fdag_equiv =
+  Prop.Packed
+    (Prop.make ~shrink:fdag_shrink ~print:fdag_print ~name:"fdag-equiv"
+       ~gen:fdag_gen fdag_equiv_law)
+
 (* --- deliberate demo failure ------------------------------------------ *)
 
 let demo_dest_budget_prop =
@@ -1220,6 +1360,7 @@ let all =
     (rounding_validity, 100);
     (journal_replay, 100);
     (engine_identity, 100);
+    (fdag_equiv, 200);
   ]
 
 let names () =

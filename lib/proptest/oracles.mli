@@ -116,6 +116,17 @@ val engine_identity : Prop.packed
     deployments, every counter except wall-clock-derived ones — must be
     identical ({!Sof_serve.Engine.report_diff}). *)
 
+val fdag_equiv : Prop.packed
+(** The shared-DAG evaluator ({!Sof.Fdag}) against the four legacy
+    traversals it replaces: on every solver family's forest and along a
+    random {!Sof.Dynamic} adjustment script, one {!Sof.Fdag.eval} must
+    reproduce {!Sof.Validate.check}'s error list byte-for-byte,
+    {!Sof.Forest.paid_edges} / [enabled_vms] structurally, the stream
+    ledger footprint, and the cost breakdown {e bit-identically}
+    ([Int64.bits_of_float]); and a warm context re-evaluating after each
+    splice (dirty nodes only) must agree field-for-field with a cold
+    from-scratch context. *)
+
 val all : (Prop.packed * int) list
 (** The suite with each property's default case count for one [sof fuzz]
     round (the ILP oracle runs fewer cases per round than the cheap

@@ -2,6 +2,8 @@ module Problem = Sof.Problem
 module Forest = Sof.Forest
 module Validate = Sof.Validate
 module Dynamic = Sof.Dynamic
+module Fdag = Sof.Fdag
+module Timer = Sof_util.Timer
 
 type entry = {
   time : float;
@@ -13,6 +15,8 @@ type entry = {
   dropped : int list;
   rejoined : int list;
   valid : bool;
+  eval_wall_s : float;
+  solve_wall_s : float;
 }
 
 type report = {
@@ -23,16 +27,18 @@ type report = {
   comparisons : int;
   total_churn : float;
   invalid_events : int;
+  eval_wall_s : float;
+  solve_wall_s : float;
   final_forest : Forest.t option;
 }
 
 (* Try to re-graft one lost destination onto the current forest; fall back
    to leaving it lost.  Used on recovery events. *)
-let try_rejoin forest d =
+let try_rejoin ~fdag forest d =
   if Problem.is_dest forest.Forest.problem d then None
   else
     match Dynamic.destination_join forest d with
-    | Some upd when Validate.check upd.Dynamic.forest = Ok () ->
+    | Some upd when (Fdag.eval fdag upd.Dynamic.forest).Fdag.valid ->
         Some upd.Dynamic.forest
     | _ -> None
     | exception Invalid_argument _ -> None
@@ -49,8 +55,9 @@ let rung_index = function
   | Some Repair.Resolved -> 5
   | None -> 6
 
-let run ?(compare_resolve = true) ~trace forest0 =
+let run ?(compare_resolve = true) ?fdag ~trace forest0 =
   Sof_obs.Obs.span "chaos.run" @@ fun () ->
+  let fdag = match fdag with Some c -> c | None -> Fdag.create () in
   let base = forest0.Forest.problem in
   (* Availability denominator: the pristine destination set.  Destinations
      pruned later (node death, repair's leave-based drop) shrink [served]
@@ -61,6 +68,10 @@ let run ?(compare_resolve = true) ~trace forest0 =
   let forest = ref (Some forest0) in
   let lost = ref [] in (* dests currently unserved (dropped or node-dead) *)
   let entries = ref [] in
+  (* Per-event wall split: everything the event spends inside [Fdag.eval]
+     (through the shared context, including the heal's own validity
+     probes) is evaluation; the rest of the event's handling is solving. *)
+  let ev_t0 = ref 0 and ev_e0 = ref 0.0 in
   let log ~time ~event ~action ~churn ~resolve_churn ~dropped ~rejoined ~valid =
     Sof_obs.Obs.count "chaos.events" 1;
     Sof_obs.Obs.record "chaos.repair_rung" (float_of_int (rung_index action));
@@ -68,6 +79,10 @@ let run ?(compare_resolve = true) ~trace forest0 =
       match !forest with
       | None -> 0
       | Some f -> List.length f.Forest.problem.Problem.dests
+    in
+    let eval_wall_s = Fdag.eval_wall_s fdag -. !ev_e0 in
+    let total_wall_s =
+      float_of_int (Timer.now_ns () - !ev_t0) *. 1e-9
     in
     entries :=
       {
@@ -80,17 +95,21 @@ let run ?(compare_resolve = true) ~trace forest0 =
         dropped;
         rejoined;
         valid;
+        eval_wall_s;
+        solve_wall_s = Float.max 0.0 (total_wall_s -. eval_wall_s);
       }
       :: !entries
   in
   List.iter
     (fun { Fault.time; event } ->
+      ev_t0 := Timer.now_ns ();
+      ev_e0 := Fdag.eval_wall_s fdag;
       health := Fault.apply !health event;
       match !forest with
       | Some f -> (
           (* one path for both halves: Repair.heal rebases recoveries and
              control-plane events as Noop *)
-          match Repair.heal ~compare_resolve ~health:!health ~event f with
+          match Repair.heal ~compare_resolve ~fdag ~health:!health ~event f with
           | Some r ->
               forest := Some r.Repair.forest;
               lost :=
@@ -110,7 +129,7 @@ let run ?(compare_resolve = true) ~trace forest0 =
                  List.iter
                    (fun d ->
                      if healthy_again d then
-                       match try_rejoin (Option.get !forest) d with
+                       match try_rejoin ~fdag (Option.get !forest) d with
                        | Some f' ->
                            forest := Some f';
                            rejoined := d :: !rejoined
@@ -119,7 +138,7 @@ let run ?(compare_resolve = true) ~trace forest0 =
               lost := List.filter (fun d -> not (List.mem d !rejoined)) !lost;
               let valid =
                 match !forest with
-                | Some f -> Validate.check f = Ok ()
+                | Some f -> (Fdag.eval fdag f).Fdag.valid
                 | None -> false
               in
               log ~time ~event ~action:(Some r.Repair.action)
@@ -157,7 +176,7 @@ let run ?(compare_resolve = true) ~trace forest0 =
                       base.Problem.dests;
                   log ~time ~event ~action:(Some Repair.Resolved)
                     ~churn:(Forest.total_cost f) ~resolve_churn:None ~dropped
-                    ~rejoined ~valid:(Validate.check f = Ok ())
+                    ~rejoined ~valid:(Fdag.eval fdag f).Fdag.valid
               | None ->
                   log ~time ~event ~action:None ~churn:0.0 ~resolve_churn:None
                     ~dropped:[] ~rejoined:[] ~valid:true)))
@@ -192,5 +211,11 @@ let run ?(compare_resolve = true) ~trace forest0 =
     total_churn = List.fold_left (fun acc e -> acc +. e.churn) 0.0 entries;
     invalid_events =
       List.length (List.filter (fun e -> not e.valid) entries);
+    eval_wall_s =
+      List.fold_left (fun acc (e : entry) -> acc +. e.eval_wall_s) 0.0 entries;
+    solve_wall_s =
+      List.fold_left
+        (fun acc (e : entry) -> acc +. e.solve_wall_s)
+        0.0 entries;
     final_forest = !forest;
   }

@@ -23,6 +23,13 @@ type entry = {
   dropped : int list;             (** destinations newly dropped *)
   rejoined : int list;            (** destinations re-grafted on recovery *)
   valid : bool;                   (** post-event forest passed Validate *)
+  eval_wall_s : float;
+      (** wall seconds this event spent inside {!Sof.Fdag.eval} (every
+          validity probe of the event goes through the run's shared
+          context, the heal ladder's included) *)
+  solve_wall_s : float;
+      (** the rest of the event's handling wall: repair, re-solve and
+          re-graft work with evaluation subtracted out *)
 }
 
 type report = {
@@ -36,15 +43,25 @@ type report = {
       (** impactful failures where both churns were measurable *)
   total_churn : float;
   invalid_events : int;           (** must be 0 — asserted by tests *)
+  eval_wall_s : float;            (** sum of the entries' evaluation walls *)
+  solve_wall_s : float;           (** sum of the entries' solver walls *)
   final_forest : Sof.Forest.t option;  (** [None] after an unhealed total outage *)
 }
 
 val run :
   ?compare_resolve:bool ->
+  ?fdag:Sof.Fdag.t ->
   trace:Fault.timed list ->
   Sof.Forest.t ->
   report
 (** [run ~trace forest] — [forest] must be valid for its instance, which
     is taken as the pristine substrate.  [compare_resolve] (default
     [true]) prices every impactful failure's alternative full re-solve
-    for the win/tie counters. *)
+    for the win/tie counters.
+
+    One {!Sof.Fdag.t} evaluation context is threaded through the whole
+    run (pass [fdag] to share it wider): post-event validation, rejoin
+    probes and the heal ladder's own checks all hit the same shared-DAG
+    node cache, so consecutive events — which mostly reuse each other's
+    walks — re-evaluate only their dirty region.  Verdicts are
+    bit-identical to {!Sof.Validate.check}. *)

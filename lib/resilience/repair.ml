@@ -125,7 +125,14 @@ let delivery_uf (f : Forest.t) =
 let rebase p (f : Forest.t) =
   Forest.make p ~walks:f.Forest.walks ~delivery:f.Forest.delivery
 
-let valid f = Validate.check f = Ok ()
+(* Validity through the shared-DAG evaluator when a context is threaded
+   in: a heal mostly reuses untouched walks, so the warm context re-checks
+   only the dirty region ([Fdag.eval] is bit-identical to
+   [Validate.check]). *)
+let valid ?fdag f =
+  match fdag with
+  | Some ctx -> (Sof.Fdag.eval ctx f).Sof.Fdag.valid
+  | None -> Validate.check f = Ok ()
 
 (* Destinations of [p] that a single-dest SOFDA can actually embed; the
    cheap [Fault.servable] filter prunes first, a real solve settles the
@@ -227,7 +234,7 @@ let full_resolve ?cache ?budget (p' : Problem.t) =
 
 (* Scoped re-solve: keep every tree the failure does not touch, tear down
    and re-embed only the affected ones. *)
-let scoped_resolve ?cache ?budget ~event (old_ : Forest.t) (p' : Problem.t) =
+let scoped_resolve ?cache ?fdag ?budget ~event (old_ : Forest.t) (p' : Problem.t) =
   let affected_walk w =
     match event with
     | Fault.Link_down (u, v) -> walk_uses_link w (u, v)
@@ -307,7 +314,7 @@ let scoped_resolve ?cache ?budget ~event (old_ : Forest.t) (p' : Problem.t) =
         Forest.make pf ~walks:(kept_walks @ new_walks)
           ~delivery:(kept_delivery @ new_delivery)
       in
-      if valid f then Some (pf, f, extra_dropped) else None
+      if valid ?fdag f then Some (pf, f, extra_dropped) else None
   in
   if to_reserve = [] then assemble [] [] []
   else begin
@@ -374,7 +381,7 @@ let scoped_resolve ?cache ?budget ~event (old_ : Forest.t) (p' : Problem.t) =
     end
   end
 
-let heal ?(compare_resolve = false) ?budget ~(health : Fault.health)
+let heal ?(compare_resolve = false) ?fdag ?budget ~(health : Fault.health)
     ~(event : Fault.event) (old_ : Forest.t) =
   let p_old = old_.Forest.problem in
   let dests_wanted =
@@ -389,6 +396,11 @@ let heal ?(compare_resolve = false) ?budget ~(health : Fault.health)
          dynamic rules, any component re-solves and the repair-vs-resolve
          comparison all share Dijkstra runs on the degraded graph. *)
       let cache = Sof_graph.Metric.Cache.create () in
+      (* Likewise one evaluation context: every validity probe of this
+         heal (and of its Dynamic rules) shares node attributes. *)
+      let fdag =
+        match fdag with Some c -> c | None -> Sof.Fdag.create ()
+      in
       let with_resolve result =
         if not compare_resolve then result
         else
@@ -405,7 +417,7 @@ let heal ?(compare_resolve = false) ?budget ~(health : Fault.health)
            ([None]) rather than starting another re-solve *)
         if Sof_util.Budget.check budget then None
         else
-        match scoped_resolve ~cache ?budget ~event base p' with
+        match scoped_resolve ~cache ~fdag ?budget ~event base p' with
         | Some (pf, f, extra) ->
             Some
               {
@@ -435,8 +447,8 @@ let heal ?(compare_resolve = false) ?budget ~(health : Fault.health)
         match event with
         | Fault.Link_down (u, v) when touches old_ event -> (
             let f' = rebase p' old_ in
-            match Dynamic.reroute_link ~cache f' ~u ~v with
-            | Some upd when valid upd.Dynamic.forest ->
+            match Dynamic.reroute_link ~cache ~fdag f' ~u ~v with
+            | Some upd when valid ~fdag upd.Dynamic.forest ->
                 Some
                   {
                     problem = upd.Dynamic.problem;
@@ -450,10 +462,10 @@ let heal ?(compare_resolve = false) ?budget ~(health : Fault.health)
         | Fault.Vm_crash vm when touches old_ event -> (
             (* relocate on the pre-crash instance (the VM node still
                forwards); the substitute search already excludes [vm] *)
-            match Dynamic.relocate_vm ~cache old_ ~vm with
+            match Dynamic.relocate_vm ~cache ~fdag old_ ~vm with
             | Some upd ->
                 let f = rebase p' upd.Dynamic.forest in
-                if valid f then
+                if valid ~fdag f then
                   Some
                     {
                       problem = p';
@@ -476,7 +488,7 @@ let heal ?(compare_resolve = false) ?budget ~(health : Fault.health)
             if touches pruned event then fallback ~base:pruned dropped
             else
               let f = rebase p' pruned in
-              if valid f then
+              if valid ~fdag f then
                 Some
                   {
                     problem = p';
@@ -490,7 +502,7 @@ let heal ?(compare_resolve = false) ?budget ~(health : Fault.health)
         | _ ->
             (* untouched failure, recovery, or control-plane event *)
             let f = rebase p' old_ in
-            if valid f then
+            if valid ~fdag f then
               Some
                 {
                   problem = p';

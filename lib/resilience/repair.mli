@@ -85,6 +85,7 @@ val full_resolve :
 
 val heal :
   ?compare_resolve:bool ->
+  ?fdag:Sof.Fdag.t ->
   ?budget:Sof_util.Budget.t ->
   health:Fault.health ->
   event:Fault.event ->
@@ -96,6 +97,12 @@ val heal :
     be served on the degraded instance.  When [compare_resolve] is set
     (default [false]) the engine additionally runs the full re-solve and
     reports its churn for the repair-vs-resolve ratio.
+
+    Every validity probe of the ladder goes through an {!Sof.Fdag.t}
+    evaluation context — pass [fdag] to share node attributes across
+    heals of the same run (a heal leaves most walks untouched, so the
+    warm context re-checks only the dirty region, bit-identically to
+    {!Sof.Validate.check}); omitted, each heal creates its own.
 
     The escalation ladder polls [budget] at each re-solve rung boundary:
     an expired budget abandons the heal ([None]) instead of starting the

@@ -163,7 +163,10 @@ let run_script ?journal ?(engine = default_config) topo cfg events =
     Mutex.unlock smutex
   in
   let ladder = I.normalize_ladder cfg.Serve.ladder in
-  let speculate (r : Stream.request) =
+  (* Contexts are not domain-safe: each shard-batch closure gets its own,
+     shared across the batch's requests (batches shard by id, so a
+     context never crosses domains). *)
+  let speculate ~fdag (r : Stream.request) =
     let p =
       I.mk_problem inst ~sources:r.Stream.sources ~dests:r.Stream.dests
     in
@@ -176,10 +179,10 @@ let run_script ?journal ?(engine = default_config) topo cfg events =
       res
     in
     ignore
-      (I.ladder_walk
+      (I.ladder_walk ~fdag
          ~allow:(fun _ -> true)
          ~record:(fun _ ~ok:_ -> ())
-         ~ladder ~deadline_ms:cfg.Serve.deadline_ms ~attempt);
+         ~ladder ~deadline_ms:cfg.Serve.deadline_ms attempt);
     pre.wall_s <- float_of_int (Timer.now_ns () - t0) *. 1e-9;
     set_slot r.Stream.id (Ready pre)
   in
@@ -198,7 +201,9 @@ let run_script ?journal ?(engine = default_config) topo cfg events =
             (float_of_int (Timer.now_ns () - submitted_ns) *. 1e-9);
           (* a crash mid-batch must not strand the muxer: mark every slot
              of the batch Failed past the point of the exception *)
-          try Array.iter speculate batch
+          try
+            let fdag = Sof.Fdag.create () in
+            Array.iter (speculate ~fdag) batch
           with e ->
             let bt = Printexc.get_raw_backtrace () in
             Array.iter

@@ -231,7 +231,23 @@ type ladder_outcome = {
 (* Walk the ladder.  [allow]/[record] abstract the circuit breakers (the
    authoritative pass wires in real breakers; speculative passes pass
    always-allow no-ops), [attempt] abstracts the rung solver. *)
-let ladder_walk ~allow ~record ~ladder ~deadline_ms ~(attempt : rung_attempt) =
+let ladder_walk ?fdag ~allow ~record ~ladder ~deadline_ms
+    (attempt : rung_attempt) =
+  (* Candidate validity and cost in one pass when an evaluation context
+     is threaded in — rungs resubmit near-identical forests, so the
+     shared context re-evaluates only what a rung changed.  Verdict and
+     cost are bit-identical to the legacy pair. *)
+  let judge =
+    match fdag with
+    | Some ctx ->
+        fun f ->
+          let r = Sof.Fdag.eval ctx f in
+          if r.Sof.Fdag.valid then Some r.Sof.Fdag.total_cost else None
+    | None ->
+        fun f ->
+          if Sof.Validate.is_valid f then Some (Sof.Forest.total_cost f)
+          else None
+  in
   let total =
     if Float.is_finite deadline_ms then Some (Budget.after_ms deadline_ms)
     else None
@@ -271,9 +287,11 @@ let ladder_walk ~allow ~record ~ladder ~deadline_ms ~(attempt : rung_attempt) =
           in
           let forest, clean = attempt ~slice fam in
           (match forest with
-          | Some f when Sof.Validate.is_valid f ->
-              candidates := (fam, f) :: !candidates
-          | _ -> ());
+          | Some f -> (
+              match judge f with
+              | Some c -> candidates := (fam, f, c) :: !candidates
+              | None -> ())
+          | None -> ());
           let clean_done = clean && Option.is_some forest in
           if not terminal then record fam ~ok:clean_done;
           if clean_done then begin
@@ -286,8 +304,7 @@ let ladder_walk ~allow ~record ~ladder ~deadline_ms ~(attempt : rung_attempt) =
   (* cheapest valid completion wins; ties keep the earliest rung *)
   let winner =
     List.fold_left
-      (fun acc (fam, f) ->
-        let c = Sof.Forest.total_cost f in
+      (fun acc (fam, f, c) ->
         match acc with
         | Some (_, _, best) when best <= c -> acc
         | _ -> Some (fam, f, c))
@@ -321,6 +338,10 @@ let run_core ?journal ?(quiet = false) ?make_attempt ?wall_of topo cfg events =
   let inst = instance topo cfg in
   let w = inst.w in
   let cache = Metric.Cache.create () in
+  (* Run-long evaluation context for the authoritative (single-domain)
+     loop: ladder verdicts and the commit path's footprint/cost share
+     node attributes across requests. *)
+  let fdag = Sof.Fdag.create () in
   let ladder = normalize_ladder cfg.ladder in
   let breakers =
     List.filter_map
@@ -454,8 +475,8 @@ let run_core ?journal ?(quiet = false) ?make_attempt ?wall_of topo cfg events =
       let wall0 = Timer.now_ns () in
       let out =
         span "serve.request" (fun () ->
-            ladder_walk ~allow ~record ~ladder ~deadline_ms:cfg.deadline_ms
-              ~attempt)
+            ladder_walk ~fdag ~allow ~record ~ladder
+              ~deadline_ms:cfg.deadline_ms attempt)
       in
       let measured_s = float_of_int (Timer.now_ns () - wall0) *. 1e-9 in
       let wall_s = wall_of ~id:r.Stream.id ~measured_s in
@@ -478,7 +499,15 @@ let run_core ?journal ?(quiet = false) ?make_attempt ?wall_of topo cfg events =
       match out.winner with
       | None -> reject ()
       | Some (fam, f) ->
-          let fp = Stream.footprint_of_forest f in
+          (* the winner was just judged through [fdag], so this eval is a
+             memo hit: footprint and cost come from the same single pass *)
+          let fr = Sof.Fdag.eval fdag f in
+          let fp =
+            {
+              Stream.fp_edges = fr.Sof.Fdag.fp_edges;
+              fp_vms = fr.Sof.Fdag.fp_vms;
+            }
+          in
           if
             not
               (Stream.fits inst.ledger w
@@ -512,7 +541,7 @@ let run_core ?journal ?(quiet = false) ?make_attempt ?wall_of topo cfg events =
               incr deadline_miss;
               count "serve.deadline_miss" 1
             end;
-            let cost = Sof.Forest.total_cost f in
+            let cost = fr.Sof.Fdag.total_cost in
             served_cost := !served_cost +. cost;
             push
               {

@@ -244,14 +244,18 @@ module Internal : sig
   }
 
   val ladder_walk :
+    ?fdag:Sof.Fdag.t ->
     allow:(family -> bool) ->
     record:(family -> ok:bool -> unit) ->
     ladder:family list ->
     deadline_ms:float ->
-    attempt:rung_attempt ->
+    rung_attempt ->
     ladder_outcome
   (** Walk a normalized ladder.  [allow]/[record] abstract the circuit
-      breakers; the terminal rung is never gated. *)
+      breakers; the terminal rung is never gated.  [fdag] routes
+      candidate validity/cost through a shared evaluation context
+      (bit-identical verdicts); contexts are not domain-safe, so each
+      engine shard passes its own. *)
 
   val run_core :
     ?journal:Journal.writer ->

@@ -215,6 +215,7 @@ type outcome = {
   rung : rung option;
   marginal_cost : float;
   wall_s : float;
+  eval_wall_s : float;
 }
 
 type report = {
@@ -235,6 +236,8 @@ type report = {
   embed_wall_p50 : float;
   embed_wall_p95 : float;
   embed_wall_p99 : float;
+  eval_wall_s : float;
+  solve_wall_s : float;
   outcomes : outcome list;
   final_ledger : Ledger.t;
 }
@@ -251,8 +254,9 @@ let serves_all dests (f : Sof.Forest.t) =
     (fun d -> List.mem d f.Sof.Forest.problem.Sof.Problem.dests)
     dests
 
-let run_script ~mode topo cfg events =
+let run_script ?fdag ~mode topo cfg events =
   validate_config cfg;
+  let fdag = match fdag with Some c -> c | None -> Sof.Fdag.create () in
   (match mode with
   | Batch { reopt_every } when reopt_every <= 0 ->
       invalid_arg "Stream: Batch reopt_every must be positive"
@@ -341,8 +345,14 @@ let run_script ~mode topo cfg events =
     in
     free >= w.Online.chain_length
   in
-  let candidate_ok dests f =
-    Sof.Validate.is_valid f && serves_all dests f
+  (* One [Fdag.eval] per candidate settles validity AND yields the ledger
+     footprint — the ladder's rungs mostly resubmit shared walk prefixes,
+     so a warm context re-evaluates only what the rung changed. *)
+  let admit dests f =
+    let r = Sof.Fdag.eval fdag f in
+    if r.Sof.Fdag.valid && serves_all dests f then
+      Some (f, { fp_edges = r.Sof.Fdag.fp_edges; fp_vms = r.Sof.Fdag.fp_vms })
+    else None
   in
   (* Rung 1: single-destination seed solve plus grafts, all under the
      run-long cache on the statically priced graph. *)
@@ -358,9 +368,7 @@ let run_script ~mode topo cfg events =
         | None -> None
         | Some f0 ->
             let upd, unserved = Sof.Dynamic.destinations_join ~cache f0 rest in
-            if unserved = [] && candidate_ok dests upd.Sof.Dynamic.forest then
-              Some upd.Sof.Dynamic.forest
-            else None)
+            if unserved = [] then admit dests upd.Sof.Dynamic.forest else None)
   in
   (* Rung 2: scoped from-scratch re-solve, still sharing the cache. *)
   let rescope sources dests =
@@ -369,7 +377,7 @@ let run_script ~mode topo cfg events =
         (mk_problem ~graph:static_graph ~node_cost:static_node_cost ~sources
            ~dests)
     with
-    | Some (_, f, []) when candidate_ok dests f -> Some f
+    | Some (_, f, []) -> admit dests f
     | _ -> None
   in
   (* Rung 3: load-aware re-solve at current marginal prices. *)
@@ -377,11 +385,10 @@ let run_script ~mode topo cfg events =
     let graph, node_cost = repriced_instance () in
     match Sof.Sofda.solve_forest (mk_problem ~graph ~node_cost ~sources ~dests)
     with
-    | Some f when candidate_ok dests f -> Some f
-    | _ -> None
+    | Some f -> admit dests f
+    | None -> None
   in
-  let commit id forest =
-    let fp = footprint_of_forest forest in
+  let commit id forest fp =
     let cost = marginal_footprint_cost ledger w fp in
     charge ledger w ~sign:1.0 fp;
     peak := Float.max !peak (footprint_peak ledger w fp);
@@ -397,34 +404,32 @@ let run_script ~mode topo cfg events =
     else
       let structural =
         match splice sources dests with
-        | Some f -> Some (Spliced, f)
+        | Some fx -> Some (Spliced, fx)
         | None -> (
             match rescope sources dests with
-            | Some f -> Some (Rescoped, f)
+            | Some fx -> Some (Rescoped, fx)
             | None -> None)
       in
       match structural with
-      | Some (rung, f) when fits ledger w ~max_utilization:cfg.max_utilization
-                              (footprint_of_forest f) ->
-          Some (rung, f)
+      | Some (rung, (f, fp))
+        when fits ledger w ~max_utilization:cfg.max_utilization fp ->
+          Some (rung, f, fp)
       | _ -> (
           (* structural conflict, or a capacity conflict: one load-aware
              repriced attempt before rejecting *)
           match reprice_solve sources dests with
-          | Some f
-            when fits ledger w ~max_utilization:cfg.max_utilization
-                   (footprint_of_forest f) ->
-              Some (Repriced, f)
+          | Some (f, fp)
+            when fits ledger w ~max_utilization:cfg.max_utilization fp ->
+              Some (Repriced, f, fp)
           | _ -> None)
   in
   let serve_batch sources dests =
     if not (precheck ()) then None
     else
       match reprice_solve sources dests with
-      | Some f
-        when fits ledger w ~max_utilization:cfg.max_utilization
-               (footprint_of_forest f) ->
-          Some (Repriced, f)
+      | Some (f, fp)
+        when fits ledger w ~max_utilization:cfg.max_utilization fp ->
+          Some (Repriced, f, fp)
       | _ -> None
   in
   (* Periodic batch re-optimization: rebuild the ledger from scratch,
@@ -445,15 +450,13 @@ let run_script ~mode topo cfg events =
         let sources = p.Sof.Problem.sources and dests = p.Sof.Problem.dests in
         let replacement =
           match reprice_solve sources dests with
-          | Some f
-            when fits ledger w ~max_utilization:cfg.max_utilization
-                   (footprint_of_forest f) ->
-              Some f
+          | Some (f, fp)
+            when fits ledger w ~max_utilization:cfg.max_utilization fp ->
+              Some (f, fp)
           | _ -> None
         in
         match replacement with
-        | Some f ->
-            let fp = footprint_of_forest f in
+        | Some (f, fp) ->
             charge ledger w ~sign:1.0 fp;
             peak := Float.max !peak (footprint_peak ledger w fp);
             reopt_churn := !reopt_churn +. Repair.churn ~old_:entry.forest f;
@@ -481,14 +484,16 @@ let run_script ~mode topo cfg events =
       | Arrive r ->
           incr arrivals;
           Obs.count "stream.arrivals" 1;
+          let e0 = Sof.Fdag.eval_wall_s fdag in
           let result, wall =
             Timer.time (fun () -> serve r.sources r.dests)
           in
+          let eval_wall = Sof.Fdag.eval_wall_s fdag -. e0 in
           walls := wall :: !walls;
           Obs.record "stream.embed_latency" wall;
           let outcome =
             match result with
-            | Some (rung, forest) ->
+            | Some (rung, forest, fp) ->
                 incr accepted;
                 Obs.count "stream.accepted" 1;
                 (match rung with
@@ -501,7 +506,7 @@ let run_script ~mode topo cfg events =
                 | Repriced ->
                     incr repriced;
                     Obs.count "stream.rung_repriced" 1);
-                let cost = commit r.id forest in
+                let cost = commit r.id forest fp in
                 {
                   id = r.id;
                   time = r.arrival;
@@ -509,6 +514,7 @@ let run_script ~mode topo cfg events =
                   rung = Some rung;
                   marginal_cost = cost;
                   wall_s = wall;
+                  eval_wall_s = eval_wall;
                 }
             | None ->
                 incr rejected;
@@ -520,6 +526,7 @@ let run_script ~mode topo cfg events =
                   rung = None;
                   marginal_cost = 0.0;
                   wall_s = wall;
+                  eval_wall_s = eval_wall;
                 }
           in
           outcomes := outcome :: !outcomes;
@@ -553,6 +560,15 @@ let run_script ~mode topo cfg events =
     embed_wall_p50 = pct 50.0;
     embed_wall_p95 = pct 95.0;
     embed_wall_p99 = pct 99.0;
+    eval_wall_s =
+      List.fold_left
+        (fun acc (o : outcome) -> acc +. o.eval_wall_s)
+        0.0 !outcomes;
+    solve_wall_s =
+      List.fold_left
+        (fun acc (o : outcome) ->
+          acc +. Float.max 0.0 (o.wall_s -. o.eval_wall_s))
+        0.0 !outcomes;
     outcomes = List.rev !outcomes;
     final_ledger = ledger;
   }

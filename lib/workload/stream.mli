@@ -143,6 +143,10 @@ type outcome = {
   marginal_cost : float;  (** Fortz–Thorup marginal cost of the committed
                               footprint at admission time; 0 when rejected *)
   wall_s : float;         (** wall-clock spent deciding/embedding *)
+  eval_wall_s : float;    (** share of [wall_s] spent inside
+                              {!Sof.Fdag.eval} — the candidate validity
+                              and footprint evaluations; the rest is
+                              solver work *)
 }
 
 type report = {
@@ -167,6 +171,12 @@ type report = {
   embed_wall_p50 : float;
   embed_wall_p95 : float;
   embed_wall_p99 : float;  (** per-arrival decision latency, seconds *)
+  eval_wall_s : float;
+      (** summed per-arrival evaluation wall (the {!Sof.Fdag.eval}
+          share of every decision) *)
+  solve_wall_s : float;
+      (** summed per-arrival solver wall (decision wall minus the
+          evaluation share) *)
   outcomes : outcome list;   (** per arrival, in arrival order *)
   final_ledger : Sof_cost.Ledger.t;
       (** after a full script replay every departure has fired, so all
@@ -175,9 +185,22 @@ type report = {
 }
 
 val run_script :
-  mode:mode -> Sof_topology.Topology.t -> config -> event list -> report
+  ?fdag:Sof.Fdag.t ->
+  mode:mode ->
+  Sof_topology.Topology.t ->
+  config ->
+  event list ->
+  report
 (** Serve a prepared script (from {!script}) — use this to compare modes
-    on the identical request sequence. *)
+    on the identical request sequence.
+
+    Candidate admission goes through one {!Sof.Fdag.t} evaluation
+    context for the whole run (pass [fdag] to share it wider): a single
+    {!Sof.Fdag.eval} per candidate settles structural validity and
+    yields the ledger footprint, bit-identical to the legacy
+    {!Sof.Validate.is_valid} + {!footprint_of_forest} pair, and
+    consecutive candidates re-evaluate only the walks the rung
+    changed. *)
 
 val run :
   mode:mode -> rng:Sof_util.Rng.t -> Sof_topology.Topology.t -> config -> report

@@ -1,0 +1,205 @@
+(* Unit tests for the shared-DAG forest evaluator: hash-consing, dirty
+   marking after splices, and diamond sharing across walks.  The broad
+   bit-identity contract lives in the [fdag-equiv] fuzz oracle; these
+   tests pin the *mechanism* — which nodes get rebuilt — via
+   [Fdag.last_stats]. *)
+
+module Graph = Sof_graph.Graph
+module Problem = Sof.Problem
+module Forest = Sof.Forest
+module Validate = Sof.Validate
+module Dynamic = Sof.Dynamic
+module Sofda = Sof.Sofda
+module Fdag = Sof.Fdag
+
+(* Same fixture as test_dynamic: grid-ish network with spare VMs. *)
+let fixture () =
+  let edges =
+    [
+      (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 4, 1.0); (4, 5, 1.0);
+      (2, 6, 1.0); (6, 7, 1.0); (3, 8, 1.0); (8, 9, 1.0); (1, 8, 2.0);
+      (6, 9, 2.0); (0, 6, 3.0);
+    ]
+  in
+  let g = Graph.create ~n:10 ~edges in
+  let node_cost = [| 0.0; 1.0; 1.0; 1.0; 0.0; 0.0; 1.0; 0.0; 1.0; 0.0 |] in
+  Problem.make ~graph:g ~node_cost ~vms:[ 1; 2; 3; 6; 8 ] ~sources:[ 0 ]
+    ~dests:[ 5; 7 ] ~chain_length:2
+
+let solved () =
+  let p = fixture () in
+  match Sofda.solve p with
+  | Some r -> r.Sofda.forest
+  | None -> Alcotest.fail "fixture should be solvable"
+
+let check_matches_legacy f (r : Fdag.result) =
+  Alcotest.(check bool)
+    "valid agrees" (Validate.check f = Ok ()) r.Fdag.valid;
+  Alcotest.(check (float 0.0))
+    "total cost bit-identical" (Forest.total_cost f) r.Fdag.total_cost;
+  Alcotest.(check (list (pair int int)))
+    "paid edges agree" (Forest.paid_edges f) r.Fdag.paid_edges;
+  Alcotest.(check (list (pair int int)))
+    "enabled vms agree" (Forest.enabled_vms f) r.Fdag.enabled_vms
+
+(* First eval of a fresh context is a full eval; re-evaluating the same
+   physical forest is answered by the memo and counts fully shared. *)
+let test_memo_hit () =
+  let f = solved () in
+  let ctx = Fdag.create () in
+  let r1 = Fdag.eval ctx f in
+  check_matches_legacy f r1;
+  let s1 = Fdag.last_stats ctx in
+  Alcotest.(check int) "first eval is full" 1 s1.Fdag.full_evals;
+  let r2 = Fdag.eval ctx f in
+  let s2 = Fdag.last_stats ctx in
+  Alcotest.(check int) "memo hit is not full" 0 s2.Fdag.full_evals;
+  Alcotest.(check bool) "memo hit shares" true (s2.Fdag.nodes_shared > 0);
+  Alcotest.(check (float 0.0))
+    "memoized result identical" r1.Fdag.total_cost r2.Fdag.total_cost
+
+(* A structurally equal but physically fresh forest hash-conses onto the
+   warm walk nodes: nothing is rebuilt, the eval is not "full". *)
+let test_hash_consing () =
+  let f = solved () in
+  let ctx = Fdag.create () in
+  ignore (Fdag.eval ctx f);
+  let copy =
+    {
+      f with
+      Forest.walks =
+        List.map
+          (fun (w : Forest.walk) ->
+            { w with Forest.hops = Array.copy w.Forest.hops })
+          f.Forest.walks;
+    }
+  in
+  let r = Fdag.eval ctx copy in
+  check_matches_legacy copy r;
+  let s = Fdag.last_stats ctx in
+  Alcotest.(check int) "warm eval is not full" 0 s.Fdag.full_evals;
+  Alcotest.(check int) "no nodes rebuilt" 0 s.Fdag.reeval_dirty;
+  Alcotest.(check bool) "every walk shared" true (s.Fdag.nodes_shared > 0)
+
+(* After a splice only the touched walks are rebuilt: dirty-region
+   recomputation, not a from-scratch pass. *)
+let test_dirty_marking () =
+  let f = solved () in
+  let ctx = Fdag.create () in
+  ignore (Fdag.eval ctx f);
+  match Dynamic.destination_join f 9 with
+  | None -> Alcotest.fail "join should succeed"
+  | Some u ->
+      let f' = u.Dynamic.forest in
+      let r = Fdag.eval ctx f' in
+      check_matches_legacy f' r;
+      let s = Fdag.last_stats ctx in
+      Alcotest.(check int) "warm eval is not full" 0 s.Fdag.full_evals;
+      Alcotest.(check bool)
+        "untouched walks shared" true (s.Fdag.nodes_shared > 0);
+      (* a cold context rebuilds every node of f'; the warm one only the
+         region the join touched *)
+      let cold = Fdag.create () in
+      ignore (Fdag.eval cold f');
+      let cold_built = (Fdag.last_stats cold).Fdag.reeval_dirty in
+      Alcotest.(check bool)
+        "dirty region strictly smaller than a full rebuild" true
+        (s.Fdag.reeval_dirty < cold_built)
+
+(* Diamond sharing: two walks with identical hops and marks collapse to
+   one walk node — the second occurrence costs nothing to intern, and a
+   second forest containing the same walk shares it too. *)
+let test_diamond_sharing () =
+  let p = fixture () in
+  let mk_walk () =
+    {
+      Forest.source = 0;
+      hops = [| 0; 1; 2 |];
+      marks = [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ];
+    }
+  in
+  let twin =
+    Forest.make p
+      ~walks:[ mk_walk (); mk_walk () ]
+      ~delivery:[ (2, 3); (3, 4); (4, 5); (2, 6); (6, 7) ]
+  in
+  let ctx = Fdag.create () in
+  let r = Fdag.eval ctx twin in
+  check_matches_legacy twin r;
+  (* same content -> one node: a fresh single-walk forest over the same
+     walk reuses it even though this forest was never evaluated *)
+  let single =
+    Forest.make p ~walks:[ mk_walk () ]
+      ~delivery:[ (2, 3); (3, 4); (4, 5); (2, 6); (6, 7) ]
+  in
+  let r1 = Fdag.eval ctx single in
+  check_matches_legacy single r1;
+  let s = Fdag.last_stats ctx in
+  Alcotest.(check int) "diamond walk shared, not rebuilt" 0
+    s.Fdag.reeval_dirty;
+  Alcotest.(check bool) "shared node reused" true (s.Fdag.nodes_shared > 0)
+
+(* The cumulative counters tell the incremental story: along a splice
+   script, dirty rebuilds stay far below a full-eval-per-event bill. *)
+let test_counter_accumulation () =
+  let f = solved () in
+  let ctx = Fdag.create () in
+  ignore (Fdag.eval ctx f);
+  let cur = ref f in
+  (match Dynamic.destination_join !cur 9 with
+  | Some u -> cur := u.Dynamic.forest
+  | None -> ());
+  ignore (Fdag.eval ctx !cur);
+  (match Dynamic.vnf_insert !cur ~at:1 with
+  | Some u -> cur := u.Dynamic.forest
+  | None -> ());
+  ignore (Fdag.eval ctx !cur);
+  let s = Fdag.stats ctx in
+  Alcotest.(check bool) "several evals" true (s.Fdag.evals >= 3);
+  Alcotest.(check int) "exactly one full eval" 1 s.Fdag.full_evals;
+  Alcotest.(check bool) "warm evals kept sharing" true
+    (s.Fdag.nodes_shared > 0)
+
+(* Validity split: an invalid forest must carry the same error list as
+   Validate.check, through [Fdag.validity]. *)
+let test_invalid_errors () =
+  let p = fixture () in
+  let broken =
+    Forest.make p
+      ~walks:
+        [
+          {
+            Forest.source = 0;
+            hops = [| 0; 1; 2 |];
+            marks =
+              [ { Forest.pos = 1; vnf = 1 }; { Forest.pos = 2; vnf = 2 } ];
+          };
+        ]
+      ~delivery:[] (* destinations unserved *)
+  in
+  let ctx = Fdag.create () in
+  let r = Fdag.eval ctx broken in
+  Alcotest.(check bool) "invalid" true (not r.Fdag.valid);
+  match (Validate.check broken, Fdag.validity r) with
+  | Error legacy, Error ours ->
+      Alcotest.(check int) "same error count" (List.length legacy)
+        (List.length ours);
+      Alcotest.(check string) "same error text"
+        (String.concat "; " (List.map Validate.to_string legacy))
+        (String.concat "; " (List.map Validate.to_string ours))
+  | _ -> Alcotest.fail "both must reject"
+
+let suite =
+  [
+    Alcotest.test_case "memo hit on identical forest" `Quick test_memo_hit;
+    Alcotest.test_case "hash-consing across fresh copies" `Quick
+      test_hash_consing;
+    Alcotest.test_case "dirty marking after a splice" `Quick
+      test_dirty_marking;
+    Alcotest.test_case "diamond sharing across walks and forests" `Quick
+      test_diamond_sharing;
+    Alcotest.test_case "counters accumulate along a script" `Quick
+      test_counter_accumulation;
+    Alcotest.test_case "invalid forests carry legacy errors" `Quick
+      test_invalid_errors;
+  ]

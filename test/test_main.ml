@@ -9,6 +9,7 @@ let () =
       ("core", Test_core.suite);
       ("lp", Test_lp.suite);
       ("dynamic", Test_dynamic.suite);
+      ("fdag", Test_fdag.suite);
       ("baselines", Test_baselines.suite);
       ("topology", Test_topology.suite);
       ("ip", Test_ip.suite);
